@@ -1,0 +1,29 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark module regenerates one paper artifact (figure or table),
+asserts its qualitative shape (who wins, roughly by what factor), and
+writes the rendered artifact to ``bench_results/`` next to this file so
+EXPERIMENTS.md can reference concrete numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write one rendered artifact (also printed for -s runs)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---\n{text}\n")

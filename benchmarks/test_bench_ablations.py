@@ -1,0 +1,145 @@
+"""E9/E10: ablations over the paper's design choices.
+
+* K sweep (Section 4's "K = 2 offers a good tradeoff"): more K = more
+  paths but longer detours; K=2 should fix R2R without hurting uniform
+  traffic much.
+* DRing shape: at fixed racks, wider supernodes buy shorter diameters at
+  the cost of switch radix.
+* Failures (Section 7's open question): one link failure leaves SU(2)
+  with ample disjoint paths, and BGP reconverges in a handful of rounds.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.experiments import (
+    run_dring_shape_sweep,
+    run_failure_study,
+    run_k_sweep,
+)
+from repro.topology import dring
+from repro.traffic import CanonicalCluster
+
+
+@pytest.fixture(scope="module")
+def network():
+    return dring(8, 2, servers_per_rack=6)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return CanonicalCluster(16, 6)
+
+
+@pytest.fixture(scope="module")
+def k_sweep(network, cluster):
+    points = run_k_sweep(network, cluster, ks=(1, 2, 3), num_flows=600, seed=0)
+    lines = [f"{'K':>3}{'pattern':>10}{'median ms':>12}{'p99 ms':>10}{'paths':>8}"]
+    for p in points:
+        lines.append(
+            f"{p.k:>3}{p.pattern:>10}{p.median_ms:>12.4f}{p.p99_ms:>10.4f}"
+            f"{p.mean_paths:>8.1f}"
+        )
+    save_artifact("ablation_k_sweep.txt", "\n".join(lines))
+    return points
+
+
+def test_bench_k_sweep(benchmark, k_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_kp = {(p.k, p.pattern): p for p in k_sweep}
+    # K=2 improves the R2R tail over plain shortest paths (K=1)...
+    assert by_kp[(2, "r2r")].p99_ms <= by_kp[(1, "r2r")].p99_ms * 1.05
+    # ...while path diversity grows monotonically with K.
+    assert (
+        by_kp[(1, "uniform")].mean_paths
+        <= by_kp[(2, "uniform")].mean_paths
+        <= by_kp[(3, "uniform")].mean_paths
+    )
+
+
+def test_bench_dring_shape_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_dring_shape_sweep,
+        kwargs={"shapes": ((12, 2), (8, 3), (6, 4)), "num_flows": 400},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'m':>4}{'n':>4}{'racks':>7}{'degree':>8}{'diam':>6}{'p99 ms':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.m:>4}{p.n:>4}{p.racks:>7}{p.network_degree:>8}"
+            f"{p.diameter:>6}{p.p99_ms:>10.4f}"
+        )
+    save_artifact("ablation_dring_shape.txt", "\n".join(lines))
+    # Wider supernodes shrink the diameter at equal rack count.
+    assert points[-1].diameter <= points[0].diameter
+
+
+def test_bench_failure_study(benchmark, network):
+    report = benchmark.pedantic(
+        run_failure_study,
+        args=(network,),
+        kwargs={"num_failures": 1, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "ablation_failures.txt",
+        (
+            f"failed links: {report.failed_links}\n"
+            f"reconvergence rounds: {report.reconvergence_rounds}\n"
+            f"min SU(2) paths before: {report.min_su2_paths_before}\n"
+            f"min SU(2) paths after: {report.min_su2_paths_after}\n"
+            f"still connected: {report.still_connected}"
+        ),
+    )
+    assert report.still_connected
+    assert report.min_su2_paths_after >= 1
+    assert report.reconvergence_rounds <= 12
+
+
+def test_bench_scheme_zoo(benchmark):
+    """Section 2's routing landscape: the paper's deployable SU(2) vs the
+    impractical KSP (Jellyfish/MPTCP) and VLB baselines."""
+    from repro.experiments import run_scheme_zoo
+    from repro.traffic import CanonicalCluster
+
+    net = dring(8, 2, servers_per_rack=6)
+    cluster = CanonicalCluster(16, 6)
+    points = benchmark.pedantic(
+        run_scheme_zoo,
+        args=(net, cluster),
+        kwargs={"num_flows": 600, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'pattern':>9}{'scheme':>9}{'median ms':>11}{'p99 ms':>9}{'hops':>7}"]
+    for p in points:
+        lines.append(
+            f"{p.pattern:>9}{p.scheme:>9}{p.median_ms:>11.4f}"
+            f"{p.p99_ms:>9.4f}{p.mean_hops:>7.2f}"
+        )
+    save_artifact("scheme_zoo.txt", "\n".join(lines))
+    by = {(p.scheme, p.pattern): p for p in points}
+    assert by[("su(2)", "r2r")].p99_ms <= by[("ecmp", "r2r")].p99_ms / 2
+    assert by[("su(2)", "r2r")].p99_ms <= by[("vlb", "r2r")].p99_ms * 1.5
+
+
+def test_bench_heterogeneous(benchmark):
+    """Section 5.1's deferred heterogeneous case: at constant 3:1
+    oversubscription, faster uplinks keep the flat advantage — provided
+    servers are spread radix-proportionally (a reproduction finding:
+    even spreading turns the fat ex-spines into hubs)."""
+    from repro.experiments import run_heterogeneous_study
+
+    points = benchmark.pedantic(
+        run_heterogeneous_study, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    lines = [f"{'uplinks':>8}{'leafspine p99':>15}{'flat p99':>10}{'gain':>7}"]
+    for p in points:
+        lines.append(
+            f"{'x' + str(p.uplink_mult):>8}{p.leafspine_p99_ms:>15.3f}"
+            f"{p.flat_p99_ms:>10.3f}{p.flat_gain:>7.2f}"
+        )
+    save_artifact("heterogeneous.txt", "\n".join(lines))
+    assert all(p.flat_gain > 0.9 for p in points)

@@ -1,0 +1,435 @@
+"""Benches for the extension studies: microbursts (Section 3's
+motivation), coarse adaptive routing (Section 7), ideal-routing
+efficiency (the fluid-flow model of [13]), and the packet-level
+cross-validation of the flow-level simulator.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.experiments import (
+    SMALL,
+    render_microburst,
+    run_adaptive_study,
+    run_microburst,
+)
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import routing_efficiency, simulate_fct, simulate_fct_packet
+from repro.topology import dring, flatten, leaf_spine
+from repro.traffic import (
+    CanonicalCluster,
+    Placement,
+    fb_skewed,
+    generate_flows,
+    uniform,
+)
+
+
+def test_bench_microburst(benchmark):
+    result = benchmark.pedantic(
+        run_microburst, args=(SMALL,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    save_artifact("microburst.txt", render_microburst(result))
+    # Flat topologies mask the oversubscription the bursts hit.
+    assert result.ratio_vs_leafspine("DRing (su2)") > 1.3
+    assert result.ratio_vs_leafspine("RRG (su2)") > 1.3
+
+
+def test_bench_adaptive_routing(benchmark):
+    net = dring(8, 2, servers_per_rack=6)
+    cluster = CanonicalCluster(16, 6)
+    points = benchmark.pedantic(
+        run_adaptive_study,
+        args=(net, cluster),
+        kwargs={"num_flows": 600, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'pattern':>10}{'mode':>8}{'adaptive':>10}{'ecmp':>10}{'su2':>10}{'regret':>8}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.pattern:>10}{p.chosen_mode:>8}{p.adaptive_p99_ms:>10.4f}"
+            f"{p.ecmp_p99_ms:>10.4f}{p.su2_p99_ms:>10.4f}{p.regret:>8.3f}"
+        )
+    save_artifact("adaptive_routing.txt", "\n".join(lines))
+    # Adaptive must track the better static scheme on every pattern.
+    assert all(p.regret <= 1.1 for p in points)
+
+
+def test_bench_routing_efficiency(benchmark):
+    """How much of the ideal (LP) throughput each scheme realizes."""
+    net = dring(8, 2, servers_per_rack=6)
+    uniform_demand = {pair: 1.0 for pair in net.rack_pairs()}
+    adjacent_demand = {(0, 2): 1.0}
+
+    def compute():
+        rows = []
+        for label, demands in (
+            ("uniform", uniform_demand),
+            ("adjacent-r2r", adjacent_demand),
+        ):
+            for routing in (EcmpRouting(net), ShortestUnionRouting(net, 2)):
+                report = routing_efficiency(net, routing, demands)
+                rows.append((label, routing.name, report))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [f"{'demand':>14}{'routing':>9}{'ideal':>9}{'obliv':>9}{'eff':>7}"]
+    by_key = {}
+    for label, name, report in rows:
+        by_key[(label, name)] = report
+        lines.append(
+            f"{label:>14}{name:>9}{report.ideal_alpha:>9.2f}"
+            f"{report.oblivious_alpha:>9.2f}{report.efficiency:>7.2f}"
+        )
+    save_artifact("routing_efficiency.txt", "\n".join(lines))
+    # SU(2) closes most of the adjacent-rack gap ECMP leaves open.
+    assert (
+        by_key[("adjacent-r2r", "su(2)")].efficiency
+        > by_key[("adjacent-r2r", "ecmp")].efficiency
+    )
+    # And all oblivious schemes stay below the LP upper bound.
+    for _label, _name, report in rows:
+        assert report.oblivious_alpha <= report.ideal_alpha * (1 + 1e-6)
+
+
+def test_bench_packet_vs_fluid(benchmark):
+    """Cross-validation: the packet-level and flow-level simulators agree
+    on the paper's central comparison (flat beats leaf-spine on skew)."""
+    ls = leaf_spine(8, 4)
+    rrg = flatten(ls, seed=2, name="rrg")
+    cluster = CanonicalCluster(12, 8)
+    workloads = [
+        generate_flows(
+            fb_skewed(cluster, seed=1), 600, 0.0025, seed=s, size_cap=1e6
+        )
+        for s in (1, 2, 3)
+    ]
+
+    def compute():
+        totals = {"pk_ls": 0.0, "pk_rrg": 0.0, "fl_ls": 0.0, "fl_rrg": 0.0}
+        for flows in workloads:
+            totals["pk_ls"] += simulate_fct_packet(
+                ls, EcmpRouting(ls), Placement(cluster, ls), flows
+            ).mean_fct_ms()
+            totals["pk_rrg"] += simulate_fct_packet(
+                rrg, ShortestUnionRouting(rrg, 2), Placement(cluster, rrg), flows
+            ).mean_fct_ms()
+            totals["fl_ls"] += simulate_fct(
+                ls, EcmpRouting(ls), Placement(cluster, ls), flows
+            ).mean_fct_ms()
+            totals["fl_rrg"] += simulate_fct(
+                rrg, ShortestUnionRouting(rrg, 2), Placement(cluster, rrg), flows
+            ).mean_fct_ms()
+        return totals
+
+    totals = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_artifact(
+        "packet_vs_fluid.txt",
+        (
+            "mean FCT over 3 FB-skewed workloads (ms, summed):\n"
+            f"packet-level: leaf-spine {totals['pk_ls']:.4f}  "
+            f"rrg(su2) {totals['pk_rrg']:.4f}\n"
+            f"flow-level:   leaf-spine {totals['fl_ls']:.4f}  "
+            f"rrg(su2) {totals['fl_rrg']:.4f}"
+        ),
+    )
+    assert totals["pk_rrg"] < totals["pk_ls"]
+    assert totals["fl_rrg"] < totals["fl_ls"]
+
+
+def test_bench_other_topologies(benchmark):
+    """Section 7: Slim Fly / Dragonfly vs DRing / RRG under oblivious
+    routing — the low-diameter graphs should be competitive at small
+    scale, led by the diameter-2 Slim Fly."""
+    from repro.experiments import render_other_topologies, run_other_topologies
+
+    points = benchmark.pedantic(
+        run_other_topologies, kwargs={"seed": 1}, rounds=1, iterations=1
+    )
+    save_artifact("other_topologies.txt", render_other_topologies(points))
+    slimfly_uniform = min(
+        p.uniform_p99_ms for p in points if "slimfly" in p.topology
+    )
+    dring_uniform = min(
+        p.uniform_p99_ms for p in points if "dring" in p.topology
+    )
+    assert slimfly_uniform <= dring_uniform * 1.1
+
+
+def test_bench_expansion_churn(benchmark):
+    """Section 3.2 / Section 7 lifecycle: growing a DRing or RRG touches
+    a handful of cables; growing the paper's leaf-spine configuration
+    means re-cabling the spine layer."""
+    from repro.experiments import render_expansion, run_expansion_study
+
+    steps = benchmark.pedantic(
+        run_expansion_study, kwargs={"sizes": (6, 10, 14)}, rounds=1, iterations=1
+    )
+    save_artifact("expansion_churn.txt", render_expansion(steps))
+    by_family = {}
+    for step in steps:
+        by_family.setdefault(step.family, []).append(step)
+    worst_flat = max(
+        s.churn_fraction for s in by_family["dring"] + by_family["rrg"]
+    )
+    best_leafspine = min(s.churn_fraction for s in by_family["leaf-spine"])
+    assert worst_flat < best_leafspine / 3
+
+
+def test_bench_control_plane_state(benchmark):
+    """Deployment cost of the VRF design: sessions, RIB entries and
+    AS-path inflation as K grows (the other side of the K tradeoff)."""
+    from repro.bgp.stats import state_cost_sweep
+    from repro.topology import dring
+
+    net = dring(8, 2, servers_per_rack=6)
+    sweep = benchmark.pedantic(
+        state_cost_sweep, args=(net,), kwargs={"ks": (1, 2, 3)},
+        rounds=1, iterations=1,
+    )
+    lines = [
+        f"{'K':>3}{'VRFs':>7}{'sessions':>10}{'RIB max':>9}{'AS mean':>9}{'AS max':>8}"
+    ]
+    for s in sweep:
+        lines.append(
+            f"{s.k:>3}{s.vrf_instances:>7}{s.bgp_sessions_total:>10}"
+            f"{s.rib_entries_per_router_max:>9}{s.mean_as_path_length:>9.2f}"
+            f"{s.max_as_path_length:>8}"
+        )
+    save_artifact("control_plane_state.txt", "\n".join(lines))
+    sessions = [s.bgp_sessions_total for s in sweep]
+    assert sessions == sorted(sessions)
+
+
+def test_bench_dynamic_networks(benchmark):
+    """Section 7's dynamic-networks question: reconfigure into rotated
+    flat DRings or into transient expanders?  Flat wins skewed demand,
+    the expander wins uniform."""
+    from repro.experiments import (
+        render_dynamic,
+        run_dynamic_study,
+        skewed_demand,
+        uniform_demand,
+    )
+
+    def compute():
+        return {
+            "skewed": run_dynamic_study(skewed_demand(16, 3, seed=2)),
+            "uniform": run_dynamic_study(uniform_demand(16)),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_artifact("dynamic_networks.txt", render_dynamic(results))
+    assert (
+        results["skewed"].gain("dynamic dring (su2)", "dynamic rrg (ecmp)")
+        > 1.1
+    )
+    assert (
+        results["uniform"].gain("dynamic rrg (ecmp)", "dynamic dring (su2)")
+        > 1.0
+    )
+
+
+def test_bench_tier_study(benchmark):
+    """Sections 1-2 framing: the ideal-routing expander gain over a
+    3-tier fat-tree clearly exceeds the gain over a 2-tier leaf-spine —
+    the gap that motivates the paper's skew-focused approach."""
+    from repro.experiments import render_tiers, run_tier_study
+
+    study = benchmark.pedantic(run_tier_study, rounds=1, iterations=1)
+    save_artifact("tiers.txt", render_tiers(study))
+    assert study.max_fat_tree_gain() > 1.2
+    assert study.max_fat_tree_gain() > study.max_leaf_spine_gain()
+
+
+def test_bench_failure_sweep(benchmark):
+    """Section 7's failure question, quantified: tail FCT and minimum
+    SU(2) path diversity as links fail on a DRing."""
+    from repro.experiments import run_failure_sweep
+    from repro.traffic import CanonicalCluster
+
+    net = dring(8, 2, servers_per_rack=6)
+    cluster = CanonicalCluster(16, 6)
+    points = benchmark.pedantic(
+        run_failure_sweep,
+        args=(net, cluster),
+        kwargs={"failure_counts": (0, 1, 2, 4), "num_flows": 600, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'failed':>8}{'connected':>11}{'p99 ms':>9}{'min paths':>11}"]
+    for p in points:
+        lines.append(
+            f"{p.failed_links:>8}{str(p.still_connected):>11}"
+            f"{p.p99_ms:>9.4f}{p.min_su2_paths:>11}"
+        )
+    save_artifact("failure_sweep.txt", "\n".join(lines))
+    healthy = points[0]
+    worst = points[-1]
+    assert worst.still_connected
+    assert worst.p99_ms < 2.0 * healthy.p99_ms
+
+
+def test_bench_cabling(benchmark):
+    """Section 1's wiring argument: DRing cables stay short and bounded;
+    the expander's span the hall."""
+    from repro.core.cabling import compare_cabling, render_cabling
+    from repro.topology import jellyfish
+
+    ls = leaf_spine(12, 4)
+    nets = [
+        ls,
+        flatten(ls, seed=0, name="rrg"),
+        dring(12, 2, servers_per_rack=8),
+    ]
+    reports = benchmark.pedantic(
+        compare_cabling, args=(nets,), rounds=2, iterations=1
+    )
+    save_artifact("cabling.txt", render_cabling(reports))
+    by_name = {r.name: r for r in reports}
+    ring = by_name["dring(m=12,n=2)"]
+    rrg = by_name["rrg"]
+    assert ring.mean_length < rrg.mean_length
+    assert ring.max_length <= rrg.max_length
+
+
+def test_bench_control_plane_repair(benchmark):
+    """Section 7's convergence question across both standard control
+    planes: incremental repair cost after one link failure, OSPF (the
+    plain-ECMP fabric) vs eBGP over the VRF graph (Shortest-Union(2))."""
+    from repro.bgp import build_converged_fabric
+    from repro.igp import build_converged_igp
+
+    net = dring(8, 2, servers_per_rack=6)
+
+    def compute():
+        igp = build_converged_igp(net)
+        igp_cold = igp.report
+        igp_repair = igp.fail_link(0, 2)
+        bgp = build_converged_fabric(net.copy(), 2)
+        bgp_cold = bgp.report
+        bgp_repair = bgp.fail_link(0, 2)
+        return igp_cold, igp_repair, bgp_cold, bgp_repair
+
+    igp_cold, igp_repair, bgp_cold, bgp_repair = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    save_artifact(
+        "control_plane_repair.txt",
+        (
+            f"{'plane':<12}{'cold rounds':>12}{'cold msgs':>11}"
+            f"{'repair rounds':>15}{'repair msgs':>13}\n"
+            f"{'ospf/ecmp':<12}{igp_cold.rounds:>12}{igp_cold.lsas_flooded:>11}"
+            f"{igp_repair.rounds:>15}{igp_repair.lsas_flooded:>13}\n"
+            f"{'bgp/su2':<12}{bgp_cold.rounds:>12}{bgp_cold.updates_processed:>11}"
+            f"{bgp_repair.rounds:>15}{bgp_repair.updates_processed:>13}"
+        ),
+    )
+    assert igp_repair.lsas_flooded < igp_cold.lsas_flooded / 2
+    assert bgp_repair.updates_processed < bgp_cold.updates_processed / 2
+
+
+def test_bench_dctcp_incast(benchmark):
+    """DCTCP/ECN in the packet simulator: proportional back-off holds
+    queues at the marking threshold, collapsing incast drop counts."""
+    from repro.sim.packet import PacketSimulator
+    from repro.sim.packet.tcp import TcpParams
+    from repro.traffic import Flow
+
+    ls = leaf_spine(4, 2)
+    cluster = CanonicalCluster(6, 4)
+    placement = Placement(cluster, ls)
+    flows = [Flow(src, 23, 5e5, 0.0) for src in range(8)]
+
+    def compute():
+        reno = PacketSimulator(ls, EcmpRouting(ls), placement, seed=0)
+        reno_res = reno.run(list(flows))
+        dctcp = PacketSimulator(
+            ls,
+            EcmpRouting(ls),
+            placement,
+            seed=0,
+            tcp_params=TcpParams(dctcp=True),
+            ecn_threshold_bytes=30_000,
+        )
+        dctcp_res = dctcp.run(list(flows))
+        return reno, reno_res, dctcp, dctcp_res
+
+    reno, reno_res, dctcp, dctcp_res = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    save_artifact(
+        "dctcp_incast.txt",
+        (
+            f"{'tcp':<8}{'p99 ms':>9}{'drops':>8}{'ecn marks':>11}\n"
+            f"{'reno':<8}{reno_res.p99_fct_ms():>9.3f}"
+            f"{reno.total_drops():>8}{reno.total_ecn_marks():>11}\n"
+            f"{'dctcp':<8}{dctcp_res.p99_fct_ms():>9.3f}"
+            f"{dctcp.total_drops():>8}{dctcp.total_ecn_marks():>11}"
+        ),
+    )
+    assert dctcp.total_drops() < reno.total_drops() / 3
+
+
+def test_bench_permutation_boundary(benchmark):
+    """E24: the honest boundary — a single rack permutation favours the
+    symmetric Clos at this scale under oblivious routing."""
+    from repro.experiments import render_permutation, run_permutation_study
+
+    points = benchmark.pedantic(
+        run_permutation_study, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    save_artifact("permutation_boundary.txt", render_permutation(points))
+    by_name = {p.topology: p for p in points}
+    ls = by_name["leaf-spine(12,4)"]
+    assert all(
+        p.mean_fraction < ls.mean_fraction
+        for name, p in by_name.items()
+        if name != ls.topology
+    )
+
+
+def test_bench_robustness_scorecard(benchmark):
+    """E26: the paper's qualitative claims re-checked across five
+    workload seeds — a reproduction is only as good as its stability."""
+    from repro.experiments import render_robustness, run_robustness
+
+    results = benchmark.pedantic(
+        run_robustness, kwargs={"seeds": (0, 1, 2, 3, 4)}, rounds=1, iterations=1
+    )
+    save_artifact("robustness_scorecard.txt", render_robustness(results))
+    for result in results:
+        assert result.rate >= 0.8, f"unstable claim: {result.claim}"
+
+
+def test_bench_topology_search(benchmark):
+    """Section 7's open question, attacked with 2-opt hill climbing:
+    random RRGs improve by several percent; the DRing is already locally
+    optimal for uniform SU(2) throughput at this size."""
+    from repro.topology import hill_climb, jellyfish
+
+    ring = dring(8, 2, servers_per_rack=6)
+    rrg = jellyfish(16, 8, servers_per_switch=6, seed=1)
+
+    def compute():
+        return (
+            hill_climb(ring, steps=40, seed=1),
+            hill_climb(rrg, steps=40, seed=1),
+        )
+
+    ring_result, rrg_result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_artifact(
+        "topology_search.txt",
+        (
+            f"{'start':<12}{'initial':>9}{'final':>8}{'moves':>7}\n"
+            f"{'dring(8,2)':<12}{ring_result.initial_score:>9.3f}"
+            f"{ring_result.final_score:>8.3f}{ring_result.accepted_moves:>7}\n"
+            f"{'rrg(16,d8)':<12}{rrg_result.initial_score:>9.3f}"
+            f"{rrg_result.final_score:>8.3f}{rrg_result.accepted_moves:>7}"
+        ),
+    )
+    assert ring_result.accepted_moves == 0      # DRing: locally optimal
+    assert rrg_result.final_score > rrg_result.initial_score

@@ -1,0 +1,77 @@
+"""E3/E4/E8: Figure 5 — DRing vs leaf-spine throughput heatmaps (C-S).
+
+Paper shape to reproduce: DRing with ECMP beats leaf-spine for most of
+the C-S plane but is poor at the lower-left (small C and S, adjacent-rack
+bottleneck); Shortest-Union(2) fixes that corner and lifts the plane; for
+strongly skewed cells (|C| << |S|) the ratio approaches the 2x UDF
+prediction (Section 6.2).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_artifact
+from repro.experiments import SMALL, run_fig5
+from repro.routing import ShortestUnionRouting
+from repro.sim import cs_throughput
+from repro.topology import dring
+
+SMALL_VALUES = [12, 36, 60, 84]
+LARGE_VALUES = [30, 60, 90]
+
+
+@pytest.fixture(scope="module")
+def small_panels():
+    panels = run_fig5(SMALL, seed=0, values=SMALL_VALUES)
+    save_artifact("fig5_small_ecmp.txt", panels["ecmp"].render())
+    save_artifact("fig5_small_su2.txt", panels["su2"].render())
+    return panels
+
+
+@pytest.fixture(scope="module")
+def large_panels():
+    panels = run_fig5(SMALL, seed=1, values=LARGE_VALUES)
+    save_artifact("fig5_large_ecmp.txt", panels["ecmp"].render())
+    save_artifact("fig5_large_su2.txt", panels["su2"].render())
+    return panels
+
+
+def test_bench_fig5_cell(benchmark):
+    """Times one heatmap cell (one steady-state allocation)."""
+    net = dring(SMALL.dring_m, SMALL.dring_n, total_servers=SMALL.dring_servers)
+    routing = ShortestUnionRouting(net, 2)
+    benchmark.pedantic(
+        cs_throughput, args=(net, routing, 36, 84), kwargs={"seed": 0},
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_fig5_su2_lifts_lower_left(benchmark, small_panels):
+    """SU(2) improves the weak lower-left corner of the ECMP panel."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ecmp = small_panels["ecmp"].ratio
+    su2 = small_panels["su2"].ratio
+    assert su2[0, 0] >= ecmp[0, 0]
+
+
+def test_bench_fig5_skewed_cells_approach_udf(benchmark, small_panels):
+    """Skewed cells (few clients, many servers) approach the 2x gain."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert small_panels["su2"].skewed_corner_ratio() > 1.5
+
+
+def test_bench_fig5_dring_wins_most_of_plane(benchmark, small_panels):
+    """DRing with SU(2) beats leaf-spine over most of the C-S plane."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = small_panels["su2"].ratio
+    wins = (ratios > 1.0).mean()
+    assert wins >= 0.6
+    assert ratios.mean() > 1.0
+
+
+def test_bench_fig5_large_values_hold_up(benchmark, large_panels):
+    """The qualitative picture persists at larger C/S values."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    su2 = large_panels["su2"].ratio
+    assert su2.mean() > 1.0
+    assert np.all(su2 > 0)

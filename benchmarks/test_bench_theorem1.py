@@ -1,0 +1,66 @@
+"""E7: Theorem 1 and the routing-design guarantees (Section 4).
+
+Regenerates the paper's prototype validation: eBGP over the VRF graph
+yields metric max(L, K) between host VRFs, installs exactly the
+Shortest-Union(2) path set, and on a DRing provides at least n+1
+edge-disjoint paths between any two racks.  The benchmark times full
+control-plane convergence, the cost an operator would actually pay.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.bgp import min_disjoint_paths_su, verify_fabric
+from repro.topology import dring, flatten, leaf_spine
+
+
+@pytest.fixture(scope="module")
+def networks():
+    ls = leaf_spine(8, 4)
+    return {
+        "dring": dring(8, 3, servers_per_rack=4),
+        "rrg": flatten(ls, seed=1, name="rrg"),
+        "leaf-spine": ls,
+    }
+
+
+def test_bench_bgp_convergence_dring(benchmark, networks):
+    stats = benchmark.pedantic(
+        verify_fabric, args=(networks["dring"], 2), rounds=2, iterations=1
+    )
+    save_artifact(
+        "theorem1_dring.txt",
+        f"DRing(8,3) K=2: pairs={stats['pairs']} "
+        f"rounds={stats['rounds']} updates={stats['updates']}",
+    )
+    assert stats["pairs"] == 24 * 23
+
+
+def test_bench_bgp_convergence_rrg(benchmark, networks):
+    stats = benchmark.pedantic(
+        verify_fabric, args=(networks["rrg"], 2), rounds=2, iterations=1
+    )
+    assert stats["rounds"] >= 1
+
+
+def test_bench_bgp_convergence_leafspine(benchmark, networks):
+    stats = benchmark.pedantic(
+        verify_fabric, args=(networks["leaf-spine"], 2), rounds=2, iterations=1
+    )
+    assert stats["rounds"] >= 1
+
+
+def test_bench_disjoint_paths_claim(benchmark, networks):
+    # Section 4: SU(2) provides at least n+1 disjoint paths on a DRing.
+    net = networks["dring"]
+    pairs = list(net.rack_pairs())
+    minimum = benchmark.pedantic(
+        min_disjoint_paths_su, args=(net, 2), kwargs={"pairs": pairs},
+        rounds=1, iterations=1,
+    )
+    save_artifact(
+        "disjoint_paths.txt",
+        f"DRing(8,3): min edge-disjoint SU(2) paths over all pairs = "
+        f"{minimum} (paper claims >= n+1 = 4)",
+    )
+    assert minimum >= 3 + 1

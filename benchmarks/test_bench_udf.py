@@ -1,0 +1,26 @@
+"""E6: the Section 3.1 analysis table — UDF(leaf-spine(x, y)) = 2.
+
+Paper claim: the Uplink-to-Downlink Factor of any leaf-spine is exactly
+2, independent of x and y, so a flat rebuild can deliver up to twice the
+throughput when racks bottleneck.  The benchmark regenerates the table
+(closed-form and empirically constructed) and times the construction.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.experiments import figure1_numbers, render_udf_table, run_udf_table
+
+
+def test_bench_udf_table(benchmark):
+    rows = benchmark.pedantic(run_udf_table, rounds=3, iterations=1)
+    save_artifact("udf_table.txt", render_udf_table(rows))
+    for row in rows:
+        assert row.udf_closed_form == pytest.approx(2.0)
+        assert row.udf_empirical == pytest.approx(2.0, rel=0.1)
+
+
+def test_bench_figure1_numbers(benchmark):
+    numbers = benchmark.pedantic(figure1_numbers, rounds=3, iterations=1)
+    assert numbers["leafspine_ports_per_server"] == pytest.approx(0.5)
+    assert numbers["flat_ports_per_server"] == pytest.approx(1.0)

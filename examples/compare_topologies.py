@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Topology design explorer: leaf-spine vs DRing vs RRG vs Xpander.
+
+Compares equal-equipment builds on every structural axis the paper
+discusses — NSR/UDF (Section 3.1), path-length distribution, bisection
+bandwidth and spectral expansion (Section 6.3) — and shows the scale
+trend that makes DRing a small-scale design point: grow the ring and
+watch its expansion collapse while the RRG's holds.
+
+Run:  python examples/compare_topologies.py
+"""
+
+from repro.core import (
+    leaf_spine_udf,
+    path_length_histogram,
+    spectral_gap,
+    summarize,
+    summary_table,
+    udf,
+)
+from repro.topology import dring, flatten, jellyfish, leaf_spine, xpander
+
+
+def main() -> None:
+    x, y = 12, 4
+    ls = leaf_spine(x, y)
+    rrg = flatten(ls, seed=0, name="rrg(flat leaf-spine)")
+    dr = dring(12, 2, servers_per_rack=8)
+    xp = xpander(8, 3, servers_per_rack=8, seed=0)
+
+    print("Equal-equipment structural comparison:\n")
+    print(summary_table([summarize(net) for net in (ls, rrg, dr, xp)]))
+
+    print(
+        f"\nUDF(leaf-spine({x},{y})): closed form = {leaf_spine_udf(x, y):.3f}, "
+        f"measured on the rebuild = {udf(ls, rrg):.3f}"
+    )
+
+    print("\nRack-to-rack path length histograms:")
+    for net in (ls, dr, rrg):
+        histogram = path_length_histogram(net)
+        cells = ", ".join(f"{k} hops: {v}" for k, v in sorted(histogram.items()))
+        print(f"  {net.name:<24} {cells}")
+
+    print("\nScale trend (Section 6.3): spectral gap as the ring grows")
+    print(f"{'supernodes':>12}{'DRing gap':>12}{'RRG gap':>10}")
+    for m in (6, 10, 14, 18, 24):
+        ring = dring(m, 2, servers_per_rack=8)
+        expander = jellyfish(2 * m, 8, servers_per_switch=8, seed=1)
+        print(
+            f"{m:>12}{spectral_gap(ring):>12.3f}"
+            f"{spectral_gap(expander):>10.3f}"
+        )
+    print(
+        "\nThe DRing's gap (and with it, its worst-case throughput) decays "
+        "with ring length while the expander's stays flat — why the DRing "
+        "is a small-scale design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Figure-5-style C-S heatmaps: where does a DRing beat a leaf-spine?
+
+Sweeps client/server set sizes in the C-S model and prints the ratio
+throughput(DRing) / throughput(leaf-spine) for ECMP and for
+Shortest-Union(2) on the DRing.  Cells > 1 favour the DRing; the skewed
+edges of the plane should approach the 2x UDF prediction (Section 6.2),
+and SU(2) should repair ECMP's weak lower-left corner.
+
+Run:  python examples/cs_heatmap.py [--scale small|medium]
+"""
+
+import argparse
+
+from repro.experiments import MEDIUM, SMALL, run_fig5
+from repro.experiments.fig5_heatmap import default_sweep_values
+from repro.topology import dring
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("small", "medium"), default="small"
+    )
+    parser.add_argument(
+        "--points", type=int, default=5, help="sweep points per axis"
+    )
+    args = parser.parse_args()
+    scale = SMALL if args.scale == "small" else MEDIUM
+
+    dr = dring(scale.dring_m, scale.dring_n, total_servers=scale.dring_servers)
+    values = default_sweep_values(dr, points=args.points)
+    print(
+        f"C-S sweep on {dr.name} vs leaf-spine({scale.leaf_x},{scale.leaf_y}); "
+        f"values = {values}\n"
+    )
+
+    panels = run_fig5(scale, seed=0, values=values)
+    for key in ("ecmp", "su2"):
+        print(panels[key].render())
+        print()
+
+    su2 = panels["su2"]
+    print(
+        f"Skewed corner (C={values[0]}, S={values[-1]}): "
+        f"{su2.skewed_corner_ratio():.2f}x "
+        "(UDF predicts up to 2x for rack-bottlenecked traffic)"
+    )
+
+
+if __name__ == "__main__":
+    main()

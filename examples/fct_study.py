@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Figure-4-style FCT study over all seven traffic patterns.
+
+Runs the full grid — A2A, R2R, C-S skewed, Facebook-like skewed/uniform
+and their random-placement variants, against leaf-spine(ECMP) and the
+DRing/RRG with ECMP and Shortest-Union(2) — and prints the median and
+99th-percentile tables plus the headline ratios the paper quotes.
+
+Run:  python examples/fct_study.py [--seed N]
+"""
+
+import argparse
+
+from repro.experiments import SMALL, run_fig4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(
+        f"Running the Figure 4 grid at scale '{SMALL.name}' "
+        f"(leaf-spine({SMALL.leaf_x},{SMALL.leaf_y}), "
+        f"DRing({SMALL.dring_m},{SMALL.dring_n})) ...\n"
+    )
+    result = run_fig4(SMALL, seed=args.seed)
+
+    print(result.median_table())
+    print()
+    print(result.p99_table())
+
+    leaf = "leaf-spine (ecmp)"
+    print("\nHeadline tail-latency ratios (leaf-spine / flat, p99):")
+    for pattern in ("CS skewed", "FB skewed"):
+        for scheme in ("DRing (su2)", "RRG (su2)"):
+            ratio = result.ratio(pattern, leaf, scheme, metric="p99")
+            print(f"  {pattern:<12} vs {scheme:<12}: {ratio:5.2f}x")
+    r2r_fix = result.ratio("R2R", "DRing (ecmp)", "DRing (su2)", metric="p99")
+    print(f"  R2R on DRing, ECMP/SU(2): {r2r_fix:5.2f}x "
+          "(SU(2) repairing the single-shortest-path bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

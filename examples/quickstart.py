@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's three topologies and compare them.
+
+Builds a leaf-spine, an equal-equipment RRG and a DRing, prints their
+structural summaries (NSR, oversubscription, path lengths, bisection),
+then runs one skewed workload through the flow-level simulator to show
+the paper's headline effect: flat topologies mask rack oversubscription.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import summarize, summary_table
+from repro.experiments import SMALL
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import simulate_fct
+from repro.topology import dring, flatten, leaf_spine
+from repro.traffic import (
+    Placement,
+    fb_skewed,
+    generate_flows,
+    spine_utilization_load,
+    window_for_budget,
+)
+
+
+def main() -> None:
+    # --- topologies built from comparable equipment --------------------
+    ls = leaf_spine(SMALL.leaf_x, SMALL.leaf_y)
+    rrg = flatten(ls, seed=0, name="rrg")
+    dr = dring(SMALL.dring_m, SMALL.dring_n, total_servers=SMALL.dring_servers)
+
+    print("Structural comparison (Section 3):\n")
+    print(summary_table([summarize(net) for net in (ls, rrg, dr)]))
+
+    # --- one skewed workload, three schemes ----------------------------
+    cluster = SMALL.cluster
+    tm = fb_skewed(cluster, seed=0)
+    load = spine_utilization_load(ls, tm)
+    window, num_flows = window_for_budget(
+        load.offered_gbps, SMALL.max_flows, SMALL.window_seconds,
+        size_cap=SMALL.size_cap_bytes,
+    )
+    flows = generate_flows(
+        tm, num_flows, window, seed=0, size_cap=SMALL.size_cap_bytes
+    )
+    print(
+        f"\nFB-skewed workload: {num_flows} flows, "
+        f"{load.offered_gbps:.0f} Gbps offered (30% spine utilization)\n"
+    )
+
+    schemes = [
+        ("leaf-spine + ECMP", ls, EcmpRouting(ls)),
+        ("RRG + SU(2)", rrg, ShortestUnionRouting(rrg, 2)),
+        ("DRing + SU(2)", dr, ShortestUnionRouting(dr, 2)),
+    ]
+    print(f"{'scheme':<22}{'median FCT (ms)':>18}{'p99 FCT (ms)':>16}")
+    for label, net, routing in schemes:
+        results = simulate_fct(net, routing, Placement(cluster, net), flows)
+        print(
+            f"{label:<22}{results.median_fct_ms():>18.3f}"
+            f"{results.p99_fct_ms():>16.3f}"
+        )
+
+    print(
+        "\nFlat topologies (RRG, DRing) should show clearly lower tail "
+        "FCTs: skewed traffic bottlenecks a minority of leaf-spine rack "
+        "uplinks, while a flat network's extra network links absorb it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Search for better flat topologies (Section 7's open question).
+
+Runs degree-preserving 2-opt hill climbing on the uniform SU(2)
+throughput objective, starting from a random RRG and from a DRing built
+with the same per-switch equipment, then compares the optimized graphs
+on throughput, wiring and structure.
+
+Run:  python examples/topology_search.py [--steps N]
+"""
+
+import argparse
+
+from repro.core import spectral_gap
+from repro.core.cabling import cabling_report
+from repro.topology import (
+    dring,
+    hill_climb,
+    jellyfish,
+    throughput_objective,
+    wiring_objective,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    ring = dring(8, 2, servers_per_rack=6)
+    rrg = jellyfish(16, 8, servers_per_switch=6, seed=args.seed)
+
+    print(f"{'start':<14}{'objective':>11}{'initial':>9}{'final':>8}"
+          f"{'moves':>7}{'cable mean':>12}{'gap':>7}")
+    for name, net in (("dring(8,2)", ring), ("rrg(16,d8)", rrg)):
+        for label, objective in (
+            ("throughput", throughput_objective),
+            ("wiring-aware", wiring_objective),
+        ):
+            result = hill_climb(
+                net, objective=objective, steps=args.steps, seed=args.seed
+            )
+            report = cabling_report(result.network)
+            print(
+                f"{name:<14}{label:>11}{result.initial_score:>9.3f}"
+                f"{result.final_score:>8.3f}{result.accepted_moves:>7}"
+                f"{report.mean_length:>12.2f}"
+                f"{spectral_gap(result.network):>7.3f}"
+            )
+
+    print(
+        "\nThe DRing typically admits no improving swap (locally optimal"
+        " at this size), while random graphs gain several percent —"
+        " evidence that ring-structured flat designs are real design"
+        " points, not just easy-to-draw ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""BGP/VRF control-plane substrate: the standard-protocol realization of
+Shortest-Union(K) routing (Section 4 of the paper)."""
+
+from repro.bgp.vrf import VrfGraph, VrfNode
+from repro.bgp.router import Advertisement, RibEntry, RouterVrf
+from repro.bgp.protocol import (
+    BgpFabric,
+    ConvergenceReport,
+    build_converged_fabric,
+    reconvergence_after_failure,
+)
+from repro.bgp.config import ConfigGenerator, rack_prefix, router_as
+from repro.bgp.verify import (
+    TheoremViolation,
+    check_bgp_matches_theorem1,
+    check_path_set_equivalence,
+    check_theorem1,
+    min_disjoint_paths_su,
+    verify_fabric,
+)
+
+__all__ = [
+    "VrfGraph",
+    "VrfNode",
+    "Advertisement",
+    "RibEntry",
+    "RouterVrf",
+    "BgpFabric",
+    "ConvergenceReport",
+    "build_converged_fabric",
+    "reconvergence_after_failure",
+    "ConfigGenerator",
+    "rack_prefix",
+    "router_as",
+    "TheoremViolation",
+    "check_bgp_matches_theorem1",
+    "check_path_set_equivalence",
+    "check_theorem1",
+    "min_disjoint_paths_su",
+    "verify_fabric",
+]

@@ -1,0 +1,175 @@
+"""Per-router BGP state: adj-RIB-in, best-path selection, withdrawals.
+
+This module models what a single data-center switch does in the paper's
+prototype: each physical router is one eBGP autonomous system whose VRFs
+all share the router's AS number, routes are compared by AS-path length,
+paths containing the local AS are rejected (standard eBGP loop
+prevention), and multipath keeps every best-metric route ("bgp
+maximum-paths" with relaxed AS-path comparison, the knob the paper asks
+vendors to allow).
+
+Unlike a pure Bellman-Ford sketch, each VRF keeps a full **adj-RIB-in**
+(the latest route heard from every neighbor per prefix), so UPDATEs
+*replace* earlier ones from the same neighbor and **withdrawals** fall
+back to the next-best stored route — the machinery real failure
+reconvergence runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.vrf import VrfNode
+
+#: An AS path: most recently traversed AS first, origin last.
+AsPath = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A BGP UPDATE for one destination prefix as received by a neighbor.
+
+    ``as_path`` already includes the sender's prepending: a virtual
+    connection of cost ``c`` makes the sender prepend its AS ``c`` times.
+    """
+
+    dst_switch: int
+    as_path: AsPath
+    sender: VrfNode
+
+    @property
+    def metric(self) -> int:
+        return len(self.as_path)
+
+
+@dataclass
+class RibEntry:
+    """The loc-RIB winner set for one destination at one VRF node.
+
+    ``next_hops`` are the VRF-graph successors whose stored route
+    achieves the best metric, each with its AS path, sorted
+    deterministically (shortest lexicographic AS path first — the
+    representative a real speaker would re-advertise).
+    """
+
+    metric: int
+    next_hops: List[Tuple[VrfNode, AsPath]] = field(default_factory=list)
+
+    def hop_nodes(self) -> List[VrfNode]:
+        return [node for node, _path in self.next_hops]
+
+
+class RouterVrf:
+    """One VRF of one router: adj-RIB-in plus the decision process."""
+
+    def __init__(self, node: VrfNode, local_as: int) -> None:
+        self.node = node
+        self.local_as = local_as
+        #: Switch prefix originated by this VRF (host VRFs only).
+        self.origin_switch: Optional[int] = None
+        #: dst prefix -> sender VRF node -> latest loop-free AS path.
+        self.adj_rib_in: Dict[int, Dict[VrfNode, AsPath]] = {}
+        #: Cached best-route set per prefix, derived from adj_rib_in.
+        self._loc_rib: Dict[int, RibEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Decision process
+    # ------------------------------------------------------------------
+
+    def accepts(self, advertisement: Advertisement) -> bool:
+        """eBGP loop prevention: reject paths containing the local AS."""
+        return self.local_as not in advertisement.as_path
+
+    def consider(self, advertisement: Advertisement) -> bool:
+        """Process one UPDATE; returns True when the best set changed.
+
+        An UPDATE from a neighbor *replaces* that neighbor's previous
+        route for the prefix (implicit withdrawal); a looped path counts
+        as a withdrawal of whatever the neighbor had advertised before.
+        """
+        dst = advertisement.dst_switch
+        if not self.accepts(advertisement):
+            return self._remove(dst, advertisement.sender)
+        routes = self.adj_rib_in.setdefault(dst, {})
+        if routes.get(advertisement.sender) == advertisement.as_path:
+            return False
+        routes[advertisement.sender] = advertisement.as_path
+        return self._reselect(dst)
+
+    def withdraw(self, dst_switch: int, sender: VrfNode) -> bool:
+        """Process a WITHDRAW; returns True when the best set changed."""
+        return self._remove(dst_switch, sender)
+
+    def _remove(self, dst: int, sender: VrfNode) -> bool:
+        routes = self.adj_rib_in.get(dst)
+        if not routes or sender not in routes:
+            return False
+        del routes[sender]
+        if not routes:
+            del self.adj_rib_in[dst]
+        return self._reselect(dst)
+
+    def _reselect(self, dst: int) -> bool:
+        """Recompute the loc-RIB winners for one prefix."""
+        routes = self.adj_rib_in.get(dst, {})
+        previous = self._loc_rib.get(dst)
+        if not routes:
+            if previous is None:
+                return False
+            del self._loc_rib[dst]
+            return True
+        best_metric = min(len(path) for path in routes.values())
+        winners = sorted(
+            (
+                (sender, path)
+                for sender, path in routes.items()
+                if len(path) == best_metric
+            ),
+            key=lambda item: (item[1], item[0]),
+        )
+        entry = RibEntry(best_metric, winners)
+        if (
+            previous is not None
+            and previous.metric == entry.metric
+            and previous.next_hops == entry.next_hops
+        ):
+            return False
+        self._loc_rib[dst] = entry
+        return True
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+
+    def best(self, dst_switch: int) -> Optional[RibEntry]:
+        return self._loc_rib.get(dst_switch)
+
+    def prefixes(self) -> List[int]:
+        """All prefixes with a selected route (plus any origination)."""
+        known = set(self._loc_rib)
+        if self.origin_switch is not None:
+            known.add(self.origin_switch)
+        return sorted(known)
+
+    def advertise(self, dst_switch: int, prepend: int) -> Optional[AsPath]:
+        """The AS path this VRF would send for ``dst_switch``.
+
+        The router prepends its own AS ``prepend`` times (at least once),
+        realizing the virtual-connection cost.  Returns None when there
+        is no route — the caller should translate that into a WITHDRAW.
+        """
+        if prepend < 1:
+            raise ValueError("BGP always prepends the local AS at least once")
+        if self.origin_switch is not None and dst_switch == self.origin_switch:
+            return (self.local_as,) * prepend
+        entry = self._loc_rib.get(dst_switch)
+        if entry is None:
+            return None
+        _node, as_path = entry.next_hops[0]
+        return (self.local_as,) * prepend + as_path
+
+    @property
+    def rib(self) -> Dict[int, RibEntry]:
+        """The loc-RIB view (selected routes only)."""
+        return self._loc_rib

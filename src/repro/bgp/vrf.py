@@ -1,0 +1,149 @@
+"""The VRF graph realizing Shortest-Union(K) with standard BGP (Section 4).
+
+Each physical router is partitioned into K VRFs (levels 1..K); hosts
+attach at level K.  For every *directed* physical link u→v the VRF graph
+contains:
+
+1. **entry** edges ``(K, u) → (i, v)`` with cost ``i``, for i = 1..K;
+2. **climb** edges ``(i, u) → (i+1, v)`` with cost 1, for i = 1..K-1;
+3. **cruise** edges ``(1, u) → (1, v)`` with cost 1.
+
+(The rule list printed in the paper has the climb direction garbled; this
+is the orientation under which the paper's Theorem 1 and its proof hold —
+see DESIGN.md §3.)
+
+Costs are realized with BGP AS-path prepending, so plain eBGP shortest-
+AS-path routing over the VRF graph yields, between host VRFs, a distance
+of ``max(L, K)`` (Theorem 1) and a min-cost path set that projects to
+exactly the Shortest-Union(K) physical paths: all physical paths of
+length ≤ K when the racks are closer than K, and exactly the shortest
+paths otherwise.
+
+Every physical path admits exactly one minimum-cost VRF representation
+(enter at level ``K - P + 1`` for a P-hop path with P ≤ K, or enter at
+level 1, cruise, then climb the final K-1 hops for P ≥ K), so per-hop
+ECMP over the VRF graph induces a well-defined split over physical paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.network import Network
+
+#: A node of the VRF graph: (level, switch), levels 1..K.
+VrfNode = Tuple[int, int]
+
+
+class VrfGraph:
+    """The K-level VRF overlay of a physical network."""
+
+    def __init__(self, network: Network, k: int) -> None:
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        self.network = network
+        self.k = k
+        self.digraph = nx.DiGraph()
+        self._build()
+        # Cache: destination switch -> {vrf node -> distance to host node}.
+        self._dist_cache: Dict[int, Dict[VrfNode, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        k = self.k
+        for switch in self.network.graph.nodes:
+            for level in range(1, k + 1):
+                self.digraph.add_node((level, switch))
+        for u, v, mult in self.network.undirected_links():
+            for a, b in ((u, v), (v, u)):
+                self._add_link_rules(a, b, float(mult))
+
+    def _add_link_rules(self, u: int, v: int, mult: float) -> None:
+        k = self.k
+        # Rule 1: entry edges from the host level.
+        for level in range(1, k + 1):
+            self._add_edge((k, u), (level, v), cost=level, mult=mult)
+        # Rule 2: climb edges.
+        for level in range(1, k):
+            self._add_edge((level, u), (level + 1, v), cost=1, mult=mult)
+        # Rule 3: cruise at the bottom level.
+        if k >= 2:
+            self._add_edge((1, u), (1, v), cost=1, mult=mult)
+
+    def _add_edge(self, a: VrfNode, b: VrfNode, cost: int, mult: float) -> None:
+        # Entry with i=K and (for k == 1) the degenerate climb/cruise rules
+        # can propose the same edge twice; keep the cheaper cost.
+        existing = self.digraph.get_edge_data(a, b)
+        if existing is None or cost < existing["cost"]:
+            self.digraph.add_edge(a, b, cost=cost, mult=mult)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def host_node(self, switch: int) -> VrfNode:
+        """The VRF node hosts attach to (level K)."""
+        return (self.k, switch)
+
+    def num_vrf_nodes(self) -> int:
+        return self.digraph.number_of_nodes()
+
+    def edges(self) -> Iterator[Tuple[VrfNode, VrfNode, int]]:
+        """Yield ``(from, to, cost)`` over all virtual connections."""
+        for a, b, data in self.digraph.edges(data=True):
+            yield a, b, data["cost"]
+
+    # ------------------------------------------------------------------
+    # Shortest-path machinery
+    # ------------------------------------------------------------------
+
+    def distances_to(self, dst_switch: int) -> Dict[VrfNode, float]:
+        """Min cost from every VRF node to the host node of ``dst_switch``.
+
+        Computed by one Dijkstra on the reversed VRF graph and cached.
+        """
+        if dst_switch not in self._dist_cache:
+            target = self.host_node(dst_switch)
+            reversed_view = self.digraph.reverse(copy=False)
+            self._dist_cache[dst_switch] = nx.single_source_dijkstra_path_length(
+                reversed_view, target, weight="cost"
+            )
+        return self._dist_cache[dst_switch]
+
+    def distance(self, src_switch: int, dst_switch: int) -> float:
+        """Theorem 1 quantity: VRF-graph distance between host VRFs."""
+        dist = self.distances_to(dst_switch)
+        node = self.host_node(src_switch)
+        if node not in dist:
+            raise ValueError(f"{src_switch} cannot reach {dst_switch}")
+        return dist[node]
+
+    def next_hops(
+        self, node: VrfNode, dst_switch: int
+    ) -> List[Tuple[VrfNode, float]]:
+        """Min-cost next hops (the ECMP set) at a VRF node toward a host.
+
+        A successor qualifies when edge cost plus its remaining distance
+        equals this node's remaining distance.
+        """
+        dist = self.distances_to(dst_switch)
+        here = dist.get(node)
+        if here is None:
+            raise ValueError(f"{node} cannot reach switch {dst_switch}")
+        hops: List[Tuple[VrfNode, float]] = []
+        for succ in self.digraph.successors(node):
+            data = self.digraph[node][succ]
+            remaining = dist.get(succ)
+            if remaining is not None and data["cost"] + remaining == here:
+                hops.append((succ, data["mult"]))
+        return hops
+
+    @staticmethod
+    def project(vrf_path: Sequence[VrfNode]) -> Tuple[int, ...]:
+        """Project a VRF-graph path onto the physical switch sequence."""
+        return tuple(switch for _level, switch in vrf_path)

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing any Python:
+
+* ``summarize``        — structural comparison of the topology suite
+* ``udf``              — the Section 3.1 UDF table
+* ``fig4``             — Figure 4 FCT tables
+* ``fig5``             — Figure 5 C-S heatmaps
+* ``fig6``             — Figure 6 scale sweep
+* ``microburst``       — the Section 3 microburst study
+* ``other-topologies`` — the Section 7 Slim Fly / Dragonfly comparison
+* ``verify``           — exhaustive Theorem 1 / path-set verification
+* ``configs``          — emit per-router Cisco or FRR configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import MEDIUM, PAPER, SMALL, Scale
+
+_SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
+
+
+def _scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="experiment size (default: small)",
+    )
+
+
+TOPOLOGY_CHOICES = (
+    "dring",
+    "rrg",
+    "leaf-spine",
+    "xpander",
+    "slimfly",
+    "dragonfly",
+    "fat-tree",
+)
+
+
+def _build_topology(kind: str, scale: Scale):
+    from repro.topology import (
+        dragonfly,
+        dring,
+        fat_tree,
+        flatten,
+        leaf_spine,
+        slimfly,
+        xpander,
+    )
+
+    if kind == "leaf-spine":
+        return leaf_spine(scale.leaf_x, scale.leaf_y)
+    if kind == "dring":
+        return dring(
+            scale.dring_m, scale.dring_n, total_servers=scale.dring_servers
+        )
+    if kind == "rrg":
+        return flatten(leaf_spine(scale.leaf_x, scale.leaf_y), seed=0, name="rrg")
+    # The Section 7 families come in fixed admissible sizes; pick small
+    # instances in the same band as the SMALL scale.
+    if kind == "xpander":
+        return xpander(7, 4, servers_per_rack=scale.leaf_x // 2, seed=0)
+    if kind == "slimfly":
+        return slimfly(5, servers_per_rack=scale.leaf_x // 2)
+    if kind == "dragonfly":
+        return dragonfly(4, 2, servers_per_rack=scale.leaf_x // 2)
+    if kind == "fat-tree":
+        return fat_tree(8)
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.core import summarize, summary_table
+
+    scale = _SCALES[args.scale]
+    networks = [
+        _build_topology(kind, scale) for kind in ("leaf-spine", "rrg", "dring")
+    ]
+    print(summary_table([summarize(net) for net in networks]))
+    return 0
+
+
+def cmd_udf(args: argparse.Namespace) -> int:
+    from repro.experiments import render_udf_table, run_udf_table
+
+    print(render_udf_table(run_udf_table()))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig4
+
+    result = run_fig4(_SCALES[args.scale], seed=args.seed)
+    print(result.median_table())
+    print()
+    print(result.p99_table())
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig5
+
+    panels = run_fig5(_SCALES[args.scale], seed=args.seed)
+    for key in ("ecmp", "su2"):
+        print(panels[key].render())
+        print()
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments import Fig6Config, render_fig6, run_fig6
+
+    print(render_fig6(run_fig6(Fig6Config(), seed=args.seed)))
+    return 0
+
+
+def cmd_microburst(args: argparse.Namespace) -> int:
+    from repro.experiments import render_microburst, run_microburst
+
+    print(render_microburst(run_microburst(_SCALES[args.scale], seed=args.seed)))
+    return 0
+
+
+def cmd_other_topologies(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        render_other_topologies,
+        run_other_topologies,
+    )
+
+    print(render_other_topologies(run_other_topologies(seed=args.seed)))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bgp import verify_fabric
+
+    network = _build_topology(args.topology, _SCALES[args.scale])
+    stats = verify_fabric(network, args.k)
+    print(
+        f"{network.name}: Theorem 1 and Shortest-Union({args.k}) verified "
+        f"over {stats['pairs']} rack pairs "
+        f"({stats['rounds']} BGP rounds, {stats['updates']} updates)"
+    )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import to_dot, to_json
+
+    network = _build_topology(args.topology, _SCALES[args.scale])
+    text = to_dot(network) if args.format == "dot" else to_json(network)
+    if args.out == "-":
+        print(text)
+    else:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {network.name} as {args.format} to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    timings = generate_report(
+        pathlib.Path(args.out),
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        only=args.only,
+    )
+    total = sum(seconds for _name, seconds in timings)
+    for name, seconds in timings:
+        print(f"  {name:<24} {seconds:6.1f}s")
+    print(f"wrote {len(timings)} artifacts to {args.out} in {total:.1f}s")
+    return 0
+
+
+def cmd_configs(args: argparse.Namespace) -> int:
+    from repro.bgp import ConfigGenerator
+    from repro.bgp.frr import FrrConfigGenerator
+
+    network = _build_topology(args.topology, _SCALES[args.scale])
+    generator_cls = (
+        FrrConfigGenerator if args.format == "frr" else ConfigGenerator
+    )
+    generator = generator_cls(network, args.k)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = "conf" if args.format == "frr" else "cfg"
+    for switch, text in generator.render_all().items():
+        (out_dir / f"router-{switch}.{suffix}").write_text(text + "\n")
+    print(
+        f"wrote {network.num_switches} {args.format} configurations "
+        f"for {network.name} to {out_dir}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spineless Data Centers reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="structural topology comparison")
+    _scale_argument(p)
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser("udf", help="Section 3.1 UDF table")
+    p.set_defaults(func=cmd_udf)
+
+    for name, func, doc in (
+        ("fig4", cmd_fig4, "Figure 4 FCT tables"),
+        ("fig5", cmd_fig5, "Figure 5 C-S heatmaps"),
+        ("microburst", cmd_microburst, "Section 3 microburst study"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _scale_argument(p)
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("fig6", help="Figure 6 scale sweep")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser(
+        "other-topologies", help="Section 7 Slim Fly / Dragonfly comparison"
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_other_topologies)
+
+    p = sub.add_parser("verify", help="verify Theorem 1 and the path sets")
+    _scale_argument(p)
+    p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
+    p.add_argument("--k", type=int, default=2)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("export", help="export a topology as JSON or dot")
+    _scale_argument(p)
+    p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
+    p.add_argument("--format", choices=("json", "dot"), default="json")
+    p.add_argument("--out", default="-", help="output file, or - for stdout")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "report", help="regenerate every paper artifact into a directory"
+    )
+    _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="report")
+    p.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        help="subset of artifact names (see repro.experiments.report)",
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("configs", help="emit router configurations")
+    _scale_argument(p)
+    p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--format", choices=("cisco", "frr"), default="cisco")
+    p.add_argument("--out", default="router-configs")
+    p.set_defaults(func=cmd_configs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Core network model and topology metrics."""
+
+from repro.core.network import (
+    Network,
+    NetworkValidationError,
+    build_network,
+    distribute_evenly,
+)
+from repro.core.cabling import (
+    CablingReport,
+    cabling_report,
+    compare_cabling,
+    render_cabling,
+)
+from repro.core.export import from_json, to_dot, to_json
+from repro.core.metrics import (
+    NsrSummary,
+    capacity_nsr,
+    TopologySummary,
+    bisection_bandwidth,
+    diameter,
+    flat_leaf_spine_nsr,
+    leaf_spine_nsr,
+    leaf_spine_udf,
+    mean_rack_distance,
+    nsr,
+    oversubscription,
+    path_length_histogram,
+    spectral_gap,
+    summarize,
+    summary_table,
+    udf,
+)
+
+__all__ = [
+    "Network",
+    "NetworkValidationError",
+    "build_network",
+    "distribute_evenly",
+    "CablingReport",
+    "cabling_report",
+    "compare_cabling",
+    "render_cabling",
+    "from_json",
+    "to_dot",
+    "to_json",
+    "NsrSummary",
+    "capacity_nsr",
+    "TopologySummary",
+    "bisection_bandwidth",
+    "diameter",
+    "flat_leaf_spine_nsr",
+    "leaf_spine_nsr",
+    "leaf_spine_udf",
+    "mean_rack_distance",
+    "nsr",
+    "oversubscription",
+    "path_length_histogram",
+    "spectral_gap",
+    "summarize",
+    "summary_table",
+    "udf",
+]

@@ -1,0 +1,119 @@
+"""Cabling complexity: the practical axis the paper keeps pointing at.
+
+Section 1 notes that "wiring and management complexity ... has been a
+road block for adoption of large-scale expander DCs" [31], and Section 3.2
+offers the DRing's locality as a potentially friendlier design point.
+This module quantifies the intuition with the standard proxy: racks sit
+in a physical row (or ring of rows), and a switch-to-switch cable's cost
+is the distance between the rack positions it connects.
+
+* A DRing's links only span adjacent supernodes, so every cable is short
+  and the distribution is independent of fabric size;
+* a Jellyfish/RRG's random links span the whole hall, so mean cable
+  length grows linearly with the row;
+* a leaf-spine concentrates everything on the spine racks — few distinct
+  runs, but every one terminates in the same place.
+
+Positions default to rack id order, which matches the DRing's
+supernode-major numbering (physically: supernodes laid out around the
+hall).  Pass explicit positions for other floor plans.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.network import Network
+
+
+@dataclass(frozen=True)
+class CablingReport:
+    """Cable-length statistics for one network, in rack-pitch units."""
+
+    name: str
+    num_cables: int
+    total_length: float
+    mean_length: float
+    max_length: float
+    #: Fraction of cables spanning at most 2 rack pitches.
+    short_fraction: float
+
+    def per_cable_summary(self) -> str:
+        return (
+            f"{self.name}: {self.num_cables} cables, mean "
+            f"{self.mean_length:.1f}, max {self.max_length:.0f}, "
+            f"{self.short_fraction:.0%} short"
+        )
+
+
+def _ring_distance(a: float, b: float, circumference: Optional[float]) -> float:
+    direct = abs(a - b)
+    if circumference is None:
+        return direct
+    return min(direct, circumference - direct)
+
+
+def cabling_report(
+    network: Network,
+    positions: Optional[Dict[int, float]] = None,
+    ring_layout: bool = True,
+    short_threshold: float = 2.0,
+) -> CablingReport:
+    """Cable-length statistics under a linear or ring floor plan.
+
+    ``positions`` maps each switch to a coordinate (rack-pitch units);
+    by default switch ``i`` sits at position ``i``.  ``ring_layout``
+    wraps the row into a loop (the natural fit for a DRing hall);
+    disable it for a straight row.
+    """
+    if positions is None:
+        ordered = network.switches
+        positions = {switch: float(idx) for idx, switch in enumerate(ordered)}
+    missing = [s for s in network.graph.nodes if s not in positions]
+    if missing:
+        raise ValueError(f"switches without positions: {missing[:5]}")
+    circumference = float(len(positions)) if ring_layout else None
+
+    lengths: List[float] = []
+    for u, v, mult in network.undirected_links():
+        length = _ring_distance(positions[u], positions[v], circumference)
+        lengths.extend([length] * mult)
+    if not lengths:
+        raise ValueError("network has no switch-to-switch links")
+    short = sum(1 for length in lengths if length <= short_threshold)
+    return CablingReport(
+        name=network.name,
+        num_cables=len(lengths),
+        total_length=float(sum(lengths)),
+        mean_length=statistics.fmean(lengths),
+        max_length=max(lengths),
+        short_fraction=short / len(lengths),
+    )
+
+
+def compare_cabling(
+    networks: List[Network], ring_layout: bool = True
+) -> List[CablingReport]:
+    """Reports for several networks under the same default floor plan."""
+    return [cabling_report(net, ring_layout=ring_layout) for net in networks]
+
+
+def render_cabling(reports: List[CablingReport]) -> str:
+    header = (
+        f"{'topology':<24}{'cables':>8}{'total':>9}{'mean':>8}"
+        f"{'max':>7}{'short%':>8}"
+    )
+    lines = [
+        "Cabling complexity (rack-pitch units, ring floor plan)",
+        header,
+        "-" * len(header),
+    ]
+    for r in reports:
+        lines.append(
+            f"{r.name:<24}{r.num_cables:>8}{r.total_length:>9.0f}"
+            f"{r.mean_length:>8.2f}{r.max_length:>7.0f}"
+            f"{r.short_fraction:>8.0%}"
+        )
+    return "\n".join(lines)

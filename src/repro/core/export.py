@@ -1,0 +1,77 @@
+"""Import/export of networks: JSON round-trips and Graphviz dot.
+
+Operators and other tools need topologies as data: JSON for archival and
+interchange (the round-trip is exact, including parallel-link
+multiplicities and server placement) and dot for quick visual sanity
+checks of small fabrics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import networkx as nx
+
+from repro.core.network import Network
+
+
+def to_json(network: Network) -> str:
+    """Serialize a network to a stable, human-diffable JSON document."""
+    payload = {
+        "name": network.name,
+        "link_capacity": network.link_capacity,
+        "server_link_capacity": network.server_link_capacity,
+        "switches": network.switches,
+        "servers": {
+            str(switch): network.servers_at(switch)
+            for switch in network.racks
+        },
+        "links": [
+            {"a": u, "b": v, "mult": mult}
+            for u, v, mult in sorted(
+                (min(u, v), max(u, v), m)
+                for u, v, m in network.undirected_links()
+            )
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> Network:
+    """Rebuild a network from :func:`to_json` output."""
+    payload = json.loads(text)
+    graph = nx.Graph()
+    graph.add_nodes_from(payload["switches"])
+    for link in payload["links"]:
+        graph.add_edge(link["a"], link["b"], mult=int(link["mult"]))
+    servers = {int(k): int(v) for k, v in payload["servers"].items()}
+    return Network(
+        graph,
+        servers,
+        link_capacity=payload["link_capacity"],
+        server_link_capacity=payload["server_link_capacity"],
+        name=payload["name"],
+    )
+
+
+def to_dot(network: Network) -> str:
+    """Render the switch graph as Graphviz dot.
+
+    Racks are boxes labelled with their server counts; switches without
+    servers (spines, cores) are ellipses; parallel links carry a label.
+    """
+    lines = [f'graph "{network.name}" {{', "  node [fontsize=10];"]
+    for switch in network.switches:
+        servers = network.servers_at(switch)
+        if servers:
+            lines.append(
+                f'  s{switch} [shape=box, label="sw{switch}\\n{servers} srv"];'
+            )
+        else:
+            lines.append(f'  s{switch} [shape=ellipse, label="sw{switch}"];')
+    for u, v, mult in network.undirected_links():
+        attrs = f' [label="x{mult}"]' if mult > 1 else ""
+        lines.append(f"  s{u} -- s{v}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)

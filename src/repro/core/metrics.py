@@ -1,0 +1,273 @@
+"""Topology metrics from Section 3.1 and the analysis tools behind them.
+
+The headline quantity is the *Uplink-to-Downlink Factor* (UDF): the ratio
+of the flat rebuild's Network-Server Ratio (NSR) to the baseline's.  The
+paper proves UDF(leaf-spine(x, y)) = 2 for every x and y; we provide both
+the closed forms and empirical computations on constructed networks, plus
+the structural metrics used in the discussion (path lengths, bisection
+bandwidth, spectral expansion).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.network import Network
+
+
+@dataclass(frozen=True)
+class NsrSummary:
+    """Network-Server Ratio statistics across the racks of a network.
+
+    The paper assumes NSR is identical at every rack; real instances with
+    uneven server spreading have a small range, so we report min/mean/max.
+    """
+
+    minimum: float
+    mean: float
+    maximum: float
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.minimum == self.maximum
+
+
+def nsr(network: Network) -> NsrSummary:
+    """Network-Server Ratio: network ports / server ports, per rack.
+
+    Only racks (switches with servers) are considered, matching the
+    definition in Section 3.1.
+    """
+    ratios = [
+        network.network_degree(switch) / network.servers_at(switch)
+        for switch in network.racks
+    ]
+    if not ratios:
+        raise ValueError("network has no racks; NSR is undefined")
+    return NsrSummary(min(ratios), statistics.fmean(ratios), max(ratios))
+
+
+def capacity_nsr(network: Network) -> NsrSummary:
+    """NSR measured in capacity rather than ports.
+
+    With homogeneous line speeds this equals :func:`nsr`; with
+    heterogeneous uplinks (parallel-link multiplicities) it is the
+    quantity the oversubscription argument actually cares about:
+    aggregate network Gbps per aggregate server Gbps at each rack.
+    """
+    ratios = []
+    for switch in network.racks:
+        up = network.network_degree(switch) * network.link_capacity
+        down = network.servers_at(switch) * network.server_link_capacity
+        ratios.append(up / down)
+    if not ratios:
+        raise ValueError("network has no racks; NSR is undefined")
+    return NsrSummary(min(ratios), statistics.fmean(ratios), max(ratios))
+
+
+def udf(baseline: Network, flat: Network) -> float:
+    """Empirical UDF: NSR(flat) / NSR(baseline), using mean NSRs.
+
+    ``flat`` should be built from the same equipment as ``baseline``
+    (see :func:`repro.core.flatten.flatten`).
+    """
+    return nsr(flat).mean / nsr(baseline).mean
+
+
+def leaf_spine_nsr(x: int, y: int) -> float:
+    """Closed-form NSR of leaf-spine(x, y): y / x (Section 3.1)."""
+    if x <= 0 or y <= 0:
+        raise ValueError("x and y must be positive")
+    return y / x
+
+
+def flat_leaf_spine_nsr(x: int, y: int) -> float:
+    """Closed-form NSR of the flat rebuild of leaf-spine(x, y): 2y / x.
+
+    Derivation (Section 3.1): the flat network has (x + 2y) switches of
+    radix (x + y) hosting x(x + y) servers, so servers per switch is
+    x(x + y) / (x + 2y) and NSR = ((x + y) - s) / s = 2y / x.
+    """
+    if x <= 0 or y <= 0:
+        raise ValueError("x and y must be positive")
+    servers_per_switch = x * (x + y) / (x + 2 * y)
+    return ((x + y) - servers_per_switch) / servers_per_switch
+
+
+def leaf_spine_udf(x: int, y: int) -> float:
+    """Closed-form UDF of leaf-spine(x, y); equals 2 for all valid x, y."""
+    return flat_leaf_spine_nsr(x, y) / leaf_spine_nsr(x, y)
+
+
+def oversubscription(network: Network) -> float:
+    """Worst-case rack oversubscription: server capacity / network capacity.
+
+    A leaf-spine(x, y) has oversubscription x/y (3 in the paper's default
+    configuration); a value above 1 means the rack uplinks can bottleneck.
+    """
+    worst = 0.0
+    for switch in network.racks:
+        down = network.servers_at(switch) * network.server_link_capacity
+        up = network.network_degree(switch) * network.link_capacity
+        if up <= 0:
+            raise ValueError(f"rack {switch} has no network links")
+        worst = max(worst, down / up)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Path-length structure
+# ----------------------------------------------------------------------
+
+
+def rack_distances(network: Network) -> Dict[Tuple[int, int], int]:
+    """Hop distance between every ordered pair of distinct racks."""
+    lengths = dict(nx.all_pairs_shortest_path_length(network.graph))
+    return {
+        (a, b): lengths[a][b]
+        for a in network.racks
+        for b in network.racks
+        if a != b
+    }
+
+
+def path_length_histogram(network: Network) -> Dict[int, int]:
+    """Histogram of rack-to-rack shortest-path lengths."""
+    histogram: Dict[int, int] = {}
+    for dist in rack_distances(network).values():
+        histogram[dist] = histogram.get(dist, 0) + 1
+    return histogram
+
+
+def mean_rack_distance(network: Network) -> float:
+    """Average rack-to-rack shortest-path length.
+
+    Shorter average paths consume less aggregate capacity per byte, the
+    effect behind expander gains (Section 1).
+    """
+    distances = rack_distances(network)
+    return statistics.fmean(distances.values())
+
+
+def diameter(network: Network) -> int:
+    """Longest rack-to-rack shortest path."""
+    return max(rack_distances(network).values())
+
+
+# ----------------------------------------------------------------------
+# Bisection bandwidth and expansion
+# ----------------------------------------------------------------------
+
+
+def bisection_bandwidth(
+    network: Network, seed: int = 0, tries: int = 5
+) -> float:
+    """Approximate bisection bandwidth, in Gbps.
+
+    Uses repeated Kernighan-Lin bisections (exact bisection is NP-hard)
+    and returns the smallest cut capacity found.  Good enough to exhibit
+    the paper's asymptotic point that a DRing's bisection is O(n) worse
+    than an expander's (Section 3.2).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(network.graph.nodes)
+    for u, v, mult in network.undirected_links():
+        graph.add_edge(u, v, weight=float(mult))
+    best: Optional[float] = None
+    for attempt in range(tries):
+        left, right = nx.algorithms.community.kernighan_lin_bisection(
+            graph, weight="weight", seed=seed + attempt
+        )
+        cut = 0.0
+        left_set = set(left)
+        for u, v, mult in network.undirected_links():
+            if (u in left_set) != (v in left_set):
+                cut += mult
+        capacity = cut * network.link_capacity
+        if best is None or capacity < best:
+            best = capacity
+    assert best is not None
+    return best
+
+
+def spectral_gap(network: Network) -> float:
+    """Spectral gap of the normalized adjacency matrix.
+
+    A large gap certifies good expansion (Cheeger); expanders have a gap
+    bounded away from zero while a DRing's gap shrinks with the ring
+    length, which is the structural reason its performance deteriorates
+    with scale (Section 6.3).
+    """
+    nodes = network.switches
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    adjacency = np.zeros((n, n))
+    for u, v, mult in network.undirected_links():
+        adjacency[index[u], index[v]] = mult
+        adjacency[index[v], index[u]] = mult
+    degrees = adjacency.sum(axis=1)
+    if np.any(degrees == 0):
+        raise ValueError("isolated switch; spectral gap undefined")
+    scale = 1.0 / np.sqrt(degrees)
+    normalized = adjacency * scale[:, None] * scale[None, :]
+    eigenvalues = np.sort(np.linalg.eigvalsh(normalized))[::-1]
+    return float(eigenvalues[0] - eigenvalues[1])
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """One-stop structural report for a network, used by the examples."""
+
+    name: str
+    switches: int
+    racks: int
+    servers: int
+    links: int
+    is_flat: bool
+    nsr_mean: float
+    oversubscription: float
+    mean_rack_distance: float
+    diameter: int
+    bisection_gbps: float
+    spectral_gap: float
+
+
+def summarize(network: Network, seed: int = 0) -> TopologySummary:
+    """Compute the full structural summary of a network."""
+    return TopologySummary(
+        name=network.name,
+        switches=network.num_switches,
+        racks=network.num_racks,
+        servers=network.num_servers,
+        links=sum(mult for _u, _v, mult in network.undirected_links()),
+        is_flat=network.is_flat(),
+        nsr_mean=nsr(network).mean,
+        oversubscription=oversubscription(network),
+        mean_rack_distance=mean_rack_distance(network),
+        diameter=diameter(network),
+        bisection_gbps=bisection_bandwidth(network, seed=seed),
+        spectral_gap=spectral_gap(network),
+    )
+
+
+def summary_table(summaries: List[TopologySummary]) -> str:
+    """Render summaries as a fixed-width text table for reports."""
+    header = (
+        f"{'name':<24}{'sw':>5}{'racks':>7}{'srv':>7}{'links':>7}"
+        f"{'flat':>6}{'NSR':>7}{'osub':>7}{'dist':>7}{'diam':>6}"
+        f"{'bisec':>9}{'gap':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.name:<24}{s.switches:>5}{s.racks:>7}{s.servers:>7}"
+            f"{s.links:>7}{str(s.is_flat):>6}{s.nsr_mean:>7.2f}"
+            f"{s.oversubscription:>7.2f}{s.mean_rack_distance:>7.2f}"
+            f"{s.diameter:>6}{s.bisection_gbps:>9.0f}{s.spectral_gap:>7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""The switch-level network model shared by every topology and simulator.
+
+A :class:`Network` is an undirected multigraph of switches (parallel links
+are folded into an integer ``mult`` edge attribute) plus a server count per
+switch.  It is deliberately minimal: topology constructors
+(:mod:`repro.topology`) produce it, routing schemes (:mod:`repro.routing`)
+compute paths on it, and the simulators (:mod:`repro.sim`) allocate
+bandwidth on its directed links.
+
+Terminology follows the paper:
+
+* a *rack* is a switch with at least one attached server;
+* *network links* are switch-to-switch links (as opposed to server links);
+* a *flat* network is one where every switch is a rack (Section 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.units import DEFAULT_LINK_GBPS
+
+#: A directed link between two switches, as used by the simulators.
+DirectedLink = Tuple[int, int]
+
+
+class NetworkValidationError(ValueError):
+    """Raised when a network violates a physical-feasibility constraint."""
+
+
+class Network:
+    """A data-center network at switch granularity.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph` over integer switch ids.
+        Parallel links between the same switch pair are represented by an
+        integer ``mult`` edge attribute (default 1).
+    servers:
+        Mapping from switch id to the number of servers attached to it.
+        Switches absent from the mapping host zero servers (e.g. spines).
+    link_capacity:
+        Rate of a single network link, in Gbps.
+    server_link_capacity:
+        Rate of a single server link; defaults to ``link_capacity``
+        (the paper uses the same line speed everywhere).
+    name:
+        Human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        servers: Mapping[int, int],
+        link_capacity: float = DEFAULT_LINK_GBPS,
+        server_link_capacity: Optional[float] = None,
+        name: str = "network",
+    ) -> None:
+        if link_capacity <= 0:
+            raise NetworkValidationError("link_capacity must be positive")
+        self.graph = graph
+        self.link_capacity = float(link_capacity)
+        self.server_link_capacity = float(
+            link_capacity if server_link_capacity is None else server_link_capacity
+        )
+        if self.server_link_capacity <= 0:
+            raise NetworkValidationError("server_link_capacity must be positive")
+        self.name = name
+
+        self._servers: Dict[int, int] = {}
+        for switch, count in servers.items():
+            if switch not in graph:
+                raise NetworkValidationError(
+                    f"servers assigned to unknown switch {switch}"
+                )
+            if count < 0:
+                raise NetworkValidationError(
+                    f"negative server count {count} at switch {switch}"
+                )
+            if count > 0:
+                self._servers[switch] = int(count)
+
+        # Global server ids are assigned contiguously in switch-id order so
+        # that results are reproducible independent of dict iteration order.
+        self._server_switch: List[int] = []
+        self._first_server: Dict[int, int] = {}
+        for switch in sorted(graph.nodes):
+            count = self._servers.get(switch, 0)
+            self._first_server[switch] = len(self._server_switch)
+            self._server_switch.extend([switch] * count)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def switches(self) -> List[int]:
+        """All switch ids, sorted."""
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_switches(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._server_switch)
+
+    @property
+    def racks(self) -> List[int]:
+        """Switches that host at least one server, sorted."""
+        return sorted(self._servers)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self._servers)
+
+    def servers_at(self, switch: int) -> int:
+        """Number of servers attached to ``switch`` (0 for spines)."""
+        return self._servers.get(switch, 0)
+
+    def is_flat(self) -> bool:
+        """True when every switch hosts at least one server (Section 3)."""
+        return len(self._servers) == self.num_switches
+
+    # ------------------------------------------------------------------
+    # Servers
+    # ------------------------------------------------------------------
+
+    def server_ids(self) -> range:
+        """Global server ids, ``0 .. num_servers - 1``."""
+        return range(self.num_servers)
+
+    def switch_of_server(self, server: int) -> int:
+        """The rack switch a global server id is attached to."""
+        return self._server_switch[server]
+
+    def servers_of_switch(self, switch: int) -> range:
+        """Global server ids attached to ``switch``."""
+        first = self._first_server[switch]
+        return range(first, first + self.servers_at(switch))
+
+    # ------------------------------------------------------------------
+    # Links and ports
+    # ------------------------------------------------------------------
+
+    def link_mult(self, u: int, v: int) -> int:
+        """Number of parallel physical links between switches u and v."""
+        data = self.graph.get_edge_data(u, v)
+        if data is None:
+            return 0
+        return int(data.get("mult", 1))
+
+    def link_capacity_between(self, u: int, v: int) -> float:
+        """Aggregate capacity (Gbps) between two adjacent switches."""
+        return self.link_mult(u, v) * self.link_capacity
+
+    def network_degree(self, switch: int) -> int:
+        """Number of network ports in use at ``switch`` (counting mult)."""
+        return sum(self.link_mult(switch, nbr) for nbr in self.graph.neighbors(switch))
+
+    def radix(self, switch: int) -> int:
+        """Total ports in use at ``switch``: network ports + server ports."""
+        return self.network_degree(switch) + self.servers_at(switch)
+
+    def undirected_links(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(u, v, mult)`` for every undirected switch link."""
+        for u, v, data in self.graph.edges(data=True):
+            yield u, v, int(data.get("mult", 1))
+
+    def directed_links(self) -> List[DirectedLink]:
+        """All directed network links, both orientations of every edge."""
+        links: List[DirectedLink] = []
+        for u, v in self.graph.edges:
+            links.append((u, v))
+            links.append((v, u))
+        return links
+
+    def directed_capacities(self) -> Dict[DirectedLink, float]:
+        """Capacity of every directed network link, in Gbps."""
+        capacities: Dict[DirectedLink, float] = {}
+        for u, v, mult in self.undirected_links():
+            capacities[(u, v)] = mult * self.link_capacity
+            capacities[(v, u)] = mult * self.link_capacity
+        return capacities
+
+    def total_network_capacity(self) -> float:
+        """Sum of capacities over all directed network links, in Gbps."""
+        return 2 * sum(
+            mult * self.link_capacity for _u, _v, mult in self.undirected_links()
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and equipment accounting
+    # ------------------------------------------------------------------
+
+    def validate(self, max_radix: Optional[int] = None) -> None:
+        """Check physical feasibility; raise NetworkValidationError if broken.
+
+        Verifies that the switch graph is connected, has no self-loops,
+        that every rack can reach every other rack, and (optionally) that
+        no switch exceeds ``max_radix`` ports.
+        """
+        if self.num_switches == 0:
+            raise NetworkValidationError("network has no switches")
+        for u in self.graph.nodes:
+            if self.graph.has_edge(u, u):
+                raise NetworkValidationError(f"self-loop at switch {u}")
+        if self.num_switches > 1 and not nx.is_connected(self.graph):
+            raise NetworkValidationError("switch graph is not connected")
+        if max_radix is not None:
+            for switch in self.graph.nodes:
+                used = self.radix(switch)
+                if used > max_radix:
+                    raise NetworkValidationError(
+                        f"switch {switch} uses {used} ports > radix {max_radix}"
+                    )
+
+    def equipment(self) -> List[Tuple[int, int]]:
+        """Per-switch port counts, ``[(switch, radix_in_use), ...]``.
+
+        This is the "same equipment" notion of Section 3.1: a flat rebuild
+        of a topology must re-use exactly these switches with exactly these
+        port counts.
+        """
+        return [(switch, self.radix(switch)) for switch in self.switches]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def rack_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All ordered pairs of distinct racks."""
+        racks = self.racks
+        return (
+            (a, b) for a, b in itertools.product(racks, racks) if a != b
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Network":
+        """Deep copy (fresh graph object) with an optional new name."""
+        return Network(
+            self.graph.copy(),
+            dict(self._servers),
+            link_capacity=self.link_capacity,
+            server_link_capacity=self.server_link_capacity,
+            name=self.name if name is None else name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(name={self.name!r}, switches={self.num_switches}, "
+            f"racks={self.num_racks}, servers={self.num_servers}, "
+            f"links={self.graph.number_of_edges()})"
+        )
+
+
+def distribute_evenly(total: int, bins: int) -> List[int]:
+    """Split ``total`` items across ``bins`` as evenly as possible.
+
+    The first ``total % bins`` bins receive one extra item, which is how
+    we redistribute servers when flattening a topology (Section 5.1:
+    "redistributing servers equally across all switches").
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base, extra = divmod(total, bins)
+    return [base + 1 if i < extra else base for i in range(bins)]
+
+
+def build_network(
+    edges: Iterable[Tuple[int, int]],
+    servers: Mapping[int, int],
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    name: str = "network",
+    extra_switches: Sequence[int] = (),
+) -> Network:
+    """Construct a :class:`Network` from an edge list, folding parallel links.
+
+    Repeated ``(u, v)`` pairs increment the link multiplicity, mirroring
+    port trunking between a switch pair.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(extra_switches)
+    graph.add_nodes_from(servers.keys())
+    for u, v in edges:
+        if u == v:
+            raise NetworkValidationError(f"self-loop requested at switch {u}")
+        if graph.has_edge(u, v):
+            graph[u][v]["mult"] += 1
+        else:
+            graph.add_edge(u, v, mult=1)
+    return Network(graph, servers, link_capacity=link_capacity, name=name)

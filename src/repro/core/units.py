@@ -1,0 +1,47 @@
+"""Physical units and constants used across the library.
+
+All link rates are expressed in gigabits per second (Gbps) and all flow
+sizes in bytes, matching the setup in the paper (10 Gbps links, Pareto
+flow sizes with a 100 KB mean).  Times are in seconds unless a function
+explicitly says otherwise; flow-completion times are usually reported in
+milliseconds because that is how the paper's Figure 4 is labeled.
+"""
+
+from __future__ import annotations
+
+#: Default link rate used in the paper's simulations (Section 5.3).
+DEFAULT_LINK_GBPS: float = 10.0
+
+#: Mean flow size of the Pareto workload (Section 5.2), in bytes.
+DEFAULT_MEAN_FLOW_BYTES: float = 100_000.0
+
+#: Pareto shape ("scale" in the paper's wording) of the flow size law.
+DEFAULT_PARETO_SHAPE: float = 1.05
+
+#: Spine-layer utilization the paper scales traffic matrices to (Section 6.1).
+DEFAULT_SPINE_UTILIZATION: float = 0.30
+
+BITS_PER_BYTE: int = 8
+SECONDS_PER_MS: float = 1e-3
+
+
+def bytes_to_gbits(num_bytes: float) -> float:
+    """Convert a byte count to gigabits."""
+    return num_bytes * BITS_PER_BYTE / 1e9
+
+
+def transfer_seconds(num_bytes: float, rate_gbps: float) -> float:
+    """Time to move ``num_bytes`` at a steady ``rate_gbps``.
+
+    Raises :class:`ValueError` for a non-positive rate rather than
+    returning infinity, because a zero rate in the simulator indicates a
+    bug in the allocator (every active flow must receive bandwidth).
+    """
+    if rate_gbps <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_gbps}")
+    return bytes_to_gbits(num_bytes) / rate_gbps
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / SECONDS_PER_MS

@@ -1,0 +1,432 @@
+"""Ablations over the design choices the paper calls out.
+
+* **K sweep** (Section 4: "K = 2 offers a good tradeoff"): run
+  Shortest-Union(K) for K = 1..4 on uniform and rack-to-rack traffic and
+  report median/p99 FCT.  K = 1 degenerates to plain shortest paths.
+* **DRing shape** (Section 3.2): at a fixed rack budget, trade supernode
+  count m against supernode width n and compare FCT and path diversity.
+* **Failures** (Section 7's open question): fail random links, report
+  BGP reconvergence rounds and the drop in SU(2) path diversity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.bgp import build_converged_fabric, reconvergence_after_failure
+from repro.core.network import Network
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.flowsim import simulate_fct
+from repro.sim.results import FctResults
+from repro.topology import dring
+from repro.traffic import (
+    CanonicalCluster,
+    Placement,
+    generate_flows,
+    rack_to_rack,
+    uniform,
+)
+
+
+@dataclass(frozen=True)
+class KSweepPoint:
+    k: int
+    pattern: str
+    median_ms: float
+    p99_ms: float
+    mean_paths: float
+
+
+def run_k_sweep(
+    network: Network,
+    cluster: CanonicalCluster,
+    ks: Tuple[int, ...] = (1, 2, 3),
+    num_flows: int = 800,
+    window: float = 0.03,
+    seed: int = 0,
+) -> List[KSweepPoint]:
+    """FCT of SU(K) for each K on uniform and R2R traffic."""
+    placement = Placement(cluster, network)
+    patterns = {
+        "uniform": uniform(cluster),
+        "r2r": rack_to_rack(cluster),
+    }
+    points: List[KSweepPoint] = []
+    for k in ks:
+        routing = ShortestUnionRouting(network, k)
+        sample_pairs = list(network.rack_pairs())[:50]
+        mean_paths = sum(
+            routing.path_count(a, b) for a, b in sample_pairs
+        ) / len(sample_pairs)
+        for label, tm in patterns.items():
+            flows = generate_flows(
+                tm, num_flows, window, seed=seed, size_cap=10e6
+            )
+            results = simulate_fct(network, routing, placement, flows, seed=seed)
+            points.append(
+                KSweepPoint(
+                    k=k,
+                    pattern=label,
+                    median_ms=results.median_fct_ms(),
+                    p99_ms=results.p99_fct_ms(),
+                    mean_paths=mean_paths,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class ShapePoint:
+    m: int
+    n: int
+    racks: int
+    network_degree: int
+    diameter: int
+    p99_ms: float
+
+
+def run_dring_shape_sweep(
+    shapes: Tuple[Tuple[int, int], ...] = ((12, 2), (8, 3), (6, 4)),
+    servers_per_rack: int = 6,
+    num_flows: int = 800,
+    window: float = 0.03,
+    seed: int = 0,
+) -> List[ShapePoint]:
+    """Trade m against n at a fixed rack budget (m * n constant)."""
+    points: List[ShapePoint] = []
+    for m, n in shapes:
+        network = dring(m, n, servers_per_rack=servers_per_rack)
+        cluster = CanonicalCluster(m * n, servers_per_rack)
+        tm = uniform(cluster)
+        flows = generate_flows(tm, num_flows, window, seed=seed, size_cap=10e6)
+        results = simulate_fct(
+            network,
+            ShortestUnionRouting(network, 2),
+            Placement(cluster, network),
+            flows,
+            seed=seed,
+        )
+        points.append(
+            ShapePoint(
+                m=m,
+                n=n,
+                racks=m * n,
+                network_degree=4 * n,
+                diameter=nx.diameter(network.graph),
+                p99_ms=results.p99_fct_ms(),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class HeterogeneousPoint:
+    """Skewed-tail comparison at one uplink speed multiplier."""
+
+    uplink_mult: int
+    leafspine_p99_ms: float
+    flat_p99_ms: float
+
+    @property
+    def flat_gain(self) -> float:
+        return self.leafspine_p99_ms / self.flat_p99_ms
+
+
+def run_heterogeneous_study(
+    configs: Tuple[Tuple[int, int, int], ...] = (
+        (12, 4, 1),   # homogeneous 10G everywhere
+        (24, 4, 2),   # 20G uplinks
+        (24, 2, 4),   # 40G uplinks
+    ),
+    num_flows: int = 1200,
+    seed: int = 0,
+) -> List[HeterogeneousPoint]:
+    """Section 5.1's deferred case: faster uplinks, same conclusion?
+
+    Each ``(x, y, uplink_mult)`` configuration keeps the paper's 3:1
+    oversubscription (``x / (y * mult) = 3``) while varying the uplink
+    speed class; the flat rebuild of each fabric should keep winning the
+    skewed workload, because the UDF algebra only depends on the
+    capacity ratio — "we expect similar results" made concrete.  (Note
+    that *uncontrolled* heterogeneity behaves differently: faster
+    uplinks at fixed port counts lower the oversubscription itself, and
+    with nothing to mask the flat gain disappears — see the tests.)
+    """
+    from repro.topology import flatten, leaf_spine
+    from repro.traffic import (
+        fb_skewed,
+        spine_utilization_load,
+        window_for_budget,
+    )
+
+    points: List[HeterogeneousPoint] = []
+    for leaf_x, leaf_y, mult in configs:
+        baseline = leaf_spine(leaf_x, leaf_y, uplink_mult=mult)
+        # Heterogeneous equipment needs radix-proportional server
+        # spreading; even spreading turns the fat ex-spines into hubs
+        # (NSR range 0.4-3.5 instead of ~uniform) and loses the gain.
+        flat = flatten(
+            baseline,
+            seed=seed,
+            name=f"flat-x{mult}",
+            spreading="proportional" if mult > 1 else "even",
+        )
+        cluster = CanonicalCluster(leaf_x + leaf_y, leaf_x)
+        tm = fb_skewed(cluster, seed=seed)
+        load = spine_utilization_load(baseline, tm)
+        window, count = window_for_budget(
+            load.offered_gbps, num_flows, 0.04, size_cap=10e6
+        )
+        flows = generate_flows(tm, count, window, seed=seed, size_cap=10e6)
+        ls_res = simulate_fct(
+            baseline,
+            EcmpRouting(baseline),
+            Placement(cluster, baseline),
+            flows,
+            seed=seed,
+        )
+        flat_res = simulate_fct(
+            flat,
+            ShortestUnionRouting(flat, 2),
+            Placement(cluster, flat),
+            flows,
+            seed=seed,
+        )
+        points.append(
+            HeterogeneousPoint(
+                uplink_mult=mult,
+                leafspine_p99_ms=ls_res.p99_fct_ms(),
+                flat_p99_ms=flat_res.p99_fct_ms(),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SchemeZooPoint:
+    """FCT of one routing scheme on one pattern (the full baseline zoo)."""
+
+    scheme: str
+    pattern: str
+    median_ms: float
+    p99_ms: float
+    mean_hops: float
+
+
+def run_scheme_zoo(
+    network: Network,
+    cluster: CanonicalCluster,
+    num_flows: int = 600,
+    window: float = 0.004,
+    seed: int = 0,
+) -> List[SchemeZooPoint]:
+    """All four oblivious schemes side by side (Section 2's landscape).
+
+    ECMP and Shortest-Union(2) are the paper's deployable schemes;
+    k-shortest-paths is the Jellyfish/MPTCP baseline and VLB the
+    worst-case-oblivious baseline — both impractical on standard
+    hardware, included to position the paper's scheme.
+    """
+    from repro.routing import KShortestPathsRouting, VlbRouting
+
+    placement = Placement(cluster, network)
+    schemes = [
+        EcmpRouting(network),
+        ShortestUnionRouting(network, 2),
+        KShortestPathsRouting(network, k=4),
+        VlbRouting(network),
+    ]
+    patterns = {
+        "uniform": uniform(cluster),
+        "r2r": rack_to_rack(cluster, 0, min(2, cluster.num_racks - 1)),
+    }
+    points: List[SchemeZooPoint] = []
+    for label, tm in patterns.items():
+        flows = generate_flows(tm, num_flows, window, seed=seed, size_cap=10e6)
+        for scheme in schemes:
+            results = simulate_fct(
+                network, scheme, placement, flows, seed=seed
+            )
+            points.append(
+                SchemeZooPoint(
+                    scheme=scheme.name,
+                    pattern=label,
+                    median_ms=results.median_fct_ms(),
+                    p99_ms=results.p99_fct_ms(),
+                    mean_hops=results.mean_path_hops(),
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class AdaptivePoint:
+    """FCT of adaptive routing vs both static schemes on one pattern."""
+
+    pattern: str
+    chosen_mode: str
+    adaptive_p99_ms: float
+    ecmp_p99_ms: float
+    su2_p99_ms: float
+
+    @property
+    def regret(self) -> float:
+        """Adaptive p99 relative to the better static scheme (1.0 = matched)."""
+        return self.adaptive_p99_ms / min(self.ecmp_p99_ms, self.su2_p99_ms)
+
+
+def run_adaptive_study(
+    network: Network,
+    cluster: CanonicalCluster,
+    num_flows: int = 800,
+    window: float = 0.004,
+    seed: int = 0,
+) -> List[AdaptivePoint]:
+    """Section 7's coarse adaptive routing vs the static schemes.
+
+    For each pattern the adaptive scheme observes the rack-level demand
+    snapshot (what a coarse telemetry pipeline would report), installs a
+    mode, and then runs the same flow workload as the static schemes.
+    """
+    from repro.routing.adaptive import CoarseAdaptiveRouting
+    from repro.traffic.matrix import TrafficMatrix
+
+    placement = Placement(cluster, network)
+    # R2R between racks 0 and 2: directly connected on a DRing (ring
+    # offset 2), the case where the mode choice actually matters.
+    patterns: Dict[str, TrafficMatrix] = {
+        "uniform": uniform(cluster),
+        "r2r": rack_to_rack(cluster, 0, min(2, cluster.num_racks - 1)),
+    }
+    ecmp = EcmpRouting(network)
+    su2 = ShortestUnionRouting(network, 2)
+    adaptive = CoarseAdaptiveRouting(network)
+
+    points: List[AdaptivePoint] = []
+    for label, tm in patterns.items():
+        demands = placement.rack_demands(tm)
+        adaptive.observe(demands)
+        flows = generate_flows(tm, num_flows, window, seed=seed, size_cap=10e6)
+        results = {
+            scheme.name: simulate_fct(
+                network, scheme, placement, flows, seed=seed
+            )
+            for scheme in (adaptive, ecmp, su2)
+        }
+        points.append(
+            AdaptivePoint(
+                pattern=label,
+                chosen_mode=adaptive.active.name,
+                adaptive_p99_ms=results[adaptive.name].p99_fct_ms(),
+                ecmp_p99_ms=results["ecmp"].p99_fct_ms(),
+                su2_p99_ms=results["su(2)"].p99_fct_ms(),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    failed_links: int
+    reconvergence_rounds: int
+    min_su2_paths_before: int
+    min_su2_paths_after: int
+    still_connected: bool
+
+
+@dataclass(frozen=True)
+class FailureSweepPoint:
+    """Performance degradation at one failure count."""
+
+    failed_links: int
+    still_connected: bool
+    p99_ms: float
+    min_su2_paths: int
+
+
+def run_failure_sweep(
+    network: Network,
+    cluster: CanonicalCluster,
+    failure_counts: Tuple[int, ...] = (0, 1, 2, 4),
+    num_flows: int = 600,
+    window: float = 0.004,
+    seed: int = 0,
+) -> List[FailureSweepPoint]:
+    """Tail FCT and path diversity as links fail (Section 7's question).
+
+    The same uniform workload runs on progressively more degraded copies
+    of the fabric; SU(2) re-enumerates its paths on each degraded copy,
+    modelling the post-reconvergence steady state.
+    """
+    rng = random.Random(seed)
+    links = [(u, v) for u, v, _m in network.undirected_links()]
+    if max(failure_counts) >= len(links):
+        raise ValueError("cannot fail that many links")
+    failed_order = rng.sample(links, max(failure_counts))
+    flows = generate_flows(
+        uniform(cluster), num_flows, window, seed=seed, size_cap=10e6
+    )
+    sample_pairs = list(network.rack_pairs())[:40]
+    points: List[FailureSweepPoint] = []
+    for count in failure_counts:
+        degraded = network.copy(name=f"{network.name}-f{count}")
+        for u, v in failed_order[:count]:
+            degraded.graph.remove_edge(u, v)
+        if not nx.is_connected(degraded.graph):
+            points.append(FailureSweepPoint(count, False, float("inf"), 0))
+            continue
+        routing = ShortestUnionRouting(degraded, 2)
+        results = simulate_fct(
+            degraded, routing, Placement(cluster, degraded), flows, seed=seed
+        )
+        min_paths = min(
+            routing.path_count(a, b) for a, b in sample_pairs
+        )
+        points.append(
+            FailureSweepPoint(
+                failed_links=count,
+                still_connected=True,
+                p99_ms=results.p99_fct_ms(),
+                min_su2_paths=min_paths,
+            )
+        )
+    return points
+
+
+def run_failure_study(
+    network: Network, num_failures: int = 1, seed: int = 0
+) -> FailureReport:
+    """Fail random network links; measure reconvergence and path loss."""
+    rng = random.Random(seed)
+    links = [(u, v) for u, v, _m in network.undirected_links()]
+    if num_failures >= len(links):
+        raise ValueError("cannot fail every link")
+    failed = rng.sample(links, num_failures)
+
+    routing_before = ShortestUnionRouting(network, 2)
+    sample_pairs = list(network.rack_pairs())[:40]
+    before = min(
+        routing_before.path_count(a, b) for a, b in sample_pairs
+    )
+
+    degraded = network.copy(name=f"{network.name}-degraded")
+    for u, v in failed:
+        degraded.graph.remove_edge(u, v)
+    connected = nx.is_connected(degraded.graph)
+    if not connected:
+        return FailureReport(num_failures, -1, before, 0, False)
+
+    report = reconvergence_after_failure(network, 2, failed[0])
+    routing_after = ShortestUnionRouting(degraded, 2)
+    after = min(routing_after.path_count(a, b) for a, b in sample_pairs)
+    return FailureReport(
+        failed_links=num_failures,
+        reconvergence_rounds=report.rounds,
+        min_su2_paths_before=before,
+        min_su2_paths_after=after,
+        still_connected=True,
+    )

@@ -1,0 +1,170 @@
+"""Dynamic networks built from flat topologies (Section 7).
+
+Opera-style dynamic fabrics cycle the switch-to-switch wiring through a
+sequence of configurations; long flows see the time-average capacity.
+Section 7 asks "how much improvement can be gained by reconfiguring
+links to obtain another flat network instead of an expander".  This
+study answers it in the fluid model:
+
+* **static**: one DRing / one RRG, as in the rest of the paper;
+* **dynamic DRing**: the ring rotates — each phase relabels which racks
+  are ring-adjacent, so over a full cycle every rack pair spends some
+  phases at distance 1;
+* **dynamic RRG**: a fresh random graph per phase (Opera's transient
+  expanders).
+
+Each phase is a steady-state max-min allocation
+(:func:`repro.sim.throughput.tm_throughput`) of the same demand; the
+reported number is the per-flow throughput averaged over phases, i.e.
+reconfiguration overhead is idealized away exactly as in Opera's
+analysis of long flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.network import Network
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.throughput import tm_throughput
+from repro.topology import dring, jellyfish
+
+RackPair = Tuple[int, int]
+
+
+def rotated_dring(
+    m: int, n: int, servers_per_rack: int, rotation: int
+) -> Network:
+    """A DRing whose rack-to-position mapping is rotated by ``rotation``.
+
+    Physically: the rack in ring position p now occupies position
+    p + rotation, so a different set of rack pairs is directly wired.
+    Implemented by relabeling switch ids; rack r's servers stay on
+    rack r.
+    """
+    base = dring(m, n, servers_per_rack=servers_per_rack)
+    racks = base.num_racks
+    shift = rotation % racks
+    if shift == 0:
+        return base
+    import networkx as nx
+
+    mapping = {old: (old + shift) % racks for old in base.graph.nodes}
+    graph = nx.relabel_nodes(base.graph, mapping)
+    servers = {rack: servers_per_rack for rack in range(racks)}
+    network = Network(
+        graph,
+        servers,
+        link_capacity=base.link_capacity,
+        name=f"dring(m={m},n={n},rot={shift})",
+    )
+    return network
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """Mean per-flow throughput of each fabric variant, in Gbps."""
+
+    per_variant_gbps: Dict[str, float]
+
+    def gain(self, dynamic: str, static: str) -> float:
+        return self.per_variant_gbps[dynamic] / self.per_variant_gbps[static]
+
+
+def _phase_average(
+    networks: Sequence[Network],
+    demands: Dict[RackPair, float],
+    use_su2: bool,
+) -> float:
+    total = 0.0
+    for network in networks:
+        routing = (
+            ShortestUnionRouting(network, 2)
+            if use_su2
+            else EcmpRouting(network)
+        )
+        total += tm_throughput(network, routing, demands).mean_flow_gbps
+    return total / len(networks)
+
+
+def run_dynamic_study(
+    demands: Dict[RackPair, float],
+    m: int = 8,
+    n: int = 2,
+    servers_per_rack: int = 6,
+    phases: int = 4,
+    seed: int = 0,
+) -> DynamicResult:
+    """Compare static and dynamic fabrics on one rack-level demand.
+
+    All variants use the same switch count (m*n racks) and degree (4n);
+    the DRing variants run Shortest-Union(2) and the RRGs plain ECMP,
+    matching how each would be deployed.
+    """
+    racks = m * n
+    bad = [pair for pair in demands if not all(0 <= r < racks for r in pair)]
+    if bad:
+        raise ValueError(f"demands reference unknown racks: {bad[:3]}")
+    static_dring = [dring(m, n, servers_per_rack=servers_per_rack)]
+    static_rrg = [
+        jellyfish(racks, 4 * n, servers_per_switch=servers_per_rack, seed=seed)
+    ]
+    rotation_step = max(1, racks // phases)
+    dynamic_dring = [
+        rotated_dring(m, n, servers_per_rack, rotation=i * rotation_step)
+        for i in range(phases)
+    ]
+    dynamic_rrg = [
+        jellyfish(
+            racks, 4 * n, servers_per_switch=servers_per_rack, seed=seed + i
+        )
+        for i in range(phases)
+    ]
+    return DynamicResult(
+        per_variant_gbps={
+            "static dring (su2)": _phase_average(static_dring, demands, True),
+            "static rrg (ecmp)": _phase_average(static_rrg, demands, False),
+            "dynamic dring (su2)": _phase_average(dynamic_dring, demands, True),
+            "dynamic rrg (ecmp)": _phase_average(dynamic_rrg, demands, False),
+        }
+    )
+
+
+def skewed_demand(racks: int, hot_pairs: int = 3, seed: int = 0) -> Dict[RackPair, float]:
+    """A few hot rack pairs: the workload dynamic links are built for."""
+    rng = random.Random(seed)
+    demands: Dict[RackPair, float] = {}
+    while len(demands) < hot_pairs:
+        a, b = rng.randrange(racks), rng.randrange(racks)
+        if a != b:
+            demands[(a, b)] = 1.0
+    return demands
+
+
+def uniform_demand(racks: int) -> Dict[RackPair, float]:
+    return {
+        (a, b): 1.0 for a in range(racks) for b in range(racks) if a != b
+    }
+
+
+def render_dynamic(results: Dict[str, DynamicResult]) -> str:
+    variants = [
+        "static dring (su2)",
+        "dynamic dring (su2)",
+        "static rrg (ecmp)",
+        "dynamic rrg (ecmp)",
+    ]
+    header = f"{'demand':<10}" + "".join(f"{v:>22}" for v in variants)
+    lines = [
+        "Section 7: dynamic flat networks (mean per-flow Gbps per phase)",
+        header,
+        "-" * len(header),
+    ]
+    for label, result in results.items():
+        cells = "".join(
+            f"{result.per_variant_gbps[v]:>22.3f}" for v in variants
+        )
+        lines.append(f"{label:<10}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Incremental-expansion churn: the lifecycle cost of growing a fabric.
+
+Section 3.2 advertises the DRing as "easily incrementally expandable, by
+adding supernodes in the ring supergraph", and Section 7 points at
+topology lifecycle management (Zhang et al., NSDI '19) as a known
+road-block for expander DCs.  This experiment quantifies the claim: for
+each topology family, grow the fabric one step and count the cabling
+churn — links added, links removed, and the fraction of pre-existing
+links that had to be touched.
+
+* **DRing**: insert one supernode into the ring; only links adjacent to
+  the insertion point move.
+* **Jellyfish/RRG**: the incremental procedure from the Jellyfish paper
+  (break random links, splice in the new switch).
+* **Leaf-spine**: a new rack needs one port on *every* spine; the
+  paper's recommended configuration uses all spine ports, so growth
+  means replacing the spine layer — counted as removing and re-adding
+  every leaf-spine link plus the new rack's uplinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.core.network import Network
+from repro.topology import dring, jellyfish, leaf_spine
+from repro.topology.jellyfish import expand_jellyfish
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ExpansionStep:
+    """Churn of growing one fabric by one unit."""
+
+    family: str
+    racks_before: int
+    racks_after: int
+    servers_gained: int
+    links_added: int
+    links_removed: int
+    links_before: int
+
+    @property
+    def churn_fraction(self) -> float:
+        """Share of pre-existing links that had to be unplugged."""
+        return self.links_removed / self.links_before
+
+    @property
+    def cables_per_new_server(self) -> float:
+        moves = self.links_added + self.links_removed
+        return moves / max(1, self.servers_gained)
+
+
+def _edge_set(network: Network) -> Set[Edge]:
+    return {
+        (min(u, v), max(u, v))
+        for u, v, _m in network.undirected_links()
+    }
+
+
+def _link_count(network: Network) -> int:
+    return sum(m for _u, _v, m in network.undirected_links())
+
+
+def diff_networks(family: str, before: Network, after: Network) -> ExpansionStep:
+    """Cabling diff between two builds of the same fabric."""
+    edges_before = _edge_set(before)
+    edges_after = _edge_set(after)
+    return ExpansionStep(
+        family=family,
+        racks_before=before.num_racks,
+        racks_after=after.num_racks,
+        servers_gained=after.num_servers - before.num_servers,
+        links_added=len(edges_after - edges_before),
+        links_removed=len(edges_before - edges_after),
+        links_before=len(edges_before),
+    )
+
+
+def dring_expansion_step(m: int, n: int, servers_per_rack: int) -> ExpansionStep:
+    """Grow DRing(m, n) to DRing(m+1, n)."""
+    before = dring(m, n, servers_per_rack=servers_per_rack)
+    after = dring(m + 1, n, servers_per_rack=servers_per_rack)
+    return diff_networks("dring", before, after)
+
+
+def jellyfish_expansion_step(
+    switches: int, degree: int, servers_per_rack: int, seed: int = 0
+) -> ExpansionStep:
+    """Grow an RRG by one switch via the incremental splice."""
+    before = jellyfish(
+        switches, degree, servers_per_switch=servers_per_rack, seed=seed
+    )
+    after = expand_jellyfish(before, servers_per_rack, seed=seed)
+    return diff_networks("rrg", before, after)
+
+
+def leafspine_expansion_step(x: int, y: int) -> ExpansionStep:
+    """Grow leaf-spine(x, y) by one rack.
+
+    The paper's definition ties rack count to switch degree, so one more
+    rack means leaf-spine(x, y) -> leaf-spine with x+y+1 leafs, which
+    needs spines with one more port: the whole spine layer is re-cabled.
+    """
+    before = leaf_spine(x, y)
+    links_before = _link_count(before)
+    new_uplinks = y  # the new rack's links
+    # Every existing leaf-spine link is unplugged when spines are
+    # swapped for higher-radix models.
+    return ExpansionStep(
+        family="leaf-spine",
+        racks_before=before.num_racks,
+        racks_after=before.num_racks + 1,
+        servers_gained=x,
+        links_added=links_before + new_uplinks,
+        links_removed=links_before,
+        links_before=links_before,
+    )
+
+
+def run_expansion_study(
+    n: int = 2,
+    servers_per_rack: int = 6,
+    sizes: Tuple[int, ...] = (6, 10, 14),
+    seed: int = 0,
+) -> List[ExpansionStep]:
+    """One expansion step per family at each size."""
+    steps: List[ExpansionStep] = []
+    for m in sizes:
+        racks = m * n
+        steps.append(dring_expansion_step(m, n, servers_per_rack))
+        steps.append(
+            jellyfish_expansion_step(racks, 4 * n, servers_per_rack, seed=seed)
+        )
+        steps.append(leafspine_expansion_step(racks - n, n))
+    return steps
+
+
+def render_expansion(steps: List[ExpansionStep]) -> str:
+    header = (
+        f"{'family':<12}{'racks':>7}{'+srv':>6}{'added':>7}{'removed':>9}"
+        f"{'churn':>8}{'cables/srv':>12}"
+    )
+    lines = [
+        "Incremental expansion churn (one growth step)",
+        header,
+        "-" * len(header),
+    ]
+    for s in steps:
+        lines.append(
+            f"{s.family:<12}{s.racks_before:>4}->{s.racks_after:<3}"
+            f"{s.servers_gained:>5}{s.links_added:>7}{s.links_removed:>9}"
+            f"{s.churn_fraction:>8.2f}{s.cables_per_new_server:>12.2f}"
+        )
+    return "\n".join(lines)

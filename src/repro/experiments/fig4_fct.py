@@ -1,0 +1,123 @@
+"""Figure 4: median and 99th-percentile FCT across traffic matrices.
+
+Reproduces the paper's headline comparison: seven traffic patterns (A2A,
+R2R, C-S skewed, FB skewed/uniform and their random-placement variants)
+against five (topology, routing) combinations.  Every TM is scaled so
+the offered load equals 30% of the baseline leaf-spine's spine capacity,
+with the sparse-pattern correction of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import Scale, SMALL, TopologyUnderTest, build_suite
+from repro.sim.flowsim import simulate_fct
+from repro.sim.results import FctResults, fct_table
+from repro.traffic import (
+    TrafficMatrix,
+    cs_skewed_fig4,
+    fb_skewed,
+    fb_uniform,
+    generate_flows,
+    window_for_budget,
+    rack_to_rack,
+    spine_utilization_load,
+    uniform,
+)
+from repro.topology import leaf_spine
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One Figure 4 column: a TM plus whether placement is shuffled."""
+
+    label: str
+    tm: TrafficMatrix
+    random_placement: bool = False
+
+
+def fig4_patterns(scale: Scale, seed: int = 0) -> List[PatternSpec]:
+    """The seven traffic patterns of Figure 4, in paper order."""
+    cluster = scale.cluster
+    return [
+        PatternSpec("A2A", uniform(cluster)),
+        PatternSpec("R2R", rack_to_rack(cluster)),
+        PatternSpec("CS skewed", cs_skewed_fig4(cluster, seed=seed)),
+        PatternSpec("FB skewed", fb_skewed(cluster, seed=seed)),
+        PatternSpec("FB uniform", fb_uniform(cluster, seed=seed)),
+        PatternSpec("FB skewed (RP)", fb_skewed(cluster, seed=seed), True),
+        PatternSpec("FB uniform (RP)", fb_uniform(cluster, seed=seed), True),
+    ]
+
+
+@dataclass
+class Fig4Result:
+    """All FCT results, indexed [pattern][scheme]."""
+
+    rows: Dict[str, Dict[str, FctResults]]
+
+    def median_table(self) -> str:
+        return fct_table(self.rows, metric="median")
+
+    def p99_table(self) -> str:
+        return fct_table(self.rows, metric="p99")
+
+    def ratio(
+        self, pattern: str, scheme_a: str, scheme_b: str, metric: str = "p99"
+    ) -> float:
+        """FCT(scheme_a) / FCT(scheme_b) for one pattern."""
+        results_a = self.rows[pattern][scheme_a]
+        results_b = self.rows[pattern][scheme_b]
+        if metric == "median":
+            return results_a.median_fct_ms() / results_b.median_fct_ms()
+        return results_a.p99_fct_ms() / results_b.p99_fct_ms()
+
+
+def run_fig4(
+    scale: Scale = SMALL,
+    seed: int = 0,
+    patterns: List[PatternSpec] = None,
+    suite: List[TopologyUnderTest] = None,
+    utilization: float = 0.30,
+) -> Fig4Result:
+    """Run the full Figure 4 grid at the given scale.
+
+    The baseline for load scaling is the scale's leaf-spine regardless
+    of the topology under test, so every scheme receives the identical
+    workload (same endpoints in canonical space, same sizes, same start
+    times).
+    """
+    if patterns is None:
+        patterns = fig4_patterns(scale, seed=seed)
+    if suite is None:
+        suite = build_suite(scale, seed=seed)
+    baseline = leaf_spine(scale.leaf_x, scale.leaf_y)
+
+    rows: Dict[str, Dict[str, FctResults]] = {}
+    for pattern in patterns:
+        load = spine_utilization_load(baseline, pattern.tm, utilization)
+        window, num_flows = window_for_budget(
+            load.offered_gbps,
+            scale.max_flows,
+            scale.window_seconds,
+            size_cap=scale.size_cap_bytes,
+        )
+        flows = generate_flows(
+            pattern.tm,
+            num_flows,
+            window,
+            seed=seed,
+            size_cap=scale.size_cap_bytes,
+        )
+        by_scheme: Dict[str, FctResults] = {}
+        for tut in suite:
+            placement = tut.placement(
+                shuffle=pattern.random_placement, seed=seed
+            )
+            by_scheme[tut.label] = simulate_fct(
+                tut.network, tut.routing, placement, flows, seed=seed
+            )
+        rows[pattern.label] = by_scheme
+    return Fig4Result(rows=rows)

@@ -1,0 +1,82 @@
+"""Microburst experiment: flatness masking oversubscription (Section 3).
+
+A handful of racks burst simultaneously while the rest of the fabric is
+nearly idle.  On the leaf-spine each bursting rack is squeezed through
+its oversubscribed uplinks; on a flat network the same racks can also
+ride the transit links of their neighbours, which are idle because few
+racks burst at once.  The experiment measures tail FCT of the burst
+flows on both fabrics, the microburst counterpart of Figure 4's skewed
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.runner import SMALL, Scale, build_suite
+from repro.sim.flowsim import simulate_fct
+from repro.sim.results import FctResults
+from repro.traffic.microburst import MicroburstSpec, microburst_flows
+
+
+@dataclass(frozen=True)
+class MicroburstResult:
+    """Tail FCTs per scheme plus the headline ratio."""
+
+    p99_ms: Dict[str, float]
+    median_ms: Dict[str, float]
+
+    def ratio_vs_leafspine(self, scheme: str) -> float:
+        return self.p99_ms["leaf-spine (ecmp)"] / self.p99_ms[scheme]
+
+
+def default_spec(scale: Scale) -> MicroburstSpec:
+    """A burst regime matched to the scale: ~20% of racks burst hard."""
+    racks = scale.cluster.num_racks
+    return MicroburstSpec(
+        num_bursting_racks=max(1, racks // 5),
+        flows_per_burst=120,
+        burst_duration=0.4e-3,
+        window=10e-3,
+        background_flows=100,
+        size_cap=scale.size_cap_bytes,
+    )
+
+
+def run_microburst(
+    scale: Scale = SMALL,
+    spec: MicroburstSpec = None,
+    seed: int = 0,
+) -> MicroburstResult:
+    """Run one microburst workload through the Figure 4 scheme suite."""
+    if spec is None:
+        spec = default_spec(scale)
+    flows = microburst_flows(scale.cluster, spec, seed=seed)
+    suite = build_suite(scale, seed=seed)
+    p99: Dict[str, float] = {}
+    median: Dict[str, float] = {}
+    for tut in suite:
+        results: FctResults = simulate_fct(
+            tut.network,
+            tut.routing,
+            tut.placement(shuffle=False, seed=seed),
+            flows,
+            seed=seed,
+        )
+        p99[tut.label] = results.p99_fct_ms()
+        median[tut.label] = results.median_fct_ms()
+    return MicroburstResult(p99_ms=p99, median_ms=median)
+
+
+def render_microburst(result: MicroburstResult) -> str:
+    lines = [
+        "Microburst tail FCT (Section 3's motivating regime)",
+        f"{'scheme':<22}{'median ms':>12}{'p99 ms':>10}",
+    ]
+    for scheme in sorted(result.p99_ms):
+        lines.append(
+            f"{scheme:<22}{result.median_ms[scheme]:>12.4f}"
+            f"{result.p99_ms[scheme]:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Section 7's "Other static networks": Dragonfly and Slim Fly at small scale.
+
+The paper expects flat low-diameter networks like Slim Fly and Dragonfly
+to perform well at small scale while noting their routing practicality
+is limited (they classically need non-oblivious schemes).  This
+experiment puts them under exactly the *oblivious* schemes this
+repository deploys — ECMP and Shortest-Union(2) — next to a DRing and an
+RRG of comparable size, over uniform and skewed traffic, measuring both
+structure (diameter, NSR, spectral gap) and tail FCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.metrics import mean_rack_distance, nsr, spectral_gap
+from repro.core.network import Network
+from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting
+from repro.sim.flowsim import simulate_fct
+from repro.topology import dragonfly, dring, jellyfish, slimfly, xpander
+from repro.traffic import (
+    CanonicalCluster,
+    Placement,
+    fb_skewed,
+    generate_flows,
+    uniform,
+)
+
+
+@dataclass(frozen=True)
+class OtherTopoPoint:
+    """One (topology, routing) row of the comparison table."""
+
+    topology: str
+    routing: str
+    racks: int
+    servers: int
+    network_degree: int
+    diameter_hops: float
+    spectral_gap: float
+    uniform_p99_ms: float
+    skewed_p99_ms: float
+
+
+def candidate_networks(servers_per_rack: int = 4) -> List[Network]:
+    """Small-scale instances of the four flat designs, ~30-50 racks.
+
+    Sizes cannot match exactly (each family has its own admissible
+    counts); all are in the same few-dozen-rack band with the same
+    servers per rack.
+    """
+    return [
+        dring(16, 2, servers_per_rack=servers_per_rack),        # 32 racks, deg 8
+        jellyfish(32, 8, servers_per_switch=servers_per_rack, seed=3),
+        xpander(7, 4, servers_per_rack=servers_per_rack, seed=3),  # 32 racks, deg 7
+        dragonfly(4, 2, servers_per_rack=servers_per_rack),      # 36 racks, deg 5
+        slimfly(5, servers_per_rack=servers_per_rack),           # 50 racks, deg 7
+    ]
+
+
+def run_other_topologies(
+    servers_per_rack: int = 4,
+    flows_per_server: int = 6,
+    window: float = 0.01,
+    seed: int = 0,
+) -> List[OtherTopoPoint]:
+    """Fill the Section 7 comparison table."""
+    import networkx as nx
+
+    points: List[OtherTopoPoint] = []
+    for network in candidate_networks(servers_per_rack):
+        cluster = CanonicalCluster(network.num_racks, servers_per_rack)
+        placement = Placement(cluster, network)
+        workloads = {
+            "uniform": generate_flows(
+                uniform(cluster),
+                flows_per_server * network.num_servers,
+                window,
+                seed=seed,
+                size_cap=10e6,
+            ),
+            "skewed": generate_flows(
+                fb_skewed(cluster, seed=seed),
+                flows_per_server * network.num_servers,
+                window,
+                seed=seed,
+                size_cap=10e6,
+            ),
+        }
+        for routing in (
+            EcmpRouting(network),
+            ShortestUnionRouting(network, 2),
+        ):
+            p99: Dict[str, float] = {}
+            for label, flows in workloads.items():
+                results = simulate_fct(
+                    network, routing, placement, flows, seed=seed
+                )
+                p99[label] = results.p99_fct_ms()
+            points.append(
+                OtherTopoPoint(
+                    topology=network.name,
+                    routing=routing.name,
+                    racks=network.num_racks,
+                    servers=network.num_servers,
+                    network_degree=network.network_degree(network.racks[0]),
+                    diameter_hops=nx.diameter(network.graph),
+                    spectral_gap=spectral_gap(network),
+                    uniform_p99_ms=p99["uniform"],
+                    skewed_p99_ms=p99["skewed"],
+                )
+            )
+    return points
+
+
+def render_other_topologies(points: List[OtherTopoPoint]) -> str:
+    header = (
+        f"{'topology':<18}{'routing':>8}{'racks':>7}{'deg':>5}{'diam':>6}"
+        f"{'gap':>7}{'uni p99':>9}{'skew p99':>10}"
+    )
+    lines = [
+        "Section 7: other flat topologies under oblivious routing",
+        header,
+        "-" * len(header),
+    ]
+    for p in points:
+        lines.append(
+            f"{p.topology:<18}{p.routing:>8}{p.racks:>7}{p.network_degree:>5}"
+            f"{p.diameter_hops:>6.0f}{p.spectral_gap:>7.3f}"
+            f"{p.uniform_p99_ms:>9.3f}{p.skewed_p99_ms:>10.3f}"
+        )
+    return "\n".join(lines)

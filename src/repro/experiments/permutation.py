@@ -1,0 +1,110 @@
+"""Permutation throughput: a boundary case for flat networks.
+
+The expander papers ([22, 23]) report how much of each server's line
+rate a topology sustains when every rack sends to one other rack.  At
+*hyperscale with MPTCP over many paths*, expanders excel at this; at the
+moderate scale this repository targets, under deployable oblivious
+routing, the measurement comes out the other way: the leaf-spine's
+symmetric two-hop fabric sustains exactly ``y/x`` of line rate per
+server on *any* rack permutation, while the flat rebuilds lose a factor
+~2 to transit interference and split imbalance (and even 8-shortest-path
+or VLB routing does not close the gap at this size).
+
+That is consistent with the paper's actual claims — flat networks win by
+*absorbing skew* and are merely "comparable" on averaged uniform traffic;
+a single rack-permutation is the adversarial pattern where Clos symmetry
+shines.  The study exists to mark that boundary honestly (see
+EXPERIMENTS.md E24).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.network import Network
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.throughput import tm_throughput
+from repro.topology import dring, flatten, leaf_spine
+
+
+@dataclass(frozen=True)
+class PermutationPoint:
+    """Normalized permutation throughput for one (topology, routing)."""
+
+    topology: str
+    routing: str
+    mean_fraction: float
+    worst_fraction: float
+
+
+def _rack_permutation(
+    racks: List[int], rng: random.Random
+) -> Dict[Tuple[int, int], int]:
+    targets = racks[:]
+    while True:
+        rng.shuffle(targets)
+        if all(a != b for a, b in zip(racks, targets)):
+            return dict(zip(racks, targets))
+
+
+def permutation_throughput(
+    network: Network, seed: int = 0
+) -> PermutationPoint:
+    """One topology's normalized throughput under a rack permutation.
+
+    Each rack sends to its permutation target with one flow per server
+    (the fairness weight), so ``mean_fraction`` is the average per-server
+    share of line rate and ``worst_fraction`` the unluckiest rack's.
+    """
+    rng = random.Random(seed)
+    mapping = _rack_permutation(list(network.racks), rng)
+    demands = {
+        (src, dst): float(network.servers_at(src))
+        for src, dst in mapping.items()
+    }
+    routing = (
+        ShortestUnionRouting(network, 2)
+        if network.is_flat()
+        else EcmpRouting(network)
+    )
+    report = tm_throughput(network, routing, demands)
+    line_rate = network.server_link_capacity
+    fractions = [
+        rate / demands[pair] / line_rate
+        for pair, rate in report.per_commodity_gbps.items()
+    ]
+    return PermutationPoint(
+        topology=network.name,
+        routing=routing.name,
+        mean_fraction=sum(fractions) / len(fractions),
+        worst_fraction=min(fractions),
+    )
+
+
+def run_permutation_study(
+    leaf_x: int = 12, leaf_y: int = 4, seed: int = 0
+) -> List[PermutationPoint]:
+    """Leaf-spine vs its flat rebuild vs a DRing, same server totals."""
+    ls = leaf_spine(leaf_x, leaf_y)
+    rrg = flatten(ls, seed=seed, name="rrg")
+    ring = dring(12, 2, total_servers=ls.num_servers)
+    return [
+        permutation_throughput(net, seed=seed) for net in (ls, rrg, ring)
+    ]
+
+
+def render_permutation(points: List[PermutationPoint]) -> str:
+    header = f"{'topology':<22}{'routing':>9}{'mean frac':>11}{'worst frac':>12}"
+    lines = [
+        "Permutation throughput (fraction of server line rate)",
+        header,
+        "-" * len(header),
+    ]
+    for p in points:
+        lines.append(
+            f"{p.topology:<22}{p.routing:>9}{p.mean_fraction:>11.3f}"
+            f"{p.worst_fraction:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Seed-robustness scorecard: do the paper's conclusions survive noise?
+
+A reproduction that holds at one seed proves little; this experiment
+re-runs the core Figure 4 / Figure 5 claims across several workload
+seeds and reports, per claim, in how many runs it held.  The claims are
+deliberately the qualitative statements EXPERIMENTS.md records —
+orderings and factor bounds, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.fig4_fct import PatternSpec, run_fig4
+from repro.experiments.runner import SMALL, Scale
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.throughput import cs_throughput
+from repro.topology import dring, leaf_spine
+from repro.traffic import cs_skewed_fig4, fb_skewed, rack_to_rack, uniform
+
+LEAF = "leaf-spine (ecmp)"
+DRING_SU2 = "DRing (su2)"
+DRING_ECMP = "DRing (ecmp)"
+RRG_SU2 = "RRG (su2)"
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One claim's pass count over the seed sweep."""
+
+    claim: str
+    passes: int
+    runs: int
+
+    @property
+    def rate(self) -> float:
+        return self.passes / self.runs
+
+
+def _fig4_lite(scale: Scale, seed: int):
+    patterns = [
+        PatternSpec("A2A", uniform(scale.cluster)),
+        PatternSpec("R2R", rack_to_rack(scale.cluster)),
+        PatternSpec("CS skewed", cs_skewed_fig4(scale.cluster, seed=seed)),
+        PatternSpec("FB skewed", fb_skewed(scale.cluster, seed=seed)),
+    ]
+    return run_fig4(scale, seed=seed, patterns=patterns)
+
+
+def _claims(scale: Scale, seed: int) -> Dict[str, bool]:
+    fig4 = _fig4_lite(scale, seed)
+
+    def p99(pattern: str, scheme: str) -> float:
+        return fig4.rows[pattern][scheme].p99_fct_ms()
+
+    ls = leaf_spine(scale.leaf_x, scale.leaf_y)
+    ring = dring(
+        scale.dring_m, scale.dring_n, total_servers=scale.dring_servers
+    )
+    skew_ls = cs_throughput(ls, EcmpRouting(ls), 24, 96, seed=seed)
+    skew_dr = cs_throughput(
+        ring, ShortestUnionRouting(ring, 2), 24, 96, seed=seed
+    )
+
+    return {
+        "flat beats leaf-spine on CS-skewed tail": (
+            min(p99("CS skewed", DRING_SU2), p99("CS skewed", RRG_SU2))
+            < p99("CS skewed", LEAF)
+        ),
+        "flat beats leaf-spine on FB-skewed tail": (
+            min(p99("FB skewed", DRING_SU2), p99("FB skewed", RRG_SU2))
+            < p99("FB skewed", LEAF)
+        ),
+        "SU(2) <= ECMP on DRing R2R tail": (
+            p99("R2R", DRING_SU2) <= p99("R2R", DRING_ECMP) * 1.05
+        ),
+        "uniform comparable (within 2x)": (
+            max(p99("A2A", DRING_SU2), p99("A2A", RRG_SU2))
+            < 2.0 * p99("A2A", LEAF)
+        ),
+        "skewed C-S throughput gain > 1.3x": (
+            skew_dr.mean_flow_gbps > 1.3 * skew_ls.mean_flow_gbps
+        ),
+    }
+
+
+def run_robustness(
+    scale: Scale = SMALL, seeds: Sequence[int] = (0, 1, 2, 3, 4)
+) -> List[ClaimResult]:
+    """Evaluate every claim at every seed; aggregate pass counts."""
+    tallies: Dict[str, int] = {}
+    order: List[str] = []
+    for seed in seeds:
+        outcomes = _claims(scale, seed)
+        for claim, held in outcomes.items():
+            if claim not in tallies:
+                tallies[claim] = 0
+                order.append(claim)
+            tallies[claim] += int(held)
+    return [
+        ClaimResult(claim=claim, passes=tallies[claim], runs=len(seeds))
+        for claim in order
+    ]
+
+
+def render_robustness(results: List[ClaimResult]) -> str:
+    header = f"{'claim':<44}{'held':>8}"
+    lines = [
+        "Seed-robustness scorecard (paper claims across workload seeds)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(f"{r.claim:<44}{r.passes:>4}/{r.runs}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Shared experiment infrastructure: scales, topology suites, helpers.
+
+Every experiment runs at a configurable :class:`Scale`.  ``SMALL`` is the
+default for tests and benchmarks (seconds on a laptop); ``PAPER`` matches
+Section 5.1's instances (leaf-spine(48,16) with 3072 servers, the 80-rack
+DRing with 2988 servers) for full-fidelity runs.
+
+The topology suite mirrors the paper's Figure 4 legend: leaf-spine with
+ECMP, and DRing/RRG each with ECMP and Shortest-Union(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.network import Network
+from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting
+from repro.topology import dring, flatten, leaf_spine
+from repro.traffic import CanonicalCluster, Placement
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment size: topology parameters + workload knobs."""
+
+    name: str
+    leaf_x: int
+    leaf_y: int
+    dring_m: int
+    dring_n: int
+    dring_servers: int
+    max_flows: int
+    window_seconds: float
+    #: Truncation for Pareto sizes, keeps quick runs from being dominated
+    #: by one elephant; None reproduces the unbounded paper workload.
+    size_cap_bytes: float
+
+    @property
+    def cluster(self) -> CanonicalCluster:
+        """Canonical authoring space = the leaf-spine's racks/servers."""
+        return CanonicalCluster(
+            num_racks=self.leaf_x + self.leaf_y,
+            servers_per_rack=self.leaf_x,
+        )
+
+
+#: Default scale: 16-rack leaf-spine(12,4), 24-rack DRing, 192 servers.
+SMALL = Scale(
+    name="small",
+    leaf_x=12,
+    leaf_y=4,
+    dring_m=12,
+    dring_n=2,
+    dring_servers=192,
+    max_flows=1500,
+    window_seconds=0.04,
+    size_cap_bytes=10e6,
+)
+
+#: An intermediate scale for longer local runs.
+MEDIUM = Scale(
+    name="medium",
+    leaf_x=24,
+    leaf_y=8,
+    dring_m=10,
+    dring_n=4,
+    dring_servers=768,
+    max_flows=4000,
+    window_seconds=0.04,
+    size_cap_bytes=10e6,
+)
+
+#: The paper's Section 5.1 configuration.
+PAPER = Scale(
+    name="paper",
+    leaf_x=48,
+    leaf_y=16,
+    dring_m=16,
+    dring_n=5,
+    dring_servers=2988,
+    max_flows=20000,
+    window_seconds=0.05,
+    size_cap_bytes=100e6,
+)
+
+
+@dataclass
+class TopologyUnderTest:
+    """One (topology, routing) combination of the Figure 4 legend."""
+
+    label: str
+    network: Network
+    routing: RoutingScheme
+    placement_factory: Callable[[bool, int], Placement]
+
+    def placement(self, shuffle: bool = False, seed: int = 0) -> Placement:
+        return self.placement_factory(shuffle, seed)
+
+
+def build_suite(
+    scale: Scale, seed: int = 0, include_ecmp_flats: bool = True
+) -> List[TopologyUnderTest]:
+    """The five-scheme suite of Figure 4 at the requested scale."""
+    cluster = scale.cluster
+    ls = leaf_spine(scale.leaf_x, scale.leaf_y)
+    dr = dring(
+        scale.dring_m,
+        scale.dring_n,
+        total_servers=scale.dring_servers,
+        name=f"dring(m={scale.dring_m},n={scale.dring_n})",
+    )
+    rrg = flatten(ls, seed=seed, name="rrg")
+
+    def placement_for(network: Network) -> Callable[[bool, int], Placement]:
+        return lambda shuffle, pseed: Placement(
+            cluster, network, shuffle=shuffle, seed=pseed
+        )
+
+    suite = [
+        TopologyUnderTest(
+            "leaf-spine (ecmp)", ls, EcmpRouting(ls), placement_for(ls)
+        ),
+        TopologyUnderTest(
+            "DRing (su2)", dr, ShortestUnionRouting(dr, 2), placement_for(dr)
+        ),
+        TopologyUnderTest(
+            "RRG (su2)", rrg, ShortestUnionRouting(rrg, 2), placement_for(rrg)
+        ),
+    ]
+    if include_ecmp_flats:
+        suite.append(
+            TopologyUnderTest(
+                "DRing (ecmp)", dr, EcmpRouting(dr), placement_for(dr)
+            )
+        )
+        suite.append(
+            TopologyUnderTest(
+                "RRG (ecmp)", rrg, EcmpRouting(rrg), placement_for(rrg)
+            )
+        )
+    return suite
+
+
+def scheme_labels(include_ecmp_flats: bool = True) -> List[str]:
+    labels = ["leaf-spine (ecmp)", "DRing (su2)", "RRG (su2)"]
+    if include_ecmp_flats:
+        labels += ["DRing (ecmp)", "RRG (ecmp)"]
+    return labels

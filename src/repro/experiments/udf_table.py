@@ -1,0 +1,93 @@
+"""Section 3.1's analysis as an executable table: NSR and UDF.
+
+The paper proves UDF(leaf-spine(x, y)) = 2 independent of x and y.  This
+module evaluates the closed forms over a grid, cross-checks them against
+empirically constructed networks (build leaf-spine, flatten it, measure
+NSRs), and reports the Figure 1 toy numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.metrics import (
+    flat_leaf_spine_nsr,
+    leaf_spine_nsr,
+    leaf_spine_udf,
+    nsr,
+    udf,
+)
+from repro.topology import flatten, leaf_spine
+
+
+@dataclass(frozen=True)
+class UdfRow:
+    """One (x, y) row of the UDF table."""
+
+    x: int
+    y: int
+    nsr_baseline: float
+    nsr_flat: float
+    udf_closed_form: float
+    udf_empirical: float
+
+
+def run_udf_table(
+    grid: List[Tuple[int, int]] = None, seed: int = 0
+) -> List[UdfRow]:
+    """Evaluate closed-form and empirical UDF over a leaf-spine grid.
+
+    The empirical value differs slightly from 2 only through integer
+    server spreading in the flat rebuild.
+    """
+    if grid is None:
+        grid = [(4, 2), (6, 2), (12, 4), (16, 8), (24, 8), (48, 16)]
+    rows: List[UdfRow] = []
+    for x, y in grid:
+        baseline = leaf_spine(x, y)
+        flat = flatten(baseline, seed=seed)
+        rows.append(
+            UdfRow(
+                x=x,
+                y=y,
+                nsr_baseline=leaf_spine_nsr(x, y),
+                nsr_flat=flat_leaf_spine_nsr(x, y),
+                udf_closed_form=leaf_spine_udf(x, y),
+                udf_empirical=udf(baseline, flat),
+            )
+        )
+    return rows
+
+
+def render_udf_table(rows: List[UdfRow]) -> str:
+    header = (
+        f"{'x':>5}{'y':>5}{'NSR(T)':>10}{'NSR(F(T))':>12}"
+        f"{'UDF closed':>12}{'UDF measured':>14}"
+    )
+    lines = ["Section 3.1: UDF of leaf-spine(x, y)", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.x:>5}{r.y:>5}{r.nsr_baseline:>10.3f}{r.nsr_flat:>12.3f}"
+            f"{r.udf_closed_form:>12.3f}{r.udf_empirical:>14.3f}"
+        )
+    return "\n".join(lines)
+
+
+def figure1_numbers() -> dict:
+    """The toy example of Figure 1: leaf-spine(4, 2) vs its flat rebuild.
+
+    The paper's caption: the leaf-spine has 4 servers and 2 network
+    links per rack (1/2 network port per server); the flat network built
+    with the same hardware has 3 servers and 3 network links per rack
+    (1 network port per server).
+    """
+    x, y = 4, 2
+    baseline = leaf_spine(x, y)
+    flat = flatten(baseline, seed=0)
+    return {
+        "leafspine_ports_per_server": leaf_spine_nsr(x, y),
+        "flat_ports_per_server": flat_leaf_spine_nsr(x, y),
+        "leafspine_nsr_measured": nsr(baseline).mean,
+        "flat_nsr_measured": nsr(flat).mean,
+    }

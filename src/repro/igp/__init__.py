@@ -1,0 +1,14 @@
+"""Link-state IGP substrate (OSPF-style), the leaf-spine's usual control
+plane ("running shortest-path routing (BGP or OSPF) with ECMP",
+Section 2)."""
+
+from repro.igp.lsdb import LinkStateAd, LinkStateDatabase
+from repro.igp.ospf import OspfFabric, OspfReport, build_converged_igp
+
+__all__ = [
+    "LinkStateAd",
+    "LinkStateDatabase",
+    "OspfFabric",
+    "OspfReport",
+    "build_converged_igp",
+]

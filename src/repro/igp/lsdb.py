@@ -1,0 +1,59 @@
+"""Link-state advertisements and per-router databases.
+
+Each router originates one LSA describing its live adjacencies; the
+fabric floods LSAs until every router holds an identical database, from
+which each router independently computes shortest paths.  Sequence
+numbers implement the freshness rule: a router installs an LSA only if
+its sequence number is newer than what it holds, which is what makes
+flooding terminate and failures propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkStateAd:
+    """One router's view of its own adjacencies."""
+
+    origin: int
+    sequence: int
+    #: (neighbor, cost) pairs; cost is hop count 1 in this fabric.
+    adjacencies: FrozenSet[Tuple[int, int]]
+
+    def newer_than(self, other: Optional["LinkStateAd"]) -> bool:
+        return other is None or self.sequence > other.sequence
+
+
+class LinkStateDatabase:
+    """The set of freshest LSAs a router has heard."""
+
+    def __init__(self) -> None:
+        self._ads: Dict[int, LinkStateAd] = {}
+
+    def install(self, ad: LinkStateAd) -> bool:
+        """Install if fresher; returns True when the database changed."""
+        if ad.newer_than(self._ads.get(ad.origin)):
+            self._ads[ad.origin] = ad
+            return True
+        return False
+
+    def get(self, origin: int) -> Optional[LinkStateAd]:
+        return self._ads.get(origin)
+
+    def ads(self) -> Iterator[LinkStateAd]:
+        return iter(self._ads.values())
+
+    def origins(self) -> FrozenSet[int]:
+        return frozenset(self._ads)
+
+    def digest(self) -> FrozenSet[Tuple[int, int]]:
+        """(origin, sequence) fingerprint, for convergence detection."""
+        return frozenset(
+            (ad.origin, ad.sequence) for ad in self._ads.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self._ads)

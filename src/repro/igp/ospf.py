@@ -1,0 +1,203 @@
+"""An OSPF-style fabric: synchronous flooding + per-router SPF.
+
+The control plane an ordinary leaf-spine actually runs (Section 2):
+every switch originates a link-state advertisement, flooding spreads the
+freshest LSAs one hop per round, and once the databases agree each
+switch runs Dijkstra locally to install equal-cost next hops.  The
+engine verifies the paper's implicit premise — that this standard stack
+computes exactly the ECMP shortest-path DAG the simulators assume — and
+measures reconvergence after failures the same way the BGP engine does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.network import Network
+from repro.igp.lsdb import LinkStateAd, LinkStateDatabase
+
+
+@dataclass(frozen=True)
+class OspfReport:
+    """Outcome of running flooding to a fixpoint."""
+
+    rounds: int
+    lsas_flooded: int
+
+
+class OspfFabric:
+    """Link-state routing over one network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._sequence: Dict[int, int] = {s: 1 for s in network.switches}
+        self.databases: Dict[int, LinkStateDatabase] = {
+            s: LinkStateDatabase() for s in network.switches
+        }
+        self._routes: Optional[Dict[int, Dict[int, Tuple[int, List[int]]]]] = None
+        self._report: Optional[OspfReport] = None
+
+    # ------------------------------------------------------------------
+    # LSA origination and flooding
+    # ------------------------------------------------------------------
+
+    def _originate(self, switch: int) -> LinkStateAd:
+        adjacencies = frozenset(
+            (neighbor, 1)
+            for neighbor in self.network.graph.neighbors(switch)
+        )
+        return LinkStateAd(
+            origin=switch,
+            sequence=self._sequence[switch],
+            adjacencies=adjacencies,
+        )
+
+    def _flood(
+        self, pending: Dict[int, Set[int]], max_rounds: int
+    ) -> OspfReport:
+        """Propagate only *changed* LSAs, one hop per round.
+
+        ``pending[switch]`` holds the LSA origins whose fresher copies
+        the switch must forward — the selective flooding real OSPF does,
+        which is what makes incremental repair cheap.
+        """
+        rounds = 0
+        flooded = 0
+        while pending and rounds < max_rounds:
+            rounds += 1
+            changed: Dict[int, Set[int]] = {}
+            for switch in sorted(pending):
+                db = self.databases[switch]
+                for neighbor in self.network.graph.neighbors(switch):
+                    neighbor_db = self.databases[neighbor]
+                    for origin in sorted(pending[switch]):
+                        ad = db.get(origin)
+                        if ad is None:
+                            continue
+                        flooded += 1
+                        if neighbor_db.install(ad):
+                            changed.setdefault(neighbor, set()).add(origin)
+            pending = changed
+        if pending:
+            raise RuntimeError(f"flooding did not settle in {max_rounds} rounds")
+        self._routes = None
+        report = OspfReport(rounds=rounds, lsas_flooded=flooded)
+        self._report = report
+        return report
+
+    def converge(self, max_rounds: int = 10_000) -> OspfReport:
+        """Flood until every database stops changing."""
+        # Seed: each router installs its own LSA.
+        pending: Dict[int, Set[int]] = {}
+        for switch in self.network.switches:
+            if self.databases[switch].install(self._originate(switch)):
+                pending.setdefault(switch, set()).add(switch)
+        return self._flood(pending, max_rounds)
+
+    @property
+    def report(self) -> OspfReport:
+        if self._report is None:
+            raise RuntimeError("call converge() first")
+        return self._report
+
+    def databases_consistent(self) -> bool:
+        """True when every router holds the same LSDB fingerprint."""
+        digests = {db.digest() for db in self.databases.values()}
+        return len(digests) == 1
+
+    # ------------------------------------------------------------------
+    # SPF
+    # ------------------------------------------------------------------
+
+    def _spf(self, switch: int) -> Dict[int, Tuple[int, List[int]]]:
+        """Dijkstra over this router's own LSDB.
+
+        Returns ``dst -> (distance, [equal-cost next hops])``.  Only
+        bidirectionally-confirmed adjacencies count (the two-way check
+        real OSPF applies), so a half-withdrawn link never forwards.
+        """
+        db = self.databases[switch]
+        adjacency: Dict[int, Set[int]] = {}
+        for ad in db.ads():
+            for neighbor, _cost in ad.adjacencies:
+                back = db.get(neighbor)
+                if back is not None and any(
+                    n == ad.origin for n, _c in back.adjacencies
+                ):
+                    adjacency.setdefault(ad.origin, set()).add(neighbor)
+
+        import heapq
+
+        dist: Dict[int, int] = {switch: 0}
+        first_hops: Dict[int, Set[int]] = {switch: set()}
+        heap = [(0, switch)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for neighbor in adjacency.get(node, ()):
+                nd = d + 1
+                hops = (
+                    {neighbor} if node == switch else set(first_hops[node])
+                )
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    first_hops[neighbor] = set(hops)
+                    heapq.heappush(heap, (nd, neighbor))
+                elif nd == dist[neighbor]:
+                    first_hops[neighbor] |= hops
+        return {
+            dst: (dist[dst], sorted(first_hops[dst]))
+            for dst in dist
+            if dst != switch
+        }
+
+    def routes(self) -> Dict[int, Dict[int, Tuple[int, List[int]]]]:
+        """Per-router SPF results, computed lazily after convergence."""
+        if self._report is None:
+            raise RuntimeError("call converge() first")
+        if self._routes is None:
+            self._routes = {
+                switch: self._spf(switch) for switch in self.network.switches
+            }
+        return self._routes
+
+    def next_hops(self, switch: int, dst: int) -> List[int]:
+        """The installed equal-cost next hops at ``switch`` toward ``dst``."""
+        entry = self.routes().get(switch, {}).get(dst)
+        if entry is None:
+            raise ValueError(f"{switch} has no route to {dst}")
+        return entry[1]
+
+    def distance(self, switch: int, dst: int) -> int:
+        entry = self.routes().get(switch, {}).get(dst)
+        if entry is None:
+            raise ValueError(f"{switch} has no route to {dst}")
+        return entry[0]
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+
+    def fail_link(self, u: int, v: int, max_rounds: int = 10_000) -> OspfReport:
+        """Fail one physical link and re-flood incrementally."""
+        if self._report is None:
+            raise RuntimeError("converge() must run before failing links")
+        if not self.network.graph.has_edge(u, v):
+            raise ValueError(f"no link ({u}, {v}) to fail")
+        self.network.graph.remove_edge(u, v)
+        # The two endpoints notice and re-originate with bumped sequence.
+        pending: Dict[int, Set[int]] = {}
+        for endpoint in (u, v):
+            self._sequence[endpoint] += 1
+            if self.databases[endpoint].install(self._originate(endpoint)):
+                pending.setdefault(endpoint, set()).add(endpoint)
+        return self._flood(pending, max_rounds)
+
+
+def build_converged_igp(network: Network) -> OspfFabric:
+    """Construct and converge the link-state fabric (on a copy)."""
+    fabric = OspfFabric(network.copy())
+    fabric.converge()
+    return fabric

@@ -1,0 +1,29 @@
+"""Routing schemes: ECMP, Shortest-Union(K), KSP and VLB baselines."""
+
+from repro.routing.base import (
+    Path,
+    RoutingError,
+    RoutingScheme,
+    path_is_simple,
+    path_is_valid,
+)
+from repro.routing.ecmp import EcmpRouting
+from repro.routing.shortest_union import ShortestUnionRouting, shortest_union_paths
+from repro.routing.ksp import KShortestPathsRouting
+from repro.routing.vlb import VlbRouting
+from repro.routing.adaptive import CoarseAdaptiveRouting, bottleneck_load
+
+__all__ = [
+    "Path",
+    "RoutingError",
+    "RoutingScheme",
+    "path_is_simple",
+    "path_is_valid",
+    "EcmpRouting",
+    "ShortestUnionRouting",
+    "shortest_union_paths",
+    "KShortestPathsRouting",
+    "VlbRouting",
+    "CoarseAdaptiveRouting",
+    "bottleneck_load",
+]

@@ -1,0 +1,52 @@
+"""Simulators: max-min allocator, flow-level FCT, steady-state throughput."""
+
+from repro.sim.maxmin import (
+    AllocationError,
+    LinkIndex,
+    flow_rates,
+    progressive_filling,
+)
+from repro.sim.flowsim import FlowSimulator, simulate_fct
+from repro.sim.throughput import (
+    ConcreteCs,
+    ThroughputReport,
+    commodity_throughput,
+    cs_throughput,
+    place_cs_concrete,
+    tm_throughput,
+)
+from repro.sim.results import FctResults, FlowRecord, fct_table, heatmap_text
+from repro.sim.idealflow import (
+    EfficiencyReport,
+    IdealFlowError,
+    ideal_throughput,
+    oblivious_throughput,
+    routing_efficiency,
+)
+from repro.sim.packet import PacketSimulator, simulate_fct_packet
+
+__all__ = [
+    "AllocationError",
+    "LinkIndex",
+    "flow_rates",
+    "progressive_filling",
+    "FlowSimulator",
+    "simulate_fct",
+    "ConcreteCs",
+    "ThroughputReport",
+    "commodity_throughput",
+    "cs_throughput",
+    "place_cs_concrete",
+    "tm_throughput",
+    "FctResults",
+    "FlowRecord",
+    "fct_table",
+    "heatmap_text",
+    "EfficiencyReport",
+    "IdealFlowError",
+    "ideal_throughput",
+    "oblivious_throughput",
+    "routing_efficiency",
+    "PacketSimulator",
+    "simulate_fct_packet",
+]

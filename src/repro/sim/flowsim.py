@@ -1,0 +1,216 @@
+"""Event-driven flow-level simulator: the stand-in for htsim (Section 5.3).
+
+Flows arrive at their start times, share bandwidth max-min fairly with
+every other active flow (the fluid limit of long-lived TCP), and depart
+when their bytes are delivered.  Rates are recomputed at every arrival
+and departure, so between events the system is piecewise constant and
+completion times are exact under the fluid model.
+
+Each flow occupies its source server's uplink, its destination server's
+downlink, and the directed network links of the switch path its first
+packet was ECMP-hashed onto (``RoutingScheme.sample_path``).  Intra-rack
+flows use only the server links, which is how flat networks keep local
+traffic off the fabric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.routing.base import RoutingScheme
+from repro.sim.maxmin import LinkIndex, flow_rates
+from repro.sim.results import FctResults, FlowRecord
+from repro.traffic.flows import Flow
+from repro.traffic.matrix import Placement
+
+#: Bytes below which a flow counts as finished (guards float round-off).
+_RESIDUAL_BYTES = 1e-6
+
+
+@dataclass
+class _ActiveFlow:
+    flow: Flow
+    remaining: float
+    links: List[int]
+    path: Tuple[int, ...]
+    src_server: int
+    dst_server: int
+
+
+class FlowSimulator:
+    """Simulates a flow workload on one (topology, routing) combination."""
+
+    def __init__(
+        self,
+        network: Network,
+        routing: RoutingScheme,
+        placement: Placement,
+        seed: int = 0,
+        hop_latency_s: float = 0.0,
+    ) -> None:
+        """``hop_latency_s`` adds a fixed per-link latency to each flow's
+        completion time (propagation + store-and-forward), improving
+        small-flow fidelity; it does not affect bandwidth sharing.  The
+        default 0 reproduces the pure fluid model."""
+        if hop_latency_s < 0:
+            raise ValueError("hop latency must be non-negative")
+        if routing.network is not network:
+            raise ValueError("routing was built for a different network")
+        if placement.network is not network:
+            raise ValueError("placement targets a different network")
+        self.network = network
+        self.routing = routing
+        self.placement = placement
+        self.hop_latency_s = hop_latency_s
+        self._rng = random.Random(seed)
+        self._links = LinkIndex()
+        for (u, v), capacity in network.directed_capacities().items():
+            self._links.add(("net", u, v), capacity)
+        #: Bytes carried per link id, filled during :meth:`run`.
+        self._link_bytes: Dict[int, float] = {}
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _server_link(self, direction: str, server: int) -> int:
+        return self._links.add(
+            (direction, server), self.network.server_link_capacity
+        )
+
+    def _admit(self, flow: Flow) -> _ActiveFlow:
+        """Resolve endpoints, hash a path, and build the link list."""
+        src = self.placement.network_server(flow.src_server)
+        dst = self.placement.network_server(flow.dst_server)
+        links = [self._server_link("up", src)]
+        if dst != src:
+            links.append(self._server_link("down", dst))
+        src_rack = self.network.switch_of_server(src)
+        dst_rack = self.network.switch_of_server(dst)
+        if src_rack != dst_rack:
+            path = self.routing.sample_path(src_rack, dst_rack, self._rng)
+            for u, v in zip(path, path[1:]):
+                links.append(self._links.id_of(("net", u, v)))
+        else:
+            path = (src_rack,)
+        return _ActiveFlow(
+            flow=flow,
+            remaining=flow.size_bytes,
+            links=links,
+            path=path,
+            src_server=src,
+            dst_server=dst,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, flows: Sequence[Flow]) -> FctResults:
+        """Simulate the workload to completion and return all FCTs."""
+        arrivals = sorted(flows, key=lambda f: f.start_time)
+        results = FctResults()
+        active: List[_ActiveFlow] = []
+        now = 0.0
+        next_arrival = 0
+
+        while active or next_arrival < len(arrivals):
+            # Admit every flow starting exactly now (zero-width batch).
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].start_time <= now + 1e-15
+            ):
+                active.append(self._admit(arrivals[next_arrival]))
+                next_arrival += 1
+
+            if not active:
+                now = arrivals[next_arrival].start_time
+                continue
+
+            rates = flow_rates(
+                [entry.links for entry in active], self._links.capacities
+            )
+
+            # Earliest completion under current rates, in seconds.
+            times = np.array(
+                [entry.remaining for entry in active]
+            ) * 8.0 / (rates * 1e9)
+            finish_dt = float(times.min())
+            arrival_dt = (
+                arrivals[next_arrival].start_time - now
+                if next_arrival < len(arrivals)
+                else np.inf
+            )
+            dt = min(finish_dt, arrival_dt)
+            if dt < 0:
+                raise RuntimeError("simulation time went backwards")
+
+            # Drain bytes at the constant rates over dt.
+            drained = rates * 1e9 / 8.0 * dt
+            now += dt
+            still_active: List[_ActiveFlow] = []
+            for entry, spent in zip(active, drained):
+                entry.remaining -= spent
+                if spent > 0.0:
+                    for link in entry.links:
+                        self._link_bytes[link] = (
+                            self._link_bytes.get(link, 0.0) + spent
+                        )
+                if entry.remaining <= _RESIDUAL_BYTES and dt == finish_dt:
+                    latency = self.hop_latency_s * len(entry.links)
+                    results.add(
+                        FlowRecord(
+                            src_server=entry.src_server,
+                            dst_server=entry.dst_server,
+                            size_bytes=entry.flow.size_bytes,
+                            start_time=entry.flow.start_time,
+                            finish_time=now + latency,
+                            path=entry.path,
+                        )
+                    )
+                else:
+                    still_active.append(entry)
+            active = still_active
+
+        self._elapsed = now
+        return results
+
+    # ------------------------------------------------------------------
+    # Post-run analysis
+    # ------------------------------------------------------------------
+
+    def link_utilization(self) -> Dict[object, float]:
+        """Average utilization per link over the run, keyed by link key.
+
+        Keys are ``("net", u, v)`` for directed network links and
+        ``("up"/"down", server)`` for host links; only links that carried
+        traffic appear.  Must be called after :meth:`run`.
+        """
+        if self._elapsed <= 0.0:
+            raise RuntimeError("run() has not completed yet")
+        report: Dict[object, float] = {}
+        for link_id, carried in self._link_bytes.items():
+            capacity_bps = self._links.capacity_of(link_id) * 1e9 / 8.0
+            report[self._links.key_of(link_id)] = carried / (
+                capacity_bps * self._elapsed
+            )
+        return report
+
+    def hottest_links(self, count: int = 5) -> List[Tuple[object, float]]:
+        """The ``count`` most utilized links, hottest first."""
+        utilization = self.link_utilization()
+        ranked = sorted(utilization.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+
+def simulate_fct(
+    network: Network,
+    routing: RoutingScheme,
+    placement: Placement,
+    flows: Sequence[Flow],
+    seed: int = 0,
+) -> FctResults:
+    """Convenience wrapper: build the simulator and run one workload."""
+    return FlowSimulator(network, routing, placement, seed=seed).run(flows)

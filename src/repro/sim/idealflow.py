@@ -1,0 +1,198 @@
+"""Ideal-routing throughput via a multicommodity-flow LP.
+
+Jyothi et al. (SC '16), which the paper builds on (Section 2), measure a
+topology's *throughput* as the largest α such that α times the demand
+matrix is routable with ideal (fractional, demand-aware) routing — the
+maximal concurrent flow.  This module solves that LP exactly with
+scipy's HiGHS backend, and compares it against what an *oblivious*
+scheme (ECMP, Shortest-Union) actually achieves with its fixed splits:
+
+* :func:`ideal_throughput` — the topology's capability, routing-independent;
+* :func:`oblivious_throughput` — the same α under the scheme's fixed
+  fractional splits (a closed form: the most-loaded link decides);
+* :func:`routing_efficiency` — their ratio, i.e. how much of the
+  topology's capability the deployable scheme realizes.
+
+Commodities are aggregated by source rack (the standard reduction), so
+the LP has |racks| x |directed links| flow variables plus α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.routing.base import RoutingScheme
+
+RackPair = Tuple[int, int]
+
+
+class IdealFlowError(RuntimeError):
+    """Raised when the LP cannot be solved (bad demands, solver failure)."""
+
+
+def _directed_links(network: Network) -> List[Tuple[int, int]]:
+    return sorted(network.directed_capacities().keys())
+
+
+def ideal_throughput(
+    network: Network, demands: Dict[RackPair, float]
+) -> float:
+    """Max α with α·demand routable under ideal fractional routing.
+
+    Only switch-to-switch capacity constrains the LP (host links are a
+    per-workload matter); demands must be positive, between distinct
+    racks of the network.
+    """
+    try:
+        from scipy.optimize import linprog
+    except ImportError as error:  # pragma: no cover - scipy is a dev dep
+        raise IdealFlowError("scipy is required for the ideal-routing LP") from error
+
+    if not demands:
+        raise IdealFlowError("no demands given")
+    for (a, b), value in demands.items():
+        if a == b:
+            raise IdealFlowError(f"intra-rack demand at {a}")
+        if value <= 0:
+            raise IdealFlowError(f"non-positive demand for {(a, b)}")
+        if a not in network.graph or b not in network.graph:
+            raise IdealFlowError(f"unknown rack in {(a, b)}")
+
+    nodes = network.switches
+    node_index = {node: i for i, node in enumerate(nodes)}
+    links = _directed_links(network)
+    link_index = {link: i for i, link in enumerate(links)}
+    capacities = network.directed_capacities()
+
+    sources = sorted({a for a, _b in demands})
+    num_nodes = len(nodes)
+    num_links = len(links)
+    num_sources = len(sources)
+
+    # Variables: f[s, e] for each source-commodity and directed link,
+    # then alpha last.  Column index: s * num_links + e.
+    num_vars = num_sources * num_links + 1
+    alpha_col = num_vars - 1
+
+    def var(s_idx: int, e_idx: int) -> int:
+        return s_idx * num_links + e_idx
+
+    # Equality constraints: conservation per (source, node).
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs_rows = 0
+    b_eq: List[float] = []
+    for s_idx, source in enumerate(sources):
+        outgoing_demand = sum(
+            v for (a, _b), v in demands.items() if a == source
+        )
+        for node in nodes:
+            row = rhs_rows
+            rhs_rows += 1
+            # out(node) - in(node) - alpha * net_supply(node) = 0
+            for e_idx, (u, v) in enumerate(links):
+                if u == node:
+                    rows.append(row)
+                    cols.append(var(s_idx, e_idx))
+                    vals.append(1.0)
+                elif v == node:
+                    rows.append(row)
+                    cols.append(var(s_idx, e_idx))
+                    vals.append(-1.0)
+            if node == source:
+                supply = outgoing_demand
+            else:
+                supply = -demands.get((source, node), 0.0)
+            if supply != 0.0:
+                rows.append(row)
+                cols.append(alpha_col)
+                vals.append(-supply)
+            b_eq.append(0.0)
+
+    # Inequality constraints: per-link capacity across all commodities.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    b_ub: List[float] = []
+    for e_idx, link in enumerate(links):
+        row = len(b_ub)
+        for s_idx in range(num_sources):
+            ub_rows.append(row)
+            ub_cols.append(var(s_idx, e_idx))
+            ub_vals.append(1.0)
+        b_ub.append(capacities[link])
+
+    from scipy.sparse import coo_matrix
+
+    a_eq = coo_matrix(
+        (vals, (rows, cols)), shape=(len(b_eq), num_vars)
+    )
+    a_ub = coo_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), num_vars)
+    )
+    objective = np.zeros(num_vars)
+    objective[alpha_col] = -1.0  # maximize alpha
+
+    result = linprog(
+        objective,
+        A_ub=a_ub,
+        b_ub=np.asarray(b_ub),
+        A_eq=a_eq,
+        b_eq=np.asarray(b_eq),
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise IdealFlowError(f"LP failed: {result.message}")
+    return float(result.x[alpha_col])
+
+
+def oblivious_throughput(
+    network: Network,
+    routing: RoutingScheme,
+    demands: Dict[RackPair, float],
+) -> float:
+    """Max α under the scheme's *fixed* fractional splits.
+
+    With oblivious routing the per-link load scales linearly in α, so
+    α = min over links of capacity / load at unit demand.
+    """
+    if not demands:
+        raise IdealFlowError("no demands given")
+    capacities = network.directed_capacities()
+    loads: Dict[Tuple[int, int], float] = {}
+    for (src, dst), amount in demands.items():
+        for link, fraction in routing.edge_fractions(src, dst).items():
+            loads[link] = loads.get(link, 0.0) + amount * fraction
+    if not loads:
+        raise IdealFlowError("demands produce no link load")
+    return min(capacities[link] / load for link, load in loads.items())
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """How much of the ideal throughput an oblivious scheme realizes."""
+
+    ideal_alpha: float
+    oblivious_alpha: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.oblivious_alpha / self.ideal_alpha
+
+
+def routing_efficiency(
+    network: Network,
+    routing: RoutingScheme,
+    demands: Dict[RackPair, float],
+) -> EfficiencyReport:
+    """Ideal vs oblivious throughput for one demand matrix."""
+    return EfficiencyReport(
+        ideal_alpha=ideal_throughput(network, demands),
+        oblivious_alpha=oblivious_throughput(network, routing, demands),
+    )

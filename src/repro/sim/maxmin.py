@@ -1,0 +1,173 @@
+"""Weighted max-min fair bandwidth allocation by progressive filling.
+
+This is the fluid model both simulators share.  Long-lived TCP flows
+sharing a network converge approximately to a max-min fair allocation on
+their paths; progressive filling computes it exactly: all entities' fair
+level rises together, a link saturates, the entities crossing it freeze,
+repeat.
+
+The allocator is generic over "entities" (individual flows in the FCT
+simulator, rack-pair commodities in the throughput solver): entity ``i``
+consumes ``value`` units of link ``l`` per unit of its fair level
+``lambda_i``, and its rate is ``lambda_i`` times its weight.  For a flow,
+weight 1 and value 1 on every link of its path recovers classic max-min;
+for a commodity of ``w`` flows splitting over many paths, weight ``w``
+and value ``w * fraction(l)`` makes each *flow* of the commodity as fair
+as a standalone flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Relative tolerance for declaring a link saturated.
+_EPSILON = 1e-12
+
+
+class AllocationError(RuntimeError):
+    """Raised when the allocation cannot make progress (bad inputs)."""
+
+
+def progressive_filling(
+    entity_links: Sequence[Sequence[Tuple[int, float]]],
+    capacities: Sequence[float],
+) -> np.ndarray:
+    """Max-min fair levels for entities consuming capacity on links.
+
+    Parameters
+    ----------
+    entity_links:
+        ``entity_links[i]`` lists ``(link_index, value)`` pairs: entity i
+        consumes ``value * lambda_i`` on that link.  Values must be
+        positive; an entity with no links gets an infinite level, which
+        is reported as an error because it indicates a modelling bug.
+    capacities:
+        Positive capacity per link index.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``lambda_i`` per entity, the max-min fair levels.
+    """
+    num_entities = len(entity_links)
+    caps = np.asarray(capacities, dtype=float)
+    if np.any(caps <= 0):
+        raise AllocationError("all link capacities must be positive")
+    num_links = len(caps)
+
+    # Flatten the incidence into parallel arrays for numpy bincount use.
+    entity_index: List[int] = []
+    link_index: List[int] = []
+    values: List[float] = []
+    for i, links in enumerate(entity_links):
+        if not links:
+            raise AllocationError(f"entity {i} uses no links")
+        for link, value in links:
+            if value <= 0:
+                raise AllocationError(
+                    f"entity {i} has non-positive value {value} on link {link}"
+                )
+            if not 0 <= link < num_links:
+                raise AllocationError(f"entity {i} references bad link {link}")
+            entity_index.append(i)
+            link_index.append(link)
+            values.append(value)
+    ent = np.array(entity_index, dtype=np.intp)
+    lnk = np.array(link_index, dtype=np.intp)
+    val = np.array(values, dtype=float)
+
+    level = np.zeros(num_entities)
+    active = np.ones(num_entities, dtype=bool)
+    remaining = caps.copy()
+    current = 0.0
+
+    while active.any():
+        active_term = active[ent]
+        demand = np.bincount(
+            lnk[active_term], weights=val[active_term], minlength=num_links
+        )
+        used = demand > 0
+        if not used.any():
+            raise AllocationError("active entities consume no capacity")
+        headroom = np.full(num_links, np.inf)
+        headroom[used] = remaining[used] / demand[used]
+        increment = headroom.min()
+        if not np.isfinite(increment) or increment < 0:
+            raise AllocationError("allocation cannot make progress")
+        current += increment
+        remaining -= increment * demand
+        # Freeze entities crossing any saturated link they use.
+        saturated_links = used & (remaining <= _EPSILON * caps)
+        touches = saturated_links[lnk] & active_term
+        frozen = np.unique(ent[touches])
+        if frozen.size == 0:
+            # Numerical corner: force the single most-loaded link.
+            forced = int(np.argmin(headroom))
+            frozen = np.unique(ent[(lnk == forced) & active_term])
+        level[frozen] = current
+        active[frozen] = False
+
+    return level
+
+
+def flow_rates(
+    flow_paths: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+) -> np.ndarray:
+    """Max-min fair rates for unit-weight flows over integer link ids."""
+    entity_links = [
+        [(link, 1.0) for link in path] for path in flow_paths
+    ]
+    return progressive_filling(entity_links, capacities)
+
+
+class LinkIndex:
+    """Assigns dense integer ids to hashable link keys.
+
+    Both simulators address links by arbitrary keys (directed switch
+    pairs, per-server access links); this maps them to the dense indices
+    the allocator wants.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[object, int] = {}
+        self._keys: List[object] = []
+        self._capacities: List[float] = []
+
+    def add(self, key: object, capacity: float) -> int:
+        """Register a link (idempotent); capacity must match on re-add."""
+        if key in self._ids:
+            existing = self._capacities[self._ids[key]]
+            if existing != capacity:
+                raise AllocationError(
+                    f"link {key!r} re-registered with different capacity"
+                )
+            return self._ids[key]
+        if capacity <= 0:
+            raise AllocationError(f"link {key!r} has non-positive capacity")
+        index = len(self._capacities)
+        self._ids[key] = index
+        self._keys.append(key)
+        self._capacities.append(capacity)
+        return index
+
+    def id_of(self, key: object) -> int:
+        return self._ids[key]
+
+    def key_of(self, index: int) -> object:
+        return self._keys[index]
+
+    def capacity_of(self, index: int) -> float:
+        return self._capacities[index]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._ids
+
+    def __len__(self) -> int:
+        return len(self._capacities)
+
+    @property
+    def capacities(self) -> List[float]:
+        return list(self._capacities)

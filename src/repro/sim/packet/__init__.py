@@ -1,0 +1,26 @@
+"""Packet-level discrete-event simulator (the htsim stand-in).
+
+The paper's evaluation ran on a packet-level simulator with TCP over
+10 Gbps links (Section 5.3).  This subpackage provides a simplified but
+faithful equivalent: store-and-forward output-queued switches with
+drop-tail FIFOs, per-flow ECMP path hashing, and a NewReno-flavoured TCP
+(slow start, AIMD, fast retransmit on three duplicate ACKs, RTO with
+go-back-N).  It exists to cross-validate the much faster flow-level
+simulator: both must agree on the paper's qualitative comparisons, and
+the tests in ``tests/sim/test_packet*`` assert that they do.
+"""
+
+from repro.sim.packet.core import EventQueue, Packet
+from repro.sim.packet.link import LinkQueue
+from repro.sim.packet.tcp import TcpFlow, TcpParams
+from repro.sim.packet.simulator import PacketSimulator, simulate_fct_packet
+
+__all__ = [
+    "EventQueue",
+    "Packet",
+    "LinkQueue",
+    "TcpFlow",
+    "TcpParams",
+    "PacketSimulator",
+    "simulate_fct_packet",
+]

@@ -1,0 +1,124 @@
+"""Output-queued link with serialization, propagation and drop-tail.
+
+Each directed link of the physical topology (plus every server up/down
+link) becomes one :class:`LinkQueue`: packets serialize one at a time at
+the link rate, wait in a bounded FIFO while the link is busy, and are
+dropped at the tail when the buffer is full — the loss signal TCP's
+congestion control feeds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sim.packet.core import EventQueue, Packet
+
+#: Default buffer: 100 full-size packets, a common shallow ToR setting.
+DEFAULT_BUFFER_BYTES = 100 * 1_500
+
+#: Default per-hop propagation delay (intra-DC fiber, ~200 m).
+DEFAULT_PROPAGATION_S = 1e-6
+
+
+class LinkQueue:
+    """One directed link: FIFO queue + serializer + propagation delay."""
+
+    def __init__(
+        self,
+        name: str,
+        rate_gbps: float,
+        events: EventQueue,
+        deliver: Callable[[Packet], None],
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        propagation_s: float = DEFAULT_PROPAGATION_S,
+        ecn_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        if rate_gbps <= 0:
+            raise ValueError("link rate must be positive")
+        if buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes <= 0:
+            raise ValueError("ECN threshold must be positive")
+        self.name = name
+        self.bytes_per_second = rate_gbps * 1e9 / 8.0
+        self.events = events
+        self.deliver = deliver
+        self.buffer_bytes = buffer_bytes
+        self.propagation_s = propagation_s
+        #: DCTCP-style instantaneous marking threshold (None = no ECN).
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.marked_packets = 0
+
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+        # Counters for tests and utilization reports.
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+        self.dropped_packets = 0
+        self.peak_queue_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept a packet for transmission; False means tail-dropped.
+
+        With an ECN threshold configured, a packet arriving to a queue
+        at or above the threshold is marked CE instead of waiting for a
+        drop — the DCTCP congestion signal.
+        """
+        if self._busy:
+            if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
+                self.dropped_packets += 1
+                return False
+            if (
+                self.ecn_threshold_bytes is not None
+                and not packet.is_ack
+                and self._queued_bytes >= self.ecn_threshold_bytes
+            ):
+                packet.ecn = True
+                self.marked_packets += 1
+            self._queue.append(packet)
+            self._queued_bytes += packet.size_bytes
+            if self._queued_bytes > self.peak_queue_bytes:
+                self.peak_queue_bytes = self._queued_bytes
+            return True
+        self._transmit(packet)
+        return True
+
+    def _transmit(self, packet: Packet) -> None:
+        self._busy = True
+        serialization = packet.size_bytes / self.bytes_per_second
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size_bytes
+        # The wire is free again after serialization; the packet arrives
+        # at the other end one propagation delay later.
+        self.events.schedule(serialization, self._serialization_done)
+        self.events.schedule(
+            serialization + self.propagation_s,
+            lambda packet=packet: self.deliver(packet),
+        )
+
+    def _serialization_done(self) -> None:
+        if self._queue:
+            packet = self._queue.popleft()
+            self._queued_bytes -= packet.size_bytes
+            self._transmit(packet)
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        return self._queued_bytes
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(
+            1.0, self.transmitted_bytes / (self.bytes_per_second * elapsed)
+        )

@@ -1,0 +1,294 @@
+"""A NewReno-flavoured TCP for the packet simulator.
+
+Implements the mechanisms that matter for the paper's comparisons —
+window-based self-clocking, slow start, AIMD congestion avoidance, fast
+retransmit on three duplicate ACKs, and RTO with go-back-N — while
+leaving out what does not (SACK blocks, delayed ACKs, window scaling).
+RTT is estimated with the standard SRTT/RTTVAR EWMA and Karn's rule
+(retransmitted segments never produce samples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Tuple
+
+from repro.sim.packet.core import Packet
+
+#: Maximum segment size: standard Ethernet payload.
+MSS_BYTES = 1_500
+ACK_BYTES = 60
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Tunables of the TCP implementation."""
+
+    initial_cwnd: float = 10.0
+    min_rto_s: float = 1e-3
+    initial_rto_s: float = 2e-3
+    dupack_threshold: int = 3
+    max_cwnd: float = 10_000.0
+    #: Enable DCTCP: react proportionally to the ECN-marked fraction
+    #: instead of halving on loss signals alone.  Requires the links to
+    #: be configured with an ECN threshold.
+    dctcp: bool = False
+    #: DCTCP's alpha EWMA gain (g in the paper; 1/16 is the default).
+    dctcp_g: float = 1.0 / 16.0
+
+
+class TcpFlow:
+    """Sender + receiver state of one flow.
+
+    The simulator calls :meth:`start` once, :meth:`on_data_arrival` when
+    a data packet reaches the receiver, and :meth:`on_ack_arrival` when
+    an ACK returns to the sender; the flow calls back through
+    ``send_data`` / ``send_ack`` to inject packets, ``schedule`` to set
+    timers, and ``finished`` when the last byte is acknowledged.
+    """
+
+    def __init__(
+        self,
+        flow_id: int,
+        size_bytes: float,
+        send_data: Callable[[int, int, bool], None],
+        send_ack: Callable[[int], None],
+        schedule: Callable[[float, Callable[[], None]], None],
+        now: Callable[[], float],
+        finished: Callable[[], None],
+        params: TcpParams = TcpParams(),
+    ) -> None:
+        self.flow_id = flow_id
+        self.params = params
+        self.total_packets = max(1, math.ceil(size_bytes / MSS_BYTES))
+        self.last_packet_bytes = int(size_bytes - (self.total_packets - 1) * MSS_BYTES)
+        if self.last_packet_bytes <= 0:
+            self.last_packet_bytes = MSS_BYTES
+
+        self._send_data = send_data
+        self._send_ack = send_ack
+        self._schedule = schedule
+        self._now = now
+        self._finished = finished
+
+        # Sender state.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        #: Highest sequence ever handed to the network, so go-back-N
+        #: re-sends are correctly flagged as retransmissions (Karn).
+        self._highest_sent = -1
+        self.cwnd = params.initial_cwnd
+        self.ssthresh = float("inf")
+        self.dupacks = 0
+        self.in_recovery = False
+        #: Highest sequence outstanding when recovery began; recovery
+        #: ends only once the cumulative ACK passes it (RFC 6582).
+        self.recover_point = 0
+        #: Telemetry: fast retransmits + go-back-N resends, and timeouts.
+        self.retransmission_count = 0
+        self.timeout_count = 0
+        self.done = False
+        self._send_times: dict = {}
+        self._retransmitted: Set[int] = set()
+
+        # RTT estimation (RFC 6298).
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = params.initial_rto_s
+        self._rto_deadline: Optional[float] = None
+        self._timer_armed = False
+
+        # DCTCP state: per-window marked/acked accounting and the alpha
+        # estimate of the marked fraction.
+        self.dctcp_alpha = 0.0
+        self._window_end = 0
+        self._window_acked = 0
+        self._window_marked = 0
+
+        # Receiver state.
+        self.rcv_nxt = 0
+        self._out_of_order: Set[int] = set()
+        self._ecn_seen: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._fill_window()
+
+    def packet_size(self, seq: int) -> int:
+        if seq == self.total_packets - 1:
+            return self.last_packet_bytes
+        return MSS_BYTES
+
+    def _fill_window(self) -> None:
+        while (
+            self.snd_nxt < self.total_packets
+            and self.snd_nxt - self.snd_una < int(self.cwnd)
+        ):
+            seq = self.snd_nxt
+            self.snd_nxt += 1
+            # After a go-back-N timeout snd_nxt rewinds below sequences
+            # already transmitted once; those re-sends are
+            # retransmissions for Karn's rule and loss accounting.
+            self._transmit(seq, retransmission=seq <= self._highest_sent)
+        self._arm_timer()
+
+    def _transmit(self, seq: int, retransmission: bool) -> None:
+        if retransmission:
+            self._retransmitted.add(seq)
+            self.retransmission_count += 1
+        elif seq not in self._retransmitted:
+            self._send_times[seq] = self._now()
+        self._highest_sent = max(self._highest_sent, seq)
+        self._send_data(seq, self.packet_size(seq), retransmission)
+
+    # -- ACK clocking ----------------------------------------------------
+
+    def on_ack_arrival(self, cumulative: int, ece: bool = False) -> None:
+        if self.done:
+            return
+        if cumulative > self.snd_una:
+            self._ack_new_data(cumulative, ece)
+        elif cumulative == self.snd_una:
+            self._duplicate_ack()
+
+    def _ack_new_data(self, cumulative: int, ece: bool = False) -> None:
+        newly_acked = cumulative - self.snd_una
+        self._sample_rtt(cumulative - 1)
+        self.snd_una = cumulative
+        self.dupacks = 0
+        if self.params.dctcp:
+            self._dctcp_account(cumulative, newly_acked, ece)
+        if self.in_recovery and cumulative < self.recover_point:
+            # NewReno partial ACK (RFC 6582): the ACK advanced but holes
+            # remain from the same loss event — retransmit the next hole
+            # immediately instead of waiting for three more dupACKs.
+            self._transmit(self.snd_una, retransmission=True)
+            self._rearm_timer()
+            return
+        if self.in_recovery:
+            # Full ACK: the whole loss window is repaired.
+            self.in_recovery = False
+            self.cwnd = self.ssthresh
+        elif self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + newly_acked, self.params.max_cwnd)
+        else:
+            self.cwnd = min(
+                self.cwnd + newly_acked / self.cwnd, self.params.max_cwnd
+            )
+        if self.snd_una >= self.total_packets:
+            self.done = True
+            self._finished()
+            return
+        self._rearm_timer()
+        self._fill_window()
+
+    def _duplicate_ack(self) -> None:
+        self.dupacks += 1
+        if self.dupacks == self.params.dupack_threshold and not self.in_recovery:
+            # Fast retransmit + (simplified) fast recovery.
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh
+            self.in_recovery = True
+            self.recover_point = self.snd_nxt
+            self._transmit(self.snd_una, retransmission=True)
+            self._rearm_timer()
+
+    # -- DCTCP -----------------------------------------------------------
+
+    def _dctcp_account(self, cumulative: int, newly_acked: int, ece: bool) -> None:
+        """Per-window marked-fraction accounting (Alizadeh et al.).
+
+        Each ACK attributes its newly acknowledged segments to marked or
+        unmarked; once the window that was outstanding at the last
+        update is fully acknowledged, alpha is EWMA-updated with the
+        observed fraction and, if anything was marked, cwnd shrinks by
+        ``alpha / 2`` — the proportional back-off that lets DCTCP hold
+        queues at the ECN threshold instead of oscillating.
+        """
+        self._window_acked += newly_acked
+        if ece:
+            self._window_marked += newly_acked
+        if cumulative < self._window_end:
+            return
+        if self._window_acked > 0:
+            fraction = self._window_marked / self._window_acked
+            g = self.params.dctcp_g
+            self.dctcp_alpha = (1 - g) * self.dctcp_alpha + g * fraction
+            if self._window_marked > 0:
+                self.cwnd = max(2.0, self.cwnd * (1 - self.dctcp_alpha / 2))
+                # Marks end slow start: growth continues additively.
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end = self.snd_nxt
+
+    # -- timers ----------------------------------------------------------
+
+    def _sample_rtt(self, seq: int) -> None:
+        sent_at = self._send_times.pop(seq, None)
+        if sent_at is None or seq in self._retransmitted:
+            return
+        sample = self._now() - sent_at
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = max(
+            self.params.min_rto_s, self.srtt + 4.0 * self.rttvar
+        )
+
+    def _arm_timer(self) -> None:
+        if self.snd_una >= self.snd_nxt or self.done:
+            return
+        self._rto_deadline = self._now() + self.rto
+        if not self._timer_armed:
+            self._timer_armed = True
+            self._schedule(self.rto, self._timer_fired)
+
+    def _rearm_timer(self) -> None:
+        self._rto_deadline = self._now() + self.rto
+
+    def _timer_fired(self) -> None:
+        self._timer_armed = False
+        if self.done or self._rto_deadline is None:
+            return
+        if self._now() < self._rto_deadline - 1e-12:
+            # The deadline moved forward since this timer was set.
+            remaining = self._rto_deadline - self._now()
+            self._timer_armed = True
+            self._schedule(remaining, self._timer_fired)
+            return
+        # Timeout: multiplicative backoff, shrink to one segment,
+        # go-back-N from the first unacknowledged packet.
+        self.timeout_count += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.in_recovery = False
+        self.dupacks = 0
+        self.rto = min(self.rto * 2.0, 1.0)
+        self.snd_nxt = self.snd_una
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+
+    def on_data_arrival(self, seq: int, ecn: bool = False) -> None:
+        if ecn:
+            self._ecn_seen.add(seq)
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += 1
+            while self.rcv_nxt in self._out_of_order:
+                self._out_of_order.discard(self.rcv_nxt)
+                self.rcv_nxt += 1
+        elif seq > self.rcv_nxt:
+            self._out_of_order.add(seq)
+        # Echo congestion experienced for the segment just received (the
+        # simplified per-packet ECE of DCTCP's receiver state machine).
+        self._send_ack(self.rcv_nxt, ecn)

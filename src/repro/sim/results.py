@@ -1,0 +1,167 @@
+"""Result containers and statistics for the simulators.
+
+Figure 4 reports median and 99th-percentile flow completion times in
+milliseconds; Figure 5 reports average throughputs; Figure 6 reports
+ratios of 99th-percentile FCTs.  Percentiles use linear interpolation
+(numpy's default), which matters at the small sample sizes of quick
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.units import seconds_to_ms
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed flow."""
+
+    src_server: int
+    dst_server: int
+    size_bytes: float
+    start_time: float
+    finish_time: float
+    path: Tuple[int, ...]
+
+    @property
+    def fct_seconds(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def fct_ms(self) -> float:
+        return seconds_to_ms(self.fct_seconds)
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.size_bytes * 8 / 1e9 / self.fct_seconds
+
+    def slowdown(self, line_rate_gbps: float) -> float:
+        """FCT normalized to the flow's line-rate ideal (>= 1).
+
+        The standard "FCT slowdown" metric: 1.0 means the flow ran at
+        full server line rate end to end; 3.0 means congestion (or
+        sharing) tripled its completion time.
+        """
+        ideal = self.size_bytes * 8 / (line_rate_gbps * 1e9)
+        return self.fct_seconds / ideal
+
+
+@dataclass
+class FctResults:
+    """All completed flows of one simulation run."""
+
+    records: List[FlowRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._fcts_ms: np.ndarray = np.array([])
+        self._dirty = True
+
+    def add(self, record: FlowRecord) -> None:
+        if record.finish_time < record.start_time:
+            raise ValueError("flow finished before it started")
+        self.records.append(record)
+        self._dirty = True
+
+    def _fcts(self) -> np.ndarray:
+        if self._dirty:
+            self._fcts_ms = np.array([r.fct_ms for r in self.records])
+            self._dirty = False
+        return self._fcts_ms
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.records)
+
+    def median_fct_ms(self) -> float:
+        return float(np.percentile(self._fcts(), 50))
+
+    def p99_fct_ms(self) -> float:
+        return float(np.percentile(self._fcts(), 99))
+
+    def mean_fct_ms(self) -> float:
+        return float(self._fcts().mean())
+
+    def percentile_fct_ms(self, q: float) -> float:
+        return float(np.percentile(self._fcts(), q))
+
+    def mean_slowdown(self, line_rate_gbps: float = 10.0) -> float:
+        """Average FCT slowdown; robust to the size mix, unlike raw FCT."""
+        if not self.records:
+            raise ValueError("no flows recorded")
+        return float(
+            np.mean([r.slowdown(line_rate_gbps) for r in self.records])
+        )
+
+    def p99_slowdown(self, line_rate_gbps: float = 10.0) -> float:
+        """99th-percentile FCT slowdown."""
+        if not self.records:
+            raise ValueError("no flows recorded")
+        return float(
+            np.percentile(
+                [r.slowdown(line_rate_gbps) for r in self.records], 99
+            )
+        )
+
+    def mean_path_hops(self) -> float:
+        """Average switch-level hop count over flows that hit the network."""
+        hops = [len(r.path) - 1 for r in self.records if len(r.path) >= 2]
+        if not hops:
+            return 0.0
+        return float(np.mean(hops))
+
+
+def fct_table(
+    rows: Dict[str, Dict[str, FctResults]],
+    metric: str = "median",
+) -> str:
+    """Render a Figure-4-style table: traffic patterns x schemes.
+
+    ``rows[pattern][scheme]`` holds the results; ``metric`` is
+    ``"median"`` or ``"p99"``.
+    """
+    schemes: List[str] = sorted(
+        {scheme for by_scheme in rows.values() for scheme in by_scheme}
+    )
+    header = f"{'pattern':<20}" + "".join(f"{s:>22}" for s in schemes)
+    lines = [f"FCT ({metric}, ms)", header, "-" * len(header)]
+    for pattern, by_scheme in rows.items():
+        cells = []
+        for scheme in schemes:
+            results = by_scheme.get(scheme)
+            if results is None:
+                cells.append(f"{'-':>22}")
+                continue
+            value = (
+                results.median_fct_ms()
+                if metric == "median"
+                else results.p99_fct_ms()
+            )
+            cells.append(f"{value:>22.3f}")
+        lines.append(f"{pattern:<20}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def heatmap_text(
+    values: np.ndarray,
+    row_labels: List[float],
+    col_labels: List[float],
+    title: str = "",
+) -> str:
+    """Render a Figure-5-style heatmap as fixed-width text.
+
+    Rows are client counts, columns server counts; each cell is the
+    throughput ratio (DRing / leaf-spine in the paper's usage).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    corner = "C \\ S"
+    lines.append(f"{corner:>8}" + "".join(f"{c:>8g}" for c in col_labels))
+    for label, row in zip(row_labels, values):
+        lines.append(f"{label:>8g}" + "".join(f"{v:>8.2f}" for v in row))
+    return "\n".join(lines)

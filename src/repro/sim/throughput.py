@@ -1,0 +1,216 @@
+"""Steady-state throughput of long-running flows (Section 6.2's setup).
+
+Figure 5 measures the average throughput of long-running flows between a
+client set C and a server set S.  With fixed oblivious routing, the
+fluid limit is a weighted max-min allocation over *commodities* (rack
+pairs): a commodity of ``w`` concurrent flows splits over links
+according to the routing scheme's fractional splits, is weighted ``w``
+so each of its flows is as fair as a standalone flow, and is capped by
+the aggregate host link capacity at its endpoints.
+
+Working at commodity rather than flow granularity keeps full-scale
+topologies (thousands of servers, millions of client-server pairs)
+tractable: the entity count is bounded by rack pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network import Network
+from repro.routing.base import RoutingScheme
+from repro.sim.maxmin import LinkIndex, progressive_filling
+
+RackPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Allocation summary for one steady-state run."""
+
+    per_commodity_gbps: Dict[RackPair, float]
+    total_gbps: float
+    mean_flow_gbps: float
+    num_flows: float
+
+
+def commodity_throughput(
+    network: Network,
+    routing: RoutingScheme,
+    demands: Dict[RackPair, float],
+    src_host_capacity: Optional[Dict[int, float]] = None,
+    dst_host_capacity: Optional[Dict[int, float]] = None,
+) -> ThroughputReport:
+    """Weighted max-min throughput for rack-pair commodities.
+
+    Parameters
+    ----------
+    demands:
+        ``demands[(r1, r2)]`` is the number of concurrent flows (the
+        fairness weight) from rack r1 to rack r2.
+    src_host_capacity / dst_host_capacity:
+        Aggregate sending/receiving host-link capacity per rack, in
+        Gbps.  Defaults to every attached server's uplink/downlink —
+        override for C-S runs where only some hosts in a rack
+        participate.
+    """
+    if not demands:
+        raise ValueError("no commodities to allocate")
+    if src_host_capacity is None:
+        src_host_capacity = _full_host_capacity(network)
+    if dst_host_capacity is None:
+        dst_host_capacity = _full_host_capacity(network)
+
+    links = LinkIndex()
+    for (u, v), capacity in network.directed_capacities().items():
+        links.add(("net", u, v), capacity)
+
+    pairs: List[RackPair] = sorted(demands)
+    entity_links: List[List[Tuple[int, float]]] = []
+    weights: List[float] = []
+    for r1, r2 in pairs:
+        weight = float(demands[(r1, r2)])
+        if weight <= 0:
+            raise ValueError(f"non-positive demand for {(r1, r2)}")
+        entry: List[Tuple[int, float]] = []
+        up = links.add(("up", r1), src_host_capacity[r1])
+        down = links.add(("down", r2), dst_host_capacity[r2])
+        entry.append((up, weight))
+        entry.append((down, weight))
+        for (u, v), fraction in routing.edge_fractions(r1, r2).items():
+            if fraction > 0:
+                entry.append((links.id_of(("net", u, v)), weight * fraction))
+        entity_links.append(entry)
+        weights.append(weight)
+
+    levels = progressive_filling(entity_links, links.capacities)
+    per_commodity = {
+        pair: float(level * weight)
+        for pair, level, weight in zip(pairs, levels, weights)
+    }
+    total = sum(per_commodity.values())
+    num_flows = sum(weights)
+    return ThroughputReport(
+        per_commodity_gbps=per_commodity,
+        total_gbps=total,
+        mean_flow_gbps=total / num_flows,
+        num_flows=num_flows,
+    )
+
+
+def _full_host_capacity(network: Network) -> Dict[int, float]:
+    return {
+        rack: network.servers_at(rack) * network.server_link_capacity
+        for rack in network.racks
+    }
+
+
+# ----------------------------------------------------------------------
+# C-S model on a concrete topology
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConcreteCs:
+    """A C-S instance packed onto a concrete network's racks."""
+
+    clients_per_rack: Dict[int, int]
+    servers_per_rack: Dict[int, int]
+
+
+def place_cs_concrete(
+    network: Network,
+    num_clients: int,
+    num_servers: int,
+    seed: int = 0,
+) -> ConcreteCs:
+    """Pack C clients and S servers into the fewest racks of ``network``.
+
+    Racks are chosen at random (seeded); server racks avoid client racks,
+    exactly as Section 5.2 prescribes.  Rack capacities are the actual
+    per-rack server counts, so topologies with different rack sizes pack
+    differently — as they would in the paper's per-topology setup.
+    """
+    if num_clients < 1 or num_servers < 1:
+        raise ValueError("need at least one client and one server")
+    rng = random.Random(seed)
+    racks = list(network.racks)
+    rng.shuffle(racks)
+
+    clients: Dict[int, int] = {}
+    remaining = num_clients
+    used = []
+    for rack in racks:
+        if remaining == 0:
+            break
+        take = min(network.servers_at(rack), remaining)
+        clients[rack] = take
+        remaining -= take
+        used.append(rack)
+    if remaining:
+        raise ValueError(f"cannot place {num_clients} clients")
+
+    servers: Dict[int, int] = {}
+    remaining = num_servers
+    for rack in racks:
+        if remaining == 0:
+            break
+        if rack in clients:
+            continue
+        take = min(network.servers_at(rack), remaining)
+        servers[rack] = take
+        remaining -= take
+    if remaining:
+        raise ValueError(
+            f"cannot place {num_servers} servers avoiding client racks"
+        )
+    return ConcreteCs(clients_per_rack=clients, servers_per_rack=servers)
+
+
+def cs_throughput(
+    network: Network,
+    routing: RoutingScheme,
+    num_clients: int,
+    num_servers: int,
+    seed: int = 0,
+) -> ThroughputReport:
+    """Average throughput of the all-clients-to-all-servers workload.
+
+    Each client opens one long-running flow to every server; the report's
+    ``mean_flow_gbps`` is the Figure 5 quantity (before taking the
+    DRing / leaf-spine ratio).
+    """
+    placement = place_cs_concrete(network, num_clients, num_servers, seed)
+    demands: Dict[RackPair, float] = {}
+    for c_rack, clients in placement.clients_per_rack.items():
+        for s_rack, servers in placement.servers_per_rack.items():
+            if c_rack == s_rack:
+                continue
+            demands[(c_rack, s_rack)] = float(clients * servers)
+    src_caps = {
+        rack: count * network.server_link_capacity
+        for rack, count in placement.clients_per_rack.items()
+    }
+    dst_caps = {
+        rack: count * network.server_link_capacity
+        for rack, count in placement.servers_per_rack.items()
+    }
+    return commodity_throughput(
+        network, routing, demands, src_host_capacity=src_caps,
+        dst_host_capacity=dst_caps,
+    )
+
+
+def tm_throughput(
+    network: Network,
+    routing: RoutingScheme,
+    demands: Dict[RackPair, float],
+) -> ThroughputReport:
+    """Throughput for an arbitrary rack-level demand (TM) on a network.
+
+    Demands are fairness weights (relative flow counts); host capacities
+    default to whole racks.
+    """
+    return commodity_throughput(network, routing, demands)

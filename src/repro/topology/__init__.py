@@ -1,0 +1,49 @@
+"""Topology constructors: leaf-spine, DRing, Jellyfish/RRG, Xpander."""
+
+from repro.topology.leafspine import leaf_spine, spine_layer_capacity
+from repro.topology.dring import add_supernode, dring, paper_dring, supernode_of
+from repro.topology.jellyfish import (
+    expand_jellyfish,
+    jellyfish,
+    jellyfish_from_equipment,
+    random_graph_edges,
+    random_multigraph_edges,
+)
+from repro.topology.xpander import xpander, xpander_matching_equipment
+from repro.topology.flatten import flatten
+from repro.topology.dragonfly import dragonfly, dragonfly_group_count, group_of
+from repro.topology.slimfly import slimfly
+from repro.topology.fattree import fat_tree, fat_tree_stats
+from repro.topology.search import (
+    SearchResult,
+    hill_climb,
+    throughput_objective,
+    wiring_objective,
+)
+
+__all__ = [
+    "leaf_spine",
+    "spine_layer_capacity",
+    "dring",
+    "paper_dring",
+    "add_supernode",
+    "supernode_of",
+    "expand_jellyfish",
+    "jellyfish",
+    "jellyfish_from_equipment",
+    "random_graph_edges",
+    "random_multigraph_edges",
+    "xpander",
+    "xpander_matching_equipment",
+    "flatten",
+    "dragonfly",
+    "dragonfly_group_count",
+    "group_of",
+    "slimfly",
+    "fat_tree",
+    "fat_tree_stats",
+    "SearchResult",
+    "hill_climb",
+    "throughput_objective",
+    "wiring_objective",
+]

@@ -1,0 +1,95 @@
+"""Dragonfly: the hierarchical low-diameter flat topology (Section 7).
+
+Kim et al. (ISCA '08) build groups of ``a`` routers each: routers within
+a group form a complete graph, every router additionally carries ``h``
+global links, and with ``g = a*h + 1`` groups there is exactly one
+global link between every pair of groups — diameter 3 (local, global,
+local).  The paper's Section 7 lists Dragonfly among the flat
+low-diameter networks expected to perform well at small scale, with the
+caveat that it classically needs non-minimal adaptive routing; our
+experiments run it under the same oblivious ECMP / Shortest-Union(K)
+schemes as the other topologies.
+
+Global links use the *relative* arrangement: group ``i``'s global offset
+``q`` (0-based) reaches group ``i + q + 1 (mod g)`` through router
+``q // h``, which spreads each group's ``a*h`` global links evenly, h
+per router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.network import Network, NetworkValidationError, build_network
+from repro.core.units import DEFAULT_LINK_GBPS
+
+
+def dragonfly_group_count(routers_per_group: int, global_per_router: int) -> int:
+    """The balanced group count: g = a*h + 1."""
+    return routers_per_group * global_per_router + 1
+
+
+def dragonfly_edges(
+    routers_per_group: int, global_per_router: int
+) -> List[Tuple[int, int]]:
+    """Edges of a balanced Dragonfly; router ids are group-major."""
+    a = routers_per_group
+    h = global_per_router
+    if a < 2:
+        raise NetworkValidationError("Dragonfly needs >= 2 routers per group")
+    if h < 1:
+        raise NetworkValidationError("Dragonfly needs >= 1 global link per router")
+    g = dragonfly_group_count(a, h)
+    edges: List[Tuple[int, int]] = []
+    # Intra-group complete graphs.
+    for group in range(g):
+        base = group * a
+        for i in range(a):
+            for j in range(i + 1, a):
+                edges.append((base + i, base + j))
+    # One global link per group pair, via the relative arrangement.
+    for group_i in range(g):
+        for group_j in range(group_i + 1, g):
+            offset_from_i = (group_j - group_i) % g
+            offset_from_j = (group_i - group_j) % g
+            router_i = group_i * a + (offset_from_i - 1) // h
+            router_j = group_j * a + (offset_from_j - 1) // h
+            edges.append((router_i, router_j))
+    return edges
+
+
+def dragonfly(
+    routers_per_group: int,
+    global_per_router: int,
+    servers_per_rack: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    name: str = "",
+) -> Network:
+    """Build a balanced Dragonfly with servers on every router (flat).
+
+    Network degree per router is ``(a - 1) + h``; the canonical balanced
+    configuration sets ``a = 2h = 2p``, but any (a, h) is accepted.
+    """
+    if servers_per_rack < 1:
+        raise NetworkValidationError("servers_per_rack must be >= 1")
+    a, h = routers_per_group, global_per_router
+    g = dragonfly_group_count(a, h)
+    num_routers = g * a
+    servers: Dict[int, int] = {
+        router: servers_per_rack for router in range(num_routers)
+    }
+    network = build_network(
+        dragonfly_edges(a, h),
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"dragonfly(a={a},h={h})",
+    )
+    network.graph.graph["dragonfly_a"] = a
+    network.graph.graph["dragonfly_h"] = h
+    network.validate(max_radix=(a - 1) + h + servers_per_rack)
+    return network
+
+
+def group_of(router: int, routers_per_group: int) -> int:
+    """Group index of a router under the canonical numbering."""
+    return router // routers_per_group

@@ -1,0 +1,132 @@
+"""DRing: the paper's flat ring-like topology (Section 3.2).
+
+The supergraph is a cycle of ``m`` supernodes where supernode ``i`` is
+adjacent to supernodes ``i+1`` and ``i+2`` (mod m).  Each supernode holds
+``n`` ToR switches, and every pair of ToRs lying in adjacent supernodes is
+directly connected.  All switches are symmetric, every switch hosts
+servers (the network is flat), and the topology grows incrementally by
+inserting supernodes into the ring.
+
+Each ToR has exactly ``4n`` network links (n links to each of the four
+adjacent supernodes: i-2, i-1, i+1, i+2), so a radix-R switch supports up
+to ``R - 4n`` servers per rack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network import (
+    Network,
+    NetworkValidationError,
+    build_network,
+    distribute_evenly,
+)
+from repro.core.units import DEFAULT_LINK_GBPS
+
+#: Supernode offsets that are directly connected in the ring supergraph.
+SUPERGRAPH_OFFSETS: Tuple[int, int] = (1, 2)
+
+
+def supernode_of(tor: int, tors_per_supernode: int) -> int:
+    """Supernode index of a ToR id under the canonical numbering."""
+    return tor // tors_per_supernode
+
+
+def dring_edges(m: int, n: int) -> List[Tuple[int, int]]:
+    """Network links of DRing(m, n); ToRs are numbered supernode-major."""
+    if m < 5:
+        raise NetworkValidationError(
+            "DRing needs at least 5 supernodes so that offsets +1/+2 are "
+            "distinct and non-overlapping"
+        )
+    if n < 1:
+        raise NetworkValidationError("DRing needs at least 1 ToR per supernode")
+    edges: List[Tuple[int, int]] = []
+    for supernode in range(m):
+        for offset in SUPERGRAPH_OFFSETS:
+            neighbor = (supernode + offset) % m
+            for a in range(n):
+                for b in range(n):
+                    edges.append((supernode * n + a, neighbor * n + b))
+    return edges
+
+
+def dring(
+    m: int,
+    n: int,
+    servers_per_rack: Optional[int] = None,
+    total_servers: Optional[int] = None,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    name: str = "",
+) -> Network:
+    """Build DRing(m, n) with servers attached to every ToR.
+
+    Exactly one of ``servers_per_rack`` or ``total_servers`` must be
+    given; the latter spreads servers as evenly as possible, which is how
+    we realize the paper's 80-rack / 2988-server instance.
+    """
+    if (servers_per_rack is None) == (total_servers is None):
+        raise ValueError(
+            "specify exactly one of servers_per_rack or total_servers"
+        )
+    num_racks = m * n
+    if servers_per_rack is not None:
+        if servers_per_rack < 1:
+            raise NetworkValidationError("servers_per_rack must be >= 1")
+        counts = [servers_per_rack] * num_racks
+    else:
+        assert total_servers is not None
+        if total_servers < num_racks:
+            raise NetworkValidationError(
+                "flat network needs at least one server per rack"
+            )
+        counts = distribute_evenly(total_servers, num_racks)
+    servers: Dict[int, int] = {tor: counts[tor] for tor in range(num_racks)}
+    network = build_network(
+        dring_edges(m, n),
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"dring(m={m},n={n})",
+    )
+    network.graph.graph["dring_m"] = m
+    network.graph.graph["dring_n"] = n
+    network.validate(max_radix=4 * n + max(counts))
+    return network
+
+
+def add_supernode(network: Network) -> Network:
+    """Incrementally expand a DRing by one supernode (Section 3.2).
+
+    Returns a new network with ``m + 1`` supernodes and the same
+    servers-per-rack profile extended to the new racks.  Implemented by
+    rebuilding from parameters — physically this corresponds to rewiring
+    only the links adjacent to the insertion point.
+    """
+    m = network.graph.graph.get("dring_m")
+    n = network.graph.graph.get("dring_n")
+    if m is None or n is None:
+        raise ValueError("network was not built by dring()")
+    per_rack = [network.servers_at(tor) for tor in network.racks]
+    # Extend the profile with the most common rack size.
+    typical = max(set(per_rack), key=per_rack.count)
+    total = sum(per_rack) + typical * n
+    return dring(
+        m + 1,
+        n,
+        total_servers=total,
+        link_capacity=network.link_capacity,
+        name=f"dring(m={m + 1},n={n})",
+    )
+
+
+def paper_dring(link_capacity: float = DEFAULT_LINK_GBPS) -> Network:
+    """The paper's Section 5.1 DRing instance: 80 racks, 2988 servers.
+
+    The printed parameters (12 supernodes, 80 racks) are mutually
+    inconsistent, so we use m=16 supernodes of n=5 ToRs (80 racks) with
+    the stated server total — see DESIGN.md for the rationale.
+    """
+    return dring(
+        16, 5, total_servers=2988, link_capacity=link_capacity, name="dring-paper"
+    )

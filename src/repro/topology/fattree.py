@@ -1,0 +1,89 @@
+"""k-ary fat-tree: the 3-tier Clos of hyperscale DCs (Sections 1-2).
+
+The expander literature the paper builds on (Jellyfish, Xpander, [15])
+targets 3-tier Clos networks; the paper's point is that moderate-scale
+DCs run 2-tier leaf-spines with *shorter paths*, so those results do not
+transfer directly.  Having the fat-tree in the suite lets us reproduce
+that framing quantitatively: expander gains over a fat-tree exceed the
+gains over an equal-scale leaf-spine.
+
+Standard Al-Fares k-ary construction (k even):
+
+* ``k`` pods, each with ``k/2`` edge and ``k/2`` aggregation switches;
+* every edge switch connects to all aggregation switches of its pod and
+  hosts ``k/2`` servers;
+* ``(k/2)^2`` core switches; aggregation switch ``j`` of every pod
+  connects to cores ``j*(k/2) .. (j+1)*(k/2)-1``.
+
+All switches have radix ``k``; the network is rearrangeably non-blocking
+with ``k^3/4`` servers, and rack-to-rack paths are 2 hops inside a pod
+and 4 hops across pods — the longer paths that hurt it at small scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.network import Network, NetworkValidationError, build_network
+from repro.core.units import DEFAULT_LINK_GBPS
+
+
+def fat_tree(k: int, link_capacity: float = DEFAULT_LINK_GBPS, name: str = "") -> Network:
+    """Build the k-ary fat-tree (k even, k >= 2).
+
+    Switch ids: edges first (pod-major), then aggregations (pod-major),
+    then cores; only edge switches host servers.
+    """
+    if k < 2 or k % 2 != 0:
+        raise NetworkValidationError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    num_edge = k * half
+    num_agg = k * half
+    num_core = half * half
+
+    def edge_id(pod: int, index: int) -> int:
+        return pod * half + index
+
+    def agg_id(pod: int, index: int) -> int:
+        return num_edge + pod * half + index
+
+    def core_id(index: int) -> int:
+        return num_edge + num_agg + index
+
+    edges: List[Tuple[int, int]] = []
+    for pod in range(k):
+        for e in range(half):
+            for a in range(half):
+                edges.append((edge_id(pod, e), agg_id(pod, a)))
+        for a in range(half):
+            for c in range(half):
+                edges.append((agg_id(pod, a), core_id(a * half + c)))
+    servers: Dict[int, int] = {
+        edge_id(pod, e): half for pod in range(k) for e in range(half)
+    }
+    network = build_network(
+        edges,
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"fat-tree(k={k})",
+        extra_switches=[core_id(i) for i in range(num_core)],
+    )
+    network.graph.graph["fattree_k"] = k
+    network.graph.graph["edge_switches"] = sorted(servers)
+    network.validate(max_radix=k)
+    return network
+
+
+def fat_tree_stats(network: Network) -> Dict[str, int]:
+    """Sanity numbers of a fat-tree build (for tests and reports)."""
+    k = network.graph.graph.get("fattree_k")
+    if k is None:
+        raise ValueError("network was not built by fat_tree()")
+    return {
+        "k": k,
+        "pods": k,
+        "edge_switches": k * (k // 2),
+        "agg_switches": k * (k // 2),
+        "core_switches": (k // 2) ** 2,
+        "servers": k**3 // 4,
+    }

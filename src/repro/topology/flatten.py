@@ -1,0 +1,41 @@
+"""The flattening transform F(T) from Section 3.1.
+
+Given any topology T, F(T) is a flat network built from the *same
+equipment*: the same switches with the same port counts, with all servers
+redistributed evenly across every switch and the remaining ports wired
+into a random graph.  This is exactly how the paper constructs its RRG
+baseline from the leaf-spine (Section 5.1), and it is the object whose
+NSR appears in the numerator of the UDF.
+"""
+
+from __future__ import annotations
+
+from repro.core.network import Network
+from repro.topology.jellyfish import jellyfish_from_equipment
+
+
+def flatten(
+    network: Network,
+    seed: int = 0,
+    name: str = "",
+    spreading: str = "even",
+) -> Network:
+    """Build F(T): a flat random-graph rebuild of ``network``.
+
+    The result has one switch per original switch (same radix in use),
+    the same server total spread evenly (the paper's recipe) or
+    radix-proportionally (``spreading="proportional"``, which is what
+    heterogeneous equipment needs), and a random graph over the
+    leftover ports.
+    """
+    equipment = network.equipment()
+    radixes = [radix for _switch, radix in equipment]
+    flat = jellyfish_from_equipment(
+        radixes,
+        total_servers=network.num_servers,
+        link_capacity=network.link_capacity,
+        seed=seed,
+        name=name or f"flat({network.name})",
+        spreading=spreading,
+    )
+    return flat

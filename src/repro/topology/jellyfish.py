@@ -1,0 +1,421 @@
+"""Jellyfish-style regular (and near-regular) random graphs.
+
+The paper uses a regular random graph (RRG) as its expander baseline
+(Section 5.1), built from the *same equipment* as the leaf-spine: servers
+are redistributed evenly across all switches (including former spines)
+and a random graph is applied to the remaining ports.
+
+The constructor here supports arbitrary per-switch network-degree
+sequences, because flattening a leaf-spine yields a non-uniform sequence
+(38/39 servers per switch leaves 26/25 network ports).  The construction
+is the standard stub-matching with local rewiring to repair self-loops
+and parallel edges, which is how the original Jellyfish construction
+operates in practice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.network import Network, NetworkValidationError, distribute_evenly
+from repro.core.units import DEFAULT_LINK_GBPS
+
+_MAX_REPAIR_ROUNDS = 200
+
+
+def _stub_matching(
+    degrees: Mapping[int, int], rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Random perfect matching over port stubs; may contain bad edges."""
+    stubs: List[int] = []
+    for node in sorted(degrees):
+        stubs.extend([node] * degrees[node])
+    if len(stubs) % 2 != 0:
+        raise NetworkValidationError(
+            "degree sequence has odd total; cannot wire all ports"
+        )
+    rng.shuffle(stubs)
+    return [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+
+
+def _repair(
+    edges: List[Tuple[int, int]], rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Rewire self-loops and duplicate edges via random 2-opt swaps.
+
+    Each round picks every bad edge and swaps one endpoint with a random
+    other edge; degrees are preserved by construction.  Raises after a
+    bounded number of rounds so pathological degree sequences fail loudly
+    instead of looping forever.
+    """
+    for _round in range(_MAX_REPAIR_ROUNDS):
+        seen = set()
+        bad_indices = []
+        for i, (u, v) in enumerate(edges):
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                bad_indices.append(i)
+            else:
+                seen.add(key)
+        if not bad_indices:
+            return edges
+        for i in bad_indices:
+            j = rng.randrange(len(edges))
+            if i == j:
+                continue
+            u, v = edges[i]
+            a, b = edges[j]
+            # Swap one endpoint: (u, v), (a, b) -> (u, b), (a, v).
+            edges[i] = (u, b)
+            edges[j] = (a, v)
+    raise NetworkValidationError(
+        "could not repair random graph into a simple graph; "
+        "degree sequence is too constrained"
+    )
+
+
+def _reconnect(graph: nx.Graph, rng: random.Random) -> None:
+    """Merge components with degree-preserving 2-opt swaps, in place.
+
+    Picks one edge from each of two components and swaps endpoints,
+    which joins the components without touching any degree.  Fails
+    loudly when a component has no edges to trade (a degree sequence
+    that cannot be connected).
+    """
+    for _ in range(graph.number_of_nodes()):
+        components = [list(c) for c in nx.connected_components(graph)]
+        if len(components) == 1:
+            return
+        edges_by_component = []
+        for component in components:
+            subgraph_edges = [
+                (u, v) for u, v in graph.edges(component)
+            ]
+            edges_by_component.append(subgraph_edges)
+        first, second = edges_by_component[0], edges_by_component[1]
+        if not first or not second:
+            raise NetworkValidationError(
+                "degree sequence cannot form a connected graph "
+                "(an isolated component has no edges to rewire)"
+            )
+        u, v = rng.choice(first)
+        a, b = rng.choice(second)
+        graph.remove_edge(u, v)
+        graph.remove_edge(a, b)
+        graph.add_edge(u, a)
+        graph.add_edge(v, b)
+    if not nx.is_connected(graph):  # pragma: no cover - defensive
+        raise NetworkValidationError("could not connect the random graph")
+
+
+def _havel_hakimi_edges(
+    degrees: Mapping[int, int], rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Deterministic construction + randomizing swaps.
+
+    Fallback for dense degree sequences (e.g. 10 switches of degree 8)
+    where blind stub repair almost never terminates: Havel-Hakimi builds
+    one valid simple graph, then degree-preserving double-edge swaps
+    randomize it.  Connectivity is restored by further swaps if needed.
+    """
+    nodes = sorted(degrees)
+    sequence = [degrees[node] for node in nodes]
+    graph = nx.havel_hakimi_graph(sequence)
+    relabel = {i: nodes[i] for i in range(len(nodes))}
+    graph = nx.relabel_nodes(graph, relabel)
+    num_edges = graph.number_of_edges()
+    if num_edges >= 2:
+        # Near-complete graphs admit few or no swaps; treat a swap
+        # failure as "already as random as it gets".
+        try:
+            nx.double_edge_swap(
+                graph,
+                nswap=4 * num_edges,
+                max_tries=400 * num_edges,
+                seed=rng.randrange(2**31),
+            )
+        except nx.NetworkXException:
+            pass
+    if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+        _reconnect(graph, rng)
+    return list(graph.edges())
+
+
+def _repair_self_loops(
+    edges: List[Tuple[int, int]], rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Multigraph repair: remove self-loops only, parallel links allowed.
+
+    Used when a degree sequence exceeds what a simple graph can host
+    (heterogeneous equipment with big spines); trunked parallel links
+    are physically fine and fold into edge multiplicity.
+    """
+    for _round in range(_MAX_REPAIR_ROUNDS):
+        bad = [i for i, (u, v) in enumerate(edges) if u == v]
+        if not bad:
+            return edges
+        for i in bad:
+            j = rng.randrange(len(edges))
+            if i == j:
+                continue
+            u, v = edges[i]
+            a, b = edges[j]
+            edges[i] = (u, b)
+            edges[j] = (a, v)
+    raise NetworkValidationError("could not remove self-loops")
+
+
+def random_multigraph_edges(
+    degrees: Mapping[int, int], seed: int = 0
+) -> List[Tuple[int, int]]:
+    """A random multigraph (parallel links allowed) with exact degrees.
+
+    Connectivity is restored with the same degree-preserving component
+    merges as the simple-graph path.
+    """
+    for node, degree in degrees.items():
+        if degree < 0:
+            raise NetworkValidationError(f"negative degree at switch {node}")
+    rng = random.Random(seed)
+    edges = _stub_matching(degrees, rng)
+    edges = _repair_self_loops(edges, rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(degrees)
+    graph.add_edges_from(edges)
+    if len(degrees) > 1 and not nx.is_connected(graph):
+        # Merge components on the folded graph, then re-expand one
+        # arbitrary multi-edge per swap; degrees stay intact because the
+        # swap machinery trades one edge from each side.
+        multi_edges = list(edges)
+        for _ in range(len(degrees)):
+            graph = nx.Graph()
+            graph.add_nodes_from(degrees)
+            graph.add_edges_from(multi_edges)
+            components = [list(c) for c in nx.connected_components(graph)]
+            if len(components) == 1:
+                break
+            comp_a = set(components[0])
+            in_a = [i for i, (u, v) in enumerate(multi_edges) if u in comp_a]
+            out_a = [
+                i for i, (u, v) in enumerate(multi_edges) if u not in comp_a
+            ]
+            if not in_a or not out_a:
+                raise NetworkValidationError(
+                    "degree sequence cannot form a connected multigraph"
+                )
+            i, j = rng.choice(in_a), rng.choice(out_a)
+            u, v = multi_edges[i]
+            a, b = multi_edges[j]
+            multi_edges[i] = (u, b)
+            multi_edges[j] = (a, v)
+        edges = multi_edges
+    return edges
+
+
+def random_graph_edges(
+    degrees: Mapping[int, int], seed: int = 0
+) -> List[Tuple[int, int]]:
+    """A uniform-ish simple random graph with the given degree sequence."""
+    for node, degree in degrees.items():
+        if degree < 0:
+            raise NetworkValidationError(f"negative degree at switch {node}")
+        if degree >= len(degrees):
+            raise NetworkValidationError(
+                f"degree {degree} at switch {node} impossible with "
+                f"{len(degrees)} switches"
+            )
+    rng = random.Random(seed)
+    try:
+        edges = _stub_matching(degrees, rng)
+        edges = _repair(edges, rng)
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(degrees)
+        if len(degrees) > 1 and not nx.is_connected(graph):
+            _reconnect(graph, rng)
+            edges = list(graph.edges())
+        return edges
+    except NetworkValidationError:
+        if not nx.is_graphical(sorted(degrees.values(), reverse=True)):
+            raise
+        return _havel_hakimi_edges(degrees, rng)
+
+
+def jellyfish(
+    num_switches: int,
+    network_degree: int,
+    servers_per_switch: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    seed: int = 0,
+    name: str = "",
+) -> Network:
+    """A regular random graph with uniform server spreading.
+
+    Parameters mirror the Jellyfish paper: each of ``num_switches``
+    switches exposes ``network_degree`` network ports and hosts
+    ``servers_per_switch`` servers.
+    """
+    degrees = {i: network_degree for i in range(num_switches)}
+    edges = random_graph_edges(degrees, seed=seed)
+    servers = {i: servers_per_switch for i in range(num_switches)}
+    network = Network(
+        _edges_to_graph(edges, num_switches),
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"jellyfish({num_switches},d={network_degree})",
+    )
+    network.validate(max_radix=network_degree + servers_per_switch)
+    return network
+
+
+def _proportional_counts(
+    radixes: Sequence[int], total_servers: int
+) -> List[int]:
+    """Largest-remainder apportionment of servers by switch radix.
+
+    Heterogeneous equipment (big ex-spines) flattens badly under even
+    spreading — the fat switches keep ~all their ports as network links
+    and become hubs.  Radix-proportional spreading keeps the
+    network-to-server ratio uniform across switches instead.
+    """
+    total_ports = sum(radixes)
+    raw = [radix * total_servers / total_ports for radix in radixes]
+    counts = [int(value) for value in raw]
+    leftovers = sorted(
+        range(len(radixes)), key=lambda i: raw[i] - counts[i], reverse=True
+    )
+    for index in leftovers[: total_servers - sum(counts)]:
+        counts[index] += 1
+    return counts
+
+
+def jellyfish_from_equipment(
+    radixes: Sequence[int],
+    total_servers: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    seed: int = 0,
+    name: str = "",
+    spreading: str = "even",
+) -> Network:
+    """Build an RRG from a pile of switches, Section 5.1 style.
+
+    ``radixes[i]`` is the port count of switch ``i``.  Servers are spread
+    as evenly as possible (``spreading="even"``, the paper's recipe) or
+    proportionally to radix (``spreading="proportional"``, the right
+    choice for heterogeneous equipment — see the heterogeneity
+    ablation); every remaining port is wired into the random graph.
+    Ports that cannot be paired (odd totals) are trimmed one at a time
+    from the highest-degree switches, mirroring the unavoidable leftover
+    port of an odd configuration.
+    """
+    num_switches = len(radixes)
+    if num_switches < 2:
+        raise NetworkValidationError("need at least two switches")
+    if total_servers < num_switches:
+        raise NetworkValidationError(
+            "flat network needs at least one server per switch"
+        )
+    if spreading == "even":
+        server_counts = distribute_evenly(total_servers, num_switches)
+    elif spreading == "proportional":
+        server_counts = sorted(
+            _proportional_counts(
+                sorted(radixes, reverse=True), total_servers
+            ),
+            reverse=True,
+        )
+    else:
+        raise ValueError(f"unknown spreading {spreading!r}")
+    # Assign the larger server shares to the larger switches.
+    order = sorted(range(num_switches), key=lambda i: -radixes[i])
+    servers: Dict[int, int] = {}
+    degrees: Dict[int, int] = {}
+    for rank, switch in enumerate(order):
+        servers[switch] = server_counts[rank]
+        degree = radixes[switch] - server_counts[rank]
+        if degree <= 0:
+            raise NetworkValidationError(
+                f"switch {switch} has no ports left for network links"
+            )
+        degrees[switch] = degree
+    if sum(degrees.values()) % 2 != 0:
+        victim = max(degrees, key=lambda s: degrees[s])
+        degrees[victim] -= 1
+    if max(degrees.values()) >= num_switches:
+        # Heterogeneous equipment (big spines) cannot form a simple
+        # graph; fall back to a random multigraph with trunked links.
+        edges = random_multigraph_edges(degrees, seed=seed)
+    else:
+        edges = random_graph_edges(degrees, seed=seed)
+    network = Network(
+        _edges_to_graph(edges, num_switches),
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"rrg(equipment,{num_switches}sw)",
+    )
+    network.validate(max_radix=max(radixes))
+    return network
+
+
+def expand_jellyfish(
+    network: Network,
+    servers_on_new_switch: Optional[int] = None,
+    seed: int = 0,
+) -> Network:
+    """Add one switch to an RRG, Jellyfish's incremental procedure.
+
+    Repeatedly removes a random existing link (u, v) and replaces it
+    with (u, new) and (v, new) until the new switch reaches the fabric's
+    network degree, touching exactly degree/2 existing links — the
+    incremental-expansion property Jellyfish is famous for.  Returns a
+    new :class:`Network`; the input is unchanged.
+    """
+    rng = random.Random(seed)
+    degrees = [network.network_degree(s) for s in network.switches]
+    target_degree = max(degrees)
+    if target_degree % 2 != 0:
+        target_degree -= 1
+    if target_degree < 2:
+        raise NetworkValidationError("fabric degree too small to expand into")
+    graph = network.graph.copy()
+    new_switch = max(network.switches) + 1
+    graph.add_node(new_switch)
+    attempts = 0
+    while graph.degree(new_switch) < target_degree:
+        attempts += 1
+        if attempts > 100 * target_degree:
+            raise NetworkValidationError("could not expand the random graph")
+        u, v = rng.choice(list(graph.edges))
+        if u == new_switch or v == new_switch:
+            continue
+        if graph.has_edge(u, new_switch) or graph.has_edge(v, new_switch):
+            continue
+        graph.remove_edge(u, v)
+        graph.add_edge(u, new_switch, mult=1)
+        graph.add_edge(v, new_switch, mult=1)
+    servers = {s: network.servers_at(s) for s in network.racks}
+    if servers_on_new_switch is None:
+        servers_on_new_switch = max(servers.values())
+    servers[new_switch] = servers_on_new_switch
+    expanded = Network(
+        graph,
+        servers,
+        link_capacity=network.link_capacity,
+        server_link_capacity=network.server_link_capacity,
+        name=f"{network.name}+1",
+    )
+    expanded.validate()
+    return expanded
+
+
+def _edges_to_graph(edges: Sequence[Tuple[int, int]], num_switches: int) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_switches))
+    for u, v in edges:
+        if graph.has_edge(u, v):
+            graph[u][v]["mult"] += 1
+        else:
+            graph.add_edge(u, v, mult=1)
+    return graph

@@ -1,0 +1,89 @@
+"""Leaf-spine(x, y): the baseline 2-tier Clos network (Section 3.1).
+
+Following the paper's definition:
+
+* there are ``y`` spines, each connected to all leafs;
+* there are ``x + y`` leafs, each connected to all spines;
+* each leaf hosts ``x`` servers.
+
+Every switch therefore uses exactly ``x + y`` ports, the oversubscription
+ratio at each rack is ``x / y``, and the paper's recommended industry
+configuration is x=48, y=16 (ratio 3), giving 64 racks and 3072 servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.network import Network, build_network
+from repro.core.units import DEFAULT_LINK_GBPS
+
+
+def leaf_spine(
+    x: int,
+    y: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    uplink_mult: int = 1,
+    name: str = "",
+) -> Network:
+    """Build leaf-spine(x, y).
+
+    Leafs are switches ``0 .. x+y-1`` and spines are ``x+y .. x+2y-1``;
+    only leafs host servers, so the network is not flat.
+
+    ``uplink_mult`` models heterogeneous configurations (Section 5.1
+    leaves these to future work): each leaf-spine link carries
+    ``uplink_mult`` times the base rate, represented as that many
+    parallel base-rate links — e.g. ``uplink_mult=4`` gives 40 Gbps
+    uplinks over 10 Gbps server links.
+    """
+    if x <= 0 or y <= 0:
+        raise ValueError("leaf-spine requires positive x and y")
+    if uplink_mult < 1:
+        raise ValueError("uplink_mult must be at least 1")
+    num_leafs = x + y
+    leafs = list(range(num_leafs))
+    spines = list(range(num_leafs, num_leafs + y))
+    edges: List[Tuple[int, int]] = [
+        (leaf, spine)
+        for leaf in leafs
+        for spine in spines
+        for _ in range(uplink_mult)
+    ]
+    servers: Dict[int, int] = {leaf: x for leaf in leafs}
+    default_name = (
+        f"leaf-spine({x},{y})"
+        if uplink_mult == 1
+        else f"leaf-spine({x},{y},x{uplink_mult})"
+    )
+    network = build_network(
+        edges,
+        servers,
+        link_capacity=link_capacity,
+        name=name or default_name,
+        extra_switches=spines,
+    )
+    network.graph.graph["leafs"] = leafs
+    network.graph.graph["spines"] = spines
+    # Heterogeneous builds use bigger spines: a spine terminates all
+    # (x + y) uplinks at uplink_mult lanes each.
+    network.validate(max_radix=max(x + y * uplink_mult, (x + y) * uplink_mult))
+    return network
+
+
+def spine_layer_capacity(network: Network) -> float:
+    """Aggregate one-way leaf-to-spine capacity of a leaf-spine, in Gbps.
+
+    Used to scale traffic matrices to a target spine utilization
+    (Section 6.1).  Raises if the network was not built by
+    :func:`leaf_spine`.
+    """
+    spines = network.graph.graph.get("spines")
+    if spines is None:
+        raise ValueError("network was not built by leaf_spine()")
+    total = 0.0
+    spine_set = set(spines)
+    for u, v, mult in network.undirected_links():
+        if (u in spine_set) != (v in spine_set):
+            total += mult * network.link_capacity
+    return total

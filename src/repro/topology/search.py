@@ -1,0 +1,144 @@
+"""Local search for better flat topologies (Section 7's open question).
+
+"Finding the best topology at small scale along several axes
+(performance, ease of manageability and wiring, incremental
+expandability, simple hardware) remains an open question."
+
+This module implements the natural first attack: degree-preserving
+2-opt hill climbing over flat graphs, optimizing a pluggable objective.
+Two objectives are provided:
+
+* :func:`throughput_objective` — maximize worst-case oblivious
+  throughput under the deployable routing (what the fabric can sustain);
+* :func:`wiring_objective` — the same, penalized by mean cable length
+  (the manageability axis), exposing the performance/wiring trade-off
+  the DRing sits on.
+
+The optimizer is deliberately simple — the point is a reproducible
+baseline for the open question, not a state-of-the-art search.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.cabling import cabling_report
+from repro.core.network import Network
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.idealflow import oblivious_throughput
+
+Objective = Callable[[Network], float]
+
+
+def _uniform_demand(network: Network) -> Dict[Tuple[int, int], float]:
+    racks = network.racks
+    return {(a, b): 1.0 for a in racks for b in racks if a != b}
+
+
+def throughput_objective(network: Network) -> float:
+    """Worst-link-limited uniform throughput under SU(2)."""
+    routing = ShortestUnionRouting(network, 2)
+    return oblivious_throughput(network, routing, _uniform_demand(network))
+
+
+def wiring_objective(
+    network: Network, length_penalty: float = 0.02
+) -> float:
+    """Throughput minus a cable-length penalty (the manageability axis)."""
+    throughput = throughput_objective(network)
+    mean_cable = cabling_report(network).mean_length
+    return throughput - length_penalty * throughput * mean_cable
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one hill-climbing run."""
+
+    network: Network
+    initial_score: float
+    final_score: float
+    accepted_moves: int
+    evaluated_moves: int
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_score == 0:
+            return float("inf")
+        return self.final_score / self.initial_score
+
+
+def _two_opt_candidates(
+    graph: nx.Graph, rng: random.Random, tries: int = 20
+) -> Optional[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """Pick two edges whose endpoint swap keeps the graph simple."""
+    edges = list(graph.edges)
+    for _ in range(tries):
+        (u, v), (a, b) = rng.sample(edges, 2)
+        if len({u, v, a, b}) != 4:
+            continue
+        if graph.has_edge(u, b) or graph.has_edge(a, v):
+            continue
+        return (u, v), (a, b)
+    return None
+
+
+def hill_climb(
+    network: Network,
+    objective: Objective = throughput_objective,
+    steps: int = 60,
+    seed: int = 0,
+    require_connected: bool = True,
+) -> SearchResult:
+    """Degree-preserving 2-opt hill climbing from a starting network.
+
+    Each step proposes swapping the endpoints of two random links
+    ((u,v),(a,b) -> (u,b),(a,v)); the move is kept when the objective
+    improves and (optionally) the graph stays connected.  Servers and
+    capacities are untouched, so the result uses the exact same
+    equipment.
+    """
+    rng = random.Random(seed)
+    current = network.copy(name=f"search({network.name})")
+    current_score = objective(current)
+    initial_score = current_score
+    accepted = 0
+    evaluated = 0
+    for _ in range(steps):
+        candidate = _two_opt_candidates(current.graph, rng)
+        if candidate is None:
+            continue
+        (u, v), (a, b) = candidate
+        mult_uv = current.graph[u][v].get("mult", 1)
+        mult_ab = current.graph[a][b].get("mult", 1)
+        current.graph.remove_edge(u, v)
+        current.graph.remove_edge(a, b)
+        current.graph.add_edge(u, b, mult=mult_uv)
+        current.graph.add_edge(a, v, mult=mult_ab)
+
+        def revert() -> None:
+            current.graph.remove_edge(u, b)
+            current.graph.remove_edge(a, v)
+            current.graph.add_edge(u, v, mult=mult_uv)
+            current.graph.add_edge(a, b, mult=mult_ab)
+
+        if require_connected and not nx.is_connected(current.graph):
+            revert()
+            continue
+        evaluated += 1
+        score = objective(current)
+        if score > current_score:
+            current_score = score
+            accepted += 1
+        else:
+            revert()
+    return SearchResult(
+        network=current,
+        initial_score=initial_score,
+        final_score=current_score,
+        accepted_moves=accepted,
+        evaluated_moves=evaluated,
+    )

@@ -1,0 +1,163 @@
+"""Slim Fly: the diameter-2 MMS-graph topology (Section 7).
+
+Besta & Hoefler (SC '14) build Slim Fly from McKay-Miller-Siran graphs:
+for a prime ``q = 4w + d`` with ``d`` in {-1, 0, 1}, the graph has two
+sets of q^2 routers, indexed (0, x, y) and (1, m, c) with x, y, m, c in
+GF(q).  With a primitive element ``xi``, the generator sets are
+
+* ``X  = {1, xi^2, xi^4, ...}``  (|X| = (q - d) / 2... see below)
+* ``X' = {xi, xi^3, xi^5, ...}``
+
+and the adjacency rules are
+
+1. (0, x, y) ~ (0, x, y')  iff  y - y' in X
+2. (1, m, c) ~ (1, m, c')  iff  c - c' in X'
+3. (0, x, y) ~ (1, m, c)   iff  y = m*x + c
+
+yielding network degree (3q - d) / 2 and diameter 2 — the densest known
+practical diameter-2 construction.  Section 7 expects such graphs to
+perform well at small scale but notes they classically rely on
+non-oblivious routing; our experiments run Slim Fly under the same
+oblivious schemes as every other topology.
+
+Only prime ``q`` is supported (GF(q) = Z/qZ), which covers all the
+moderate-scale instances this repository targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.network import Network, NetworkValidationError, build_network
+from repro.core.units import DEFAULT_LINK_GBPS
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    i = 2
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 1
+    return True
+
+
+def _primitive_root(q: int) -> int:
+    """Smallest primitive root modulo a prime q."""
+    order = q - 1
+    factors = set()
+    n = order
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            factors.add(p)
+            n //= p
+        p += 1
+    if n > 1:
+        factors.add(n)
+    for candidate in range(2, q):
+        if all(pow(candidate, order // f, q) != 1 for f in factors):
+            return candidate
+    raise NetworkValidationError(f"no primitive root found for {q}")
+
+
+def mms_delta(q: int) -> int:
+    """The d in q = 4w + d; only d = +1 is supported.
+
+    For q = 4w + 1, -1 is a quadratic residue, so the even-power and
+    odd-power generator sets are both closed under negation and the MMS
+    adjacency rules define a well-formed undirected graph.  For
+    q = 4w - 1 the published construction needs asymmetric generator
+    sets and a different rule set; those instances are rejected rather
+    than silently mis-built.
+    """
+    if (q - 1) % 4 == 0:
+        return 1
+    raise NetworkValidationError(
+        f"q={q} is not of the form 4w + 1; supported q: 5, 13, 17, 29, ..."
+    )
+
+
+def generator_sets(q: int) -> Tuple[Set[int], Set[int]]:
+    """The MMS generator sets X (even powers) and X' (odd powers).
+
+    Both are symmetric (closed under negation) exactly when the MMS
+    conditions hold, which the constructor verifies.
+    """
+    xi = _primitive_root(q)
+    x_set: Set[int] = set()
+    xp_set: Set[int] = set()
+    value = 1
+    for power in range(q - 1):
+        if power % 2 == 0:
+            x_set.add(value)
+        else:
+            xp_set.add(value)
+        value = (value * xi) % q
+    # Even powers are exactly the quadratic residues; keep them all.
+    return x_set, xp_set
+
+
+def slimfly_edges(q: int) -> List[Tuple[int, int]]:
+    """Edges of the MMS graph for prime q; router ids are
+    ``subgraph * q^2 + x * q + y``."""
+    if not _is_prime(q):
+        raise NetworkValidationError(f"q={q} must be prime")
+    mms_delta(q)  # validates the q = 4w + 1 form
+    x_set, xp_set = generator_sets(q)
+
+    def node(subgraph: int, a: int, b: int) -> int:
+        return subgraph * q * q + a * q + b
+
+    edges: List[Tuple[int, int]] = []
+    # Rule 1: intra-column edges in subgraph 0 via X.
+    for x in range(q):
+        for y in range(q):
+            for yp in range(y + 1, q):
+                if (y - yp) % q in x_set:
+                    edges.append((node(0, x, y), node(0, x, yp)))
+    # Rule 2: intra-column edges in subgraph 1 via X'.
+    for m in range(q):
+        for c in range(q):
+            for cp in range(c + 1, q):
+                if (c - cp) % q in xp_set:
+                    edges.append((node(1, m, c), node(1, m, cp)))
+    # Rule 3: bipartite edges y = m*x + c.
+    for x in range(q):
+        for m in range(q):
+            for c in range(q):
+                y = (m * x + c) % q
+                edges.append((node(0, x, y), node(1, m, c)))
+    return edges
+
+
+def slimfly(
+    q: int,
+    servers_per_rack: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    name: str = "",
+) -> Network:
+    """Build a Slim Fly with servers on every router (flat).
+
+    ``q`` must be a prime of the form 4w + 1 (5, 13, 17, 29, ...); the
+    network has ``2 q^2`` routers of network degree ``(3q - 1)/2``.
+    """
+    if servers_per_rack < 1:
+        raise NetworkValidationError("servers_per_rack must be >= 1")
+    edges = slimfly_edges(q)
+    num_routers = 2 * q * q
+    servers: Dict[int, int] = {
+        router: servers_per_rack for router in range(num_routers)
+    }
+    network = build_network(
+        edges,
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"slimfly(q={q})",
+    )
+    delta = mms_delta(q)
+    network.graph.graph["slimfly_q"] = q
+    expected_degree = (3 * q - delta) // 2
+    network.validate(max_radix=expected_degree + servers_per_rack)
+    return network

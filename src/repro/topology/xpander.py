@@ -1,0 +1,120 @@
+"""Xpander: a deterministic-structure expander built from random lifts.
+
+Valadarsky et al. (CoNEXT '16) construct Xpander as a k-lift of the
+complete graph K_{d+1}: each of the d+1 vertices becomes a *meta-node* of
+k switches, and each edge of K_{d+1} becomes a random perfect matching
+between the two meta-nodes.  The result is d-regular with (d+1)k switches
+and expansion close to a random regular graph, while being friendlier to
+cabling (links are organized meta-node to meta-node).
+
+The paper under reproduction cites Xpander as matching Jellyfish's
+performance (Section 2), and we include it both as a second expander
+baseline and for the "other flat topologies" discussion of Section 7.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.core.network import Network, NetworkValidationError, distribute_evenly
+from repro.core.units import DEFAULT_LINK_GBPS
+
+
+def xpander_edges(
+    network_degree: int, lift: int, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """Edges of an Xpander with the given network degree and lift size.
+
+    Switch ids are meta-node-major: switch ``meta * lift + j`` is the
+    j-th switch of meta-node ``meta``.
+    """
+    if network_degree < 2:
+        raise NetworkValidationError("Xpander needs network degree >= 2")
+    if lift < 1:
+        raise NetworkValidationError("lift size must be >= 1")
+    rng = random.Random(seed)
+    num_meta = network_degree + 1
+    edges: List[Tuple[int, int]] = []
+    for meta_a in range(num_meta):
+        for meta_b in range(meta_a + 1, num_meta):
+            # Random perfect matching between the two meta-nodes.
+            permutation = list(range(lift))
+            rng.shuffle(permutation)
+            for j in range(lift):
+                edges.append((meta_a * lift + j, meta_b * lift + permutation[j]))
+    return edges
+
+
+def xpander(
+    network_degree: int,
+    lift: int,
+    servers_per_rack: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    seed: int = 0,
+    name: str = "",
+) -> Network:
+    """Build an Xpander network with servers on every switch (flat)."""
+    if servers_per_rack < 1:
+        raise NetworkValidationError("servers_per_rack must be >= 1")
+    num_switches = (network_degree + 1) * lift
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_switches))
+    for u, v in xpander_edges(network_degree, lift, seed=seed):
+        if graph.has_edge(u, v):
+            graph[u][v]["mult"] += 1
+        else:
+            graph.add_edge(u, v, mult=1)
+    servers: Dict[int, int] = {i: servers_per_rack for i in range(num_switches)}
+    network = Network(
+        graph,
+        servers,
+        link_capacity=link_capacity,
+        name=name or f"xpander(d={network_degree},k={lift})",
+    )
+    network.graph.graph["xpander_lift"] = lift
+    network.validate(max_radix=network_degree + servers_per_rack)
+    return network
+
+
+def xpander_matching_equipment(
+    num_switches: int,
+    network_degree: int,
+    total_servers: int,
+    link_capacity: float = DEFAULT_LINK_GBPS,
+    seed: int = 0,
+    name: str = "",
+) -> Network:
+    """Best-effort Xpander for a target switch count and server total.
+
+    Picks the lift size so that ``(network_degree + 1) * lift`` is as
+    close to ``num_switches`` as possible without exceeding it, then
+    spreads ``total_servers`` evenly.  Raises when no lift fits.
+    """
+    lift = num_switches // (network_degree + 1)
+    if lift < 1:
+        raise NetworkValidationError(
+            f"{num_switches} switches cannot host an Xpander of degree "
+            f"{network_degree}"
+        )
+    actual_switches = (network_degree + 1) * lift
+    counts = distribute_evenly(total_servers, actual_switches)
+    base = xpander(
+        network_degree,
+        lift,
+        servers_per_rack=1,
+        link_capacity=link_capacity,
+        seed=seed,
+        name=name or f"xpander(~{num_switches}sw)",
+    )
+    servers = {i: counts[i] for i in range(actual_switches)}
+    network = Network(
+        base.graph,
+        servers,
+        link_capacity=link_capacity,
+        name=base.name,
+    )
+    network.validate(max_radix=network_degree + max(counts))
+    return network

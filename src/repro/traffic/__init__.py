@@ -1,0 +1,59 @@
+"""Traffic models: matrices, patterns, C-S model, FB-like TMs, flows."""
+
+from repro.traffic.matrix import (
+    PAPER_CLUSTER,
+    CanonicalCluster,
+    Placement,
+    TrafficMatrix,
+)
+from repro.traffic.patterns import permutation, rack_to_rack, uniform
+from repro.traffic.cs_model import (
+    CsPlacement,
+    cs_matrix,
+    cs_skewed_fig4,
+    place_cs,
+)
+from repro.traffic.facebook import fb_skewed, fb_uniform, skew_index
+from repro.traffic.flows import (
+    Flow,
+    flows_for_load,
+    generate_flows,
+    pareto_minimum,
+    sample_flow_size,
+    truncated_pareto_mean,
+    window_for_budget,
+)
+from repro.traffic.scaling import LoadSpec, spine_utilization_load
+from repro.traffic.microburst import MicroburstSpec, microburst_flows
+from repro.traffic.io import from_json as tm_from_json
+from repro.traffic.io import to_json as tm_to_json
+
+__all__ = [
+    "PAPER_CLUSTER",
+    "CanonicalCluster",
+    "Placement",
+    "TrafficMatrix",
+    "permutation",
+    "rack_to_rack",
+    "uniform",
+    "CsPlacement",
+    "cs_matrix",
+    "cs_skewed_fig4",
+    "place_cs",
+    "fb_skewed",
+    "fb_uniform",
+    "skew_index",
+    "Flow",
+    "flows_for_load",
+    "generate_flows",
+    "pareto_minimum",
+    "sample_flow_size",
+    "truncated_pareto_mean",
+    "window_for_budget",
+    "LoadSpec",
+    "spine_utilization_load",
+    "MicroburstSpec",
+    "microburst_flows",
+    "tm_from_json",
+    "tm_to_json",
+]

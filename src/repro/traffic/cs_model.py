@@ -1,0 +1,115 @@
+"""The C-S model of Section 5.2: C clients talk to S servers.
+
+A subset of C hosts acts as clients, packed into the fewest racks
+possible (racks chosen at random); S hosts act as servers, packed into
+the fewest racks avoiding the client racks.  Sweeping |C| and |S|
+captures incast/outcast (C=1 or S=1), rack-to-rack, skewed (|C| << |S|)
+and uniform (|C| = |S| = n/2) patterns — the axes of Figure 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.traffic.matrix import CanonicalCluster, RackPair, TrafficMatrix
+
+
+@dataclass(frozen=True)
+class CsPlacement:
+    """Which canonical racks host the clients and servers, and how many."""
+
+    clients_per_rack: Dict[int, int]
+    servers_per_rack: Dict[int, int]
+
+    @property
+    def num_clients(self) -> int:
+        return sum(self.clients_per_rack.values())
+
+    @property
+    def num_servers(self) -> int:
+        return sum(self.servers_per_rack.values())
+
+    def participating_racks(self) -> List[int]:
+        return sorted(set(self.clients_per_rack) | set(self.servers_per_rack))
+
+
+def place_cs(
+    cluster: CanonicalCluster,
+    num_clients: int,
+    num_servers: int,
+    seed: int = 0,
+) -> CsPlacement:
+    """Pack clients and servers into the fewest racks, racks random.
+
+    Client racks are drawn first; server racks avoid them (Section 5.2).
+    Raises when the cluster cannot host both sets disjointly.
+    """
+    if num_clients < 1 or num_servers < 1:
+        raise ValueError("need at least one client and one server")
+    per_rack = cluster.servers_per_rack
+    client_racks_needed = -(-num_clients // per_rack)
+    server_racks_needed = -(-num_servers // per_rack)
+    if client_racks_needed + server_racks_needed > cluster.num_racks:
+        raise ValueError(
+            f"{num_clients} clients + {num_servers} servers do not fit in "
+            f"{cluster.num_racks} racks of {per_rack}"
+        )
+    rng = random.Random(seed)
+    racks = list(range(cluster.num_racks))
+    rng.shuffle(racks)
+    client_racks = racks[:client_racks_needed]
+    server_racks = racks[
+        client_racks_needed : client_racks_needed + server_racks_needed
+    ]
+    return CsPlacement(
+        clients_per_rack=_fill(client_racks, num_clients, per_rack),
+        servers_per_rack=_fill(server_racks, num_servers, per_rack),
+    )
+
+
+def _fill(racks: List[int], count: int, per_rack: int) -> Dict[int, int]:
+    filled: Dict[int, int] = {}
+    remaining = count
+    for rack in racks:
+        take = min(per_rack, remaining)
+        filled[rack] = take
+        remaining -= take
+    assert remaining == 0
+    return filled
+
+
+def cs_matrix(
+    cluster: CanonicalCluster,
+    num_clients: int,
+    num_servers: int,
+    seed: int = 0,
+    name: str = "",
+) -> TrafficMatrix:
+    """Traffic matrix where every client sends to every server.
+
+    Rack-pair weight = (clients in rack) x (servers in rack), i.e. one
+    unit of demand per client-server pair.
+    """
+    placement = place_cs(cluster, num_clients, num_servers, seed=seed)
+    weights: Dict[RackPair, float] = {}
+    for c_rack, clients in placement.clients_per_rack.items():
+        for s_rack, servers in placement.servers_per_rack.items():
+            weights[(c_rack, s_rack)] = float(clients * servers)
+    return TrafficMatrix(
+        cluster,
+        weights,
+        name=name or f"C-S(C={num_clients},S={num_servers})",
+    )
+
+
+def cs_skewed_fig4(cluster: CanonicalCluster, seed: int = 0) -> TrafficMatrix:
+    """The "C-S skewed" column of Figure 4: C = n/4, S = n/16.
+
+    n is the total host count of the canonical cluster.
+    """
+    n = cluster.num_servers
+    return cs_matrix(
+        cluster, max(1, n // 4), max(1, n // 16), seed=seed, name="CS skewed"
+    )

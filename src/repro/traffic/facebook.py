@@ -1,0 +1,94 @@
+"""Facebook-like traffic matrices (Section 5.2's "real world TMs").
+
+The paper samples rack-level weights measured on two 64-rack Facebook
+clusters (Roy et al., SIGCOMM '15): a Hadoop cluster with largely uniform
+traffic and a frontend cluster with significant skew.  The raw matrices
+are proprietary, so we synthesize matrices with the published
+*characteristics* (see DESIGN.md's substitution table):
+
+* **FB uniform** (Hadoop): all rack pairs active, weights drawn from a
+  mild lognormal, so the matrix is dense and nearly flat — Hadoop
+  shuffles touch every rack with modest imbalance.
+* **FB skewed** (frontend): rack *activity* follows a Zipf law — a small
+  set of cache/web racks dominates — and pair weight is the product of
+  endpoint activities with a sparsification cut, concentrating most
+  bytes on a minority of rack pairs.  This is the regime where Figure 4
+  shows flat topologies winning, because only a few rack uplinks are
+  hot at any time.
+
+Both generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.traffic.matrix import CanonicalCluster, RackPair, TrafficMatrix
+
+#: Zipf exponent for frontend rack activity; chosen so the top ~10% of
+#: racks carry the majority of bytes, matching the skew Roy et al. report.
+SKEW_EXPONENT = 1.2
+
+#: Lognormal sigma for the Hadoop-like matrix (mild variation).
+UNIFORM_SIGMA = 0.25
+
+
+def fb_uniform(
+    cluster: CanonicalCluster, seed: int = 0, name: str = "FB uniform"
+) -> TrafficMatrix:
+    """Dense, nearly flat rack-level matrix (Hadoop-cluster-like)."""
+    rng = random.Random(seed)
+    weights: Dict[RackPair, float] = {}
+    for r1 in range(cluster.num_racks):
+        for r2 in range(cluster.num_racks):
+            if r1 == r2:
+                continue
+            weights[(r1, r2)] = rng.lognormvariate(0.0, UNIFORM_SIGMA)
+    return TrafficMatrix(cluster, weights, name=name)
+
+
+def fb_skewed(
+    cluster: CanonicalCluster,
+    seed: int = 0,
+    name: str = "FB skewed",
+    keep_fraction: float = 0.5,
+) -> TrafficMatrix:
+    """Skewed rack-level matrix (frontend-cluster-like).
+
+    Rack activity ``a_r ∝ rank^-SKEW_EXPONENT`` over a random rack
+    ranking; the pair weight is ``a_r1 * a_r2`` with small multiplicative
+    noise, and only the heaviest ``keep_fraction`` of pairs is kept so
+    cold pairs carry no traffic at all (frontend matrices are sparse).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    ranking = list(range(cluster.num_racks))
+    rng.shuffle(ranking)
+    activity = {
+        rack: (rank + 1) ** (-SKEW_EXPONENT)
+        for rank, rack in enumerate(ranking)
+    }
+    raw: Dict[RackPair, float] = {}
+    for r1 in range(cluster.num_racks):
+        for r2 in range(cluster.num_racks):
+            if r1 == r2:
+                continue
+            noise = rng.lognormvariate(0.0, 0.3)
+            raw[(r1, r2)] = activity[r1] * activity[r2] * noise
+    keep = max(1, int(len(raw) * keep_fraction))
+    heaviest = sorted(raw, key=raw.get, reverse=True)[:keep]
+    weights = {pair: raw[pair] for pair in heaviest}
+    return TrafficMatrix(cluster, weights, name=name)
+
+
+def skew_index(tm: TrafficMatrix) -> float:
+    """Fraction of total weight carried by the heaviest 10% of pairs.
+
+    A diagnostic used in tests: close to 0.1 for a flat matrix, large
+    (> 0.5) for a frontend-like matrix.
+    """
+    values = sorted(tm.weights.values(), reverse=True)
+    top = max(1, len(values) // 10)
+    return sum(values[:top]) / sum(values)

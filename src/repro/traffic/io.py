@@ -1,0 +1,58 @@
+"""Traffic matrix file I/O.
+
+The paper derives its "real world TMs" from Facebook's published
+rack-level weights; operators reproducing the experiments on their own
+fabric will have their own matrices.  This module defines a small JSON
+interchange format (cluster shape + sparse rack-pair weights) with an
+exact round-trip, so measured matrices can be dropped straight into the
+Figure 4/5 drivers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.traffic.matrix import CanonicalCluster, RackPair, TrafficMatrix
+
+FORMAT_VERSION = 1
+
+
+def to_json(tm: TrafficMatrix) -> str:
+    """Serialize a traffic matrix to the interchange JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": tm.name,
+        "cluster": {
+            "num_racks": tm.cluster.num_racks,
+            "servers_per_rack": tm.cluster.servers_per_rack,
+        },
+        "weights": [
+            {"src": src, "dst": dst, "weight": tm.weights[(src, dst)]}
+            for src, dst in sorted(tm.weights)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> TrafficMatrix:
+    """Rebuild a traffic matrix from :func:`to_json` output.
+
+    Validates the format version and delegates entry validation (ranges,
+    signs, intra-rack entries) to :class:`TrafficMatrix` itself.
+    """
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported traffic-matrix format version {version!r}"
+        )
+    cluster = CanonicalCluster(
+        num_racks=int(payload["cluster"]["num_racks"]),
+        servers_per_rack=int(payload["cluster"]["servers_per_rack"]),
+    )
+    weights: Dict[RackPair, float] = {
+        (int(entry["src"]), int(entry["dst"])): float(entry["weight"])
+        for entry in payload["weights"]
+    }
+    return TrafficMatrix(cluster, weights, name=payload.get("name", "tm"))

@@ -1,0 +1,205 @@
+"""Traffic matrices over a canonical rack/server space (Section 5.2).
+
+The paper authors all of their traffic matrices against the leaf-spine
+cluster (64 racks x 48 servers) and then *carry the servers over* to each
+topology under test: the RRG re-houses the same servers on all switches,
+the DRing houses nearly the same number.  We follow the same recipe with
+an explicit canonical space:
+
+* a :class:`CanonicalCluster` fixes the authoring rack count and servers
+  per rack (64 x 48 by default, scaled-down variants for tests);
+* a :class:`TrafficMatrix` stores *rack-level* weights over the canonical
+  racks — every workload in the paper is rack-structured — together with
+  the machinery to sample server-level flows;
+* a :class:`Placement` maps canonical servers onto the servers of a
+  concrete :class:`~repro.core.network.Network`; the Random Placement
+  (RP) variants of Section 5.2 are seeded shuffles of this map.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+
+RackPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CanonicalCluster:
+    """The rack/server space traffic matrices are authored in."""
+
+    num_racks: int
+    servers_per_rack: int
+
+    @property
+    def num_servers(self) -> int:
+        return self.num_racks * self.servers_per_rack
+
+    def rack_of(self, canonical_server: int) -> int:
+        if not 0 <= canonical_server < self.num_servers:
+            raise ValueError(f"canonical server {canonical_server} out of range")
+        return canonical_server // self.servers_per_rack
+
+    def servers_of(self, rack: int) -> range:
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"canonical rack {rack} out of range")
+        start = rack * self.servers_per_rack
+        return range(start, start + self.servers_per_rack)
+
+
+#: The paper's authoring cluster: leaf-spine(48, 16) = 64 racks x 48 servers.
+PAPER_CLUSTER = CanonicalCluster(num_racks=64, servers_per_rack=48)
+
+
+class TrafficMatrix:
+    """Rack-level traffic weights plus server-level flow sampling.
+
+    ``weights[(r1, r2)]`` is proportional to the number of flows (and
+    therefore bytes, in expectation) from canonical rack r1 to r2.
+    Intra-rack entries are disallowed: the paper's matrices are
+    inter-rack by construction.
+    """
+
+    def __init__(
+        self,
+        cluster: CanonicalCluster,
+        weights: Dict[RackPair, float],
+        name: str = "tm",
+    ) -> None:
+        self.cluster = cluster
+        self.name = name
+        cleaned: Dict[RackPair, float] = {}
+        for (r1, r2), weight in weights.items():
+            if r1 == r2:
+                raise ValueError(f"intra-rack weight at rack {r1}")
+            if not 0 <= r1 < cluster.num_racks or not 0 <= r2 < cluster.num_racks:
+                raise ValueError(f"rack pair {(r1, r2)} out of range")
+            if weight < 0:
+                raise ValueError(f"negative weight at {(r1, r2)}")
+            if weight > 0:
+                cleaned[(r1, r2)] = float(weight)
+        if not cleaned:
+            raise ValueError("traffic matrix has no positive weights")
+        self.weights = cleaned
+        self._pairs: List[RackPair] = sorted(cleaned)
+        probabilities = np.array([cleaned[p] for p in self._pairs], dtype=float)
+        self._probabilities = probabilities / probabilities.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights.values()))
+
+    def sending_racks(self) -> List[int]:
+        """Canonical racks that originate any traffic."""
+        return sorted({r1 for r1, _r2 in self.weights})
+
+    def participating_racks(self) -> List[int]:
+        """Canonical racks that send or receive any traffic."""
+        racks = {r1 for r1, _ in self.weights} | {r2 for _, r2 in self.weights}
+        return sorted(racks)
+
+    def normalized(self) -> Dict[RackPair, float]:
+        """Weights scaled to sum to 1."""
+        total = self.total_weight
+        return {pair: w / total for pair, w in self.weights.items()}
+
+    # ------------------------------------------------------------------
+
+    def sample_rack_pair(self, rng: random.Random) -> RackPair:
+        """Draw a rack pair with probability proportional to its weight."""
+        u = rng.random()
+        index = int(np.searchsorted(self._cumulative, u, side="right"))
+        index = min(index, len(self._pairs) - 1)
+        return self._pairs[index]
+
+    def sample_server_pair(self, rng: random.Random) -> Tuple[int, int]:
+        """Draw a canonical (src_server, dst_server) flow endpoint pair."""
+        r1, r2 = self.sample_rack_pair(rng)
+        src = rng.choice(self.cluster.servers_of(r1))
+        dst = rng.choice(self.cluster.servers_of(r2))
+        return src, dst
+
+
+class Placement:
+    """Maps canonical servers onto the servers of a concrete network.
+
+    The default map is linear: canonical server i lands on network server
+    ``floor(i * N_net / N_canonical)``, which preserves rack locality
+    when server counts match and degrades gracefully when the target has
+    slightly fewer servers (the DRing's 2.8% deficit).  ``shuffle`` with
+    a seed produces the paper's Random Placement variants.
+    """
+
+    def __init__(
+        self,
+        cluster: CanonicalCluster,
+        network: Network,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.network = network
+        num_canonical = cluster.num_servers
+        num_network = network.num_servers
+        if num_network == 0:
+            raise ValueError("target network has no servers")
+        targets = [
+            (i * num_network) // num_canonical for i in range(num_canonical)
+        ]
+        if shuffle:
+            rng = random.Random(seed)
+            rng.shuffle(targets)
+        self._target_server = targets
+
+    def network_server(self, canonical_server: int) -> int:
+        """The concrete network server a canonical server maps to."""
+        return self._target_server[canonical_server]
+
+    def rack_of(self, canonical_server: int) -> int:
+        """The concrete rack switch hosting a canonical server."""
+        return self.network.switch_of_server(
+            self._target_server[canonical_server]
+        )
+
+    def _rack_histogram(self, canonical_rack: int) -> Dict[int, int]:
+        """How many of a canonical rack's servers land on each concrete rack."""
+        histogram: Dict[int, int] = {}
+        for server in self.cluster.servers_of(canonical_rack):
+            rack = self.rack_of(server)
+            histogram[rack] = histogram.get(rack, 0) + 1
+        return histogram
+
+    def rack_demands(self, tm: TrafficMatrix) -> Dict[RackPair, float]:
+        """Project a canonical TM onto concrete rack-pair weights.
+
+        Weights are spread uniformly over each canonical rack's servers
+        and re-aggregated by concrete rack, dropping pairs that collapse
+        onto the same concrete rack (they never touch network links).
+        """
+        histograms = {
+            rack: self._rack_histogram(rack)
+            for rack in tm.participating_racks()
+        }
+        per_server = 1.0 / (self.cluster.servers_per_rack**2)
+        demands: Dict[RackPair, float] = {}
+        for (r1, r2), weight in tm.weights.items():
+            share = weight * per_server
+            for rack1, count1 in histograms[r1].items():
+                for rack2, count2 in histograms[r2].items():
+                    if rack1 == rack2:
+                        continue
+                    key = (rack1, rack2)
+                    demands[key] = demands.get(key, 0.0) + share * count1 * count2
+        if not demands:
+            raise ValueError(
+                "all traffic collapsed intra-rack under this placement"
+            )
+        return demands

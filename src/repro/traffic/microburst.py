@@ -1,0 +1,105 @@
+"""Microburst workloads (the Section 3 motivation for flatness).
+
+"This is especially valuable for micro bursts where a rack has a lot of
+traffic to send in a short period of time and traffic is well-multiplexed
+at the network links (very few racks are bursting at any given point)."
+
+The generator produces exactly that regime: a background of light
+uniform traffic over the whole window, plus a small set of bursting
+racks that each emit a volley of flows to random destinations within a
+burst interval much shorter than the window.  Because only a minority of
+racks burst at once, a flat network's transit links are mostly idle for
+local use — the oversubscription-masking effect the UDF quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.units import DEFAULT_MEAN_FLOW_BYTES, DEFAULT_PARETO_SHAPE
+from repro.traffic.flows import Flow, sample_flow_size
+from repro.traffic.matrix import CanonicalCluster, TrafficMatrix
+from repro.traffic.patterns import uniform
+
+
+@dataclass(frozen=True)
+class MicroburstSpec:
+    """Shape of one microburst workload."""
+
+    num_bursting_racks: int
+    flows_per_burst: int
+    burst_duration: float
+    window: float
+    background_flows: int = 0
+    mean_size: float = DEFAULT_MEAN_FLOW_BYTES
+    shape: float = DEFAULT_PARETO_SHAPE
+    size_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_bursting_racks < 1:
+            raise ValueError("need at least one bursting rack")
+        if self.flows_per_burst < 1:
+            raise ValueError("need at least one flow per burst")
+        if not 0 < self.burst_duration <= self.window:
+            raise ValueError("burst duration must be within the window")
+
+
+def microburst_flows(
+    cluster: CanonicalCluster,
+    spec: MicroburstSpec,
+    seed: int = 0,
+) -> List[Flow]:
+    """Generate a microburst workload in canonical server space.
+
+    Bursting racks are sampled without replacement; each burst starts at
+    a uniformly random point of the window and its flows originate from
+    the rack's servers toward uniformly random remote servers, all
+    within ``burst_duration``.  Background flows (if any) follow the
+    uniform matrix across the whole window.
+    """
+    if spec.num_bursting_racks > cluster.num_racks:
+        raise ValueError("more bursting racks than racks")
+    rng = random.Random(seed)
+    bursting = rng.sample(range(cluster.num_racks), spec.num_bursting_racks)
+
+    flows: List[Flow] = []
+    for rack in bursting:
+        burst_start = rng.random() * max(
+            spec.window - spec.burst_duration, 1e-12
+        )
+        rack_servers = list(cluster.servers_of(rack))
+        for _ in range(spec.flows_per_burst):
+            src = rng.choice(rack_servers)
+            dst = src
+            while cluster.rack_of(dst) == rack:
+                dst = rng.randrange(cluster.num_servers)
+            flows.append(
+                Flow(
+                    src_server=src,
+                    dst_server=dst,
+                    size_bytes=sample_flow_size(
+                        rng, spec.mean_size, spec.shape, spec.size_cap
+                    ),
+                    start_time=burst_start + rng.random() * spec.burst_duration,
+                )
+            )
+
+    if spec.background_flows:
+        background: TrafficMatrix = uniform(cluster)
+        for _ in range(spec.background_flows):
+            src, dst = background.sample_server_pair(rng)
+            flows.append(
+                Flow(
+                    src_server=src,
+                    dst_server=dst,
+                    size_bytes=sample_flow_size(
+                        rng, spec.mean_size, spec.shape, spec.size_cap
+                    ),
+                    start_time=rng.random() * spec.window,
+                )
+            )
+
+    flows.sort(key=lambda f: f.start_time)
+    return flows

@@ -1,0 +1,62 @@
+"""Elementary traffic patterns: uniform/A2A, rack-to-rack, permutation.
+
+These are the first two workloads of Section 5.2; permutation traffic is
+included as the standard additional stressor used throughout the
+topology-design literature.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.traffic.matrix import CanonicalCluster, RackPair, TrafficMatrix
+
+
+def uniform(cluster: CanonicalCluster, name: str = "A2A") -> TrafficMatrix:
+    """Uniform/A2A: every inter-rack pair equally weighted.
+
+    Each flow gets a random source and destination server, so at rack
+    level every ordered pair of distinct racks carries the same weight.
+    """
+    weights: Dict[RackPair, float] = {
+        (r1, r2): 1.0
+        for r1 in range(cluster.num_racks)
+        for r2 in range(cluster.num_racks)
+        if r1 != r2
+    }
+    return TrafficMatrix(cluster, weights, name=name)
+
+
+def rack_to_rack(
+    cluster: CanonicalCluster,
+    src_rack: int = 0,
+    dst_rack: int = 1,
+    name: str = "R2R",
+) -> TrafficMatrix:
+    """Rack-to-rack: all servers of one rack send to all of another."""
+    if src_rack == dst_rack:
+        raise ValueError("src and dst racks must differ")
+    return TrafficMatrix(cluster, {(src_rack, dst_rack): 1.0}, name=name)
+
+
+def permutation(
+    cluster: CanonicalCluster,
+    seed: int = 0,
+    name: str = "permutation",
+) -> TrafficMatrix:
+    """A random rack-level permutation: each rack sends to one other rack.
+
+    A classic near-worst-case pattern for oversubscribed trees; included
+    for the ablation benchmarks.
+    """
+    rng = random.Random(seed)
+    racks = list(range(cluster.num_racks))
+    targets = racks[:]
+    # Fisher-Yates until derangement (no rack sends to itself).
+    while True:
+        rng.shuffle(targets)
+        if all(r != t for r, t in zip(racks, targets)):
+            break
+    weights = {(r, t): 1.0 for r, t in zip(racks, targets)}
+    return TrafficMatrix(cluster, weights, name=name)

@@ -1,0 +1,56 @@
+"""Scaling traffic matrices to a target load (Section 6.1).
+
+The paper scales every TM "so that the network utilization in the spine
+layer is 30%": the aggregate inter-rack offered load equals 30% of the
+baseline leaf-spine's one-way leaf-to-spine capacity.  Patterns in which
+only a few racks participate (rack-to-rack, C-S) are further scaled down
+by (sending racks / total racks), so sparse patterns do not concentrate
+an absurd per-rack load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.network import Network
+from repro.core.units import DEFAULT_SPINE_UTILIZATION
+from repro.topology.leafspine import spine_layer_capacity
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """The offered aggregate load for a TM, in Gbps."""
+
+    offered_gbps: float
+    utilization: float
+    sparse_factor: float
+
+    def __post_init__(self) -> None:
+        if self.offered_gbps <= 0:
+            raise ValueError("offered load must be positive")
+
+
+def spine_utilization_load(
+    baseline: Network,
+    tm: TrafficMatrix,
+    utilization: float = DEFAULT_SPINE_UTILIZATION,
+) -> LoadSpec:
+    """Offered load giving the target spine utilization on the baseline.
+
+    ``baseline`` must be the leaf-spine the experiment is normalized
+    against (the same load is then offered to every topology under
+    test).  The sparse-pattern correction divides by
+    (total racks / sending racks) exactly as Section 6.1 describes.
+    """
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization must be in (0, 1]")
+    capacity = spine_layer_capacity(baseline)
+    sending = len(tm.sending_racks())
+    total = tm.cluster.num_racks
+    sparse_factor = sending / total
+    return LoadSpec(
+        offered_gbps=utilization * capacity * sparse_factor,
+        utilization=utilization,
+        sparse_factor=sparse_factor,
+    )

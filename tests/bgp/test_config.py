@@ -1,0 +1,73 @@
+"""Tests for the Cisco-style configuration generator."""
+
+import pytest
+
+from repro.bgp import ConfigGenerator, rack_prefix, router_as
+from repro.topology import dring, leaf_spine
+
+
+@pytest.fixture
+def generator(small_dring):
+    return ConfigGenerator(small_dring, 2)
+
+
+class TestAddressing:
+    def test_router_as_unique(self, small_dring):
+        ases = {router_as(s) for s in small_dring.switches}
+        assert len(ases) == small_dring.num_switches
+
+    def test_rack_prefixes_unique(self, small_dring):
+        prefixes = {rack_prefix(s) for s in small_dring.switches}
+        assert len(prefixes) == small_dring.num_switches
+
+
+class TestRendering:
+    def test_renders_every_router(self, generator, small_dring):
+        configs = generator.render_all()
+        assert set(configs) == set(small_dring.switches)
+
+    def test_vrf_definitions_present(self, generator):
+        text = generator.render_router(0)
+        assert "vrf definition VRF1" in text
+        assert "vrf definition VRF2" in text
+        assert "vrf definition VRF3" not in text
+
+    def test_bgp_process_with_local_as(self, generator):
+        text = generator.render_router(3)
+        assert f"router bgp {router_as(3)}" in text
+        assert "bgp bestpath as-path multipath-relax" in text
+        assert "maximum-paths" in text
+
+    def test_host_prefix_announced_in_host_vrf(self, generator):
+        text = generator.render_router(3)
+        assert f"network {rack_prefix(3)}" in text
+        assert "address-family ipv4 vrf VRF2" in text
+
+    def test_prepend_route_maps_emitted(self, generator):
+        text = generator.render_router(0)
+        # Cost-2 entry edges require one extra prepend.
+        assert "route-map PREPEND-2 permit 10" in text
+        assert "set as-path prepend" in text
+
+    def test_interfaces_cover_local_connections(self, generator, small_dring):
+        text = generator.render_router(0)
+        neighbors = set(small_dring.graph.neighbors(0))
+        for neighbor in neighbors:
+            assert f"router-{neighbor}" in text
+
+    def test_deterministic(self, small_dring):
+        a = ConfigGenerator(small_dring, 2).render_router(0)
+        b = ConfigGenerator(small_dring, 2).render_router(0)
+        assert a == b
+
+    def test_ends_with_end(self, generator):
+        assert generator.render_router(0).endswith("end")
+
+
+class TestLeafSpineConfigs:
+    def test_leafspine_also_configurable(self, small_leafspine):
+        generator = ConfigGenerator(small_leafspine, 2)
+        configs = generator.render_all()
+        assert len(configs) == small_leafspine.num_switches
+        for text in configs.values():
+            assert "router bgp" in text

@@ -1,0 +1,140 @@
+"""Tests for incremental failure handling (withdrawals, fail_link)."""
+
+import pytest
+
+from repro.bgp import (
+    BgpFabric,
+    VrfGraph,
+    build_converged_fabric,
+    check_path_set_equivalence,
+    reconvergence_after_failure,
+)
+from repro.core.network import build_network
+from repro.routing import shortest_union_paths
+from repro.topology import dring, jellyfish
+
+
+class TestFailLink:
+    def test_requires_convergence_first(self, small_dring):
+        fabric = BgpFabric(VrfGraph(small_dring, 2))
+        with pytest.raises(RuntimeError):
+            fabric.fail_link(0, 2)
+
+    def test_incremental_repair_cheaper_than_cold_start(self, small_dring):
+        fabric = build_converged_fabric(small_dring, 2)
+        cold_updates = fabric.report.updates_processed
+        report = fabric.fail_link(0, 2)
+        assert report.updates_processed < cold_updates / 3
+
+    def test_post_failure_paths_exactly_su2_on_degraded_graph(self):
+        net = dring(8, 2, servers_per_rack=4)
+        fabric = build_converged_fabric(net, 2)
+        fabric.fail_link(0, 2)
+        # fabric.network was updated in place by fail_link.
+        assert not fabric.network.graph.has_edge(0, 2)
+        assert check_path_set_equivalence(fabric, exact=True) == []
+
+    def test_unknown_link_rejected(self, small_dring):
+        fabric = build_converged_fabric(small_dring, 2)
+        with pytest.raises(ValueError):
+            fabric.fail_link(0, 1)  # same supernode: no link
+
+    def test_multiple_failures_accumulate(self):
+        net = dring(8, 2, servers_per_rack=4)
+        fabric = build_converged_fabric(net, 2)
+        fabric.fail_link(0, 2)
+        fabric.fail_link(1, 3)
+        assert check_path_set_equivalence(fabric, exact=True) == []
+
+    def test_metrics_adjust_after_failure(self, small_dring):
+        fabric = build_converged_fabric(small_dring, 2)
+        before = fabric.metric(0, 2)
+        fabric.fail_link(0, 2)
+        after = fabric.metric(0, 2)
+        # Distance was 1 (metric max(1,2)=2); now distance is 2.
+        assert before == 2 and after == 2
+        # But the direct path is gone from the installed set.
+        assert (0, 2) not in fabric.forwarding_paths(0, 2)
+
+
+class TestWithdrawalCascade:
+    def test_disconnection_withdraws_routes(self):
+        # A line 0-1-2: failing (1,2) makes rack 2 unreachable, which
+        # must cascade withdrawals instead of leaving stale routes.
+        net = build_network([(0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        fabric = build_converged_fabric(net, 1)
+        assert fabric.metric(0, 2) == 2
+        report = fabric.fail_link(1, 2)
+        assert report.withdrawals_processed > 0
+        with pytest.raises(ValueError):
+            fabric.metric(0, 2)
+        with pytest.raises(ValueError):
+            fabric.metric(2, 0)
+
+    def test_surviving_routes_untouched(self):
+        net = build_network([(0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        fabric = build_converged_fabric(net, 1)
+        fabric.fail_link(1, 2)
+        assert fabric.metric(0, 1) == 1
+
+
+class TestHelperFunction:
+    def test_reconvergence_helper_copies_network(self, small_dring):
+        edges_before = set(small_dring.graph.edges)
+        report = reconvergence_after_failure(small_dring, 2, (0, 2))
+        assert set(small_dring.graph.edges) == edges_before
+        assert report.rounds >= 1
+
+    def test_helper_rejects_missing_link(self, small_dring):
+        with pytest.raises(ValueError):
+            reconvergence_after_failure(small_dring, 2, (0, 999))
+
+
+class TestAddLink:
+    def test_requires_convergence_first(self, small_dring):
+        fabric = BgpFabric(VrfGraph(small_dring, 2))
+        with pytest.raises(RuntimeError):
+            fabric.add_link(0, 1)
+
+    def test_fail_then_readd_restores_paths(self):
+        net = dring(8, 2, servers_per_rack=4)
+        fabric = build_converged_fabric(net, 2)
+        original = {
+            pair: set(fabric.forwarding_paths(*pair))
+            for pair in [(0, 2), (2, 0), (0, 5), (3, 9)]
+        }
+        fabric.fail_link(0, 2)
+        assert set(fabric.forwarding_paths(0, 2)) != original[(0, 2)]
+        fabric.add_link(0, 2)
+        for pair, paths in original.items():
+            assert set(fabric.forwarding_paths(*pair)) == paths
+        assert check_path_set_equivalence(fabric, exact=True) == []
+
+    def test_incremental_add_cheaper_than_cold_start(self):
+        net = dring(8, 2, servers_per_rack=4)
+        fabric = build_converged_fabric(net, 2)
+        cold = fabric.report.updates_processed
+        fabric.fail_link(0, 2)
+        report = fabric.add_link(0, 2)
+        assert report.updates_processed < cold / 2
+
+    def test_brand_new_link_improves_distance(self):
+        # A line 0-1-2: adding (0, 2) shortens the pair to distance 1.
+        from repro.core.network import build_network
+
+        net = build_network([(0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        fabric = build_converged_fabric(net, 1)
+        assert fabric.metric(0, 2) == 2
+        fabric.add_link(0, 2)
+        assert fabric.metric(0, 2) == 1
+        assert check_path_set_equivalence(fabric, exact=True) == []
+
+    def test_duplicate_link_rejected(self, small_dring):
+        fabric = build_converged_fabric(small_dring, 2)
+        with pytest.raises(ValueError):
+            fabric.add_link(0, 2)
+
+    def test_self_link_rejected(self, small_dring):
+        fabric = build_converged_fabric(small_dring, 2)
+        with pytest.raises(ValueError):
+            fabric.add_link(3, 3)

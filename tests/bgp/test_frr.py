@@ -1,0 +1,63 @@
+"""Tests for the FRRouting configuration renderer."""
+
+import pytest
+
+from repro.bgp import rack_prefix, router_as
+from repro.bgp.frr import FrrConfigGenerator
+
+
+@pytest.fixture
+def generator(small_dring):
+    return FrrConfigGenerator(small_dring, 2)
+
+
+class TestFrrRendering:
+    def test_renders_every_router(self, generator, small_dring):
+        configs = generator.render_all()
+        assert set(configs) == set(small_dring.switches)
+
+    def test_frr_preamble(self, generator):
+        text = generator.render_router(0)
+        assert text.startswith("frr version")
+        assert "frr defaults datacenter" in text
+
+    def test_vrf_devices_declared(self, generator):
+        text = generator.render_router(0)
+        assert "vrf VRF1" in text and "vrf VRF2" in text
+
+    def test_bgp_instance_per_vrf(self, generator):
+        text = generator.render_router(3)
+        local_as = router_as(3)
+        assert f"router bgp {local_as} vrf VRF1" in text
+        assert f"router bgp {local_as} vrf VRF2" in text
+
+    def test_host_prefix_only_in_host_vrf(self, generator):
+        text = generator.render_router(3)
+        network_line = f"  network {rack_prefix(3)}"
+        before_vrf2, after_vrf2 = text.split("vrf VRF2", 1)
+        assert network_line not in before_vrf2
+        assert network_line in after_vrf2
+
+    def test_multipath_relax_enabled(self, generator):
+        text = generator.render_router(0)
+        assert "bgp bestpath as-path multipath-relax" in text
+        assert "maximum-paths" in text
+
+    def test_prepend_route_maps(self, generator):
+        text = generator.render_router(0)
+        assert "route-map PREPEND-2 permit 10" in text
+        assert f"set as-path prepend {router_as(0)}" in text
+
+    def test_addressing_matches_cisco_renderer(self, small_dring):
+        from repro.bgp import ConfigGenerator
+
+        frr = FrrConfigGenerator(small_dring, 2)
+        cisco = ConfigGenerator(small_dring, 2)
+        # Both renderers must agree on the connection ordering (and thus
+        # the /31 addressing), so mixed fleets interoperate.
+        assert frr._connections == cisco._connections
+
+    def test_deterministic(self, small_dring):
+        a = FrrConfigGenerator(small_dring, 2).render_router(1)
+        b = FrrConfigGenerator(small_dring, 2).render_router(1)
+        assert a == b

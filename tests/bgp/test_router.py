@@ -1,0 +1,85 @@
+"""Tests for single-router BGP state and the decision process."""
+
+import pytest
+
+from repro.bgp.router import Advertisement, RibEntry, RouterVrf
+
+
+def adv(dst, as_path, sender=(1, 9)):
+    return Advertisement(dst_switch=dst, as_path=tuple(as_path), sender=sender)
+
+
+class TestLoopPrevention:
+    def test_rejects_own_as(self):
+        vrf = RouterVrf(node=(2, 5), local_as=5)
+        assert not vrf.accepts(adv(7, [3, 5, 7]))
+
+    def test_accepts_foreign_path(self):
+        vrf = RouterVrf(node=(2, 5), local_as=5)
+        assert vrf.accepts(adv(7, [3, 4, 7]))
+
+
+class TestDecisionProcess:
+    def test_first_route_installs(self):
+        vrf = RouterVrf((2, 5), 5)
+        assert vrf.consider(adv(7, [3, 7]))
+        assert vrf.best(7).metric == 2
+
+    def test_shorter_path_replaces(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.consider(adv(7, [3, 4, 7], sender=(1, 3)))
+        assert vrf.consider(adv(7, [6, 7], sender=(1, 6)))
+        entry = vrf.best(7)
+        assert entry.metric == 2
+        assert entry.hop_nodes() == [(1, 6)]
+
+    def test_equal_metric_adds_multipath(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.consider(adv(7, [3, 7], sender=(1, 3)))
+        assert vrf.consider(adv(7, [6, 7], sender=(1, 6)))
+        assert len(vrf.best(7).next_hops) == 2
+
+    def test_duplicate_sender_not_added_twice(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.consider(adv(7, [3, 7], sender=(1, 3)))
+        assert not vrf.consider(adv(7, [3, 7], sender=(1, 3)))
+        assert len(vrf.best(7).next_hops) == 1
+
+    def test_longer_path_ignored(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.consider(adv(7, [3, 7], sender=(1, 3)))
+        assert not vrf.consider(adv(7, [6, 4, 7], sender=(1, 6)))
+        assert vrf.best(7).metric == 2
+
+    def test_looped_advertisement_never_installs(self):
+        vrf = RouterVrf((2, 5), 5)
+        assert not vrf.consider(adv(7, [3, 5, 7]))
+        assert vrf.best(7) is None
+
+
+class TestAdvertise:
+    def test_origin_prefix_prepends(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.origin_switch = 5
+        assert vrf.advertise(5, prepend=1) == (5,)
+        assert vrf.advertise(5, prepend=3) == (5, 5, 5)
+
+    def test_learned_route_prepends_representative(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.consider(adv(7, [3, 7], sender=(1, 3)))
+        assert vrf.advertise(7, prepend=2) == (5, 5, 3, 7)
+
+    def test_no_route_advertises_nothing(self):
+        vrf = RouterVrf((2, 5), 5)
+        assert vrf.advertise(7, prepend=1) is None
+
+    def test_prepend_must_be_positive(self):
+        vrf = RouterVrf((2, 5), 5)
+        vrf.origin_switch = 5
+        with pytest.raises(ValueError):
+            vrf.advertise(5, prepend=0)
+
+
+class TestAdvertisementMetric:
+    def test_metric_is_path_length(self):
+        assert adv(7, [1, 2, 3]).metric == 3

@@ -1,0 +1,49 @@
+"""Tests for the control-plane state accounting."""
+
+import pytest
+
+from repro.bgp import build_converged_fabric
+from repro.bgp.stats import fabric_state, state_cost_sweep
+from repro.topology import dring
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return build_converged_fabric(dring(6, 2, servers_per_rack=4), 2)
+
+
+class TestFabricState:
+    def test_vrf_instances(self, fabric):
+        stats = fabric_state(fabric)
+        assert stats.vrf_instances == 2 * 12
+
+    def test_sessions_match_vrf_edges(self, fabric):
+        stats = fabric_state(fabric)
+        assert stats.bgp_sessions_total == fabric.vrf_graph.digraph.number_of_edges()
+
+    def test_rib_entries_cover_all_prefixes(self, fabric):
+        stats = fabric_state(fabric)
+        # Every VRF should know every other rack's prefix (connected
+        # fabric), plus possibly its own; bounded by racks * VRFs.
+        racks = fabric.network.num_racks
+        assert stats.rib_entries_total >= (racks - 1) * racks  # host VRFs
+        assert stats.rib_entries_per_router_max <= 2 * racks
+
+    def test_as_path_lengths_sane(self, fabric):
+        stats = fabric_state(fabric)
+        assert 1.0 <= stats.mean_as_path_length <= stats.max_as_path_length
+        assert stats.max_as_path_length <= 12  # diameter + prepending slack
+
+    def test_summary_renders(self, fabric):
+        assert "K=2" in fabric_state(fabric).per_router_summary()
+
+
+class TestStateCostSweep:
+    def test_state_grows_with_k(self):
+        net = dring(6, 2, servers_per_rack=4)
+        sweep = state_cost_sweep(net, ks=(1, 2, 3))
+        sessions = [s.bgp_sessions_total for s in sweep]
+        vrfs = [s.vrf_instances for s in sweep]
+        assert sessions == sorted(sessions)
+        assert vrfs == sorted(vrfs)
+        assert sweep[0].k == 1 and sweep[-1].k == 3

@@ -1,0 +1,47 @@
+"""Tests for the verification suite itself."""
+
+import pytest
+
+from repro.bgp import (
+    check_theorem1,
+    min_disjoint_paths_su,
+    verify_fabric,
+)
+from repro.topology import dring, jellyfish, leaf_spine, xpander
+
+
+class TestVerifyFabric:
+    def test_dring_k2_passes(self, small_dring):
+        stats = verify_fabric(small_dring, 2)
+        assert stats["pairs"] == 12 * 11
+        assert stats["rounds"] >= 1
+
+    def test_leafspine_k2_passes(self, small_leafspine):
+        verify_fabric(small_leafspine, 2)
+
+    def test_xpander_k2_passes(self, small_xpander):
+        verify_fabric(small_xpander, 2)
+
+    def test_k1_passes(self, small_rrg):
+        verify_fabric(small_rrg, 1)
+
+    def test_k3_passes_relaxed(self, small_rrg):
+        verify_fabric(small_rrg, 3)
+
+
+class TestDisjointPathClaim:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_dring_su2_has_n_plus_1_disjoint_paths(self, n):
+        net = dring(6, n, servers_per_rack=2)
+        pairs = list(net.rack_pairs())[:30]
+        assert min_disjoint_paths_su(net, 2, pairs=pairs) >= n + 1
+
+    def test_requires_pairs(self, small_dring):
+        with pytest.raises(ValueError):
+            min_disjoint_paths_su(small_dring, 2, pairs=[])
+
+
+class TestTheorem1Subsets:
+    def test_pair_subset_supported(self, small_dring):
+        pairs = [(0, 5), (3, 9)]
+        assert check_theorem1(small_dring, 2, pairs=pairs) == []

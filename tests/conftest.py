@@ -1,0 +1,68 @@
+"""Shared fixtures: small instances of every topology and routing scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.topology import dring, flatten, jellyfish, leaf_spine, xpander
+from repro.traffic import CanonicalCluster
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_leafspine():
+    """leaf-spine(4, 2): 6 racks x 4 servers, 2 spines."""
+    return leaf_spine(4, 2)
+
+
+@pytest.fixture
+def paper_like_leafspine():
+    """leaf-spine(12, 4): the SMALL scale baseline, 16 racks x 12 servers."""
+    return leaf_spine(12, 4)
+
+
+@pytest.fixture
+def small_dring():
+    """DRing(6, 2): 12 racks, degree 8, 4 servers per rack."""
+    return dring(6, 2, servers_per_rack=4)
+
+
+@pytest.fixture
+def small_rrg():
+    """10-switch RRG of degree 4 with 3 servers per switch."""
+    return jellyfish(10, 4, servers_per_switch=3, seed=7)
+
+
+@pytest.fixture
+def small_xpander():
+    """Xpander with degree 4, lift 3 (15 switches), 3 servers each."""
+    return xpander(4, 3, servers_per_rack=3, seed=7)
+
+
+@pytest.fixture
+def small_flat(small_leafspine):
+    """Flat rebuild of leaf-spine(4, 2)."""
+    return flatten(small_leafspine, seed=7)
+
+
+@pytest.fixture
+def dring_ecmp(small_dring):
+    return EcmpRouting(small_dring)
+
+
+@pytest.fixture
+def dring_su2(small_dring):
+    return ShortestUnionRouting(small_dring, 2)
+
+
+@pytest.fixture
+def small_cluster():
+    """Canonical space matching leaf-spine(4, 2): 6 racks x 4 servers."""
+    return CanonicalCluster(num_racks=6, servers_per_rack=4)

@@ -1,0 +1,70 @@
+"""Tests for the cabling-complexity model (Section 1's wiring argument)."""
+
+import pytest
+
+from repro.core.cabling import cabling_report, compare_cabling, render_cabling
+from repro.core.network import build_network
+from repro.topology import dring, flatten, jellyfish, leaf_spine
+
+
+class TestCablingReport:
+    def test_counts_every_cable_with_multiplicity(self):
+        net = build_network([(0, 1), (0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        report = cabling_report(net, ring_layout=False)
+        assert report.num_cables == 3
+
+    def test_linear_distances(self):
+        net = build_network([(0, 2)], {0: 1, 2: 1})
+        net.graph.add_node(1)
+        report = cabling_report(
+            net, positions={0: 0.0, 1: 1.0, 2: 2.0}, ring_layout=False
+        )
+        assert report.mean_length == pytest.approx(2.0)
+
+    def test_ring_wraps_distances(self):
+        # Switches 0 and 9 are adjacent on a 10-position ring.
+        edges = [(0, 9)] + [(i, i + 1) for i in range(9)]
+        net = build_network(edges, {i: 1 for i in range(10)})
+        report = cabling_report(net, ring_layout=True)
+        assert report.max_length == pytest.approx(1.0)
+
+    def test_missing_positions_rejected(self, small_dring):
+        with pytest.raises(ValueError):
+            cabling_report(small_dring, positions={0: 0.0})
+
+    def test_short_fraction_bounds(self, small_dring):
+        report = cabling_report(small_dring)
+        assert 0.0 <= report.short_fraction <= 1.0
+
+    def test_render(self, small_dring):
+        text = render_cabling([cabling_report(small_dring)])
+        assert "dring" in text and "cables" in text
+
+
+class TestWiringArgument:
+    def test_dring_cables_shorter_than_rrg(self):
+        """Section 1: wiring complexity blocks expander adoption; the
+        DRing's locality keeps every cable short."""
+        m, n = 12, 2
+        ring = dring(m, n, servers_per_rack=4)
+        rrg = jellyfish(m * n, 4 * n, servers_per_switch=4, seed=1)
+        ring_report = cabling_report(ring)
+        rrg_report = cabling_report(rrg)
+        assert ring_report.mean_length < rrg_report.mean_length
+        assert ring_report.max_length < rrg_report.max_length
+
+    def test_dring_max_cable_constant_in_size(self):
+        n = 2
+        small = cabling_report(dring(8, n, servers_per_rack=4))
+        large = cabling_report(dring(20, n, servers_per_rack=4))
+        assert small.max_length == large.max_length
+
+    def test_rrg_mean_cable_grows_with_size(self):
+        small = cabling_report(jellyfish(16, 8, servers_per_switch=4, seed=1))
+        large = cabling_report(jellyfish(40, 8, servers_per_switch=4, seed=1))
+        assert large.mean_length > small.mean_length
+
+    def test_compare_uses_same_floor_plan(self):
+        ls = leaf_spine(8, 4)
+        reports = compare_cabling([ls, flatten(ls, seed=0, name="rrg")])
+        assert [r.name for r in reports] == [ls.name, "rrg"]

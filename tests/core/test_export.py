@@ -1,0 +1,60 @@
+"""Tests for network import/export."""
+
+import json
+
+import pytest
+
+from repro.core.export import from_json, to_dot, to_json
+from repro.topology import dring, leaf_spine
+
+
+class TestJsonRoundTrip:
+    @pytest.fixture(params=["leafspine", "dring", "het"])
+    def network(self, request):
+        if request.param == "leafspine":
+            return leaf_spine(4, 2)
+        if request.param == "dring":
+            return dring(6, 2, servers_per_rack=3)
+        return leaf_spine(4, 2, uplink_mult=3)
+
+    def test_round_trip_preserves_everything(self, network):
+        clone = from_json(to_json(network))
+        assert clone.name == network.name
+        assert clone.num_switches == network.num_switches
+        assert clone.num_servers == network.num_servers
+        normalize = lambda links: sorted(
+            (min(u, v), max(u, v), m) for u, v, m in links
+        )
+        assert normalize(clone.undirected_links()) == normalize(
+            network.undirected_links()
+        )
+        assert clone.link_capacity == network.link_capacity
+        for switch in network.switches:
+            assert clone.servers_at(switch) == network.servers_at(switch)
+
+    def test_json_is_valid_and_stable(self, network):
+        first = to_json(network)
+        second = to_json(from_json(first))
+        assert json.loads(first) == json.loads(second)
+
+
+class TestDot:
+    def test_dot_contains_all_switches(self):
+        net = leaf_spine(4, 2)
+        dot = to_dot(net)
+        for switch in net.switches:
+            assert f"s{switch} " in dot
+
+    def test_racks_are_boxes_spines_ellipses(self):
+        net = leaf_spine(4, 2)
+        dot = to_dot(net)
+        assert "shape=box" in dot
+        assert "shape=ellipse" in dot
+
+    def test_parallel_links_labelled(self):
+        net = leaf_spine(4, 2, uplink_mult=2)
+        assert 'label="x2"' in to_dot(net)
+
+    def test_dot_parses_as_graph_block(self):
+        dot = to_dot(dring(6, 1, servers_per_rack=2))
+        assert dot.startswith("graph ") and dot.endswith("}")

@@ -1,0 +1,138 @@
+"""Tests for NSR / UDF and the structural metrics of Section 3.1."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    bisection_bandwidth,
+    diameter,
+    flat_leaf_spine_nsr,
+    leaf_spine_nsr,
+    leaf_spine_udf,
+    mean_rack_distance,
+    nsr,
+    oversubscription,
+    path_length_histogram,
+    spectral_gap,
+    summarize,
+    summary_table,
+    udf,
+)
+from repro.core.network import build_network
+from repro.topology import dring, flatten, jellyfish, leaf_spine
+
+
+class TestNsr:
+    def test_leafspine_nsr_matches_closed_form(self, small_leafspine):
+        summary = nsr(small_leafspine)
+        assert summary.is_uniform
+        assert summary.mean == pytest.approx(2 / 4)
+
+    def test_dring_nsr(self, small_dring):
+        # degree 4n = 8 network ports, 4 servers per rack.
+        assert nsr(small_dring).mean == pytest.approx(2.0)
+
+    def test_nsr_requires_racks(self):
+        net = build_network([(0, 1)], {0: 1})
+        # Switch 1 hosts nothing; only rack 0 counts.
+        assert nsr(net).mean == pytest.approx(1.0)
+
+    @given(
+        x=st.integers(min_value=1, max_value=64),
+        y=st.integers(min_value=1, max_value=64),
+    )
+    def test_udf_closed_form_is_always_two(self, x, y):
+        assert leaf_spine_udf(x, y) == pytest.approx(2.0)
+
+    @given(
+        x=st.integers(min_value=1, max_value=64),
+        y=st.integers(min_value=1, max_value=64),
+    )
+    def test_flat_nsr_is_twice_baseline(self, x, y):
+        assert flat_leaf_spine_nsr(x, y) == pytest.approx(
+            2 * leaf_spine_nsr(x, y)
+        )
+
+    def test_empirical_udf_close_to_two(self):
+        baseline = leaf_spine(12, 4)
+        flat = flatten(baseline, seed=0)
+        assert udf(baseline, flat) == pytest.approx(2.0, rel=0.05)
+
+    def test_closed_form_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            leaf_spine_nsr(0, 2)
+        with pytest.raises(ValueError):
+            flat_leaf_spine_nsr(4, -1)
+
+
+class TestOversubscription:
+    def test_leafspine_oversubscription_is_x_over_y(self):
+        assert oversubscription(leaf_spine(12, 4)) == pytest.approx(3.0)
+
+    def test_flat_network_halves_oversubscription(self):
+        baseline = leaf_spine(12, 4)
+        flat = flatten(baseline, seed=0)
+        # UDF = 2 means the worst rack's oversubscription roughly halves.
+        assert oversubscription(flat) < oversubscription(baseline)
+
+    def test_rack_without_uplinks_rejected(self):
+        import networkx as nx
+
+        from repro.core.network import Network
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        graph.add_node(2)  # isolated rack: servers but no network link
+        net = Network(graph, {0: 1, 1: 1, 2: 1})
+        with pytest.raises(ValueError):
+            oversubscription(net)
+
+
+class TestPathStructure:
+    def test_leafspine_rack_distance_always_two(self, small_leafspine):
+        histogram = path_length_histogram(small_leafspine)
+        assert set(histogram) == {2}
+        assert mean_rack_distance(small_leafspine) == pytest.approx(2.0)
+        assert diameter(small_leafspine) == 2
+
+    def test_dring_diameter_grows_with_ring(self):
+        small = dring(6, 2, servers_per_rack=4)
+        large = dring(14, 2, servers_per_rack=4)
+        assert diameter(large) > diameter(small)
+
+    def test_adjacent_dring_racks_at_distance_one(self, small_dring):
+        histogram = path_length_histogram(small_dring)
+        assert 1 in histogram
+
+
+class TestGlobalMetrics:
+    def test_bisection_positive_and_bounded(self, small_dring):
+        bisection = bisection_bandwidth(small_dring, seed=0)
+        assert 0 < bisection <= small_dring.total_network_capacity()
+
+    def test_rrg_beats_dring_bisection_at_scale(self):
+        # Same switch count/degree; the expander should cut wider.
+        ring = dring(14, 2, servers_per_rack=4)
+        expander = jellyfish(28, 8, servers_per_switch=4, seed=3)
+        assert bisection_bandwidth(expander, seed=1) >= bisection_bandwidth(
+            ring, seed=1
+        )
+
+    def test_spectral_gap_expander_larger_than_ring(self):
+        ring = dring(14, 2, servers_per_rack=4)
+        expander = jellyfish(28, 8, servers_per_switch=4, seed=3)
+        assert spectral_gap(expander) > spectral_gap(ring)
+
+    def test_spectral_gap_positive_for_connected(self, small_rrg):
+        assert spectral_gap(small_rrg) > 0
+
+    def test_summary_and_table(self, small_dring):
+        summary = summarize(small_dring)
+        assert summary.racks == 12
+        assert summary.is_flat
+        text = summary_table([summary])
+        assert "dring" in text
+        assert str(summary.racks) in text

@@ -1,0 +1,162 @@
+"""Unit tests for the core Network model."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.network import (
+    Network,
+    NetworkValidationError,
+    build_network,
+    distribute_evenly,
+)
+
+
+def triangle(servers=None):
+    return build_network(
+        [(0, 1), (1, 2), (2, 0)],
+        servers if servers is not None else {0: 2, 1: 2, 2: 2},
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        net = triangle()
+        assert net.num_switches == 3
+        assert net.num_servers == 6
+        assert net.num_racks == 3
+        assert net.is_flat()
+
+    def test_spine_has_no_servers(self):
+        net = build_network([(0, 1), (1, 2), (2, 0)], {0: 2, 1: 2})
+        assert net.num_racks == 2
+        assert not net.is_flat()
+        assert net.servers_at(2) == 0
+
+    def test_parallel_links_fold_into_mult(self):
+        net = build_network([(0, 1), (0, 1), (1, 2), (2, 0)], {0: 1, 1: 1, 2: 1})
+        assert net.link_mult(0, 1) == 2
+        assert net.link_mult(1, 0) == 2
+        assert net.link_mult(1, 2) == 1
+        assert net.link_capacity_between(0, 1) == 2 * net.link_capacity
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkValidationError):
+            build_network([(0, 0)], {0: 1})
+
+    def test_servers_on_unknown_switch_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        with pytest.raises(NetworkValidationError):
+            Network(graph, {5: 3})
+
+    def test_negative_servers_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        with pytest.raises(NetworkValidationError):
+            Network(graph, {0: -1})
+
+    def test_nonpositive_capacity_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        with pytest.raises(NetworkValidationError):
+            Network(graph, {0: 1}, link_capacity=0.0)
+
+
+class TestServers:
+    def test_server_ids_contiguous_per_switch(self):
+        net = triangle({0: 2, 1: 3, 2: 1})
+        assert list(net.servers_of_switch(0)) == [0, 1]
+        assert list(net.servers_of_switch(1)) == [2, 3, 4]
+        assert list(net.servers_of_switch(2)) == [5]
+
+    def test_switch_of_server_roundtrip(self):
+        net = triangle({0: 2, 1: 3, 2: 1})
+        for switch in net.switches:
+            for server in net.servers_of_switch(switch):
+                assert net.switch_of_server(server) == switch
+
+    def test_server_ids_range(self):
+        net = triangle()
+        assert list(net.server_ids()) == list(range(6))
+
+
+class TestLinksAndPorts:
+    def test_network_degree_counts_mult(self):
+        net = build_network([(0, 1), (0, 1), (0, 2)], {0: 1, 1: 1, 2: 1})
+        assert net.network_degree(0) == 3
+        assert net.network_degree(1) == 2
+
+    def test_radix_is_degree_plus_servers(self):
+        net = triangle({0: 5, 1: 2, 2: 2})
+        assert net.radix(0) == 2 + 5
+
+    def test_directed_links_are_both_orientations(self):
+        net = triangle()
+        directed = set(net.directed_links())
+        assert (0, 1) in directed and (1, 0) in directed
+        assert len(directed) == 6
+
+    def test_directed_capacities(self):
+        net = build_network([(0, 1), (0, 1)], {0: 1, 1: 1}, link_capacity=10.0)
+        caps = net.directed_capacities()
+        assert caps[(0, 1)] == 20.0
+        assert caps[(1, 0)] == 20.0
+
+    def test_total_network_capacity(self):
+        net = triangle()
+        assert net.total_network_capacity() == 6 * net.link_capacity
+
+
+class TestValidation:
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        graph.add_edge(2, 3, mult=1)
+        net = Network(graph, {0: 1, 2: 1})
+        with pytest.raises(NetworkValidationError):
+            net.validate()
+
+    def test_radix_limit_enforced(self):
+        net = triangle({0: 10, 1: 1, 2: 1})
+        with pytest.raises(NetworkValidationError):
+            net.validate(max_radix=4)
+        net.validate(max_radix=12)
+
+    def test_equipment_lists_every_switch(self):
+        net = triangle({0: 3, 1: 1, 2: 1})
+        equipment = dict(net.equipment())
+        assert equipment[0] == 5
+        assert set(equipment) == {0, 1, 2}
+
+
+class TestHelpers:
+    def test_rack_pairs_excludes_self(self):
+        net = triangle()
+        pairs = list(net.rack_pairs())
+        assert len(pairs) == 6
+        assert all(a != b for a, b in pairs)
+
+    def test_copy_is_independent(self):
+        net = triangle()
+        clone = net.copy(name="clone")
+        clone.graph.remove_edge(0, 1)
+        assert net.graph.has_edge(0, 1)
+        assert clone.name == "clone"
+
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        bins=st.integers(min_value=1, max_value=200),
+    )
+    def test_distribute_evenly_properties(self, total, bins):
+        counts = distribute_evenly(total, bins)
+        assert sum(counts) == total
+        assert len(counts) == bins
+        assert max(counts) - min(counts) <= 1
+
+    def test_distribute_evenly_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            distribute_evenly(5, 0)
+        with pytest.raises(ValueError):
+            distribute_evenly(-1, 3)

@@ -1,0 +1,29 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.core.units import (
+    bytes_to_gbits,
+    seconds_to_ms,
+    transfer_seconds,
+)
+
+
+def test_bytes_to_gbits():
+    assert bytes_to_gbits(1e9 / 8) == pytest.approx(1.0)
+
+
+def test_transfer_seconds():
+    # 100 KB at 10 Gbps = 80 microseconds.
+    assert transfer_seconds(100_000, 10.0) == pytest.approx(8e-5)
+
+
+def test_transfer_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        transfer_seconds(1000, 0.0)
+    with pytest.raises(ValueError):
+        transfer_seconds(1000, -1.0)
+
+
+def test_seconds_to_ms():
+    assert seconds_to_ms(0.25) == pytest.approx(250.0)

@@ -1,0 +1,174 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.experiments import (
+    run_dring_shape_sweep,
+    run_failure_study,
+    run_k_sweep,
+)
+from repro.topology import dring
+from repro.traffic import CanonicalCluster
+
+
+@pytest.fixture(scope="module")
+def net():
+    return dring(6, 2, servers_per_rack=4)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return CanonicalCluster(12, 4)
+
+
+class TestKSweep:
+    def test_points_for_each_k_and_pattern(self, net, cluster):
+        points = run_k_sweep(net, cluster, ks=(1, 2), num_flows=150)
+        assert len(points) == 4
+        assert {p.k for p in points} == {1, 2}
+        assert {p.pattern for p in points} == {"uniform", "r2r"}
+
+    def test_path_diversity_grows_with_k(self, net, cluster):
+        points = run_k_sweep(net, cluster, ks=(1, 2, 3), num_flows=60)
+        by_k = {p.k: p.mean_paths for p in points}
+        assert by_k[1] <= by_k[2] <= by_k[3]
+
+    def test_k2_improves_r2r_over_k1(self, net, cluster):
+        points = run_k_sweep(net, cluster, ks=(1, 2), num_flows=300, seed=2)
+        r2r = {p.k: p.p99_ms for p in points if p.pattern == "r2r"}
+        assert r2r[2] <= r2r[1] * 1.05
+
+
+class TestShapeSweep:
+    def test_fixed_rack_budget(self):
+        points = run_dring_shape_sweep(
+            shapes=((12, 2), (8, 3), (6, 4)), num_flows=100
+        )
+        assert len({p.racks for p in points}) == 1
+        degrees = [p.network_degree for p in points]
+        assert degrees == [8, 12, 16]
+
+    def test_wider_supernodes_shrink_diameter(self):
+        points = run_dring_shape_sweep(
+            shapes=((12, 2), (6, 4)), num_flows=50
+        )
+        assert points[1].diameter <= points[0].diameter
+
+
+class TestFailures:
+    def test_single_failure_report(self, net):
+        report = run_failure_study(net, num_failures=1, seed=0)
+        assert report.still_connected
+        assert report.reconvergence_rounds >= 1
+        assert report.min_su2_paths_after >= 1
+
+    def test_failure_reduces_or_keeps_path_diversity(self, net):
+        report = run_failure_study(net, num_failures=2, seed=1)
+        if report.still_connected:
+            assert (
+                report.min_su2_paths_after <= report.min_su2_paths_before
+            )
+
+    def test_rejects_failing_everything(self, net):
+        with pytest.raises(ValueError):
+            run_failure_study(net, num_failures=10_000)
+
+
+class TestFailureSweep:
+    def test_sweep_shapes(self):
+        from repro.experiments import run_failure_sweep
+        from repro.traffic import CanonicalCluster
+
+        net = dring(8, 2, servers_per_rack=6)
+        cluster = CanonicalCluster(16, 6)
+        points = run_failure_sweep(
+            net, cluster, failure_counts=(0, 1, 2), num_flows=300, seed=1
+        )
+        assert [p.failed_links for p in points] == [0, 1, 2]
+        assert all(p.still_connected for p in points)
+
+    def test_degradation_is_graceful(self):
+        from repro.experiments import run_failure_sweep
+        from repro.traffic import CanonicalCluster
+
+        net = dring(8, 2, servers_per_rack=6)
+        cluster = CanonicalCluster(16, 6)
+        points = run_failure_sweep(
+            net, cluster, failure_counts=(0, 2), num_flows=400, seed=1
+        )
+        # Two failed links on a fabric with n+1 disjoint paths per pair:
+        # still routable everywhere and tail FCT within 2x of healthy.
+        assert points[1].min_su2_paths >= 1
+        assert points[1].p99_ms < 2.0 * points[0].p99_ms
+
+    def test_rejects_failing_everything(self):
+        from repro.experiments import run_failure_sweep
+        from repro.traffic import CanonicalCluster
+
+        net = dring(6, 2, servers_per_rack=4)
+        cluster = CanonicalCluster(12, 4)
+        with pytest.raises(ValueError):
+            run_failure_sweep(net, cluster, failure_counts=(10_000,))
+
+
+class TestSchemeZoo:
+    @pytest.fixture(scope="class")
+    def zoo(self):
+        from repro.experiments import run_scheme_zoo
+        from repro.traffic import CanonicalCluster
+
+        net = dring(8, 2, servers_per_rack=6)
+        cluster = CanonicalCluster(16, 6)
+        return run_scheme_zoo(net, cluster, num_flows=500, seed=0)
+
+    def test_all_schemes_and_patterns(self, zoo):
+        assert {p.scheme for p in zoo} == {"ecmp", "su(2)", "ksp(4)", "vlb"}
+        assert {p.pattern for p in zoo} == {"uniform", "r2r"}
+
+    def test_su2_matches_impractical_baselines_on_r2r(self, zoo):
+        # The paper's pitch: SU(2) recovers what KSP/MPTCP and VLB offer
+        # on the flat network's hard case, using only standard features.
+        by = {(p.scheme, p.pattern): p for p in zoo}
+        su2 = by[("su(2)", "r2r")].p99_ms
+        assert su2 <= by[("ecmp", "r2r")].p99_ms / 2
+        assert su2 <= by[("ksp(4)", "r2r")].p99_ms * 1.5
+        assert su2 <= by[("vlb", "r2r")].p99_ms * 1.5
+
+    def test_vlb_pays_stretch_on_uniform(self, zoo):
+        by = {(p.scheme, p.pattern): p for p in zoo}
+        assert (
+            by[("vlb", "uniform")].mean_hops
+            > by[("ecmp", "uniform")].mean_hops
+        )
+
+    def test_hops_ordering(self, zoo):
+        by = {(p.scheme, p.pattern): p for p in zoo}
+        assert (
+            by[("ecmp", "uniform")].mean_hops
+            <= by[("su(2)", "uniform")].mean_hops
+        )
+
+
+class TestHeterogeneousStudy:
+    def test_constant_oversubscription_configs(self):
+        from repro.experiments import run_heterogeneous_study
+
+        points = run_heterogeneous_study(num_flows=800, seed=1)
+        assert [p.uplink_mult for p in points] == [1, 2, 4]
+        # With radix-proportional spreading, the flat rebuild keeps its
+        # skewed-traffic win at every uplink speed class (Section 5.1's
+        # "we expect similar results").
+        for point in points:
+            assert point.flat_gain > 0.9
+
+    def test_even_spreading_breaks_on_heterogeneous_equipment(self):
+        """The reproduction finding: the paper's even-spreading recipe
+        produces hub-dominated graphs from heterogeneous equipment."""
+        from repro.core.metrics import nsr
+        from repro.topology import flatten, leaf_spine
+
+        het = leaf_spine(24, 2, uplink_mult=4)
+        even = nsr(flatten(het, seed=0))
+        prop = nsr(flatten(het, seed=0, spreading="proportional"))
+        assert even.maximum / even.minimum > 3
+        assert prop.maximum / prop.minimum < 1.5

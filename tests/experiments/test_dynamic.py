@@ -1,0 +1,84 @@
+"""Tests for the dynamic flat-networks study (Section 7)."""
+
+import networkx as nx
+import pytest
+
+from repro.experiments import (
+    render_dynamic,
+    rotated_dring,
+    run_dynamic_study,
+    skewed_demand,
+    uniform_demand,
+)
+from repro.topology import dring
+
+
+class TestRotatedDring:
+    def test_rotation_zero_is_base(self):
+        base = dring(6, 2, servers_per_rack=4)
+        rotated = rotated_dring(6, 2, 4, rotation=0)
+        assert sorted(base.graph.edges) == sorted(rotated.graph.edges)
+
+    def test_rotation_changes_adjacency(self):
+        base = rotated_dring(6, 2, 4, rotation=0)
+        shifted = rotated_dring(6, 2, 4, rotation=3)
+        assert sorted(base.graph.edges) != sorted(shifted.graph.edges)
+
+    def test_rotation_preserves_structure(self):
+        base = rotated_dring(8, 2, 4, rotation=0)
+        shifted = rotated_dring(8, 2, 4, rotation=5)
+        assert nx.is_isomorphic(base.graph, shifted.graph)
+        assert shifted.num_servers == base.num_servers
+        assert nx.is_connected(shifted.graph)
+
+    def test_full_rotation_is_identity(self):
+        racks = 6 * 2
+        base = rotated_dring(6, 2, 4, rotation=0)
+        full = rotated_dring(6, 2, 4, rotation=racks)
+        assert sorted(base.graph.edges) == sorted(full.graph.edges)
+
+
+class TestDemandHelpers:
+    def test_skewed_demand_has_requested_pairs(self):
+        demands = skewed_demand(16, hot_pairs=3, seed=1)
+        assert len(demands) == 3
+        assert all(a != b for a, b in demands)
+
+    def test_uniform_demand_dense(self):
+        demands = uniform_demand(6)
+        assert len(demands) == 30
+
+
+class TestDynamicStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            "skewed": run_dynamic_study(skewed_demand(16, 3, seed=2)),
+            "uniform": run_dynamic_study(uniform_demand(16)),
+        }
+
+    def test_all_variants_positive(self, results):
+        for result in results.values():
+            assert all(v > 0 for v in result.per_variant_gbps.values())
+
+    def test_flat_reconfiguration_beats_expander_on_skew(self, results):
+        # The Section 7 question: reconfiguring into flat networks vs
+        # into transient expanders — flat wins for skewed demand.
+        gain = results["skewed"].gain(
+            "dynamic dring (su2)", "dynamic rrg (ecmp)"
+        )
+        assert gain > 1.1
+
+    def test_expander_wins_uniform(self, results):
+        gain = results["uniform"].gain(
+            "dynamic rrg (ecmp)", "dynamic dring (su2)"
+        )
+        assert gain > 1.0
+
+    def test_rejects_out_of_range_demand(self):
+        with pytest.raises(ValueError):
+            run_dynamic_study({(0, 99): 1.0})
+
+    def test_render(self, results):
+        text = render_dynamic(results)
+        assert "dynamic dring" in text and "skewed" in text

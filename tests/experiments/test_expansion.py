@@ -1,0 +1,88 @@
+"""Tests for the incremental-expansion churn study."""
+
+import networkx as nx
+import pytest
+
+from repro.experiments import render_expansion, run_expansion_study
+from repro.experiments.expansion import (
+    diff_networks,
+    dring_expansion_step,
+    jellyfish_expansion_step,
+    leafspine_expansion_step,
+)
+from repro.topology import dring, expand_jellyfish, jellyfish
+
+
+class TestExpandJellyfish:
+    def test_adds_one_switch_with_full_degree(self):
+        net = jellyfish(12, 4, servers_per_switch=3, seed=1)
+        grown = expand_jellyfish(net, servers_on_new_switch=3, seed=1)
+        assert grown.num_switches == 13
+        new = max(grown.switches)
+        assert grown.network_degree(new) == 4
+        assert grown.servers_at(new) == 3
+
+    def test_existing_degrees_preserved(self):
+        net = jellyfish(12, 4, servers_per_switch=3, seed=1)
+        grown = expand_jellyfish(net, 3, seed=1)
+        for switch in net.switches:
+            assert grown.network_degree(switch) == net.network_degree(switch)
+
+    def test_stays_connected(self):
+        net = jellyfish(10, 4, servers_per_switch=2, seed=2)
+        grown = expand_jellyfish(net, 2, seed=2)
+        assert nx.is_connected(grown.graph)
+
+    def test_input_unchanged(self):
+        net = jellyfish(10, 4, servers_per_switch=2, seed=2)
+        edges_before = set(net.graph.edges)
+        expand_jellyfish(net, 2, seed=2)
+        assert set(net.graph.edges) == edges_before
+
+    def test_touches_only_degree_over_two_links(self):
+        net = jellyfish(12, 6, servers_per_switch=2, seed=3)
+        grown = expand_jellyfish(net, 2, seed=3)
+        step = diff_networks("rrg", net, grown)
+        # The splice removes exactly degree/2 links.
+        assert step.links_removed == 3
+        assert step.links_added == 6
+
+
+class TestExpansionSteps:
+    def test_dring_step_local_churn(self):
+        step = dring_expansion_step(8, 2, servers_per_rack=4)
+        # Inserting a supernode only rewires the offset-2 pairs spanning
+        # the insertion point (the old +1 wrap link survives as the new
+        # +2 link): 2 * n^2 links out, the new supernode's 4 * n^2 in.
+        assert step.links_removed == 2 * 4
+        assert step.links_added == 4 * 4
+        assert step.churn_fraction < 0.25
+
+    def test_leafspine_step_full_rebuild(self):
+        step = leafspine_expansion_step(10, 2)
+        assert step.churn_fraction == pytest.approx(1.0)
+
+    def test_flat_families_much_cheaper_than_leafspine(self):
+        steps = run_expansion_study(sizes=(8,))
+        by_family = {s.family: s for s in steps}
+        assert (
+            by_family["dring"].churn_fraction
+            < by_family["leaf-spine"].churn_fraction / 3
+        )
+        assert (
+            by_family["rrg"].churn_fraction
+            < by_family["leaf-spine"].churn_fraction / 3
+        )
+
+    def test_dring_churn_constant_while_leafspine_grows(self):
+        steps = run_expansion_study(sizes=(6, 14))
+        dring_steps = [s for s in steps if s.family == "dring"]
+        ls_steps = [s for s in steps if s.family == "leaf-spine"]
+        # DRing churn is independent of fabric size...
+        assert dring_steps[0].links_removed == dring_steps[1].links_removed
+        # ...while the leaf-spine's grows with it.
+        assert ls_steps[1].links_removed > ls_steps[0].links_removed
+
+    def test_render(self):
+        text = render_expansion(run_expansion_study(sizes=(6,)))
+        assert "churn" in text and "dring" in text

@@ -1,0 +1,52 @@
+"""Tests for the Figure 5 heatmap driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMALL, default_sweep_values, run_fig5
+from repro.topology import dring
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(SMALL, seed=0, values=[16, 48, 80])
+
+
+class TestSweepValues:
+    def test_default_values_fit_network(self):
+        net = dring(12, 2, servers_per_rack=8)
+        values = default_sweep_values(net)
+        assert values == sorted(set(values))
+        assert max(values) <= net.num_servers // 2
+
+
+class TestHeatmaps:
+    def test_both_routings_present(self, fig5):
+        assert set(fig5) == {"ecmp", "su2"}
+
+    def test_grid_shape(self, fig5):
+        assert fig5["ecmp"].ratio.shape == (3, 3)
+
+    def test_all_ratios_positive(self, fig5):
+        for result in fig5.values():
+            assert np.all(result.ratio > 0)
+
+    def test_su2_skewed_corner_near_two(self, fig5):
+        # Section 6.2: skewed C-S (few clients, many servers) approaches
+        # the UDF-predicted 2x gain.
+        assert fig5["su2"].skewed_corner_ratio() > 1.5
+
+    def test_su2_beats_or_matches_ecmp_on_average(self, fig5):
+        assert fig5["su2"].ratio.mean() >= fig5["ecmp"].ratio.mean() * 0.95
+
+    def test_render_contains_all_cells(self, fig5):
+        text = fig5["su2"].render()
+        assert "su(2)" in text
+        assert len(text.splitlines()) == 1 + 1 + 3  # title + header + rows
+
+    def test_raw_throughputs_recorded(self, fig5):
+        result = fig5["ecmp"]
+        assert np.all(result.dring_gbps > 0)
+        assert np.all(result.leafspine_gbps > 0)
+        ratio = result.dring_gbps / result.leafspine_gbps
+        assert np.allclose(ratio, result.ratio)

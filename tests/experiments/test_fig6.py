@@ -1,0 +1,43 @@
+"""Tests for the Figure 6 scale-sweep driver."""
+
+import pytest
+
+from repro.experiments import Fig6Config, render_fig6, run_fig6
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = Fig6Config(
+        supernode_counts=(5, 9, 13, 17),
+        flows_per_server=8,
+        utilization_gbps_per_server=3.0,
+    )
+    return run_fig6(config, seed=1)
+
+
+class TestSweep:
+    def test_one_point_per_supernode_count(self, sweep):
+        assert [p.supernodes for p in sweep] == [5, 9, 13, 17]
+        assert [p.racks for p in sweep] == [10, 18, 26, 34]
+
+    def test_fcts_positive(self, sweep):
+        for point in sweep:
+            assert point.dring_p99_ms > 0
+            assert point.rrg_p99_ms > 0
+            assert point.ratio > 0
+
+    def test_dring_relative_performance_degrades(self, sweep):
+        # The paper's qualitative claim: the ratio grows with scale.
+        assert sweep[-1].ratio > sweep[0].ratio
+
+    def test_render(self, sweep):
+        text = render_fig6(sweep)
+        assert "ratio" in text
+        assert str(sweep[0].racks) in text
+
+    def test_rejects_unknown_routing(self):
+        config = Fig6Config(
+            supernode_counts=(5,), routing="bogus", flows_per_server=1
+        )
+        with pytest.raises(ValueError):
+            run_fig6(config)

@@ -1,0 +1,57 @@
+"""Tests for the microburst experiment driver."""
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    default_spec,
+    render_microburst,
+    run_microburst,
+)
+from repro.traffic import MicroburstSpec
+
+
+@pytest.fixture(scope="module")
+def result():
+    # The default spec's burst intensity (120 flows per bursting rack in
+    # 0.4 ms) is what saturates a leaf-spine rack's uplinks.
+    return run_microburst(SMALL, seed=0)
+
+
+class TestMicroburstExperiment:
+    def test_all_schemes_measured(self, result):
+        assert len(result.p99_ms) == 5
+        assert all(v > 0 for v in result.p99_ms.values())
+
+    def test_flat_masks_bursts(self, result):
+        # The Section 3 claim: flat topologies absorb microbursts that
+        # squeeze the leaf-spine's oversubscribed uplinks.
+        assert result.ratio_vs_leafspine("DRing (su2)") > 1.2
+        assert result.ratio_vs_leafspine("RRG (su2)") > 1.2
+
+    def test_render(self, result):
+        text = render_microburst(result)
+        assert "Microburst" in text
+        assert "leaf-spine (ecmp)" in text
+
+    def test_default_spec_fits_scale(self):
+        spec = default_spec(SMALL)
+        assert 1 <= spec.num_bursting_racks <= SMALL.cluster.num_racks
+
+
+class TestAdaptiveStudy:
+    def test_adaptive_matches_best_static(self):
+        from repro.experiments import run_adaptive_study
+        from repro.topology import dring
+        from repro.traffic import CanonicalCluster
+
+        net = dring(8, 2, servers_per_rack=6)
+        cluster = CanonicalCluster(16, 6)
+        points = run_adaptive_study(net, cluster, num_flows=500, seed=0)
+        by_pattern = {p.pattern: p for p in points}
+        # The mode choice follows the paper's observation: ECMP for
+        # uniform, SU(2) for adjacent-rack R2R.
+        assert by_pattern["uniform"].chosen_mode == "ecmp"
+        assert by_pattern["r2r"].chosen_mode == "su(2)"
+        for point in points:
+            assert point.regret <= 1.1

@@ -1,0 +1,62 @@
+"""Tests for the Section 7 other-topologies comparison."""
+
+import pytest
+
+from repro.experiments import (
+    render_other_topologies,
+    run_other_topologies,
+)
+from repro.experiments.other_topologies import candidate_networks
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_other_topologies(flows_per_server=4, seed=1)
+
+
+class TestCandidates:
+    def test_four_families_all_flat(self):
+        networks = candidate_networks()
+        assert len(networks) == 5
+        assert all(net.is_flat() for net in networks)
+
+    def test_comparable_rack_band(self):
+        racks = [net.num_racks for net in candidate_networks()]
+        assert min(racks) >= 30 and max(racks) <= 50
+
+
+class TestComparison:
+    def test_two_routings_per_topology(self, points):
+        assert len(points) == 10
+        by_topo = {}
+        for p in points:
+            by_topo.setdefault(p.topology, set()).add(p.routing)
+        assert all(r == {"ecmp", "su(2)"} for r in by_topo.values())
+
+    def test_all_fcts_positive(self, points):
+        for p in points:
+            assert p.uniform_p99_ms > 0
+            assert p.skewed_p99_ms > 0
+
+    def test_slimfly_has_smallest_diameter(self, points):
+        by_topo = {p.topology: p for p in points}
+        slimfly_diam = next(
+            p.diameter_hops for p in points if "slimfly" in p.topology
+        )
+        assert slimfly_diam == 2
+        assert slimfly_diam == min(p.diameter_hops for p in points)
+
+    def test_low_diameter_graphs_competitive(self, points):
+        # Section 7's expectation: Slim Fly performs at least as well as
+        # the DRing on uniform traffic at small scale.
+        slimfly_uniform = min(
+            p.uniform_p99_ms for p in points if "slimfly" in p.topology
+        )
+        dring_uniform = min(
+            p.uniform_p99_ms for p in points if "dring" in p.topology
+        )
+        assert slimfly_uniform <= dring_uniform * 1.1
+
+    def test_render(self, points):
+        text = render_other_topologies(points)
+        assert "slimfly" in text and "dragonfly" in text

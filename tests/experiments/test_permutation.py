@@ -1,0 +1,46 @@
+"""Tests for the permutation-throughput boundary study."""
+
+import pytest
+
+from repro.experiments import (
+    permutation_throughput,
+    render_permutation,
+    run_permutation_study,
+)
+from repro.topology import dring, leaf_spine
+
+
+class TestPermutationThroughput:
+    def test_leafspine_hits_exact_oversubscription_bound(self):
+        point = permutation_throughput(leaf_spine(12, 4), seed=0)
+        # Symmetric ECMP over all spines: exactly y/x per server, on any
+        # permutation.
+        assert point.mean_fraction == pytest.approx(4 / 12, rel=1e-6)
+        assert point.worst_fraction == pytest.approx(4 / 12, rel=1e-6)
+
+    def test_flat_networks_use_su2(self):
+        point = permutation_throughput(
+            dring(8, 2, servers_per_rack=6), seed=0
+        )
+        assert point.routing == "su(2)"
+        assert 0 < point.worst_fraction <= point.mean_fraction <= 1
+
+    def test_boundary_holds_leafspine_wins_permutation(self):
+        # The honest boundary (EXPERIMENTS.md E24): on a single rack
+        # permutation at this scale, Clos symmetry beats the flat
+        # rebuilds under oblivious routing.
+        points = run_permutation_study(seed=0)
+        by_name = {p.topology: p for p in points}
+        ls = by_name["leaf-spine(12,4)"]
+        for name, point in by_name.items():
+            if name != ls.topology:
+                assert point.mean_fraction < ls.mean_fraction
+
+    def test_deterministic(self):
+        a = run_permutation_study(seed=2)
+        b = run_permutation_study(seed=2)
+        assert a == b
+
+    def test_render(self):
+        text = render_permutation(run_permutation_study(seed=0))
+        assert "Permutation" in text and "rrg" in text

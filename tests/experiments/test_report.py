@@ -1,0 +1,74 @@
+"""Tests for the regenerate-everything report driver."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import ARTIFACTS, generate_report
+from repro.experiments.runner import SMALL
+
+
+class TestGenerateReport:
+    def test_subset_written(self, tmp_path):
+        timings = generate_report(
+            tmp_path, scale=SMALL, only=["udf_table", "expansion_churn"]
+        )
+        assert [name for name, _s in timings] == [
+            "udf_table",
+            "expansion_churn",
+        ]
+        assert (tmp_path / "udf_table.txt").exists()
+        assert (tmp_path / "expansion_churn.txt").exists()
+        assert (tmp_path / "INDEX.txt").exists()
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            generate_report(tmp_path, only=["bogus"])
+
+    def test_artifact_content_nonempty(self, tmp_path):
+        generate_report(tmp_path, only=["udf_table"])
+        text = (tmp_path / "udf_table.txt").read_text()
+        assert "UDF" in text
+
+    def test_registry_covers_paper_figures(self):
+        for required in ("udf_table", "fig4_fct", "fig5_heatmaps", "fig6_scale"):
+            assert required in ARTIFACTS
+
+    def test_cli_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r"
+        assert (
+            main(
+                [
+                    "report",
+                    "--out",
+                    str(out),
+                    "--only",
+                    "udf_table",
+                ]
+            )
+            == 0
+        )
+        assert (out / "udf_table.txt").exists()
+        assert "wrote 1 artifacts" in capsys.readouterr().out
+
+
+class TestExtensionArtifacts:
+    def test_cheap_extensions_render(self, tmp_path):
+        timings = generate_report(
+            tmp_path,
+            scale=SMALL,
+            only=["scheme_zoo", "permutation_boundary", "cabling"],
+        )
+        assert len(timings) == 3
+        assert "ecmp" in (tmp_path / "scheme_zoo.txt").read_text()
+        assert "Permutation" in (
+            tmp_path / "permutation_boundary.txt"
+        ).read_text()
+        assert "Cabling" in (tmp_path / "cabling.txt").read_text()
+
+    def test_heterogeneous_artifact(self, tmp_path):
+        generate_report(tmp_path, scale=SMALL, only=["heterogeneous"])
+        text = (tmp_path / "heterogeneous.txt").read_text()
+        assert "x4" in text and "gain" in text

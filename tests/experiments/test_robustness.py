@@ -1,0 +1,29 @@
+"""Tests for the seed-robustness scorecard."""
+
+import pytest
+
+from repro.experiments import SMALL, render_robustness, run_robustness
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_robustness(SMALL, seeds=(0, 1))
+
+
+class TestScorecard:
+    def test_five_claims_tracked(self, results):
+        assert len(results) == 5
+        assert all(r.runs == 2 for r in results)
+
+    def test_core_claims_hold_at_both_seeds(self, results):
+        by_claim = {r.claim: r for r in results}
+        assert by_claim["flat beats leaf-spine on CS-skewed tail"].rate == 1.0
+        assert by_claim["SU(2) <= ECMP on DRing R2R tail"].rate == 1.0
+
+    def test_rates_bounded(self, results):
+        for r in results:
+            assert 0.0 <= r.rate <= 1.0
+
+    def test_render(self, results):
+        text = render_robustness(results)
+        assert "scorecard" in text and "2" in text

@@ -1,0 +1,55 @@
+"""Tests for the experiment harness scaffolding."""
+
+import pytest
+
+from repro.experiments import MEDIUM, PAPER, SMALL, build_suite, scheme_labels
+
+
+class TestScales:
+    def test_small_cluster_matches_leafspine(self):
+        cluster = SMALL.cluster
+        assert cluster.num_racks == SMALL.leaf_x + SMALL.leaf_y
+        assert cluster.servers_per_rack == SMALL.leaf_x
+
+    def test_paper_scale_matches_section_5_1(self):
+        assert PAPER.leaf_x == 48 and PAPER.leaf_y == 16
+        assert PAPER.cluster.num_servers == 3072
+        assert PAPER.dring_m * PAPER.dring_n == 80
+        assert PAPER.dring_servers == 2988
+
+
+class TestSuite:
+    def test_five_schemes(self):
+        suite = build_suite(SMALL, seed=0)
+        assert [t.label for t in suite] == scheme_labels()
+        assert len(suite) == 5
+
+    def test_three_scheme_variant(self):
+        suite = build_suite(SMALL, seed=0, include_ecmp_flats=False)
+        assert len(suite) == 3
+
+    def test_flat_topologies_are_flat(self):
+        suite = build_suite(SMALL, seed=0)
+        by_label = {t.label: t for t in suite}
+        assert by_label["DRing (su2)"].network.is_flat()
+        assert by_label["RRG (su2)"].network.is_flat()
+        assert not by_label["leaf-spine (ecmp)"].network.is_flat()
+
+    def test_dring_and_rrg_share_network_objects(self):
+        suite = build_suite(SMALL, seed=0)
+        by_label = {t.label: t for t in suite}
+        assert (
+            by_label["DRing (su2)"].network
+            is by_label["DRing (ecmp)"].network
+        )
+
+    def test_placements_target_right_networks(self):
+        suite = build_suite(SMALL, seed=0)
+        for tut in suite:
+            placement = tut.placement(shuffle=False, seed=0)
+            assert placement.network is tut.network
+
+    def test_comparable_server_counts(self):
+        suite = build_suite(SMALL, seed=0)
+        counts = [t.network.num_servers for t in suite]
+        assert max(counts) - min(counts) <= 0.05 * max(counts)

@@ -1,0 +1,39 @@
+"""Tests for the Section 3.1 UDF table driver."""
+
+import pytest
+
+from repro.experiments import figure1_numbers, render_udf_table, run_udf_table
+
+
+class TestUdfTable:
+    def test_closed_form_always_two(self):
+        rows = run_udf_table()
+        for row in rows:
+            assert row.udf_closed_form == pytest.approx(2.0)
+
+    def test_empirical_close_to_two(self):
+        for row in run_udf_table():
+            assert row.udf_empirical == pytest.approx(2.0, rel=0.1)
+
+    def test_flat_nsr_doubles_baseline(self):
+        for row in run_udf_table():
+            assert row.nsr_flat == pytest.approx(2 * row.nsr_baseline)
+
+    def test_custom_grid(self):
+        rows = run_udf_table(grid=[(8, 4)])
+        assert len(rows) == 1
+        assert rows[0].x == 8 and rows[0].y == 4
+
+    def test_render(self):
+        text = render_udf_table(run_udf_table(grid=[(4, 2)]))
+        assert "UDF" in text and "2.000" in text
+
+
+class TestFigure1:
+    def test_caption_numbers(self):
+        numbers = figure1_numbers()
+        # Leaf-spine: 1/2 network port per server; flat: 1 per server.
+        assert numbers["leafspine_ports_per_server"] == pytest.approx(0.5)
+        assert numbers["flat_ports_per_server"] == pytest.approx(1.0)
+        assert numbers["leafspine_nsr_measured"] == pytest.approx(0.5)
+        assert numbers["flat_nsr_measured"] == pytest.approx(1.0)

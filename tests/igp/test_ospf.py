@@ -1,0 +1,154 @@
+"""Tests for the OSPF-style link-state fabric."""
+
+import networkx as nx
+import pytest
+
+from repro.core.network import build_network
+from repro.igp import LinkStateAd, LinkStateDatabase, OspfFabric, build_converged_igp
+from repro.routing import EcmpRouting
+from repro.topology import dring, jellyfish, leaf_spine
+
+
+class TestLsdb:
+    def test_install_fresher_only(self):
+        db = LinkStateDatabase()
+        old = LinkStateAd(0, 1, frozenset({(1, 1)}))
+        new = LinkStateAd(0, 2, frozenset({(1, 1), (2, 1)}))
+        assert db.install(old)
+        assert not db.install(old)
+        assert db.install(new)
+        assert not db.install(old)
+        assert db.get(0) is new
+
+    def test_digest_tracks_sequences(self):
+        db = LinkStateDatabase()
+        db.install(LinkStateAd(0, 1, frozenset()))
+        first = db.digest()
+        db.install(LinkStateAd(0, 2, frozenset()))
+        assert db.digest() != first
+
+
+class TestConvergence:
+    def test_databases_become_consistent(self, small_dring):
+        fabric = build_converged_igp(small_dring)
+        assert fabric.databases_consistent()
+        for db in fabric.databases.values():
+            assert len(db) == small_dring.num_switches
+
+    def test_rounds_bounded_by_diameter(self, small_dring):
+        fabric = build_converged_igp(small_dring)
+        assert fabric.report.rounds <= nx.diameter(small_dring.graph) + 1
+
+    def test_routes_before_convergence_rejected(self, small_dring):
+        fabric = OspfFabric(small_dring.copy())
+        with pytest.raises(RuntimeError):
+            fabric.routes()
+
+
+class TestSpf:
+    def test_distances_match_graph(self, small_rrg):
+        fabric = build_converged_igp(small_rrg)
+        lengths = dict(nx.all_pairs_shortest_path_length(small_rrg.graph))
+        for src in small_rrg.switches:
+            for dst in small_rrg.switches:
+                if src == dst:
+                    continue
+                assert fabric.distance(src, dst) == lengths[src][dst]
+
+    def test_next_hops_match_ecmp_routing(self, small_dring):
+        """The premise of the whole evaluation: standard OSPF+ECMP
+        computes exactly the shortest-path DAG the simulators assume."""
+        fabric = build_converged_igp(small_dring)
+        ecmp = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:40]:
+            expected = sorted(n for n, _w in ecmp.next_hops(src, dst))
+            assert fabric.next_hops(src, dst) == expected
+
+    def test_leafspine_next_hops_are_all_spines(self, small_leafspine):
+        fabric = build_converged_igp(small_leafspine)
+        spines = sorted(small_leafspine.graph.graph["spines"])
+        assert fabric.next_hops(0, 1) == spines
+
+    def test_unroutable_rejected(self, small_dring):
+        fabric = build_converged_igp(small_dring)
+        with pytest.raises(ValueError):
+            fabric.next_hops(0, 999)
+
+
+class TestFailures:
+    def test_failure_reroutes(self):
+        net = dring(6, 2, servers_per_rack=4)
+        fabric = build_converged_igp(net)
+        direct_before = fabric.next_hops(0, 2)
+        assert direct_before == [2]
+        report = fabric.fail_link(0, 2)
+        assert report.rounds >= 1
+        after = fabric.next_hops(0, 2)
+        assert 2 not in after and after
+
+    def test_incremental_flood_cheaper_than_cold_start(self):
+        net = dring(8, 2, servers_per_rack=4)
+        fabric = build_converged_igp(net)
+        cold = fabric.report.lsas_flooded
+        repair = fabric.fail_link(0, 2)
+        assert repair.lsas_flooded < cold / 2
+
+    def test_two_way_check_blocks_half_dead_links(self):
+        # Craft a database where only one side still claims the link.
+        net = build_network([(0, 1), (1, 2), (0, 2)], {0: 1, 1: 1, 2: 1})
+        fabric = build_converged_igp(net)
+        fabric.fail_link(0, 1)
+        # Both directions must agree the adjacency is gone.
+        assert 1 not in fabric.next_hops(0, 1) or fabric.distance(0, 1) > 1
+
+    def test_disconnection_removes_routes(self):
+        net = build_network([(0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        fabric = build_converged_igp(net)
+        fabric.fail_link(1, 2)
+        with pytest.raises(ValueError):
+            fabric.next_hops(0, 2)
+
+    def test_requires_convergence_first(self, small_dring):
+        fabric = OspfFabric(small_dring.copy())
+        with pytest.raises(RuntimeError):
+            fabric.fail_link(0, 2)
+
+
+class TestOspfProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        switches=st.integers(min_value=6, max_value=14),
+        degree=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_spf_matches_graph_on_random_fabrics(self, switches, degree, seed):
+        from repro.topology import jellyfish
+
+        if switches * degree % 2:
+            switches += 1
+        net = jellyfish(switches, degree, servers_per_switch=2, seed=seed)
+        fabric = build_converged_igp(net)
+        assert fabric.databases_consistent()
+        lengths = dict(nx.all_pairs_shortest_path_length(net.graph))
+        for src in list(net.switches)[:5]:
+            for dst in net.switches:
+                if src != dst:
+                    assert fabric.distance(src, dst) == lengths[src][dst]
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_failure_keeps_databases_consistent(self, seed):
+        import random as _random
+
+        from repro.topology import jellyfish
+
+        net = jellyfish(10, 4, servers_per_switch=2, seed=seed)
+        fabric = build_converged_igp(net)
+        rng = _random.Random(seed)
+        u, v, _m = rng.choice(list(net.undirected_links()))
+        # fail on the fabric's own copy
+        fabric.fail_link(u, v)
+        assert fabric.databases_consistent()

@@ -1,0 +1,91 @@
+"""Tests for coarse-grained adaptive routing (Section 7)."""
+
+import random
+
+import pytest
+
+from repro.routing import (
+    CoarseAdaptiveRouting,
+    EcmpRouting,
+    ShortestUnionRouting,
+    bottleneck_load,
+)
+from repro.topology import dring
+
+
+class TestBottleneckLoad:
+    def test_single_pair_on_single_link(self, small_dring):
+        # Unit demand between adjacent racks under ECMP: all of it on
+        # the one direct 10 Gbps link.
+        load = bottleneck_load(
+            small_dring, EcmpRouting(small_dring), {(0, 2): 1.0}
+        )
+        assert load == pytest.approx(1.0 / 10.0)
+
+    def test_su2_spreads_the_same_demand(self, small_dring):
+        ecmp = bottleneck_load(
+            small_dring, EcmpRouting(small_dring), {(0, 2): 1.0}
+        )
+        su2 = bottleneck_load(
+            small_dring, ShortestUnionRouting(small_dring, 2), {(0, 2): 1.0}
+        )
+        assert su2 < ecmp
+
+    def test_rejects_bad_demands(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        with pytest.raises(ValueError):
+            bottleneck_load(small_dring, routing, {})
+        with pytest.raises(ValueError):
+            bottleneck_load(small_dring, routing, {(0, 2): 0.0})
+
+
+class TestModeSelection:
+    def test_defaults_to_ecmp(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        assert adaptive.active is adaptive.ecmp
+
+    def test_adjacent_rack_demand_selects_su2(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        adaptive.observe({(0, 2): 1.0})
+        assert adaptive.active is adaptive.shortest_union
+
+    def test_uniform_demand_keeps_ecmp(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        demands = {pair: 1.0 for pair in small_dring.rack_pairs()}
+        adaptive.observe(demands)
+        assert adaptive.active is adaptive.ecmp
+
+    def test_mode_flip_clears_caches(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        ecmp_paths = adaptive.paths(0, 2)
+        adaptive.observe({(0, 2): 1.0})
+        su2_paths = adaptive.paths(0, 2)
+        assert len(su2_paths) > len(ecmp_paths)
+
+    def test_margin_biases_toward_ecmp(self, small_dring):
+        # With an extreme margin SU(2) can never win.
+        adaptive = CoarseAdaptiveRouting(small_dring, margin=0.99)
+        adaptive.observe({(0, 2): 1.0})
+        assert adaptive.active is adaptive.ecmp
+
+    def test_rejects_negative_margin(self, small_dring):
+        with pytest.raises(ValueError):
+            CoarseAdaptiveRouting(small_dring, margin=-0.1)
+
+
+class TestDelegation:
+    def test_sampling_follows_active_mode(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        rng = random.Random(0)
+        assert adaptive.sample_path(0, 2, rng) == (0, 2)  # ECMP: direct
+        adaptive.observe({(0, 2): 1.0})
+        lengths = {
+            len(adaptive.sample_path(0, 2, rng)) for _ in range(100)
+        }
+        assert 3 in lengths  # SU(2): two-hop detours now in play
+
+    def test_fractions_follow_active_mode(self, small_dring):
+        adaptive = CoarseAdaptiveRouting(small_dring)
+        assert adaptive.edge_fractions(0, 2) == EcmpRouting(
+            small_dring
+        ).edge_fractions(0, 2)

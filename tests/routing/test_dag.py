@@ -1,0 +1,119 @@
+"""Tests for the next-hop DAG walk/propagation primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.dag import DagError, fractions, walk
+
+
+def diamond(node):
+    """s -> a,b -> t diamond with equal weights."""
+    table = {
+        "s": [("a", 1.0), ("b", 1.0)],
+        "a": [("t", 1.0)],
+        "b": [("t", 1.0)],
+        "t": [],
+    }
+    return table[node]
+
+
+def weighted_diamond(node):
+    table = {
+        "s": [("a", 3.0), ("b", 1.0)],
+        "a": [("t", 1.0)],
+        "b": [("t", 1.0)],
+        "t": [],
+    }
+    return table[node]
+
+
+class TestWalk:
+    def test_walk_reaches_destination(self, rng):
+        path = walk(diamond, "s", "t", rng)
+        assert path[0] == "s" and path[-1] == "t"
+        assert len(path) == 3
+
+    def test_walk_uses_both_branches(self):
+        rng = random.Random(0)
+        seen = {tuple(walk(diamond, "s", "t", rng)) for _ in range(200)}
+        assert ("s", "a", "t") in seen
+        assert ("s", "b", "t") in seen
+
+    def test_weighted_walk_prefers_heavy_branch(self):
+        rng = random.Random(0)
+        count_a = sum(
+            1 for _ in range(2000) if walk(weighted_diamond, "s", "t", rng)[1] == "a"
+        )
+        assert 0.70 < count_a / 2000 < 0.80
+
+    def test_dead_end_raises(self, rng):
+        def broken(node):
+            return {"s": [("x", 1.0)], "x": []}[node]
+
+        with pytest.raises(DagError):
+            walk(broken, "s", "t", rng)
+
+    def test_cycle_raises(self, rng):
+        def loop(node):
+            return {"s": [("a", 1.0)], "a": [("s", 1.0)]}[node]
+
+        with pytest.raises(DagError):
+            walk(loop, "s", "t", rng, max_hops=10)
+
+
+class TestFractions:
+    def test_equal_split(self):
+        flows = fractions(diamond, "s", "t")
+        assert flows[("s", "a")] == pytest.approx(0.5)
+        assert flows[("s", "b")] == pytest.approx(0.5)
+        assert flows[("a", "t")] == pytest.approx(0.5)
+
+    def test_weighted_split(self):
+        flows = fractions(weighted_diamond, "s", "t")
+        assert flows[("s", "a")] == pytest.approx(0.75)
+        assert flows[("s", "b")] == pytest.approx(0.25)
+
+    def test_conservation_at_destination(self):
+        flows = fractions(diamond, "s", "t")
+        into_t = sum(v for (a, b), v in flows.items() if b == "t")
+        assert into_t == pytest.approx(1.0)
+
+    def test_multi_layer_dag(self):
+        def layered(node):
+            table = {
+                "s": [("a", 1.0), ("b", 1.0)],
+                "a": [("c", 1.0), ("d", 1.0)],
+                "b": [("d", 1.0)],
+                "c": [("t", 1.0)],
+                "d": [("t", 1.0)],
+                "t": [],
+            }
+            return table[node]
+
+        flows = fractions(layered, "s", "t")
+        assert flows[("d", "t")] == pytest.approx(0.75)
+        assert flows[("c", "t")] == pytest.approx(0.25)
+
+    def test_dead_end_raises(self):
+        def broken(node):
+            return {"s": [("x", 1.0)], "x": []}[node]
+
+        with pytest.raises(DagError):
+            fractions(broken, "s", "t")
+
+    @given(fan=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_fanout_splits_evenly(self, fan):
+        def star(node):
+            if node == "s":
+                return [(i, 1.0) for i in range(fan)]
+            if isinstance(node, int):
+                return [("t", 1.0)]
+            return []
+
+        flows = fractions(star, "s", "t")
+        for i in range(fan):
+            assert flows[("s", i)] == pytest.approx(1.0 / fan)

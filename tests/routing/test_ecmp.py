@@ -1,0 +1,107 @@
+"""Tests for ECMP shortest-path routing."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.routing import EcmpRouting, RoutingError, path_is_simple, path_is_valid
+from repro.topology import dring, leaf_spine
+
+
+class TestPaths:
+    def test_leafspine_paths_go_via_each_spine(self, small_leafspine):
+        routing = EcmpRouting(small_leafspine)
+        paths = routing.paths(0, 1)
+        spines = set(small_leafspine.graph.graph["spines"])
+        assert len(paths) == len(spines)
+        assert {p[1] for p in paths} == spines
+
+    def test_paths_are_valid_and_simple(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:30]:
+            for path in routing.paths(src, dst):
+                assert path_is_valid(small_dring, path)
+                assert path_is_simple(path)
+
+    def test_adjacent_dring_racks_single_path(self, small_dring):
+        # The paper's key observation: directly connected racks have
+        # exactly one shortest path, so ECMP cannot load balance them.
+        routing = EcmpRouting(small_dring)
+        assert routing.paths(0, 2) == [(0, 2)]
+
+    def test_all_paths_shortest(self, small_rrg):
+        routing = EcmpRouting(small_rrg)
+        for src, dst in list(small_rrg.rack_pairs())[:30]:
+            dist = nx.shortest_path_length(small_rrg.graph, src, dst)
+            for path in routing.paths(src, dst):
+                assert len(path) - 1 == dist
+
+    def test_same_rack_rejected(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        with pytest.raises(RoutingError):
+            routing.paths(3, 3)
+
+    def test_unknown_switch_rejected(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        with pytest.raises(RoutingError):
+            routing.paths(0, 999)
+
+
+class TestSampling:
+    def test_sampled_path_is_shortest(self, small_dring, rng):
+        routing = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            dist = nx.shortest_path_length(small_dring.graph, src, dst)
+            path = routing.sample_path(src, dst, rng)
+            assert len(path) - 1 == dist
+            assert path_is_valid(small_dring, path)
+
+    def test_sampling_covers_all_paths(self, small_leafspine):
+        routing = EcmpRouting(small_leafspine)
+        rng = random.Random(3)
+        seen = {routing.sample_path(0, 1, rng) for _ in range(300)}
+        assert seen == set(routing.paths(0, 1))
+
+
+class TestFractions:
+    def test_fractions_conserve_unit_flow(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            flows = routing.edge_fractions(src, dst)
+            out_src = sum(v for (a, _b), v in flows.items() if a == src)
+            into_dst = sum(v for (_a, b), v in flows.items() if b == dst)
+            assert out_src == pytest.approx(1.0)
+            assert into_dst == pytest.approx(1.0)
+
+    def test_leafspine_splits_evenly_over_spines(self, small_leafspine):
+        routing = EcmpRouting(small_leafspine)
+        flows = routing.edge_fractions(0, 1)
+        spines = small_leafspine.graph.graph["spines"]
+        for spine in spines:
+            assert flows[(0, spine)] == pytest.approx(1 / len(spines))
+
+    def test_fractions_agree_with_sampling(self, small_dring):
+        routing = EcmpRouting(small_dring)
+        rng = random.Random(11)
+        src, dst = 0, 5
+        flows = routing.edge_fractions(src, dst)
+        counts = {}
+        trials = 4000
+        for _ in range(trials):
+            path = routing.sample_path(src, dst, rng)
+            first_hop = (path[0], path[1])
+            counts[first_hop] = counts.get(first_hop, 0) + 1
+        for edge, count in counts.items():
+            assert count / trials == pytest.approx(flows[edge], abs=0.05)
+
+    def test_parallel_links_weighted(self):
+        from repro.core.network import build_network
+
+        net = build_network(
+            [(0, 1), (0, 1), (0, 2), (2, 1)], {0: 1, 1: 1, 2: 1}
+        )
+        routing = EcmpRouting(net)
+        flows = routing.edge_fractions(0, 1)
+        # Distance 0->1 is 1; only the direct (doubled) link is shortest.
+        assert flows == {(0, 1): pytest.approx(1.0)}

@@ -1,0 +1,53 @@
+"""Tests for the K-shortest-paths baseline."""
+
+import random
+
+import pytest
+
+from repro.routing import KShortestPathsRouting, path_is_simple, path_is_valid
+
+
+class TestKsp:
+    def test_returns_at_most_k_paths(self, small_dring):
+        routing = KShortestPathsRouting(small_dring, k=4)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            paths = routing.paths(src, dst)
+            assert 1 <= len(paths) <= 4
+
+    def test_paths_sorted_by_length(self, small_dring):
+        routing = KShortestPathsRouting(small_dring, k=6)
+        paths = routing.paths(0, 5)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_paths_valid_and_simple(self, small_rrg):
+        routing = KShortestPathsRouting(small_rrg, k=5)
+        for src, dst in list(small_rrg.rack_pairs())[:20]:
+            for path in routing.paths(src, dst):
+                assert path_is_valid(small_rrg, path)
+                assert path_is_simple(path)
+
+    def test_k1_is_single_shortest(self, small_dring):
+        routing = KShortestPathsRouting(small_dring, k=1)
+        assert len(routing.paths(0, 5)) == 1
+
+    def test_sampling_uniform_over_paths(self, small_dring):
+        routing = KShortestPathsRouting(small_dring, k=4)
+        rng = random.Random(2)
+        paths = routing.paths(0, 2)
+        counts = {p: 0 for p in paths}
+        trials = 2000
+        for _ in range(trials):
+            counts[routing.sample_path(0, 2, rng)] += 1
+        for count in counts.values():
+            assert count / trials == pytest.approx(1 / len(paths), abs=0.05)
+
+    def test_fractions_sum_to_one_out_of_src(self, small_dring):
+        routing = KShortestPathsRouting(small_dring, k=4)
+        flows = routing.edge_fractions(0, 5)
+        out = sum(v for (a, _b), v in flows.items() if a == 0)
+        assert out == pytest.approx(1.0)
+
+    def test_rejects_bad_k(self, small_dring):
+        with pytest.raises(ValueError):
+            KShortestPathsRouting(small_dring, k=0)

@@ -1,0 +1,141 @@
+"""Tests for Shortest-Union(K) routing (Section 4)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.routing import (
+    EcmpRouting,
+    ShortestUnionRouting,
+    path_is_simple,
+    path_is_valid,
+    shortest_union_paths,
+)
+from repro.topology import dring, jellyfish, leaf_spine
+
+
+class TestPathSet:
+    def test_contains_all_shortest_paths(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        ecmp = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:30]:
+            assert set(ecmp.paths(src, dst)) <= set(su.paths(src, dst))
+
+    def test_adds_two_hop_paths_for_adjacent_racks(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        paths = su.paths(0, 2)
+        assert (0, 2) in paths
+        two_hop = [p for p in paths if len(p) == 3]
+        assert two_hop, "adjacent racks must gain length-2 paths"
+        for p in two_hop:
+            assert path_is_valid(small_dring, p)
+
+    def test_no_extra_paths_for_distant_racks(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        ecmp = EcmpRouting(small_dring)
+        for src, dst in small_dring.rack_pairs():
+            if nx.shortest_path_length(small_dring.graph, src, dst) >= 2:
+                assert set(su.paths(src, dst)) == set(ecmp.paths(src, dst))
+
+    def test_all_paths_simple(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 3)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            for path in su.paths(src, dst):
+                assert path_is_simple(path)
+
+    def test_path_lengths_bounded(self, small_rrg):
+        k = 3
+        su = ShortestUnionRouting(small_rrg, k)
+        for src, dst in list(small_rrg.rack_pairs())[:20]:
+            dist = nx.shortest_path_length(small_rrg.graph, src, dst)
+            for path in su.paths(src, dst):
+                assert len(path) - 1 <= max(dist, k)
+
+    def test_dring_disjoint_path_claim(self):
+        # Section 4: SU(2) gives at least n+1 disjoint paths on a DRing.
+        n = 3
+        net = dring(6, n, servers_per_rack=4)
+        su = ShortestUnionRouting(net, 2)
+        for src, dst in list(net.rack_pairs())[:40]:
+            assert su.disjoint_path_lower_bound(src, dst) >= n + 1
+
+    def test_k1_equals_plain_shortest(self, small_dring):
+        su1 = ShortestUnionRouting(small_dring, 1)
+        ecmp = EcmpRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            assert set(su1.paths(src, dst)) == set(ecmp.paths(src, dst))
+
+    def test_rejects_bad_k(self, small_dring):
+        with pytest.raises(ValueError):
+            ShortestUnionRouting(small_dring, 0)
+
+
+class TestSampling:
+    def test_sampled_paths_in_path_set(self, small_dring, rng):
+        su = ShortestUnionRouting(small_dring, 2)
+        for src, dst in list(small_dring.rack_pairs())[:15]:
+            allowed = set(su.paths(src, dst))
+            for _ in range(20):
+                assert su.sample_path(src, dst, rng) in allowed
+
+    def test_sampling_reaches_non_shortest_paths(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        rng = random.Random(5)
+        lengths = {
+            len(su.sample_path(0, 2, rng)) for _ in range(300)
+        }
+        assert lengths == {2, 3}
+
+    def test_k3_sampling_loop_free(self, small_rrg):
+        su = ShortestUnionRouting(small_rrg, 3)
+        rng = random.Random(6)
+        for src, dst in list(small_rrg.rack_pairs())[:15]:
+            for _ in range(10):
+                assert path_is_simple(su.sample_path(src, dst, rng))
+
+
+class TestFractions:
+    def test_fractions_conserve_unit_flow(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        for src, dst in list(small_dring.rack_pairs())[:20]:
+            flows = su.edge_fractions(src, dst)
+            out_src = sum(v for (a, _b), v in flows.items() if a == src)
+            into_dst = sum(v for (_a, b), v in flows.items() if b == dst)
+            assert out_src == pytest.approx(1.0)
+            assert into_dst == pytest.approx(1.0)
+
+    def test_adjacent_racks_spread_over_many_links(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        ecmp = EcmpRouting(small_dring)
+        su_spread = len(su.edge_fractions(0, 2))
+        ecmp_spread = len(ecmp.edge_fractions(0, 2))
+        assert su_spread > ecmp_spread
+
+    def test_fractions_agree_with_sampling(self, small_dring):
+        su = ShortestUnionRouting(small_dring, 2)
+        rng = random.Random(17)
+        src, dst = 0, 2
+        flows = su.edge_fractions(src, dst)
+        counts = {}
+        trials = 4000
+        for _ in range(trials):
+            path = su.sample_path(src, dst, rng)
+            edge = (path[0], path[1])
+            counts[edge] = counts.get(edge, 0) + 1
+        for edge, count in counts.items():
+            assert count / trials == pytest.approx(flows[edge], abs=0.05)
+
+
+class TestEnumerationHelper:
+    def test_shortest_union_paths_sorted_deterministic(self, small_dring):
+        a = shortest_union_paths(small_dring, 0, 2, 2)
+        b = shortest_union_paths(small_dring, 0, 2, 2)
+        assert a == b
+        assert a == sorted(a, key=lambda p: (len(p), p))
+
+    def test_leafspine_unchanged_by_su2(self, small_leafspine):
+        # Racks are never adjacent in a leaf-spine, so SU(2) == ECMP.
+        su = shortest_union_paths(small_leafspine, 0, 1, 2)
+        ecmp = [tuple(p) for p in nx.all_shortest_paths(small_leafspine.graph, 0, 1)]
+        assert set(su) == set(ecmp)

@@ -1,0 +1,51 @@
+"""Tests for the Valiant load-balancing baseline."""
+
+import random
+
+import pytest
+
+from repro.routing import EcmpRouting, VlbRouting, path_is_valid
+
+
+class TestVlb:
+    def test_sampled_paths_valid(self, small_dring, rng):
+        routing = VlbRouting(small_dring)
+        for src, dst in list(small_dring.rack_pairs())[:15]:
+            for _ in range(10):
+                path = routing.sample_path(src, dst, rng)
+                assert path[0] == src and path[-1] == dst
+                assert path_is_valid(small_dring, path)
+
+    def test_paths_longer_than_ecmp_on_average(self, small_dring):
+        vlb = VlbRouting(small_dring)
+        ecmp = EcmpRouting(small_dring)
+        rng = random.Random(9)
+        pairs = list(small_dring.rack_pairs())[:10]
+        vlb_hops = []
+        ecmp_hops = []
+        for src, dst in pairs:
+            for _ in range(30):
+                vlb_hops.append(len(vlb.sample_path(src, dst, rng)) - 1)
+                ecmp_hops.append(len(ecmp.sample_path(src, dst, rng)) - 1)
+        assert sum(vlb_hops) / len(vlb_hops) > sum(ecmp_hops) / len(ecmp_hops)
+
+    def test_fractions_conserve_unit_flow(self, small_dring):
+        routing = VlbRouting(small_dring)
+        flows = routing.edge_fractions(0, 5)
+        out_src = sum(v for (a, _b), v in flows.items() if a == 0)
+        into_dst = sum(v for (_a, b), v in flows.items() if b == 5)
+        # Every VLB path leaves src at least once and enters dst at least
+        # once; detour segments may revisit either, so the totals can
+        # exceed one but never fall below it.
+        assert out_src >= 1.0 - 1e-9
+        assert into_dst >= 1.0 - 1e-9
+
+    def test_spreads_over_more_links_than_ecmp(self, small_dring):
+        vlb = VlbRouting(small_dring)
+        ecmp = EcmpRouting(small_dring)
+        assert len(vlb.edge_fractions(0, 2)) > len(ecmp.edge_fractions(0, 2))
+
+    def test_path_enumeration_deduplicates(self, small_dring):
+        routing = VlbRouting(small_dring)
+        paths = routing.paths(0, 5)
+        assert len(paths) == len(set(paths))

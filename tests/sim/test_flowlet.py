@@ -1,0 +1,77 @@
+"""Tests for flowlet switching in the packet simulator (Section 2's
+Kassing-style mechanism)."""
+
+import pytest
+
+from repro.routing import EcmpRouting
+from repro.sim.packet import PacketSimulator
+from repro.topology import jellyfish
+from repro.traffic import CanonicalCluster, Flow, Placement, generate_flows, uniform
+
+
+@pytest.fixture
+def world():
+    net = jellyfish(10, 4, servers_per_switch=3, seed=2)
+    cluster = CanonicalCluster(10, 3)
+    return net, EcmpRouting(net), Placement(cluster, net), cluster
+
+
+class TestFlowletSwitching:
+    def test_disabled_by_default(self, world):
+        net, routing, placement, _cluster = world
+        sim = PacketSimulator(net, routing, placement, seed=1)
+        sim.run([Flow(0, 15, 1e6, 0.0)])
+        assert all(c.flowlets == 1 for c in sim._contexts.values())
+
+    def test_gaps_create_flowlets(self, world):
+        net, routing, placement, _cluster = world
+        sim = PacketSimulator(
+            net, routing, placement, seed=1, flowlet_gap_s=50e-6
+        )
+        sim.run([Flow(0, 15, 1e6, 0.0)])
+        assert all(c.flowlets >= 1 for c in sim._contexts.values())
+
+    def test_huge_gap_means_single_flowlet_after_start(self, world):
+        net, routing, placement, _cluster = world
+        sim = PacketSimulator(
+            net, routing, placement, seed=1, flowlet_gap_s=10.0
+        )
+        sim.run([Flow(0, 15, 1e6, 0.5)])
+        # The gap never elapses inside the flow, so the initial hash
+        # sticks for the whole transfer.
+        assert all(c.flowlets == 1 for c in sim._contexts.values())
+
+    def test_workload_completes_with_flowlets(self, world):
+        net, routing, placement, cluster = world
+        flows = generate_flows(uniform(cluster), 80, 0.002, seed=3, size_cap=5e5)
+        sim = PacketSimulator(
+            net, routing, placement, seed=3, flowlet_gap_s=100e-6
+        )
+        results = sim.run(flows)
+        assert results.num_flows == 80
+
+    def test_deterministic_with_flowlets(self, world):
+        net, routing, placement, cluster = world
+        flows = generate_flows(uniform(cluster), 40, 0.001, seed=4, size_cap=2e5)
+
+        def run():
+            sim = PacketSimulator(
+                net, routing, placement, seed=4, flowlet_gap_s=100e-6
+            )
+            return sim.run(flows)
+
+        a, b = run(), run()
+        assert [r.fct_seconds for r in a.records] == [
+            r.fct_seconds for r in b.records
+        ]
+
+    def test_flowlet_paths_stay_valid(self, world):
+        net, routing, placement, _cluster = world
+        sim = PacketSimulator(
+            net, routing, placement, seed=2, flowlet_gap_s=20e-6
+        )
+        sim.run([Flow(0, 15, 2e6, 0.0), Flow(1, 16, 2e6, 0.0)])
+        for context in sim._contexts.values():
+            path = context.switch_path
+            for a, b in zip(path, path[1:]):
+                assert net.graph.has_edge(a, b)

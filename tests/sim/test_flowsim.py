@@ -1,0 +1,185 @@
+"""Tests for the event-driven flow-level FCT simulator."""
+
+import pytest
+
+from repro.core.units import transfer_seconds
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import FlowSimulator, simulate_fct
+from repro.topology import dring, leaf_spine
+from repro.traffic import (
+    CanonicalCluster,
+    Flow,
+    Placement,
+    generate_flows,
+    rack_to_rack,
+    uniform,
+)
+
+
+@pytest.fixture
+def setup(small_dring, small_cluster):
+    # small_cluster is 6x4 = 24 servers; dring has 48: linear placement.
+    placement = Placement(small_cluster, small_dring)
+    routing = EcmpRouting(small_dring)
+    return small_dring, routing, placement
+
+
+class TestSingleFlow:
+    def test_unloaded_flow_runs_at_line_rate(self, setup):
+        net, routing, placement = setup
+        flow = Flow(src_server=0, dst_server=23, size_bytes=1e6, start_time=0.0)
+        results = simulate_fct(net, routing, placement, [flow])
+        assert results.num_flows == 1
+        expected = transfer_seconds(1e6, net.server_link_capacity)
+        assert results.records[0].fct_seconds == pytest.approx(expected)
+
+    def test_intra_rack_flow_uses_no_network(self, small_dring):
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, small_dring)
+        # Find two canonical servers landing on the same concrete rack.
+        pair = None
+        for a in range(cluster.num_servers):
+            for b in range(a + 1, cluster.num_servers):
+                if placement.rack_of(a) == placement.rack_of(b):
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        flow = Flow(pair[0], pair[1], 1e6, 0.0)
+        results = simulate_fct(
+            small_dring, EcmpRouting(small_dring), placement, [flow]
+        )
+        assert len(results.records[0].path) == 1
+
+    def test_start_time_respected(self, setup):
+        net, routing, placement = setup
+        flow = Flow(0, 23, 1e6, start_time=0.5)
+        results = simulate_fct(net, routing, placement, [flow])
+        record = results.records[0]
+        assert record.start_time == pytest.approx(0.5)
+        assert record.finish_time > 0.5
+
+
+class TestSharing:
+    def test_two_flows_same_server_halve(self, setup):
+        net, routing, placement = setup
+        flows = [Flow(0, 23, 1e6, 0.0), Flow(0, 22, 1e6, 0.0)]
+        results = simulate_fct(net, routing, placement, flows)
+        solo = transfer_seconds(1e6, net.server_link_capacity)
+        for record in results.records:
+            assert record.fct_seconds == pytest.approx(2 * solo, rel=1e-6)
+
+    def test_staggered_flows_interleave(self, setup):
+        net, routing, placement = setup
+        solo = transfer_seconds(1e6, net.server_link_capacity)
+        flows = [Flow(0, 23, 1e6, 0.0), Flow(0, 22, 1e6, solo / 2)]
+        results = simulate_fct(net, routing, placement, flows)
+        first = min(results.records, key=lambda r: r.start_time)
+        # First flow: half at full rate, then shares: FCT = 1.5x solo.
+        assert first.fct_seconds == pytest.approx(1.5 * solo, rel=1e-6)
+
+    def test_all_flows_complete(self, setup):
+        net, routing, placement = setup
+        cluster = CanonicalCluster(6, 4)
+        flows = generate_flows(uniform(cluster), 300, 0.01, seed=0, size_cap=5e6)
+        results = simulate_fct(net, routing, placement, flows)
+        assert results.num_flows == 300
+
+    def test_conservation_of_bytes(self, setup):
+        net, routing, placement = setup
+        flows = [Flow(0, 23, 2.5e6, 0.0), Flow(4, 20, 1.5e6, 0.001)]
+        results = simulate_fct(net, routing, placement, flows)
+        for record, flow in zip(
+            sorted(results.records, key=lambda r: r.start_time),
+            sorted(flows, key=lambda f: f.start_time),
+        ):
+            assert record.size_bytes == flow.size_bytes
+
+
+class TestRoutingInteraction:
+    def test_r2r_su2_beats_ecmp_on_adjacent_dring_racks(self, small_dring):
+        # The paper's motivating case: adjacent racks have one shortest
+        # path; SU(2) spreads the load and cuts tail FCT.
+        cluster = CanonicalCluster(
+            small_dring.num_racks, small_dring.servers_at(0)
+        )
+        placement = Placement(cluster, small_dring)
+        tm = rack_to_rack(cluster, 0, 2)  # adjacent racks (offset 2 ring)
+        flows = generate_flows(tm, 400, 0.002, seed=1, size_cap=5e6)
+        ecmp = simulate_fct(
+            small_dring, EcmpRouting(small_dring), placement, flows
+        )
+        su2 = simulate_fct(
+            small_dring,
+            ShortestUnionRouting(small_dring, 2),
+            placement,
+            flows,
+        )
+        assert su2.p99_fct_ms() < ecmp.p99_fct_ms()
+
+    def test_mean_hops_larger_with_su2_on_r2r(self, small_dring):
+        cluster = CanonicalCluster(
+            small_dring.num_racks, small_dring.servers_at(0)
+        )
+        placement = Placement(cluster, small_dring)
+        tm = rack_to_rack(cluster, 0, 2)
+        flows = generate_flows(tm, 200, 0.01, seed=1, size_cap=5e6)
+        ecmp = simulate_fct(
+            small_dring, EcmpRouting(small_dring), placement, flows
+        )
+        su2 = simulate_fct(
+            small_dring, ShortestUnionRouting(small_dring, 2), placement, flows
+        )
+        assert su2.mean_path_hops() > ecmp.mean_path_hops()
+
+
+class TestValidation:
+    def test_mismatched_routing_rejected(self, small_dring, small_leafspine):
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, small_dring)
+        with pytest.raises(ValueError):
+            FlowSimulator(
+                small_dring, EcmpRouting(small_leafspine), placement
+            )
+
+    def test_mismatched_placement_rejected(self, small_dring, small_leafspine):
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, small_leafspine)
+        with pytest.raises(ValueError):
+            FlowSimulator(small_dring, EcmpRouting(small_dring), placement)
+
+    def test_empty_workload_returns_empty(self, setup):
+        net, routing, placement = setup
+        results = simulate_fct(net, routing, placement, [])
+        assert results.num_flows == 0
+
+
+class TestHopLatency:
+    def test_latency_added_to_fct(self, setup):
+        net, routing, placement = setup
+        flow = Flow(0, 23, 1e6, 0.0)
+        base = FlowSimulator(net, routing, placement).run([flow])
+        delayed = FlowSimulator(
+            net, routing, placement, hop_latency_s=10e-6
+        ).run([flow])
+        # links = server up + down + one per switch hop.
+        record = delayed.records[0]
+        num_links = 2 + (len(record.path) - 1)
+        extra = record.fct_seconds - base.records[0].fct_seconds
+        assert extra == pytest.approx(num_links * 10e-6)
+
+    def test_latency_does_not_change_sharing(self, setup):
+        net, routing, placement = setup
+        flows = [Flow(0, 23, 1e6, 0.0), Flow(0, 22, 1e6, 0.0)]
+        base = FlowSimulator(net, routing, placement).run(flows)
+        delayed = FlowSimulator(
+            net, routing, placement, hop_latency_s=5e-6
+        ).run(flows)
+        for b, d in zip(base.records, delayed.records):
+            assert d.fct_seconds > b.fct_seconds
+
+    def test_rejects_negative_latency(self, setup):
+        net, routing, placement = setup
+        with pytest.raises(ValueError):
+            FlowSimulator(net, routing, placement, hop_latency_s=-1e-6)

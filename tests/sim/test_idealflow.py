@@ -1,0 +1,110 @@
+"""Tests for the ideal-routing throughput LP and routing efficiency."""
+
+import pytest
+
+from repro.core.network import build_network
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim.idealflow import (
+    IdealFlowError,
+    ideal_throughput,
+    oblivious_throughput,
+    routing_efficiency,
+)
+from repro.topology import dring, jellyfish, leaf_spine
+
+
+def line_network():
+    """0 - 1 - 2 with unit-ish capacities (10 Gbps links)."""
+    return build_network([(0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+
+
+class TestIdealThroughput:
+    def test_single_path_demand(self):
+        net = line_network()
+        # 0 -> 2 must cross both links; capacity 10 each; demand 1.
+        alpha = ideal_throughput(net, {(0, 2): 1.0})
+        assert alpha == pytest.approx(10.0)
+
+    def test_two_demands_share_a_link(self):
+        net = line_network()
+        alpha = ideal_throughput(net, {(0, 1): 1.0, (2, 1): 1.0})
+        # Each demand has its own link into 1: no sharing.
+        assert alpha == pytest.approx(10.0)
+
+    def test_shared_bottleneck_halves_alpha(self):
+        net = line_network()
+        alpha = ideal_throughput(net, {(0, 2): 1.0, (1, 2): 1.0})
+        # Both demands traverse link (1, 2).
+        assert alpha == pytest.approx(5.0)
+
+    def test_multipath_topology_uses_all_paths(self):
+        # A 4-cycle: two disjoint paths between opposite corners.
+        net = build_network(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], {i: 1 for i in range(4)}
+        )
+        alpha = ideal_throughput(net, {(0, 2): 1.0})
+        assert alpha == pytest.approx(20.0)
+
+    def test_rejects_bad_demands(self):
+        net = line_network()
+        with pytest.raises(IdealFlowError):
+            ideal_throughput(net, {})
+        with pytest.raises(IdealFlowError):
+            ideal_throughput(net, {(0, 0): 1.0})
+        with pytest.raises(IdealFlowError):
+            ideal_throughput(net, {(0, 2): -1.0})
+        with pytest.raises(IdealFlowError):
+            ideal_throughput(net, {(0, 99): 1.0})
+
+
+class TestObliviousThroughput:
+    def test_single_shortest_path(self):
+        net = line_network()
+        alpha = oblivious_throughput(net, EcmpRouting(net), {(0, 2): 1.0})
+        assert alpha == pytest.approx(10.0)
+
+    def test_ecmp_on_cycle_splits_both_ways(self):
+        net = build_network(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], {i: 1 for i in range(4)}
+        )
+        alpha = oblivious_throughput(net, EcmpRouting(net), {(0, 2): 1.0})
+        # ECMP splits 50/50 over the two 2-hop paths: 20 Gbps total.
+        assert alpha == pytest.approx(20.0)
+
+    def test_never_exceeds_ideal(self, small_dring):
+        demands = {pair: 1.0 for pair in list(small_dring.rack_pairs())[:30]}
+        for routing in (
+            EcmpRouting(small_dring),
+            ShortestUnionRouting(small_dring, 2),
+        ):
+            report = routing_efficiency(small_dring, routing, demands)
+            assert report.oblivious_alpha <= report.ideal_alpha * (1 + 1e-6)
+            assert 0 < report.efficiency <= 1 + 1e-6
+
+
+class TestRoutingEfficiency:
+    def test_su2_improves_adjacent_rack_efficiency(self, small_dring):
+        # Demand between adjacent racks: ECMP is stuck on one link,
+        # SU(2) spreads over n+1 disjoint paths.
+        demands = {(0, 2): 1.0}
+        ecmp = routing_efficiency(small_dring, EcmpRouting(small_dring), demands)
+        su2 = routing_efficiency(
+            small_dring, ShortestUnionRouting(small_dring, 2), demands
+        )
+        assert su2.oblivious_alpha > ecmp.oblivious_alpha
+
+    def test_leafspine_ecmp_is_ideal_for_single_pair(self, small_leafspine):
+        # Between two leafs, ECMP over all spines is provably optimal.
+        demands = {(0, 1): 1.0}
+        report = routing_efficiency(
+            small_leafspine, EcmpRouting(small_leafspine), demands
+        )
+        assert report.efficiency == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_demand_on_expander(self, small_rrg):
+        demands = {pair: 1.0 for pair in small_rrg.rack_pairs()}
+        report = routing_efficiency(
+            small_rrg, EcmpRouting(small_rrg), demands
+        )
+        # ECMP on an RRG under uniform load is known to be near-ideal.
+        assert report.efficiency > 0.6

@@ -1,0 +1,127 @@
+"""Tests for the packet simulator's event queue and link model."""
+
+import pytest
+
+from repro.sim.packet.core import EventQueue, Packet
+from repro.sim.packet.link import LinkQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        events = EventQueue()
+        log = []
+        events.schedule(2.0, lambda: log.append("b"))
+        events.schedule(1.0, lambda: log.append("a"))
+        events.schedule(3.0, lambda: log.append("c"))
+        assert events.run() == 3
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        events = EventQueue()
+        log = []
+        for tag in ("first", "second", "third"):
+            events.schedule(1.0, lambda t=tag: log.append(t))
+        events.run()
+        assert log == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        events = EventQueue()
+        seen = []
+        events.schedule(0.5, lambda: seen.append(events.now))
+        events.run()
+        assert seen == [0.5]
+
+    def test_nested_scheduling(self):
+        events = EventQueue()
+        log = []
+
+        def outer():
+            log.append(("outer", events.now))
+            events.schedule(1.0, lambda: log.append(("inner", events.now)))
+
+        events.schedule(1.0, outer)
+        events.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_event_budget_enforced(self):
+        events = EventQueue()
+
+        def forever():
+            events.schedule(1.0, forever)
+
+        events.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            events.run(max_events=100)
+
+
+def make_link(events, delivered, rate_gbps=10.0, buffer_bytes=4500):
+    return LinkQueue(
+        name="test",
+        rate_gbps=rate_gbps,
+        events=events,
+        deliver=delivered.append,
+        buffer_bytes=buffer_bytes,
+        propagation_s=1e-6,
+    )
+
+
+def packet(seq=0, size=1500):
+    return Packet(
+        flow_id=0, seq=seq, size_bytes=size, is_ack=False, path=()
+    )
+
+
+class TestLinkQueue:
+    def test_serialization_plus_propagation(self):
+        events = EventQueue()
+        delivered = []
+        link = make_link(events, delivered)
+        link.enqueue(packet(size=1500))
+        events.run()
+        # 1500 B at 10 Gbps = 1.2 us, plus 1 us propagation.
+        assert events.now == pytest.approx(1.2e-6 + 1e-6)
+        assert len(delivered) == 1
+
+    def test_fifo_order_and_back_to_back(self):
+        events = EventQueue()
+        delivered = []
+        link = make_link(events, delivered)
+        for seq in range(3):
+            link.enqueue(packet(seq=seq))
+        events.run()
+        assert [p.seq for p in delivered] == [0, 1, 2]
+        # Three serializations, one trailing propagation.
+        assert events.now == pytest.approx(3 * 1.2e-6 + 1e-6)
+
+    def test_tail_drop_when_buffer_full(self):
+        events = EventQueue()
+        delivered = []
+        link = make_link(events, delivered, buffer_bytes=3000)
+        # First packet transmits immediately, two fit in the buffer,
+        # the fourth is dropped.
+        results = [link.enqueue(packet(seq=s)) for s in range(4)]
+        assert results == [True, True, True, False]
+        assert link.dropped_packets == 1
+        events.run()
+        assert len(delivered) == 3
+
+    def test_counters_and_utilization(self):
+        events = EventQueue()
+        delivered = []
+        link = make_link(events, delivered)
+        link.enqueue(packet())
+        events.run()
+        assert link.transmitted_packets == 1
+        assert link.transmitted_bytes == 1500
+        assert 0 < link.utilization(events.now) <= 1.0
+
+    def test_rejects_bad_parameters(self):
+        events = EventQueue()
+        with pytest.raises(ValueError):
+            make_link(events, [], rate_gbps=0.0)
+        with pytest.raises(ValueError):
+            make_link(events, [], buffer_bytes=0)

@@ -1,0 +1,175 @@
+"""End-to-end tests of the packet-level simulator, including the
+cross-validation against the flow-level simulator that justifies using
+the fast fluid model for the paper's experiments."""
+
+import pytest
+
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import simulate_fct
+from repro.sim.packet import PacketSimulator, simulate_fct_packet
+from repro.sim.packet.tcp import MSS_BYTES
+from repro.topology import flatten, leaf_spine
+from repro.traffic import (
+    CanonicalCluster,
+    Flow,
+    Placement,
+    fb_skewed,
+    generate_flows,
+    rack_to_rack,
+    uniform,
+)
+
+
+@pytest.fixture
+def small_world(small_leafspine):
+    cluster = CanonicalCluster(6, 4)
+    placement = Placement(cluster, small_leafspine)
+    routing = EcmpRouting(small_leafspine)
+    return small_leafspine, routing, placement, cluster
+
+
+class TestSingleFlow:
+    def test_short_flow_near_base_rtt(self, small_world):
+        net, routing, placement, _cluster = small_world
+        # A flow within the initial window finishes in ~1 RTT.
+        flow = Flow(0, 23, 5 * MSS_BYTES, 0.0)
+        results = simulate_fct_packet(net, routing, placement, [flow])
+        assert results.records[0].fct_seconds < 100e-6
+
+    def test_large_flow_reasonable_throughput(self, small_world):
+        net, routing, placement, _cluster = small_world
+        flow = Flow(0, 23, 1e6, 0.0)
+        results = simulate_fct_packet(net, routing, placement, [flow])
+        # At least 2 Gbps effective on a 10 Gbps path (slow-start
+        # overshoot recovery costs the rest without SACK).
+        assert results.records[0].throughput_gbps > 2.0
+
+    def test_all_flows_complete_or_error(self, small_world):
+        net, routing, placement, cluster = small_world
+        flows = generate_flows(uniform(cluster), 100, 0.002, seed=0, size_cap=5e5)
+        results = simulate_fct_packet(net, routing, placement, flows)
+        assert results.num_flows == 100
+
+    def test_deterministic(self, small_world):
+        net, routing, placement, cluster = small_world
+        flows = generate_flows(uniform(cluster), 40, 0.001, seed=2, size_cap=2e5)
+        a = simulate_fct_packet(net, routing, placement, flows, seed=1)
+        b = simulate_fct_packet(net, routing, placement, flows, seed=1)
+        assert [r.fct_seconds for r in a.records] == [
+            r.fct_seconds for r in b.records
+        ]
+
+
+class TestCongestionBehaviour:
+    def test_incast_causes_drops(self, small_world):
+        net, routing, placement, _cluster = small_world
+        # 8 senders blast one receiver: the downlink must tail-drop.
+        flows = [Flow(src, 23, 5e5, 0.0) for src in range(8)]
+        sim = PacketSimulator(net, routing, placement, seed=0)
+        results = sim.run(flows)
+        assert results.num_flows == 8
+        assert sim.total_drops() > 0
+
+    def test_shared_bottleneck_roughly_fair(self, small_world):
+        net, routing, placement, _cluster = small_world
+        flows = [Flow(0, 23, 8e5, 0.0), Flow(1, 22, 8e5, 0.0)]
+        results = simulate_fct_packet(net, routing, placement, flows)
+        fcts = sorted(r.fct_seconds for r in results.records)
+        # Same size, same bottleneck: FCTs within 3x of each other.
+        assert fcts[1] / fcts[0] < 3.0
+
+    def test_contention_slows_flows_down(self, small_world):
+        net, routing, placement, _cluster = small_world
+        solo = simulate_fct_packet(
+            net, routing, placement, [Flow(0, 23, 5e5, 0.0)]
+        )
+        contended = simulate_fct_packet(
+            net,
+            routing,
+            placement,
+            [Flow(src, 23, 5e5, 0.0) for src in range(4)],
+        )
+        assert contended.mean_fct_ms() > solo.mean_fct_ms()
+
+
+class TestCrossValidation:
+    """The packet-level and flow-level simulators must agree on the
+    paper's qualitative comparisons — this is what licenses running the
+    figures on the fast fluid model."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        ls = leaf_spine(8, 4)
+        rrg = flatten(ls, seed=2, name="rrg")
+        cluster = CanonicalCluster(12, 8)
+        # Dense enough that the leaf-spine's rack uplinks congest; at
+        # light load both models degenerate to uncontended transfers and
+        # the comparison is pure noise.
+        workloads = [
+            generate_flows(
+                fb_skewed(cluster, seed=1), 600, 0.0025, seed=s, size_cap=1e6
+            )
+            for s in (1, 2, 3)
+        ]
+        return ls, rrg, cluster, workloads
+
+    def test_flat_beats_leafspine_in_both_models(self, world):
+        # A handful of RTO events dominate any single packet-level run
+        # at this scale, so the comparison aggregates mean FCT over
+        # three workload seeds — the statistic the fluid model predicts.
+        ls, rrg, cluster, workloads = world
+        totals = {"pk_ls": 0.0, "pk_rrg": 0.0, "fl_ls": 0.0, "fl_rrg": 0.0}
+        for flows in workloads:
+            totals["pk_ls"] += simulate_fct_packet(
+                ls, EcmpRouting(ls), Placement(cluster, ls), flows
+            ).mean_fct_ms()
+            totals["pk_rrg"] += simulate_fct_packet(
+                rrg, ShortestUnionRouting(rrg, 2), Placement(cluster, rrg), flows
+            ).mean_fct_ms()
+            totals["fl_ls"] += simulate_fct(
+                ls, EcmpRouting(ls), Placement(cluster, ls), flows
+            ).mean_fct_ms()
+            totals["fl_rrg"] += simulate_fct(
+                rrg, ShortestUnionRouting(rrg, 2), Placement(cluster, rrg), flows
+            ).mean_fct_ms()
+        assert totals["pk_rrg"] < totals["pk_ls"]
+        assert totals["fl_rrg"] < totals["fl_ls"]
+
+    def test_median_fcts_same_order_of_magnitude(self, world):
+        ls, _rrg, cluster, workloads = world
+        flows = workloads[0]
+        pk = simulate_fct_packet(
+            ls, EcmpRouting(ls), Placement(cluster, ls), flows
+        )
+        fl = simulate_fct(ls, EcmpRouting(ls), Placement(cluster, ls), flows)
+        ratio = pk.median_fct_ms() / fl.median_fct_ms()
+        assert 0.5 < ratio < 20.0
+
+
+class TestValidation:
+    def test_mismatched_routing_rejected(self, small_leafspine, small_dring):
+        cluster = CanonicalCluster(6, 4)
+        with pytest.raises(ValueError):
+            PacketSimulator(
+                small_leafspine,
+                EcmpRouting(small_dring),
+                Placement(cluster, small_leafspine),
+            )
+
+
+class TestTelemetry:
+    def test_clean_run_has_no_retransmissions(self, small_world):
+        net, routing, placement, _cluster = small_world
+        sim = PacketSimulator(net, routing, placement, seed=0)
+        sim.run([Flow(0, 23, 2e5, 0.0)])
+        assert sim.total_retransmissions() == 0
+        assert sim.total_timeouts() == 0
+
+    def test_incast_counts_retransmissions(self, small_world):
+        net, routing, placement, _cluster = small_world
+        flows = [Flow(src, 23, 5e5, 0.0) for src in range(8)]
+        sim = PacketSimulator(net, routing, placement, seed=0)
+        sim.run(flows)
+        # Drops happened, so TCP must have repaired them.
+        assert sim.total_drops() > 0
+        assert sim.total_retransmissions() >= sim.total_drops()

@@ -1,0 +1,169 @@
+"""Unit tests for the NewReno TCP implementation, run on a loopback harness.
+
+The harness wires a TcpFlow to an in-memory "network" with configurable
+one-way delay and an optional per-seq drop schedule, so every congestion
+mechanism can be exercised deterministically without the full simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.packet.core import EventQueue
+from repro.sim.packet.tcp import MSS_BYTES, TcpFlow, TcpParams
+
+
+class Loopback:
+    """Delivers data to the receiver and ACKs back after fixed delays."""
+
+    def __init__(self, delay=10e-6, params=TcpParams(), size_bytes=30 * 1500):
+        self.events = EventQueue()
+        self.delay = delay
+        self.finished_at = None
+        self.drop_once = set()  # seqs to drop on first transmission
+        self.data_sent = []
+
+        self.flow = TcpFlow(
+            flow_id=0,
+            size_bytes=size_bytes,
+            send_data=self._send_data,
+            send_ack=self._send_ack,
+            schedule=self.events.schedule,
+            now=lambda: self.events.now,
+            finished=self._finished,
+            params=params,
+        )
+
+    def _send_data(self, seq, size, retransmission):
+        self.data_sent.append((self.events.now, seq, retransmission))
+        if not retransmission and seq in self.drop_once:
+            self.drop_once.discard(seq)
+            return
+        self.events.schedule(
+            self.delay, lambda: self.flow.on_data_arrival(seq)
+        )
+
+    def _send_ack(self, cumulative, ece=False):
+        self.events.schedule(
+            self.delay, lambda: self.flow.on_ack_arrival(cumulative, ece)
+        )
+
+    def _finished(self):
+        self.finished_at = self.events.now
+
+    def run(self):
+        self.flow.start()
+        self.events.run()
+        return self.finished_at
+
+
+class TestBasicTransfer:
+    def test_completes_without_loss(self):
+        harness = Loopback()
+        assert harness.run() is not None
+        assert harness.flow.snd_una == harness.flow.total_packets
+
+    def test_packet_count_matches_size(self):
+        harness = Loopback(size_bytes=10 * MSS_BYTES + 100)
+        harness.run()
+        assert harness.flow.total_packets == 11
+        assert harness.flow.packet_size(10) == 100
+        assert harness.flow.packet_size(0) == MSS_BYTES
+
+    def test_tiny_flow_single_packet(self):
+        harness = Loopback(size_bytes=200)
+        harness.run()
+        assert harness.flow.total_packets == 1
+
+    def test_slow_start_doubles_per_rtt(self):
+        params = TcpParams(initial_cwnd=2.0)
+        harness = Loopback(params=params, size_bytes=64 * MSS_BYTES)
+        harness.run()
+        # No loss: cwnd must have grown well beyond the initial value.
+        assert harness.flow.cwnd > 16
+
+
+class TestLossRecovery:
+    def test_fast_retransmit_on_triple_dupack(self):
+        harness = Loopback(size_bytes=30 * MSS_BYTES)
+        harness.drop_once = {5}
+        assert harness.run() is not None
+        retransmissions = [s for _t, s, r in harness.data_sent if r]
+        assert 5 in retransmissions
+        # Loss halved the window.
+        assert harness.flow.ssthresh < float("inf")
+
+    def test_newreno_partial_acks_repair_burst_loss(self):
+        harness = Loopback(size_bytes=40 * MSS_BYTES)
+        harness.drop_once = {10, 11, 12, 13}
+        assert harness.run() is not None
+        retransmissions = {s for _t, s, r in harness.data_sent if r}
+        assert {10, 11, 12, 13} <= retransmissions
+
+    def test_rto_recovers_tail_loss(self):
+        # Drop the very last packet: no dupACKs can arrive, only the
+        # retransmission timer can save the flow.
+        harness = Loopback(size_bytes=20 * MSS_BYTES)
+        harness.drop_once = {19}
+        finished = harness.run()
+        assert finished is not None
+        assert finished >= harness.flow.params.min_rto_s
+
+    def test_rto_collapses_window(self):
+        harness = Loopback(size_bytes=20 * MSS_BYTES)
+        harness.drop_once = {19}
+        harness.run()
+        # After the timeout the window restarted from 1 and the flow
+        # finished with a small window.
+        assert harness.flow.cwnd < 10
+
+
+class TestRttEstimation:
+    def test_srtt_close_to_loopback_rtt(self):
+        delay = 50e-6
+        harness = Loopback(delay=delay)
+        harness.run()
+        assert harness.flow.srtt == pytest.approx(2 * delay, rel=0.2)
+
+    def test_rto_at_least_minimum(self):
+        harness = Loopback(delay=1e-6)
+        harness.run()
+        assert harness.flow.rto >= harness.flow.params.min_rto_s
+
+    def test_retransmitted_segments_never_sampled(self):
+        harness = Loopback(size_bytes=30 * MSS_BYTES)
+        harness.drop_once = {3}
+        harness.run()
+        # Karn's rule: seq 3's (eventually successful) delivery must not
+        # poison SRTT, which stays near the true RTT.
+        assert harness.flow.srtt == pytest.approx(2 * harness.delay, rel=0.3)
+
+
+class TestRandomLossRobustness:
+    """Hypothesis: TCP must complete under ANY pattern of single losses."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        drops=st.sets(st.integers(min_value=0, max_value=39), max_size=12),
+        delay_us=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_completes(self, drops, delay_us):
+        harness = Loopback(
+            delay=delay_us * 1e-6, size_bytes=40 * MSS_BYTES
+        )
+        harness.drop_once = set(drops)
+        finished = harness.run()
+        assert finished is not None
+        assert harness.flow.snd_una == harness.flow.total_packets
+
+    @given(drops=st.sets(st.integers(min_value=0, max_value=29), max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_every_dropped_seq_retransmitted(self, drops):
+        harness = Loopback(size_bytes=30 * MSS_BYTES)
+        harness.drop_once = set(drops)
+        harness.run()
+        retransmitted = {s for _t, s, r in harness.data_sent if r}
+        assert drops <= retransmitted

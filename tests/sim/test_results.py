@@ -1,0 +1,99 @@
+"""Tests for result containers and renderers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.results import FctResults, FlowRecord, fct_table, heatmap_text
+
+
+def record(fct_seconds, start=0.0, size=1e5):
+    return FlowRecord(
+        src_server=0,
+        dst_server=1,
+        size_bytes=size,
+        start_time=start,
+        finish_time=start + fct_seconds,
+        path=(0, 1),
+    )
+
+
+class TestFlowRecord:
+    def test_fct_and_throughput(self):
+        r = record(0.001, size=1e6)
+        assert r.fct_ms == pytest.approx(1.0)
+        assert r.throughput_gbps == pytest.approx(8.0)
+
+
+class TestFctResults:
+    def test_percentiles(self):
+        results = FctResults()
+        for fct in [0.001, 0.002, 0.003, 0.004]:
+            results.add(record(fct))
+        assert results.median_fct_ms() == pytest.approx(2.5)
+        assert results.mean_fct_ms() == pytest.approx(2.5)
+        assert results.p99_fct_ms() <= 4.0
+
+    def test_rejects_negative_fct(self):
+        results = FctResults()
+        bad = FlowRecord(0, 1, 100.0, 1.0, 0.5, (0, 1))
+        with pytest.raises(ValueError):
+            results.add(bad)
+
+    def test_mean_path_hops_ignores_intra_rack(self):
+        results = FctResults()
+        results.add(record(0.001))
+        intra = FlowRecord(0, 1, 100.0, 0.0, 0.1, (0,))
+        results.add(intra)
+        assert results.mean_path_hops() == pytest.approx(1.0)
+
+    def test_cache_invalidation_on_add(self):
+        results = FctResults()
+        results.add(record(0.001))
+        assert results.median_fct_ms() == pytest.approx(1.0)
+        results.add(record(0.003))
+        assert results.median_fct_ms() == pytest.approx(2.0)
+
+
+class TestRenderers:
+    def test_fct_table_includes_all_cells(self):
+        results = FctResults()
+        results.add(record(0.001))
+        table = fct_table({"A2A": {"ecmp": results}}, metric="median")
+        assert "A2A" in table and "ecmp" in table and "1.000" in table
+
+    def test_fct_table_missing_cell_dash(self):
+        results = FctResults()
+        results.add(record(0.001))
+        table = fct_table(
+            {"A2A": {"ecmp": results}, "R2R": {}}, metric="p99"
+        )
+        assert "R2R" in table
+
+    def test_heatmap_text_shape(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        text = heatmap_text(values, [10.0, 20.0], [30.0, 40.0], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "30" in lines[1] and "40" in lines[1]
+        assert "1.00" in lines[2] and "4.00" in lines[3]
+
+
+class TestSlowdown:
+    def test_line_rate_flow_has_slowdown_one(self):
+        r = record(8e-4, size=1e6)  # 1 MB in 0.8 ms = 10 Gbps
+        assert r.slowdown(10.0) == pytest.approx(1.0)
+
+    def test_congested_flow_slowdown(self):
+        r = record(1.6e-3, size=1e6)
+        assert r.slowdown(10.0) == pytest.approx(2.0)
+
+    def test_aggregate_slowdowns(self):
+        results = FctResults()
+        results.add(record(8e-4, size=1e6))   # slowdown 1
+        results.add(record(2.4e-3, size=1e6)) # slowdown 3
+        assert results.mean_slowdown(10.0) == pytest.approx(2.0)
+        assert results.p99_slowdown(10.0) <= 3.0 + 1e-9
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            FctResults().mean_slowdown()

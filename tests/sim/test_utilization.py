@@ -1,0 +1,60 @@
+"""Tests for the flow simulator's link-utilization tracking."""
+
+import pytest
+
+from repro.routing import EcmpRouting
+from repro.sim import FlowSimulator
+from repro.traffic import CanonicalCluster, Flow, Placement
+
+
+@pytest.fixture
+def sim(small_leafspine):
+    cluster = CanonicalCluster(6, 4)
+    placement = Placement(cluster, small_leafspine)
+    return FlowSimulator(
+        small_leafspine, EcmpRouting(small_leafspine), placement, seed=0
+    )
+
+
+class TestUtilization:
+    def test_requires_completed_run(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.link_utilization()
+
+    def test_single_flow_saturates_its_links(self, sim):
+        sim.run([Flow(0, 23, 1e6, 0.0)])
+        utilization = sim.link_utilization()
+        # A lone flow runs at line rate: every link it crosses is ~100%
+        # utilized over the run.
+        assert utilization[("up", 0)] == pytest.approx(1.0, rel=1e-6)
+        assert utilization[("down", 23)] == pytest.approx(1.0, rel=1e-6)
+
+    def test_only_touched_links_reported(self, sim):
+        sim.run([Flow(0, 23, 1e6, 0.0)])
+        utilization = sim.link_utilization()
+        # 2 server links + 2 network hops (leaf-spine-leaf).
+        assert len(utilization) == 4
+
+    def test_utilization_bounded_by_one(self, sim):
+        flows = [Flow(src, 23, 5e5, 0.0) for src in range(8)]
+        sim.run(flows)
+        for value in sim.link_utilization().values():
+            assert 0 < value <= 1.0 + 1e-9
+
+    def test_hottest_links_sorted(self, sim):
+        flows = [Flow(src, 23, 5e5, 0.0) for src in range(8)]
+        sim.run(flows)
+        hottest = sim.hottest_links(count=3)
+        values = [v for _k, v in hottest]
+        assert values == sorted(values, reverse=True)
+        # The incast victim's downlink is the hottest link in the fabric.
+        assert hottest[0][0] == ("down", 23)
+
+    def test_bytes_accounting_consistent(self, sim):
+        size = 2e6
+        sim.run([Flow(0, 23, size, 0.0)])
+        utilization = sim.link_utilization()
+        elapsed = sim._elapsed
+        capacity_bps = sim.network.server_link_capacity * 1e9 / 8.0
+        carried = utilization[("up", 0)] * capacity_bps * elapsed
+        assert carried == pytest.approx(size, rel=1e-6)

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestLightCommands:
+    def test_summarize(self, capsys):
+        assert main(["summarize"]) == 0
+        out = capsys.readouterr().out
+        assert "leaf-spine" in out and "dring" in out
+
+    def test_udf(self, capsys):
+        assert main(["udf"]) == 0
+        out = capsys.readouterr().out
+        assert "UDF" in out and "2.000" in out
+
+    def test_verify_dring(self, capsys):
+        assert main(["verify", "--topology", "dring", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_verify_leafspine(self, capsys):
+        assert main(["verify", "--topology", "leaf-spine"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestConfigsCommand:
+    def test_writes_cisco_configs(self, tmp_path, capsys):
+        out_dir = tmp_path / "cfg"
+        assert (
+            main(
+                [
+                    "configs",
+                    "--topology",
+                    "dring",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        files = sorted(out_dir.glob("router-*.cfg"))
+        assert len(files) == 24  # SMALL DRing has 24 racks
+        assert "router bgp" in files[0].read_text()
+
+    def test_writes_frr_configs(self, tmp_path, capsys):
+        out_dir = tmp_path / "frr"
+        assert (
+            main(
+                [
+                    "configs",
+                    "--format",
+                    "frr",
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        files = sorted(out_dir.glob("router-*.conf"))
+        assert files
+        assert files[0].read_text().startswith("frr version")
+
+
+class TestExperimentCommands:
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput(DRing)/throughput(leaf-spine)" in out
+
+    def test_microburst(self, capsys):
+        assert main(["microburst"]) == 0
+        assert "Microburst" in capsys.readouterr().out
+
+    def test_other_topologies(self, capsys):
+        assert main(["other-topologies"]) == 0
+        assert "slimfly" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_json_to_stdout(self, capsys):
+        assert main(["export", "--topology", "dring"]) == 0
+        out = capsys.readouterr().out
+        assert '"name"' in out and '"links"' in out
+
+    def test_dot_to_file(self, tmp_path, capsys):
+        target = tmp_path / "net.dot"
+        assert (
+            main(
+                [
+                    "export",
+                    "--topology",
+                    "leaf-spine",
+                    "--format",
+                    "dot",
+                    "--out",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.read_text().startswith("graph ")
+
+    def test_json_round_trips_through_cli(self, tmp_path, capsys):
+        from repro.core.export import from_json
+
+        target = tmp_path / "net.json"
+        main(["export", "--topology", "rrg", "--out", str(target)])
+        clone = from_json(target.read_text())
+        assert clone.is_flat()
+
+
+class TestExtendedTopologyChoices:
+    def test_verify_dragonfly(self, capsys):
+        assert main(["verify", "--topology", "dragonfly"]) == 0
+        assert "dragonfly" in capsys.readouterr().out
+
+    def test_export_xpander(self, capsys):
+        assert main(["export", "--topology", "xpander"]) == 0
+        assert "xpander" in capsys.readouterr().out
+
+    def test_export_fat_tree_dot(self, capsys):
+        assert main(["export", "--topology", "fat-tree", "--format", "dot"]) == 0
+        assert "fat-tree" in capsys.readouterr().out

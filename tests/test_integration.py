@@ -1,0 +1,187 @@
+"""Integration tests: whole-pipeline behaviour across modules.
+
+These tests exercise the same end-to-end paths the paper's evaluation
+uses — topology -> routing -> traffic -> simulator -> statistics — and
+assert the cross-module invariants no unit test can see.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp import build_converged_fabric
+from repro.core import nsr, oversubscription, udf
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import cs_throughput, simulate_fct
+from repro.topology import dring, flatten, leaf_spine
+from repro.traffic import (
+    CanonicalCluster,
+    Placement,
+    fb_skewed,
+    generate_flows,
+    spine_utilization_load,
+    uniform,
+    window_for_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One coherent scaled-down experiment world."""
+    ls = leaf_spine(8, 4)
+    rrg = flatten(ls, seed=2, name="rrg")
+    dr = dring(6, 2, total_servers=ls.num_servers)
+    cluster = CanonicalCluster(12, 8)
+    return ls, rrg, dr, cluster
+
+
+class TestEquipmentStory:
+    def test_flat_rebuild_preserves_server_population(self, world):
+        ls, rrg, dr, _cluster = world
+        assert rrg.num_servers == ls.num_servers
+        assert dr.num_servers == ls.num_servers
+
+    def test_flatness_halves_oversubscription(self, world):
+        ls, rrg, _dr, _cluster = world
+        assert oversubscription(ls) / oversubscription(rrg) == pytest.approx(
+            udf(ls, rrg), rel=0.25
+        )
+
+
+class TestSimulatorRoutingAgreement:
+    def test_fct_sim_and_throughput_solver_agree_on_winner(self, world):
+        """Both simulators must agree who wins a skewed contest."""
+        ls, rrg, _dr, cluster = world
+        # Steady state: skewed C-S.
+        ls_tp = cs_throughput(ls, EcmpRouting(ls), 16, 48, seed=3)
+        rrg_tp = cs_throughput(
+            rrg, ShortestUnionRouting(rrg, 2), 16, 48, seed=3
+        )
+        # FCT: skewed FB-like TM at 30% spine load.
+        tm = fb_skewed(cluster, seed=3)
+        load = spine_utilization_load(ls, tm)
+        window, num = window_for_budget(
+            load.offered_gbps, 800, 0.03, size_cap=5e6
+        )
+        flows = generate_flows(tm, num, window, seed=3, size_cap=5e6)
+        ls_fct = simulate_fct(
+            ls, EcmpRouting(ls), Placement(cluster, ls), flows
+        )
+        rrg_fct = simulate_fct(
+            rrg, ShortestUnionRouting(rrg, 2), Placement(cluster, rrg), flows
+        )
+        assert rrg_tp.mean_flow_gbps > ls_tp.mean_flow_gbps
+        assert rrg_fct.p99_fct_ms() < ls_fct.p99_fct_ms()
+
+    def test_bgp_paths_equal_routing_module_paths(self, world):
+        """The control plane installs what the routing module predicts."""
+        _ls, _rrg, dr, _cluster = world
+        fabric = build_converged_fabric(dr, 2)
+        su = ShortestUnionRouting(dr, 2)
+        for src, dst in list(dr.rack_pairs())[:25]:
+            assert set(fabric.forwarding_paths(src, dst)) == set(
+                su.paths(src, dst)
+            )
+
+    def test_sampled_paths_are_installable(self, world):
+        """Every path the simulator hashes onto exists in the BGP RIBs."""
+        _ls, _rrg, dr, _cluster = world
+        fabric = build_converged_fabric(dr, 2)
+        su = ShortestUnionRouting(dr, 2)
+        rng = random.Random(0)
+        for src, dst in list(dr.rack_pairs())[:10]:
+            installed = set(fabric.forwarding_paths(src, dst))
+            for _ in range(10):
+                assert su.sample_path(src, dst, rng) in installed
+
+
+class TestWorkloadPortability:
+    def test_same_flows_run_on_every_topology(self, world):
+        """A canonical workload must be admissible everywhere."""
+        ls, rrg, dr, cluster = world
+        flows = generate_flows(uniform(cluster), 150, 0.01, seed=1, size_cap=2e6)
+        for net, routing in (
+            (ls, EcmpRouting(ls)),
+            (rrg, EcmpRouting(rrg)),
+            (dr, ShortestUnionRouting(dr, 2)),
+        ):
+            results = simulate_fct(
+                net, routing, Placement(cluster, net), flows
+            )
+            assert results.num_flows == 150
+
+    def test_random_placement_changes_results_not_workload(self, world):
+        _ls, _rrg, dr, cluster = world
+        # Dense enough that contention (and therefore placement) matters.
+        flows = generate_flows(
+            fb_skewed(cluster, seed=1), 400, 0.002, seed=1, size_cap=2e6
+        )
+        routing = ShortestUnionRouting(dr, 2)
+        base = simulate_fct(
+            dr, routing, Placement(cluster, dr), flows
+        )
+        shuffled = simulate_fct(
+            dr, routing, Placement(cluster, dr, shuffle=True, seed=9), flows
+        )
+        assert base.num_flows == shuffled.num_flows == 400
+        assert base.mean_fct_ms() != shuffled.mean_fct_ms()
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, world):
+        ls, _rrg, _dr, cluster = world
+        flows = generate_flows(uniform(cluster), 120, 0.01, seed=7, size_cap=2e6)
+
+        def run():
+            return simulate_fct(
+                ls,
+                EcmpRouting(ls),
+                Placement(cluster, ls),
+                flows,
+                seed=7,
+            )
+
+        a, b = run(), run()
+        assert a.median_fct_ms() == b.median_fct_ms()
+        assert a.p99_fct_ms() == b.p99_fct_ms()
+        assert [r.path for r in a.records] == [r.path for r in b.records]
+
+
+class TestFluidModelConsistency:
+    def test_flowsim_rates_match_commodity_solver(self, world):
+        """Long-running equal flows: the FCT simulator's realized rates
+        must match the steady-state commodity solver's prediction, since
+        both implement the same max-min fluid model."""
+        from repro.sim import commodity_throughput
+        from repro.traffic import Flow
+
+        ls, _rrg, _dr, cluster = world
+        # One big flow per rack pair, all starting together, sized so the
+        # system stays in steady state for essentially the whole run.
+        pairs = [(0, 4), (1, 4), (2, 5)]
+        size = 50e6
+        flows = []
+        for i, (r1, r2) in enumerate(pairs):
+            src = cluster.servers_of(r1)[0]
+            dst = cluster.servers_of(r2)[i % 2]
+            flows.append(Flow(src, dst, size, 0.0))
+        routing = EcmpRouting(ls)
+        results = simulate_fct(ls, routing, Placement(cluster, ls), flows)
+
+        demands = {pair: 1.0 for pair in pairs}
+        # Host capacity: one server participates per endpoint... but the
+        # solver aggregates per rack; restrict to the participating hosts.
+        src_caps = {r1: ls.server_link_capacity for r1, _r2 in pairs}
+        dst_caps = {r2: 2 * ls.server_link_capacity for _r1, r2 in pairs}
+        prediction = commodity_throughput(
+            ls, routing, demands,
+            src_host_capacity=src_caps, dst_host_capacity=dst_caps,
+        )
+        for record, (r1, r2) in zip(
+            sorted(results.records, key=lambda r: r.src_server), pairs
+        ):
+            realized = record.throughput_gbps
+            predicted = prediction.per_commodity_gbps[(r1, r2)]
+            # Identical fluid model; small deviation from flows finishing
+            # at slightly different times near the end.
+            assert realized == pytest.approx(predicted, rel=0.2)

@@ -1,0 +1,108 @@
+"""Validation at the paper's full Section 5.1 scale.
+
+These tests build the actual instances the paper evaluates — the
+3072-server leaf-spine(48,16), its flat RRG rebuild, and the 80-rack
+2988-server DRing — and check the analytical claims and a sample of the
+steady-state results at that scale.  Packet/flow-level FCT sweeps stay
+in the scaled-down suites; everything here runs in seconds.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp import check_theorem1
+from repro.core.metrics import nsr, oversubscription, udf
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.sim import cs_throughput
+from repro.topology import flatten, leaf_spine, paper_dring
+
+
+@pytest.fixture(scope="module")
+def paper_leafspine():
+    return leaf_spine(48, 16)
+
+
+@pytest.fixture(scope="module")
+def paper_rrg(paper_leafspine):
+    return flatten(paper_leafspine, seed=0, name="rrg-paper")
+
+
+@pytest.fixture(scope="module")
+def paper_ring():
+    return paper_dring()
+
+
+class TestInstanceShapes:
+    def test_leafspine_matches_section_5_1(self, paper_leafspine):
+        assert paper_leafspine.num_racks == 64
+        assert paper_leafspine.num_servers == 3072
+        assert oversubscription(paper_leafspine) == pytest.approx(3.0)
+
+    def test_rrg_same_equipment(self, paper_leafspine, paper_rrg):
+        assert paper_rrg.num_switches == paper_leafspine.num_switches
+        assert paper_rrg.num_servers == paper_leafspine.num_servers
+        assert paper_rrg.is_flat()
+
+    def test_dring_matches_section_5_1(self, paper_ring):
+        assert paper_ring.num_racks == 80
+        assert paper_ring.num_servers == 2988
+        # "about 2.8% fewer servers" than the leaf-spine.
+        assert 1 - 2988 / 3072 == pytest.approx(0.0273, abs=1e-3)
+
+    def test_udf_at_scale(self, paper_leafspine, paper_rrg):
+        assert udf(paper_leafspine, paper_rrg) == pytest.approx(2.0, rel=0.01)
+
+    def test_flat_nsr_dominates(self, paper_leafspine, paper_ring):
+        assert nsr(paper_ring).mean > nsr(paper_leafspine).mean
+
+
+class TestControlPlaneAtScale:
+    def test_theorem1_sampled_pairs(self, paper_ring):
+        rng = random.Random(0)
+        pairs = rng.sample(list(paper_ring.rack_pairs()), 60)
+        assert check_theorem1(paper_ring, 2, pairs=pairs) == []
+
+    def test_su2_path_diversity_for_adjacent_racks(self, paper_ring):
+        su2 = ShortestUnionRouting(paper_ring, 2)
+        n = paper_ring.graph.graph["dring_n"]
+        # Racks in adjacent supernodes (offset n and 2n in id space).
+        for dst in (n, 2 * n):
+            assert su2.disjoint_path_lower_bound(0, dst) >= n + 1
+
+
+class TestThroughputAtScale:
+    def test_skewed_cs_favours_the_dring(self, paper_leafspine, paper_ring):
+        # Figure 5(c/d) regime: 200 clients -> 1400 servers.
+        ls = cs_throughput(
+            paper_leafspine, EcmpRouting(paper_leafspine), 200, 1400, seed=3
+        )
+        dr = cs_throughput(
+            paper_ring, ShortestUnionRouting(paper_ring, 2), 200, 1400, seed=3
+        )
+        assert dr.mean_flow_gbps / ls.mean_flow_gbps > 1.05
+
+    def test_skewed_small_values_near_udf(self, paper_leafspine, paper_ring):
+        # Figure 5(a/b) regime: one rack of clients, a few server racks.
+        # (The extreme C=20 corner is fabric-limited on our 80-rack DRing
+        # instance; a full client rack shows the oversubscription-masking
+        # gain cleanly.)
+        ls = cs_throughput(
+            paper_leafspine, EcmpRouting(paper_leafspine), 48, 260, seed=1
+        )
+        dr = cs_throughput(
+            paper_ring, ShortestUnionRouting(paper_ring, 2), 48, 260, seed=1
+        )
+        ratio = dr.mean_flow_gbps / ls.mean_flow_gbps
+        assert ratio > 1.3
+
+    def test_incast_identical_everywhere(self, paper_leafspine, paper_ring):
+        # C-S corner C=S=1: a single server pair is host-limited on any
+        # topology, so both must deliver the same throughput.
+        ls = cs_throughput(
+            paper_leafspine, EcmpRouting(paper_leafspine), 1, 1, seed=0
+        )
+        dr = cs_throughput(
+            paper_ring, ShortestUnionRouting(paper_ring, 2), 1, 1, seed=0
+        )
+        assert ls.total_gbps == pytest.approx(dr.total_gbps)

@@ -1,0 +1,203 @@
+"""Cross-cutting property-based tests over randomly generated instances.
+
+These complement the per-module property tests: each property here spans
+several subsystems (topology generation -> routing -> control plane ->
+simulation) and is checked over hypothesis-generated instances rather
+than fixtures.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import check_theorem1, build_converged_fabric
+from repro.core.metrics import leaf_spine_udf, nsr, udf
+from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.routing.shortest_union import shortest_union_paths
+from repro.sim import simulate_fct
+from repro.topology import dring, flatten, jellyfish, leaf_spine
+from repro.traffic import CanonicalCluster, Flow, Placement
+
+
+@st.composite
+def dring_params(draw):
+    m = draw(st.integers(min_value=5, max_value=10))
+    n = draw(st.integers(min_value=1, max_value=3))
+    return m, n
+
+
+@st.composite
+def rrg_params(draw):
+    switches = draw(st.integers(min_value=6, max_value=14))
+    degree = draw(st.integers(min_value=3, max_value=min(5, switches - 1)))
+    if switches * degree % 2:
+        switches += 1
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return switches, degree, seed
+
+
+class TestTheorem1Universality:
+    @given(params=dring_params(), k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=12, deadline=None)
+    def test_theorem1_on_random_drings(self, params, k):
+        m, n = params
+        net = dring(m, n, servers_per_rack=2)
+        assert check_theorem1(net, k) == []
+
+    @given(params=rrg_params(), k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=12, deadline=None)
+    def test_theorem1_on_random_rrgs(self, params, k):
+        switches, degree, seed = params
+        net = jellyfish(switches, degree, servers_per_switch=2, seed=seed)
+        assert check_theorem1(net, k) == []
+
+
+class TestShortestUnionInvariants:
+    @given(params=rrg_params(), k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_path_set_structure(self, params, k):
+        switches, degree, seed = params
+        net = jellyfish(switches, degree, servers_per_switch=2, seed=seed)
+        rng = random.Random(seed)
+        pairs = rng.sample(list(net.rack_pairs()), 5)
+        for src, dst in pairs:
+            dist = nx.shortest_path_length(net.graph, src, dst)
+            paths = shortest_union_paths(net, src, dst, k)
+            lengths = [len(p) - 1 for p in paths]
+            # Contains every shortest path...
+            shortest = {
+                tuple(p) for p in nx.all_shortest_paths(net.graph, src, dst)
+            }
+            assert shortest <= set(paths)
+            # ...all simple, within the length envelope.
+            for path, length in zip(paths, lengths):
+                assert len(set(path)) == len(path)
+                assert dist <= length <= max(dist, k)
+
+    @given(params=rrg_params())
+    @settings(max_examples=8, deadline=None)
+    def test_bgp_realizes_su2_on_random_graphs(self, params):
+        switches, degree, seed = params
+        net = jellyfish(switches, degree, servers_per_switch=2, seed=seed)
+        fabric = build_converged_fabric(net, 2)
+        rng = random.Random(seed)
+        pairs = rng.sample(list(net.rack_pairs()), 5)
+        for src, dst in pairs:
+            assert set(fabric.forwarding_paths(src, dst)) == set(
+                shortest_union_paths(net, src, dst, 2)
+            )
+
+
+class TestUdfUniversality:
+    @given(
+        x=st.integers(min_value=2, max_value=16),
+        y=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_flat_rebuild_udf_close_to_closed_form(self, x, y, seed):
+        baseline = leaf_spine(x, y)
+        flat = flatten(baseline, seed=seed)
+        assert udf(baseline, flat) == pytest.approx(
+            leaf_spine_udf(x, y), rel=0.25
+        )
+        assert flat.is_flat()
+
+
+class TestIdealFlowInvariants:
+    @given(
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_alpha_inversely_proportional_to_demand(self, scale, seed):
+        from repro.sim.idealflow import ideal_throughput
+
+        net = jellyfish(8, 3, servers_per_switch=2, seed=seed)
+        rng = random.Random(seed)
+        pairs = rng.sample(list(net.rack_pairs()), 4)
+        base = {pair: 1.0 for pair in pairs}
+        scaled = {pair: scale for pair in pairs}
+        alpha_base = ideal_throughput(net, base)
+        alpha_scaled = ideal_throughput(net, scaled)
+        assert alpha_scaled * scale == pytest.approx(alpha_base, rel=1e-4)
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_removing_a_link_never_helps(self, seed):
+        from repro.sim.idealflow import ideal_throughput
+
+        net = jellyfish(8, 4, servers_per_switch=2, seed=seed)
+        rng = random.Random(seed)
+        pairs = rng.sample(list(net.rack_pairs()), 4)
+        demands = {pair: 1.0 for pair in pairs}
+        alpha_full = ideal_throughput(net, demands)
+        degraded = net.copy()
+        links = [(u, v) for u, v, _m in degraded.undirected_links()]
+        u, v = rng.choice(links)
+        degraded.graph.remove_edge(u, v)
+        import networkx as nx
+
+        if not nx.is_connected(degraded.graph):
+            return
+        alpha_degraded = ideal_throughput(degraded, demands)
+        assert alpha_degraded <= alpha_full * (1 + 1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_oblivious_never_beats_ideal(self, seed):
+        from repro.sim.idealflow import ideal_throughput, oblivious_throughput
+
+        net = jellyfish(8, 3, servers_per_switch=2, seed=seed)
+        rng = random.Random(seed)
+        pairs = rng.sample(list(net.rack_pairs()), 4)
+        demands = {pair: 1.0 for pair in pairs}
+        ideal = ideal_throughput(net, demands)
+        for routing in (EcmpRouting(net), ShortestUnionRouting(net, 2)):
+            assert oblivious_throughput(net, routing, demands) <= ideal * (
+                1 + 1e-6
+            )
+
+
+class TestSimulatorInvariants:
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1e4, max_value=5e6),
+            min_size=1,
+            max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fct_never_beats_line_rate(self, sizes, seed):
+        net = leaf_spine(4, 2)
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, net)
+        rng = random.Random(seed)
+        flows = []
+        for size in sizes:
+            src = rng.randrange(cluster.num_servers)
+            dst = rng.randrange(cluster.num_servers)
+            if src == dst:
+                dst = (dst + 1) % cluster.num_servers
+            flows.append(Flow(src, dst, size, rng.random() * 1e-3))
+        results = simulate_fct(net, EcmpRouting(net), placement, flows)
+        line_rate_bps = net.server_link_capacity * 1e9 / 8.0
+        for record in results.records:
+            ideal = record.size_bytes / line_rate_bps
+            assert record.fct_seconds >= ideal * (1 - 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_su2_never_loses_to_ecmp_on_adjacent_r2r_throughput(self, seed):
+        from repro.sim import cs_throughput
+
+        net = dring(6, 2, servers_per_rack=4)
+        ecmp = cs_throughput(net, EcmpRouting(net), 4, 4, seed=seed)
+        su2 = cs_throughput(
+            net, ShortestUnionRouting(net, 2), 4, 4, seed=seed
+        )
+        assert su2.mean_flow_gbps >= ecmp.mean_flow_gbps * (1 - 1e-9)

@@ -1,0 +1,67 @@
+"""Tests for the Dragonfly topology."""
+
+import networkx as nx
+import pytest
+
+from repro.core.network import NetworkValidationError
+from repro.topology import dragonfly, dragonfly_group_count, group_of
+from repro.topology.dragonfly import dragonfly_edges
+
+
+class TestStructure:
+    def test_balanced_group_count(self):
+        assert dragonfly_group_count(4, 2) == 9
+
+    def test_router_and_server_counts(self):
+        net = dragonfly(4, 2, servers_per_rack=3)
+        assert net.num_switches == 9 * 4
+        assert net.num_servers == 36 * 3
+        assert net.is_flat()
+
+    def test_uniform_degree(self):
+        a, h = 4, 2
+        net = dragonfly(a, h, servers_per_rack=3)
+        for router in net.switches:
+            assert net.network_degree(router) == (a - 1) + h
+
+    def test_intra_group_complete(self):
+        a = 4
+        net = dragonfly(a, 2, servers_per_rack=2)
+        for i in range(a):
+            for j in range(i + 1, a):
+                assert net.graph.has_edge(i, j)
+
+    def test_exactly_one_global_link_per_group_pair(self):
+        a, h = 3, 2
+        g = dragonfly_group_count(a, h)
+        net = dragonfly(a, h, servers_per_rack=2)
+        global_pairs = set()
+        for u, v, _m in net.undirected_links():
+            gu, gv = group_of(u, a), group_of(v, a)
+            if gu != gv:
+                pair = (min(gu, gv), max(gu, gv))
+                assert pair not in global_pairs, "duplicate global link"
+                global_pairs.add(pair)
+        assert len(global_pairs) == g * (g - 1) // 2
+
+    def test_diameter_three(self):
+        net = dragonfly(4, 2, servers_per_rack=2)
+        assert nx.diameter(net.graph) == 3
+
+    def test_connected(self):
+        net = dragonfly(3, 1, servers_per_rack=2)
+        assert nx.is_connected(net.graph)
+
+
+class TestValidation:
+    def test_rejects_tiny_groups(self):
+        with pytest.raises(NetworkValidationError):
+            dragonfly_edges(1, 2)
+
+    def test_rejects_zero_global(self):
+        with pytest.raises(NetworkValidationError):
+            dragonfly_edges(4, 0)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(NetworkValidationError):
+            dragonfly(4, 2, servers_per_rack=0)

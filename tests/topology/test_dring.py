@@ -1,0 +1,110 @@
+"""Tests for the DRing topology (Section 3.2)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import NetworkValidationError
+from repro.topology import add_supernode, dring, paper_dring, supernode_of
+from repro.topology.dring import dring_edges
+
+
+class TestStructure:
+    def test_rack_and_server_counts(self):
+        net = dring(6, 3, servers_per_rack=5)
+        assert net.num_racks == 18
+        assert net.num_servers == 90
+        assert net.is_flat()
+
+    def test_every_tor_has_4n_network_links(self):
+        n = 3
+        net = dring(7, n, servers_per_rack=5)
+        for tor in net.switches:
+            assert net.network_degree(tor) == 4 * n
+
+    def test_adjacent_supernodes_fully_bipartite(self):
+        m, n = 6, 2
+        net = dring(m, n, servers_per_rack=4)
+        for offset in (1, 2):
+            for a in range(n):
+                for b in range(n):
+                    u = 0 * n + a
+                    v = ((0 + offset) % m) * n + b
+                    assert net.graph.has_edge(u, v)
+
+    def test_non_adjacent_supernodes_disconnected(self):
+        m, n = 8, 2
+        net = dring(m, n, servers_per_rack=4)
+        # supernode 0 and supernode 4 are not ring-adjacent (offsets 1, 2).
+        for a in range(n):
+            for b in range(n):
+                assert not net.graph.has_edge(a, 4 * n + b)
+
+    def test_all_switches_symmetric_role(self):
+        net = dring(6, 2, servers_per_rack=4)
+        degrees = {net.network_degree(t) for t in net.switches}
+        servers = {net.servers_at(t) for t in net.switches}
+        assert len(degrees) == 1
+        assert len(servers) == 1
+
+    @given(
+        m=st.integers(min_value=5, max_value=12),
+        n=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_connected_for_all_shapes(self, m, n):
+        net = dring(m, n, servers_per_rack=2)
+        assert nx.is_connected(net.graph)
+
+    def test_supernode_of(self):
+        assert supernode_of(0, 3) == 0
+        assert supernode_of(5, 3) == 1
+        assert supernode_of(6, 3) == 2
+
+
+class TestValidation:
+    def test_rejects_small_rings(self):
+        with pytest.raises(NetworkValidationError):
+            dring_edges(4, 2)
+
+    def test_rejects_zero_tors(self):
+        with pytest.raises(NetworkValidationError):
+            dring_edges(6, 0)
+
+    def test_requires_exactly_one_server_spec(self):
+        with pytest.raises(ValueError):
+            dring(6, 2)
+        with pytest.raises(ValueError):
+            dring(6, 2, servers_per_rack=4, total_servers=48)
+
+    def test_total_servers_spread_evenly(self):
+        net = dring(6, 2, total_servers=50)
+        counts = [net.servers_at(t) for t in net.racks]
+        assert sum(counts) == 50
+        assert max(counts) - min(counts) <= 1
+
+    def test_rejects_too_few_servers(self):
+        with pytest.raises(NetworkValidationError):
+            dring(6, 2, total_servers=5)
+
+
+class TestExpansion:
+    def test_add_supernode_grows_ring(self):
+        net = dring(6, 2, servers_per_rack=4)
+        grown = add_supernode(net)
+        assert grown.num_racks == 14
+        assert grown.num_servers == net.num_servers + 2 * 4
+        assert nx.is_connected(grown.graph)
+
+    def test_add_supernode_requires_dring(self, small_leafspine):
+        with pytest.raises(ValueError):
+            add_supernode(small_leafspine)
+
+
+class TestPaperInstance:
+    def test_paper_dring_matches_stated_counts(self):
+        net = paper_dring()
+        assert net.num_racks == 80
+        assert net.num_servers == 2988
+        assert net.is_flat()

@@ -1,0 +1,98 @@
+"""Tests for the k-ary fat-tree constructor."""
+
+import networkx as nx
+import pytest
+
+from repro.core.network import NetworkValidationError
+from repro.topology import fat_tree, fat_tree_stats
+
+
+class TestStructure:
+    def test_counts_match_formulas(self):
+        net = fat_tree(4)
+        stats = fat_tree_stats(net)
+        assert stats["edge_switches"] == 8
+        assert stats["agg_switches"] == 8
+        assert stats["core_switches"] == 4
+        assert net.num_switches == 20
+        assert net.num_servers == 16
+
+    def test_all_switches_use_radix_k(self):
+        k = 6
+        net = fat_tree(k)
+        for switch in net.switches:
+            assert net.radix(switch) == k
+
+    def test_only_edge_switches_host_servers(self):
+        net = fat_tree(4)
+        edge_switches = set(net.graph.graph["edge_switches"])
+        for switch in net.switches:
+            if switch in edge_switches:
+                assert net.servers_at(switch) == 2
+            else:
+                assert net.servers_at(switch) == 0
+
+    def test_intra_pod_distance_two(self):
+        net = fat_tree(4)
+        # Edge switches 0 and 1 share pod 0.
+        assert nx.shortest_path_length(net.graph, 0, 1) == 2
+
+    def test_cross_pod_distance_four(self):
+        net = fat_tree(4)
+        # Edge switch 0 (pod 0) to edge switch 2 (pod 1).
+        assert nx.shortest_path_length(net.graph, 0, 2) == 4
+
+    def test_connected(self):
+        assert nx.is_connected(fat_tree(6).graph)
+
+    def test_rearrangeable_core_wiring(self):
+        # Every aggregation switch index j reaches its own k/2 cores, so
+        # every core sees exactly one agg per pod.
+        k = 4
+        net = fat_tree(k)
+        half = k // 2
+        num_edge = k * half
+        cores = [s for s in net.switches if net.servers_at(s) == 0 and s >= 2 * num_edge]
+        for core in cores:
+            pods_seen = {
+                (neighbor - num_edge) // half
+                for neighbor in net.graph.neighbors(core)
+            }
+            assert len(pods_seen) == k
+
+
+class TestValidation:
+    def test_rejects_odd_k(self):
+        with pytest.raises(NetworkValidationError):
+            fat_tree(5)
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(NetworkValidationError):
+            fat_tree(0)
+
+    def test_stats_rejects_non_fattree(self, small_dring):
+        with pytest.raises(ValueError):
+            fat_tree_stats(small_dring)
+
+
+class TestTierStudy:
+    def test_fat_tree_gain_exceeds_leaf_spine_gain(self):
+        from repro.experiments import run_tier_study
+
+        study = run_tier_study(
+            fat_tree_ks=(6,), leaf_spine_configs=((12, 4),)
+        )
+        # The Section 2 framing: the ideal-routing expander gain over a
+        # 3-tier Clos clearly exceeds the gain over the 2-tier one.
+        assert study.max_fat_tree_gain() > 1.2
+        assert study.max_leaf_spine_gain() < 1.2
+        assert study.max_fat_tree_gain() > study.max_leaf_spine_gain()
+
+    def test_render(self):
+        from repro.experiments import render_tiers, run_tier_study
+
+        study = run_tier_study(
+            fat_tree_ks=(6,), leaf_spine_configs=((6, 2),)
+        )
+        text = render_tiers(study)
+        assert "fat-tree" in text and "ideal gain" in text

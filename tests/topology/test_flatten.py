@@ -1,0 +1,73 @@
+"""Tests for the flattening transform F(T) (Section 3.1)."""
+
+import pytest
+
+from repro.core.metrics import nsr, udf
+from repro.topology import dring, flatten, leaf_spine
+
+
+class TestFlatten:
+    def test_preserves_switch_and_server_counts(self, small_leafspine):
+        flat = flatten(small_leafspine, seed=0)
+        assert flat.num_switches == small_leafspine.num_switches
+        assert flat.num_servers == small_leafspine.num_servers
+
+    def test_result_is_flat(self, small_leafspine):
+        assert flatten(small_leafspine, seed=0).is_flat()
+
+    def test_respects_equipment_port_budget(self, paper_like_leafspine):
+        flat = flatten(paper_like_leafspine, seed=0)
+        budget = dict(paper_like_leafspine.equipment())
+        # The flat rebuild never uses more ports than the original switch
+        # had in service (one port may be trimmed for odd parity).
+        for switch in flat.switches:
+            assert flat.radix(switch) <= max(budget.values())
+
+    def test_udf_of_leafspine_rebuild_is_two(self, paper_like_leafspine):
+        flat = flatten(paper_like_leafspine, seed=0)
+        assert udf(paper_like_leafspine, flat) == pytest.approx(2.0, rel=0.05)
+
+    def test_flattening_a_flat_network_keeps_nsr(self):
+        net = dring(6, 2, servers_per_rack=4)
+        flat = flatten(net, seed=0)
+        # Same equipment, same server spreading: NSR unchanged on average.
+        assert nsr(flat).mean == pytest.approx(nsr(net).mean, rel=0.05)
+
+    def test_deterministic_in_seed(self, small_leafspine):
+        a = flatten(small_leafspine, seed=5)
+        b = flatten(small_leafspine, seed=5)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_different_seeds_differ(self, paper_like_leafspine):
+        a = flatten(paper_like_leafspine, seed=1)
+        b = flatten(paper_like_leafspine, seed=2)
+        assert sorted(a.graph.edges) != sorted(b.graph.edges)
+
+
+class TestProportionalSpreading:
+    def test_preserves_totals(self):
+        from repro.topology import flatten, leaf_spine
+
+        baseline = leaf_spine(12, 4, uplink_mult=2)
+        flat = flatten(baseline, seed=0, spreading="proportional")
+        assert flat.num_servers == baseline.num_servers
+        assert flat.num_switches == baseline.num_switches
+        assert flat.is_flat()
+
+    def test_unknown_spreading_rejected(self, small_leafspine):
+        from repro.topology import flatten
+
+        with pytest.raises(ValueError):
+            flatten(small_leafspine, spreading="bogus")
+
+    def test_even_and_proportional_agree_on_homogeneous(self):
+        # Equal radixes: both policies are the same allocation.
+        from repro.core.metrics import nsr
+        from repro.topology import flatten, leaf_spine
+
+        baseline = leaf_spine(8, 4)
+        even = flatten(baseline, seed=1, spreading="even")
+        prop = flatten(baseline, seed=1, spreading="proportional")
+        assert sorted(
+            even.servers_at(s) for s in even.switches
+        ) == sorted(prop.servers_at(s) for s in prop.switches)

@@ -1,0 +1,70 @@
+"""Tests for heterogeneous leaf-spine builds (Section 5.1 future work).
+
+The paper uses leafs and spines with the same line speed "making
+comparisons more straightforward" and expects similar results for
+heterogeneous configurations; these tests check that expectation holds
+in the UDF analysis when uplinks are faster (modeled as trunked
+parallel base-rate links).
+"""
+
+import pytest
+
+from repro.core import capacity_nsr, nsr, udf
+from repro.core.metrics import oversubscription
+from repro.topology import flatten, leaf_spine
+
+
+class TestHeterogeneousBuild:
+    def test_uplink_mult_multiplies_link_capacity(self):
+        net = leaf_spine(4, 2, uplink_mult=4)
+        leaf, spine = 0, net.graph.graph["spines"][0]
+        assert net.link_mult(leaf, spine) == 4
+        assert net.link_capacity_between(leaf, spine) == 4 * net.link_capacity
+
+    def test_capacity_nsr_scales_with_mult(self):
+        base = leaf_spine(12, 4)
+        fast = leaf_spine(12, 4, uplink_mult=4)
+        assert capacity_nsr(fast).mean == pytest.approx(
+            4 * capacity_nsr(base).mean
+        )
+
+    def test_port_nsr_counts_lanes(self):
+        fast = leaf_spine(12, 4, uplink_mult=4)
+        # Port-based NSR counts each lane: 16 uplink lanes per leaf.
+        assert nsr(fast).mean == pytest.approx(16 / 12)
+
+    def test_oversubscription_drops_with_mult(self):
+        base = leaf_spine(12, 4)
+        fast = leaf_spine(12, 4, uplink_mult=2)
+        assert oversubscription(fast) == pytest.approx(
+            oversubscription(base) / 2
+        )
+
+    def test_rejects_bad_mult(self):
+        with pytest.raises(ValueError):
+            leaf_spine(4, 2, uplink_mult=0)
+
+    def test_name_marks_heterogeneous(self):
+        assert "x4" in leaf_spine(4, 2, uplink_mult=4).name
+
+
+class TestHeterogeneousUdf:
+    @pytest.mark.parametrize("mult", [2, 4])
+    def test_udf_still_two(self, mult):
+        """Section 5.1: "we expect similar results" for heterogeneous
+        configurations — the UDF argument goes through unchanged."""
+        baseline = leaf_spine(12, 4, uplink_mult=mult)
+        flat = flatten(baseline, seed=0)
+        assert udf(baseline, flat) == pytest.approx(2.0, rel=0.1)
+        assert flat.is_flat()
+
+    def test_flat_rebuild_uses_trunked_links(self):
+        baseline = leaf_spine(12, 4, uplink_mult=4)
+        flat = flatten(baseline, seed=0)
+        # The rebuild needs parallel links somewhere: total lane count
+        # must match the equipment even though simple edges cannot.
+        total_lanes = sum(m for _u, _v, m in flat.undirected_links())
+        baseline_lanes = sum(
+            m for _u, _v, m in baseline.undirected_links()
+        )
+        assert total_lanes >= baseline_lanes - 1  # odd-port trim allowed

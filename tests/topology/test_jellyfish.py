@@ -1,0 +1,129 @@
+"""Tests for the Jellyfish / RRG constructor."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import NetworkValidationError
+from repro.topology import jellyfish, jellyfish_from_equipment, random_graph_edges
+
+
+class TestRandomGraphEdges:
+    def test_exact_degree_sequence(self):
+        degrees = {i: 4 for i in range(10)}
+        edges = random_graph_edges(degrees, seed=1)
+        realized = {i: 0 for i in degrees}
+        for u, v in edges:
+            realized[u] += 1
+            realized[v] += 1
+        assert realized == degrees
+
+    def test_simple_graph(self):
+        degrees = {i: 4 for i in range(10)}
+        edges = random_graph_edges(degrees, seed=2)
+        assert all(u != v for u, v in edges)
+        keys = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(keys) == len(edges)
+
+    def test_dense_sequence_uses_fallback(self):
+        # 10 nodes of degree 8: complement is a perfect matching; blind
+        # stub repair cannot fix this, the Havel-Hakimi fallback must.
+        degrees = {i: 8 for i in range(10)}
+        edges = random_graph_edges(degrees, seed=0)
+        realized = {i: 0 for i in degrees}
+        for u, v in edges:
+            realized[u] += 1
+            realized[v] += 1
+        assert realized == degrees
+
+    def test_irregular_degrees(self):
+        degrees = {0: 3, 1: 3, 2: 2, 3: 2, 4: 2}
+        edges = random_graph_edges(degrees, seed=5)
+        realized = {i: 0 for i in degrees}
+        for u, v in edges:
+            realized[u] += 1
+            realized[v] += 1
+        assert realized == degrees
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(NetworkValidationError):
+            random_graph_edges({0: 1, 1: 1, 2: 1}, seed=0)
+
+    def test_impossible_degree_rejected(self):
+        # Non-graphical even-sum sequence (fails Erdos-Gallai).
+        with pytest.raises(NetworkValidationError):
+            random_graph_edges({0: 3, 1: 3, 2: 1, 3: 1}, seed=0)
+        # Degree larger than the number of other switches.
+        with pytest.raises(NetworkValidationError):
+            random_graph_edges({0: 5, 1: 2}, seed=0)
+
+    def test_deterministic_in_seed(self):
+        degrees = {i: 4 for i in range(12)}
+        assert random_graph_edges(degrees, seed=9) == random_graph_edges(
+            degrees, seed=9
+        )
+
+    @given(
+        num=st.integers(min_value=6, max_value=20),
+        degree=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_sequences_always_valid(self, num, degree, seed):
+        if (num * degree) % 2 == 1:
+            num += 1
+        degrees = {i: degree for i in range(num)}
+        edges = random_graph_edges(degrees, seed=seed)
+        realized = {i: 0 for i in degrees}
+        for u, v in edges:
+            assert u != v
+            realized[u] += 1
+            realized[v] += 1
+        assert realized == degrees
+
+
+class TestJellyfish:
+    def test_regular_construction(self):
+        net = jellyfish(12, 4, servers_per_switch=3, seed=0)
+        assert net.num_switches == 12
+        assert net.num_servers == 36
+        assert net.is_flat()
+        for switch in net.switches:
+            assert net.network_degree(switch) == 4
+
+    def test_connected(self):
+        net = jellyfish(16, 5, servers_per_switch=2, seed=4)
+        assert nx.is_connected(net.graph)
+
+
+class TestFromEquipment:
+    def test_matches_leafspine_equipment(self, paper_like_leafspine):
+        radixes = [r for _s, r in paper_like_leafspine.equipment()]
+        net = jellyfish_from_equipment(
+            radixes, total_servers=paper_like_leafspine.num_servers, seed=1
+        )
+        assert net.num_switches == paper_like_leafspine.num_switches
+        assert net.num_servers == paper_like_leafspine.num_servers
+        assert net.is_flat()
+        # No switch may use more ports than its radix (minus the odd-port trim).
+        for switch, radix in enumerate(radixes):
+            assert net.radix(switch) <= radix
+
+    def test_servers_spread_evenly(self, paper_like_leafspine):
+        radixes = [r for _s, r in paper_like_leafspine.equipment()]
+        net = jellyfish_from_equipment(radixes, total_servers=192, seed=1)
+        counts = [net.servers_at(s) for s in net.switches]
+        assert max(counts) - min(counts) <= 1
+
+    def test_rejects_too_few_servers(self):
+        with pytest.raises(NetworkValidationError):
+            jellyfish_from_equipment([8] * 4, total_servers=2)
+
+    def test_rejects_single_switch(self):
+        with pytest.raises(NetworkValidationError):
+            jellyfish_from_equipment([8], total_servers=4)
+
+    def test_rejects_all_ports_consumed_by_servers(self):
+        with pytest.raises(NetworkValidationError):
+            jellyfish_from_equipment([4, 4], total_servers=8)

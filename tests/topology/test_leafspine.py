@@ -1,0 +1,61 @@
+"""Tests for the leaf-spine constructor."""
+
+import pytest
+
+from repro.topology import leaf_spine, spine_layer_capacity
+from repro.topology.dring import dring
+
+
+class TestStructure:
+    def test_counts_match_definition(self):
+        # leaf-spine(x, y): x+y leafs, y spines, x servers per leaf.
+        net = leaf_spine(4, 2)
+        assert net.num_switches == (4 + 2) + 2
+        assert net.num_racks == 6
+        assert net.num_servers == 4 * 6
+
+    def test_every_switch_uses_x_plus_y_ports(self):
+        net = leaf_spine(4, 2)
+        leafs = net.graph.graph["leafs"]
+        spines = net.graph.graph["spines"]
+        for leaf in leafs:
+            assert net.radix(leaf) == 6
+        for spine in spines:
+            assert net.radix(spine) == 6
+
+    def test_full_bipartite_leaf_spine_links(self):
+        net = leaf_spine(4, 2)
+        for leaf in net.graph.graph["leafs"]:
+            for spine in net.graph.graph["spines"]:
+                assert net.graph.has_edge(leaf, spine)
+
+    def test_no_leaf_to_leaf_links(self):
+        net = leaf_spine(4, 2)
+        leafs = set(net.graph.graph["leafs"])
+        for u, v, _m in net.undirected_links():
+            assert not (u in leafs and v in leafs)
+
+    def test_not_flat(self):
+        assert not leaf_spine(4, 2).is_flat()
+
+    def test_paper_configuration(self):
+        net = leaf_spine(48, 16)
+        assert net.num_racks == 64
+        assert net.num_servers == 3072
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ValueError):
+            leaf_spine(0, 2)
+        with pytest.raises(ValueError):
+            leaf_spine(4, 0)
+
+
+class TestSpineCapacity:
+    def test_capacity_counts_all_leaf_spine_links(self):
+        net = leaf_spine(4, 2, link_capacity=10.0)
+        # (x+y) leafs x y spines links, 10 Gbps each.
+        assert spine_layer_capacity(net) == pytest.approx(6 * 2 * 10.0)
+
+    def test_rejects_non_leafspine(self):
+        with pytest.raises(ValueError):
+            spine_layer_capacity(dring(6, 2, servers_per_rack=4))

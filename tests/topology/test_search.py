@@ -1,0 +1,68 @@
+"""Tests for the flat-topology local search (Section 7's open question)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    dring,
+    hill_climb,
+    jellyfish,
+    throughput_objective,
+    wiring_objective,
+)
+
+
+class TestHillClimb:
+    def test_never_worsens_objective(self):
+        net = jellyfish(12, 4, servers_per_switch=4, seed=0)
+        result = hill_climb(net, steps=25, seed=0)
+        assert result.final_score >= result.initial_score
+
+    def test_preserves_equipment(self):
+        net = jellyfish(12, 4, servers_per_switch=4, seed=0)
+        result = hill_climb(net, steps=25, seed=0)
+        optimized = result.network
+        assert optimized.num_servers == net.num_servers
+        for switch in net.switches:
+            assert optimized.network_degree(switch) == net.network_degree(
+                switch
+            )
+
+    def test_result_connected(self):
+        net = jellyfish(12, 4, servers_per_switch=4, seed=1)
+        result = hill_climb(net, steps=25, seed=1)
+        assert nx.is_connected(result.network.graph)
+
+    def test_input_untouched(self):
+        net = jellyfish(12, 4, servers_per_switch=4, seed=2)
+        edges = sorted(net.graph.edges)
+        hill_climb(net, steps=15, seed=2)
+        assert sorted(net.graph.edges) == edges
+
+    def test_improves_a_random_graph(self):
+        # A random RRG is rarely locally optimal; the climb should find
+        # at least one improving swap.
+        net = jellyfish(16, 8, servers_per_switch=6, seed=1)
+        result = hill_climb(net, steps=40, seed=1)
+        assert result.accepted_moves > 0
+        assert result.final_score > result.initial_score
+
+    def test_dring_is_locally_optimal(self):
+        """The small finding: at this size no 2-opt swap improves the
+        DRing's uniform SU(2) throughput — evidence for the paper's
+        claim that it is a good small-scale design point."""
+        net = dring(8, 2, servers_per_rack=6)
+        result = hill_climb(net, steps=40, seed=1)
+        assert result.accepted_moves == 0
+        assert result.final_score == result.initial_score
+
+    def test_wiring_objective_penalizes_long_cables(self):
+        net = dring(8, 2, servers_per_rack=6)
+        assert wiring_objective(net) < throughput_objective(net)
+
+    def test_deterministic(self):
+        net = jellyfish(12, 4, servers_per_switch=4, seed=3)
+        a = hill_climb(net, steps=20, seed=5)
+        b = hill_climb(net, steps=20, seed=5)
+        assert a.final_score == b.final_score
+        assert sorted(a.network.graph.edges) == sorted(b.network.graph.edges)

@@ -1,0 +1,80 @@
+"""Tests for the Slim Fly (MMS graph) topology."""
+
+import networkx as nx
+import pytest
+
+from repro.core.network import NetworkValidationError
+from repro.topology import slimfly
+from repro.topology.slimfly import generator_sets, mms_delta, slimfly_edges
+
+
+class TestGaloisMachinery:
+    def test_mms_delta_accepts_4w_plus_1(self):
+        assert mms_delta(5) == 1
+        assert mms_delta(13) == 1
+        assert mms_delta(17) == 1
+
+    def test_mms_delta_rejects_others(self):
+        for q in (7, 11, 19):
+            with pytest.raises(NetworkValidationError):
+                mms_delta(q)
+
+    def test_generator_sets_partition_units(self):
+        for q in (5, 13):
+            x_set, xp_set = generator_sets(q)
+            assert x_set | xp_set == set(range(1, q))
+            assert not x_set & xp_set
+
+    def test_generator_sets_symmetric(self):
+        # For q = 4w + 1 both sets are closed under negation mod q,
+        # which is what makes the adjacency rules undirected.
+        for q in (5, 13, 17):
+            x_set, xp_set = generator_sets(q)
+            assert {(-v) % q for v in x_set} == x_set
+            assert {(-v) % q for v in xp_set} == xp_set
+
+
+class TestStructure:
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_router_count_and_degree(self, q):
+        net = slimfly(q, servers_per_rack=2)
+        assert net.num_switches == 2 * q * q
+        expected = (3 * q - 1) // 2
+        for router in net.switches:
+            assert net.network_degree(router) == expected
+
+    def test_diameter_two(self):
+        net = slimfly(5, servers_per_rack=2)
+        assert nx.diameter(net.graph) == 2
+
+    def test_flat_and_connected(self):
+        net = slimfly(5, servers_per_rack=3)
+        assert net.is_flat()
+        assert nx.is_connected(net.graph)
+
+    def test_bipartite_rule(self):
+        q = 5
+        net = slimfly(q, servers_per_rack=1)
+
+        def node(sub, a, b):
+            return sub * q * q + a * q + b
+
+        for x in range(q):
+            for m in range(q):
+                for c in range(q):
+                    y = (m * x + c) % q
+                    assert net.graph.has_edge(node(0, x, y), node(1, m, c))
+
+
+class TestValidation:
+    def test_rejects_composite_q(self):
+        with pytest.raises(NetworkValidationError):
+            slimfly_edges(9)
+
+    def test_rejects_wrong_form(self):
+        with pytest.raises(NetworkValidationError):
+            slimfly(7, servers_per_rack=2)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(NetworkValidationError):
+            slimfly(5, servers_per_rack=0)

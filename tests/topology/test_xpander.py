@@ -1,0 +1,66 @@
+"""Tests for the Xpander constructor."""
+
+import networkx as nx
+import pytest
+
+from repro.core.network import NetworkValidationError
+from repro.topology import xpander, xpander_matching_equipment
+from repro.topology.xpander import xpander_edges
+
+
+class TestEdges:
+    def test_regular_degree(self):
+        d, k = 4, 3
+        edges = xpander_edges(d, k, seed=0)
+        degree = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert all(value == d for value in degree.values())
+        assert len(degree) == (d + 1) * k
+
+    def test_matching_between_metanodes(self):
+        d, k = 3, 4
+        edges = xpander_edges(d, k, seed=1)
+        # Each meta-node pair contributes exactly k edges (a matching).
+        from collections import Counter
+
+        pair_count = Counter(
+            (min(u // k, v // k), max(u // k, v // k)) for u, v in edges
+        )
+        assert all(count == k for count in pair_count.values())
+
+    def test_no_intra_metanode_edges(self):
+        d, k = 3, 4
+        for u, v in xpander_edges(d, k, seed=2):
+            assert u // k != v // k
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(NetworkValidationError):
+            xpander_edges(1, 3)
+        with pytest.raises(NetworkValidationError):
+            xpander_edges(4, 0)
+
+
+class TestNetwork:
+    def test_counts(self, small_xpander):
+        assert small_xpander.num_switches == 15
+        assert small_xpander.num_servers == 45
+        assert small_xpander.is_flat()
+
+    def test_connected(self, small_xpander):
+        assert nx.is_connected(small_xpander.graph)
+
+    def test_matching_equipment(self):
+        net = xpander_matching_equipment(
+            num_switches=20, network_degree=4, total_servers=60, seed=1
+        )
+        assert net.num_switches == 20
+        assert net.num_servers == 60
+        assert net.is_flat()
+
+    def test_matching_equipment_rejects_tiny(self):
+        with pytest.raises(NetworkValidationError):
+            xpander_matching_equipment(
+                num_switches=3, network_degree=8, total_servers=10
+            )

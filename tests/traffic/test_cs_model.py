@@ -1,0 +1,61 @@
+"""Tests for the C-S traffic model."""
+
+import pytest
+
+from repro.traffic import cs_matrix, cs_skewed_fig4, place_cs
+from repro.traffic.matrix import CanonicalCluster
+
+
+class TestPlacement:
+    def test_packs_into_fewest_racks(self):
+        cluster = CanonicalCluster(8, 10)
+        placement = place_cs(cluster, num_clients=25, num_servers=40, seed=0)
+        assert len(placement.clients_per_rack) == 3  # ceil(25/10)
+        assert len(placement.servers_per_rack) == 4
+        assert placement.num_clients == 25
+        assert placement.num_servers == 40
+
+    def test_client_and_server_racks_disjoint(self):
+        cluster = CanonicalCluster(8, 10)
+        placement = place_cs(cluster, 25, 40, seed=3)
+        assert not (
+            set(placement.clients_per_rack) & set(placement.servers_per_rack)
+        )
+
+    def test_rejects_overfull(self):
+        cluster = CanonicalCluster(4, 10)
+        with pytest.raises(ValueError):
+            place_cs(cluster, 30, 30)
+
+    def test_rejects_empty_sets(self):
+        cluster = CanonicalCluster(4, 10)
+        with pytest.raises(ValueError):
+            place_cs(cluster, 0, 5)
+
+    def test_deterministic_in_seed(self):
+        cluster = CanonicalCluster(8, 10)
+        a = place_cs(cluster, 15, 25, seed=7)
+        b = place_cs(cluster, 15, 25, seed=7)
+        assert a == b
+
+
+class TestMatrix:
+    def test_weights_are_pair_products(self):
+        cluster = CanonicalCluster(8, 10)
+        tm = cs_matrix(cluster, 10, 10, seed=0)
+        # One full client rack, one full server rack: weight 100.
+        assert list(tm.weights.values()) == [100.0]
+
+    def test_incast_case(self):
+        cluster = CanonicalCluster(8, 10)
+        tm = cs_matrix(cluster, 10, 1, seed=0)
+        assert sum(tm.weights.values()) == pytest.approx(10.0)
+
+    def test_fig4_skewed_shape(self):
+        cluster = CanonicalCluster(16, 16)  # n = 256 hosts
+        tm = cs_skewed_fig4(cluster, seed=0)
+        total_clients = 256 // 4
+        total_servers = 256 // 16
+        assert sum(tm.weights.values()) == pytest.approx(
+            total_clients * total_servers
+        )

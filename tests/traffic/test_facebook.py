@@ -1,0 +1,55 @@
+"""Tests for the Facebook-like synthetic matrices."""
+
+import pytest
+
+from repro.traffic import fb_skewed, fb_uniform, skew_index
+from repro.traffic.matrix import CanonicalCluster
+
+
+@pytest.fixture
+def cluster():
+    return CanonicalCluster(32, 8)
+
+
+class TestFbUniform:
+    def test_dense(self, cluster):
+        tm = fb_uniform(cluster, seed=0)
+        assert len(tm.weights) == 32 * 31
+
+    def test_low_skew(self, cluster):
+        # Top 10% of pairs should carry not much more than 10% of bytes.
+        assert skew_index(fb_uniform(cluster, seed=0)) < 0.25
+
+    def test_deterministic(self, cluster):
+        assert fb_uniform(cluster, seed=3).weights == fb_uniform(
+            cluster, seed=3
+        ).weights
+
+
+class TestFbSkewed:
+    def test_sparse(self, cluster):
+        tm = fb_skewed(cluster, seed=0)
+        assert len(tm.weights) < 32 * 31
+
+    def test_high_skew(self, cluster):
+        assert skew_index(fb_skewed(cluster, seed=0)) > 0.35
+
+    def test_skewed_more_skewed_than_uniform(self, cluster):
+        assert skew_index(fb_skewed(cluster, seed=1)) > skew_index(
+            fb_uniform(cluster, seed=1)
+        )
+
+    def test_keep_fraction_bounds(self, cluster):
+        with pytest.raises(ValueError):
+            fb_skewed(cluster, keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            fb_skewed(cluster, keep_fraction=1.5)
+
+    def test_keep_fraction_one_is_dense(self, cluster):
+        tm = fb_skewed(cluster, seed=0, keep_fraction=1.0)
+        assert len(tm.weights) == 32 * 31
+
+    def test_deterministic(self, cluster):
+        assert fb_skewed(cluster, seed=2).weights == fb_skewed(
+            cluster, seed=2
+        ).weights

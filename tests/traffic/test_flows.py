@@ -1,0 +1,129 @@
+"""Tests for flow workload generation."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    Flow,
+    flows_for_load,
+    generate_flows,
+    pareto_minimum,
+    sample_flow_size,
+    truncated_pareto_mean,
+    uniform,
+    window_for_budget,
+)
+from repro.traffic.matrix import CanonicalCluster
+
+
+class TestParetoSizes:
+    def test_minimum_parameter(self):
+        # mean = shape * m / (shape - 1) => m = mean (shape-1)/shape.
+        assert pareto_minimum(100_000, 1.05) == pytest.approx(100_000 / 21)
+
+    def test_rejects_shape_at_most_one(self):
+        with pytest.raises(ValueError):
+            pareto_minimum(100_000, 1.0)
+
+    def test_samples_at_least_minimum(self):
+        rng = random.Random(0)
+        minimum = pareto_minimum(100_000, 1.05)
+        for _ in range(500):
+            assert sample_flow_size(rng) >= minimum
+
+    def test_cap_enforced(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            assert sample_flow_size(rng, cap=1e6) <= 1e6
+
+    def test_truncated_mean_below_nominal(self):
+        assert truncated_pareto_mean(100_000, 1.05, 10e6) < 100_000
+
+    def test_truncated_mean_without_cap(self):
+        assert truncated_pareto_mean(100_000, 1.05, None) == 100_000
+
+    def test_truncated_mean_matches_samples(self):
+        rng = random.Random(1)
+        cap = 5e6
+        samples = [sample_flow_size(rng, cap=cap) for _ in range(40_000)]
+        expected = truncated_pareto_mean(100_000, 1.05, cap)
+        assert statistics.fmean(samples) == pytest.approx(expected, rel=0.1)
+
+    def test_cap_below_minimum_degenerates(self):
+        assert truncated_pareto_mean(100_000, 1.05, 10.0) == 10.0
+
+
+class TestFlowValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, 0.0, 0.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, 100.0, -1.0)
+
+
+class TestGeneration:
+    def test_flows_sorted_by_start(self, small_cluster):
+        flows = generate_flows(uniform(small_cluster), 200, 1.0, seed=0)
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_start_times_within_window(self, small_cluster):
+        window = 0.5
+        flows = generate_flows(uniform(small_cluster), 200, window, seed=0)
+        assert all(0 <= f.start_time <= window for f in flows)
+
+    def test_deterministic_in_seed(self, small_cluster):
+        tm = uniform(small_cluster)
+        assert generate_flows(tm, 50, 1.0, seed=3) == generate_flows(
+            tm, 50, 1.0, seed=3
+        )
+
+    def test_endpoints_in_different_racks(self, small_cluster):
+        flows = generate_flows(uniform(small_cluster), 200, 1.0, seed=0)
+        for f in flows:
+            assert small_cluster.rack_of(f.src_server) != small_cluster.rack_of(
+                f.dst_server
+            )
+
+    def test_rejects_bad_args(self, small_cluster):
+        tm = uniform(small_cluster)
+        with pytest.raises(ValueError):
+            generate_flows(tm, 0, 1.0)
+        with pytest.raises(ValueError):
+            generate_flows(tm, 10, 0.0)
+
+
+class TestLoadAccounting:
+    def test_flows_for_load_roundtrip(self):
+        # 10 Gbps for 0.08 s = 100 MB = 1000 flows of 100 KB mean.
+        assert flows_for_load(10.0, 0.08) == 1000
+
+    def test_cap_increases_flow_count(self):
+        uncapped = flows_for_load(10.0, 0.08)
+        capped = flows_for_load(10.0, 0.08, size_cap=1e6)
+        assert capped > uncapped
+
+    def test_window_budget_hits_target_rate(self):
+        window, count = window_for_budget(10.0, 500, 1.0)
+        realized = count * 100_000 / window  # bytes per second
+        assert realized * 8 / 1e9 == pytest.approx(10.0, rel=0.05)
+
+    def test_window_budget_respects_max_window(self):
+        window, _count = window_for_budget(0.001, 10_000, 0.5)
+        assert window == 0.5
+
+    @given(
+        gbps=st.floats(min_value=0.1, max_value=500),
+        budget=st.integers(min_value=10, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_window_budget_never_exceeds_flows(self, gbps, budget):
+        window, count = window_for_budget(gbps, budget, 1.0)
+        assert count <= budget
+        assert window > 0

@@ -1,0 +1,129 @@
+"""Tests for traffic matrices and placements."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import dring, flatten, leaf_spine
+from repro.traffic import CanonicalCluster, Placement, TrafficMatrix, uniform
+
+
+class TestCanonicalCluster:
+    def test_rack_of_server(self):
+        cluster = CanonicalCluster(4, 10)
+        assert cluster.rack_of(0) == 0
+        assert cluster.rack_of(9) == 0
+        assert cluster.rack_of(10) == 1
+        assert cluster.rack_of(39) == 3
+
+    def test_servers_of_rack(self):
+        cluster = CanonicalCluster(4, 10)
+        assert list(cluster.servers_of(1)) == list(range(10, 20))
+
+    def test_bounds_checked(self):
+        cluster = CanonicalCluster(4, 10)
+        with pytest.raises(ValueError):
+            cluster.rack_of(40)
+        with pytest.raises(ValueError):
+            cluster.servers_of(4)
+
+
+class TestTrafficMatrix:
+    def test_rejects_intra_rack(self, small_cluster):
+        with pytest.raises(ValueError):
+            TrafficMatrix(small_cluster, {(0, 0): 1.0})
+
+    def test_rejects_negative(self, small_cluster):
+        with pytest.raises(ValueError):
+            TrafficMatrix(small_cluster, {(0, 1): -1.0})
+
+    def test_rejects_empty(self, small_cluster):
+        with pytest.raises(ValueError):
+            TrafficMatrix(small_cluster, {(0, 1): 0.0})
+
+    def test_rejects_out_of_range(self, small_cluster):
+        with pytest.raises(ValueError):
+            TrafficMatrix(small_cluster, {(0, 99): 1.0})
+
+    def test_normalized_sums_to_one(self, small_cluster):
+        tm = TrafficMatrix(small_cluster, {(0, 1): 3.0, (2, 3): 1.0})
+        assert sum(tm.normalized().values()) == pytest.approx(1.0)
+
+    def test_sending_and_participating_racks(self, small_cluster):
+        tm = TrafficMatrix(small_cluster, {(0, 1): 1.0, (0, 2): 1.0})
+        assert tm.sending_racks() == [0]
+        assert tm.participating_racks() == [0, 1, 2]
+
+    def test_sampling_respects_weights(self, small_cluster):
+        tm = TrafficMatrix(small_cluster, {(0, 1): 9.0, (2, 3): 1.0})
+        rng = random.Random(0)
+        hits = sum(
+            1 for _ in range(2000) if tm.sample_rack_pair(rng) == (0, 1)
+        )
+        assert hits / 2000 == pytest.approx(0.9, abs=0.03)
+
+    def test_server_pair_sampling_in_right_racks(self, small_cluster):
+        tm = TrafficMatrix(small_cluster, {(1, 4): 1.0})
+        rng = random.Random(0)
+        for _ in range(50):
+            src, dst = tm.sample_server_pair(rng)
+            assert small_cluster.rack_of(src) == 1
+            assert small_cluster.rack_of(dst) == 4
+
+
+class TestPlacement:
+    def test_identity_like_on_matching_leafspine(self, small_cluster, small_leafspine):
+        placement = Placement(small_cluster, small_leafspine)
+        # Same rack count and servers per rack: canonical rack r lands
+        # entirely on leaf r.
+        for server in range(small_cluster.num_servers):
+            assert placement.rack_of(server) == small_cluster.rack_of(server)
+
+    def test_all_targets_valid_servers(self, small_cluster, small_dring):
+        placement = Placement(small_cluster, small_dring)
+        for server in range(small_cluster.num_servers):
+            target = placement.network_server(server)
+            assert 0 <= target < small_dring.num_servers
+
+    def test_shuffle_changes_mapping(self, small_cluster, small_dring):
+        plain = Placement(small_cluster, small_dring)
+        shuffled = Placement(small_cluster, small_dring, shuffle=True, seed=1)
+        different = sum(
+            1
+            for s in range(small_cluster.num_servers)
+            if plain.network_server(s) != shuffled.network_server(s)
+        )
+        assert different > small_cluster.num_servers // 2
+
+    def test_shuffle_deterministic_in_seed(self, small_cluster, small_dring):
+        a = Placement(small_cluster, small_dring, shuffle=True, seed=5)
+        b = Placement(small_cluster, small_dring, shuffle=True, seed=5)
+        servers = range(small_cluster.num_servers)
+        assert [a.network_server(s) for s in servers] == [
+            b.network_server(s) for s in servers
+        ]
+
+    def test_rack_demands_conserve_weight_when_no_collapse(
+        self, small_cluster, small_leafspine
+    ):
+        placement = Placement(small_cluster, small_leafspine)
+        tm = uniform(small_cluster)
+        demands = placement.rack_demands(tm)
+        assert sum(demands.values()) == pytest.approx(tm.total_weight)
+
+    def test_rack_demands_never_intra_rack(self, small_cluster, small_dring):
+        placement = Placement(small_cluster, small_dring, shuffle=True, seed=2)
+        demands = placement.rack_demands(uniform(small_cluster))
+        assert all(a != b for a, b in demands)
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_rack_demands_total_bounded_by_tm(self, seed):
+        cluster = CanonicalCluster(6, 4)
+        net = dring(6, 2, servers_per_rack=2)
+        placement = Placement(cluster, net, shuffle=True, seed=seed)
+        tm = uniform(cluster)
+        demands = placement.rack_demands(tm)
+        assert sum(demands.values()) <= tm.total_weight + 1e-9

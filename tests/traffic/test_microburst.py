@@ -1,0 +1,81 @@
+"""Tests for the microburst workload generator."""
+
+import pytest
+
+from repro.traffic import MicroburstSpec, microburst_flows
+from repro.traffic.matrix import CanonicalCluster
+
+
+@pytest.fixture
+def cluster():
+    return CanonicalCluster(10, 6)
+
+
+def spec(**overrides):
+    base = dict(
+        num_bursting_racks=2,
+        flows_per_burst=30,
+        burst_duration=1e-3,
+        window=10e-3,
+        background_flows=0,
+        size_cap=1e6,
+    )
+    base.update(overrides)
+    return MicroburstSpec(**base)
+
+
+class TestSpecValidation:
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ValueError):
+            spec(num_bursting_racks=0)
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ValueError):
+            spec(flows_per_burst=0)
+
+    def test_rejects_burst_longer_than_window(self):
+        with pytest.raises(ValueError):
+            spec(burst_duration=20e-3)
+
+
+class TestGeneration:
+    def test_flow_count(self, cluster):
+        flows = microburst_flows(cluster, spec(), seed=0)
+        assert len(flows) == 2 * 30
+
+    def test_background_added(self, cluster):
+        flows = microburst_flows(cluster, spec(background_flows=50), seed=0)
+        assert len(flows) == 2 * 30 + 50
+
+    def test_bursts_are_temporally_tight(self, cluster):
+        s = spec()
+        flows = microburst_flows(cluster, s, seed=1)
+        by_rack = {}
+        for f in flows:
+            by_rack.setdefault(cluster.rack_of(f.src_server), []).append(
+                f.start_time
+            )
+        assert len(by_rack) == s.num_bursting_racks
+        for times in by_rack.values():
+            assert max(times) - min(times) <= s.burst_duration
+
+    def test_burst_flows_leave_the_rack(self, cluster):
+        flows = microburst_flows(cluster, spec(), seed=2)
+        for f in flows:
+            assert cluster.rack_of(f.src_server) != cluster.rack_of(
+                f.dst_server
+            )
+
+    def test_sorted_by_start(self, cluster):
+        flows = microburst_flows(cluster, spec(background_flows=40), seed=3)
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_deterministic(self, cluster):
+        assert microburst_flows(cluster, spec(), seed=4) == microburst_flows(
+            cluster, spec(), seed=4
+        )
+
+    def test_rejects_too_many_bursting_racks(self, cluster):
+        with pytest.raises(ValueError):
+            microburst_flows(cluster, spec(num_bursting_racks=11), seed=0)

@@ -1,0 +1,47 @@
+"""Tests for the elementary traffic patterns."""
+
+import pytest
+
+from repro.traffic import permutation, rack_to_rack, uniform
+from repro.traffic.matrix import CanonicalCluster
+
+
+class TestUniform:
+    def test_all_pairs_present_and_equal(self, small_cluster):
+        tm = uniform(small_cluster)
+        racks = small_cluster.num_racks
+        assert len(tm.weights) == racks * (racks - 1)
+        assert len(set(tm.weights.values())) == 1
+
+    def test_every_rack_sends(self, small_cluster):
+        tm = uniform(small_cluster)
+        assert tm.sending_racks() == list(range(small_cluster.num_racks))
+
+
+class TestRackToRack:
+    def test_single_pair(self, small_cluster):
+        tm = rack_to_rack(small_cluster, 2, 5)
+        assert tm.weights == {(2, 5): 1.0}
+
+    def test_rejects_same_rack(self, small_cluster):
+        with pytest.raises(ValueError):
+            rack_to_rack(small_cluster, 3, 3)
+
+
+class TestPermutation:
+    def test_is_derangement(self, small_cluster):
+        tm = permutation(small_cluster, seed=0)
+        assert all(src != dst for src, dst in tm.weights)
+
+    def test_every_rack_sends_once(self, small_cluster):
+        tm = permutation(small_cluster, seed=1)
+        sources = [src for src, _dst in tm.weights]
+        targets = [dst for _src, dst in tm.weights]
+        assert sorted(sources) == list(range(small_cluster.num_racks))
+        assert sorted(targets) == list(range(small_cluster.num_racks))
+
+    def test_deterministic_in_seed(self, small_cluster):
+        assert (
+            permutation(small_cluster, seed=4).weights
+            == permutation(small_cluster, seed=4).weights
+        )

@@ -1,0 +1,51 @@
+"""Tests for the 30%-spine-utilization scaling rule."""
+
+import pytest
+
+from repro.topology import dring, leaf_spine
+from repro.traffic import (
+    rack_to_rack,
+    spine_utilization_load,
+    uniform,
+)
+from repro.traffic.matrix import CanonicalCluster
+
+
+@pytest.fixture
+def baseline():
+    return leaf_spine(12, 4)
+
+
+@pytest.fixture
+def cluster():
+    return CanonicalCluster(16, 12)
+
+
+class TestSpineUtilizationLoad:
+    def test_uniform_gets_full_spine_share(self, baseline, cluster):
+        load = spine_utilization_load(baseline, uniform(cluster))
+        # 16 leafs x 4 spines x 10 Gbps x 30%.
+        assert load.offered_gbps == pytest.approx(0.3 * 16 * 4 * 10)
+        assert load.sparse_factor == pytest.approx(1.0)
+
+    def test_sparse_pattern_scaled_down(self, baseline, cluster):
+        load = spine_utilization_load(baseline, rack_to_rack(cluster))
+        # Only 1 of 16 racks sends.
+        assert load.sparse_factor == pytest.approx(1 / 16)
+        assert load.offered_gbps == pytest.approx(0.3 * 640 / 16)
+
+    def test_custom_utilization(self, baseline, cluster):
+        load = spine_utilization_load(baseline, uniform(cluster), 0.6)
+        assert load.offered_gbps == pytest.approx(0.6 * 640)
+
+    def test_rejects_bad_utilization(self, baseline, cluster):
+        with pytest.raises(ValueError):
+            spine_utilization_load(baseline, uniform(cluster), 0.0)
+        with pytest.raises(ValueError):
+            spine_utilization_load(baseline, uniform(cluster), 1.5)
+
+    def test_rejects_non_leafspine_baseline(self, cluster):
+        with pytest.raises(ValueError):
+            spine_utilization_load(
+                dring(6, 2, servers_per_rack=4), uniform(cluster)
+            )
