@@ -1,0 +1,76 @@
+"""Harness acceptance: a warm cached sweep is >= 5x faster than cold.
+
+Runs the full Figure 4 grid (7 patterns x 5 schemes) at a tiny
+registered scale through the sweep harness twice against the same cache
+directory.  The cold pass executes every cell; the warm pass must be a
+100% cache hit and at least 5x faster, and both must render identical
+tables.  The two manifests are saved side by side as the artifact.
+"""
+
+import time
+
+from conftest import save_artifact
+from repro.experiments.runner import Scale, register_scale
+from repro.harness import (
+    ResultCache,
+    RunManifest,
+    assemble_fig4,
+    fig4_jobs,
+    run_jobs,
+)
+
+TINY = register_scale(
+    Scale(
+        name="tiny-bench",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=150,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+
+def sweep(cache, jobs=2):
+    specs = fig4_jobs("tiny-bench", seed=0)
+    start = time.perf_counter()
+    results, outcomes = run_jobs(specs, jobs=jobs, cache=cache)
+    wall = time.perf_counter() - start
+    manifest = RunManifest.from_outcomes(
+        outcomes, sweep="fig4", wall_seconds=wall, scale="tiny-bench",
+        workers=jobs, cache_dir=str(cache.root),
+    )
+    return assemble_fig4(specs, results), manifest
+
+
+def test_bench_warm_sweep_is_5x_faster(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold_figure, cold = sweep(cache)
+    warm_figure, warm = sweep(cache)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    save_artifact(
+        "harness_cache.txt",
+        "\n".join(
+            [
+                "cold sweep:",
+                cold.render(),
+                "",
+                "warm sweep:",
+                warm.render(),
+                "",
+                f"speedup: {cold.wall_seconds / warm.wall_seconds:.1f}x",
+            ]
+        ),
+    )
+
+    assert cold.executed == cold.total
+    assert warm.hits == warm.total
+    assert warm.hit_rate == 1.0
+    assert not warm.failures
+    assert cold.wall_seconds >= 5.0 * warm.wall_seconds
+    assert warm_figure.median_table() == cold_figure.median_table()
+    assert warm_figure.p99_table() == cold_figure.p99_table()

@@ -7,10 +7,19 @@ Exposes the library's main workflows without writing any Python:
 * ``fig4``             — Figure 4 FCT tables
 * ``fig5``             — Figure 5 C-S heatmaps
 * ``fig6``             — Figure 6 scale sweep
+* ``sweep``            — cached parallel sweeps over the paper figures
+* ``cache``            — inspect / clear the sweep result cache
 * ``microburst``       — the Section 3 microburst study
 * ``other-topologies`` — the Section 7 Slim Fly / Dragonfly comparison
 * ``verify``           — exhaustive Theorem 1 / path-set verification
 * ``configs``          — emit per-router Cisco or FRR configurations
+
+The figure commands accept ``--jobs N`` / ``--cache-dir`` /
+``--no-cache`` to route through the ``repro.harness`` orchestrator:
+cells run in parallel worker processes and results are memoized in a
+content-addressed on-disk cache, so re-rendering a figure is
+incremental.  Tables on stdout are byte-identical either way; harness
+telemetry goes to stderr.
 """
 
 from __future__ import annotations
@@ -18,11 +27,12 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 from typing import List, Optional
 
-from repro.experiments.runner import MEDIUM, PAPER, SMALL, Scale
+from repro.experiments.runner import SCALES, Scale
 
-_SCALES = {"small": SMALL, "medium": MEDIUM, "paper": PAPER}
+_SCALES = SCALES  # historical alias; the registry lives in runner
 
 
 def _scale_argument(parser: argparse.ArgumentParser) -> None:
@@ -32,6 +42,87 @@ def _scale_argument(parser: argparse.ArgumentParser) -> None:
         default="small",
         help="experiment size (default: small)",
     )
+
+
+def _harness_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run cells through the sweep harness with N worker "
+        "processes (enables result caching)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: ~/.cache/repro or "
+        "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run through the harness without reading or writing the cache",
+    )
+
+
+def _wants_harness(args: argparse.Namespace) -> bool:
+    return (
+        args.jobs is not None or args.cache_dir is not None or args.no_cache
+    )
+
+
+def _cache_for(args: argparse.Namespace):
+    from repro.harness import ResultCache
+
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return ResultCache(pathlib.Path(args.cache_dir))
+    return ResultCache.default()
+
+
+def _run_harness(args: argparse.Namespace, specs, sweep: str):
+    """Run a job list with CLI-configured workers/cache; report to stderr.
+
+    Returns the results-by-key map; stdout is reserved for the rendered
+    artifacts so harness runs stay byte-identical to the serial path.
+    """
+    from repro.harness import ProgressPrinter, RunManifest, run_jobs
+
+    cache = _cache_for(args)
+    workers = args.jobs if args.jobs is not None else 1
+    timeout = getattr(args, "timeout", None)
+    started = time.time()
+    t0 = time.perf_counter()
+    results, outcomes = run_jobs(
+        specs,
+        jobs=workers,
+        cache=cache,
+        timeout=timeout,
+        progress=ProgressPrinter(),
+    )
+    manifest = RunManifest.from_outcomes(
+        outcomes,
+        sweep=sweep,
+        wall_seconds=time.perf_counter() - t0,
+        scale=getattr(args, "scale", ""),
+        seed=getattr(args, "seed", 0),
+        workers=workers,
+        cache_dir=str(cache.root) if cache is not None else "",
+        started_at=started,
+    )
+    print(manifest.render(), file=sys.stderr)
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out:
+        path = manifest.save(pathlib.Path(manifest_out))
+        print(f"manifest written to {path}", file=sys.stderr)
+    elif cache is not None:
+        path = manifest.save(
+            cache.root / "manifests" / f"{sweep}-{int(started)}.json"
+        )
+        print(f"manifest written to {path}", file=sys.stderr)
+    return results
 
 
 TOPOLOGY_CHOICES = (
@@ -45,7 +136,7 @@ TOPOLOGY_CHOICES = (
 )
 
 
-def _build_topology(kind: str, scale: Scale):
+def _build_topology(kind: str, scale: Scale, seed: int = 0):
     from repro.topology import (
         dragonfly,
         dring,
@@ -63,11 +154,13 @@ def _build_topology(kind: str, scale: Scale):
             scale.dring_m, scale.dring_n, total_servers=scale.dring_servers
         )
     if kind == "rrg":
-        return flatten(leaf_spine(scale.leaf_x, scale.leaf_y), seed=0, name="rrg")
+        return flatten(
+            leaf_spine(scale.leaf_x, scale.leaf_y), seed=seed, name="rrg"
+        )
     # The Section 7 families come in fixed admissible sizes; pick small
     # instances in the same band as the SMALL scale.
     if kind == "xpander":
-        return xpander(7, 4, servers_per_rack=scale.leaf_x // 2, seed=0)
+        return xpander(7, 4, servers_per_rack=scale.leaf_x // 2, seed=seed)
     if kind == "slimfly":
         return slimfly(5, servers_per_rack=scale.leaf_x // 2)
     if kind == "dragonfly":
@@ -87,7 +180,8 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
     scale = _SCALES[args.scale]
     networks = [
-        _build_topology(kind, scale) for kind in ("leaf-spine", "rrg", "dring")
+        _build_topology(kind, scale, seed=args.seed)
+        for kind in ("leaf-spine", "rrg", "dring")
     ]
     print(summary_table([summarize(net) for net in networks]))
     return 0
@@ -101,9 +195,15 @@ def cmd_udf(args: argparse.Namespace) -> int:
 
 
 def cmd_fig4(args: argparse.Namespace) -> int:
-    from repro.experiments import run_fig4
+    if _wants_harness(args):
+        from repro.harness import assemble_fig4, fig4_jobs
 
-    result = run_fig4(_SCALES[args.scale], seed=args.seed)
+        specs = fig4_jobs(args.scale, seed=args.seed)
+        result = assemble_fig4(specs, _run_harness(args, specs, "fig4"))
+    else:
+        from repro.experiments import run_fig4
+
+        result = run_fig4(_SCALES[args.scale], seed=args.seed)
     print(result.median_table())
     print()
     print(result.p99_table())
@@ -111,9 +211,15 @@ def cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
-    from repro.experiments import run_fig5
+    if _wants_harness(args):
+        from repro.harness import assemble_fig5, fig5_jobs
 
-    panels = run_fig5(_SCALES[args.scale], seed=args.seed)
+        specs = fig5_jobs(args.scale, seed=args.seed)
+        panels = assemble_fig5(specs, _run_harness(args, specs, "fig5"))
+    else:
+        from repro.experiments import run_fig5
+
+        panels = run_fig5(_SCALES[args.scale], seed=args.seed)
     for key in ("ecmp", "su2"):
         print(panels[key].render())
         print()
@@ -121,9 +227,119 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def cmd_fig6(args: argparse.Namespace) -> int:
-    from repro.experiments import Fig6Config, render_fig6, run_fig6
+    from repro.experiments import Fig6Config, render_fig6
 
-    print(render_fig6(run_fig6(Fig6Config(), seed=args.seed)))
+    if _wants_harness(args):
+        from repro.harness import assemble_fig6, fig6_jobs
+
+        specs = fig6_jobs(seed=args.seed)
+        points = assemble_fig6(specs, _run_harness(args, specs, "fig6"))
+    else:
+        from repro.experiments import run_fig6
+
+        points = run_fig6(Fig6Config(), seed=args.seed)
+    print(render_fig6(points))
+    return 0
+
+
+def _render_ablation_results(specs, results) -> str:
+    """Text tables for the K-sweep and shape-sweep ablation cells."""
+    lines: List[str] = []
+    k_rows = []
+    shape_rows = []
+    for spec in specs:
+        payload = results.get(spec.key())
+        if payload is None:
+            continue
+        if spec.experiment == "ablation-k":
+            k_rows.extend(payload)
+        elif spec.experiment == "ablation-shape":
+            shape_rows.extend(payload)
+    if k_rows:
+        lines.append("Shortest-Union(K) sweep")
+        lines.append(
+            f"{'k':>3}{'pattern':>10}{'median ms':>12}{'p99 ms':>10}"
+            f"{'paths':>8}"
+        )
+        for row in k_rows:
+            lines.append(
+                f"{row['k']:>3}{row['pattern']:>10}{row['median_ms']:>12.4f}"
+                f"{row['p99_ms']:>10.4f}{row['mean_paths']:>8.2f}"
+            )
+    if shape_rows:
+        if lines:
+            lines.append("")
+        lines.append("DRing shape sweep (fixed rack budget)")
+        lines.append(
+            f"{'m':>3}{'n':>3}{'racks':>7}{'degree':>8}{'diam':>6}"
+            f"{'p99 ms':>10}"
+        )
+        for row in shape_rows:
+            lines.append(
+                f"{row['m']:>3}{row['n']:>3}{row['racks']:>7}"
+                f"{row['network_degree']:>8}{row['diameter']:>6}"
+                f"{row['p99_ms']:>10.4f}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import render_fig6, render_robustness
+    from repro.harness import (
+        assemble_fig4,
+        assemble_fig5,
+        assemble_fig6,
+        assemble_robustness,
+        sweep_jobs,
+    )
+
+    specs = sweep_jobs(args.experiment, args.scale, seed=args.seed)
+    results = _run_harness(args, specs, "+".join(args.experiment))
+    for name in args.experiment:
+        if name == "fig4":
+            fig4 = assemble_fig4(specs, results)
+            print(fig4.median_table())
+            print()
+            print(fig4.p99_table())
+        elif name == "fig5":
+            panels = assemble_fig5(specs, results)
+            for key in ("ecmp", "su2"):
+                if key in panels:
+                    print(panels[key].render())
+        elif name == "fig6":
+            print(render_fig6(assemble_fig6(specs, results)))
+        elif name == "robustness":
+            print(render_robustness(assemble_robustness(specs, results)))
+        elif name == "ablations":
+            print(_render_ablation_results(specs, results))
+        print()
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache
+
+    root = (
+        pathlib.Path(args.cache_dir)
+        if args.cache_dir is not None
+        else ResultCache.default_root()
+    )
+    cache = ResultCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {root}")
+        return 0
+    entries = list(cache.entries())
+    if not entries:
+        print(f"cache at {root} is empty")
+        return 0
+    total_bytes = sum(e["bytes"] for e in entries)
+    print(f"cache at {root}: {len(entries)} results, {total_bytes} bytes")
+    for entry in entries:
+        print(
+            f"  {entry['key']}  {entry['label']:<48} "
+            f"{entry['elapsed_seconds']:>7.2f}s  {entry['bytes']:>9}B"
+        )
     return 0
 
 
@@ -147,7 +363,7 @@ def cmd_other_topologies(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.bgp import verify_fabric
 
-    network = _build_topology(args.topology, _SCALES[args.scale])
+    network = _build_topology(args.topology, _SCALES[args.scale], seed=args.seed)
     stats = verify_fabric(network, args.k)
     print(
         f"{network.name}: Theorem 1 and Shortest-Union({args.k}) verified "
@@ -160,7 +376,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_export(args: argparse.Namespace) -> int:
     from repro.core.export import to_dot, to_json
 
-    network = _build_topology(args.topology, _SCALES[args.scale])
+    network = _build_topology(args.topology, _SCALES[args.scale], seed=args.seed)
     text = to_dot(network) if args.format == "dot" else to_json(network)
     if args.out == "-":
         print(text)
@@ -190,7 +406,7 @@ def cmd_configs(args: argparse.Namespace) -> int:
     from repro.bgp import ConfigGenerator
     from repro.bgp.frr import FrrConfigGenerator
 
-    network = _build_topology(args.topology, _SCALES[args.scale])
+    network = _build_topology(args.topology, _SCALES[args.scale], seed=args.seed)
     generator_cls = (
         FrrConfigGenerator if args.format == "frr" else ConfigGenerator
     )
@@ -221,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("summarize", help="structural topology comparison")
     _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_summarize)
 
     p = sub.add_parser("udf", help="Section 3.1 UDF table")
@@ -229,16 +446,57 @@ def build_parser() -> argparse.ArgumentParser:
     for name, func, doc in (
         ("fig4", cmd_fig4, "Figure 4 FCT tables"),
         ("fig5", cmd_fig5, "Figure 5 C-S heatmaps"),
-        ("microburst", cmd_microburst, "Section 3 microburst study"),
     ):
         p = sub.add_parser(name, help=doc)
         _scale_argument(p)
         p.add_argument("--seed", type=int, default=0)
+        _harness_arguments(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser("microburst", help="Section 3 microburst study")
+    _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_microburst)
 
     p = sub.add_parser("fig6", help="Figure 6 scale sweep")
     p.add_argument("--seed", type=int, default=1)
+    _harness_arguments(p)
     p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run experiment sweeps in parallel with result caching",
+    )
+    from repro.harness.jobs import SWEEPS
+
+    p.add_argument(
+        "--experiment",
+        nargs="+",
+        choices=SWEEPS,
+        default=["fig4", "fig5", "fig6"],
+        help="which sweeps to run (default: fig4 fig5 fig6)",
+    )
+    _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
+    _harness_arguments(p)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        help="write the run manifest JSON to this path",
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=("ls", "clear"))
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "other-topologies", help="Section 7 Slim Fly / Dragonfly comparison"
@@ -248,12 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="verify Theorem 1 and the path sets")
     _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
     p.add_argument("--k", type=int, default=2)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("export", help="export a topology as JSON or dot")
     _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
     p.add_argument("--format", choices=("json", "dot"), default="json")
     p.add_argument("--out", default="-", help="output file, or - for stdout")
@@ -275,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("configs", help="emit router configurations")
     _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--topology", choices=TOPOLOGY_CHOICES, default="dring")
     p.add_argument("--k", type=int, default=2)
     p.add_argument("--format", choices=("cisco", "frr"), default="cisco")

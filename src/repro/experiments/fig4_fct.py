@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.runner import Scale, SMALL, TopologyUnderTest, build_suite
+from repro.experiments.runner import (
+    SMALL,
+    Scale,
+    TopologyUnderTest,
+    build_scheme,
+    build_suite,
+    scheme_labels,
+)
 from repro.sim.flowsim import simulate_fct
 from repro.sim.results import FctResults, fct_table
 from repro.traffic import (
@@ -75,6 +82,31 @@ class Fig4Result:
         return results_a.p99_fct_ms() / results_b.p99_fct_ms()
 
 
+def _pattern_flows(scale: Scale, pattern: PatternSpec, seed: int,
+                   utilization: float):
+    """The identical workload every scheme receives for one column.
+
+    The baseline for load scaling is the scale's leaf-spine regardless
+    of the topology under test, so every scheme sees the same endpoints
+    in canonical space, same sizes, same start times.
+    """
+    baseline = leaf_spine(scale.leaf_x, scale.leaf_y)
+    load = spine_utilization_load(baseline, pattern.tm, utilization)
+    window, num_flows = window_for_budget(
+        load.offered_gbps,
+        scale.max_flows,
+        scale.window_seconds,
+        size_cap=scale.size_cap_bytes,
+    )
+    return generate_flows(
+        pattern.tm,
+        num_flows,
+        window,
+        seed=seed,
+        size_cap=scale.size_cap_bytes,
+    )
+
+
 def run_fig4(
     scale: Scale = SMALL,
     seed: int = 0,
@@ -82,35 +114,15 @@ def run_fig4(
     suite: List[TopologyUnderTest] = None,
     utilization: float = 0.30,
 ) -> Fig4Result:
-    """Run the full Figure 4 grid at the given scale.
-
-    The baseline for load scaling is the scale's leaf-spine regardless
-    of the topology under test, so every scheme receives the identical
-    workload (same endpoints in canonical space, same sizes, same start
-    times).
-    """
+    """Run the full Figure 4 grid at the given scale."""
     if patterns is None:
         patterns = fig4_patterns(scale, seed=seed)
     if suite is None:
         suite = build_suite(scale, seed=seed)
-    baseline = leaf_spine(scale.leaf_x, scale.leaf_y)
 
     rows: Dict[str, Dict[str, FctResults]] = {}
     for pattern in patterns:
-        load = spine_utilization_load(baseline, pattern.tm, utilization)
-        window, num_flows = window_for_budget(
-            load.offered_gbps,
-            scale.max_flows,
-            scale.window_seconds,
-            size_cap=scale.size_cap_bytes,
-        )
-        flows = generate_flows(
-            pattern.tm,
-            num_flows,
-            window,
-            seed=seed,
-            size_cap=scale.size_cap_bytes,
-        )
+        flows = _pattern_flows(scale, pattern, seed, utilization)
         by_scheme: Dict[str, FctResults] = {}
         for tut in suite:
             placement = tut.placement(
@@ -120,4 +132,61 @@ def run_fig4(
                 tut.network, tut.routing, placement, flows, seed=seed
             )
         rows[pattern.label] = by_scheme
+    return Fig4Result(rows=rows)
+
+
+def run_fig4_cell(
+    scale: Scale,
+    pattern: str,
+    scheme: str,
+    seed: int = 0,
+    utilization: float = 0.30,
+) -> FctResults:
+    """One Figure 4 grid cell, independently executable.
+
+    This is the sweep-harness unit of work: the flow workload is
+    regenerated from the same seeded recipe ``run_fig4`` uses, so a cell
+    computed in isolation is bit-identical to its value inside the full
+    serial grid.
+    """
+    by_label = {p.label: p for p in fig4_patterns(scale, seed=seed)}
+    try:
+        pattern_spec = by_label[pattern]
+    except KeyError:
+        raise KeyError(
+            f"unknown fig4 pattern {pattern!r}; know {list(by_label)}"
+        ) from None
+    tut = build_scheme(scheme, scale, seed=seed)
+    flows = _pattern_flows(scale, pattern_spec, seed, utilization)
+    placement = tut.placement(
+        shuffle=pattern_spec.random_placement, seed=seed
+    )
+    return simulate_fct(tut.network, tut.routing, placement, flows, seed=seed)
+
+
+def fig4_result_from_cells(
+    cells: Dict[Tuple[str, str], FctResults],
+    patterns: List[str] = None,
+    schemes: List[str] = None,
+) -> Fig4Result:
+    """Assemble a :class:`Fig4Result` from per-cell results.
+
+    ``cells`` maps ``(pattern label, scheme label)`` to results; missing
+    cells (a failed sweep job) simply leave a hole the table renders as
+    ``-``.  Pattern order follows the paper figure so the assembled
+    tables match the serial path byte for byte.
+    """
+    if patterns is None:
+        patterns = [p for p, _s in cells]
+    if schemes is None:
+        schemes = scheme_labels()
+    rows: Dict[str, Dict[str, FctResults]] = {}
+    for pattern in dict.fromkeys(patterns):
+        by_scheme = {
+            scheme: cells[(pattern, scheme)]
+            for scheme in schemes
+            if (pattern, scheme) in cells
+        }
+        if by_scheme:
+            rows[pattern] = by_scheme
     return Fig4Result(rows=rows)

@@ -102,6 +102,80 @@ def run_heatmap(
     )
 
 
+def fig5_sweep_values(scale: Scale, points: int = 4) -> List[int]:
+    """The C/S sweep values ``run_fig5`` uses at this scale.
+
+    Exposed separately so the sweep harness can enumerate heatmap cells
+    without building the grids.
+    """
+    dr = dring(scale.dring_m, scale.dring_n, total_servers=scale.dring_servers)
+    return default_sweep_values(dr, points=points)
+
+
+def _dring_routing(network: Network, kind: str) -> RoutingScheme:
+    if kind == "ecmp":
+        return EcmpRouting(network)
+    if kind == "su2":
+        return ShortestUnionRouting(network, 2)
+    raise ValueError(f"unknown fig5 routing {kind!r}")
+
+
+def run_fig5_cell(
+    scale: Scale,
+    routing: str,
+    num_clients: int,
+    num_servers: int,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """One heatmap cell: DRing and leaf-spine throughput at (C, S).
+
+    The harness unit of work for Figure 5; ``routing`` selects the DRing
+    panel ("ecmp" or "su2"), leaf-spine always runs ECMP.
+    """
+    ls = leaf_spine(scale.leaf_x, scale.leaf_y)
+    dr = dring(scale.dring_m, scale.dring_n, total_servers=scale.dring_servers)
+    dr_gbps = cs_throughput(
+        dr, _dring_routing(dr, routing), num_clients, num_servers, seed=seed
+    ).mean_flow_gbps
+    ls_gbps = cs_throughput(
+        ls, EcmpRouting(ls), num_clients, num_servers, seed=seed
+    ).mean_flow_gbps
+    return {"dring_gbps": dr_gbps, "leafspine_gbps": ls_gbps}
+
+
+def heatmap_from_cells(
+    clients: List[int],
+    servers: List[int],
+    routing_label: str,
+    cells: Dict[Tuple[int, int], Dict[str, float]],
+) -> HeatmapResult:
+    """Assemble one heatmap panel from per-(C, S) cell results.
+
+    Missing cells (failed sweep jobs) render as NaN rather than killing
+    the panel.
+    """
+    shape = (len(clients), len(servers))
+    ratio = np.full(shape, np.nan)
+    dr_gbps = np.full(shape, np.nan)
+    ls_gbps = np.full(shape, np.nan)
+    for i, c in enumerate(clients):
+        for j, s in enumerate(servers):
+            cell = cells.get((c, s))
+            if cell is None:
+                continue
+            dr_gbps[i, j] = cell["dring_gbps"]
+            ls_gbps[i, j] = cell["leafspine_gbps"]
+            ratio[i, j] = cell["dring_gbps"] / cell["leafspine_gbps"]
+    return HeatmapResult(
+        clients=clients,
+        servers=servers,
+        ratio=ratio,
+        dring_gbps=dr_gbps,
+        leafspine_gbps=ls_gbps,
+        routing_label=routing_label,
+    )
+
+
 def run_fig5(
     scale: Scale = SMALL,
     seed: int = 0,

@@ -69,58 +69,63 @@ def _routing_for(network, kind: str) -> RoutingScheme:
     raise ValueError(f"unknown routing kind {kind!r}")
 
 
-def run_fig6(config: Fig6Config = Fig6Config(), seed: int = 0) -> List[ScalePoint]:
-    """Sweep supernode counts; at each size compare DRing vs matched RRG.
+def run_fig6_point(
+    config: Fig6Config, supernodes: int, seed: int = 0
+) -> ScalePoint:
+    """One x-axis point: DRing vs matched RRG at one supernode count.
 
-    The offered load grows with the network (fixed Gbps per server) so
-    utilization stays comparable across sizes, as in the paper where the
-    same uniform TM recipe is applied at every scale.
+    Independently executable — the sweep-harness unit of work for
+    Figure 6.  The offered load grows with the network (fixed Gbps per
+    server) so utilization stays comparable across sizes.
     """
-    points: List[ScalePoint] = []
+    m = supernodes
     n = config.tors_per_supernode
-    for m in config.supernode_counts:
-        racks = m * n
-        servers = racks * config.servers_per_rack
-        dr = dring(m, n, servers_per_rack=config.servers_per_rack)
-        rrg = jellyfish(
-            racks,
-            config.network_degree,
-            servers_per_switch=config.servers_per_rack,
-            seed=seed,
-        )
-        cluster = CanonicalCluster(racks, config.servers_per_rack)
-        tm = uniform(cluster)
-        offered = config.utilization_gbps_per_server * servers
-        window, num_flows = window_for_budget(
-            offered,
-            config.flows_per_server * servers,
-            config.window_seconds,
-            size_cap=config.size_cap_bytes,
-        )
-        flows = generate_flows(
-            tm,
-            num_flows,
-            window,
-            seed=seed,
-            size_cap=config.size_cap_bytes,
-        )
-        dr_res = simulate_fct(
-            dr, _routing_for(dr, config.routing),
-            Placement(cluster, dr), flows, seed=seed,
-        )
-        rrg_res = simulate_fct(
-            rrg, _routing_for(rrg, config.routing),
-            Placement(cluster, rrg), flows, seed=seed,
-        )
-        points.append(
-            ScalePoint(
-                supernodes=m,
-                racks=racks,
-                dring_p99_ms=dr_res.p99_fct_ms(),
-                rrg_p99_ms=rrg_res.p99_fct_ms(),
-            )
-        )
-    return points
+    racks = m * n
+    servers = racks * config.servers_per_rack
+    dr = dring(m, n, servers_per_rack=config.servers_per_rack)
+    rrg = jellyfish(
+        racks,
+        config.network_degree,
+        servers_per_switch=config.servers_per_rack,
+        seed=seed,
+    )
+    cluster = CanonicalCluster(racks, config.servers_per_rack)
+    tm = uniform(cluster)
+    offered = config.utilization_gbps_per_server * servers
+    window, num_flows = window_for_budget(
+        offered,
+        config.flows_per_server * servers,
+        config.window_seconds,
+        size_cap=config.size_cap_bytes,
+    )
+    flows = generate_flows(
+        tm,
+        num_flows,
+        window,
+        seed=seed,
+        size_cap=config.size_cap_bytes,
+    )
+    dr_res = simulate_fct(
+        dr, _routing_for(dr, config.routing),
+        Placement(cluster, dr), flows, seed=seed,
+    )
+    rrg_res = simulate_fct(
+        rrg, _routing_for(rrg, config.routing),
+        Placement(cluster, rrg), flows, seed=seed,
+    )
+    return ScalePoint(
+        supernodes=m,
+        racks=racks,
+        dring_p99_ms=dr_res.p99_fct_ms(),
+        rrg_p99_ms=rrg_res.p99_fct_ms(),
+    )
+
+
+def run_fig6(config: Fig6Config = Fig6Config(), seed: int = 0) -> List[ScalePoint]:
+    """Sweep supernode counts; at each size compare DRing vs matched RRG."""
+    return [
+        run_fig6_point(config, m, seed=seed) for m in config.supernode_counts
+    ]
 
 
 def render_fig6(points: List[ScalePoint]) -> str:

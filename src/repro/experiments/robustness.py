@@ -48,6 +48,11 @@ def _fig4_lite(scale: Scale, seed: int):
     return run_fig4(scale, seed=seed, patterns=patterns)
 
 
+def run_robustness_cell(scale: Scale, seed: int) -> Dict[str, bool]:
+    """Evaluate every claim at one seed — the harness unit of work."""
+    return _claims(scale, seed)
+
+
 def _claims(scale: Scale, seed: int) -> Dict[str, bool]:
     fig4 = _fig4_lite(scale, seed)
 
@@ -85,23 +90,35 @@ def _claims(scale: Scale, seed: int) -> Dict[str, bool]:
     }
 
 
-def run_robustness(
-    scale: Scale = SMALL, seeds: Sequence[int] = (0, 1, 2, 3, 4)
+def robustness_from_cells(
+    per_seed: Sequence[Dict[str, bool]]
 ) -> List[ClaimResult]:
-    """Evaluate every claim at every seed; aggregate pass counts."""
+    """Aggregate per-seed claim outcomes into the scorecard.
+
+    ``runs`` counts the cells actually present, so a failed sweep job
+    shrinks the denominator instead of killing the scorecard.
+    """
     tallies: Dict[str, int] = {}
     order: List[str] = []
-    for seed in seeds:
-        outcomes = _claims(scale, seed)
+    for outcomes in per_seed:
         for claim, held in outcomes.items():
             if claim not in tallies:
                 tallies[claim] = 0
                 order.append(claim)
             tallies[claim] += int(held)
     return [
-        ClaimResult(claim=claim, passes=tallies[claim], runs=len(seeds))
+        ClaimResult(claim=claim, passes=tallies[claim], runs=len(per_seed))
         for claim in order
     ]
+
+
+def run_robustness(
+    scale: Scale = SMALL, seeds: Sequence[int] = (0, 1, 2, 3, 4)
+) -> List[ClaimResult]:
+    """Evaluate every claim at every seed; aggregate pass counts."""
+    return robustness_from_cells(
+        [run_robustness_cell(scale, seed) for seed in seeds]
+    )
 
 
 def render_robustness(results: List[ClaimResult]) -> str:

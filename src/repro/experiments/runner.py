@@ -6,13 +6,17 @@ Section 5.1's instances (leaf-spine(48,16) with 3072 servers, the 80-rack
 DRing with 2988 servers) for full-fidelity runs.
 
 The topology suite mirrors the paper's Figure 4 legend: leaf-spine with
-ECMP, and DRing/RRG each with ECMP and Shortest-Union(2).
+ECMP, and DRing/RRG each with ECMP and Shortest-Union(2).  The legend is
+a declarative registry (:data:`SCHEME_REGISTRY`), so the suite builder,
+``scheme_labels`` and the sweep harness all share one source of truth,
+and a single (topology, routing) cell can be built independently with
+:func:`build_scheme` — the unit of work for ``repro.harness`` jobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.network import Network
 from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting
@@ -85,6 +89,30 @@ PAPER = Scale(
 )
 
 
+#: Named scales; harness jobs reference scales by name so a JobSpec stays
+#: a plain record.  Extend with :func:`register_scale` (tests register
+#: their TINY variants here so sweep jobs can resolve them).
+SCALES: Dict[str, Scale] = {s.name: s for s in (SMALL, MEDIUM, PAPER)}
+
+
+def register_scale(scale: Scale) -> Scale:
+    """Make a custom scale resolvable by name (idempotent)."""
+    existing = SCALES.get(scale.name)
+    if existing is not None and existing != scale:
+        raise ValueError(f"scale {scale.name!r} already registered differently")
+    SCALES[scale.name] = scale
+    return scale
+
+
+def scale_by_name(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; know {sorted(SCALES)}"
+        ) from None
+
+
 @dataclass
 class TopologyUnderTest:
     """One (topology, routing) combination of the Figure 4 legend."""
@@ -98,52 +126,107 @@ class TopologyUnderTest:
         return self.placement_factory(shuffle, seed)
 
 
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One legend entry: which topology, which routing, core or extra."""
+
+    label: str
+    topology: str  # "leaf-spine" | "dring" | "rrg"
+    routing: str  # "ecmp" | "su2"
+    #: Core schemes survive ``include_ecmp_flats=False``.
+    core: bool = True
+
+
+#: The Figure 4 legend, in paper order.  Single source of truth shared by
+#: ``build_suite``, ``scheme_labels`` and the harness job registry.
+SCHEME_REGISTRY: Dict[str, SchemeSpec] = {
+    spec.label: spec
+    for spec in (
+        SchemeSpec("leaf-spine (ecmp)", "leaf-spine", "ecmp", core=True),
+        SchemeSpec("DRing (su2)", "dring", "su2", core=True),
+        SchemeSpec("RRG (su2)", "rrg", "su2", core=True),
+        SchemeSpec("DRing (ecmp)", "dring", "ecmp", core=False),
+        SchemeSpec("RRG (ecmp)", "rrg", "ecmp", core=False),
+    )
+}
+
+
+def _suite_topology(
+    kind: str, scale: Scale, seed: int, cache: Optional[Dict[str, Network]]
+) -> Network:
+    """Build (or reuse) one of the suite's three topologies."""
+    if cache is not None and kind in cache:
+        return cache[kind]
+    if kind == "leaf-spine":
+        network = leaf_spine(scale.leaf_x, scale.leaf_y)
+    elif kind == "dring":
+        network = dring(
+            scale.dring_m,
+            scale.dring_n,
+            total_servers=scale.dring_servers,
+            name=f"dring(m={scale.dring_m},n={scale.dring_n})",
+        )
+    elif kind == "rrg":
+        network = flatten(
+            leaf_spine(scale.leaf_x, scale.leaf_y), seed=seed, name="rrg"
+        )
+    else:
+        raise ValueError(f"unknown suite topology {kind!r}")
+    if cache is not None:
+        cache[kind] = network
+    return network
+
+
+def _suite_routing(kind: str, network: Network) -> RoutingScheme:
+    if kind == "ecmp":
+        return EcmpRouting(network)
+    if kind == "su2":
+        return ShortestUnionRouting(network, 2)
+    raise ValueError(f"unknown suite routing {kind!r}")
+
+
+def build_scheme(
+    label: str,
+    scale: Scale,
+    seed: int = 0,
+    _topology_cache: Optional[Dict[str, Network]] = None,
+) -> TopologyUnderTest:
+    """Build a single legend cell — the unit of work for harness jobs."""
+    try:
+        spec = SCHEME_REGISTRY[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {label!r}; know {list(SCHEME_REGISTRY)}"
+        ) from None
+    network = _suite_topology(spec.topology, scale, seed, _topology_cache)
+    cluster = scale.cluster
+
+    def placement(shuffle: bool, pseed: int) -> Placement:
+        return Placement(cluster, network, shuffle=shuffle, seed=pseed)
+
+    return TopologyUnderTest(
+        label, network, _suite_routing(spec.routing, network), placement
+    )
+
+
 def build_suite(
     scale: Scale, seed: int = 0, include_ecmp_flats: bool = True
 ) -> List[TopologyUnderTest]:
-    """The five-scheme suite of Figure 4 at the requested scale."""
-    cluster = scale.cluster
-    ls = leaf_spine(scale.leaf_x, scale.leaf_y)
-    dr = dring(
-        scale.dring_m,
-        scale.dring_n,
-        total_servers=scale.dring_servers,
-        name=f"dring(m={scale.dring_m},n={scale.dring_n})",
-    )
-    rrg = flatten(ls, seed=seed, name="rrg")
+    """The five-scheme suite of Figure 4 at the requested scale.
 
-    def placement_for(network: Network) -> Callable[[bool, int], Placement]:
-        return lambda shuffle, pseed: Placement(
-            cluster, network, shuffle=shuffle, seed=pseed
-        )
-
-    suite = [
-        TopologyUnderTest(
-            "leaf-spine (ecmp)", ls, EcmpRouting(ls), placement_for(ls)
-        ),
-        TopologyUnderTest(
-            "DRing (su2)", dr, ShortestUnionRouting(dr, 2), placement_for(dr)
-        ),
-        TopologyUnderTest(
-            "RRG (su2)", rrg, ShortestUnionRouting(rrg, 2), placement_for(rrg)
-        ),
+    Topologies are shared across legend entries (the DRing under ECMP is
+    the same object as the DRing under SU(2)).
+    """
+    topology_cache: Dict[str, Network] = {}
+    return [
+        build_scheme(label, scale, seed=seed, _topology_cache=topology_cache)
+        for label in scheme_labels(include_ecmp_flats)
     ]
-    if include_ecmp_flats:
-        suite.append(
-            TopologyUnderTest(
-                "DRing (ecmp)", dr, EcmpRouting(dr), placement_for(dr)
-            )
-        )
-        suite.append(
-            TopologyUnderTest(
-                "RRG (ecmp)", rrg, EcmpRouting(rrg), placement_for(rrg)
-            )
-        )
-    return suite
 
 
 def scheme_labels(include_ecmp_flats: bool = True) -> List[str]:
-    labels = ["leaf-spine (ecmp)", "DRing (su2)", "RRG (su2)"]
-    if include_ecmp_flats:
-        labels += ["DRing (ecmp)", "RRG (ecmp)"]
-    return labels
+    return [
+        spec.label
+        for spec in SCHEME_REGISTRY.values()
+        if spec.core or include_ecmp_flats
+    ]

@@ -1,0 +1,64 @@
+"""Parallel experiment orchestration with content-addressed caching.
+
+Every paper figure is a sweep over (topology x routing x traffic x seed
+x scale) cells.  This package turns each cell into a declarative
+:class:`~repro.harness.jobs.JobSpec`, executes job lists in parallel
+with per-job timeout and crash retry, and memoizes results in an
+on-disk content-addressed store so rerunning a figure is incremental:
+
+    from repro.harness import ResultCache, fig4_jobs, run_jobs
+
+    specs = fig4_jobs("small", seed=0)
+    results, outcomes = run_jobs(specs, jobs=4, cache=ResultCache.default())
+
+A job's cache key folds in a fingerprint of the source modules the
+experiment depends on, so editing simulator or routing code invalidates
+exactly the affected artifacts.
+"""
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import JobOutcome, run_jobs
+from repro.harness.fingerprint import module_fingerprint
+from repro.harness.jobs import (
+    EXPERIMENT_REGISTRY,
+    JobSpec,
+    ablation_jobs,
+    assemble_fig4,
+    assemble_fig5,
+    assemble_fig6,
+    assemble_robustness,
+    execute_job,
+    fig4_jobs,
+    fig5_jobs,
+    fig6_jobs,
+    register_experiment,
+    robustness_jobs,
+    sweep_jobs,
+)
+from repro.harness.manifest import RunManifest, collect_env
+from repro.harness.progress import NullProgress, ProgressPrinter
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "JobOutcome",
+    "JobSpec",
+    "NullProgress",
+    "ProgressPrinter",
+    "ResultCache",
+    "RunManifest",
+    "ablation_jobs",
+    "assemble_fig4",
+    "assemble_fig5",
+    "assemble_fig6",
+    "assemble_robustness",
+    "collect_env",
+    "execute_job",
+    "fig4_jobs",
+    "fig5_jobs",
+    "fig6_jobs",
+    "module_fingerprint",
+    "register_experiment",
+    "robustness_jobs",
+    "run_jobs",
+    "sweep_jobs",
+]

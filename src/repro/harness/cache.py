@@ -1,0 +1,131 @@
+"""On-disk content-addressed result store for sweep jobs.
+
+Artifacts live under ``~/.cache/repro`` (override with ``--cache-dir``
+or ``REPRO_CACHE_DIR``), one JSON file per job key, sharded by the key's
+first two hex digits.  Writes are atomic (temp file + ``os.replace``)
+so a killed sweep never leaves a torn artifact, and a concurrent sweep
+at worst overwrites an entry with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.harness.jobs import JobSpec
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _unlink_quietly(name: str) -> None:
+    try:
+        os.unlink(name)
+    except OSError:
+        pass
+
+
+class ResultCache:
+    """A content-addressed job-result store with hit/miss accounting."""
+
+    def __init__(self, root: pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def default_root() -> pathlib.Path:
+        env = os.environ.get(_ENV_VAR)
+        if env:
+            return pathlib.Path(env)
+        return pathlib.Path.home() / ".cache" / "repro"
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        return cls(cls.default_root())
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None on miss.
+
+        A corrupt entry (torn by an older writer, disk trouble) counts
+        as a miss and is removed so the slot heals on the next put.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(
+        self, key: str, spec: JobSpec, result: Any, elapsed_seconds: float
+    ) -> pathlib.Path:
+        """Atomically persist one job result."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "spec": spec.to_dict(),
+            "label": spec.label(),
+            "elapsed_seconds": elapsed_seconds,
+            "created_at": time.time(),
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            _unlink_quietly(tmp_name)
+            raise
+        return path
+
+    # -- management (``repro cache ls`` / ``repro cache clear``) -------
+
+    def _entry_paths(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Metadata (not results) of every cache entry."""
+        for path in self._entry_paths():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            yield {
+                "key": payload.get("key", path.stem),
+                "label": payload.get("label", ""),
+                "elapsed_seconds": payload.get("elapsed_seconds", 0.0),
+                "created_at": payload.get("created_at", 0.0),
+                "bytes": path.stat().st_size,
+            }
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())

@@ -1,0 +1,288 @@
+"""Job execution: serial or multi-process fan-out with crash recovery.
+
+``run_jobs`` resolves cache hits first, then executes the misses —
+inline for ``jobs=1``, or across worker processes otherwise.  Each job
+gets its own worker process (jobs are coarse, seconds each, so spawn
+cost is noise), which buys exact failure attribution: a job that raises
+records a failed outcome; a worker that dies outright (OOM kill,
+segfault, ``os._exit``) is detected by its exit and retried a bounded
+number of times; a job that overruns its wall-clock budget is killed by
+the parent.  In every case the sweep keeps going and the manifest tells
+the story — a failed cell is a recorded error, not a dead sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec, execute_job
+
+#: Outcome status values, in the order a manifest summarizes them.
+HIT, RAN, FAILED = "hit", "ran", "failed"
+
+#: Extra seconds the parent allows past the in-worker timeout before it
+#: kills the worker (covers jobs stuck in native code ignoring SIGALRM).
+_KILL_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one job: cache hit, executed, or failed."""
+
+    spec: JobSpec
+    key: str
+    status: str
+    seconds: float
+    attempts: int = 1
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "label": self.spec.label(),
+            "key": self.key,
+            "status": self.status,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+class _alarm:
+    """SIGALRM-based wall-clock budget; no-op off POSIX main threads."""
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self):
+        usable = (
+            self.seconds is not None
+            and self.seconds > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if usable:
+            def _on_alarm(_signum, _frame):
+                raise JobTimeout(f"job exceeded {self.seconds:.1f}s budget")
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *_exc):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _execute_with_timeout(
+    spec_dict: Dict[str, Any], timeout: Optional[float]
+) -> Tuple[Any, float]:
+    """Run one job under its wall-clock budget; returns (result, seconds)."""
+    spec = JobSpec.from_dict(spec_dict)
+    start = time.perf_counter()
+    with _alarm(timeout):
+        result = execute_job(spec)
+    return result, time.perf_counter() - start
+
+
+def _worker_main(conn, spec_dict: Dict[str, Any],
+                 timeout: Optional[float]) -> None:
+    """Child-process entry point: execute and report over the pipe."""
+    try:
+        result, elapsed = _execute_with_timeout(spec_dict, timeout)
+        conn.send(("ok", result, elapsed))
+    except BaseException as exc:  # report *everything*; parent decides
+        conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
+    finally:
+        conn.close()
+
+
+ProgressCallback = Callable[[JobOutcome, int, int], None]
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.Process
+    conn: Any
+    spec: JobSpec
+    attempt: int
+    started: float
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> Tuple[Dict[str, Any], List[JobOutcome]]:
+    """Run a job list; return ``(results by key, outcomes in spec order)``.
+
+    ``retries`` bounds how often a job is relaunched after its worker
+    process dies; ordinary exceptions and timeouts fail immediately
+    (they are deterministic — retrying would reproduce them).  Failed
+    jobs are absent from the result map but present in the outcomes.
+    """
+    keys = {spec: spec.key() for spec in specs}
+    results: Dict[str, Any] = {}
+    outcomes: Dict[JobSpec, JobOutcome] = {}
+    total = len(specs)
+    done = 0
+
+    def record(spec: JobSpec, outcome: JobOutcome, result: Any = None) -> None:
+        nonlocal done
+        outcomes[spec] = outcome
+        if outcome.status == RAN:
+            results[outcome.key] = result
+            if cache is not None:
+                cache.put(outcome.key, spec, result, outcome.seconds)
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    # Resolve cache hits up front: hits cost one JSON read, no worker.
+    to_run: List[JobSpec] = []
+    for spec in specs:
+        key = keys[spec]
+        if spec in outcomes:
+            continue  # duplicate spec in the list; first one wins
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            record(spec, JobOutcome(spec, key, HIT, 0.0), None)
+            results[key] = cached
+        else:
+            to_run.append(spec)
+
+    if jobs <= 1:
+        for spec in to_run:
+            start = time.perf_counter()
+            try:
+                result, elapsed = _execute_with_timeout(spec.to_dict(), timeout)
+                record(spec, JobOutcome(spec, keys[spec], RAN, elapsed), result)
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                record(
+                    spec,
+                    JobOutcome(
+                        spec, keys[spec], FAILED, elapsed,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+    elif to_run:
+        _run_parallel(to_run, keys, jobs, timeout, retries, record)
+
+    return results, [outcomes[spec] for spec in dict.fromkeys(specs)]
+
+
+def _run_parallel(
+    to_run: Sequence[JobSpec],
+    keys: Dict[JobSpec, str],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    record: Callable[..., None],
+) -> None:
+    """One worker process per job, ``jobs`` in flight at a time."""
+    ctx = multiprocessing.get_context()
+    pending = deque((spec, 1) for spec in to_run)
+    running: Dict[Any, _Running] = {}  # keyed by the parent pipe end
+
+    def launch(spec: JobSpec, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, spec.to_dict(), timeout),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        running[parent_conn] = _Running(
+            process, parent_conn, spec, attempt, time.perf_counter()
+        )
+
+    def reap(slot: _Running) -> None:
+        # Waiting (and recv-ing) on the pipe, not the process sentinel:
+        # a large result blocks the child's send until we read it, and a
+        # crashed child surfaces as EOF.
+        try:
+            payload = slot.conn.recv()
+        except EOFError:
+            payload = None
+        slot.process.join()
+        slot.conn.close()
+        spec, attempt, key = slot.spec, slot.attempt, keys[slot.spec]
+        elapsed = time.perf_counter() - slot.started
+        if payload is None:
+            # Died without reporting: a genuine worker crash.
+            if attempt <= retries:
+                pending.append((spec, attempt + 1))
+            else:
+                record(spec, JobOutcome(
+                    spec, key, FAILED, elapsed, attempts=attempt,
+                    error=(
+                        "worker process crashed "
+                        f"(exit code {slot.process.exitcode}, "
+                        f"{retries} retries exhausted)"
+                    ),
+                ))
+        elif payload[0] == "ok":
+            _status, result, seconds = payload
+            record(
+                spec,
+                JobOutcome(spec, key, RAN, seconds, attempts=attempt),
+                result,
+            )
+        else:
+            record(spec, JobOutcome(
+                spec, key, FAILED, elapsed, attempts=attempt,
+                error=payload[1],
+            ))
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                launch(*pending.popleft())
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=0.1
+            )
+            for conn in ready:
+                reap(running.pop(conn))
+            if timeout is not None:
+                deadline = timeout + _KILL_GRACE_SECONDS
+                for conn, slot in list(running.items()):
+                    if time.perf_counter() - slot.started > deadline:
+                        # Stuck past the in-worker alarm (native code);
+                        # kill it and record the timeout — no retry, a
+                        # rerun would hang the same way.
+                        slot.process.terminate()
+                        slot.process.join()
+                        running.pop(conn)
+                        slot.conn.close()
+                        record(slot.spec, JobOutcome(
+                            slot.spec, keys[slot.spec], FAILED,
+                            time.perf_counter() - slot.started,
+                            attempts=slot.attempt,
+                            error=f"killed after exceeding {timeout:.1f}s "
+                                  "budget",
+                        ))
+    finally:
+        for slot in running.values():
+            slot.process.terminate()
+            slot.conn.close()

@@ -1,0 +1,61 @@
+"""Code fingerprints: hash the sources a cached result depends on.
+
+A content-addressed result cache is only safe if editing the simulator
+invalidates the entries it produced.  Each experiment declares the
+modules (or whole packages) it depends on; their source bytes are hashed
+into every job key, so a code change re-keys exactly the affected
+artifacts while untouched experiments keep their cache.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib.util
+import pathlib
+from typing import List, Tuple
+
+
+def _module_sources(name: str) -> List[Tuple[str, pathlib.Path]]:
+    """(relative label, path) for every source file behind ``name``.
+
+    Labels are relative to the module root so the fingerprint survives
+    moving a checkout.
+    """
+    spec = importlib.util.find_spec(name)
+    if spec is None:
+        raise ModuleNotFoundError(f"cannot fingerprint unknown module {name!r}")
+    if spec.submodule_search_locations:
+        entries: List[Tuple[str, pathlib.Path]] = []
+        for location in spec.submodule_search_locations:
+            root = pathlib.Path(location)
+            for path in root.rglob("*.py"):
+                entries.append((str(path.relative_to(root)), path))
+        return sorted(entries)
+    if spec.origin is None or not spec.origin.endswith(".py"):
+        # Built-in / extension modules have no source to hash; the
+        # interpreter version (recorded in the manifest) covers them.
+        return []
+    path = pathlib.Path(spec.origin)
+    return [(path.name, path)]
+
+
+@functools.lru_cache(maxsize=None)
+def module_fingerprint(module_names: Tuple[str, ...]) -> str:
+    """A stable hex digest over the sources of ``module_names``.
+
+    File content changes, added files and deleted files all change the
+    digest.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(module_names):
+        digest.update(name.encode())
+        for label, path in _module_sources(name):
+            digest.update(label.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoized fingerprints (tests edit sources on the fly)."""
+    module_fingerprint.cache_clear()

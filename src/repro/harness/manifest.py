@@ -1,0 +1,163 @@
+"""Run manifests: what a sweep did, cell by cell.
+
+A manifest records every job's key, status (cache hit / executed /
+failed), wall time and attempt count, plus sweep-level totals and
+environment info.  Long sweeps become observable and auditable: a CI
+log or a teammate can answer "which cells failed and why" and "what
+fraction came from cache" without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.executor import FAILED, HIT, RAN, JobOutcome
+
+
+def collect_env() -> Dict[str, str]:
+    """Environment info worth recording next to results."""
+    import repro
+
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repro_version": getattr(repro, "__version__", "unknown"),
+    }
+
+
+@dataclass
+class RunManifest:
+    """One sweep invocation's full accounting."""
+
+    sweep: str
+    scale: str
+    seed: int
+    workers: int
+    cache_dir: str
+    wall_seconds: float
+    started_at: float
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=collect_env)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes: Sequence[JobOutcome],
+        sweep: str,
+        wall_seconds: float,
+        scale: str = "",
+        seed: int = 0,
+        workers: int = 1,
+        cache_dir: str = "",
+        started_at: Optional[float] = None,
+    ) -> "RunManifest":
+        return cls(
+            sweep=sweep,
+            scale=scale,
+            seed=seed,
+            workers=workers,
+            cache_dir=cache_dir,
+            wall_seconds=wall_seconds,
+            started_at=time.time() if started_at is None else started_at,
+            outcomes=[outcome.to_dict() for outcome in outcomes],
+        )
+
+    # -- aggregate accounting ------------------------------------------
+
+    def _count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o["status"] == status)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return self._count(HIT)
+
+    @property
+    def executed(self) -> int:
+        return self._count(RAN)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        return [o for o in self.outcomes if o["status"] == FAILED]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total worker-side seconds actually spent simulating."""
+        return sum(o["seconds"] for o in self.outcomes if o["status"] == RAN)
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "sweep": self.sweep,
+            "scale": self.scale,
+            "seed": self.seed,
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "wall_seconds": self.wall_seconds,
+            "started_at": self.started_at,
+            "env": self.env,
+            "totals": {
+                "jobs": self.total,
+                "cache_hits": self.hits,
+                "executed": self.executed,
+                "failed": len(self.failures),
+                "hit_rate": self.hit_rate,
+                "compute_seconds": self.compute_seconds,
+            },
+            "outcomes": self.outcomes,
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        payload = json.loads(text)
+        return cls(
+            sweep=payload["sweep"],
+            scale=payload.get("scale", ""),
+            seed=payload.get("seed", 0),
+            workers=payload.get("workers", 1),
+            cache_dir=payload.get("cache_dir", ""),
+            wall_seconds=payload["wall_seconds"],
+            started_at=payload.get("started_at", 0.0),
+            outcomes=payload.get("outcomes", []),
+            env=payload.get("env", {}),
+        )
+
+    def save(self, path: pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        """A compact human-readable summary."""
+        lines = [
+            f"sweep {self.sweep}: {self.total} jobs in "
+            f"{self.wall_seconds:.1f}s "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"  cache: {self.hits} hits / {self.executed} executed "
+            f"({100.0 * self.hit_rate:.0f}% hit rate)",
+            f"  compute: {self.compute_seconds:.1f}s simulated",
+        ]
+        failures = self.failures
+        if failures:
+            lines.append(f"  failures: {len(failures)}")
+            for o in failures:
+                lines.append(f"    {o['label']}: {o['error']}")
+        else:
+            lines.append("  failures: none")
+        return "\n".join(lines)

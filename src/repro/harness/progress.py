@@ -1,0 +1,43 @@
+"""Live progress reporting for long sweeps.
+
+The executor accepts any ``(outcome, done, total) -> None`` callback;
+this module provides the two standard ones: a line-per-job printer for
+interactive runs and CI logs, and a silent sink for tests.  Output goes
+to stderr so rendered tables on stdout stay byte-identical to the
+serial path.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.harness.executor import FAILED, HIT, JobOutcome
+
+_STATUS_TAGS = {HIT: "hit ", FAILED: "FAIL"}
+
+
+class ProgressPrinter:
+    """Print one line per finished job: ``[done/total] status label``."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = sys.stderr if stream is None else stream
+
+    def __call__(self, outcome: JobOutcome, done: int, total: int) -> None:
+        tag = _STATUS_TAGS.get(outcome.status, "run ")
+        line = (
+            f"[{done:>{len(str(total))}}/{total}] {tag} "
+            f"{outcome.spec.label()} ({outcome.seconds:.1f}s)"
+        )
+        if outcome.attempts > 1:
+            line += f" [attempt {outcome.attempts}]"
+        if outcome.error:
+            line += f" — {outcome.error}"
+        print(line, file=self.stream, flush=True)
+
+
+class NullProgress:
+    """Swallow progress events (tests, library use)."""
+
+    def __call__(self, outcome: JobOutcome, done: int, total: int) -> None:
+        pass

@@ -114,6 +114,44 @@ class FctResults:
             return 0.0
         return float(np.mean(hops))
 
+    # -- serialization -------------------------------------------------
+    #
+    # The sweep harness persists simulation outputs as JSON artifacts;
+    # round-tripping must be exact so a cached cell renders the same
+    # table as a fresh run (JSON floats round-trip bit-exactly).
+
+    def to_json_dict(self) -> Dict:
+        """A compact JSON-serializable form (one row per flow)."""
+        return {
+            "records": [
+                [
+                    r.src_server,
+                    r.dst_server,
+                    r.size_bytes,
+                    r.start_time,
+                    r.finish_time,
+                    list(r.path),
+                ]
+                for r in self.records
+            ]
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "FctResults":
+        results = cls()
+        for src, dst, size, start, finish, path in payload["records"]:
+            results.add(
+                FlowRecord(
+                    src_server=src,
+                    dst_server=dst,
+                    size_bytes=size,
+                    start_time=start,
+                    finish_time=finish,
+                    path=tuple(path),
+                )
+            )
+        return results
+
 
 def fct_table(
     rows: Dict[str, Dict[str, FctResults]],

@@ -1,0 +1,118 @@
+"""Tests for the executor: caching short-circuit, crashes, timeouts."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import FAILED, HIT, RAN, run_jobs
+from repro.harness.jobs import JobSpec
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="parallel tests assume cheap fork workers",
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def ok_specs(n):
+    return [JobSpec.make("selftest", seed=i, mode="ok", value=i)
+            for i in range(n)]
+
+
+class TestSerial:
+    def test_runs_and_returns_results(self, cache):
+        specs = ok_specs(3)
+        results, outcomes = run_jobs(specs, jobs=1, cache=cache)
+        assert [o.status for o in outcomes] == [RAN] * 3
+        assert sorted(r["echo"] for r in results.values()) == [0, 1, 2]
+
+    def test_cache_hit_short_circuits_execution(self, cache):
+        specs = ok_specs(2)
+        results1, _ = run_jobs(specs, jobs=1, cache=cache)
+        # The selftest payload records the executing worker's pid; on a
+        # hit the stored payload comes back verbatim instead of being
+        # recomputed by the current process.
+        results2, outcomes2 = run_jobs(specs, jobs=1, cache=cache)
+        assert [o.status for o in outcomes2] == [HIT] * 2
+        assert results2 == results1
+
+    def test_failure_recorded_not_raised(self, cache):
+        specs = ok_specs(1) + [JobSpec.make("selftest", mode="raise")]
+        results, outcomes = run_jobs(specs, jobs=1, cache=cache)
+        by_status = {o.status for o in outcomes}
+        assert by_status == {RAN, FAILED}
+        failed = next(o for o in outcomes if o.status == FAILED)
+        assert "deliberate failure" in failed.error
+        assert failed.key not in results
+
+    def test_failed_jobs_are_not_cached(self, cache):
+        spec = JobSpec.make("selftest", mode="raise")
+        run_jobs([spec], jobs=1, cache=cache)
+        assert len(cache) == 0
+
+    def test_outcomes_preserve_spec_order(self, cache):
+        specs = ok_specs(4)
+        _, outcomes = run_jobs(specs, jobs=1, cache=cache)
+        assert [o.spec for o in outcomes] == specs
+
+    def test_works_without_cache(self):
+        results, outcomes = run_jobs(ok_specs(2), jobs=1, cache=None)
+        assert len(results) == 2
+
+
+@fork_only
+class TestParallel:
+    def test_parallel_matches_serial(self, cache):
+        specs = ok_specs(4)
+        serial, _ = run_jobs(specs, jobs=1)
+        parallel, outcomes = run_jobs(specs, jobs=2)
+        assert sorted(serial) == sorted(parallel)
+        for key in serial:
+            assert serial[key]["echo"] == parallel[key]["echo"]
+
+    def test_crash_is_retried_then_recorded(self, cache):
+        specs = ok_specs(2) + [JobSpec.make("selftest", mode="exit")]
+        results, outcomes = run_jobs(
+            specs, jobs=2, cache=cache, retries=1
+        )
+        crashed = next(o for o in outcomes if o.status == FAILED)
+        assert crashed.attempts == 2  # initial + one retry
+        assert "crashed" in crashed.error
+        # The healthy jobs still completed and were cached.
+        assert sum(1 for o in outcomes if o.status == RAN) == 2
+        assert len(cache) == 2
+
+    def test_crash_does_not_kill_sweep(self):
+        specs = [JobSpec.make("selftest", mode="exit")] + ok_specs(3)
+        results, outcomes = run_jobs(specs, jobs=2, retries=0)
+        assert sum(1 for o in outcomes if o.status == RAN) == 3
+        assert sum(1 for o in outcomes if o.status == FAILED) == 1
+
+    def test_timeout_kills_hung_job(self):
+        specs = [JobSpec.make("selftest", mode="sleep", seconds=60.0)]
+        start = time.perf_counter()
+        results, outcomes = run_jobs(specs, jobs=2, timeout=1.0)
+        elapsed = time.perf_counter() - start
+        assert outcomes[0].status == FAILED
+        assert "budget" in outcomes[0].error
+        assert elapsed < 30.0
+        assert results == {}
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        specs = ok_specs(3)
+        run_jobs(
+            specs, jobs=2,
+            progress=lambda outcome, done, total: seen.append(
+                (outcome.status, done, total)
+            ),
+        )
+        assert len(seen) == 3
+        assert seen[-1][1] == 3
+        assert all(total == 3 for _s, _d, total in seen)

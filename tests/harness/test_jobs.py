@@ -1,0 +1,134 @@
+"""Tests for JobSpec identity, cache keys and the job-list builders."""
+
+import pytest
+
+from repro.harness import jobs as jobs_module
+from repro.harness.jobs import (
+    EXPERIMENT_REGISTRY,
+    JobSpec,
+    ablation_jobs,
+    fig4_jobs,
+    fig5_jobs,
+    fig6_jobs,
+    robustness_jobs,
+    sweep_jobs,
+)
+
+
+class TestJobSpec:
+    def test_make_canonicalizes_param_order(self):
+        a = JobSpec.make("selftest", mode="ok", value=3)
+        b = JobSpec.make("selftest", value=3, mode="ok")
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(TypeError):
+            JobSpec.make("selftest", values=[1, 2, 3])
+
+    def test_dict_round_trip(self):
+        spec = JobSpec.make(
+            "fig4", scale="small", scheme="DRing (su2)", pattern="A2A",
+            seed=3, utilization=0.3,
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_label_is_informative(self):
+        spec = JobSpec.make(
+            "fig4", scale="small", scheme="DRing (su2)", pattern="A2A", seed=2
+        )
+        label = spec.label()
+        assert "fig4" in label and "A2A" in label and "seed=2" in label
+
+
+class TestCacheKeys:
+    def test_same_spec_same_key(self):
+        spec = JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                            pattern="R2R")
+        assert spec.key() == spec.key()
+        assert (
+            JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                         pattern="R2R").key()
+            == spec.key()
+        )
+
+    def test_any_field_change_changes_key(self):
+        base = JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                            pattern="R2R", seed=0)
+        variants = [
+            JobSpec.make("fig4", scale="medium", scheme="RRG (su2)",
+                         pattern="R2R", seed=0),
+            JobSpec.make("fig4", scale="small", scheme="DRing (su2)",
+                         pattern="R2R", seed=0),
+            JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                         pattern="A2A", seed=0),
+            JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                         pattern="R2R", seed=1),
+            JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                         pattern="R2R", seed=0, utilization=0.5),
+        ]
+        keys = {v.key() for v in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_code_fingerprint_folds_into_key(self, monkeypatch):
+        spec = JobSpec.make("fig4", scale="small", scheme="RRG (su2)",
+                            pattern="R2R")
+        before = spec.key()
+        monkeypatch.setattr(
+            jobs_module, "module_fingerprint", lambda deps: "deadbeef"
+        )
+        assert spec.key() != before
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            JobSpec.make("no-such-experiment").key()
+
+
+class TestJobLists:
+    def test_fig4_full_grid(self):
+        specs = fig4_jobs("small", seed=0)
+        assert len(specs) == 7 * 5  # patterns x schemes
+        assert all(s.experiment == "fig4" for s in specs)
+        assert len({s.key() for s in specs}) == len(specs)
+
+    def test_fig4_subset(self):
+        specs = fig4_jobs(
+            "small", patterns=["A2A"], schemes=["DRing (su2)"]
+        )
+        assert len(specs) == 1
+        assert specs[0].pattern == "A2A"
+
+    def test_fig5_covers_both_panels(self):
+        specs = fig5_jobs("small", seed=0)
+        panels = {s.scheme for s in specs}
+        assert panels == {"ecmp", "su2"}
+        assert len(specs) == 2 * 4 * 4  # panels x clients x servers
+
+    def test_fig6_one_job_per_supernode_count(self):
+        specs = fig6_jobs(seed=1)
+        assert len(specs) == 6
+        supernodes = {s.params_dict()["supernodes"] for s in specs}
+        assert supernodes == {5, 8, 11, 14, 17, 20}
+
+    def test_robustness_one_job_per_seed(self):
+        specs = robustness_jobs("small", seeds=(0, 1, 2))
+        assert [s.seed for s in specs] == [0, 1, 2]
+
+    def test_ablation_jobs(self):
+        specs = ablation_jobs("small", seed=0)
+        kinds = {s.experiment for s in specs}
+        assert kinds == {"ablation-k", "ablation-shape"}
+
+    def test_sweep_jobs_concatenates(self):
+        specs = sweep_jobs(["fig5", "fig6"], "small", seed=0)
+        assert len(specs) == 32 + 6
+
+    def test_sweep_jobs_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            sweep_jobs(["fig7"], "small")
+
+    def test_all_builtin_experiments_registered(self):
+        for name in ("fig4", "fig5", "fig6", "robustness", "ablation-k",
+                     "ablation-shape", "selftest"):
+            assert name in EXPERIMENT_REGISTRY

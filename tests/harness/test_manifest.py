@@ -1,0 +1,117 @@
+"""Tests for run manifests and progress reporting."""
+
+import io
+import json
+
+import pytest
+
+from repro.harness.executor import FAILED, HIT, RAN, JobOutcome
+from repro.harness.jobs import JobSpec
+from repro.harness.manifest import RunManifest, collect_env
+from repro.harness.progress import NullProgress, ProgressPrinter
+
+
+def outcome(status, seed=0, seconds=1.0, attempts=1, error=""):
+    spec = JobSpec.make("selftest", seed=seed, mode="ok")
+    return JobOutcome(
+        spec=spec, key=spec.key(), status=status, seconds=seconds,
+        attempts=attempts, error=error,
+    )
+
+
+@pytest.fixture
+def manifest():
+    outcomes = [
+        outcome(HIT, seed=0, seconds=0.0),
+        outcome(RAN, seed=1, seconds=2.0),
+        outcome(RAN, seed=2, seconds=3.0),
+        outcome(FAILED, seed=3, attempts=2, error="worker process crashed"),
+    ]
+    return RunManifest.from_outcomes(
+        outcomes, sweep="fig4", wall_seconds=5.5, scale="small",
+        seed=0, workers=2, cache_dir="/tmp/cache", started_at=123.0,
+    )
+
+
+class TestAccounting:
+    def test_totals(self, manifest):
+        assert manifest.total == 4
+        assert manifest.hits == 1
+        assert manifest.executed == 2
+        assert len(manifest.failures) == 1
+        assert manifest.hit_rate == 0.25
+        assert manifest.compute_seconds == 5.0
+
+    def test_empty_manifest_has_zero_hit_rate(self):
+        empty = RunManifest.from_outcomes([], sweep="fig4", wall_seconds=0.0)
+        assert empty.hit_rate == 0.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self, manifest):
+        text = manifest.to_json()
+        back = RunManifest.from_json(text)
+        assert back.sweep == "fig4"
+        assert back.workers == 2
+        assert back.total == 4
+        assert back.hit_rate == manifest.hit_rate
+        assert back.outcomes == manifest.outcomes
+
+    def test_json_has_totals_block(self, manifest):
+        payload = json.loads(manifest.to_json())
+        assert payload["totals"] == {
+            "jobs": 4, "cache_hits": 1, "executed": 2, "failed": 1,
+            "hit_rate": 0.25, "compute_seconds": 5.0,
+        }
+
+    def test_save_creates_parents(self, manifest, tmp_path):
+        path = manifest.save(tmp_path / "deep" / "run.json")
+        assert path.exists()
+        assert RunManifest.from_json(path.read_text()).total == 4
+
+
+class TestRender:
+    def test_render_mentions_counts_and_failures(self, manifest):
+        text = manifest.render()
+        assert "4 jobs" in text
+        assert "1 hits / 2 executed" in text
+        assert "25% hit rate" in text
+        assert "worker process crashed" in text
+
+    def test_render_no_failures(self):
+        clean = RunManifest.from_outcomes(
+            [outcome(RAN)], sweep="fig5", wall_seconds=1.0
+        )
+        assert "failures: none" in clean.render()
+
+
+class TestEnv:
+    def test_collect_env_keys(self):
+        env = collect_env()
+        assert set(env) == {"python", "platform", "repro_version"}
+
+
+class TestProgress:
+    def test_printer_formats_line(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(outcome(RAN, seconds=1.5), done=3, total=10)
+        line = stream.getvalue()
+        assert "[ 3/10]" in line
+        assert "selftest" in line
+        assert "(1.5s)" in line
+
+    def test_printer_marks_failures_and_retries(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(
+            outcome(FAILED, attempts=2, error="boom"), done=1, total=1
+        )
+        line = stream.getvalue()
+        assert "FAIL" in line
+        assert "attempt 2" in line
+        assert "boom" in line
+
+    def test_null_progress_is_silent(self, capsys):
+        NullProgress()(outcome(RAN), done=1, total=1)
+        assert capsys.readouterr() == ("", "")

@@ -97,3 +97,34 @@ class TestSlowdown:
     def test_empty_results_rejected(self):
         with pytest.raises(ValueError):
             FctResults().mean_slowdown()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_records_exactly(self):
+        results = FctResults()
+        for fct in [0.00123456789, 0.002, 0.0375]:
+            results.add(record(fct, start=0.5, size=1.5e5))
+        clone = FctResults.from_json_dict(results.to_json_dict())
+        assert clone.records == results.records
+
+    def test_round_trip_preserves_statistics_bit_exactly(self):
+        results = FctResults()
+        for i, fct in enumerate([0.001, 0.0021, 0.0032, 0.0043]):
+            results.add(record(fct, start=0.1 * i))
+        clone = FctResults.from_json_dict(results.to_json_dict())
+        assert clone.median_fct_ms() == results.median_fct_ms()
+        assert clone.p99_fct_ms() == results.p99_fct_ms()
+        assert clone.mean_path_hops() == results.mean_path_hops()
+
+    def test_survives_actual_json_text(self):
+        import json
+
+        results = FctResults()
+        results.add(record(0.004))
+        payload = json.loads(json.dumps(results.to_json_dict()))
+        clone = FctResults.from_json_dict(payload)
+        assert clone.records == results.records
+
+    def test_empty_results_round_trip(self):
+        clone = FctResults.from_json_dict(FctResults().to_json_dict())
+        assert clone.num_flows == 0
