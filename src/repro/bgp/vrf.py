@@ -59,9 +59,12 @@ class VrfGraph:
         for switch in self.network.graph.nodes:
             for level in range(1, k + 1):
                 self.digraph.add_node((level, switch))
-        for u, v, mult in self.network.undirected_links():
+        for u, v, _mult in self.network.undirected_links():
+            # Weight by the capacity-effective multiplicity so per-hop
+            # hashing shifts traffic away from gray-degraded trunks.
+            effective = self.network.effective_link_mult(u, v)
             for a, b in ((u, v), (v, u)):
-                self._add_link_rules(a, b, float(mult))
+                self._add_link_rules(a, b, effective)
 
     def _add_link_rules(self, u: int, v: int, mult: float) -> None:
         k = self.k

@@ -284,8 +284,13 @@ def _render_ablation_results(specs, results) -> str:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments import render_fig6, render_robustness
+    from repro.experiments import (
+        render_failure_sweep,
+        render_fig6,
+        render_robustness,
+    )
     from repro.harness import (
+        assemble_faults,
         assemble_fig4,
         assemble_fig5,
         assemble_fig6,
@@ -312,7 +317,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(render_robustness(assemble_robustness(specs, results)))
         elif name == "ablations":
             print(_render_ablation_results(specs, results))
+        elif name == "faults":
+            print(render_failure_sweep(assemble_faults(specs, results)))
         print()
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments import render_failure_sweep, render_hot_links
+    from repro.harness import assemble_faults, faults_jobs
+
+    specs = faults_jobs(
+        args.scale,
+        seed=args.seed,
+        topologies=args.topology,
+        schemes=args.scheme,
+        kinds=args.kind,
+        fractions=args.fractions,
+        trials=args.trials,
+        capacity_factor=args.gray_capacity,
+    )
+    # Always route through the harness: every scenario cell is cached
+    # and crash-isolated, so reruns and wider sweeps are incremental.
+    cells = assemble_faults(specs, _run_harness(args, specs, "faults"))
+    print(render_failure_sweep(cells))
+    hot = render_hot_links(cells)
+    if hot:
+        print()
+        print(hot)
     return 0
 
 
@@ -492,6 +524,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run manifest JSON to this path",
     )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "faults",
+        help="failure-resilience sweep: degradation under injected faults",
+    )
+    from repro.experiments.failure_sweep import (
+        DEFAULT_FRACTIONS,
+        FAULT_SCHEMES,
+        FAULT_TOPOLOGIES,
+    )
+    from repro.faults import DEFAULT_GRAY_CAPACITY, FAULT_KINDS
+
+    _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--topology",
+        nargs="+",
+        choices=FAULT_TOPOLOGIES,
+        default=list(FAULT_TOPOLOGIES),
+        help="topologies to degrade (default: all)",
+    )
+    p.add_argument(
+        "--scheme",
+        nargs="+",
+        choices=FAULT_SCHEMES,
+        default=list(FAULT_SCHEMES),
+        help="routing schemes to compare (default: ecmp su2)",
+    )
+    p.add_argument(
+        "--kind",
+        nargs="+",
+        choices=FAULT_KINDS,
+        default=["link"],
+        help="fault models to inject (default: link)",
+    )
+    p.add_argument(
+        "--fractions",
+        nargs="+",
+        type=float,
+        default=list(DEFAULT_FRACTIONS),
+        metavar="F",
+        help="failed fractions per kind (default: 0.02 0.05 0.10)",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=2,
+        help="independent scenarios per curve point (default: 2)",
+    )
+    p.add_argument(
+        "--gray-capacity",
+        type=float,
+        default=DEFAULT_GRAY_CAPACITY,
+        metavar="SCALE",
+        help="surviving capacity fraction of gray-failed trunks",
+    )
+    _harness_arguments(p)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        help="write the run manifest JSON to this path",
+    )
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("ls", "clear"))

@@ -155,9 +155,72 @@ class Network:
             return 0
         return int(data.get("mult", 1))
 
+    def link_capacity_scale(self, u: int, v: int) -> float:
+        """Per-link capacity override as a fraction of healthy capacity.
+
+        1.0 for healthy links (and for absent edges, where it is moot);
+        gray failures set a value in (0, 1) via
+        :meth:`set_link_capacity_scale`.
+        """
+        data = self.graph.get_edge_data(u, v)
+        if data is None:
+            return 1.0
+        return float(data.get("cap_scale", 1.0))
+
+    def set_link_capacity_scale(self, u: int, v: int, scale: float) -> None:
+        """Override the capacity of the (u, v) trunk to ``scale`` times
+        its healthy value — the gray-failure primitive.
+
+        The link stays up for routing (it still forwards, still counts
+        ports), it just carries less; routing weights and every
+        simulator's capacities honor the override through
+        :meth:`effective_link_mult` and :meth:`directed_capacities`.
+        """
+        if not self.graph.has_edge(u, v):
+            raise NetworkValidationError(f"no link ({u}, {v}) to degrade")
+        if scale <= 0:
+            raise NetworkValidationError(
+                f"capacity scale must be positive, got {scale}; "
+                "remove the link instead of scaling it to zero"
+            )
+        self.graph[u][v]["cap_scale"] = float(scale)
+
+    def effective_link_mult(self, u: int, v: int) -> float:
+        """Multiplicity weighted by the capacity override.
+
+        This is the quantity routing schemes should weight next hops by:
+        a half-capacity trunk of 2 links attracts as much hashed traffic
+        as a healthy single link.
+        """
+        return self.link_mult(u, v) * self.link_capacity_scale(u, v)
+
+    def remove_link(self, u: int, v: int, count: int = 1) -> int:
+        """Remove ``count`` physical links from the (u, v) trunk.
+
+        The multiplicity-aware link-removal primitive: decrements
+        ``mult`` and only deletes the graph edge once the last parallel
+        link is gone.  Returns the remaining multiplicity.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        mult = self.link_mult(u, v)
+        if mult == 0:
+            raise NetworkValidationError(f"no link ({u}, {v}) to remove")
+        if count > mult:
+            raise NetworkValidationError(
+                f"cannot remove {count} links from ({u}, {v}); "
+                f"only {mult} exist"
+            )
+        remaining = mult - count
+        if remaining == 0:
+            self.graph.remove_edge(u, v)
+        else:
+            self.graph[u][v]["mult"] = remaining
+        return remaining
+
     def link_capacity_between(self, u: int, v: int) -> float:
         """Aggregate capacity (Gbps) between two adjacent switches."""
-        return self.link_mult(u, v) * self.link_capacity
+        return self.effective_link_mult(u, v) * self.link_capacity
 
     def network_degree(self, switch: int) -> int:
         """Number of network ports in use at ``switch`` (counting mult)."""
@@ -181,22 +244,47 @@ class Network:
         return links
 
     def directed_capacities(self) -> Dict[DirectedLink, float]:
-        """Capacity of every directed network link, in Gbps."""
+        """Capacity of every directed network link, in Gbps.
+
+        Honors per-link capacity overrides, so every consumer (the flow
+        and packet simulators, the throughput solver, the ideal-routing
+        LP) sees gray-failed links at their degraded rate.
+        """
         capacities: Dict[DirectedLink, float] = {}
-        for u, v, mult in self.undirected_links():
-            capacities[(u, v)] = mult * self.link_capacity
-            capacities[(v, u)] = mult * self.link_capacity
+        for u, v in self.graph.edges:
+            capacity = self.effective_link_mult(u, v) * self.link_capacity
+            capacities[(u, v)] = capacity
+            capacities[(v, u)] = capacity
         return capacities
 
     def total_network_capacity(self) -> float:
         """Sum of capacities over all directed network links, in Gbps."""
         return 2 * sum(
-            mult * self.link_capacity for _u, _v, mult in self.undirected_links()
+            self.effective_link_mult(u, v) * self.link_capacity
+            for u, v in self.graph.edges
         )
 
     # ------------------------------------------------------------------
     # Validation and equipment accounting
     # ------------------------------------------------------------------
+
+    def partitioned_racks(self) -> List[List[int]]:
+        """Rack groups by switch-graph connected component.
+
+        Groups are sorted largest first (ties by smallest rack id) and
+        racks are sorted within each group.  A fully connected fabric
+        yields a single group; racks stranded by failures show up as
+        extra groups, so callers can *measure* disconnection instead of
+        dying on it.  Components containing no racks (e.g. an orphaned
+        spine) contribute no group.
+        """
+        groups: List[List[int]] = []
+        for component in nx.connected_components(self.graph):
+            racks = sorted(r for r in component if r in self._servers)
+            if racks:
+                groups.append(racks)
+        groups.sort(key=lambda group: (-len(group), group[0]))
+        return groups
 
     def validate(self, max_radix: Optional[int] = None) -> None:
         """Check physical feasibility; raise NetworkValidationError if broken.
@@ -211,6 +299,18 @@ class Network:
             if self.graph.has_edge(u, u):
                 raise NetworkValidationError(f"self-loop at switch {u}")
         if self.num_switches > 1 and not nx.is_connected(self.graph):
+            groups = self.partitioned_racks()
+            if len(groups) > 1:
+                # Name concrete unreachable rack pairs: the main
+                # component's first rack against each stranded group.
+                anchor = groups[0][0]
+                pairs = [(anchor, group[0]) for group in groups[1:]]
+                shown = ", ".join(str(p) for p in pairs[:5])
+                more = f" (+{len(pairs) - 5} more)" if len(pairs) > 5 else ""
+                raise NetworkValidationError(
+                    f"racks partitioned into {len(groups)} groups; "
+                    f"unreachable rack pairs include {shown}{more}"
+                )
             raise NetworkValidationError("switch graph is not connected")
         if max_radix is not None:
             for switch in self.graph.nodes:

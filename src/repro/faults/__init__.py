@@ -1,0 +1,29 @@
+"""Fault injection: seeded fault models and the degraded-network transform.
+
+See :mod:`repro.faults.models` for what can break and
+:mod:`repro.faults.apply` for turning a sampled scenario into a
+degraded :class:`~repro.core.network.Network`.
+"""
+
+from repro.faults.apply import apply_fault_set, physical_link_events
+from repro.faults.models import (
+    DEFAULT_GRAY_CAPACITY,
+    FAULT_KINDS,
+    FaultModelError,
+    FaultSet,
+    FaultSpec,
+    sample_fault_set,
+    shared_risk_groups,
+)
+
+__all__ = [
+    "DEFAULT_GRAY_CAPACITY",
+    "FAULT_KINDS",
+    "FaultModelError",
+    "FaultSet",
+    "FaultSpec",
+    "apply_fault_set",
+    "physical_link_events",
+    "sample_fault_set",
+    "shared_risk_groups",
+]

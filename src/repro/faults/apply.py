@@ -1,0 +1,73 @@
+"""Applying a sampled fault scenario to a network.
+
+``apply_fault_set`` is a *pure* transform: it copies the input network
+and returns the degraded copy, so the healthy topology stays available
+for side-by-side comparison (the failure sweep reports every metric as
+a ratio of degraded to healthy).  Disconnection is a legitimate outcome
+— severe scenarios partition the fabric — so nothing here validates
+connectivity; callers use :meth:`Network.partitioned_racks` to measure
+it and restrict traffic to the surviving component.
+
+``physical_link_events`` re-expresses a scenario as the per-cable
+link-down events a link-state control plane would observe, for
+replaying through :meth:`OspfFabric.fail_link` to price reconvergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.network import Network
+from repro.faults.models import Edge, FaultSet
+
+
+def apply_fault_set(network: Network, fault_set: FaultSet) -> Network:
+    """Return a degraded copy of ``network`` under ``fault_set``.
+
+    Failed switches lose every adjacent trunk (they stay in the graph as
+    isolated nodes, so their racks show up as singleton partitions);
+    removed links decrement trunk multiplicity one cable at a time;
+    degraded links get a per-link capacity override.  Events already
+    subsumed by an earlier one (a cable of a trunk a switch failure
+    took down) are skipped rather than errors, so kinds compose.
+    """
+    degraded = network.copy()
+    for switch in fault_set.failed_switches:
+        for neighbor in sorted(degraded.graph.neighbors(switch)):
+            degraded.graph.remove_edge(switch, neighbor)
+    for u, v in fault_set.removed_links:
+        if degraded.graph.has_edge(u, v):
+            degraded.remove_link(u, v)
+    for u, v, scale in fault_set.degraded_links:
+        if degraded.graph.has_edge(u, v):
+            degraded.set_link_capacity_scale(u, v, scale)
+    return degraded
+
+
+def physical_link_events(
+    network: Network, fault_set: FaultSet
+) -> List[Edge]:
+    """Per-cable link-down events of a scenario, in deterministic order.
+
+    Switch failures expand to one event per adjacent physical cable
+    (every trunk member flaps down individually, as optics do).  Gray
+    failures contribute nothing: the adjacency stays up, so a
+    link-state control plane never hears about them — precisely why
+    gray failures are operationally nasty.  Event counts are capped at
+    the trunk's actual multiplicity so overlapping kinds stay replayable
+    through :meth:`OspfFabric.fail_link`.
+    """
+    wanted: Dict[Edge, int] = {}
+    for switch in fault_set.failed_switches:
+        for neighbor in network.graph.neighbors(switch):
+            edge = (min(switch, neighbor), max(switch, neighbor))
+            wanted[edge] = network.link_mult(*edge)
+    for u, v in fault_set.removed_links:
+        edge = (min(u, v), max(u, v))
+        current = wanted.get(edge, 0)
+        if current < network.link_mult(*edge):
+            wanted[edge] = current + 1
+    events: List[Edge] = []
+    for edge in sorted(wanted):
+        events.extend([edge] * wanted[edge])
+    return events

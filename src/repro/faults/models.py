@@ -1,0 +1,252 @@
+"""Seeded, deterministic fault models for failure-resilience studies.
+
+The paper's case for flat topologies rests on path diversity, and the
+operational argument for that diversity is graceful degradation under
+failures (see "Expander Datacenters: From Theory to Practice" in
+PAPERS.md).  This module defines *what can break*:
+
+* **link** — uniform random failures of individual physical links.  A
+  member of a trunk (``mult > 1``) can die alone, leaving the rest of
+  the bundle forwarding at reduced aggregate capacity;
+* **switch** — whole-switch failures: every adjacent link goes down
+  (the switch's servers are stranded with it);
+* **gray** — gray failures: a trunk stays up but forwards at a fraction
+  of its capacity (flapping optics, FEC storms) — modelled with the
+  per-link capacity override of :class:`~repro.core.network.Network`;
+* **correlated** — shared-risk link groups failing together: all cables
+  of one conduit are cut at once.  Groups come from the physical-layout
+  reasoning of :mod:`repro.core.cabling`: a multi-link trunk is one
+  bundle, and on a DRing every link between two adjacent supernodes
+  runs through the same inter-supernode conduit.
+
+A :class:`FaultSpec` says *how much* of each breaks; sampling it against
+a concrete network yields a :class:`FaultSet` — the concrete, ordered,
+JSON-serializable list of events.  Sampling is a pure function of
+``(network, spec, seed)``: candidates are sorted before drawing, all
+randomness flows through one ``random.Random(seed)``, and the resulting
+``FaultSet`` round-trips through JSON byte-identically, which is what
+makes fault scenarios content-addressable by the sweep harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.core.network import Network
+from repro.topology.dring import supernode_of
+
+#: Recognized fault kinds, in rendering order.
+FAULT_KINDS: Tuple[str, ...] = ("link", "switch", "gray", "correlated")
+
+#: Default surviving-capacity fraction of a gray-failed trunk.
+DEFAULT_GRAY_CAPACITY = 0.25
+
+Edge = Tuple[int, int]
+
+
+class FaultModelError(ValueError):
+    """Raised for malformed fault specifications."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How much of a network fails, independent of any concrete network.
+
+    ``fraction`` is interpreted per kind: the fraction of physical links
+    (link), of switches (switch), of trunks (gray), or of shared-risk
+    groups (correlated) that fail.  ``capacity_factor`` is the surviving
+    capacity fraction of gray-failed trunks and is ignored by the other
+    kinds.
+    """
+
+    kind: str
+    fraction: float
+    capacity_factor: float = DEFAULT_GRAY_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultModelError(
+                f"unknown fault kind {self.kind!r}; know {list(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.fraction < 1.0:
+            raise FaultModelError(
+                f"fault fraction must be in [0, 1), got {self.fraction}"
+            )
+        if not 0.0 < self.capacity_factor < 1.0:
+            raise FaultModelError(
+                "gray capacity_factor must be in (0, 1), got "
+                f"{self.capacity_factor}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "fraction": self.fraction,
+            "capacity_factor": self.capacity_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            fraction=float(payload["fraction"]),
+            capacity_factor=float(
+                payload.get("capacity_factor", DEFAULT_GRAY_CAPACITY)
+            ),
+        )
+
+    def label(self) -> str:
+        if self.kind == "gray":
+            return f"gray({self.fraction:g}@{self.capacity_factor:g})"
+        return f"{self.kind}({self.fraction:g})"
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """The concrete sampled events of one fault scenario.
+
+    ``removed_links`` lists one entry per *physical* cable removed (a
+    switch pair may repeat when several members of its trunk die);
+    ``failed_switches`` lists switches whose every link goes down;
+    ``degraded_links`` lists ``(u, v, capacity_scale)`` gray failures.
+    Event order is deterministic and part of the scenario identity.
+    """
+
+    removed_links: Tuple[Edge, ...] = ()
+    failed_switches: Tuple[int, ...] = ()
+    degraded_links: Tuple[Tuple[int, int, float], ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (
+            self.removed_links or self.failed_switches or self.degraded_links
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "removed_links": [list(edge) for edge in self.removed_links],
+            "failed_switches": list(self.failed_switches),
+            "degraded_links": [list(entry) for entry in self.degraded_links],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSet":
+        return cls(
+            removed_links=tuple(
+                (int(u), int(v)) for u, v in payload.get("removed_links", [])
+            ),
+            failed_switches=tuple(
+                int(s) for s in payload.get("failed_switches", [])
+            ),
+            degraded_links=tuple(
+                (int(u), int(v), float(scale))
+                for u, v, scale in payload.get("degraded_links", [])
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """A stable digest identifying this exact scenario."""
+        material = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Shared-risk groups
+# ----------------------------------------------------------------------
+
+
+def shared_risk_groups(network: Network) -> List[Tuple[str, List[Edge]]]:
+    """Shared-risk link groups of a network, deterministically ordered.
+
+    On a DRing (recognized by the ``dring_m``/``dring_n`` graph
+    attributes) every link between one pair of adjacent supernodes
+    shares the inter-supernode conduit and forms one group — cutting
+    that conduit severs ``n^2`` links at once.  On every other topology
+    each switch-pair trunk is one group: its ``mult`` parallel cables
+    run bundled between the same two rack positions (the
+    :mod:`repro.core.cabling` notion of a cable run), so a cut takes the
+    whole bundle.
+    """
+    m = network.graph.graph.get("dring_m")
+    n = network.graph.graph.get("dring_n")
+    groups: Dict[str, List[Edge]] = {}
+    for u, v, _mult in sorted(network.undirected_links()):
+        edge = (min(u, v), max(u, v))
+        if m is not None and n is not None:
+            sa, sb = sorted((supernode_of(u, n), supernode_of(v, n)))
+            key = f"supernodes {sa}-{sb}"
+        else:
+            key = f"trunk {edge[0]}-{edge[1]}"
+        groups.setdefault(key, []).append(edge)
+    return sorted(groups.items())
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+
+def _physical_links(network: Network) -> List[Edge]:
+    """One entry per physical cable, trunk members repeated, sorted."""
+    cables: List[Edge] = []
+    for u, v, mult in sorted(network.undirected_links()):
+        edge = (min(u, v), max(u, v))
+        cables.extend([edge] * mult)
+    return cables
+
+
+def sample_fault_set(
+    network: Network, spec: FaultSpec, seed: int
+) -> FaultSet:
+    """Draw one concrete fault scenario — pure in (network, spec, seed).
+
+    Candidate populations are sorted before sampling and the count of
+    failures is ``round(fraction * population)``, so the same inputs
+    always yield the same :class:`FaultSet`, across processes and
+    platforms.
+    """
+    rng = random.Random(seed)
+    if spec.kind == "link":
+        cables = _physical_links(network)
+        count = _fail_count(spec.fraction, len(cables))
+        removed = sorted(rng.sample(cables, count))
+        return FaultSet(removed_links=tuple(removed))
+    if spec.kind == "switch":
+        switches = network.switches
+        count = _fail_count(spec.fraction, len(switches))
+        failed = sorted(rng.sample(switches, count))
+        return FaultSet(failed_switches=tuple(failed))
+    if spec.kind == "gray":
+        trunks = sorted(
+            (min(u, v), max(u, v))
+            for u, v, _mult in network.undirected_links()
+        )
+        count = _fail_count(spec.fraction, len(trunks))
+        chosen = sorted(rng.sample(trunks, count))
+        return FaultSet(
+            degraded_links=tuple(
+                (u, v, spec.capacity_factor) for u, v in chosen
+            )
+        )
+    if spec.kind == "correlated":
+        groups = shared_risk_groups(network)
+        count = _fail_count(spec.fraction, len(groups))
+        chosen = sorted(rng.sample(range(len(groups)), count))
+        removed: List[Edge] = []
+        for index in chosen:
+            _key, edges = groups[index]
+            for edge in edges:
+                # A conduit cut severs every physical cable it carries.
+                removed.extend([edge] * network.link_mult(*edge))
+        return FaultSet(removed_links=tuple(sorted(removed)))
+    raise FaultModelError(f"unknown fault kind {spec.kind!r}")
+
+
+def _fail_count(fraction: float, population: int) -> int:
+    """How many of ``population`` fail at ``fraction`` (never all)."""
+    if population == 0 or fraction <= 0.0:
+        return 0
+    return min(population - 1, round(fraction * population))

@@ -23,11 +23,13 @@ from repro.harness.jobs import (
     EXPERIMENT_REGISTRY,
     JobSpec,
     ablation_jobs,
+    assemble_faults,
     assemble_fig4,
     assemble_fig5,
     assemble_fig6,
     assemble_robustness,
     execute_job,
+    faults_jobs,
     fig4_jobs,
     fig5_jobs,
     fig6_jobs,
@@ -47,12 +49,14 @@ __all__ = [
     "ResultCache",
     "RunManifest",
     "ablation_jobs",
+    "assemble_faults",
     "assemble_fig4",
     "assemble_fig5",
     "assemble_fig6",
     "assemble_robustness",
     "collect_env",
     "execute_job",
+    "faults_jobs",
     "fig4_jobs",
     "fig5_jobs",
     "fig6_jobs",

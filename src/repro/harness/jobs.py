@@ -271,6 +271,22 @@ def _run_ablation_shape_job(spec: JobSpec) -> List[Dict[str, Any]]:
     return [dataclasses.asdict(p) for p in points]
 
 
+def _run_faults_job(spec: JobSpec) -> Dict[str, Any]:
+    from repro.experiments.failure_sweep import run_failure_cell
+
+    params = spec.params_dict()
+    return run_failure_cell(
+        _scale(spec),
+        topology=spec.pattern,
+        scheme=spec.scheme,
+        kind=str(params["kind"]),
+        fraction=float(params["fraction"]),
+        trial=int(params["trial"]),
+        seed=spec.seed,
+        capacity_factor=float(params["capacity_factor"]),
+    )
+
+
 def _run_selftest_job(spec: JobSpec) -> Dict[str, Any]:
     """A tiny built-in job for exercising the executor itself.
 
@@ -314,6 +330,17 @@ register_experiment(
 register_experiment(
     "ablation-shape", _run_ablation_shape_job,
     _SIM_DEPS + ("repro.experiments.ablations",)
+)
+register_experiment(
+    "faults",
+    _run_faults_job,
+    _SIM_DEPS + (
+        "repro.faults",
+        "repro.igp",
+        "repro.bgp",
+        "repro.experiments.failure_sweep",
+        "repro.experiments.runner",
+    ),
 )
 register_experiment("selftest", _run_selftest_job, ("repro.harness.jobs",))
 
@@ -422,8 +449,63 @@ def ablation_jobs(
     return jobs
 
 
+def faults_jobs(
+    scale: str,
+    seed: int = 0,
+    topologies: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    fractions: Optional[Sequence[float]] = None,
+    trials: int = 2,
+    capacity_factor: Optional[float] = None,
+) -> List[JobSpec]:
+    """The failure-resilience sweep as one job per scenario cell.
+
+    Topology lands in ``pattern`` and the routing scheme in ``scheme``
+    (the JobSpec's scalar-only fields); fault kind, failed fraction,
+    trial index and gray capacity ride along as params.
+    """
+    from repro.experiments.failure_sweep import (
+        DEFAULT_FRACTIONS,
+        FAULT_SCHEMES,
+        FAULT_TOPOLOGIES,
+    )
+    from repro.faults import DEFAULT_GRAY_CAPACITY
+
+    if topologies is None:
+        topologies = FAULT_TOPOLOGIES
+    if schemes is None:
+        schemes = FAULT_SCHEMES
+    if kinds is None:
+        kinds = ("link",)
+    if fractions is None:
+        fractions = DEFAULT_FRACTIONS
+    if capacity_factor is None:
+        capacity_factor = DEFAULT_GRAY_CAPACITY
+    return [
+        JobSpec.make(
+            "faults",
+            scale=scale,
+            scheme=scheme,
+            pattern=topology,
+            seed=seed,
+            kind=str(kind),
+            fraction=float(fraction),
+            trial=int(trial),
+            capacity_factor=float(capacity_factor),
+        )
+        for topology in topologies
+        for scheme in schemes
+        for kind in kinds
+        for fraction in fractions
+        for trial in range(trials)
+    ]
+
+
 #: Sweep names accepted by ``repro sweep --experiment``.
-SWEEPS: Tuple[str, ...] = ("fig4", "fig5", "fig6", "robustness", "ablations")
+SWEEPS: Tuple[str, ...] = (
+    "fig4", "fig5", "fig6", "robustness", "ablations", "faults"
+)
 
 
 def sweep_jobs(
@@ -442,6 +524,8 @@ def sweep_jobs(
             jobs += robustness_jobs(scale)
         elif name == "ablations":
             jobs += ablation_jobs(scale, seed=seed)
+        elif name == "faults":
+            jobs += faults_jobs(scale, seed=seed)
         else:
             raise KeyError(f"unknown sweep {name!r}; know {list(SWEEPS)}")
     return jobs
@@ -516,6 +600,17 @@ def assemble_fig6(specs: Sequence[JobSpec], results: Dict[str, Any]):
         if spec.experiment == "fig6"
     ]
     return sorted(points, key=lambda p: p.supernodes)
+
+
+def assemble_faults(
+    specs: Sequence[JobSpec], results: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Collect the faults sweep's per-cell records, in spec order."""
+    return [
+        payload
+        for spec, payload in _present(specs, results)
+        if spec.experiment == "faults"
+    ]
 
 
 def assemble_robustness(specs: Sequence[JobSpec], results: Dict[str, Any]):

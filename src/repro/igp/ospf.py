@@ -181,12 +181,23 @@ class OspfFabric:
     # ------------------------------------------------------------------
 
     def fail_link(self, u: int, v: int, max_rounds: int = 10_000) -> OspfReport:
-        """Fail one physical link and re-flood incrementally."""
+        """Fail one physical link and re-flood incrementally.
+
+        Bundled links fail one member at a time: the trunk's
+        multiplicity is decremented and the adjacency (hence the LSDB)
+        only changes when the *last* member dies — losing one cable of a
+        trunk costs zero flooding, exactly as real OSPF behaves.
+        """
         if self._report is None:
             raise RuntimeError("converge() must run before failing links")
         if not self.network.graph.has_edge(u, v):
             raise ValueError(f"no link ({u}, {v}) to fail")
-        self.network.graph.remove_edge(u, v)
+        if self.network.remove_link(u, v) > 0:
+            # Trunk members remain: the adjacency survives, no LSA
+            # changes, nothing to flood and the routes stay valid.
+            report = OspfReport(rounds=0, lsas_flooded=0)
+            self._report = report
+            return report
         # The two endpoints notice and re-originate with bumped sequence.
         pending: Dict[int, Set[int]] = {}
         for endpoint in (u, v):

@@ -43,8 +43,9 @@ class EcmpRouting(RoutingScheme):
     def next_hops(self, node: int, dst: int) -> List[Tuple[int, float]]:
         """Minimum-distance next hops at ``node`` toward ``dst``.
 
-        Weights are parallel-link multiplicities, matching how hardware
-        hashes over member links of a trunk.
+        Weights are capacity-effective multiplicities (parallel links
+        scaled by any gray-failure capacity override), matching how
+        WCMP-style hashing shifts traffic away from degraded trunks.
         """
         dist = self._distances_to(dst)
         here = dist.get(node)
@@ -53,7 +54,7 @@ class EcmpRouting(RoutingScheme):
         hops = []
         for nbr in self.network.graph.neighbors(node):
             if dist.get(nbr, here) == here - 1:
-                hops.append((nbr, float(self.network.link_mult(node, nbr))))
+                hops.append((nbr, self.network.effective_link_mult(node, nbr)))
         return hops
 
     # ------------------------------------------------------------------

@@ -109,6 +109,88 @@ class TestLinksAndPorts:
         assert net.total_network_capacity() == 6 * net.link_capacity
 
 
+class TestLinkRemoval:
+    def test_remove_decrements_trunk(self):
+        net = build_network([(0, 1), (0, 1), (1, 2)], {0: 1, 1: 1, 2: 1})
+        assert net.remove_link(0, 1) == 1
+        assert net.link_mult(0, 1) == 1
+        assert net.graph.has_edge(0, 1)
+
+    def test_last_member_removes_the_edge(self):
+        net = triangle()
+        assert net.remove_link(0, 1) == 0
+        assert not net.graph.has_edge(0, 1)
+
+    def test_remove_count(self):
+        net = build_network([(0, 1)] * 3 + [(1, 2)], {0: 1, 1: 1, 2: 1})
+        assert net.remove_link(0, 1, count=2) == 1
+
+    def test_remove_too_many_rejected(self):
+        net = triangle()
+        with pytest.raises(NetworkValidationError):
+            net.remove_link(0, 1, count=2)
+        with pytest.raises(NetworkValidationError):
+            net.remove_link(0, 9)
+        with pytest.raises(ValueError):
+            net.remove_link(0, 1, count=0)
+
+
+class TestCapacityScale:
+    def test_scale_reduces_effective_capacity(self):
+        net = build_network([(0, 1), (0, 1)], {0: 1, 1: 1}, link_capacity=10.0)
+        net.set_link_capacity_scale(0, 1, 0.5)
+        assert net.link_capacity_scale(0, 1) == 0.5
+        assert net.effective_link_mult(0, 1) == 1.0
+        assert net.link_capacity_between(0, 1) == 10.0
+        assert net.directed_capacities()[(0, 1)] == 10.0
+        # Directed sum: 10 Gbps effective in each direction.
+        assert net.total_network_capacity() == 20.0
+
+    def test_scale_does_not_touch_ports(self):
+        net = triangle()
+        net.set_link_capacity_scale(0, 1, 0.25)
+        # Gray links still occupy switch radix at full port count.
+        assert net.network_degree(0) == 2
+        assert net.link_mult(0, 1) == 1
+
+    def test_missing_link_rejected(self):
+        net = triangle()
+        with pytest.raises(NetworkValidationError):
+            net.set_link_capacity_scale(0, 9, 0.5)
+
+    def test_nonpositive_scale_rejected(self):
+        net = triangle()
+        with pytest.raises(NetworkValidationError):
+            net.set_link_capacity_scale(0, 1, 0.0)
+
+    def test_copy_preserves_scale(self):
+        net = triangle()
+        net.set_link_capacity_scale(0, 1, 0.5)
+        assert net.copy().link_capacity_scale(0, 1) == 0.5
+
+
+class TestPartitionedRacks:
+    def test_connected_network_is_one_group(self):
+        groups = triangle().partitioned_racks()
+        assert groups == [[0, 1, 2]]
+
+    def test_groups_sorted_largest_first(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        graph.add_edge(1, 2, mult=1)
+        graph.add_edge(3, 4, mult=1)
+        net = Network(graph, {0: 1, 1: 1, 2: 1, 3: 1, 4: 1})
+        assert net.partitioned_racks() == [[0, 1, 2], [3, 4]]
+
+    def test_serverless_switches_excluded(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        graph.add_edge(2, 3, mult=1)
+        net = Network(graph, {0: 1, 1: 1, 2: 1})  # 3 has no servers
+        groups = net.partitioned_racks()
+        assert groups == [[0, 1], [2]]
+
+
 class TestValidation:
     def test_disconnected_rejected(self):
         graph = nx.Graph()
@@ -117,6 +199,17 @@ class TestValidation:
         net = Network(graph, {0: 1, 2: 1})
         with pytest.raises(NetworkValidationError):
             net.validate()
+
+    def test_disconnection_names_unreachable_rack_pairs(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, mult=1)
+        graph.add_edge(2, 3, mult=1)
+        net = Network(graph, {0: 1, 2: 1})
+        with pytest.raises(NetworkValidationError) as excinfo:
+            net.validate()
+        message = str(excinfo.value)
+        assert "partitioned into 2 groups" in message
+        assert "(0, 2)" in message
 
     def test_radix_limit_enforced(self):
         net = triangle({0: 10, 1: 1, 2: 1})

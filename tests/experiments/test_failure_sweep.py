@@ -1,0 +1,184 @@
+"""Tests for the failure-resilience sweep experiment."""
+
+import json
+
+import pytest
+
+from repro.experiments.failure_sweep import (
+    DEFAULT_FRACTIONS,
+    FAULT_SCHEMES,
+    FAULT_TOPOLOGIES,
+    build_fault_topology,
+    derived_seed,
+    failure_table_from_cells,
+    render_failure_sweep,
+    render_hot_links,
+    run_failure_cell,
+)
+from repro.experiments.runner import Scale, register_scale
+
+TINY = register_scale(
+    Scale(
+        name="tiny-faults",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=120,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+
+class TestDerivedSeed:
+    def test_stable_and_distinct(self):
+        assert derived_seed("a", 1, 0.5) == derived_seed("a", 1, 0.5)
+        assert derived_seed("a", 1) != derived_seed("a", 2)
+
+    def test_no_builtin_hash(self):
+        # Pinned value: must survive PYTHONHASHSEED and process restarts.
+        assert derived_seed("pin") == derived_seed("pin")
+        assert isinstance(derived_seed("pin"), int)
+
+
+class TestTopologies:
+    def test_all_default_topologies_build(self):
+        for kind in FAULT_TOPOLOGIES:
+            net = build_fault_topology(kind, TINY, seed=0)
+            assert net.num_servers > 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_fault_topology("moebius", TINY)
+
+
+class TestCell:
+    def test_cell_is_deterministic(self):
+        a = run_failure_cell(
+            TINY, "dring", "ecmp", "link", 0.1, trial=0, seed=0
+        )
+        b = run_failure_cell(
+            TINY, "dring", "ecmp", "link", 0.1, trial=0, seed=0
+        )
+        assert a == b
+
+    def test_cell_is_json_serializable(self):
+        cell = run_failure_cell(
+            TINY, "rrg", "su2", "link", 0.1, trial=0, seed=0
+        )
+        assert json.loads(json.dumps(cell)) == cell
+
+    def test_zero_fraction_is_the_healthy_baseline(self):
+        cell = run_failure_cell(
+            TINY, "dring", "ecmp", "link", 0.0, trial=0, seed=0
+        )
+        assert cell["throughput_ratio"] == pytest.approx(1.0)
+        assert cell["path_ratio"] == pytest.approx(1.0)
+        assert cell["fct_ratio"] == pytest.approx(1.0)
+        assert cell["ospf_rounds"] == 0
+        assert cell["racks_surviving"] == cell["racks_total"]
+
+    def test_schemes_face_identical_scenarios(self):
+        ecmp = run_failure_cell(
+            TINY, "dring", "ecmp", "link", 0.1, trial=0, seed=0
+        )
+        su2 = run_failure_cell(
+            TINY, "dring", "su2", "link", 0.1, trial=0, seed=0
+        )
+        assert ecmp["fault_fingerprint"] == su2["fault_fingerprint"]
+
+    def test_link_failures_degrade_throughput(self):
+        cell = run_failure_cell(
+            TINY, "dring", "su2", "link", 0.1, trial=0, seed=0
+        )
+        assert 0.0 < cell["throughput_ratio"] <= 1.0 + 1e-9
+        assert cell["ospf_rounds"] > 0
+        assert cell["links_removed"] > 0
+
+    def test_switch_failures_shrink_the_fabric(self):
+        cell = run_failure_cell(
+            TINY, "dring", "ecmp", "switch", 0.3, trial=0, seed=0
+        )
+        assert cell["switches_failed"] > 0
+        assert cell["racks_surviving"] < cell["racks_total"]
+        assert cell["flows_surviving"] < cell["flows_total"]
+
+    def test_gray_failures_cost_no_reconvergence(self):
+        cell = run_failure_cell(
+            TINY, "dring", "ecmp", "gray", 0.2, trial=0, seed=0
+        )
+        assert cell["links_degraded"] > 0
+        assert cell["ospf_rounds"] == 0
+        assert cell["racks_surviving"] == cell["racks_total"]
+        assert cell["throughput_ratio"] <= 1.0 + 1e-9
+
+
+class TestAggregation:
+    def make_cell(self, **overrides):
+        cell = {
+            "topology": "dring",
+            "scheme": "ecmp",
+            "kind": "link",
+            "fraction": 0.05,
+            "trial": 0,
+            "throughput_ratio": 0.8,
+            "fct_ratio": 1.5,
+            "path_ratio": 0.9,
+            "racks_surviving": 10,
+            "racks_total": 10,
+            "ospf_rounds": 4,
+            "ospf_lsas": 40,
+            "hottest_links": [["0->1", 0.9]],
+        }
+        cell.update(overrides)
+        return cell
+
+    def test_rows_average_over_trials(self):
+        cells = [
+            self.make_cell(trial=0, throughput_ratio=0.8),
+            self.make_cell(trial=1, throughput_ratio=0.6),
+        ]
+        rows = failure_table_from_cells(cells)
+        assert len(rows) == 1
+        assert rows[0]["trials"] == 2
+        assert rows[0]["throughput_ratio"] == pytest.approx(0.7)
+
+    def test_disconnected_trials_drop_from_fct_mean(self):
+        cells = [
+            self.make_cell(trial=0, fct_ratio=2.0),
+            self.make_cell(trial=1, fct_ratio=None),
+        ]
+        rows = failure_table_from_cells(cells)
+        assert rows[0]["fct_ratio"] == pytest.approx(2.0)
+
+    def test_render_contains_sections_and_rows(self):
+        cells = [
+            self.make_cell(),
+            self.make_cell(kind="switch", topology="rrg", scheme="su2"),
+        ]
+        text = render_failure_sweep(cells)
+        assert "Failure resilience — link faults" in text
+        assert "Failure resilience — switch faults" in text
+        assert "dring" in text and "rrg" in text
+
+    def test_render_hot_links_picks_worst_fraction(self):
+        cells = [
+            self.make_cell(fraction=0.02, hottest_links=[["0->1", 0.5]]),
+            self.make_cell(fraction=0.10, hottest_links=[["2->3", 0.9]]),
+        ]
+        text = render_hot_links(cells)
+        assert "2->3" in text and "0->1" not in text
+
+    def test_render_hot_links_empty(self):
+        assert render_hot_links([self.make_cell(hottest_links=[])]) == ""
+
+
+class TestDefaults:
+    def test_default_grid_meets_acceptance_floor(self):
+        # The ISSUE's acceptance criterion: >= 3 topologies x 2 schemes
+        # x >= 3 fractions.
+        assert len(FAULT_TOPOLOGIES) >= 3
+        assert len(FAULT_SCHEMES) == 2
+        assert len(DEFAULT_FRACTIONS) >= 3

@@ -1,0 +1,110 @@
+"""Tests for applying fault scenarios: purity, composition, OSPF replay."""
+
+import pytest
+
+from repro.core.network import build_network
+from repro.faults import (
+    FaultSet,
+    FaultSpec,
+    apply_fault_set,
+    physical_link_events,
+    sample_fault_set,
+)
+from repro.igp import build_converged_igp
+
+
+def trunked_triangle():
+    """0-1 is a 3-cable trunk; 0-2 and 1-2 are single links."""
+    return build_network(
+        [(0, 1), (0, 1), (0, 1), (0, 2), (1, 2)], {0: 2, 1: 2, 2: 2}
+    )
+
+
+class TestApply:
+    def test_returns_a_copy(self, small_dring):
+        fault_set = sample_fault_set(small_dring, FaultSpec("link", 0.2), 3)
+        before = dict(small_dring.directed_capacities())
+        degraded = apply_fault_set(small_dring, fault_set)
+        assert degraded is not small_dring
+        assert dict(small_dring.directed_capacities()) == before
+        assert degraded.total_network_capacity() < (
+            small_dring.total_network_capacity()
+        )
+
+    def test_trunk_members_decrement(self):
+        net = trunked_triangle()
+        degraded = apply_fault_set(
+            net, FaultSet(removed_links=((0, 1), (0, 1)))
+        )
+        assert degraded.link_mult(0, 1) == 1
+        assert net.link_mult(0, 1) == 3
+
+    def test_switch_failure_isolates_rack(self):
+        net = trunked_triangle()
+        degraded = apply_fault_set(net, FaultSet(failed_switches=(2,)))
+        assert degraded.graph.degree(2) == 0
+        groups = degraded.partitioned_racks()
+        assert groups[0] == [0, 1]
+        assert [2] in groups
+
+    def test_gray_failure_scales_capacity(self):
+        net = trunked_triangle()
+        degraded = apply_fault_set(
+            net, FaultSet(degraded_links=((0, 2, 0.25),))
+        )
+        assert degraded.link_capacity_scale(0, 2) == 0.25
+        assert degraded.link_capacity_between(0, 2) == (
+            0.25 * net.link_capacity_between(0, 2)
+        )
+        # The physical port count is unchanged: gray links still occupy
+        # switch radix even while forwarding at reduced rate.
+        assert degraded.link_mult(0, 2) == net.link_mult(0, 2)
+
+    def test_overlapping_events_compose(self):
+        # The switch failure already removed (1, 2); the explicit link
+        # removal and degradation of dead links must be skipped quietly.
+        net = trunked_triangle()
+        degraded = apply_fault_set(
+            net,
+            FaultSet(
+                removed_links=((1, 2),),
+                failed_switches=(2,),
+                degraded_links=((0, 2, 0.5),),
+            ),
+        )
+        assert not degraded.graph.has_edge(1, 2)
+        assert not degraded.graph.has_edge(0, 2)
+
+
+class TestPhysicalLinkEvents:
+    def test_switch_failure_expands_per_cable(self):
+        net = trunked_triangle()
+        events = physical_link_events(net, FaultSet(failed_switches=(0,)))
+        assert events == [(0, 1), (0, 1), (0, 1), (0, 2)]
+
+    def test_gray_failures_are_silent(self):
+        net = trunked_triangle()
+        events = physical_link_events(
+            net, FaultSet(degraded_links=((0, 1, 0.25),))
+        )
+        assert events == []
+
+    def test_overlap_capped_at_multiplicity(self):
+        net = trunked_triangle()
+        events = physical_link_events(
+            net,
+            FaultSet(removed_links=((0, 2), (0, 2)), failed_switches=()),
+        )
+        assert events == [(0, 2)]
+
+    def test_events_replay_through_ospf(self, small_dring):
+        fault_set = sample_fault_set(small_dring, FaultSpec("link", 0.15), 9)
+        fabric = build_converged_igp(small_dring)
+        total_rounds = 0
+        for u, v in physical_link_events(small_dring, fault_set):
+            total_rounds += fabric.fail_link(u, v).rounds
+        assert fabric.databases_consistent()
+        # The fabric's copy now matches the applied degraded network.
+        degraded = apply_fault_set(small_dring, fault_set)
+        for u, v, mult in degraded.undirected_links():
+            assert fabric.network.link_mult(u, v) == mult

@@ -1,0 +1,161 @@
+"""Tests for the fault models: specs, sampling, shared-risk groups."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultModelError,
+    FaultSet,
+    FaultSpec,
+    sample_fault_set,
+    shared_risk_groups,
+)
+from repro.faults.models import _physical_links
+from repro.topology import dring, jellyfish
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec("meteor", 0.1)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec("link", 1.0)
+        with pytest.raises(FaultModelError):
+            FaultSpec("link", -0.1)
+
+    def test_gray_capacity_bounds(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec("gray", 0.1, capacity_factor=0.0)
+        with pytest.raises(FaultModelError):
+            FaultSpec("gray", 0.1, capacity_factor=1.0)
+
+    def test_round_trips_through_dict(self):
+        spec = FaultSpec("gray", 0.05, capacity_factor=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_labels(self):
+        assert FaultSpec("link", 0.05).label() == "link(0.05)"
+        assert "@0.5" in FaultSpec("gray", 0.1, 0.5).label()
+
+
+class TestFaultSet:
+    def test_round_trips_through_json(self):
+        fault_set = FaultSet(
+            removed_links=((0, 1), (0, 1), (2, 3)),
+            failed_switches=(7,),
+            degraded_links=((4, 5, 0.25),),
+        )
+        payload = json.loads(json.dumps(fault_set.to_dict()))
+        assert FaultSet.from_dict(payload) == fault_set
+
+    def test_fingerprint_distinguishes_scenarios(self):
+        a = FaultSet(removed_links=((0, 1),))
+        b = FaultSet(removed_links=((0, 2),))
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == FaultSet(removed_links=((0, 1),)).fingerprint()
+
+    def test_empty(self):
+        assert FaultSet().is_empty()
+        assert not FaultSet(failed_switches=(1,)).is_empty()
+
+
+class TestSampling:
+    def test_same_seed_same_scenario(self, small_dring):
+        spec = FaultSpec("link", 0.1)
+        assert sample_fault_set(small_dring, spec, 7) == sample_fault_set(
+            small_dring, spec, 7
+        )
+
+    def test_different_seeds_differ(self, small_dring):
+        spec = FaultSpec("link", 0.1)
+        scenarios = {
+            sample_fault_set(small_dring, spec, seed).fingerprint()
+            for seed in range(8)
+        }
+        assert len(scenarios) > 1
+
+    def test_zero_fraction_is_empty(self, small_dring):
+        for kind in ("link", "switch", "gray", "correlated"):
+            assert sample_fault_set(
+                small_dring, FaultSpec(kind, 0.0), 0
+            ).is_empty()
+
+    def test_link_count_tracks_fraction(self, small_dring):
+        cables = len(_physical_links(small_dring))
+        fault_set = sample_fault_set(small_dring, FaultSpec("link", 0.1), 3)
+        assert len(fault_set.removed_links) == round(0.1 * cables)
+
+    def test_never_fails_everything(self, small_dring):
+        fault_set = sample_fault_set(
+            small_dring, FaultSpec("switch", 0.99), 0
+        )
+        assert len(fault_set.failed_switches) < small_dring.num_switches
+
+    def test_link_removals_respect_multiplicity(self, small_dring):
+        fault_set = sample_fault_set(small_dring, FaultSpec("link", 0.3), 5)
+        counts = {}
+        for edge in fault_set.removed_links:
+            counts[edge] = counts.get(edge, 0) + 1
+        for (u, v), count in counts.items():
+            assert count <= small_dring.link_mult(u, v)
+
+    def test_switch_samples_switches(self, small_dring):
+        fault_set = sample_fault_set(small_dring, FaultSpec("switch", 0.2), 1)
+        assert fault_set.failed_switches
+        assert set(fault_set.failed_switches) <= set(small_dring.switches)
+
+    def test_gray_marks_trunks_with_factor(self, small_dring):
+        fault_set = sample_fault_set(
+            small_dring, FaultSpec("gray", 0.2, capacity_factor=0.5), 1
+        )
+        assert fault_set.degraded_links
+        for u, v, scale in fault_set.degraded_links:
+            assert scale == 0.5
+            assert small_dring.graph.has_edge(u, v)
+
+    def test_correlated_removes_whole_groups(self, small_dring):
+        groups = dict(shared_risk_groups(small_dring))
+        fault_set = sample_fault_set(
+            small_dring, FaultSpec("correlated", 0.2), 2
+        )
+        assert fault_set.removed_links
+        removed = {}
+        for edge in fault_set.removed_links:
+            removed[edge] = removed.get(edge, 0) + 1
+        # Each removed trunk is fully removed, and belongs to a group
+        # every other member of which is also fully removed.
+        for edges in groups.values():
+            touched = [e for e in set(edges) if e in removed]
+            if not touched:
+                continue
+            for edge in set(edges):
+                assert removed.get(edge) == small_dring.link_mult(*edge)
+
+
+class TestSharedRiskGroups:
+    def test_dring_groups_by_supernode_pair(self):
+        net = dring(6, 2, servers_per_rack=4)
+        groups = shared_risk_groups(net)
+        assert all(key.startswith("supernodes") for key, _ in groups)
+        # Inter-supernode conduits carry several links each.
+        assert any(len(edges) > 1 for _, edges in groups)
+
+    def test_flat_groups_are_trunks(self):
+        net = jellyfish(10, 4, servers_per_switch=3, seed=7)
+        groups = shared_risk_groups(net)
+        assert all(key.startswith("trunk") for key, _ in groups)
+        assert len(groups) == len(list(net.undirected_links()))
+
+    def test_groups_cover_every_link_once(self, small_dring):
+        covered = [
+            edge for _key, edges in shared_risk_groups(small_dring)
+            for edge in edges
+        ]
+        expected = sorted(
+            (min(u, v), max(u, v))
+            for u, v, _m in small_dring.undirected_links()
+        )
+        assert sorted(covered) == expected

@@ -7,6 +7,7 @@ from repro.harness.jobs import (
     EXPERIMENT_REGISTRY,
     JobSpec,
     ablation_jobs,
+    faults_jobs,
     fig4_jobs,
     fig5_jobs,
     fig6_jobs,
@@ -120,6 +121,38 @@ class TestJobLists:
         kinds = {s.experiment for s in specs}
         assert kinds == {"ablation-k", "ablation-shape"}
 
+    def test_faults_default_grid(self):
+        specs = faults_jobs("small", seed=0)
+        # 4 topologies x 2 schemes x 1 kind x 3 fractions x 2 trials.
+        assert len(specs) == 4 * 2 * 3 * 2
+        assert all(s.experiment == "faults" for s in specs)
+        assert len({s.key() for s in specs}) == len(specs)
+
+    def test_faults_subset_and_params(self):
+        specs = faults_jobs(
+            "small",
+            seed=3,
+            topologies=["dring"],
+            schemes=["ecmp"],
+            kinds=["gray"],
+            fractions=[0.05],
+            trials=1,
+            capacity_factor=0.5,
+        )
+        assert len(specs) == 1
+        spec = specs[0]
+        assert spec.pattern == "dring" and spec.scheme == "ecmp"
+        params = spec.params_dict()
+        assert params["kind"] == "gray"
+        assert params["capacity_factor"] == 0.5
+
+    def test_faults_trials_get_distinct_keys(self):
+        specs = faults_jobs(
+            "small", topologies=["rrg"], schemes=["su2"],
+            fractions=[0.1], trials=3,
+        )
+        assert len({s.key() for s in specs}) == 3
+
     def test_sweep_jobs_concatenates(self):
         specs = sweep_jobs(["fig5", "fig6"], "small", seed=0)
         assert len(specs) == 32 + 6
@@ -130,5 +163,5 @@ class TestJobLists:
 
     def test_all_builtin_experiments_registered(self):
         for name in ("fig4", "fig5", "fig6", "robustness", "ablation-k",
-                     "ablation-shape", "selftest"):
+                     "ablation-shape", "faults", "selftest"):
             assert name in EXPERIMENT_REGISTRY

@@ -113,6 +113,29 @@ class TestFailures:
         with pytest.raises(RuntimeError):
             fabric.fail_link(0, 2)
 
+    def test_trunk_member_failure_floods_nothing(self):
+        # Losing one cable of a 2-cable trunk leaves the adjacency up:
+        # mult decrements, no LSA changes, zero flooding rounds.
+        net = build_network(
+            [(0, 1), (0, 1), (1, 2), (2, 0)], {0: 1, 1: 1, 2: 1}
+        )
+        fabric = build_converged_igp(net)
+        routes_before = fabric.next_hops(0, 1)
+        report = fabric.fail_link(0, 1)
+        assert report.rounds == 0 and report.lsas_flooded == 0
+        assert fabric.network.link_mult(0, 1) == 1
+        assert fabric.next_hops(0, 1) == routes_before
+        # The last member going down is a real adjacency change.
+        report = fabric.fail_link(0, 1)
+        assert report.rounds >= 1
+        assert not fabric.network.graph.has_edge(0, 1)
+        assert fabric.next_hops(0, 1) == [2]
+
+    def test_unknown_link_failure_rejected(self, small_dring):
+        fabric = build_converged_igp(small_dring)
+        with pytest.raises(ValueError):
+            fabric.fail_link(0, 999)
+
 
 class TestOspfProperties:
     from hypothesis import given, settings

@@ -1,0 +1,111 @@
+"""Per-link capacity overrides must be honored by every simulator layer.
+
+Gray failures are modelled as a per-link ``cap_scale`` on the Network;
+these tests pin the contract at each consumer: the max-min allocator
+(conservation), the flow-level simulator (achieved throughput), and the
+packet-level simulator (a scaled link behaves identically to a link
+built with the lower capacity outright).
+"""
+
+import pytest
+
+from repro.core.network import Network, build_network
+from repro.routing import EcmpRouting
+from repro.sim.flowsim import simulate_fct
+from repro.sim.packet import PacketSimulator
+from repro.sim.throughput import tm_throughput
+from repro.traffic import CanonicalCluster, Flow, Placement
+
+
+def line_network(link_capacity=10.0, server_capacity=10.0):
+    """0 -- 1 -- 2 with 4 servers at each end rack."""
+    base = build_network(
+        [(0, 1), (1, 2)], {0: 4, 2: 4}, link_capacity=link_capacity
+    )
+    return Network(
+        base.graph,
+        {0: 4, 2: 4},
+        link_capacity=link_capacity,
+        server_link_capacity=server_capacity,
+    )
+
+
+class TestMaxMinConservation:
+    def test_gray_link_caps_the_allocation(self):
+        net = line_network()
+        net.set_link_capacity_scale(0, 1, 0.5)
+        routing = EcmpRouting(net)
+        report = tm_throughput(net, routing, {(0, 2): 4.0})
+        # The degraded hop offers 10 * 0.5 = 5 Gbps; the allocator must
+        # conserve flow through it even though hosts could push 40.
+        assert report.total_gbps == pytest.approx(5.0)
+
+    def test_healthy_baseline_is_link_limited(self):
+        net = line_network()
+        report = tm_throughput(net, EcmpRouting(net), {(0, 2): 4.0})
+        assert report.total_gbps == pytest.approx(10.0)
+
+    def test_shared_scaled_link_split_fairly(self):
+        # Two opposite commodities cross the same degraded trunk; each
+        # direction independently conserves the scaled capacity.
+        net = line_network()
+        net.set_link_capacity_scale(1, 2, 0.25)
+        report = tm_throughput(
+            net, EcmpRouting(net), {(0, 2): 2.0, (2, 0): 2.0}
+        )
+        assert report.per_commodity_gbps[(0, 2)] == pytest.approx(2.5)
+        assert report.per_commodity_gbps[(2, 0)] == pytest.approx(2.5)
+
+
+class TestFlowsimGrayLink:
+    def test_gray_link_halves_achieved_throughput(self):
+        cluster = CanonicalCluster(2, 4)
+        flows = [Flow(0, 4, 1e6, 0.0)]
+
+        healthy = line_network()
+        healthy_fct = simulate_fct(
+            healthy,
+            EcmpRouting(healthy),
+            Placement(cluster, healthy),
+            flows,
+        ).records[0].fct_seconds
+
+        degraded = line_network()
+        degraded.set_link_capacity_scale(0, 1, 0.5)
+        degraded_fct = simulate_fct(
+            degraded,
+            EcmpRouting(degraded),
+            Placement(cluster, degraded),
+            flows,
+        ).records[0].fct_seconds
+
+        assert degraded_fct == pytest.approx(2.0 * healthy_fct)
+
+
+class TestPacketParity:
+    def test_scaled_link_equals_lower_capacity_link(self):
+        """cap_scale 0.5 at 10 Gbps ≡ a fabric built at 5 Gbps outright:
+        identical drop and timeout counters under an incast."""
+        cluster = CanonicalCluster(2, 4)
+        flows = [Flow(src, 4, 3e5, 0.0) for src in range(4)]
+
+        def run(net):
+            sim = PacketSimulator(
+                net,
+                EcmpRouting(net),
+                Placement(cluster, net),
+                seed=0,
+            )
+            results = sim.run(flows)
+            return (
+                sim.total_drops(),
+                sim.total_timeouts(),
+                [r.fct_seconds for r in results.records],
+            )
+
+        scaled = line_network(link_capacity=10.0, server_capacity=10.0)
+        scaled.set_link_capacity_scale(0, 1, 0.5)
+        scaled.set_link_capacity_scale(1, 2, 0.5)
+        native = line_network(link_capacity=5.0, server_capacity=10.0)
+
+        assert run(scaled) == run(native)

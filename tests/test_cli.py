@@ -91,6 +91,79 @@ class TestExperimentCommands:
         assert "slimfly" in capsys.readouterr().out
 
 
+class TestFaultsCommand:
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        from repro.experiments.runner import Scale, register_scale
+
+        return register_scale(
+            Scale(
+                name="tiny-cli-faults",
+                leaf_x=6,
+                leaf_y=2,
+                dring_m=6,
+                dring_n=2,
+                dring_servers=48,
+                max_flows=100,
+                window_seconds=0.02,
+                size_cap_bytes=10e6,
+            )
+        )
+
+    def test_faults_smoke_and_warm_cache(self, tiny_scale, tmp_path, capsys):
+        args = [
+            "faults",
+            "--scale",
+            tiny_scale.name,
+            "--topology",
+            "dring",
+            "--scheme",
+            "ecmp",
+            "--fractions",
+            "0.1",
+            "--trials",
+            "1",
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "Failure resilience — link faults" in cold.out
+        assert "dring" in cold.out
+        assert "Hottest fabric links" in cold.out
+        # Warm rerun: same table, every cell a cache hit.
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "1 hits / 0 executed" in warm.err
+
+    def test_faults_seed_determinism(self, tiny_scale, tmp_path, capsys):
+        args = [
+            "faults",
+            "--scale",
+            tiny_scale.name,
+            "--topology",
+            "rrg",
+            "--scheme",
+            "su2",
+            "--kind",
+            "gray",
+            "--fractions",
+            "0.2",
+            "--trials",
+            "1",
+            "--seed",
+            "5",
+            "--no-cache",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestExportCommand:
     def test_json_to_stdout(self, capsys):
         assert main(["export", "--topology", "dring"]) == 0
