@@ -4,7 +4,6 @@ efficiency (the fluid-flow model of [13]), and the packet-level
 cross-validation of the flow-level simulator.
 """
 
-import pytest
 
 from conftest import save_artifact
 from repro.experiments import (

@@ -7,7 +7,6 @@ rack-to-rack, and Shortest-Union(2) repairs it.  Absolute numbers differ
 (flow-level simulator, scaled-down instance); the orderings are asserted.
 """
 
-import random
 
 import pytest
 

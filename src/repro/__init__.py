@@ -24,4 +24,51 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
 __version__ = "1.0.0"
+
+if TYPE_CHECKING:
+    from repro.core.network import Network
+    from repro.routing import EcmpRouting, ShortestUnionRouting
+    from repro.sim import FctResults, ThroughputReport, cs_throughput
+    from repro.topology import dring, flatten, jellyfish, leaf_spine, xpander
+
+#: Curated top-level API: attribute name -> home module.  Resolved
+#: lazily (PEP 562) so ``import repro`` stays cheap — the simulators and
+#: numpy-heavy modules load only when first touched.
+_PUBLIC_API = {
+    "Network": "repro.core.network",
+    "EcmpRouting": "repro.routing",
+    "ShortestUnionRouting": "repro.routing",
+    "FctResults": "repro.sim",
+    "ThroughputReport": "repro.sim",
+    "cs_throughput": "repro.sim",
+    "dring": "repro.topology",
+    "flatten": "repro.topology",
+    "jellyfish": "repro.topology",
+    "leaf_spine": "repro.topology",
+    "xpander": "repro.topology",
+}
+
+__all__ = ["__version__", *sorted(_PUBLIC_API)]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _PUBLIC_API[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__))

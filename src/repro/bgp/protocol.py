@@ -157,7 +157,9 @@ class BgpFabric:
         # Also remove the physical link from the network view so the
         # data plane and any re-derived VrfGraph agree.
         if self.network.graph.has_edge(u, v):
-            self.network.graph.remove_edge(u, v)
+            self.network.remove_link(
+                u, v, count=self.network.link_mult(u, v)
+            )
         digraph.remove_edges_from(dead_sessions)
         self.vrf_graph._dist_cache.clear()
 
@@ -196,7 +198,7 @@ class BgpFabric:
             raise ValueError(f"link ({u}, {v}) already exists")
         if u not in self.network.graph or v not in self.network.graph:
             raise ValueError("both endpoints must already be switches")
-        self.network.graph.add_edge(u, v, mult=mult)
+        self.network.add_link(u, v, count=mult)
         before = set(self.vrf_graph.digraph.edges)
         for a, b in ((u, v), (v, u)):
             self.vrf_graph._add_link_rules(a, b, float(mult))

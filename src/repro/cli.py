@@ -12,6 +12,7 @@ Exposes the library's main workflows without writing any Python:
 * ``microburst``       — the Section 3 microburst study
 * ``other-topologies`` — the Section 7 Slim Fly / Dragonfly comparison
 * ``verify``           — exhaustive Theorem 1 / path-set verification
+* ``lint``             — domain-aware static analysis (see repro.lint)
 * ``configs``          — emit per-router Cisco or FRR configurations
 
 The figure commands accept ``--jobs N`` / ``--cache-dir`` /
@@ -27,7 +28,6 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 from typing import List, Optional
 
 from repro.experiments.runner import SCALES, Scale
@@ -88,13 +88,13 @@ def _run_harness(args: argparse.Namespace, specs, sweep: str):
     Returns the results-by-key map; stdout is reserved for the rendered
     artifacts so harness runs stay byte-identical to the serial path.
     """
-    from repro.harness import ProgressPrinter, RunManifest, run_jobs
+    from repro.harness import ProgressPrinter, RunManifest, clock, run_jobs
 
     cache = _cache_for(args)
     workers = args.jobs if args.jobs is not None else 1
     timeout = getattr(args, "timeout", None)
-    started = time.time()
-    t0 = time.perf_counter()
+    started = clock.now()
+    t0 = clock.perf()
     results, outcomes = run_jobs(
         specs,
         jobs=workers,
@@ -105,7 +105,7 @@ def _run_harness(args: argparse.Namespace, specs, sweep: str):
     manifest = RunManifest.from_outcomes(
         outcomes,
         sweep=sweep,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=clock.perf() - t0,
         scale=getattr(args, "scale", ""),
         seed=getattr(args, "seed", 0),
         workers=workers,
@@ -434,6 +434,31 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:<26} {rule.summary}")
+        return 0
+    paths = args.paths or [
+        p for p in ("src", "tests") if pathlib.Path(p).exists()
+    ]
+    if not paths:
+        print("lint: no paths given and no src/tests here", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, rule_names=args.rule)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def cmd_configs(args: argparse.Namespace) -> int:
     from repro.bgp import ConfigGenerator
     from repro.bgp.frr import FrrConfigGenerator
@@ -634,6 +659,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of artifact names (see repro.experiments.report)",
     )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis of the repository invariants",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("configs", help="emit router configurations")
     _scale_argument(p)

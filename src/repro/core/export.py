@@ -9,7 +9,6 @@ checks of small fabrics.
 from __future__ import annotations
 
 import json
-from typing import Dict
 
 import networkx as nx
 

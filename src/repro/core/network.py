@@ -218,6 +218,29 @@ class Network:
             self.graph[u][v]["mult"] = remaining
         return remaining
 
+    def add_link(self, u: int, v: int, count: int = 1) -> int:
+        """Add ``count`` physical links to the (u, v) trunk.
+
+        The complement of :meth:`remove_link`: increments ``mult``,
+        creating the graph edge when the trunk is new.  Both switches
+        must already exist (growing the switch set is construction, not
+        mutation).  Returns the resulting multiplicity.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if u == v:
+            raise NetworkValidationError(f"self-loop requested at switch {u}")
+        if u not in self.graph or v not in self.graph:
+            raise NetworkValidationError(
+                f"cannot link unknown switch pair ({u}, {v})"
+            )
+        mult = self.link_mult(u, v)
+        if mult == 0:
+            self.graph.add_edge(u, v, mult=count)
+        else:
+            self.graph[u][v]["mult"] = mult + count
+        return mult + count
+
     def link_capacity_between(self, u: int, v: int) -> float:
         """Aggregate capacity (Gbps) between two adjacent switches."""
         return self.effective_link_mult(u, v) * self.link_capacity

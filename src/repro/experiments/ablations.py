@@ -17,11 +17,10 @@ from typing import Dict, List, Tuple
 
 import networkx as nx
 
-from repro.bgp import build_converged_fabric, reconvergence_after_failure
+from repro.bgp import reconvergence_after_failure
 from repro.core.network import Network
 from repro.routing import EcmpRouting, ShortestUnionRouting
 from repro.sim.flowsim import simulate_fct
-from repro.sim.results import FctResults
 from repro.topology import dring
 from repro.traffic import (
     CanonicalCluster,
@@ -375,7 +374,7 @@ def run_failure_sweep(
     for count in failure_counts:
         degraded = network.copy(name=f"{network.name}-f{count}")
         for u, v in failed_order[:count]:
-            degraded.graph.remove_edge(u, v)
+            degraded.remove_link(u, v, count=degraded.link_mult(u, v))
         if not nx.is_connected(degraded.graph):
             points.append(FailureSweepPoint(count, False, float("inf"), 0))
             continue
@@ -415,7 +414,7 @@ def run_failure_study(
 
     degraded = network.copy(name=f"{network.name}-degraded")
     for u, v in failed:
-        degraded.graph.remove_edge(u, v)
+        degraded.remove_link(u, v, count=degraded.link_mult(u, v))
     connected = nx.is_connected(degraded.graph)
     if not connected:
         return FailureReport(num_failures, -1, before, 0, False)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.core.network import Network
 from repro.experiments.runner import Scale

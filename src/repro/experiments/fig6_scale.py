@@ -12,11 +12,10 @@ design point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting
 from repro.sim.flowsim import simulate_fct
-from repro.sim.results import FctResults
 from repro.topology import dring, jellyfish
 from repro.traffic import (
     CanonicalCluster,

@@ -12,11 +12,11 @@ structure (diameter, NSR, spectral gap) and tail FCT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List
 
-from repro.core.metrics import mean_rack_distance, nsr, spectral_gap
+from repro.core.metrics import spectral_gap
 from repro.core.network import Network
-from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting
+from repro.routing import EcmpRouting, ShortestUnionRouting
 from repro.sim.flowsim import simulate_fct
 from repro.topology import dragonfly, dring, jellyfish, slimfly, xpander
 from repro.traffic import (

@@ -15,8 +15,8 @@ and a single (topology, routing) cell can be built independently with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.core.network import Network
 from repro.routing import EcmpRouting, RoutingScheme, ShortestUnionRouting

@@ -15,7 +15,7 @@ replaying through :meth:`OspfFabric.fail_link` to price reconvergence.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.core.network import Network
 from repro.faults.models import Edge, FaultSet
@@ -34,7 +34,10 @@ def apply_fault_set(network: Network, fault_set: FaultSet) -> Network:
     degraded = network.copy()
     for switch in fault_set.failed_switches:
         for neighbor in sorted(degraded.graph.neighbors(switch)):
-            degraded.graph.remove_edge(switch, neighbor)
+            degraded.remove_link(
+                switch, neighbor,
+                count=degraded.link_mult(switch, neighbor),
+            )
     for u, v in fault_set.removed_links:
         if degraded.graph.has_edge(u, v):
             degraded.remove_link(u, v)

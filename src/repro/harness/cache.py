@@ -13,9 +13,9 @@ import json
 import os
 import pathlib
 import tempfile
-import time
 from typing import Any, Dict, Iterator, Optional
 
+from repro.harness import clock
 from repro.harness.jobs import JobSpec
 
 _ENV_VAR = "REPRO_CACHE_DIR"
@@ -31,7 +31,7 @@ def _unlink_quietly(name: str) -> None:
 class ResultCache:
     """A content-addressed job-result store with hit/miss accounting."""
 
-    def __init__(self, root: pathlib.Path):
+    def __init__(self, root: pathlib.Path) -> None:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
@@ -80,7 +80,7 @@ class ResultCache:
             "spec": spec.to_dict(),
             "label": spec.label(),
             "elapsed_seconds": elapsed_seconds,
-            "created_at": time.time(),
+            "created_at": clock.now(),
             "result": result,
         }
         fd, tmp_name = tempfile.mkstemp(

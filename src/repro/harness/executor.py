@@ -17,11 +17,11 @@ import multiprocessing
 import multiprocessing.connection
 import signal
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.harness import clock
 from repro.harness.cache import ResultCache
 from repro.harness.jobs import JobSpec, execute_job
 
@@ -63,11 +63,11 @@ class JobTimeout(Exception):
 class _alarm:
     """SIGALRM-based wall-clock budget; no-op off POSIX main threads."""
 
-    def __init__(self, seconds: Optional[float]):
+    def __init__(self, seconds: Optional[float]) -> None:
         self.seconds = seconds
         self.armed = False
 
-    def __enter__(self):
+    def __enter__(self) -> "_alarm":
         usable = (
             self.seconds is not None
             and self.seconds > 0
@@ -75,7 +75,7 @@ class _alarm:
             and threading.current_thread() is threading.main_thread()
         )
         if usable:
-            def _on_alarm(_signum, _frame):
+            def _on_alarm(_signum: int, _frame: object) -> None:
                 raise JobTimeout(f"job exceeded {self.seconds:.1f}s budget")
 
             self._previous = signal.signal(signal.SIGALRM, _on_alarm)
@@ -83,7 +83,7 @@ class _alarm:
             self.armed = True
         return self
 
-    def __exit__(self, *_exc):
+    def __exit__(self, *_exc: object) -> bool:
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, self._previous)
@@ -95,13 +95,14 @@ def _execute_with_timeout(
 ) -> Tuple[Any, float]:
     """Run one job under its wall-clock budget; returns (result, seconds)."""
     spec = JobSpec.from_dict(spec_dict)
-    start = time.perf_counter()
+    start = clock.perf()
     with _alarm(timeout):
         result = execute_job(spec)
-    return result, time.perf_counter() - start
+    return result, clock.perf() - start
 
 
-def _worker_main(conn, spec_dict: Dict[str, Any],
+def _worker_main(conn: multiprocessing.connection.Connection,
+                 spec_dict: Dict[str, Any],
                  timeout: Optional[float]) -> None:
     """Child-process entry point: execute and report over the pipe."""
     try:
@@ -172,12 +173,12 @@ def run_jobs(
 
     if jobs <= 1:
         for spec in to_run:
-            start = time.perf_counter()
+            start = clock.perf()
             try:
                 result, elapsed = _execute_with_timeout(spec.to_dict(), timeout)
                 record(spec, JobOutcome(spec, keys[spec], RAN, elapsed), result)
             except Exception as exc:
-                elapsed = time.perf_counter() - start
+                elapsed = clock.perf() - start
                 record(
                     spec,
                     JobOutcome(
@@ -214,7 +215,7 @@ def _run_parallel(
         process.start()
         child_conn.close()
         running[parent_conn] = _Running(
-            process, parent_conn, spec, attempt, time.perf_counter()
+            process, parent_conn, spec, attempt, clock.perf()
         )
 
     def reap(slot: _Running) -> None:
@@ -228,7 +229,7 @@ def _run_parallel(
         slot.process.join()
         slot.conn.close()
         spec, attempt, key = slot.spec, slot.attempt, keys[slot.spec]
-        elapsed = time.perf_counter() - slot.started
+        elapsed = clock.perf() - slot.started
         if payload is None:
             # Died without reporting: a genuine worker crash.
             if attempt <= retries:
@@ -267,7 +268,7 @@ def _run_parallel(
             if timeout is not None:
                 deadline = timeout + _KILL_GRACE_SECONDS
                 for conn, slot in list(running.items()):
-                    if time.perf_counter() - slot.started > deadline:
+                    if clock.perf() - slot.started > deadline:
                         # Stuck past the in-worker alarm (native code);
                         # kill it and record the timeout — no retry, a
                         # rerun would hang the same way.
@@ -277,7 +278,7 @@ def _run_parallel(
                         slot.conn.close()
                         record(slot.spec, JobOutcome(
                             slot.spec, keys[slot.spec], FAILED,
-                            time.perf_counter() - slot.started,
+                            clock.perf() - slot.started,
                             attempts=slot.attempt,
                             error=f"killed after exceeding {timeout:.1f}s "
                                   "budget",

@@ -15,6 +15,14 @@ import importlib.util
 import pathlib
 from typing import List, Tuple
 
+#: Folded into every fingerprint.  Bump when a behavioral fix lands
+#: whose effect on results is not captured by the hashed sources alone
+#: (or, as in v2, when mutation-primitive refactors made equal-output
+#: claims subtle enough that serving pre-refactor cache entries would
+#: be a gamble): stale entries re-key and re-run instead of being
+#: served.
+FINGERPRINT_SALT = b"repro-fingerprint-v2"
+
 
 def _module_sources(name: str) -> List[Tuple[str, pathlib.Path]]:
     """(relative label, path) for every source file behind ``name``.
@@ -47,7 +55,7 @@ def module_fingerprint(module_names: Tuple[str, ...]) -> str:
     File content changes, added files and deleted files all change the
     digest.
     """
-    digest = hashlib.sha256()
+    digest = hashlib.sha256(FINGERPRINT_SALT)
     for name in sorted(module_names):
         digest.update(name.encode())
         for label, path in _module_sources(name):

@@ -20,9 +20,25 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.harness.fingerprint import module_fingerprint
+
+if TYPE_CHECKING:  # runtime imports stay lazy inside the job runners
+    from repro.core.network import Network
+    from repro.experiments.fig6_scale import Fig6Config, ScalePoint
+    from repro.experiments.runner import Scale
+    from repro.traffic import CanonicalCluster
 
 #: Params are canonicalized to sorted (key, value) tuples; values must be
 #: JSON scalars so a spec serializes losslessly.
@@ -185,7 +201,7 @@ _SIM_DEPS = (
 )
 
 
-def _scale(spec: JobSpec):
+def _scale(spec: JobSpec) -> "Scale":
     from repro.experiments.runner import scale_by_name
 
     return scale_by_name(spec.scale)
@@ -236,7 +252,9 @@ def _run_robustness_job(spec: JobSpec) -> Dict[str, bool]:
     return run_robustness_cell(_scale(spec), spec.seed)
 
 
-def _ablation_network(spec: JobSpec):
+def _ablation_network(
+    spec: JobSpec,
+) -> Tuple["Network", "CanonicalCluster"]:
     from repro.topology import dring
     from repro.traffic import CanonicalCluster
 
@@ -404,7 +422,9 @@ def fig5_jobs(
     ]
 
 
-def fig6_jobs(seed: int = 0, config=None) -> List[JobSpec]:
+def fig6_jobs(
+    seed: int = 0, config: Optional["Fig6Config"] = None
+) -> List[JobSpec]:
     """The Figure 6 scale sweep as one job per supernode count."""
     import dataclasses
 
@@ -548,7 +568,7 @@ def _present(
     return pairs
 
 
-def assemble_fig4(specs: Sequence[JobSpec], results: Dict[str, Any]):
+def assemble_fig4(specs: Sequence[JobSpec], results: Dict[str, Any]) -> Any:
     """Fold fig4 cell payloads into a :class:`Fig4Result`."""
     from repro.experiments.fig4_fct import fig4_result_from_cells
     from repro.sim.results import FctResults
@@ -565,11 +585,13 @@ def assemble_fig4(specs: Sequence[JobSpec], results: Dict[str, Any]):
     return fig4_result_from_cells(cells, patterns=patterns, schemes=schemes)
 
 
-def assemble_fig5(specs: Sequence[JobSpec], results: Dict[str, Any]):
+def assemble_fig5(
+    specs: Sequence[JobSpec], results: Dict[str, Any]
+) -> Dict[str, Any]:
     """Fold fig5 cell payloads into ``{"ecmp": ..., "su2": ...}`` panels."""
     from repro.experiments.fig5_heatmap import heatmap_from_cells
 
-    panels = {}
+    panels: Dict[str, Any] = {}
     fig5_specs = [s for s in specs if s.experiment == "fig5"]
     for routing, label in FIG5_PANELS.items():
         panel_specs = [s for s in fig5_specs if s.scheme == routing]
@@ -590,7 +612,9 @@ def assemble_fig5(specs: Sequence[JobSpec], results: Dict[str, Any]):
     return panels
 
 
-def assemble_fig6(specs: Sequence[JobSpec], results: Dict[str, Any]):
+def assemble_fig6(
+    specs: Sequence[JobSpec], results: Dict[str, Any]
+) -> List["ScalePoint"]:
     """Fold fig6 cell payloads into the ordered ``ScalePoint`` list."""
     from repro.experiments.fig6_scale import ScalePoint
 
@@ -613,7 +637,9 @@ def assemble_faults(
     ]
 
 
-def assemble_robustness(specs: Sequence[JobSpec], results: Dict[str, Any]):
+def assemble_robustness(
+    specs: Sequence[JobSpec], results: Dict[str, Any]
+) -> Any:
     """Fold per-seed claim outcomes into the scorecard."""
     from repro.experiments.robustness import robustness_from_cells
 

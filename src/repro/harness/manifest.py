@@ -13,10 +13,10 @@ import json
 import pathlib
 import platform
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.harness import clock
 from repro.harness.executor import FAILED, HIT, RAN, JobOutcome
 
 
@@ -64,7 +64,7 @@ class RunManifest:
             workers=workers,
             cache_dir=cache_dir,
             wall_seconds=wall_seconds,
-            started_at=time.time() if started_at is None else started_at,
+            started_at=clock.now() if started_at is None else started_at,
             outcomes=[outcome.to_dict() for outcome in outcomes],
         )
 

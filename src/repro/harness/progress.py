@@ -20,7 +20,7 @@ _STATUS_TAGS = {HIT: "hit ", FAILED: "FAIL"}
 class ProgressPrinter:
     """Print one line per finished job: ``[done/total] status label``."""
 
-    def __init__(self, stream: Optional[IO[str]] = None):
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
         self.stream = sys.stderr if stream is None else stream
 
     def __call__(self, outcome: JobOutcome, done: int, total: int) -> None:

@@ -12,7 +12,7 @@ measures reconvergence after failures the same way the BGP engine does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.network import Network
 from repro.igp.lsdb import LinkStateAd, LinkStateDatabase

@@ -1,0 +1,50 @@
+"""Domain-aware static analysis for the reproduction's own invariants.
+
+``repro lint`` enforces what the headline claims rest on — deterministic
+iteration, injected seeded RNGs, time-free simulators, pure
+content-addressed job functions, disciplined ``Network`` mutation —
+none of which generic linters know about.  See CONTRIBUTING.md for the
+invariant behind each rule and the suppression policy
+(``# repro-lint: disable=<rule>`` with a one-line justification).
+
+Library use::
+
+    from repro.lint import lint_paths, render_text
+
+    findings = lint_paths(["src", "tests"])
+    print(render_text(findings))
+"""
+
+from repro.lint.context import FileContext
+from repro.lint.engine import iter_python_files, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    RULE_REGISTRY,
+    Rule,
+    all_rules,
+    register_rule,
+    rules_by_name,
+)
+from repro.lint.reporters import (
+    JSON_VERSION,
+    render_json,
+    render_text,
+    report_dict,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "JSON_VERSION",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "rules_by_name",
+]

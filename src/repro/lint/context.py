@@ -1,0 +1,120 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` bundles the parsed AST, the raw source, a map of
+local names to the dotted modules they were imported from, and helpers
+that classify where in the repository the file lives (``repro.sim``
+versus ``tests`` versus anywhere else).  Rules stay small because the
+boilerplate — resolving ``np.random.shuffle`` through ``import numpy as
+np``, or deciding whether a path is inside ``repro/sim`` — lives here.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def _flatten_attribute(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def build_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin, for every import in the file.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``.  Imports at
+    any nesting level count: the map is a file-wide approximation, which
+    is what a per-line lint wants.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            imports=build_import_map(tree),
+        )
+
+    # -- location classification ---------------------------------------
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return pathlib.PurePosixPath(self.path.replace("\\", "/")).parts
+
+    @property
+    def repro_subpath(self) -> Tuple[str, ...]:
+        """Path parts below the ``repro`` package dir, or ``()``."""
+        parts = self.parts
+        for index, part in enumerate(parts):
+            if part == "repro":
+                return parts[index + 1:]
+        return ()
+
+    @property
+    def is_test(self) -> bool:
+        parts = self.parts
+        return "tests" in parts or parts[-1].startswith("test_")
+
+    def in_package(self, *subpackages: str) -> bool:
+        """True when the file lives under ``repro/<subpackage>/``."""
+        sub = self.repro_subpath
+        return bool(sub) and sub[0] in subpackages
+
+    def is_repro_file(self, *rel_paths: str) -> bool:
+        """True when the file is exactly ``repro/<rel_path>``."""
+        sub = "/".join(self.repro_subpath)
+        return sub in rel_paths
+
+    # -- name resolution -----------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a name/attribute chain, or None.
+
+        ``np.random.shuffle`` resolves to ``numpy.random.shuffle`` under
+        ``import numpy as np``; a bare ``shuffle`` resolves to
+        ``random.shuffle`` under ``from random import shuffle``.
+        """
+        parts = _flatten_attribute(node)
+        if not parts:
+            return None
+        base = self.imports.get(parts[0])
+        if base is None:
+            return None
+        return ".".join([base] + parts[1:])

@@ -1,0 +1,87 @@
+"""The lint pipeline: collect files, run rules, apply suppressions.
+
+``lint_source`` checks one in-memory source (tests hand it fixture
+strings with virtual paths, so path-scoped rules can be exercised
+without touching the working tree); ``lint_paths`` walks files and
+directories the way the CLI does.  A file that fails to parse yields a
+single ``syntax-error`` finding rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, rules_by_name
+from repro.lint.suppressions import collect_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".venv",
+    "build", "dist", "node_modules",
+})
+
+PathLike = Union[str, pathlib.Path]
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[pathlib.Path]:
+    """Every ``.py`` file under ``paths``, sorted, skipping cache dirs."""
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    files.append(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_source(
+    source: str,
+    path: PathLike,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source text under a (possibly virtual) path."""
+    path_text = pathlib.PurePath(path).as_posix()
+    try:
+        context = FileContext.parse(source, path_text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path_text,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1) - 1,
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    active = list(rules) if rules is not None else rules_by_name(None)
+    suppressions = collect_suppressions(source)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies(context):
+            continue
+        for finding in rule.check(context):
+            if not suppressions.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    rule_names: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; findings sorted by location."""
+    rules = rules_by_name(rule_names)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), path, rules)
+        )
+    return sorted(findings)

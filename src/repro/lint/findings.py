@@ -1,0 +1,38 @@
+"""The unit of lint output: one finding at one source location.
+
+Findings are plain frozen dataclasses so reporters, tests and the JSON
+output all consume the same object.  Ordering is (path, line, column,
+rule) so reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` — the text-reporter line."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule}: {self.message}"
+        )

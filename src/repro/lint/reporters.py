@@ -1,0 +1,57 @@
+"""Finding reporters: the text format and the machine-readable JSON.
+
+The JSON schema is versioned and stable — CI annotations and editor
+integrations key off it::
+
+    {
+      "version": 1,
+      "clean": false,
+      "total": 2,
+      "counts": {"no-wallclock": 2},
+      "findings": [
+        {"path": ..., "line": ..., "column": ..., "rule": ...,
+         "message": ...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary tail line."""
+    lines: List[str] = [finding.render() for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def report_dict(findings: Sequence[Finding]) -> Dict[str, object]:
+    counts = Counter(finding.rule for finding in findings)
+    return {
+        "version": JSON_VERSION,
+        "clean": not findings,
+        "total": len(findings),
+        "counts": dict(sorted(counts.items())),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(report_dict(findings), indent=2)

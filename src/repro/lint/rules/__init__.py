@@ -1,0 +1,28 @@
+"""Domain rules: importing this package registers every rule.
+
+One module per rule keeps each invariant's matching logic and rationale
+in one reviewable place; see CONTRIBUTING.md for the invariant behind
+each rule and the suppression policy.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    defaults,
+    floats,
+    iteration,
+    mutation,
+    purity,
+    rng,
+    seeds,
+    wallclock,
+)
+
+__all__ = [
+    "defaults",
+    "floats",
+    "iteration",
+    "mutation",
+    "purity",
+    "rng",
+    "seeds",
+    "wallclock",
+]

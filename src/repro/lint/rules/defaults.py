@@ -1,0 +1,60 @@
+"""no-mutable-default-arg: the classic shared-state footgun.
+
+A mutable default is evaluated once at function definition and shared by
+every call; in an experiment codebase that means one sweep cell's
+mutation leaks into the next, keyed by nothing the cache can see.  Use
+``None`` and construct inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register_rule
+class NoMutableDefaultArg(Rule):
+    name = "mutable-default"
+    summary = "mutable default argument (list/dict/set literal or call)"
+    invariant = (
+        "function calls are independent; no state leaks between sweep "
+        "cells through a shared default object"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        context, default.lineno, default.col_offset,
+                        f"mutable default in '{node.name}()'; default "
+                        "to None and construct inside the body",
+                    )

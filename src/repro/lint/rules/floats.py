@@ -1,0 +1,63 @@
+"""float-eq: no exact ``==``/``!=`` on float expressions in the simulators.
+
+Bandwidth shares, FCTs and capacities are accumulated floating-point
+quantities; exact equality on them flips with benign refactors
+(reassociation, a different reduction order) and with platform math
+libraries.  Use ``math.isclose`` or an explicit epsilon.  Exact
+comparisons against a genuine sentinel (a value assigned verbatim, never
+computed) can be suppressed with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+@register_rule
+class FloatEquality(Rule):
+    name = "float-eq"
+    summary = "exact ==/!= against a float expression in sim/ code"
+    invariant = (
+        "simulator comparisons are robust to floating-point reduction "
+        "order, so refactors cannot flip results"
+    )
+
+    def applies(self, context: FileContext) -> bool:
+        return context.in_package("sim") and not context.is_test
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floatish(left) or _is_floatish(right):
+                    yield self.finding(
+                        context, node.lineno, node.col_offset,
+                        "exact float equality; use math.isclose or an "
+                        "epsilon (or suppress with a sentinel "
+                        "justification)",
+                    )
+                    break

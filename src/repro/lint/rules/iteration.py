@@ -1,0 +1,183 @@
+"""deterministic-iteration: never iterate a set in result-affecting code.
+
+Set iteration order depends on insertion history and hash seeding; a
+``for`` over a set inside the simulators or routing turns into run-to-run
+jitter in path choice, flow ordering and therefore every figure.  Any
+set that feeds iteration must pass through ``sorted()`` first.
+
+The rule tracks, per scope, names assigned from set-producing
+expressions (literals, ``set()``/``frozenset()`` calls, set
+comprehensions, set algebra on known sets) and flags ``for`` loops,
+comprehensions and ``list()``/``tuple()``/``enumerate()`` calls that
+consume one unsorted.  Order-insensitive reductions (``sum``, ``min``,
+``max``, ``len``, ``any``, ``all``, ``sorted`` itself) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter"})
+#: Builtins whose result does not depend on argument order; a generator
+#: expression fed directly into one may iterate a set.
+_ORDER_FREE_REDUCERS = frozenset({
+    "all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum",
+})
+
+
+class _ScopeTracker(ast.NodeVisitor):
+    """Collect findings, tracking set-valued names per function scope."""
+
+    def __init__(
+        self, rule: "DeterministicIteration", context: FileContext
+    ) -> None:
+        self.rule = rule
+        self.context = context
+        self.findings: List[Finding] = []
+        self.scopes: List[Set[str]] = [set()]
+        self._order_free: Set[int] = set()
+
+    # -- set-ness ------------------------------------------------------
+
+    def _is_set_name(self, name: str) -> bool:
+        return any(name in scope for scope in reversed(self.scopes))
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                return node.func.id in ("set", "frozenset")
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+            ):
+                return self._is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.Name):
+            return self._is_set_name(node.id)
+        return False
+
+    def _record_assignment(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if self._is_set_expr(value):
+                self.scopes[-1].add(target.id)
+            else:
+                self.scopes[-1].discard(target.id)
+
+    # -- scope management ----------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.scopes.append(set())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- assignments ---------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_assignment(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_assignment(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name) and self._is_set_name(
+            node.target.id
+        ):
+            pass  # stays a set under |=, &=, -=, ^=
+        self.generic_visit(node)
+
+    # -- consumers -----------------------------------------------------
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.context,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                f"iterating {what} has hash-dependent order; wrap the "
+                "iterable in sorted() (or justify a suppression)",
+            )
+        )
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if self._is_set_expr(node):
+            what = (
+                f"set-valued name '{node.id}'"
+                if isinstance(node, ast.Name)
+                else "a set expression"
+            )
+            self._flag(node, what)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        if id(node) not in self._order_free:
+            for generator in node.generators:  # type: ignore[attr-defined]
+                self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building one set from another is order-free; only *consuming*
+        # order matters, which the other visitors catch.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.args:
+            if node.func.id in _ORDERED_CONSUMERS:
+                self._check_iterable(node.args[0])
+            elif node.func.id in _ORDER_FREE_REDUCERS:
+                for arg in node.args:
+                    if isinstance(arg, ast.GeneratorExp):
+                        self._order_free.add(id(arg))
+        self.generic_visit(node)
+
+
+@register_rule
+class DeterministicIteration(Rule):
+    name = "deterministic-iteration"
+    summary = (
+        "unsorted iteration over a set/frozenset in sim/routing/faults/"
+        "metrics code"
+    )
+    invariant = (
+        "result-affecting iteration order is a pure function of the "
+        "inputs, never of hash seeding or insertion history"
+    )
+
+    def applies(self, context: FileContext) -> bool:
+        return (
+            context.in_package("sim", "routing", "faults")
+            or context.is_repro_file("core/metrics.py")
+        ) and not context.is_test
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        tracker = _ScopeTracker(self, context)
+        tracker.visit(context.tree)
+        yield from tracker.findings

@@ -1,0 +1,113 @@
+"""network-mutation-discipline: Network internals mutate only via primitives.
+
+PR 2 made ``Network.remove_link`` / ``set_link_capacity_scale`` the
+multiplicity-aware mutation primitives: they keep ``mult``,
+``cap_scale`` and edge existence consistent, which every simulator and
+routing scheme depends on through ``effective_link_mult`` /
+``directed_capacities``.  A direct ``something.graph.remove_edge(...)``
+or ``something.graph[u][v]["mult"] = ...`` elsewhere bypasses those
+invariants (e.g. dropping a whole trunk when one cable failed).
+
+The rule flags mutating calls and adjacency-attribute writes on any
+``.graph`` attribute outside ``core/network.py``.  Writes to
+``.graph.graph[...]`` (networkx graph-level metadata) and mutations of
+local bare ``nx.Graph`` variables during topology construction are not
+flagged — the discipline applies to built ``Network`` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+_MUTATORS = frozenset({
+    "add_edge", "remove_edge", "add_node", "remove_node",
+    "add_edges_from", "remove_edges_from", "add_nodes_from",
+    "remove_nodes_from", "add_weighted_edges_from", "clear",
+    "clear_edges", "update",
+})
+
+
+def _is_graph_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "graph"
+
+
+def _adjacency_write_base(target: ast.AST) -> int:
+    """Subscript nesting depth above a ``.graph`` attribute, else 0.
+
+    ``x.graph[u][v]["mult"]`` has depth 3 over ``x.graph`` — an
+    adjacency write.  ``x.graph.graph["meta"]`` has depth 1 over
+    ``x.graph.graph`` whose *base* attribute is the metadata dict, and
+    depth 0 over a plain name — both fine.
+    """
+    depth = 0
+    while isinstance(target, ast.Subscript):
+        depth += 1
+        target = target.value
+    if depth >= 2 and _is_graph_attribute(target):
+        return depth
+    return 0
+
+
+@register_rule
+class NetworkMutationDiscipline(Rule):
+    name = "network-mutation"
+    summary = (
+        "direct .graph adjacency mutation outside core/network.py "
+        "(use remove_link / set_link_capacity_scale)"
+    )
+    invariant = (
+        "mult, cap_scale and edge existence stay mutually consistent "
+        "because every mutation goes through the Network primitives"
+    )
+
+    def applies(self, context: FileContext) -> bool:
+        return (
+            bool(context.repro_subpath)
+            and not context.is_repro_file("core/network.py")
+            and not context.is_test
+        )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and _is_graph_attribute(func.value)
+                ):
+                    yield self.finding(
+                        context, node.lineno, node.col_offset,
+                        f".graph.{func.attr}() bypasses the Network "
+                        "mutation primitives; use remove_link / "
+                        "set_link_capacity_scale (or justify a "
+                        "suppression)",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if _adjacency_write_base(target):
+                        yield self.finding(
+                            context, node.lineno, node.col_offset,
+                            "direct write to .graph adjacency "
+                            "attributes; use the Network mutation "
+                            "primitives",
+                        )
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "graph"
+                    ):
+                        yield self.finding(
+                            context, node.lineno, node.col_offset,
+                            "rebinding a .graph attribute wholesale; "
+                            "construct a new Network instead",
+                        )

@@ -1,0 +1,79 @@
+"""seed-threading: public experiment entry points accept and forward seed.
+
+Every ``run_*`` function in ``repro/experiments`` is a public sweep
+entry point; the harness keys caches on the seed, the CLI threads
+``--seed`` through, and the robustness scorecard varies it.  An entry
+point without a ``seed`` parameter either hard-codes one (hidden
+coupling) or is nondeterministic; one that accepts ``seed`` and never
+uses it gives a false sense of replayability — both break the sweep
+contract.  A genuinely seed-free deterministic study can suppress with
+a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+
+def _accepts_seed(node: ast.FunctionDef) -> bool:
+    args = node.args
+    names = [
+        arg.arg
+        for arg in (
+            list(getattr(args, "posonlyargs", []))
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+    ]
+    return "seed" in names
+
+
+def _uses_seed(node: ast.FunctionDef) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Name)
+            and child.id == "seed"
+            and isinstance(child.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+@register_rule
+class SeedThreading(Rule):
+    name = "seed-threading"
+    summary = (
+        "public run_* experiment entry point missing (or ignoring) a "
+        "seed parameter"
+    )
+    invariant = (
+        "every experiment cell is replayable from (spec, seed); no "
+        "entry point hides or drops the seed"
+    )
+
+    def applies(self, context: FileContext) -> bool:
+        return context.in_package("experiments") and not context.is_test
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in context.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("run_"):
+                continue
+            if not _accepts_seed(node):
+                yield self.finding(
+                    context, node.lineno, node.col_offset,
+                    f"public entry point '{node.name}()' takes no "
+                    "'seed' parameter; accept and forward one",
+                )
+            elif not _uses_seed(node):
+                yield self.finding(
+                    context, node.lineno, node.col_offset,
+                    f"'{node.name}()' accepts 'seed' but never uses "
+                    "it; forward it to the randomness it controls",
+                )

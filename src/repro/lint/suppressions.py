@@ -1,0 +1,72 @@
+"""``# repro-lint: disable=<rule>`` suppression comments.
+
+Two forms, parsed from real COMMENT tokens (so a suppression inside a
+string literal is inert):
+
+* ``# repro-lint: disable=rule-a,rule-b`` — suppresses those rules on
+  the comment's own line.  Put it at the end of the offending line (for
+  multi-line statements: the line the statement *starts* on).
+* ``# repro-lint: disable-file=rule-a`` — suppresses a rule for the
+  whole file.  Conventionally placed near the top, next to a short
+  justification.
+
+``disable=all`` silences every rule.  CONTRIBUTING.md asks every
+suppression to carry a one-line justification comment.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.lint.findings import Finding
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(?P<form>disable|disable-file)\s*="
+    r"\s*(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+#: Wildcard accepted in place of a rule name.
+ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are silenced where, for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for scope in (self.file_wide, self.by_line.get(finding.line, set())):
+            if finding.rule in scope or ALL in scope:
+                return True
+        return False
+
+
+def collect_suppressions(source: str) -> SuppressionIndex:
+    """Parse every suppression comment in ``source``."""
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = {
+            name.strip()
+            for name in match.group("rules").split(",")
+            if name.strip()
+        }
+        if match.group("form") == "disable-file":
+            index.file_wide |= rules
+        else:
+            index.by_line.setdefault(token.start[0], set()).update(rules)
+    return index

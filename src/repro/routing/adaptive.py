@@ -18,7 +18,7 @@ completely static — the coarse granularity that makes it deployable.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.network import Network
 from repro.routing.base import EdgeFractions, Path, RoutingScheme

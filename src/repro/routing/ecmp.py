@@ -11,7 +11,7 @@ mode Shortest-Union(K) repairs.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 

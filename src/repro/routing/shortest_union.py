@@ -22,7 +22,7 @@ import networkx as nx
 
 from repro.core.network import Network
 from repro.routing import dag
-from repro.routing.base import EdgeFractions, Path, RoutingError, RoutingScheme
+from repro.routing.base import EdgeFractions, Path, RoutingScheme
 from repro.bgp.vrf import VrfGraph
 
 _MAX_LOOP_RESAMPLES = 64
@@ -40,7 +40,9 @@ def shortest_union_paths(
     paths: Set[Path] = {
         tuple(p) for p in nx.all_shortest_paths(graph, src, dst)
     }
-    shortest_len = len(next(iter(paths))) - 1
+    # min() is order-free; every member of the all-shortest set has
+    # the same length anyway, but don't make correctness depend on it.
+    shortest_len = min(len(p) for p in paths) - 1
     if shortest_len < k:
         for p in nx.all_simple_paths(graph, src, dst, cutoff=k):
             paths.add(tuple(p))

@@ -34,6 +34,13 @@ class IdealFlowError(RuntimeError):
     """Raised when the LP cannot be solved (bad demands, solver failure)."""
 
 
+#: Demands below this are treated as absent when building LP rows; an
+#: exact ``!= 0.0`` on a summed float would couple the constraint
+#: structure to reduction order (and 1e-12 Gbps is far below any real
+#: demand).
+_SUPPLY_EPS = 1e-12
+
+
 def _directed_links(network: Network) -> List[Tuple[int, int]]:
     return sorted(network.directed_capacities().keys())
 
@@ -63,13 +70,10 @@ def ideal_throughput(
             raise IdealFlowError(f"unknown rack in {(a, b)}")
 
     nodes = network.switches
-    node_index = {node: i for i, node in enumerate(nodes)}
     links = _directed_links(network)
-    link_index = {link: i for i, link in enumerate(links)}
     capacities = network.directed_capacities()
 
     sources = sorted({a for a, _b in demands})
-    num_nodes = len(nodes)
     num_links = len(links)
     num_sources = len(sources)
 
@@ -108,7 +112,7 @@ def ideal_throughput(
                 supply = outgoing_demand
             else:
                 supply = -demands.get((source, node), 0.0)
-            if supply != 0.0:
+            if abs(supply) > _SUPPLY_EPS:
                 rows.append(row)
                 cols.append(alpha_col)
                 vals.append(-supply)

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Set, Tuple
+from typing import Callable, Optional, Set
 
-from repro.sim.packet.core import Packet
 
 #: Maximum segment size: standard Ethernet payload.
 MSS_BYTES = 1_500

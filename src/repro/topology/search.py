@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import networkx as nx
 
 from repro.core.cabling import cabling_report
 from repro.core.network import Network
-from repro.routing import EcmpRouting, ShortestUnionRouting
+from repro.routing import ShortestUnionRouting
 from repro.sim.idealflow import oblivious_throughput
 
 Objective = Callable[[Network], float]
@@ -112,18 +112,18 @@ def hill_climb(
         if candidate is None:
             continue
         (u, v), (a, b) = candidate
-        mult_uv = current.graph[u][v].get("mult", 1)
-        mult_ab = current.graph[a][b].get("mult", 1)
-        current.graph.remove_edge(u, v)
-        current.graph.remove_edge(a, b)
-        current.graph.add_edge(u, b, mult=mult_uv)
-        current.graph.add_edge(a, v, mult=mult_ab)
+        mult_uv = current.link_mult(u, v)
+        mult_ab = current.link_mult(a, b)
+        current.remove_link(u, v, count=mult_uv)
+        current.remove_link(a, b, count=mult_ab)
+        current.add_link(u, b, count=mult_uv)
+        current.add_link(a, v, count=mult_ab)
 
         def revert() -> None:
-            current.graph.remove_edge(u, b)
-            current.graph.remove_edge(a, v)
-            current.graph.add_edge(u, v, mult=mult_uv)
-            current.graph.add_edge(a, b, mult=mult_ab)
+            current.remove_link(u, b, count=mult_uv)
+            current.remove_link(a, v, count=mult_ab)
+            current.add_link(u, v, count=mult_uv)
+            current.add_link(a, b, count=mult_ab)
 
         if require_connected and not nx.is_connected(current.graph):
             revert()

@@ -8,7 +8,7 @@ topology-design literature.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.traffic.matrix import CanonicalCluster, RackPair, TrafficMatrix
 

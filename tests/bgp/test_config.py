@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bgp import ConfigGenerator, rack_prefix, router_as
-from repro.topology import dring, leaf_spine
 
 
 @pytest.fixture

@@ -10,8 +10,7 @@ from repro.bgp import (
     reconvergence_after_failure,
 )
 from repro.core.network import build_network
-from repro.routing import shortest_union_paths
-from repro.topology import dring, jellyfish
+from repro.topology import dring
 
 
 class TestFailLink:

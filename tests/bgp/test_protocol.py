@@ -11,7 +11,6 @@ from repro.bgp import (
     reconvergence_after_failure,
 )
 from repro.routing import shortest_union_paths
-from repro.topology import dring, jellyfish, leaf_spine
 
 
 class TestConvergence:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp.router import Advertisement, RibEntry, RouterVrf
+from repro.bgp.router import Advertisement, RouterVrf
 
 
 def adv(dst, as_path, sender=(1, 9)):

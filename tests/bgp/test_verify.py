@@ -7,7 +7,7 @@ from repro.bgp import (
     min_disjoint_paths_su,
     verify_fabric,
 )
-from repro.topology import dring, jellyfish, leaf_spine, xpander
+from repro.topology import dring
 
 
 class TestVerifyFabric:

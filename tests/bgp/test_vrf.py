@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bgp import VrfGraph, check_theorem1
-from repro.topology import dring, jellyfish, leaf_spine
+from repro.topology import jellyfish
 
 
 class TestConstruction:

@@ -22,9 +22,8 @@ class TestJsonRoundTrip:
         assert clone.name == network.name
         assert clone.num_switches == network.num_switches
         assert clone.num_servers == network.num_servers
-        normalize = lambda links: sorted(
-            (min(u, v), max(u, v), m) for u, v, m in links
-        )
+        def normalize(links):
+            return sorted((min(u, v), max(u, v), m) for u, v, m in links)
         assert normalize(clone.undirected_links()) == normalize(
             network.undirected_links()
         )

@@ -1,6 +1,5 @@
 """Tests for NSR / UDF and the structural metrics of Section 3.1."""
 
-import math
 
 import pytest
 from hypothesis import given

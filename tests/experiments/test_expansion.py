@@ -7,7 +7,6 @@ from repro.experiments import render_expansion, run_expansion_study
 from repro.experiments.expansion import (
     diff_networks,
     dring_expansion_step,
-    jellyfish_expansion_step,
     leafspine_expansion_step,
 )
 from repro.topology import dring, expand_jellyfish, jellyfish

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import SMALL, Scale, build_suite, fig4_patterns, run_fig4
+from repro.experiments import SMALL, Scale, fig4_patterns, run_fig4
 from repro.experiments.fig4_fct import PatternSpec
 from repro.traffic import rack_to_rack, uniform
 

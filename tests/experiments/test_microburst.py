@@ -8,7 +8,6 @@ from repro.experiments import (
     render_microburst,
     run_microburst,
 )
-from repro.traffic import MicroburstSpec
 
 
 @pytest.fixture(scope="module")

@@ -39,7 +39,6 @@ class TestComparison:
             assert p.skewed_p99_ms > 0
 
     def test_slimfly_has_smallest_diameter(self, points):
-        by_topo = {p.topology: p for p in points}
         slimfly_diam = next(
             p.diameter_hops for p in points if "slimfly" in p.topology
         )

@@ -1,6 +1,5 @@
 """Tests for the regenerate-everything report driver."""
 
-import pathlib
 
 import pytest
 

@@ -1,8 +1,7 @@
 """Tests for the experiment harness scaffolding."""
 
-import pytest
 
-from repro.experiments import MEDIUM, PAPER, SMALL, build_suite, scheme_labels
+from repro.experiments import PAPER, SMALL, build_suite, scheme_labels
 
 
 class TestScales:

@@ -1,6 +1,5 @@
 """Tests for applying fault scenarios: purity, composition, OSPF replay."""
 
-import pytest
 
 from repro.core.network import build_network
 from repro.faults import (

@@ -1,0 +1,101 @@
+"""The injectable wall-clock source (repro.harness.clock)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness import clock
+from repro.harness.clock import (
+    SYSTEM_CLOCK,
+    Clock,
+    TickingClock,
+    active_clock,
+    fixed_clock,
+    set_clock,
+)
+
+
+class TestSystemClock:
+    def test_default_is_system(self):
+        assert active_clock() is SYSTEM_CLOCK
+
+    def test_system_clock_tracks_real_time(self):
+        before = time.time()
+        observed = clock.now()
+        after = time.time()
+        assert before <= observed <= after
+
+    def test_perf_is_monotonic(self):
+        assert clock.perf() <= clock.perf()
+
+
+class TestSetClock:
+    def test_set_and_restore(self):
+        fake = Clock(now=lambda: 7.0, perf=lambda: 3.0)
+        previous = set_clock(fake)
+        try:
+            assert clock.now() == 7.0
+            assert clock.perf() == 3.0
+        finally:
+            set_clock(previous)
+        assert active_clock() is SYSTEM_CLOCK
+
+
+class TestTickingClock:
+    def test_shared_timeline(self):
+        ticking = TickingClock(start=100.0, step=2.0)
+        as_clock = ticking.as_clock()
+        assert as_clock.now() == 100.0
+        assert as_clock.perf() == 102.0  # same timeline, next tick
+        assert as_clock.now() == 104.0
+
+    def test_default_epoch(self):
+        ticking = TickingClock()
+        first = ticking.as_clock().now()
+        assert first == 1_000_000_000.0
+
+
+class TestFixedClock:
+    def test_context_restores(self):
+        with fixed_clock(start=50.0, step=1.0):
+            assert clock.now() == 50.0
+            assert clock.perf() == 51.0
+        assert active_clock() is SYSTEM_CLOCK
+
+    def test_explicit_clock(self):
+        fake = Clock(now=lambda: 1.5, perf=lambda: 2.5)
+        with fixed_clock(fake):
+            assert clock.now() == 1.5
+            assert clock.perf() == 2.5
+
+    def test_restores_on_error(self):
+        try:
+            with fixed_clock(start=0.0):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_clock() is SYSTEM_CLOCK
+
+
+class TestHarnessIntegration:
+    def test_manifest_uses_injected_clock(self):
+        from repro.harness.manifest import RunManifest
+
+        with fixed_clock(start=1234.0, step=0.0):
+            manifest = RunManifest.from_outcomes(
+                [], sweep="test", wall_seconds=0.0
+            )
+        assert manifest.started_at == 1234.0
+
+    def test_cache_timestamps_use_injected_clock(self, tmp_path):
+        import json
+
+        from repro.harness.cache import ResultCache
+        from repro.harness.jobs import JobSpec
+
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("sleep", seconds=0.0)
+        with fixed_clock(start=777.0, step=0.0):
+            entry = cache.put("k" * 16, spec, {"ok": True}, 0.1)
+        payload = json.loads(entry.read_text())
+        assert payload["created_at"] == 777.0

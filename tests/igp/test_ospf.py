@@ -6,7 +6,7 @@ import pytest
 from repro.core.network import build_network
 from repro.igp import LinkStateAd, LinkStateDatabase, OspfFabric, build_converged_igp
 from repro.routing import EcmpRouting
-from repro.topology import dring, jellyfish, leaf_spine
+from repro.topology import dring, jellyfish
 
 
 class TestLsdb:

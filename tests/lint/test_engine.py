@@ -1,0 +1,91 @@
+"""Engine behavior: file walking, rule selection, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    RULE_REGISTRY,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    rules_by_name,
+)
+
+_EXPECTED_RULES = {
+    "cache-key-purity",
+    "deterministic-iteration",
+    "float-eq",
+    "mutable-default",
+    "network-mutation",
+    "no-unseeded-rng",
+    "no-wallclock",
+    "seed-threading",
+}
+
+
+def test_registry_contains_all_domain_rules():
+    assert {rule.name for rule in all_rules()} == _EXPECTED_RULES
+    assert set(RULE_REGISTRY) == _EXPECTED_RULES
+
+
+def test_rules_have_docs():
+    for rule in all_rules():
+        assert rule.summary
+        assert rule.invariant
+
+
+def test_rules_by_name_selects_subset():
+    rules = rules_by_name(["float-eq", "no-wallclock"])
+    assert sorted(rule.name for rule in rules) == ["float-eq", "no-wallclock"]
+
+
+def test_rules_by_name_rejects_unknown():
+    with pytest.raises(KeyError):
+        rules_by_name(["no-such-rule"])
+
+
+def test_syntax_error_becomes_finding():
+    findings = lint_source("def broken(:\n", "src/repro/sim/bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+
+
+def test_rule_filter_applies(tmp_path):
+    source = (
+        "import time\n"
+        "\n"
+        "def stamp(items=[]):\n"
+        "    return time.time(), items\n"
+    )
+    path = "src/repro/sim/fixture.py"
+    all_findings = lint_source(source, path)
+    assert {f.rule for f in all_findings} == {"no-wallclock", "mutable-default"}
+    only = lint_source(source, path, rules_by_name(["mutable-default"]))
+    assert [f.rule for f in only] == ["mutable-default"]
+
+
+def test_iter_python_files_skips_cache_dirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "bad.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+    files = iter_python_files([tmp_path])
+    assert [f.name for f in files] == ["good.py"]
+
+
+def test_iter_python_files_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "nope"])
+
+
+def test_lint_paths_sorts_findings(tmp_path):
+    tree = tmp_path / "src" / "repro" / "sim"
+    tree.mkdir(parents=True)
+    (tree / "b.py").write_text("import time\nt = time.time()\n")
+    (tree / "a.py").write_text("import time\nt = time.time()\n")
+    findings = lint_paths([tmp_path])
+    assert len(findings) == 2
+    assert findings[0].path < findings[1].path

@@ -1,0 +1,77 @@
+"""The gate itself: the repository at HEAD is lint-clean.
+
+If one of these fails, either a determinism invariant was just broken
+(fix the code) or a rule misfires on a legitimate new pattern (fix the
+rule, or suppress with a justification comment).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.cli import main
+from repro.lint import lint_paths, render_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _existing(*names: str) -> list:
+    return [REPO_ROOT / name for name in names if (REPO_ROOT / name).is_dir()]
+
+
+def test_src_is_clean():
+    findings = lint_paths(_existing("src"))
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_tests_are_clean():
+    findings = lint_paths(_existing("tests"))
+    assert findings == [], "\n" + render_text(findings)
+
+
+class TestCliLint:
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main(["lint", str(REPO_ROOT / "src")])
+        assert code == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "sim" / "dirty.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        code = main(["lint", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no-wallclock" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "src" / "repro" / "sim" / "dirty.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        code = main(["lint", "--format", "json", str(tmp_path)])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["counts"] == {"no-wallclock": 1}
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "sim" / "dirty.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\ndef f(x=[]):\n    return time.time()\n")
+        code = main(["lint", "--rule", "mutable-default", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "mutable-default" in out
+        assert "no-wallclock" not in out
+
+    def test_unknown_rule_rejected(self, tmp_path, capsys):
+        assert main(["lint", "--rule", "bogus", str(tmp_path)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("no-wallclock", "seed-threading", "float-eq"):
+            assert name in out

@@ -1,0 +1,55 @@
+"""Reporter output: the stable JSON schema and the text format."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    JSON_VERSION,
+    lint_source,
+    render_json,
+    render_text,
+    report_dict,
+)
+
+_DIRTY = "import time\n\ndef stamp(items=[]):\n    return time.time(), items\n"
+_PATH = "src/repro/sim/fixture.py"
+
+
+def test_json_schema():
+    findings = lint_source(_DIRTY, _PATH)
+    report = json.loads(render_json(findings))
+    assert report["version"] == JSON_VERSION == 1
+    assert report["clean"] is False
+    assert report["total"] == len(findings) == 2
+    assert report["counts"] == {"mutable-default": 1, "no-wallclock": 1}
+    assert sorted(report["counts"]) == list(report["counts"])
+    for entry in report["findings"]:
+        assert set(entry) == {"path", "line", "column", "rule", "message"}
+        assert entry["path"] == _PATH
+        assert isinstance(entry["line"], int) and entry["line"] >= 1
+
+
+def test_json_clean_report():
+    report = report_dict([])
+    assert report == {
+        "version": JSON_VERSION,
+        "clean": True,
+        "total": 0,
+        "counts": {},
+        "findings": [],
+    }
+
+
+def test_text_report_lines_and_summary():
+    findings = lint_source(_DIRTY, _PATH)
+    text = render_text(findings)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith(f"{_PATH}:")
+    assert "2 finding(s)" in lines[-1]
+    assert "mutable-default: 1" in lines[-1]
+
+
+def test_text_report_clean():
+    assert render_text([]) == "clean: no findings"

@@ -10,7 +10,6 @@ from repro.routing import (
     ShortestUnionRouting,
     bottleneck_load,
 )
-from repro.topology import dring
 
 
 class TestBottleneckLoad:

@@ -6,7 +6,6 @@ import networkx as nx
 import pytest
 
 from repro.routing import EcmpRouting, RoutingError, path_is_simple, path_is_valid
-from repro.topology import dring, leaf_spine
 
 
 class TestPaths:

@@ -12,7 +12,7 @@ from repro.routing import (
     path_is_valid,
     shortest_union_paths,
 )
-from repro.topology import dring, jellyfish, leaf_spine
+from repro.topology import dring
 
 
 class TestPathSet:

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.routing import EcmpRouting, VlbRouting, path_is_valid
 

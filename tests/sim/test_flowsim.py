@@ -5,7 +5,6 @@ import pytest
 from repro.core.units import transfer_seconds
 from repro.routing import EcmpRouting, ShortestUnionRouting
 from repro.sim import FlowSimulator, simulate_fct
-from repro.topology import dring, leaf_spine
 from repro.traffic import (
     CanonicalCluster,
     Flow,

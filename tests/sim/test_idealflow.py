@@ -10,7 +10,6 @@ from repro.sim.idealflow import (
     oblivious_throughput,
     routing_efficiency,
 )
-from repro.topology import dring, jellyfish, leaf_spine
 
 
 def line_network():

@@ -15,7 +15,6 @@ from repro.traffic import (
     Placement,
     fb_skewed,
     generate_flows,
-    rack_to_rack,
     uniform,
 )
 

@@ -5,7 +5,6 @@ one-way delay and an optional per-seq drop schedule, so every congestion
 mechanism can be exercised deterministically without the full simulator.
 """
 
-import math
 
 import pytest
 

@@ -10,7 +10,7 @@ import random
 import pytest
 
 from repro.bgp import build_converged_fabric
-from repro.core import nsr, oversubscription, udf
+from repro.core import oversubscription, udf
 from repro.routing import EcmpRouting, ShortestUnionRouting
 from repro.sim import cs_throughput, simulate_fct
 from repro.topology import dring, flatten, leaf_spine

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bgp import check_theorem1, build_converged_fabric
-from repro.core.metrics import leaf_spine_udf, nsr, udf
+from repro.core.metrics import leaf_spine_udf, udf
 from repro.routing import EcmpRouting, ShortestUnionRouting
 from repro.routing.shortest_union import shortest_union_paths
 from repro.sim import simulate_fct

@@ -1,7 +1,6 @@
 """Tests for the flat-topology local search (Section 7's open question)."""
 
 import networkx as nx
-import pytest
 
 from repro.topology import (
     dring,

@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.core.network import NetworkValidationError
-from repro.topology import xpander, xpander_matching_equipment
+from repro.topology import xpander_matching_equipment
 from repro.topology.xpander import xpander_edges
 
 

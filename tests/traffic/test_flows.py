@@ -17,7 +17,6 @@ from repro.traffic import (
     uniform,
     window_for_budget,
 )
-from repro.traffic.matrix import CanonicalCluster
 
 
 class TestParetoSizes:

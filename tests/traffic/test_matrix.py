@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.topology import dring, flatten, leaf_spine
+from repro.topology import dring
 from repro.traffic import CanonicalCluster, Placement, TrafficMatrix, uniform
 
 

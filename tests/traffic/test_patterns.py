@@ -3,7 +3,6 @@
 import pytest
 
 from repro.traffic import permutation, rack_to_rack, uniform
-from repro.traffic.matrix import CanonicalCluster
 
 
 class TestUniform:
