@@ -335,7 +335,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         kinds=args.kind,
         fractions=args.fractions,
         trials=args.trials,
-        capacity_factor=args.gray_capacity,
+        capacity_factor=args.gray_capacity_fraction,
     )
     # Always route through the harness: every scenario cell is cached
     # and crash-isolated, so reruns and wider sweeps are incremental.
@@ -435,11 +435,15 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, lint_paths, render_json, render_text
+    from repro.lint import RULE_REGISTRY, all_rules, lint_paths
+    from repro.lint import render_json, render_text
+    from repro.lint.flow import FLOW_REGISTRY, all_flow_rules
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.name:<26} {rule.summary}")
+        for flow_rule in all_flow_rules():
+            print(f"{flow_rule.name:<26} [deep] {flow_rule.summary}")
         return 0
     paths = args.paths or [
         p for p in ("src", "tests") if pathlib.Path(p).exists()
@@ -447,16 +451,81 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if not paths:
         print("lint: no paths given and no src/tests here", file=sys.stderr)
         return 2
-    try:
-        findings = lint_paths(paths, rule_names=args.rule)
-    except KeyError as exc:
-        print(f"lint: {exc.args[0]}", file=sys.stderr)
+    if args.diff_only and not args.baseline:
+        print("lint: --diff-only requires --baseline", file=sys.stderr)
         return 2
-    if args.format == "json":
-        print(render_json(findings))
+
+    file_rules = args.rule
+    deep_rules = None
+    if args.rule is not None:
+        all_flow_rules()  # populate FLOW_REGISTRY
+        unknown = [
+            n for n in args.rule
+            if n not in RULE_REGISTRY and n not in FLOW_REGISTRY
+        ]
+        if unknown:
+            print(f"lint: unknown rule '{unknown[0]}'", file=sys.stderr)
+            return 2
+        file_rules = [n for n in args.rule if n in RULE_REGISTRY]
+        deep_rules = [n for n in args.rule if n in FLOW_REGISTRY]
+        if deep_rules and not args.deep:
+            print(
+                f"lint: '{deep_rules[0]}' is a deep rule; pass --deep",
+                file=sys.stderr,
+            )
+            return 2
+
+    findings = []
+    if file_rules is None or file_rules:
+        findings = lint_paths(paths, rule_names=file_rules)
+    if args.deep and (deep_rules is None or deep_rules):
+        from repro.lint.flow import deep_lint_paths
+
+        deep_findings, _stats = deep_lint_paths(
+            paths, rule_names=deep_rules
+        )
+        findings = sorted(set(findings) | set(deep_findings))
+
+    if args.write_baseline:
+        from repro.lint.baseline import write_baseline
+
+        count = write_baseline(findings, args.write_baseline)
+        print(
+            f"lint: wrote baseline with {count} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    known = []
+    if args.baseline:
+        from repro.lint.baseline import (
+            BaselineError,
+            load_baseline,
+            partition,
+        )
+
+        try:
+            accepted = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        new, known = partition(findings, accepted)
+        shown = new if args.diff_only else findings
+        gate = new
     else:
-        print(render_text(findings))
-    return 1 if findings else 0
+        shown = findings
+        gate = findings
+
+    if args.format == "json":
+        print(render_json(shown))
+    else:
+        print(render_text(shown))
+        if args.baseline and known:
+            print(
+                f"baseline: {len(known)} known finding(s) accepted, "
+                f"{len(gate)} new"
+            )
+    return 1 if gate else 0
 
 
 def cmd_configs(args: argparse.Namespace) -> int:
@@ -600,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--gray-capacity",
+        dest="gray_capacity_fraction",
         type=float,
         default=DEFAULT_GRAY_CAPACITY,
         metavar="SCALE",
@@ -686,6 +756,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural (whole-package) analyses: "
+        "call-graph effect inference, seed provenance, unit "
+        "consistency and worker safety",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings file: fail only on findings not in it",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline "
+        "and exit 0",
+    )
+    p.add_argument(
+        "--diff-only",
+        action="store_true",
+        help="with --baseline: report only new findings, hide known",
     )
     p.set_defaults(func=cmd_lint)
 

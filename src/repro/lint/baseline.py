@@ -1,0 +1,114 @@
+"""Finding baselines: ratcheted adoption of new lint rules.
+
+A baseline is a versioned JSON file recording the findings a repository
+has *accepted* — typically written once when a new rule lands against
+old code.  ``repro lint --baseline <file>`` then fails only on findings
+not in the baseline, so CI gates new regressions immediately while the
+backlog burns down independently.
+
+Findings are matched by **fingerprint** — ``(path, rule, message)``
+with occurrence counting, deliberately ignoring line numbers: editing
+an unrelated part of a file must not resurrect its baselined findings,
+but introducing a *second* instance of an accepted finding in the same
+file is still new.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.findings import Finding
+
+#: Bump when the on-disk schema changes shape.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or from an unknown schema version."""
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Line-insensitive identity of a finding."""
+    return (finding.path.replace("\\", "/"), finding.rule, finding.message)
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: Union[str, pathlib.Path]
+) -> int:
+    """Write ``findings`` as an accepted baseline; returns the count."""
+    counts = Counter(fingerprint(f) for f in findings)
+    entries = [
+        {"path": p, "rule": r, "message": m, "count": c}
+        for (p, r, m), c in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return sum(counts.values())
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Counter:
+    """Fingerprint -> accepted occurrence count from a baseline file."""
+    try:
+        payload = json.loads(
+            pathlib.Path(path).read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path}: not a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: schema version {version!r} "
+            f"(this tool reads version {BASELINE_VERSION}; rewrite it "
+            "with --write-baseline)"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' is not a list")
+    counts: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: non-object entry")
+        try:
+            key = (
+                str(entry["path"]).replace("\\", "/"),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from exc
+        counts[key] += max(count, 1)
+    return counts
+
+
+def partition(
+    findings: Sequence[Finding], accepted: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, known)`` against a baseline.
+
+    The first *n* occurrences of a fingerprint accepted *n* times are
+    known (matched in line order); any beyond that are new.
+    """
+    remaining: Dict[Fingerprint, int] = dict(accepted)
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

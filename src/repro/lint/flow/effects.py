@@ -1,0 +1,393 @@
+"""Effect inference + the deep-cache-purity rule.
+
+Every function in the program is classified against a small effect
+lattice by propagating *local* effects bottom-up over the call graph:
+
+* ``reads-clock`` — reads real time (``time.time``, ``datetime.now``,
+  ... — the same set the per-file no-wallclock rule bans);
+* ``uses-rng``    — draws from the hidden global RNG (bare ``random.*``
+  or legacy ``numpy.random.*`` calls);
+* ``does-io``     — touches ambient I/O: ``os.environ`` / ``os.getenv``,
+  ``open()``, ``Path.read_*`` / ``write_*``, ``input()``,
+  ``subprocess`` / ``socket``;
+* ``mutates-network`` — calls a :class:`Network` mutation primitive
+  (``add_link`` / ``remove_link`` / ``set_link_capacity_scale``).
+
+A function with none of these, and whose resolved callees have none, is
+**pure**.  Unresolved call sites are treated as effect-free — the
+engine is deliberately optimistic so the gate stays actionable; the
+call-graph meta-test pins the unresolved fraction below 10% so the
+optimism window stays small.
+
+``deep-cache-purity`` then strengthens PR 3's syntactic
+cache-key-purity rule to a semantic one: every job runner registered
+via ``register_experiment`` (the functions whose results the harness
+caches by (spec, code-fingerprint) alone) must reach only pure or
+explicitly-allowed effects.  ``mutates-network`` is allowed there —
+jobs degrade their own private topology copies — and a
+``# repro-effect: allow=<effect>`` comment on a ``def`` line absorbs a
+deliberate effect at that function (with a justification, same policy
+as suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    INTERNAL,
+    UNRESOLVED,
+)
+from repro.lint.flow.program import FunctionInfo, Program, function_statements
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+READS_CLOCK = "reads-clock"
+USES_RNG = "uses-rng"
+DOES_IO = "does-io"
+MUTATES_NETWORK = "mutates-network"
+
+#: Every effect above "pure", in report order.
+EFFECTS = (READS_CLOCK, USES_RNG, DOES_IO, MUTATES_NETWORK)
+
+#: Wall-clock reads (kept in sync with lint.rules.wallclock).
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.clock_gettime", "time.clock_gettime_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Global-state ``random`` module functions (lint.rules.rng's set).
+_GLOBAL_RANDOM = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+_SEEDABLE_NUMPY = frozenset({
+    "Generator", "RandomState", "SeedSequence", "default_rng",
+})
+
+_IO_CALLS = frozenset({
+    "os.getenv", "os.environb.get", "os.urandom", "builtins.input",
+    "builtins.open", "sys.stdin.read", "sys.stdin.readline",
+})
+
+_IO_CALL_PREFIXES = ("subprocess.", "socket.", "urllib.", "http.")
+
+_PATH_IO_METHODS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes",
+})
+
+_NETWORK_MUTATORS = frozenset({
+    "add_link", "remove_link", "set_link_capacity_scale",
+})
+
+#: ``# repro-effect: allow=<effect>[,<effect>]`` on a def line.
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro-effect:\s*allow\s*=\s*(?P<effects>[A-Za-z, \-]+)"
+)
+
+
+def collect_effect_allowances(source: str) -> Dict[int, Set[str]]:
+    """Line -> effects explicitly allowed by a ``# repro-effect`` comment."""
+    allowances: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return allowances
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        names = {
+            name.strip()
+            for name in match.group("effects").split(",")
+            if name.strip()
+        }
+        allowances.setdefault(token.start[0], set()).update(names)
+    return allowances
+
+
+class EffectOrigin:
+    """Why a function carries an effect: where it enters syntactically,
+    and through which callee it was inherited (for path rendering)."""
+
+    __slots__ = ("qname", "line", "via", "detail")
+
+    def __init__(
+        self, qname: str, line: int, via: Optional[str], detail: str
+    ) -> None:
+        self.qname = qname
+        self.line = line
+        self.via = via  # callee qname the effect came through, or None
+        self.detail = detail
+
+
+class EffectAnalysis:
+    """Inferred effect sets for every function in a call graph."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.callgraph = graph
+        self.program = graph.program
+        self.local: Dict[str, Dict[str, EffectOrigin]] = {}
+        self.effects: Dict[str, Set[str]] = {}
+        self.origins: Dict[str, Dict[str, EffectOrigin]] = {}
+        self.allowances: Dict[str, Set[str]] = {}
+        self._infer()
+
+    # -- local (syntactic) effects -------------------------------------
+
+    def _infer(self) -> None:
+        allow_by_module: Dict[str, Dict[int, Set[str]]] = {}
+        for name, module in self.program.modules.items():
+            allow_by_module[name] = collect_effect_allowances(module.source)
+        sites_by_caller: Dict[str, List[CallSite]] = {}
+        for site in self.callgraph.sites:
+            sites_by_caller.setdefault(site.caller, []).append(site)
+        for qname, info in self.program.functions.items():
+            self.local[qname] = self._local_effects(
+                info, sites_by_caller.get(qname, [])
+            )
+            allowed = allow_by_module[info.module].get(info.line, set())
+            if allowed:
+                self.allowances[qname] = allowed
+        self._propagate()
+
+    def _local_effects(
+        self, info: FunctionInfo, sites: List[CallSite]
+    ) -> Dict[str, EffectOrigin]:
+        found: Dict[str, EffectOrigin] = {}
+
+        def mark(effect: str, line: int, detail: str) -> None:
+            if effect not in found:
+                found[effect] = EffectOrigin(info.qname, line, None, detail)
+
+        for site in sites:
+            if site.kind == UNRESOLVED:
+                # Untyped receivers still betray file IO by method name.
+                method = site.text.rsplit(".", 1)[-1]
+                if method in _PATH_IO_METHODS:
+                    mark(DOES_IO, site.line, f"calls .{method}()")
+                continue
+            if site.kind == INTERNAL:
+                # Network mutation primitives are internal methods.
+                target = site.target
+                method = target.rsplit(".", 1)[-1]
+                if (
+                    method in _NETWORK_MUTATORS
+                    and ".core.network." in f".{target}"
+                ):
+                    mark(
+                        MUTATES_NETWORK, site.line,
+                        f"calls Network.{method}()",
+                    )
+                continue
+            dotted = site.target
+            if dotted in _CLOCK_CALLS:
+                mark(READS_CLOCK, site.line, f"calls {dotted}()")
+            elif dotted in _IO_CALLS or dotted.startswith(_IO_CALL_PREFIXES):
+                mark(DOES_IO, site.line, f"calls {dotted}()")
+            else:
+                parts = dotted.split(".")
+                if parts[0] == "random" and len(parts) == 2:
+                    if parts[1] in _GLOBAL_RANDOM:
+                        mark(USES_RNG, site.line, f"calls {dotted}()")
+                elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+                    if parts[2] not in _SEEDABLE_NUMPY:
+                        mark(USES_RNG, site.line, f"calls {dotted}()")
+                elif parts[-1] in _PATH_IO_METHODS:
+                    mark(DOES_IO, site.line, f"calls .{parts[-1]}()")
+
+        # os.environ reads are attribute accesses, not calls.
+        module = self.program.module_of(info)
+        for node in function_statements(info.node):
+            if isinstance(node, ast.Attribute):
+                parts = _flatten(node)
+                if parts and module.imports.get(parts[0]) == "os":
+                    if parts[1:2] == ["environ"]:
+                        mark(DOES_IO, node.lineno, "reads os.environ")
+                elif parts and module.imports.get(parts[0]) == "os.environ":
+                    mark(DOES_IO, node.lineno, "reads os.environ")
+        return found
+
+    # -- bottom-up propagation -----------------------------------------
+
+    def _propagate(self) -> None:
+        for qname, local in self.local.items():
+            self.effects[qname] = set(local)
+            self.origins[qname] = dict(local)
+        changed = True
+        while changed:
+            changed = False
+            for qname in self.effects:
+                absorbed = self.allowances.get(qname, set())
+                for callee in sorted(self.callgraph.callees(qname)):
+                    callee_effects = self.effects.get(callee)
+                    if not callee_effects:
+                        continue
+                    for effect in callee_effects:
+                        if effect in absorbed:
+                            continue
+                        if effect in self.allowances.get(callee, set()):
+                            # The callee declared the effect intentional:
+                            # it stops propagating upward there.
+                            continue
+                        if effect not in self.effects[qname]:
+                            self.effects[qname].add(effect)
+                            origin = self.origins[callee][effect]
+                            self.origins[qname][effect] = EffectOrigin(
+                                origin.qname, origin.line, callee,
+                                origin.detail,
+                            )
+                            changed = True
+
+    # -- reporting helpers ---------------------------------------------
+
+    def effects_of(self, qname: str) -> Set[str]:
+        return self.effects.get(qname, set())
+
+    def classify(self, qname: str) -> str:
+        """The summary label: 'pure' or a +-joined effect list."""
+        effects = self.effects_of(qname)
+        if not effects:
+            return "pure"
+        return "+".join(e for e in EFFECTS if e in effects)
+
+    def explain(self, qname: str, effect: str) -> str:
+        """Render the call path from ``qname`` to the effect's origin."""
+        hops: List[str] = []
+        current = qname
+        seen = set()
+        while True:
+            origin = self.origins.get(current, {}).get(effect)
+            if origin is None or origin.via is None or origin.via in seen:
+                break
+            seen.add(origin.via)
+            hops.append(_short(origin.via))
+            current = origin.via
+        origin = self.origins.get(current, {}).get(effect)
+        where = ""
+        if origin is not None:
+            module = self.program.functions[origin.qname].module
+            where = f" ({module}:{origin.line}: {origin.detail})"
+        path = " -> ".join(hops)
+        return (f"via {path}{where}" if path else where.strip()) or effect
+
+
+def _flatten(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _short(qname: str) -> str:
+    """Trim the package prefix for readable effect paths."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qname
+
+
+# ----------------------------------------------------------------------
+# Job entry-point discovery
+# ----------------------------------------------------------------------
+
+
+def find_job_entry_points(program: Program) -> List[Tuple[str, CallSite]]:
+    """(runner qname, registration site) for every ``register_experiment``
+    call whose runner argument resolves to a program function."""
+    entries: List[Tuple[str, CallSite]] = []
+    for module in program.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = None
+            if isinstance(node.func, ast.Name):
+                callee = program.resolve_in_module(module, node.func.id)
+            if not callee or not callee.endswith(".register_experiment"):
+                continue
+            if len(node.args) < 2:
+                continue
+            runner = node.args[1]
+            resolved: Optional[str] = None
+            if isinstance(runner, ast.Name):
+                resolved = program.resolve_in_module(module, runner.id)
+            if resolved and resolved in program.functions:
+                entries.append((
+                    resolved,
+                    CallSite(
+                        caller=module.name, line=node.lineno,
+                        column=node.col_offset, text="register_experiment",
+                        kind=INTERNAL, target=resolved,
+                    ),
+                ))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The rule
+# ----------------------------------------------------------------------
+
+#: Effects a cached job runner may carry without an explicit allowance.
+#: Jobs build and degrade their own private Network copies, so local
+#: topology mutation does not break cache-key purity.
+_ALLOWED_IN_JOBS = frozenset({MUTATES_NETWORK})
+
+
+@register_flow_rule
+class DeepCachePurity(FlowRule):
+    name = "deep-cache-purity"
+    summary = (
+        "cache-keyed job runners transitively reaching clock / RNG / "
+        "ambient-IO effects (semantic cache-key-purity)"
+    )
+    invariant = (
+        "a cached job result is a pure function of (JobSpec, "
+        "fingerprinted sources) along every interprocedural path, not "
+        "just in the file the runner lives in"
+    )
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        analysis = EffectAnalysis(graph)
+        yield from check_entry_effects(graph.program, analysis, self)
+
+
+def check_entry_effects(
+    program: Program, analysis: EffectAnalysis, rule: FlowRule
+) -> Iterator[Finding]:
+    for qname, _site in find_job_entry_points(program):
+        info = program.functions[qname]
+        banned = (
+            analysis.effects_of(qname)
+            - _ALLOWED_IN_JOBS
+            - analysis.allowances.get(qname, set())
+        )
+        for effect in [e for e in EFFECTS if e in banned]:
+            path = analysis.explain(qname, effect)
+            yield rule.finding(
+                program.modules[info.module].path, info.line,
+                info.node.col_offset,
+                f"cached job runner '{info.name}' reaches effect "
+                f"'{effect}' {path}; results keyed on (spec, code) "
+                "cannot depend on it — make the path pure or annotate "
+                "an intentional effect with '# repro-effect: "
+                f"allow={effect}'",
+            )

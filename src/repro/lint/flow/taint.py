@@ -1,0 +1,330 @@
+"""deep-seed-provenance: every RNG traces back to an injected seed.
+
+The per-file no-unseeded-rng rule bans drawing from the *global* RNG;
+this rule closes the remaining hole: a ``random.Random(...)`` (or
+``numpy.random.default_rng(...)``) constructed from a seed that is not
+attributable to an injection point — a ``JobSpec`` seed, a CLI
+``--seed``, a caller-supplied parameter, or a test fixture.
+
+The analysis is a backward taint over seed expressions:
+
+* a construction with **no seed argument** (or an explicit ``None``) is
+  nondeterministic — flagged outright in non-test code;
+* a seed expression whose leaves are parameters, ``*seed*`` attributes
+  (``spec.seed``, ``self.seed``), integer literals, or locals derived
+  from those is traceable — accepted;
+* a leaf that is a **wall-clock read, ``os.environ`` / ``os.urandom``,
+  or a module-level mutable** poisons the seed — flagged;
+* when the seed is a bare parameter, the obligation moves to the
+  callers: the analysis walks every resolved call site of that
+  function and applies the same check to the argument expression,
+  transitively.  A call site that *omits* a seed parameter whose
+  default is ``None`` is flagged — that path constructs an
+  entropy-seeded RNG in disguise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    EXTERNAL,
+    INTERNAL,
+    CallSite,
+)
+from repro.lint.flow.program import (
+    FunctionInfo,
+    Program,
+    function_statements,
+)
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+#: External constructors that produce a seedable RNG.
+_RNG_CONSTRUCTORS = frozenset({
+    "random.Random", "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.Generator", "numpy.random.SeedSequence",
+})
+
+#: Dotted callables whose result must never seed an RNG.
+_POISON_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "os.urandom", "os.getpid", "uuid.uuid4", "builtins.id",
+})
+
+_POISON_ATTRS = frozenset({"os.environ"})
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "tests" in parts or parts[-1].startswith("test_")
+
+
+class _SeedCheck:
+    """Classification of one seed expression inside one function."""
+
+    def __init__(
+        self,
+        program: Program,
+        info: FunctionInfo,
+        local_assigns: Dict[str, ast.expr],
+    ) -> None:
+        self.program = program
+        self.info = info
+        self.module = program.module_of(info)
+        self.params = set(info.param_names())
+        self.local_assigns = local_assigns
+        #: Parameters the seed expression depends on (for caller walks).
+        self.used_params: Set[str] = set()
+        self.poison: Optional[Tuple[int, str]] = None
+
+    def classify(self, expr: ast.expr, _depth: int = 0) -> None:
+        """Walk a seed expression recording params used and poisons."""
+        if self.poison is not None or _depth > 12:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                dotted = self._dotted(node.func)
+                if dotted in _POISON_CALLS:
+                    self.poison = (node.lineno, f"{dotted}()")
+                    return
+            elif isinstance(node, ast.Attribute):
+                dotted = self._dotted(node)
+                if dotted in _POISON_ATTRS:
+                    self.poison = (node.lineno, dotted)
+                    return
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                name = node.id
+                if name in self.params:
+                    self.used_params.add(name)
+                elif name in self.local_assigns:
+                    value = self.local_assigns[name]
+                    if value is not expr:
+                        self.classify(value, _depth + 1)
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        base = self.module.imports.get(parts[0])
+        if base is None:
+            return None
+        return ".".join([base] + parts[1:])
+
+
+def _local_assignments(info: FunctionInfo) -> Dict[str, ast.expr]:
+    assigns: Dict[str, ast.expr] = {}
+    for stmt in function_statements(info.node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                assigns[target.id] = stmt.value
+    return assigns
+
+
+def _seed_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The seed expression of an RNG constructor call, if present."""
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Starred):
+            return None
+        return first
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "x"):  # default_rng(seed=...) / Random(x=)
+            return keyword.value
+    return None
+
+
+def _param_default(
+    info: FunctionInfo, param: str
+) -> Tuple[bool, Optional[ast.expr]]:
+    """(has_default, default_expr) for a named parameter."""
+    node = info.node
+    args = node.args
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    offset = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg == param:
+            if index >= offset:
+                return True, defaults[index - offset]
+            return False, None
+    for index, arg in enumerate(args.kwonlyargs):
+        if arg.arg == param:
+            default = args.kw_defaults[index]
+            return default is not None, default
+    return False, None
+
+
+def _argument_for(
+    call: ast.Call, info: FunctionInfo, param: str
+) -> Tuple[bool, Optional[ast.expr]]:
+    """(explicitly passed, expression) for ``param`` at one call site.
+
+    Positional matching is approximate for methods (no self binding);
+    seed parameters are keyword-passed almost everywhere, and a miss
+    just means the default-path check runs instead.
+    """
+    for keyword in call.keywords:
+        if keyword.arg == param:
+            return True, keyword.value
+        if keyword.arg is None:  # **kwargs — assume the caller knows
+            return True, None
+    node = info.node
+    names = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    if param in names:
+        index = names.index(param)
+        if index < len(call.args):
+            arg = call.args[index]
+            if isinstance(arg, ast.Starred):
+                return True, None
+            return True, arg
+    return False, None
+
+
+@register_flow_rule
+class DeepSeedProvenance(FlowRule):
+    name = "deep-seed-provenance"
+    summary = (
+        "RNG constructions whose seed cannot be traced to an injection "
+        "point (JobSpec seed, CLI --seed, caller parameter, test)"
+    )
+    invariant = (
+        "every random draw in the package is replayable because every "
+        "RNG's seed arrives through an explicit injection point"
+    )
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        program = graph.program
+        findings: List[Finding] = []
+        #: (function qname, param) pairs that flow into RNG seeds.
+        seed_params: Set[Tuple[str, str]] = set()
+
+        for site in graph.sites:
+            if site.kind != EXTERNAL or site.target not in _RNG_CONSTRUCTORS:
+                continue
+            info = program.functions.get(site.caller)
+            if info is None:
+                continue
+            path = program.modules[info.module].path
+            if _is_test_path(path):
+                continue
+            call = _find_call(info, site)
+            if call is None:
+                continue
+            seed = _seed_argument(call)
+            if seed is None or (
+                isinstance(seed, ast.Constant) and seed.value is None
+            ):
+                findings.append(self.finding(
+                    path, site.line, site.column,
+                    f"'{site.text}()' constructed without a seed: this "
+                    "draws from system entropy and cannot be replayed; "
+                    "thread an explicit seed through",
+                ))
+                continue
+            check = _SeedCheck(program, info, _local_assignments(info))
+            check.classify(seed)
+            if check.poison is not None:
+                line, what = check.poison
+                findings.append(self.finding(
+                    path, line, site.column,
+                    f"RNG seed derives from '{what}': not attributable "
+                    "to an injection point; seeds must come from a "
+                    "JobSpec, CLI --seed, parameter or test fixture",
+                ))
+                continue
+            for param in check.used_params:
+                seed_params.add((site.caller, param))
+
+        findings.extend(
+            self._check_callers(graph, seed_params)
+        )
+        return findings
+
+    def _check_callers(
+        self, graph: CallGraph, seed_params: Set[Tuple[str, str]]
+    ) -> Iterable[Finding]:
+        """Propagate the seed obligation to call sites, transitively."""
+        program = graph.program
+        findings: List[Finding] = []
+        sites_by_target: Dict[str, List[CallSite]] = {}
+        for site in graph.sites:
+            if site.kind == INTERNAL:
+                sites_by_target.setdefault(site.target, []).append(site)
+
+        worklist = sorted(seed_params)
+        checked: Set[Tuple[str, str]] = set(worklist)
+        while worklist:
+            qname, param = worklist.pop()
+            info = program.functions[qname]
+            for site in sites_by_target.get(qname, []):
+                caller = program.functions.get(site.caller)
+                if caller is None:
+                    continue
+                caller_path = program.modules[caller.module].path
+                if _is_test_path(caller_path):
+                    continue
+                call = _find_call(caller, site)
+                if call is None:
+                    continue
+                passed, expr = _argument_for(call, info, param)
+                if not passed:
+                    has_default, default = _param_default(info, param)
+                    if has_default and isinstance(
+                        default, ast.Constant
+                    ) and default.value is None:
+                        findings.append(self.finding(
+                            caller_path, site.line, site.column,
+                            f"call to '{info.name}()' omits seed "
+                            f"parameter '{param}' whose default is "
+                            "None — this path constructs an "
+                            "entropy-seeded RNG; pass a seed",
+                        ))
+                    continue
+                if expr is None:
+                    continue
+                check = _SeedCheck(
+                    program, caller, _local_assignments(caller)
+                )
+                check.classify(expr)
+                if check.poison is not None:
+                    line, what = check.poison
+                    findings.append(self.finding(
+                        caller_path, line, site.column,
+                        f"seed passed to '{info.name}()' derives from "
+                        f"'{what}': not attributable to an injection "
+                        "point",
+                    ))
+                    continue
+                for caller_param in check.used_params:
+                    item = (site.caller, caller_param)
+                    if item not in checked:
+                        checked.add(item)
+                        worklist.append(item)
+        return findings
+
+
+def _find_call(info: FunctionInfo, site: CallSite) -> Optional[ast.Call]:
+    """Recover the AST call node a site was built from (by position)."""
+    for node in function_statements(info.node):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno == site.line
+            and node.col_offset == site.column
+        ):
+            return node
+    return None

@@ -1,0 +1,210 @@
+"""deep-unit-consistency: capacities, fractions, counts and times don't mix.
+
+The simulators pass physical quantities around as bare floats; nothing
+in the type system distinguishes a Gbps capacity from a normalized
+utilization from a per-link scale factor.  The historical bug class is
+``capacity + cap_scale`` where ``capacity * cap_scale`` was meant — a
+silent unit error that shifts every downstream number.
+
+This analysis infers lightweight dimension tags from identifier
+vocabulary (the naming discipline ``core/network.py`` and the simulator
+signatures already follow): ``*_gbps`` / ``*capacity*`` are Gbps,
+``*_fraction`` / ``*utilization*`` / ``*_scale`` / ``*_factor`` are
+dimensionless fractions, ``*_seconds`` are seconds, ``*_ms``
+milliseconds, ``*_bytes`` bytes, ``*count*`` / ``num_*`` flow counts.
+Tokens are scanned right-to-left so ``capacity_factor`` reads as a
+factor, not a capacity.  Two checks fire on confidently-tagged
+operands only:
+
+* **mixed arithmetic** — ``+`` / ``-`` / comparisons between two
+  different dimensions in one expression;
+* **call-site mismatch** — an argument with one dimension bound to a
+  parameter whose name carries another, across every resolved
+  intra-package call edge (the interprocedural half: the caller's
+  Gbps flowing into a callee's fraction parameter).
+
+Multiplication and division are exempt: they legitimately *create*
+derived dimensions (Gbps x fraction = Gbps).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph, CallSite, INTERNAL
+from repro.lint.flow.program import FunctionInfo, function_statements
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+from repro.lint.flow.taint import _find_call, _is_test_path
+
+#: Dimension tag -> identifier tokens that confer it.
+_DIMENSIONS: Dict[str, Tuple[str, ...]] = {
+    "Gbps": ("gbps", "capacity", "capacities", "bandwidth"),
+    "fraction": (
+        "fraction", "fractions", "utilization", "ratio", "frac",
+        "scale_factor", "factor", "share",
+    ),
+    "seconds": ("seconds", "secs"),
+    "milliseconds": ("ms", "millis", "milliseconds"),
+    "bytes": ("bytes",),
+    "count": ("count", "counts", "num"),
+}
+
+#: Token -> dimension, derived once.
+_TOKEN_DIM: Dict[str, str] = {
+    token: dim for dim, tokens in _DIMENSIONS.items() for token in tokens
+}
+
+#: Identifiers that look dimensioned but are deliberately neutral.
+_NEUTRAL = frozenset({
+    # ``scale`` alone names the experiment-size registry object.
+    "scale", "scales",
+})
+
+_TOKEN_SPLIT = re.compile(r"[_\W]+")
+
+_FLAGGED_OPS = (ast.Add, ast.Sub)
+_FLAGGED_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def dimension_of_name(identifier: str) -> Optional[str]:
+    """Dimension tag an identifier carries, scanning tokens right-to-left."""
+    if identifier in _NEUTRAL:
+        return None
+    tokens = [t for t in _TOKEN_SPLIT.split(identifier.lower()) if t]
+    for token in reversed(tokens):
+        dim = _TOKEN_DIM.get(token)
+        if dim is not None:
+            return dim
+    return None
+
+
+def dimension_of_expr(expr: ast.expr) -> Optional[str]:
+    """Dimension of an expression, when a single tag is confident.
+
+    Names and attributes read their identifier; a ``+``/``-`` of two
+    same-dimension operands keeps it; ``min``/``max``/``abs``/``sum``
+    of one dimension keeps it; everything else is untagged.
+    """
+    if isinstance(expr, ast.Name):
+        return dimension_of_name(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return dimension_of_name(expr.attr)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _FLAGGED_OPS):
+        left = dimension_of_expr(expr.left)
+        right = dimension_of_expr(expr.right)
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("min", "max", "abs", "sum") and expr.args:
+            dims = {dimension_of_expr(arg) for arg in expr.args}
+            dims.discard(None)
+            if len(dims) == 1:
+                return dims.pop()
+    return None
+
+
+@register_flow_rule
+class DeepUnitConsistency(FlowRule):
+    name = "deep-unit-consistency"
+    summary = (
+        "arithmetic or call arguments mixing inferred dimensions "
+        "(Gbps vs fraction vs seconds vs count)"
+    )
+    invariant = (
+        "every capacity stays in Gbps, every fraction stays "
+        "normalized; quantities cross dimensions only through * and /"
+    )
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        program = graph.program
+        findings: List[Finding] = []
+        for info in program.functions.values():
+            path = program.modules[info.module].path
+            if _is_test_path(path):
+                continue
+            findings.extend(self._check_arithmetic(path, info))
+        findings.extend(self._check_call_sites(graph))
+        return findings
+
+    def _check_arithmetic(
+        self, path: str, info: FunctionInfo
+    ) -> Iterable[Finding]:
+        for node in function_statements(info.node):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, _FLAGGED_OPS
+            ):
+                left = dimension_of_expr(node.left)
+                right = dimension_of_expr(node.right)
+                if left and right and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield self.finding(
+                        path, node.lineno, node.col_offset,
+                        f"'{op}' mixes {left} and {right} operands; "
+                        "cross dimensions only through * or / (or "
+                        "rename one side if the tag is wrong)",
+                    )
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if not isinstance(node.ops[0], _FLAGGED_CMPS):
+                    continue
+                left = dimension_of_expr(node.left)
+                right = dimension_of_expr(node.comparators[0])
+                if left and right and left != right:
+                    yield self.finding(
+                        path, node.lineno, node.col_offset,
+                        f"comparison mixes {left} and {right}; convert "
+                        "one side explicitly",
+                    )
+
+    def _check_call_sites(self, graph: CallGraph) -> Iterable[Finding]:
+        program = graph.program
+        for site in graph.sites:
+            if site.kind != INTERNAL:
+                continue
+            callee = program.functions.get(site.target)
+            caller = program.functions.get(site.caller)
+            if callee is None or caller is None:
+                continue
+            caller_path = program.modules[caller.module].path
+            if _is_test_path(caller_path):
+                continue
+            call = _find_call(caller, site)
+            if call is None:
+                continue
+            yield from self._check_one_call(
+                caller_path, site, call, callee
+            )
+
+    def _check_one_call(
+        self,
+        path: str,
+        site: CallSite,
+        call: ast.Call,
+        callee: FunctionInfo,
+    ) -> Iterable[Finding]:
+        node = callee.node
+        names = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        pairs: List[Tuple[str, ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(names):
+                pairs.append((names[index], arg))
+        kw_names = set(names) | {a.arg for a in node.args.kwonlyargs}
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in kw_names:
+                pairs.append((keyword.arg, keyword.value))
+        for param, expr in pairs:
+            want = dimension_of_name(param)
+            got = dimension_of_expr(expr)
+            if want and got and want != got:
+                yield self.finding(
+                    path, site.line, site.column,
+                    f"argument of dimension {got} bound to parameter "
+                    f"'{param}' ({want}) of '{callee.name}()'",
+                )

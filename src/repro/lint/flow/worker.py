@@ -1,0 +1,214 @@
+"""deep-worker-safety: job code must survive the process-pool boundary.
+
+The executor runs every job in a fresh worker process: the runner is
+looked up by name in a re-imported module, the spec crosses the pipe as
+JSON scalars, and nothing else crosses at all.  Two classes of code
+break silently under that model:
+
+* **module-global mutation from job-reachable code** — a function the
+  job entry points reach that writes a module-level variable (via
+  ``global`` or by mutating a module-level container) is writing
+  per-process state: invisible to the parent and to other workers, and
+  a divergence between ``--jobs 1`` and ``--jobs N`` runs.  Import-time
+  registry population is fine — it re-runs identically in every
+  worker; it is *runtime* mutation that desynchronizes.
+* **non-importable runners** — a lambda or nested closure registered
+  as an experiment runner cannot be found by the worker's re-import;
+  only module-level functions are safe to register.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.effects import find_job_entry_points
+from repro.lint.flow.program import (
+    FunctionInfo,
+    Program,
+    function_statements,
+)
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+})
+
+
+def reachable_from(graph: CallGraph, roots: Iterable[str]) -> Set[str]:
+    """Every function reachable from ``roots`` over resolved edges."""
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.callees(current))
+    return seen
+
+
+def _local_bindings(info: FunctionInfo) -> Set[str]:
+    """Names bound locally (params, assignments, loop targets, withitems)."""
+    bound = set(info.param_names())
+    for node in function_statements(info.node):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            targets = [node.optional_vars]
+        for target in targets:
+            for child in ast.walk(target):
+                if isinstance(child, ast.Name):
+                    bound.add(child.id)
+    return bound
+
+
+@register_flow_rule
+class DeepWorkerSafety(FlowRule):
+    name = "deep-worker-safety"
+    summary = (
+        "module-global mutation or non-importable runners in code the "
+        "process-pool executor runs inside workers"
+    )
+    invariant = (
+        "a job behaves identically under --jobs 1 and --jobs N because "
+        "nothing it runs depends on or mutates per-process state"
+    )
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        program = graph.program
+        entries = find_job_entry_points(program)
+        yield from self._check_runner_shape(program)
+        reachable = reachable_from(graph, [qname for qname, _ in entries])
+        global_writers: Dict[str, List[Finding]] = {}
+        for qname in sorted(reachable):
+            info = program.functions.get(qname)
+            if info is None:
+                continue
+            findings = list(self._check_global_mutation(program, info))
+            if findings:
+                global_writers[qname] = findings
+        for findings in global_writers.values():
+            yield from findings
+
+    def _check_runner_shape(self, program: Program) -> Iterable[Finding]:
+        """Registered runners must be module-level defs."""
+        for module in program.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = None
+                if isinstance(node.func, ast.Name):
+                    callee = program.resolve_in_module(
+                        module, node.func.id
+                    )
+                if not callee or not callee.endswith(
+                    ".register_experiment"
+                ):
+                    continue
+                if len(node.args) < 2:
+                    continue
+                runner = node.args[1]
+                if isinstance(runner, ast.Lambda):
+                    yield self.finding(
+                        module.path, runner.lineno, runner.col_offset,
+                        "lambda registered as an experiment runner; "
+                        "workers re-import runners by name — register "
+                        "a module-level function",
+                    )
+                elif isinstance(runner, ast.Name):
+                    resolved = program.resolve_in_module(
+                        module, runner.id
+                    )
+                    info = program.functions.get(resolved or "")
+                    if info is not None and info.parent:
+                        yield self.finding(
+                            module.path, node.lineno, node.col_offset,
+                            f"nested function '{info.name}' registered "
+                            "as an experiment runner; workers re-import "
+                            "runners by name — move it to module level",
+                        )
+
+    def _check_global_mutation(
+        self, program: Program, info: FunctionInfo
+    ) -> Iterable[Finding]:
+        module = program.module_of(info)
+        path = module.path
+        node = info.node
+        declared_global: Set[str] = set()
+        for child in function_statements(node):
+            if isinstance(child, ast.Global):
+                declared_global.update(child.names)
+        if declared_global:
+            for child in function_statements(node):
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id in declared_global
+                        ):
+                            yield self.finding(
+                                path, child.lineno, child.col_offset,
+                                f"job-reachable '{info.name}' rebinds "
+                                f"module global '{target.id}'; worker "
+                                "state never reaches the parent — "
+                                "return the value instead",
+                            )
+        locals_bound = _local_bindings(info) - declared_global
+        module_globals = set(module.assigns)
+        for child in function_statements(node):
+            name: str = ""
+            what: str = ""
+            if isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.attr in _MUTATING_METHODS
+                ):
+                    name, what = func.value.id, f".{func.attr}()"
+            elif isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                    ):
+                        name, what = target.value.id, "[...] assignment"
+            if not name or name in locals_bound:
+                continue
+            if name in module_globals and _is_mutable_literal(
+                module.assigns[name]
+            ):
+                yield self.finding(
+                    path, child.lineno, child.col_offset,
+                    f"job-reachable '{info.name}' mutates module-level "
+                    f"'{name}' ({what}); per-worker mutation diverges "
+                    "between --jobs 1 and --jobs N — pass state "
+                    "through the JobSpec or return it",
+                )
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    return isinstance(value, (
+        ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+        ast.SetComp,
+    ))

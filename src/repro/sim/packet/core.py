@@ -5,7 +5,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.packet.link import LinkQueue
 
 
 class EventQueue:
@@ -68,7 +71,7 @@ class Packet:
     seq: int
     size_bytes: int
     is_ack: bool
-    path: Tuple
+    path: Tuple["LinkQueue", ...]
     hop: int = 0
     #: Time the corresponding data packet was first sent (for RTT).
     sent_at: float = 0.0
@@ -77,7 +80,7 @@ class Packet:
     #: Congestion-experienced mark (ECN CE on data, ECE echo on ACKs).
     ecn: bool = False
 
-    def next_link(self):
+    def next_link(self) -> "LinkQueue":
         return self.path[self.hop]
 
     def at_destination(self) -> bool:

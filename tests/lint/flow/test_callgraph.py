@@ -1,0 +1,149 @@
+"""Call-graph construction against a fixture package with known edges.
+
+The golden assertions pin the *resolved internal edge sets* for every
+interesting call shape — direct calls, methods through typed receivers,
+aliased imports, module-level lambdas, nested closures — plus the
+three-way site classification and the resolution ratio the deep engine's
+optimism depends on.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.callgraph import EXTERNAL, INTERNAL, UNRESOLVED
+
+from tests.lint.flow.util import build_fixture_graph
+
+FIXTURE = {
+    "__init__.py": "from pkg.alpha import top\n",
+    "alpha.py": (
+        "import math\n"
+        "\n"
+        "from pkg import beta\n"
+        "from pkg.beta import helper as aliased\n"
+        "\n"
+        "\n"
+        "def top(x):\n"
+        "    y = helper_local(x)\n"
+        "    z = aliased(y)\n"
+        "    return beta.helper(z)\n"
+        "\n"
+        "\n"
+        "def helper_local(x):\n"
+        "    return math.sqrt(x)\n"
+        "\n"
+        "\n"
+        "square = lambda v: v * v\n"
+        "\n"
+        "\n"
+        "def uses_lambda(v):\n"
+        "    return square(v)\n"
+        "\n"
+        "\n"
+        "def closure_maker(n):\n"
+        "    def inner(m):\n"
+        "        return helper_local(m + n)\n"
+        "    return inner(n)\n"
+    ),
+    "beta.py": (
+        "class Greeter:\n"
+        "    def __init__(self, name: str):\n"
+        "        self.name = name\n"
+        "\n"
+        "    def greet(self):\n"
+        "        return self.shout()\n"
+        "\n"
+        "    def shout(self):\n"
+        "        return self.name.upper()\n"
+        "\n"
+        "\n"
+        "def helper(z):\n"
+        "    g = Greeter(str(z))\n"
+        "    return g.greet()\n"
+        "\n"
+        "\n"
+        "def mystery(cb):\n"
+        "    return cb(1)\n"
+    ),
+}
+
+#: caller qname -> exact set of resolved internal callees.
+GOLDEN_EDGES = {
+    "pkg.alpha.top": {"pkg.alpha.helper_local", "pkg.beta.helper"},
+    "pkg.alpha.uses_lambda": {"pkg.alpha.square"},
+    "pkg.alpha.closure_maker": {
+        "pkg.alpha.closure_maker.<locals>.inner",
+    },
+    "pkg.alpha.closure_maker.<locals>.inner": {"pkg.alpha.helper_local"},
+    "pkg.beta.Greeter.greet": {"pkg.beta.Greeter.shout"},
+    "pkg.beta.helper": {
+        "pkg.beta.Greeter.__init__",
+        "pkg.beta.Greeter.greet",
+    },
+}
+
+
+class TestGoldenEdges:
+    def test_internal_edges_match_golden(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        for caller, expected in GOLDEN_EDGES.items():
+            assert graph.edges.get(caller, set()) == expected, caller
+
+    def test_no_phantom_edges(self, tmp_path):
+        """Functions outside the golden map have no internal edges."""
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        for caller, callees in graph.edges.items():
+            if callees:
+                assert caller in GOLDEN_EDGES, (caller, callees)
+
+    def test_closure_is_a_nested_edge_too(self, tmp_path):
+        """Defining a closure links it for effect propagation even
+        before any call is seen."""
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        assert (
+            "pkg.alpha.closure_maker.<locals>.inner"
+            in graph.callees("pkg.alpha.closure_maker")
+        )
+
+
+class TestSiteClassification:
+    def test_external_attribution(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        by_caller = {}
+        for site in graph.sites:
+            by_caller.setdefault(site.caller, []).append(site)
+        [sqrt] = by_caller["pkg.alpha.helper_local"]
+        assert sqrt.kind == EXTERNAL
+        assert sqrt.target == "math.sqrt"
+
+    def test_callable_parameter_is_unresolved(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        [site] = [s for s in graph.sites if s.caller == "pkg.beta.mystery"]
+        assert site.kind == UNRESOLVED
+        assert site.text == "cb"
+
+    def test_aliased_import_site_resolves_internal(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        aliased = [
+            s for s in graph.sites
+            if s.caller == "pkg.alpha.top" and s.text == "aliased"
+        ]
+        assert len(aliased) == 1
+        assert aliased[0].kind == INTERNAL
+        assert aliased[0].target == "pkg.beta.helper"
+
+
+class TestResolutionStats:
+    def test_exactly_one_unresolved_site(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        stats = graph.resolution_stats()
+        assert stats["unresolved"] == 1.0  # only mystery's cb(1)
+        assert stats["call_sites"] >= 10.0
+
+    def test_resolution_ratio_reported(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIXTURE, "pkg")
+        stats = graph.resolution_stats()
+        expected = (stats["internal"] + stats["external"]) / stats[
+            "call_sites"
+        ]
+        assert stats["resolved_fraction"] == expected
+        assert stats["resolved_fraction"] > 0.9

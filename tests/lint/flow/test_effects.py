@@ -1,0 +1,166 @@
+"""Effect inference and the deep-cache-purity rule on fixture packages."""
+
+from __future__ import annotations
+
+from repro.lint.flow.effects import (
+    DOES_IO,
+    MUTATES_NETWORK,
+    READS_CLOCK,
+    USES_RNG,
+    DeepCachePurity,
+    EffectAnalysis,
+    collect_effect_allowances,
+    find_job_entry_points,
+)
+
+from tests.lint.flow.util import build_fixture_graph
+
+JOBS_FIXTURE = {
+    "registry.py": (
+        "def register_experiment(name, run, deps):\n"
+        "    return (name, run, deps)\n"
+    ),
+    "work.py": (
+        "import time\n"
+        "import random\n"
+        "\n"
+        "\n"
+        "def run_clean(spec):\n"
+        "    return compute(spec)\n"
+        "\n"
+        "\n"
+        "def compute(spec):\n"
+        "    return spec * 2\n"
+        "\n"
+        "\n"
+        "def run_dirty(spec):\n"
+        "    return stamp()\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "\n"
+        "\n"
+        "def run_rng(spec):\n"
+        "    return random.random()\n"
+        "\n"
+        "\n"
+        "def run_env(spec):\n"
+        "    import os\n"
+        "    return os.getenv('HOME')\n"
+    ),
+    "jobs.py": (
+        "from epkg.registry import register_experiment\n"
+        "from epkg.work import run_clean, run_dirty, run_env, run_rng\n"
+        "\n"
+        "register_experiment('clean', run_clean, ())\n"
+        "register_experiment('dirty', run_dirty, ())\n"
+        "register_experiment('rng', run_rng, ())\n"
+        "register_experiment('env', run_env, ())\n"
+    ),
+}
+
+
+class TestEffectInference:
+    def test_pure_chain_is_pure(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        analysis = EffectAnalysis(graph)
+        assert analysis.classify("epkg.work.run_clean") == "pure"
+        assert analysis.classify("epkg.work.compute") == "pure"
+
+    def test_clock_propagates_bottom_up(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        analysis = EffectAnalysis(graph)
+        assert READS_CLOCK in analysis.effects_of("epkg.work.stamp")
+        assert READS_CLOCK in analysis.effects_of("epkg.work.run_dirty")
+
+    def test_rng_and_io_detected(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        analysis = EffectAnalysis(graph)
+        assert USES_RNG in analysis.effects_of("epkg.work.run_rng")
+        assert DOES_IO in analysis.effects_of("epkg.work.run_env")
+
+    def test_explain_renders_call_path(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        analysis = EffectAnalysis(graph)
+        explanation = analysis.explain("epkg.work.run_dirty", READS_CLOCK)
+        assert "work.stamp" in explanation
+        assert "time.time" in explanation
+
+
+class TestJobEntryPoints:
+    def test_all_registered_runners_found(self, tmp_path):
+        program, _ = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        entries = {q for q, _ in find_job_entry_points(program)}
+        assert entries == {
+            "epkg.work.run_clean", "epkg.work.run_dirty",
+            "epkg.work.run_rng", "epkg.work.run_env",
+        }
+
+
+class TestDeepCachePurity:
+    def test_flags_every_impure_runner_once(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, JOBS_FIXTURE, "epkg")
+        findings = list(DeepCachePurity().check(graph))
+        flagged = {f.message.split("'")[1] for f in findings}
+        assert flagged == {"run_dirty", "run_rng", "run_env"}
+        for finding in findings:
+            assert finding.rule == "deep-cache-purity"
+
+    def test_allowance_absorbs_effect(self, tmp_path):
+        fixture = dict(JOBS_FIXTURE)
+        fixture["work.py"] = fixture["work.py"].replace(
+            "def stamp():",
+            "def stamp():  # repro-effect: allow=reads-clock",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "epkg")
+        findings = list(DeepCachePurity().check(graph))
+        flagged = {f.message.split("'")[1] for f in findings}
+        assert "run_dirty" not in flagged
+        assert flagged == {"run_rng", "run_env"}
+
+    def test_network_mutation_allowed_in_jobs(self, tmp_path):
+        fixture = {
+            "registry.py": JOBS_FIXTURE["registry.py"],
+            "core/__init__.py": "",
+            "core/network.py": (
+                "class Network:\n"
+                "    def remove_link(self, a, b):\n"
+                "        return (a, b)\n"
+            ),
+            "jobs.py": (
+                "from npkg.registry import register_experiment\n"
+                "from npkg.core.network import Network\n"
+                "\n"
+                "\n"
+                "def run_degrade(spec):\n"
+                "    net = Network()\n"
+                "    net.remove_link(0, 1)\n"
+                "    return net\n"
+                "\n"
+                "\n"
+                "register_experiment('degrade', run_degrade, ())\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "npkg")
+        analysis = EffectAnalysis(graph)
+        assert MUTATES_NETWORK in analysis.effects_of(
+            "npkg.jobs.run_degrade"
+        )
+        assert list(DeepCachePurity().check(graph)) == []
+
+
+class TestAllowanceParsing:
+    def test_collects_effects_by_line(self):
+        source = (
+            "def a():  # repro-effect: allow=reads-clock\n"
+            "    pass\n"
+            "\n"
+            "def b():  # repro-effect: allow=does-io, uses-rng\n"
+            "    pass\n"
+        )
+        allowances = collect_effect_allowances(source)
+        assert allowances == {
+            1: {"reads-clock"},
+            4: {"does-io", "uses-rng"},
+        }

@@ -1,0 +1,167 @@
+"""Seed-provenance taint tracking on fixture packages."""
+
+from __future__ import annotations
+
+from repro.lint.flow.taint import DeepSeedProvenance
+
+from tests.lint.flow.util import build_fixture_graph
+
+
+def _check(tmp_path, files, package="tpkg"):
+    _, graph = build_fixture_graph(tmp_path, files, package)
+    return list(DeepSeedProvenance().check(graph))
+
+
+class TestConstructions:
+    def test_seedless_construction_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "\n"
+                "def make():\n"
+                "    return random.Random()\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_explicit_none_seed_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import numpy as np\n"
+                "\n"
+                "def make():\n"
+                "    return np.random.default_rng(None)\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_literal_seed_accepted(self, tmp_path):
+        assert _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "\n"
+                "def make():\n"
+                "    return random.Random(42)\n"
+            ),
+        }) == []
+
+    def test_spec_attribute_seed_accepted(self, tmp_path):
+        assert _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "\n"
+                "def run(spec):\n"
+                "    return random.Random(spec.seed + 17)\n"
+            ),
+        }) == []
+
+    def test_wallclock_seed_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "import time\n"
+                "\n"
+                "def make():\n"
+                "    return random.Random(time.time_ns())\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "time.time_ns()" in findings[0].message
+
+    def test_poison_through_local_assignment(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import os\n"
+                "import random\n"
+                "\n"
+                "def make():\n"
+                "    entropy = int.from_bytes(os.urandom(8), 'big')\n"
+                "    seed = entropy % 1000\n"
+                "    return random.Random(seed)\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "os.urandom()" in findings[0].message
+
+    def test_test_files_exempt(self, tmp_path):
+        assert _check(tmp_path, {
+            "test_work.py": (
+                "import random\n"
+                "\n"
+                "def test_make():\n"
+                "    return random.Random()\n"
+            ),
+        }) == []
+
+
+class TestCallerObligations:
+    GOOD_AND_BAD_CALLERS = {
+        "work.py": (
+            "import random\n"
+            "import time\n"
+            "\n"
+            "def build(seed):\n"
+            "    return random.Random(seed)\n"
+            "\n"
+            "def good_caller():\n"
+            "    return build(7)\n"
+            "\n"
+            "def bad_caller():\n"
+            "    return build(time.time_ns())\n"
+        ),
+    }
+
+    def test_obligation_moves_to_callers(self, tmp_path):
+        findings = _check(tmp_path, self.GOOD_AND_BAD_CALLERS)
+        assert len(findings) == 1
+        assert "time.time_ns()" in findings[0].message
+        assert "build" in findings[0].message
+
+    def test_transitive_obligation(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "import uuid\n"
+                "\n"
+                "def build(seed):\n"
+                "    return random.Random(seed)\n"
+                "\n"
+                "def relay(s):\n"
+                "    return build(s)\n"
+                "\n"
+                "def origin():\n"
+                "    return relay(uuid.uuid4().int)\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "uuid.uuid4()" in findings[0].message
+
+    def test_omitted_none_default_seed_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "\n"
+                "def build(seed=None):\n"
+                "    return random.Random(seed)\n"
+                "\n"
+                "def forgetful():\n"
+                "    return build()\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "omits seed" in findings[0].message
+
+    def test_keyword_seed_satisfies_obligation(self, tmp_path):
+        assert _check(tmp_path, {
+            "work.py": (
+                "import random\n"
+                "\n"
+                "def build(seed=None):\n"
+                "    return random.Random(seed)\n"
+                "\n"
+                "def careful(spec):\n"
+                "    return build(seed=spec.seed)\n"
+            ),
+        }) == []

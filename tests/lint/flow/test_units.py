@@ -1,0 +1,105 @@
+"""Unit-consistency inference on fixture packages."""
+
+from __future__ import annotations
+
+from repro.lint.flow.units import (
+    DeepUnitConsistency,
+    dimension_of_name,
+)
+
+from tests.lint.flow.util import build_fixture_graph
+
+
+def _check(tmp_path, files, package="upkg"):
+    _, graph = build_fixture_graph(tmp_path, files, package)
+    return list(DeepUnitConsistency().check(graph))
+
+
+class TestDimensionVocabulary:
+    def test_rightmost_token_wins(self):
+        assert dimension_of_name("capacity_gbps") == "Gbps"
+        assert dimension_of_name("capacity_factor") == "fraction"
+        assert dimension_of_name("gray_capacity_fraction") == "fraction"
+        assert dimension_of_name("flow_count") == "count"
+        assert dimension_of_name("warmup_seconds") == "seconds"
+
+    def test_neutral_and_untagged_names(self):
+        assert dimension_of_name("scale") is None
+        assert dimension_of_name("value") is None
+
+
+class TestArithmetic:
+    def test_mixed_addition_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def mix(capacity_gbps, load_fraction):\n"
+                "    return capacity_gbps + load_fraction\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "Gbps" in findings[0].message
+        assert "fraction" in findings[0].message
+
+    def test_same_dimension_addition_ok(self, tmp_path):
+        assert _check(tmp_path, {
+            "calc.py": (
+                "def total(capacity_gbps, extra_gbps):\n"
+                "    return capacity_gbps + extra_gbps\n"
+            ),
+        }) == []
+
+    def test_multiplication_exempt(self, tmp_path):
+        assert _check(tmp_path, {
+            "calc.py": (
+                "def derate(capacity_gbps, load_fraction):\n"
+                "    return capacity_gbps * load_fraction\n"
+            ),
+        }) == []
+
+    def test_mixed_comparison_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def check(link_count, warmup_seconds):\n"
+                "    return link_count < warmup_seconds\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "comparison mixes" in findings[0].message
+
+
+class TestCallSites:
+    def test_cross_function_mismatch_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def consume(load_fraction):\n"
+                "    return load_fraction\n"
+                "\n"
+                "def feed(capacity_gbps):\n"
+                "    return consume(capacity_gbps)\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "parameter 'load_fraction'" in findings[0].message
+
+    def test_keyword_argument_mismatch_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def consume(load_fraction=1.0):\n"
+                "    return load_fraction\n"
+                "\n"
+                "def feed(capacity_gbps):\n"
+                "    return consume(load_fraction=capacity_gbps)\n"
+            ),
+        })
+        assert len(findings) == 1
+
+    def test_matching_dimensions_quiet(self, tmp_path):
+        assert _check(tmp_path, {
+            "calc.py": (
+                "def consume(load_fraction):\n"
+                "    return load_fraction\n"
+                "\n"
+                "def feed(used_fraction):\n"
+                "    return consume(used_fraction)\n"
+            ),
+        }) == []

@@ -1,0 +1,158 @@
+"""Worker-safety checks on fixture packages."""
+
+from __future__ import annotations
+
+from repro.lint.flow.worker import DeepWorkerSafety, reachable_from
+
+from tests.lint.flow.util import build_fixture_graph
+
+REGISTRY = (
+    "def register_experiment(name, run, deps):\n"
+    "    return (name, run, deps)\n"
+)
+
+
+def _check(tmp_path, files, package="wpkg"):
+    _, graph = build_fixture_graph(tmp_path, files, package)
+    return list(DeepWorkerSafety().check(graph))
+
+
+class TestGlobalMutation:
+    FIXTURE = {
+        "registry.py": REGISTRY,
+        "work.py": (
+            "RESULTS = []\n"
+            "COUNTER = 0\n"
+            "\n"
+            "\n"
+            "def run_job(spec):\n"
+            "    return accumulate(spec)\n"
+            "\n"
+            "\n"
+            "def accumulate(spec):\n"
+            "    global COUNTER\n"
+            "    COUNTER = COUNTER + 1\n"
+            "    RESULTS.append(spec)\n"
+            "    return COUNTER\n"
+            "\n"
+            "\n"
+            "def untouched(spec):\n"
+            "    RESULTS.append(spec)\n"
+            "    return spec\n"
+        ),
+        "jobs.py": (
+            "from wpkg.registry import register_experiment\n"
+            "from wpkg.work import run_job\n"
+            "\n"
+            "register_experiment('job', run_job, ())\n"
+        ),
+    }
+
+    def test_reachable_mutations_flagged(self, tmp_path):
+        findings = _check(tmp_path, self.FIXTURE)
+        messages = [f.message for f in findings]
+        assert any("rebinds module global 'COUNTER'" in m for m in messages)
+        assert any(
+            "mutates module-level 'RESULTS' (.append())" in m
+            for m in messages
+        )
+        assert len(findings) == 2
+
+    def test_unreachable_mutation_not_flagged(self, tmp_path):
+        """`untouched` also appends to RESULTS but no job reaches it."""
+        findings = _check(tmp_path, self.FIXTURE)
+        lines = {f.line for f in findings}
+        assert all(line < 16 for line in lines)
+
+    def test_local_shadow_not_flagged(self, tmp_path):
+        assert _check(tmp_path, {
+            "registry.py": REGISTRY,
+            "work.py": (
+                "RESULTS = []\n"
+                "\n"
+                "\n"
+                "def run_job(spec):\n"
+                "    RESULTS = list()\n"
+                "    RESULTS.append(spec)\n"
+                "    return RESULTS\n"
+            ),
+            "jobs.py": (
+                "from wpkg.registry import register_experiment\n"
+                "from wpkg.work import run_job\n"
+                "\n"
+                "register_experiment('job', run_job, ())\n"
+            ),
+        }) == []
+
+    def test_import_time_registration_not_flagged(self, tmp_path):
+        """Module-level registry population re-runs identically in every
+        worker; only runtime mutation desynchronizes."""
+        assert _check(tmp_path, {
+            "registry.py": REGISTRY,
+            "work.py": (
+                "TABLE = {}\n"
+                "\n"
+                "\n"
+                "def run_job(spec):\n"
+                "    return spec\n"
+                "\n"
+                "\n"
+                "TABLE['job'] = run_job\n"
+            ),
+            "jobs.py": (
+                "from wpkg.registry import register_experiment\n"
+                "from wpkg.work import run_job\n"
+                "\n"
+                "register_experiment('job', run_job, ())\n"
+            ),
+        }) == []
+
+
+class TestRunnerShape:
+    def test_lambda_runner_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "registry.py": REGISTRY,
+            "jobs.py": (
+                "from wpkg.registry import register_experiment\n"
+                "\n"
+                "register_experiment('bad', lambda spec: spec, ())\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "lambda registered" in findings[0].message
+
+    def test_module_level_runner_ok(self, tmp_path):
+        assert _check(tmp_path, {
+            "registry.py": REGISTRY,
+            "jobs.py": (
+                "from wpkg.registry import register_experiment\n"
+                "\n"
+                "\n"
+                "def run_job(spec):\n"
+                "    return spec\n"
+                "\n"
+                "\n"
+                "register_experiment('ok', run_job, ())\n"
+            ),
+        }) == []
+
+
+class TestReachability:
+    def test_reachable_from_closure(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {
+            "a.py": (
+                "def entry():\n"
+                "    return middle()\n"
+                "\n"
+                "def middle():\n"
+                "    return leaf()\n"
+                "\n"
+                "def leaf():\n"
+                "    return 1\n"
+                "\n"
+                "def island():\n"
+                "    return 2\n"
+            ),
+        }, "rpkg")
+        reach = reachable_from(graph, ["rpkg.a.entry"])
+        assert reach == {"rpkg.a.entry", "rpkg.a.middle", "rpkg.a.leaf"}

@@ -1,0 +1,38 @@
+"""Shared helper: materialize an in-memory fixture package and index it.
+
+Deep-analysis tests describe a package as ``{relative path: source}``,
+write it under a temporary directory and build the
+:class:`~repro.lint.flow.program.Program` / call graph over it — so
+known-bad fixture code never lives in the working tree where the
+per-file lint gate would see it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+from repro.lint.flow import build_call_graph
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.program import Program
+
+
+def build_fixture_program(
+    tmp_path: pathlib.Path, files: Dict[str, str], package: str
+) -> Program:
+    root = tmp_path / package
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    init = root / "__init__.py"
+    if not init.exists():
+        init.write_text("", encoding="utf-8")
+    return Program.build(root, package)
+
+
+def build_fixture_graph(
+    tmp_path: pathlib.Path, files: Dict[str, str], package: str
+) -> Tuple[Program, CallGraph]:
+    program = build_fixture_program(tmp_path, files, package)
+    return program, build_call_graph(program)

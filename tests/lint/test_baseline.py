@@ -1,0 +1,155 @@
+"""Baseline files: ratcheted CI adoption of lint findings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    BaselineError,
+    fingerprint,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def _finding(path="src/repro/a.py", line=3, rule="no-wallclock",
+             message="m"):
+    return Finding(path=path, line=line, column=0, rule=rule,
+                   message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        findings = [_finding(), _finding(line=9), _finding(rule="float-eq")]
+        path = tmp_path / "baseline.json"
+        assert write_baseline(findings, path) == 3
+        accepted = load_baseline(path)
+        assert accepted[fingerprint(_finding())] == 2
+        assert accepted[fingerprint(_finding(rule="float-eq"))] == 1
+
+    def test_file_is_versioned_and_stable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([_finding()], path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["findings"][0]["count"] == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestPartition:
+    def test_line_moves_stay_known(self, tmp_path):
+        """Fingerprints ignore line numbers: editing elsewhere in the
+        file must not resurrect a baselined finding."""
+        path = tmp_path / "baseline.json"
+        write_baseline([_finding(line=3)], path)
+        new, known = partition([_finding(line=40)], load_baseline(path))
+        assert new == []
+        assert len(known) == 1
+
+    def test_second_occurrence_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([_finding(line=3)], path)
+        new, known = partition(
+            [_finding(line=3), _finding(line=40)], load_baseline(path)
+        )
+        assert len(known) == 1
+        assert len(new) == 1
+
+    def test_different_rule_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([_finding()], path)
+        new, _ = partition(
+            [_finding(rule="float-eq")], load_baseline(path)
+        )
+        assert len(new) == 1
+
+
+class TestCliBaseline:
+    def _dirty_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "sim" / "dirty.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        return bad
+
+    def test_write_baseline_exits_zero(self, tmp_path, capsys):
+        self._dirty_tree(tmp_path)
+        base = tmp_path / "baseline.json"
+        code = main([
+            "lint", "--write-baseline", str(base), str(tmp_path / "src")
+        ])
+        assert code == 0
+        assert "1 finding(s)" in capsys.readouterr().out
+        assert base.exists()
+
+    def test_baseline_gates_only_new(self, tmp_path, capsys):
+        bad = self._dirty_tree(tmp_path)
+        base = tmp_path / "baseline.json"
+        main(["lint", "--write-baseline", str(base), str(tmp_path / "src")])
+        capsys.readouterr()
+
+        # Unchanged tree: known finding shown, exit 0.
+        code = main([
+            "lint", "--baseline", str(base), str(tmp_path / "src")
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no-wallclock" in out
+        assert "1 known finding(s) accepted, 0 new" in out
+
+        # A new finding alongside: exit 1.
+        bad.write_text(
+            "import time\nt = time.time()\nu = time.monotonic()\n"
+        )
+        code = main([
+            "lint", "--baseline", str(base), str(tmp_path / "src")
+        ])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_diff_only_hides_known(self, tmp_path, capsys):
+        bad = self._dirty_tree(tmp_path)
+        base = tmp_path / "baseline.json"
+        main(["lint", "--write-baseline", str(base), str(tmp_path / "src")])
+        capsys.readouterr()
+        bad.write_text(
+            "import time\nt = time.time()\nu = time.monotonic()\n"
+        )
+        code = main([
+            "lint", "--baseline", str(base), "--diff-only",
+            str(tmp_path / "src"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "time.monotonic" in out
+        assert "time.time()" not in out
+
+    def test_diff_only_requires_baseline(self, tmp_path, capsys):
+        assert main(["lint", "--diff-only", str(tmp_path)]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_stale_baseline_version_is_an_error(self, tmp_path, capsys):
+        self._dirty_tree(tmp_path)
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps({"version": 0, "findings": []}))
+        code = main([
+            "lint", "--baseline", str(base), str(tmp_path / "src")
+        ])
+        assert code == 2
+        assert "version" in capsys.readouterr().err

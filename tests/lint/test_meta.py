@@ -29,6 +29,43 @@ def test_tests_are_clean():
     assert findings == [], "\n" + render_text(findings)
 
 
+class TestDeepGate:
+    """The interprocedural gate: deep-clean at HEAD, bounded optimism."""
+
+    def test_deep_lint_is_clean(self):
+        from repro.lint.flow import deep_lint_paths
+
+        findings, _ = deep_lint_paths(
+            [str(p) for p in _existing("src", "tests")]
+        )
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_call_graph_resolution_floor(self):
+        """Deep rules treat unresolved call sites as effect-free; that
+        optimism is sound only while almost every site resolves.  If
+        this ratio sinks, teach the call-graph builder the new pattern
+        rather than loosening the floor."""
+        from repro.lint.flow import deep_lint_paths
+
+        _, stats = deep_lint_paths([str(REPO_ROOT / "src")])
+        assert stats["resolved_fraction"] >= 0.90, stats
+        assert stats["call_sites"] > 1000, stats
+
+    def test_cli_deep_flag(self, capsys):
+        code = main(["lint", "--deep", str(REPO_ROOT / "src")])
+        assert code == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_deep_rules_listed(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "deep-cache-purity", "deep-seed-provenance",
+            "deep-unit-consistency", "deep-worker-safety",
+        ):
+            assert name in out
+
+
 class TestCliLint:
     def test_clean_tree_exits_zero(self, capsys):
         code = main(["lint", str(REPO_ROOT / "src")])
