@@ -1,0 +1,110 @@
+"""Engine acceptance: the array-backed simulator is >= 3x the legacy one.
+
+Times one Figure 4 grid cell (A2A on the DRing under SU(2) at the MEDIUM
+scale, seed 0) through the compiled engine and through the verbatim seed
+implementation kept in ``tests/sim/legacy_reference.py``.  Both produce
+bit-identical results (asserted here too — a fast wrong answer is not a
+speedup); the engine must finish the cell at least 3x faster.  The
+timings are saved as the artifact.
+"""
+
+import importlib.util
+import pathlib
+import sys
+import time
+
+from conftest import save_artifact
+from repro.experiments import MEDIUM
+from repro.experiments.fig4_fct import _pattern_flows, fig4_patterns
+from repro.experiments.runner import build_scheme
+from repro.sim import FlowSimulator
+
+_LEGACY_PATH = (
+    pathlib.Path(__file__).parent.parent
+    / "tests" / "sim" / "legacy_reference.py"
+)
+
+REQUIRED_SPEEDUP = 3.0
+ROUNDS = 3
+
+
+def _load_legacy():
+    spec = importlib.util.spec_from_file_location(
+        "legacy_reference", _LEGACY_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules, so
+    # the module must be registered before its body executes.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _fig4_cell_inputs():
+    pattern = {p.label: p for p in fig4_patterns(MEDIUM, seed=0)}["A2A"]
+    tut = build_scheme("DRing (su2)", MEDIUM, seed=0)
+    flows = _pattern_flows(MEDIUM, pattern, 0, 0.30)
+    placement = tut.placement(shuffle=pattern.random_placement, seed=0)
+    return tut, placement, flows
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_engine_3x_over_legacy(benchmark):
+    legacy = _load_legacy()
+    tut, placement, flows = _fig4_cell_inputs()
+
+    engine_results = {}
+    legacy_results = {}
+
+    def run_engine():
+        sim = FlowSimulator(tut.network, tut.routing, placement, seed=0)
+        engine_results["fct"] = sim.run(flows)
+
+    def run_legacy():
+        sim = legacy.LegacyFlowSimulator(
+            tut.network, tut.routing, placement, seed=0
+        )
+        legacy_results["fct"] = sim.run(flows)
+
+    run_engine()  # warm the compiled routing cache once
+    engine_seconds = _best_of(run_engine)
+    legacy_seconds = _best_of(run_legacy)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Identical physics first: same records, same order, same floats.
+    got, want = engine_results["fct"], legacy_results["fct"]
+    assert got.num_flows == want.num_flows
+    for a, b in zip(got.records, want.records):
+        assert (a.src_server, a.dst_server, a.size_bytes) == (
+            b.src_server, b.dst_server, b.size_bytes
+        )
+        assert a.start_time == b.start_time
+        assert a.finish_time == b.finish_time
+        assert a.path == b.path
+
+    speedup = legacy_seconds / engine_seconds
+    save_artifact(
+        "sim_engine_speedup.txt",
+        "\n".join(
+            [
+                "fig4 cell A2A / DRing (su2) / medium / seed 0 "
+                f"({got.num_flows} flows):",
+                f"  legacy simulator: {legacy_seconds * 1000:.1f} ms",
+                f"  engine simulator: {engine_seconds * 1000:.1f} ms",
+                f"  speedup: {speedup:.1f}x (required >= "
+                f"{REQUIRED_SPEEDUP:.0f}x)",
+            ]
+        ),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"engine only {speedup:.2f}x over legacy "
+        f"({engine_seconds:.3f}s vs {legacy_seconds:.3f}s)"
+    )

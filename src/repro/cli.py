@@ -113,6 +113,13 @@ def _run_harness(args: argparse.Namespace, specs, sweep: str):
         started_at=started,
     )
     print(manifest.render(), file=sys.stderr)
+    trace_totals = manifest.sim_trace_totals
+    if trace_totals:
+        counters = trace_totals.get("counters", {})
+        timers = trace_totals.get("timers", {})
+        parts = [f"{name}={value}" for name, value in counters.items()]
+        parts += [f"{name}={seconds:.2f}s" for name, seconds in timers.items()]
+        print("  engine: " + " ".join(parts), file=sys.stderr)
     manifest_out = getattr(args, "manifest_out", None)
     if manifest_out:
         path = manifest.save(pathlib.Path(manifest_out))

@@ -1,5 +1,6 @@
 """Core network model and topology metrics."""
 
+from repro.core.linktable import LinkTable
 from repro.core.network import (
     Network,
     NetworkValidationError,
@@ -33,6 +34,7 @@ from repro.core.metrics import (
 )
 
 __all__ = [
+    "LinkTable",
     "Network",
     "NetworkValidationError",
     "build_network",

@@ -1,0 +1,138 @@
+"""Dense integer link ids: the array-backed lowering of a Network's links.
+
+A :class:`LinkTable` freezes one snapshot of a network's directed links
+into parallel arrays — ``pairs[i]`` is the i-th directed link and
+``capacities[i]`` its Gbps rate — in exactly the iteration order of
+:meth:`Network.directed_capacities`.  Every array-backed consumer (the
+simulation engine in :mod:`repro.sim.engine`, the fault sampler in
+:mod:`repro.faults`) shares the same ids, so link-indexed vectors can
+flow between subsystems without re-keying through dicts.
+
+The table is immutable; :meth:`Network.link_table` caches one per
+topology version and rebuilds it after any mutation primitive runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: A directed switch-to-switch link (duplicated here to keep this module
+#: import-light; :mod:`repro.core.network` re-exports the same alias).
+DirectedLink = Tuple[int, int]
+
+#: An undirected trunk with its parallel-link multiplicity.
+Trunk = Tuple[int, int, int]
+
+
+class LinkTable:
+    """Immutable dense-id view of a network's directed links.
+
+    Parameters
+    ----------
+    pairs:
+        Directed links in :meth:`Network.directed_capacities` insertion
+        order; ``id_of(u, v)`` returns a pair's position in this order.
+    capacities:
+        Per-link capacity in Gbps, aligned with ``pairs``.
+    trunks:
+        ``sorted(network.undirected_links())`` — the undirected trunks
+        with multiplicities, in the exact order the fault sampler's
+        candidate populations are built from.
+    switches:
+        All switch ids, sorted; ``switch_index`` gives each a dense id
+        for compiled per-hop routing tables.
+    version:
+        The network's topology version this table was built at.
+    """
+
+    __slots__ = (
+        "pairs", "capacities", "trunks", "switches", "version",
+        "_id_of", "_switch_index",
+    )
+
+    def __init__(
+        self,
+        pairs: Sequence[DirectedLink],
+        capacities: Sequence[float],
+        trunks: Sequence[Trunk],
+        switches: Sequence[int],
+        version: int = 0,
+    ) -> None:
+        if len(pairs) != len(capacities):
+            raise ValueError("pairs and capacities must align")
+        self.pairs: Tuple[DirectedLink, ...] = tuple(pairs)
+        self.capacities = np.asarray(capacities, dtype=float)
+        self.capacities.setflags(write=False)
+        self.trunks: Tuple[Trunk, ...] = tuple(trunks)
+        self.switches: Tuple[int, ...] = tuple(switches)
+        self.version = version
+        self._id_of: Dict[DirectedLink, int] = {
+            pair: index for index, pair in enumerate(self.pairs)
+        }
+        self._switch_index: Dict[int, int] = {
+            switch: index for index, switch in enumerate(self.switches)
+        }
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._id_of
+
+    def id_of(self, u: int, v: int) -> int:
+        """Dense id of the directed link u→v (KeyError when absent)."""
+        return self._id_of[(u, v)]
+
+    def pair_of(self, index: int) -> DirectedLink:
+        return self.pairs[index]
+
+    def capacity_of(self, index: int) -> float:
+        return float(self.capacities[index])
+
+    @property
+    def id_map(self) -> Dict[DirectedLink, int]:
+        """A fresh ``{(u, v): id}`` mapping (callers may not mutate ours)."""
+        return dict(self._id_of)
+
+    # -- switch indexing ------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.switches)
+
+    def switch_id(self, switch: int) -> int:
+        """Dense index of a switch (KeyError for unknown switches)."""
+        return self._switch_index[switch]
+
+    def has_switch(self, switch: int) -> bool:
+        return switch in self._switch_index
+
+    # -- fault-model candidate populations ------------------------------
+
+    def cables(self) -> List[Tuple[int, int]]:
+        """One normalized ``(u, v)`` entry per physical cable.
+
+        Trunk members repeat ``mult`` times.  Order matches the legacy
+        dict-scan the fault sampler used (sorted raw trunk tuples,
+        normalized per entry), so seeded fault draws are unchanged.
+        """
+        cables: List[Tuple[int, int]] = []
+        for u, v, mult in self.trunks:
+            edge = (min(u, v), max(u, v))
+            cables.extend([edge] * mult)
+        return cables
+
+    def normalized_trunks(self) -> List[Tuple[int, int]]:
+        """Normalized trunk endpoints, sorted — the gray-failure
+        candidate population."""
+        return sorted((min(u, v), max(u, v)) for u, v, _mult in self.trunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkTable(links={len(self.pairs)}, "
+            f"switches={len(self.switches)}, version={self.version})"
+        )

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 import networkx as nx
 
+from repro.core.linktable import LinkTable
 from repro.core.units import DEFAULT_LINK_GBPS
 
 #: A directed link between two switches, as used by the simulators.
@@ -83,6 +84,11 @@ class Network:
                 )
             if count > 0:
                 self._servers[switch] = int(count)
+
+        # Topology version: bumped by every mutation primitive so cached
+        # array lowerings (the LinkTable) know when they are stale.
+        self._version = 0
+        self._link_table: Optional[LinkTable] = None
 
         # Global server ids are assigned contiguously in switch-id order so
         # that results are reproducible independent of dict iteration order.
@@ -184,6 +190,7 @@ class Network:
                 "remove the link instead of scaling it to zero"
             )
         self.graph[u][v]["cap_scale"] = float(scale)
+        self._version += 1
 
     def effective_link_mult(self, u: int, v: int) -> float:
         """Multiplicity weighted by the capacity override.
@@ -216,6 +223,7 @@ class Network:
             self.graph.remove_edge(u, v)
         else:
             self.graph[u][v]["mult"] = remaining
+        self._version += 1
         return remaining
 
     def add_link(self, u: int, v: int, count: int = 1) -> int:
@@ -239,6 +247,7 @@ class Network:
             self.graph.add_edge(u, v, mult=count)
         else:
             self.graph[u][v]["mult"] = mult + count
+        self._version += 1
         return mult + count
 
     def link_capacity_between(self, u: int, v: int) -> float:
@@ -279,6 +288,34 @@ class Network:
             capacities[(u, v)] = capacity
             capacities[(v, u)] = capacity
         return capacities
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped by every mutation primitive."""
+        return self._version
+
+    def link_table(self) -> LinkTable:
+        """The dense-id array lowering of this network's directed links.
+
+        Built once per topology version and cached; any call to
+        :meth:`remove_link`, :meth:`add_link` or
+        :meth:`set_link_capacity_scale` invalidates the cache so the
+        next caller sees a fresh snapshot.  The returned table is
+        immutable and safe to share across simulators.
+        """
+        cached = self._link_table
+        if cached is not None and cached.version == self._version:
+            return cached
+        capacities = self.directed_capacities()
+        table = LinkTable(
+            pairs=list(capacities),
+            capacities=list(capacities.values()),
+            trunks=sorted(self.undirected_links()),
+            switches=self.switches,
+            version=self._version,
+        )
+        self._link_table = table
+        return table
 
     def total_network_capacity(self) -> float:
         """Sum of capacities over all directed network links, in Gbps."""

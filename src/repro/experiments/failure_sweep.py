@@ -298,10 +298,11 @@ def run_failure_cell(
             for key, util in degraded_sim.link_utilization().items()
             if key[0] == "net"
         }
+        # Tie-break on the link key so the report is stable across runs.
         record["hottest_links"] = [
             [f"{u}->{v}", round(float(util), 4)]
             for (_net, u, v), util in sorted(
-                fabric_util.items(), key=lambda kv: -kv[1]
+                fabric_util.items(), key=lambda kv: (-kv[1], kv[0])
             )[:5]
         ]
     return record

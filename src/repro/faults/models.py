@@ -173,7 +173,7 @@ def shared_risk_groups(network: Network) -> List[Tuple[str, List[Edge]]]:
     m = network.graph.graph.get("dring_m")
     n = network.graph.graph.get("dring_n")
     groups: Dict[str, List[Edge]] = {}
-    for u, v, _mult in sorted(network.undirected_links()):
+    for u, v, _mult in network.link_table().trunks:
         edge = (min(u, v), max(u, v))
         if m is not None and n is not None:
             sa, sb = sorted((supernode_of(u, n), supernode_of(v, n)))
@@ -190,12 +190,13 @@ def shared_risk_groups(network: Network) -> List[Tuple[str, List[Edge]]]:
 
 
 def _physical_links(network: Network) -> List[Edge]:
-    """One entry per physical cable, trunk members repeated, sorted."""
-    cables: List[Edge] = []
-    for u, v, mult in sorted(network.undirected_links()):
-        edge = (min(u, v), max(u, v))
-        cables.extend([edge] * mult)
-    return cables
+    """One entry per physical cable, trunk members repeated, sorted.
+
+    Delegates to the network's :class:`~repro.core.linktable.LinkTable`,
+    which preserves this exact candidate order (sorted raw trunk tuples,
+    normalized per entry) so seeded draws are unchanged.
+    """
+    return network.link_table().cables()
 
 
 def sample_fault_set(
@@ -220,10 +221,7 @@ def sample_fault_set(
         failed = sorted(rng.sample(switches, count))
         return FaultSet(failed_switches=tuple(failed))
     if spec.kind == "gray":
-        trunks = sorted(
-            (min(u, v), max(u, v))
-            for u, v, _mult in network.undirected_links()
-        )
+        trunks = network.link_table().normalized_trunks()
         count = _fail_count(spec.fraction, len(trunks))
         chosen = sorted(rng.sample(trunks, count))
         return FaultSet(

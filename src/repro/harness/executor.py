@@ -18,7 +18,7 @@ import multiprocessing.connection
 import signal
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness import clock
@@ -43,9 +43,12 @@ class JobOutcome:
     seconds: float
     attempts: int = 1
     error: str = ""
+    #: ``SimTrace.to_dict()`` collected while the job executed (empty
+    #: for cache hits, failures, and jobs that never touch a simulator).
+    trace: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "spec": self.spec.to_dict(),
             "label": self.spec.label(),
             "key": self.key,
@@ -54,6 +57,9 @@ class JobOutcome:
             "attempts": self.attempts,
             "error": self.error,
         }
+        if self.trace:
+            payload["sim_trace"] = dict(self.trace)
+        return payload
 
 
 class JobTimeout(Exception):
@@ -92,13 +98,27 @@ class _alarm:
 
 def _execute_with_timeout(
     spec_dict: Dict[str, Any], timeout: Optional[float]
-) -> Tuple[Any, float]:
-    """Run one job under its wall-clock budget; returns (result, seconds)."""
+) -> Tuple[Any, float, Dict[str, Any]]:
+    """Run one job under its wall-clock budget.
+
+    Returns ``(result, seconds, sim_trace)``: a ``SimTrace`` collector
+    is installed around the job so every engine-backed simulator the
+    job touches reports counters and phase timers into the outcome.
+    """
+    # Imported lazily: repro.sim must not load just to resolve the
+    # harness package (and the engine's clock import points back here).
+    from repro.sim.engine import trace as sim_trace
+
     spec = JobSpec.from_dict(spec_dict)
+    collector = sim_trace.SimTrace()
+    previous = sim_trace.set_collector(collector)
     start = clock.perf()
-    with _alarm(timeout):
-        result = execute_job(spec)
-    return result, clock.perf() - start
+    try:
+        with _alarm(timeout):
+            result = execute_job(spec)
+    finally:
+        sim_trace.set_collector(previous)
+    return result, clock.perf() - start, collector.to_dict()
 
 
 def _worker_main(conn: multiprocessing.connection.Connection,
@@ -106,8 +126,8 @@ def _worker_main(conn: multiprocessing.connection.Connection,
                  timeout: Optional[float]) -> None:
     """Child-process entry point: execute and report over the pipe."""
     try:
-        result, elapsed = _execute_with_timeout(spec_dict, timeout)
-        conn.send(("ok", result, elapsed))
+        result, elapsed, trace = _execute_with_timeout(spec_dict, timeout)
+        conn.send(("ok", result, elapsed, trace))
     except BaseException as exc:  # report *everything*; parent decides
         conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
     finally:
@@ -175,8 +195,14 @@ def run_jobs(
         for spec in to_run:
             start = clock.perf()
             try:
-                result, elapsed = _execute_with_timeout(spec.to_dict(), timeout)
-                record(spec, JobOutcome(spec, keys[spec], RAN, elapsed), result)
+                result, elapsed, trace = _execute_with_timeout(
+                    spec.to_dict(), timeout
+                )
+                record(
+                    spec,
+                    JobOutcome(spec, keys[spec], RAN, elapsed, trace=trace),
+                    result,
+                )
             except Exception as exc:
                 elapsed = clock.perf() - start
                 record(
@@ -244,10 +270,12 @@ def _run_parallel(
                     ),
                 ))
         elif payload[0] == "ok":
-            _status, result, seconds = payload
+            _status, result, seconds, trace = payload
             record(
                 spec,
-                JobOutcome(spec, key, RAN, seconds, attempts=attempt),
+                JobOutcome(
+                    spec, key, RAN, seconds, attempts=attempt, trace=trace
+                ),
                 result,
             )
         else:

@@ -98,6 +98,29 @@ class RunManifest:
         """Total worker-side seconds actually spent simulating."""
         return sum(o["seconds"] for o in self.outcomes if o["status"] == RAN)
 
+    @property
+    def sim_trace_totals(self) -> Dict[str, Any]:
+        """Engine instrumentation summed over executed jobs.
+
+        Folds every outcome's ``sim_trace`` counters and phase timers
+        into one sweep-level total; empty when no executed job carried a
+        trace (all hits, or pre-engine manifests).
+        """
+        counters: Dict[str, int] = {}
+        timers: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            trace = outcome.get("sim_trace") or {}
+            for name, amount in trace.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(amount)
+            for name, seconds in trace.get("timers", {}).items():
+                timers[name] = timers.get(name, 0.0) + float(seconds)
+        totals: Dict[str, Any] = {}
+        if counters:
+            totals["counters"] = dict(sorted(counters.items()))
+        if timers:
+            totals["timers"] = dict(sorted(timers.items()))
+        return totals
+
     # -- serialization -------------------------------------------------
 
     def to_json(self) -> str:
@@ -120,6 +143,9 @@ class RunManifest:
             },
             "outcomes": self.outcomes,
         }
+        trace_totals = self.sim_trace_totals
+        if trace_totals:
+            payload["totals"]["sim_trace"] = trace_totals
         return json.dumps(payload, indent=2)
 
     @classmethod

@@ -21,9 +21,13 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.network import Network
+
+if TYPE_CHECKING:
+    from repro.core.linktable import LinkTable
+    from repro.sim.engine.routing import CompiledRouting
 
 Path = Tuple[int, ...]
 EdgeFractions = Dict[Tuple[int, int], float]
@@ -43,6 +47,7 @@ class RoutingScheme(abc.ABC):
         self.network = network
         self._path_cache: Dict[Tuple[int, int], List[Path]] = {}
         self._fraction_cache: Dict[Tuple[int, int], EdgeFractions] = {}
+        self._compiled: Optional["CompiledRouting"] = None
 
     # -- to be implemented by subclasses --------------------------------
 
@@ -82,6 +87,28 @@ class RoutingScheme(abc.ABC):
     def path_count(self, src: int, dst: int) -> int:
         """Number of distinct paths available to the pair."""
         return len(self.paths(src, dst))
+
+    def compile(self, table: Optional["LinkTable"] = None) -> "CompiledRouting":
+        """The array-backed lowering of this scheme (cached per table).
+
+        The compiled form answers ``sample_path`` / ``edge_fractions``
+        in dense :class:`~repro.core.linktable.LinkTable` link ids with
+        the exact RNG stream and values of the legacy methods; see
+        :mod:`repro.sim.engine.routing`.  Recompiles automatically when
+        the network's link table changes (topology mutation).
+        """
+        # Imported lazily: the engine depends on repro.routing, not the
+        # other way around.
+        from repro.sim.engine.routing import compile_routing
+
+        if table is None:
+            table = self.network.link_table()
+        cached = self._compiled
+        if cached is not None and cached.table is table:
+            return cached
+        compiled = compile_routing(self, table)
+        self._compiled = compiled
+        return compiled
 
     def _check_pair(self, src: int, dst: int) -> None:
         if src == dst:

@@ -2,7 +2,9 @@
 
 from repro.sim.maxmin import (
     AllocationError,
+    Incidence,
     LinkIndex,
+    fill_levels,
     flow_rates,
     progressive_filling,
 )
@@ -27,7 +29,9 @@ from repro.sim.packet import PacketSimulator, simulate_fct_packet
 
 __all__ = [
     "AllocationError",
+    "Incidence",
     "LinkIndex",
+    "fill_levels",
     "flow_rates",
     "progressive_filling",
     "FlowSimulator",

@@ -1,0 +1,34 @@
+"""The array-backed simulation engine: integer-indexed lowerings.
+
+``repro.sim.engine`` holds the compiled forms the simulators run on:
+
+* :class:`~repro.core.linktable.LinkTable` — dense directed-link ids
+  shared with :mod:`repro.faults` (re-exported here for convenience);
+* :class:`CompiledRouting` / :func:`compile_routing` — per-pair path
+  sets and next-hop tables as flat arrays (``RoutingScheme.compile()``);
+* :class:`~repro.sim.maxmin.Incidence` — the persistent flow→link
+  incidence the max-min allocator reuses across events;
+* :class:`SimTrace` — the instrumentation spine threaded through the
+  engine and surfaced in harness manifests.
+"""
+
+from repro.core.linktable import LinkTable
+from repro.sim.engine.routing import (
+    CompiledRouting,
+    PathSet,
+    compile_routing,
+)
+from repro.sim.engine.trace import SimTrace, collecting, current, set_collector
+from repro.sim.maxmin import Incidence
+
+__all__ = [
+    "LinkTable",
+    "CompiledRouting",
+    "PathSet",
+    "compile_routing",
+    "Incidence",
+    "SimTrace",
+    "collecting",
+    "current",
+    "set_collector",
+]

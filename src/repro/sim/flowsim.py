@@ -11,19 +11,31 @@ downlink, and the directed network links of the switch path its first
 packet was ECMP-hashed onto (``RoutingScheme.sample_path``).  Intra-rack
 flows use only the server links, which is how flat networks keep local
 traffic off the fabric.
+
+The simulator runs on the array-backed engine (:mod:`repro.sim.engine`):
+link ids come from the network's :class:`~repro.core.linktable.LinkTable`
+(net links first, then one uplink and one downlink per server), paths
+are hashed through the scheme's :class:`CompiledRouting`, and the
+flow→link incidence persists across events in a
+:class:`~repro.sim.maxmin.Incidence` updated on admit/finish instead of
+being rebuilt from Python lists at every event.  Entry order is kept in
+admission order throughout, so allocator demand sums and per-link byte
+accounting accumulate floats in exactly the legacy order — results are
+bit-for-bit identical to the per-event rebuild.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.network import Network
 from repro.routing.base import RoutingScheme
-from repro.sim.maxmin import LinkIndex, flow_rates
+from repro.sim.engine import trace as sim_trace
+from repro.sim.maxmin import AllocationError, Incidence, fill_levels
 from repro.sim.results import FctResults, FlowRecord
 from repro.traffic.flows import Flow
 from repro.traffic.matrix import Placement
@@ -31,12 +43,18 @@ from repro.traffic.matrix import Placement
 #: Bytes below which a flow counts as finished (guards float round-off).
 _RESIDUAL_BYTES = 1e-6
 
+#: Relative tolerance for "this event is the earliest completion": the
+#: timestep ``dt`` equals ``finish_dt`` unless an arrival preempts it,
+#: and equality survives the float arithmetic because both come from the
+#: same ``min``; the tolerance guards the measure-zero case of an
+#: arrival landing within rounding distance of a completion.
+_COMPLETION_RTOL = 1e-12
+
 
 @dataclass
 class _ActiveFlow:
     flow: Flow
-    remaining: float
-    links: List[int]
+    links: np.ndarray
     path: Tuple[int, ...]
     src_server: int
     dst_server: int
@@ -68,75 +86,147 @@ class FlowSimulator:
         self.placement = placement
         self.hop_latency_s = hop_latency_s
         self._rng = random.Random(seed)
-        self._links = LinkIndex()
-        for (u, v), capacity in network.directed_capacities().items():
-            self._links.add(("net", u, v), capacity)
+
+        table = network.link_table()
+        bad = np.flatnonzero(table.capacities <= 0)
+        if bad.size:
+            key = ("net",) + table.pairs[int(bad[0])]
+            raise AllocationError(f"link {key!r} has non-positive capacity")
+        self._table = table
+        self._compiled = routing.compile(table)
+        self._num_net = len(table)
+        self._num_servers = network.num_servers
+        self._server_cap = network.server_link_capacity
+        # Dense link ids: net links 0..L-1 in LinkTable order, then one
+        # uplink per server, then one downlink per server.  Links a run
+        # never touches carry zero demand, so pre-registering all of
+        # them leaves the allocation unchanged.
+        self._caps = np.concatenate(
+            [
+                table.capacities,
+                np.full(2 * self._num_servers, float(self._server_cap)),
+            ]
+        )
+
+        self._incidence = Incidence()
+        #: Active incidence entries per link id; ``> 0`` is exactly the
+        #: distinct-link set of the live incidence, handed to
+        #: :func:`fill_levels` to skip its per-event ``np.unique`` sort.
+        self._link_refs = np.zeros(len(self._caps), dtype=np.int64)
+        self._meta: List[_ActiveFlow] = []
+        self._slot_alive = np.zeros(0, dtype=bool)
+        self._remaining = np.zeros(0)
+        #: Per-slot bytes drained this event.  Dead slots hold stale
+        #: values, which is fine: the incidence only references alive
+        #: slots, so stale entries are never gathered.
+        self._spent = np.zeros(0)
+        self._num_active = 0
         #: Bytes carried per link id, filled during :meth:`run`.
-        self._link_bytes: Dict[int, float] = {}
+        self._link_bytes = np.zeros(len(self._caps))
         self._elapsed = 0.0
+        #: Instrumentation from the most recent :meth:`run`.
+        self.trace = sim_trace.SimTrace()
 
     # ------------------------------------------------------------------
 
-    def _server_link(self, direction: str, server: int) -> int:
-        return self._links.add(
-            (direction, server), self.network.server_link_capacity
-        )
+    def _grow_slots(self, total: int) -> None:
+        capacity = len(self._slot_alive)
+        if total <= capacity:
+            return
+        capacity = max(capacity * 2, total, 64)
+        alive = np.zeros(capacity, dtype=bool)
+        alive[: len(self._slot_alive)] = self._slot_alive
+        remaining = np.zeros(capacity)
+        remaining[: len(self._remaining)] = self._remaining
+        spent = np.zeros(capacity)
+        spent[: len(self._spent)] = self._spent
+        self._slot_alive = alive
+        self._remaining = remaining
+        self._spent = spent
 
-    def _admit(self, flow: Flow) -> _ActiveFlow:
-        """Resolve endpoints, hash a path, and build the link list."""
+    def _admit(self, flow: Flow) -> None:
+        """Resolve endpoints, hash a path, and register the flow's slot."""
         src = self.placement.network_server(flow.src_server)
         dst = self.placement.network_server(flow.dst_server)
-        links = [self._server_link("up", src)]
+        if self._server_cap <= 0:
+            raise AllocationError(
+                f"link {('up', src)!r} has non-positive capacity"
+            )
+        links = [self._num_net + src]
         if dst != src:
-            links.append(self._server_link("down", dst))
+            links.append(self._num_net + self._num_servers + dst)
         src_rack = self.network.switch_of_server(src)
         dst_rack = self.network.switch_of_server(dst)
         if src_rack != dst_rack:
-            path = self.routing.sample_path(src_rack, dst_rack, self._rng)
-            for u, v in zip(path, path[1:]):
-                links.append(self._links.id_of(("net", u, v)))
+            path, net_links = self._compiled.sample(src_rack, dst_rack, self._rng)
+            links.extend(net_links)
         else:
             path = (src_rack,)
-        return _ActiveFlow(
-            flow=flow,
-            remaining=flow.size_bytes,
-            links=links,
-            path=path,
-            src_server=src,
-            dst_server=dst,
+        link_ids = np.asarray(links, dtype=np.intp)
+        slot = len(self._meta)
+        self._meta.append(
+            _ActiveFlow(
+                flow=flow,
+                links=link_ids,
+                path=path,
+                src_server=src,
+                dst_server=dst,
+            )
         )
+        self._grow_slots(slot + 1)
+        self._slot_alive[slot] = True
+        self._remaining[slot] = flow.size_bytes
+        self._incidence.append(slot, link_ids)
+        np.add.at(self._link_refs, link_ids, 1)
+        self._num_active += 1
 
     # ------------------------------------------------------------------
 
     def run(self, flows: Sequence[Flow]) -> FctResults:
         """Simulate the workload to completion and return all FCTs."""
+        # Resolved here, not at module level: repro.harness's package
+        # init imports repro.sim, so a top-level import would cycle.
+        from repro.harness.clock import perf
+
         arrivals = sorted(flows, key=lambda f: f.start_time)
         results = FctResults()
-        active: List[_ActiveFlow] = []
         now = 0.0
         next_arrival = 0
+        inc = self._incidence
+        run_trace = sim_trace.SimTrace()
+        run_started = perf()
 
-        while active or next_arrival < len(arrivals):
+        while self._num_active or next_arrival < len(arrivals):
             # Admit every flow starting exactly now (zero-width batch).
             while (
                 next_arrival < len(arrivals)
                 and arrivals[next_arrival].start_time <= now + 1e-15
             ):
-                active.append(self._admit(arrivals[next_arrival]))
+                self._admit(arrivals[next_arrival])
+                run_trace.count("flows_admitted")
                 next_arrival += 1
 
-            if not active:
+            if not self._num_active:
                 now = arrivals[next_arrival].start_time
                 continue
 
-            rates = flow_rates(
-                [entry.links for entry in active], self._links.capacities
+            nslots = len(self._meta)
+            alive_mask = self._slot_alive[:nslots]
+            alive = np.flatnonzero(alive_mask)
+
+            allocate_started = perf()
+            levels, iterations = fill_levels(
+                inc.ent, inc.lnk, inc.val, self._caps, alive_mask,
+                links=np.flatnonzero(self._link_refs > 0),
             )
+            run_trace.add_time("allocate", perf() - allocate_started)
+            run_trace.count("events")
+            run_trace.count("allocator_iterations", iterations)
+            rates_bps = levels[alive]
+            rates_bps *= 1e9  # fresh array from the fancy index above
 
             # Earliest completion under current rates, in seconds.
-            times = np.array(
-                [entry.remaining for entry in active]
-            ) * 8.0 / (rates * 1e9)
+            times = self._remaining[alive] * 8.0 / rates_bps
             finish_dt = float(times.min())
             arrival_dt = (
                 arrivals[next_arrival].start_time - now
@@ -148,17 +238,23 @@ class FlowSimulator:
                 raise RuntimeError("simulation time went backwards")
 
             # Drain bytes at the constant rates over dt.
-            drained = rates * 1e9 / 8.0 * dt
+            drained = rates_bps / 8.0 * dt
             now += dt
-            still_active: List[_ActiveFlow] = []
-            for entry, spent in zip(active, drained):
-                entry.remaining -= spent
-                if spent > 0.0:
-                    for link in entry.links:
-                        self._link_bytes[link] = (
-                            self._link_bytes.get(link, 0.0) + spent
-                        )
-                if entry.remaining <= _RESIDUAL_BYTES and dt == finish_dt:
+            self._remaining[alive] -= drained
+
+            spent = self._spent
+            spent[alive] = drained
+            entry_spent = spent[inc.ent]
+            touched = entry_spent > 0.0
+            np.add.at(self._link_bytes, inc.lnk[touched], entry_spent[touched])
+
+            # Retire completions only when this event *is* the earliest
+            # completion (an arrival may preempt it); the tolerance
+            # replaces the old exact ``dt == finish_dt`` float equality.
+            if finish_dt - dt <= finish_dt * _COMPLETION_RTOL:
+                done = alive[self._remaining[alive] <= _RESIDUAL_BYTES]
+                for slot in done:
+                    entry = self._meta[slot]
                     latency = self.hop_latency_s * len(entry.links)
                     results.add(
                         FlowRecord(
@@ -170,16 +266,33 @@ class FlowSimulator:
                             path=entry.path,
                         )
                     )
-                else:
-                    still_active.append(entry)
-            active = still_active
+                    self._slot_alive[slot] = False
+                    np.subtract.at(self._link_refs, entry.links, 1)
+                if done.size:
+                    self._num_active -= int(done.size)
+                    run_trace.count("flows_completed", int(done.size))
+                    inc.compact(self._slot_alive[:nslots])
 
         self._elapsed = now
+        run_trace.add_time("run", sim_trace.perf_now() - run_started)
+        if now > 0.0:
+            run_trace.snapshot_utilization("flowsim", self.link_utilization())
+        self.trace = run_trace
+        collector = sim_trace.current()
+        if collector is not None:
+            collector.merge(run_trace)
         return results
 
     # ------------------------------------------------------------------
     # Post-run analysis
     # ------------------------------------------------------------------
+
+    def _key_of(self, link_id: int) -> Tuple[object, ...]:
+        if link_id < self._num_net:
+            return ("net",) + self._table.pairs[link_id]
+        if link_id < self._num_net + self._num_servers:
+            return ("up", link_id - self._num_net)
+        return ("down", link_id - self._num_net - self._num_servers)
 
     def link_utilization(self) -> Dict[object, float]:
         """Average utilization per link over the run, keyed by link key.
@@ -191,17 +304,21 @@ class FlowSimulator:
         if self._elapsed <= 0.0:
             raise RuntimeError("run() has not completed yet")
         report: Dict[object, float] = {}
-        for link_id, carried in self._link_bytes.items():
-            capacity_bps = self._links.capacity_of(link_id) * 1e9 / 8.0
-            report[self._links.key_of(link_id)] = carried / (
+        for link_id in np.flatnonzero(self._link_bytes > 0.0):
+            capacity_bps = self._caps[link_id] * 1e9 / 8.0
+            report[self._key_of(int(link_id))] = self._link_bytes[link_id] / (
                 capacity_bps * self._elapsed
             )
         return report
 
     def hottest_links(self, count: int = 5) -> List[Tuple[object, float]]:
-        """The ``count`` most utilized links, hottest first."""
+        """The ``count`` most utilized links, hottest first.
+
+        Utilization ties break on the link key, so reports are stable
+        across runs and platforms.
+        """
         utilization = self.link_utilization()
-        ranked = sorted(utilization.items(), key=lambda kv: -kv[1])
+        ranked = sorted(utilization.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:count]
 
 

@@ -14,11 +14,20 @@ weight 1 and value 1 on every link of its path recovers classic max-min;
 for a commodity of ``w`` flows splitting over many paths, weight ``w``
 and value ``w * fraction(l)`` makes each *flow* of the commodity as fair
 as a standalone flow.
+
+Two entry points share one numpy core (:func:`fill_levels`):
+
+* :func:`progressive_filling` — the legacy list-of-pairs interface.  It
+  validates and flattens its input per call; fine for one-shot solves.
+* :class:`Incidence` — a persistent flat entity→link incidence that the
+  array-backed engine updates incrementally on flow admit/finish, so the
+  per-event flatten disappears from the simulation hot loop entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +37,109 @@ _EPSILON = 1e-12
 
 class AllocationError(RuntimeError):
     """Raised when the allocation cannot make progress (bad inputs)."""
+
+
+def fill_levels(
+    ent: np.ndarray,
+    lnk: np.ndarray,
+    val: np.ndarray,
+    caps: np.ndarray,
+    active: np.ndarray,
+    links: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, int]:
+    """Progressive filling on a pre-flattened incidence.
+
+    Parameters
+    ----------
+    ent, lnk, val:
+        Parallel arrays: incidence entry ``j`` says entity ``ent[j]``
+        consumes ``val[j] * lambda`` on link ``lnk[j]``.  Entries must
+        already be validated (positive values, in-range link ids).
+    caps:
+        Positive capacity per link id.
+    active:
+        Boolean mask of entities whose levels should rise; entities
+        starting inactive keep level 0 and contribute no demand.  The
+        mask is copied, not mutated.
+    links:
+        Optional sorted array of exactly the distinct link ids among
+        *active* entries, when the caller already tracks them (the flow
+        simulator keeps per-link reference counts).  Skips the
+        ``np.unique`` sort on the hot path; semantics are unchanged.
+
+    Returns
+    -------
+    (levels, iterations):
+        ``lambda`` per entity and the number of filling rounds run.
+
+    Notes
+    -----
+    The loop works in a compressed link space (only links referenced by
+    active entries) and keeps a working copy of the active entries that
+    shrinks as entities freeze.  Both transformations are exact: links
+    with no active entries carry zero demand and infinite headroom, so
+    dropping them changes no float operation, and the working entries
+    preserve admission order, so ``bincount`` accumulates demand sums in
+    the identical order the full-mask formulation used.
+    """
+    level = np.zeros(len(active))
+    active = active.copy()
+    sel = active[ent]
+    if sel.all():
+        w_ent, w_lnk, w_val = ent, lnk, val
+    else:
+        w_ent, w_lnk, w_val = ent[sel], lnk[sel], val[sel]
+    if not w_ent.size and active.any():
+        raise AllocationError("active entities consume no capacity")
+    # Compress to the referenced links; ids stay ascending, so argmin
+    # tie-breaks agree with the full link space.
+    if links is None:
+        links, w_lnk = np.unique(w_lnk, return_inverse=True)
+    else:
+        # Scatter-then-gather beats searchsorted: O(1) per entry with no
+        # binary-search comparisons, and every w_lnk value is in links.
+        remap = np.empty(len(caps), dtype=np.intp)
+        remap[links] = np.arange(len(links))
+        w_lnk = remap[w_lnk]
+    num_links = len(links)
+    remaining = caps[links].copy()
+    saturation = _EPSILON * remaining
+    headroom = np.empty(num_links)
+    current = 0.0
+    iterations = 0
+
+    while w_ent.size:
+        iterations += 1
+        demand = np.bincount(w_lnk, weights=w_val, minlength=num_links)
+        used = demand > 0
+        if not used.any():
+            raise AllocationError("active entities consume no capacity")
+        headroom.fill(np.inf)
+        np.divide(remaining, demand, out=headroom, where=used)
+        increment = float(headroom.min())
+        if not math.isfinite(increment) or increment < 0:
+            raise AllocationError("allocation cannot make progress")
+        current += increment
+        remaining -= increment * demand
+        # Freeze entities crossing any saturated link they use.  A link
+        # saturated in an earlier round has no active entries left (its
+        # entities froze with it), so the ``used`` guard is implicit in
+        # the working-set filtering below.
+        saturated_links = used & (remaining <= saturation)
+        touches = saturated_links[w_lnk]
+        frozen = w_ent[touches]
+        if frozen.size == 0:
+            # Numerical corner: force the single most-loaded link.
+            forced = int(np.argmin(headroom))
+            frozen = w_ent[w_lnk == forced]
+        level[frozen] = current
+        active[frozen] = False
+        keep = active[w_ent]
+        w_ent = w_ent[keep]
+        w_lnk = w_lnk[keep]
+        w_val = w_val[keep]
+
+    return level, iterations
 
 
 def progressive_filling(
@@ -78,37 +190,8 @@ def progressive_filling(
     lnk = np.array(link_index, dtype=np.intp)
     val = np.array(values, dtype=float)
 
-    level = np.zeros(num_entities)
     active = np.ones(num_entities, dtype=bool)
-    remaining = caps.copy()
-    current = 0.0
-
-    while active.any():
-        active_term = active[ent]
-        demand = np.bincount(
-            lnk[active_term], weights=val[active_term], minlength=num_links
-        )
-        used = demand > 0
-        if not used.any():
-            raise AllocationError("active entities consume no capacity")
-        headroom = np.full(num_links, np.inf)
-        headroom[used] = remaining[used] / demand[used]
-        increment = headroom.min()
-        if not np.isfinite(increment) or increment < 0:
-            raise AllocationError("allocation cannot make progress")
-        current += increment
-        remaining -= increment * demand
-        # Freeze entities crossing any saturated link they use.
-        saturated_links = used & (remaining <= _EPSILON * caps)
-        touches = saturated_links[lnk] & active_term
-        frozen = np.unique(ent[touches])
-        if frozen.size == 0:
-            # Numerical corner: force the single most-loaded link.
-            forced = int(np.argmin(headroom))
-            frozen = np.unique(ent[(lnk == forced) & active_term])
-        level[frozen] = current
-        active[frozen] = False
-
+    level, _iterations = fill_levels(ent, lnk, val, caps, active)
     return level
 
 
@@ -121,6 +204,89 @@ def flow_rates(
         [(link, 1.0) for link in path] for path in flow_paths
     ]
     return progressive_filling(entity_links, capacities)
+
+
+class Incidence:
+    """A persistent flat entity→link incidence for the engine's hot loop.
+
+    Stores the same parallel ``(ent, lnk, val)`` arrays that
+    :func:`progressive_filling` flattens per call, but keeps them alive
+    across events: :meth:`append` adds one entity's entries on flow
+    admit, :meth:`compact` drops retired entities' entries on finish.
+    Arrays grow by doubling, so the steady-state cost per event is a few
+    slice writes instead of rebuilding O(flows × path length) Python
+    lists.
+
+    Entries stay in admission order (compaction is order-preserving), so
+    ``bincount``/``add.at`` reductions over them sum floats in exactly
+    the order the legacy per-event rebuild did — bit-for-bit parity.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self) -> None:
+        self._ent = np.empty(self._INITIAL_CAPACITY, dtype=np.intp)
+        self._lnk = np.empty(self._INITIAL_CAPACITY, dtype=np.intp)
+        self._val = np.empty(self._INITIAL_CAPACITY, dtype=float)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def ent(self) -> np.ndarray:
+        """Entity id per entry (view; do not mutate)."""
+        return self._ent[: self._size]
+
+    @property
+    def lnk(self) -> np.ndarray:
+        """Link id per entry (view; do not mutate)."""
+        return self._lnk[: self._size]
+
+    @property
+    def val(self) -> np.ndarray:
+        """Consumption value per entry (view; do not mutate)."""
+        return self._val[: self._size]
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = len(self._ent)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_ent", "_lnk", "_val"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    def append(self, entity: int, links: Sequence[int], value: float = 1.0) -> None:
+        """Add ``(entity, link, value)`` entries for each link in order."""
+        count = len(links)
+        self._reserve(count)
+        start = self._size
+        end = start + count
+        self._ent[start:end] = entity
+        self._lnk[start:end] = links
+        self._val[start:end] = value
+        self._size = end
+
+    def compact(self, keep_entity: np.ndarray) -> None:
+        """Drop entries whose entity id has ``keep_entity[id]`` False.
+
+        Order-preserving: surviving entries keep their relative order,
+        so float-summation order over the incidence is unchanged.
+        """
+        ent = self._ent[: self._size]
+        mask = keep_entity[ent]
+        kept = int(np.count_nonzero(mask))
+        if kept == self._size:
+            return
+        self._ent[:kept] = ent[mask]
+        self._lnk[:kept] = self._lnk[: self._size][mask]
+        self._val[:kept] = self._val[: self._size][mask]
+        self._size = kept
 
 
 class LinkIndex:

@@ -83,8 +83,10 @@ class PacketSimulator:
         self._propagation_s = propagation_s
         self._ecn_threshold_bytes = ecn_threshold_bytes
         self._links: Dict[object, LinkQueue] = {}
-        for (u, v), capacity in network.directed_capacities().items():
-            self._add_link(("net", u, v), capacity)
+        table = network.link_table()
+        for (u, v), capacity in zip(table.pairs, table.capacities):
+            self._add_link(("net", u, v), float(capacity))
+        self._compiled = routing.compile(table)
         self._contexts: Dict[int, _FlowContext] = {}
         self.results = FctResults()
 
@@ -124,11 +126,11 @@ class PacketSimulator:
         forward: List[LinkQueue] = [self._server_link("up", src_server)]
         reverse: List[LinkQueue] = [self._server_link("up", dst_server)]
         if src_rack != dst_rack:
-            switch_path = self.routing.sample_path(src_rack, dst_rack, self._rng)
+            switch_path = self._compiled.sample_path(src_rack, dst_rack, self._rng)
             for u, v in zip(switch_path, switch_path[1:]):
                 forward.append(self._links[("net", u, v)])
             # ACKs take the reverse hash (their own path sample).
-            ack_path = self.routing.sample_path(dst_rack, src_rack, self._rng)
+            ack_path = self._compiled.sample_path(dst_rack, src_rack, self._rng)
             for u, v in zip(ack_path, ack_path[1:]):
                 reverse.append(self._links[("net", u, v)])
         else:
@@ -144,7 +146,7 @@ class PacketSimulator:
         dst_rack = self.network.switch_of_server(context.dst_server)
         if src_rack == dst_rack:
             return
-        switch_path = self.routing.sample_path(src_rack, dst_rack, self._rng)
+        switch_path = self._compiled.sample_path(src_rack, dst_rack, self._rng)
         forward: List[LinkQueue] = [
             self._server_link("up", context.src_server)
         ]

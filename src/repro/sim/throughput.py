@@ -19,9 +19,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.network import Network
 from repro.routing.base import RoutingScheme
-from repro.sim.maxmin import LinkIndex, progressive_filling
+from repro.sim.engine import trace as sim_trace
+from repro.sim.maxmin import AllocationError, fill_levels
 
 RackPair = Tuple[int, int]
 
@@ -63,29 +66,72 @@ def commodity_throughput(
     if dst_host_capacity is None:
         dst_host_capacity = _full_host_capacity(network)
 
-    links = LinkIndex()
-    for (u, v), capacity in network.directed_capacities().items():
-        links.add(("net", u, v), capacity)
+    # Dense ids from the network's link table (net links 0..L-1), plus
+    # lazily registered host links in first-touch order — the same id
+    # assignment the legacy per-call LinkIndex produced.
+    table = network.link_table()
+    bad = np.flatnonzero(table.capacities <= 0)
+    if bad.size:
+        bad_key = ("net",) + table.pairs[int(bad[0])]
+        raise AllocationError(f"link {bad_key!r} has non-positive capacity")
+    compiled = routing.compile(table)
+    num_net = len(table)
+    host_ids: Dict[Tuple[str, int], int] = {}
+    host_caps: List[float] = []
+
+    def host_link(kind: str, rack: int, capacity: float) -> int:
+        key = (kind, rack)
+        existing = host_ids.get(key)
+        if existing is not None:
+            if host_caps[existing - num_net] != capacity:
+                raise AllocationError(
+                    f"link {key!r} re-registered with different capacity"
+                )
+            return existing
+        if capacity <= 0:
+            raise AllocationError(f"link {key!r} has non-positive capacity")
+        index = num_net + len(host_caps)
+        host_ids[key] = index
+        host_caps.append(capacity)
+        return index
 
     pairs: List[RackPair] = sorted(demands)
-    entity_links: List[List[Tuple[int, float]]] = []
+    ent: List[int] = []
+    lnk: List[int] = []
+    val: List[float] = []
     weights: List[float] = []
-    for r1, r2 in pairs:
+    for index, (r1, r2) in enumerate(pairs):
         weight = float(demands[(r1, r2)])
         if weight <= 0:
             raise ValueError(f"non-positive demand for {(r1, r2)}")
-        entry: List[Tuple[int, float]] = []
-        up = links.add(("up", r1), src_host_capacity[r1])
-        down = links.add(("down", r2), dst_host_capacity[r2])
-        entry.append((up, weight))
-        entry.append((down, weight))
-        for (u, v), fraction in routing.edge_fractions(r1, r2).items():
-            if fraction > 0:
-                entry.append((links.id_of(("net", u, v)), weight * fraction))
-        entity_links.append(entry)
+        up = host_link("up", r1, src_host_capacity[r1])
+        down = host_link("down", r2, dst_host_capacity[r2])
+        net_links, net_fractions = compiled.fraction_entries(r1, r2)
+        ent.extend([index] * (2 + len(net_links)))
+        lnk.append(up)
+        val.append(weight)
+        lnk.append(down)
+        val.append(weight)
+        lnk.extend(net_links.tolist())
+        val.extend((weight * net_fractions).tolist())
         weights.append(weight)
 
-    levels = progressive_filling(entity_links, links.capacities)
+    caps = np.concatenate([table.capacities, np.asarray(host_caps, dtype=float)])
+    allocate_started = sim_trace.perf_now()
+    levels, iterations = fill_levels(
+        np.asarray(ent, dtype=np.intp),
+        np.asarray(lnk, dtype=np.intp),
+        np.asarray(val, dtype=float),
+        caps,
+        np.ones(len(pairs), dtype=bool),
+    )
+    collector = sim_trace.current()
+    if collector is not None:
+        collector.count("throughput_commodities", len(pairs))
+        collector.count("allocator_iterations", iterations)
+        collector.add_time(
+            "allocate", sim_trace.perf_now() - allocate_started
+        )
     per_commodity = {
         pair: float(level * weight)
         for pair, level, weight in zip(pairs, levels, weights)

@@ -1,0 +1,375 @@
+"""Pre-engine reference implementations, kept verbatim for parity tests.
+
+These are the seed-era simulators exactly as they shipped before the
+array-backed engine (:mod:`repro.sim.engine`) replaced them: the FCT
+simulator rebuilds its flow→link incidence from Python lists at every
+event and re-registers host links through a :class:`LinkIndex`, and the
+throughput solver walks ``routing.edge_fractions`` dicts per commodity.
+They define the behavior the engine must reproduce bit-for-bit — the
+parity suite asserts exact equality of their outputs, and the benchmark
+suite measures the engine's speedup against them.
+
+Do not modernize this module; its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.routing.base import RoutingScheme
+from repro.sim.maxmin import AllocationError
+from repro.sim.results import FctResults, FlowRecord
+from repro.sim.throughput import RackPair, ThroughputReport
+from repro.traffic.flows import Flow
+from repro.traffic.matrix import Placement
+
+_RESIDUAL_BYTES = 1e-6
+
+#: Relative tolerance for declaring a link saturated (seed value).
+_EPSILON = 1e-12
+
+
+def progressive_filling(
+    entity_links: Sequence[Sequence[Tuple[int, float]]],
+    capacities: Sequence[float],
+) -> np.ndarray:
+    """The seed allocator, verbatim: full-link-space filling rounds.
+
+    Every round allocates ``np.full(num_links, ...)`` scratch, masks the
+    incidence by ``active[ent]``, and dedups frozen entities through
+    ``np.unique`` — the costs the engine's compressed-link working-set
+    formulation (:func:`repro.sim.maxmin.fill_levels`) removed.
+    """
+    num_entities = len(entity_links)
+    caps = np.asarray(capacities, dtype=float)
+    if np.any(caps <= 0):
+        raise AllocationError("all link capacities must be positive")
+    num_links = len(caps)
+
+    # Flatten the incidence into parallel arrays for numpy bincount use.
+    entity_index: List[int] = []
+    link_index: List[int] = []
+    values: List[float] = []
+    for i, links in enumerate(entity_links):
+        if not links:
+            raise AllocationError(f"entity {i} uses no links")
+        for link, value in links:
+            if value <= 0:
+                raise AllocationError(
+                    f"entity {i} has non-positive value {value} on link {link}"
+                )
+            if not 0 <= link < num_links:
+                raise AllocationError(f"entity {i} references bad link {link}")
+            entity_index.append(i)
+            link_index.append(link)
+            values.append(value)
+    ent = np.array(entity_index, dtype=np.intp)
+    lnk = np.array(link_index, dtype=np.intp)
+    val = np.array(values, dtype=float)
+
+    level = np.zeros(num_entities)
+    active = np.ones(num_entities, dtype=bool)
+    remaining = caps.copy()
+    current = 0.0
+
+    while active.any():
+        active_term = active[ent]
+        demand = np.bincount(
+            lnk[active_term], weights=val[active_term], minlength=num_links
+        )
+        used = demand > 0
+        if not used.any():
+            raise AllocationError("active entities consume no capacity")
+        headroom = np.full(num_links, np.inf)
+        headroom[used] = remaining[used] / demand[used]
+        increment = headroom.min()
+        if not np.isfinite(increment) or increment < 0:
+            raise AllocationError("allocation cannot make progress")
+        current += increment
+        remaining -= increment * demand
+        # Freeze entities crossing any saturated link they use.
+        saturated_links = used & (remaining <= _EPSILON * caps)
+        touches = saturated_links[lnk] & active_term
+        frozen = np.unique(ent[touches])
+        if frozen.size == 0:
+            # Numerical corner: force the single most-loaded link.
+            forced = int(np.argmin(headroom))
+            frozen = np.unique(ent[(lnk == forced) & active_term])
+        level[frozen] = current
+        active[frozen] = False
+
+    return level
+
+
+def flow_rates(
+    flow_paths: Sequence[Sequence[int]],
+    capacities: Sequence[float],
+) -> np.ndarray:
+    """Max-min fair rates for unit-weight flows over integer link ids."""
+    entity_links = [
+        [(link, 1.0) for link in path] for path in flow_paths
+    ]
+    return progressive_filling(entity_links, capacities)
+
+
+class LinkIndex:
+    """The seed dense link-id registry, verbatim."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[object, int] = {}
+        self._keys: List[object] = []
+        self._capacities: List[float] = []
+
+    def add(self, key: object, capacity: float) -> int:
+        if key in self._ids:
+            existing = self._capacities[self._ids[key]]
+            if existing != capacity:
+                raise AllocationError(
+                    f"link {key!r} re-registered with different capacity"
+                )
+            return self._ids[key]
+        if capacity <= 0:
+            raise AllocationError(f"link {key!r} has non-positive capacity")
+        index = len(self._capacities)
+        self._ids[key] = index
+        self._keys.append(key)
+        self._capacities.append(capacity)
+        return index
+
+    def id_of(self, key: object) -> int:
+        return self._ids[key]
+
+    def key_of(self, index: int) -> object:
+        return self._keys[index]
+
+    def capacity_of(self, index: int) -> float:
+        return self._capacities[index]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._ids
+
+    def __len__(self) -> int:
+        return len(self._capacities)
+
+    @property
+    def capacities(self) -> List[float]:
+        return list(self._capacities)
+
+
+@dataclass
+class _ActiveFlow:
+    flow: Flow
+    remaining: float
+    links: List[int]
+    path: Tuple[int, ...]
+    src_server: int
+    dst_server: int
+
+
+class LegacyFlowSimulator:
+    """The seed FCT simulator: per-event incidence rebuild."""
+
+    def __init__(
+        self,
+        network: Network,
+        routing: RoutingScheme,
+        placement: Placement,
+        seed: int = 0,
+        hop_latency_s: float = 0.0,
+    ) -> None:
+        if hop_latency_s < 0:
+            raise ValueError("hop latency must be non-negative")
+        if routing.network is not network:
+            raise ValueError("routing was built for a different network")
+        if placement.network is not network:
+            raise ValueError("placement targets a different network")
+        self.network = network
+        self.routing = routing
+        self.placement = placement
+        self.hop_latency_s = hop_latency_s
+        self._rng = random.Random(seed)
+        self._links = LinkIndex()
+        for (u, v), capacity in network.directed_capacities().items():
+            self._links.add(("net", u, v), capacity)
+        self._link_bytes: Dict[int, float] = {}
+        self._elapsed = 0.0
+
+    def _server_link(self, direction: str, server: int) -> int:
+        return self._links.add(
+            (direction, server), self.network.server_link_capacity
+        )
+
+    def _admit(self, flow: Flow) -> _ActiveFlow:
+        src = self.placement.network_server(flow.src_server)
+        dst = self.placement.network_server(flow.dst_server)
+        links = [self._server_link("up", src)]
+        if dst != src:
+            links.append(self._server_link("down", dst))
+        src_rack = self.network.switch_of_server(src)
+        dst_rack = self.network.switch_of_server(dst)
+        if src_rack != dst_rack:
+            path = self.routing.sample_path(src_rack, dst_rack, self._rng)
+            for u, v in zip(path, path[1:]):
+                links.append(self._links.id_of(("net", u, v)))
+        else:
+            path = (src_rack,)
+        return _ActiveFlow(
+            flow=flow,
+            remaining=flow.size_bytes,
+            links=links,
+            path=path,
+            src_server=src,
+            dst_server=dst,
+        )
+
+    def run(self, flows: Sequence[Flow]) -> FctResults:
+        arrivals = sorted(flows, key=lambda f: f.start_time)
+        results = FctResults()
+        active: List[_ActiveFlow] = []
+        now = 0.0
+        next_arrival = 0
+
+        while active or next_arrival < len(arrivals):
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].start_time <= now + 1e-15
+            ):
+                active.append(self._admit(arrivals[next_arrival]))
+                next_arrival += 1
+
+            if not active:
+                now = arrivals[next_arrival].start_time
+                continue
+
+            rates = flow_rates(
+                [entry.links for entry in active], self._links.capacities
+            )
+
+            times = np.array(
+                [entry.remaining for entry in active]
+            ) * 8.0 / (rates * 1e9)
+            finish_dt = float(times.min())
+            arrival_dt = (
+                arrivals[next_arrival].start_time - now
+                if next_arrival < len(arrivals)
+                else np.inf
+            )
+            dt = min(finish_dt, arrival_dt)
+            if dt < 0:
+                raise RuntimeError("simulation time went backwards")
+
+            drained = rates * 1e9 / 8.0 * dt
+            now += dt
+            still_active: List[_ActiveFlow] = []
+            for entry, spent in zip(active, drained):
+                entry.remaining -= spent
+                if spent > 0.0:
+                    for link in entry.links:
+                        self._link_bytes[link] = (
+                            self._link_bytes.get(link, 0.0) + spent
+                        )
+                if entry.remaining <= _RESIDUAL_BYTES and dt == finish_dt:
+                    latency = self.hop_latency_s * len(entry.links)
+                    results.add(
+                        FlowRecord(
+                            src_server=entry.src_server,
+                            dst_server=entry.dst_server,
+                            size_bytes=entry.flow.size_bytes,
+                            start_time=entry.flow.start_time,
+                            finish_time=now + latency,
+                            path=entry.path,
+                        )
+                    )
+                else:
+                    still_active.append(entry)
+            active = still_active
+
+        self._elapsed = now
+        return results
+
+    def link_utilization(self) -> Dict[object, float]:
+        if self._elapsed <= 0.0:
+            raise RuntimeError("run() has not completed yet")
+        report: Dict[object, float] = {}
+        for link_id, carried in self._link_bytes.items():
+            capacity_bps = self._links.capacity_of(link_id) * 1e9 / 8.0
+            report[self._links.key_of(link_id)] = carried / (
+                capacity_bps * self._elapsed
+            )
+        return report
+
+
+def legacy_simulate_fct(
+    network: Network,
+    routing: RoutingScheme,
+    placement: Placement,
+    flows: Sequence[Flow],
+    seed: int = 0,
+) -> FctResults:
+    return LegacyFlowSimulator(network, routing, placement, seed=seed).run(
+        flows
+    )
+
+
+def legacy_commodity_throughput(
+    network: Network,
+    routing: RoutingScheme,
+    demands: Dict[RackPair, float],
+    src_host_capacity: Optional[Dict[int, float]] = None,
+    dst_host_capacity: Optional[Dict[int, float]] = None,
+) -> ThroughputReport:
+    """The seed commodity solver: per-commodity edge_fractions walks."""
+    if not demands:
+        raise ValueError("no commodities to allocate")
+    if src_host_capacity is None:
+        src_host_capacity = _full_host_capacity(network)
+    if dst_host_capacity is None:
+        dst_host_capacity = _full_host_capacity(network)
+
+    links = LinkIndex()
+    for (u, v), capacity in network.directed_capacities().items():
+        links.add(("net", u, v), capacity)
+
+    pairs: List[RackPair] = sorted(demands)
+    entity_links: List[List[Tuple[int, float]]] = []
+    weights: List[float] = []
+    for r1, r2 in pairs:
+        weight = float(demands[(r1, r2)])
+        if weight <= 0:
+            raise ValueError(f"non-positive demand for {(r1, r2)}")
+        entry: List[Tuple[int, float]] = []
+        up = links.add(("up", r1), src_host_capacity[r1])
+        down = links.add(("down", r2), dst_host_capacity[r2])
+        entry.append((up, weight))
+        entry.append((down, weight))
+        for (u, v), fraction in routing.edge_fractions(r1, r2).items():
+            if fraction > 0:
+                entry.append((links.id_of(("net", u, v)), weight * fraction))
+        entity_links.append(entry)
+        weights.append(weight)
+
+    levels = progressive_filling(entity_links, links.capacities)
+    per_commodity = {
+        pair: float(level * weight)
+        for pair, level, weight in zip(pairs, levels, weights)
+    }
+    total = sum(per_commodity.values())
+    num_flows = sum(weights)
+    return ThroughputReport(
+        per_commodity_gbps=per_commodity,
+        total_gbps=total,
+        mean_flow_gbps=total / num_flows,
+        num_flows=num_flows,
+    )
+
+
+def _full_host_capacity(network: Network) -> Dict[int, float]:
+    return {
+        rack: network.servers_at(rack) * network.server_link_capacity
+        for rack in network.racks
+    }
