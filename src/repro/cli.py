@@ -8,7 +8,12 @@ Exposes the library's main workflows without writing any Python:
 * ``fig5``             — Figure 5 C-S heatmaps
 * ``fig6``             — Figure 6 scale sweep
 * ``sweep``            — cached parallel sweeps over the paper figures
-* ``cache``            — inspect / clear the sweep result cache
+* ``cache``            — inspect / prune / clear the sweep result cache
+* ``serve``            — run the simulation-as-a-service HTTP server
+* ``submit``           — submit one cell to a running server
+* ``status``           — job states (and event streams) from a server
+* ``results``          — the server's cached-result inventory
+* ``leaderboard``      — ranked cells, from a server or a local cache
 * ``microburst``       — the Section 3 microburst study
 * ``other-topologies`` — the Section 7 Slim Fly / Dragonfly comparison
 * ``verify``           — exhaustive Theorem 1 / path-set verification
@@ -355,6 +360,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    """Compact human age: 42s, 3.5m, 2.1h, 4.0d."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.harness import ResultCache
 
@@ -368,17 +384,225 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results from {root}")
         return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("cache prune requires --max-bytes", file=sys.stderr)
+            return 2
+        from repro.service.store import ServiceStore
+
+        store = ServiceStore(root)
+        before = store.total_bytes()
+        evicted = store.prune(args.max_bytes)
+        print(
+            f"pruned {len(evicted)} entries ({before} -> "
+            f"{store.total_bytes()} bytes, budget {args.max_bytes})"
+        )
+        for key in evicted:
+            print(f"  evicted {key}")
+        return 0
     entries = list(cache.entries())
     if not entries:
         print(f"cache at {root} is empty")
         return 0
     total_bytes = sum(e["bytes"] for e in entries)
-    print(f"cache at {root}: {len(entries)} results, {total_bytes} bytes")
+    print(
+        f"cache at {root}: {len(entries)} results, "
+        f"{total_bytes} bytes total"
+    )
     for entry in entries:
         print(
             f"  {entry['key']}  {entry['label']:<48} "
-            f"{entry['elapsed_seconds']:>7.2f}s  {entry['bytes']:>9}B"
+            f"{entry['elapsed_seconds']:>7.2f}s  {entry['bytes']:>9}B  "
+            f"age {_format_age(entry['age_seconds']):>6}"
         )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Service commands (repro serve / submit / status / results / leaderboard)
+# ----------------------------------------------------------------------
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8277"
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _print_event(event: dict) -> None:
+    parts = [f"[{event['seq']}] {event['kind']}"]
+    outcome = event.get("outcome")
+    if outcome:
+        parts.append(f"status={outcome['status']}")
+        trace = outcome.get("sim_trace") or {}
+        counters = trace.get("counters", {})
+        if counters:
+            parts.append(
+                "engine: "
+                + " ".join(f"{k}={v}" for k, v in counters.items())
+            )
+    if event.get("error"):
+        parts.append(f"error={event['error']}")
+    print("  " + " ".join(parts))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache
+    from repro.service import JobManager, ServiceStore, create_server
+
+    root = (
+        pathlib.Path(args.cache_dir)
+        if args.cache_dir is not None
+        else ResultCache.default_root()
+    )
+    store = ServiceStore(root, max_bytes=args.max_bytes)
+    manager = JobManager(
+        store,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        job_timeout=args.timeout,
+    ).start()
+    server = create_server(
+        args.host, args.port, manager, store, quiet=args.quiet
+    )
+    print(
+        f"repro service on {server.url} "
+        f"(store {root}, {args.workers} workers)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down", file=sys.stderr)
+        manager.shutdown()
+        server.server_close()
+    return 0
+
+
+def _parse_param(raw: str):
+    key, sep, value = raw.partition("=")
+    if not sep or not key:
+        raise ValueError(f"--param wants KEY=VALUE, got {raw!r}")
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    for cast in (int, float):
+        try:
+            return key, cast(value)
+        except ValueError:
+            continue
+    return key, value
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    submission: dict = {"experiment": args.experiment, "seed": args.seed}
+    if args.scale:
+        submission["scale"] = args.scale
+    if args.scheme:
+        submission["scheme"] = args.scheme
+    if args.pattern:
+        submission["pattern"] = args.pattern
+    if args.param:
+        try:
+            submission["params"] = dict(
+                _parse_param(raw) for raw in args.param
+            )
+        except ValueError as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+    client = _service_client(args)
+    try:
+        job = client.submit(submission)
+        print(f"{job['id']} {job['state']} key={job['key']}")
+        if not args.wait:
+            return 0
+        final = client.wait(job["id"], on_event=_print_event)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(f"{final['id']} {final['state']}"
+          + (f" — {final['error']}" if final["error"] else ""))
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            print(
+                f"{job['id']} {job['state']} {job['label']} "
+                f"key={job['key']}"
+                + (" (cache hit)" if job["cache_hit"] else "")
+                + (f" — {job['error']}" if job["error"] else "")
+            )
+            if args.events:
+                for event in client.events(args.job_id)["events"]:
+                    _print_event(event)
+            return 0
+        jobs = client.jobs()
+    except ServiceError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs submitted yet")
+        return 0
+    for job in jobs:
+        print(f"{job['id']}  {job['state']:<10} {job['label']}")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    try:
+        inventory = _service_client(args).results()
+    except ServiceError as exc:
+        print(f"results: {exc}", file=sys.stderr)
+        return 1
+    budget = inventory.get("max_bytes")
+    print(
+        f"{inventory['count']} cached results, "
+        f"{inventory['total_bytes']} bytes"
+        + (f" (budget {budget})" if budget else "")
+    )
+    for entry in inventory["results"]:
+        print(
+            f"  {entry['key']}  {entry['label']:<48} "
+            f"{entry['bytes']:>9}B"
+        )
+    return 0
+
+
+def cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError, render_leaderboard
+
+    if args.cache_dir is not None:
+        from repro.service import ServiceStore, build_leaderboard
+
+        rows = build_leaderboard(
+            ServiceStore(pathlib.Path(args.cache_dir)),
+            metric=args.metric,
+            limit=args.limit,
+        )
+    else:
+        try:
+            board = _service_client(args).leaderboard(
+                metric=args.metric, limit=args.limit
+            )
+        except ServiceError as exc:
+            print(f"leaderboard: {exc}", file=sys.stderr)
+            return 1
+        rows = board["rows"]
+    print(render_leaderboard(rows, metric=args.metric))
     return 0
 
 
@@ -697,10 +921,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_faults)
 
-    p = sub.add_parser("cache", help="inspect or clear the result cache")
-    p.add_argument("action", choices=("ls", "clear"))
+    p = sub.add_parser(
+        "cache", help="inspect, prune, or clear the result cache"
+    )
+    p.add_argument("action", choices=("ls", "prune", "clear"))
     p.add_argument("--cache-dir", default=None)
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with prune: evict least-recently-used entries until the "
+        "cache holds at most N bytes (the service's eviction policy)",
+    )
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "serve", help="run the simulation-as-a-service HTTP server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8277)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent jobs (each in its own worker process)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max queued jobs before POST /jobs answers 429",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="result-store byte budget; LRU eviction on insert",
+    )
+    p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one cell to a server")
+    p.add_argument("--server", default=DEFAULT_SERVICE_URL)
+    p.add_argument("--experiment", required=True)
+    p.add_argument("--scale", default="")
+    p.add_argument("--scheme", default="")
+    p.add_argument("--pattern", default="")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="extra job param (repeatable); values parse as "
+        "bool/int/float/str",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream events until the job finishes; exit 0 only on done",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="job states from a server")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--server", default=DEFAULT_SERVICE_URL)
+    p.add_argument(
+        "--events",
+        action="store_true",
+        help="with a job id: also print its event stream",
+    )
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "results", help="the server's cached-result inventory"
+    )
+    p.add_argument("--server", default=DEFAULT_SERVICE_URL)
+    p.set_defaults(func=cmd_results)
+
+    p = sub.add_parser(
+        "leaderboard",
+        help="ranked (topology, routing, workload) cells",
+    )
+    p.add_argument("--server", default=DEFAULT_SERVICE_URL)
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="rank a local result store instead of querying a server",
+    )
+    p.add_argument(
+        "--metric",
+        choices=("p99_fct_ms", "median_fct_ms", "throughput_gbps"),
+        default="p99_fct_ms",
+    )
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=cmd_leaderboard)
 
     p = sub.add_parser(
         "other-topologies", help="Section 7 Slim Fly / Dragonfly comparison"

@@ -26,7 +26,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.jobs import JobSpec, execute_job
 
 #: Outcome status values, in the order a manifest summarizes them.
-HIT, RAN, FAILED = "hit", "ran", "failed"
+HIT, RAN, FAILED, CANCELLED = "hit", "ran", "failed", "cancelled"
 
 #: Extra seconds the parent allows past the in-worker timeout before it
 #: kills the worker (covers jobs stuck in native code ignoring SIGALRM).
@@ -153,6 +153,7 @@ def run_jobs(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[ProgressCallback] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> Tuple[Dict[str, Any], List[JobOutcome]]:
     """Run a job list; return ``(results by key, outcomes in spec order)``.
 
@@ -160,6 +161,11 @@ def run_jobs(
     process dies; ordinary exceptions and timeouts fail immediately
     (they are deterministic — retrying would reproduce them).  Failed
     jobs are absent from the result map but present in the outcomes.
+
+    ``cancel`` is an optional abort switch (the service layer's job
+    cancellation): once set, queued jobs are recorded ``cancelled``
+    without starting and in-flight workers are terminated and recorded
+    ``cancelled`` — cache hits already resolved stay resolved.
     """
     keys = {spec: spec.key() for spec in specs}
     results: Dict[str, Any] = {}
@@ -193,6 +199,14 @@ def run_jobs(
 
     if jobs <= 1:
         for spec in to_run:
+            if cancel is not None and cancel.is_set():
+                record(
+                    spec,
+                    JobOutcome(
+                        spec, keys[spec], CANCELLED, 0.0, error="cancelled"
+                    ),
+                )
+                continue
             start = clock.perf()
             try:
                 result, elapsed, trace = _execute_with_timeout(
@@ -213,7 +227,7 @@ def run_jobs(
                     ),
                 )
     elif to_run:
-        _run_parallel(to_run, keys, jobs, timeout, retries, record)
+        _run_parallel(to_run, keys, jobs, timeout, retries, record, cancel)
 
     return results, [outcomes[spec] for spec in dict.fromkeys(specs)]
 
@@ -225,6 +239,7 @@ def _run_parallel(
     timeout: Optional[float],
     retries: int,
     record: Callable[..., None],
+    cancel: Optional[threading.Event] = None,
 ) -> None:
     """One worker process per job, ``jobs`` in flight at a time."""
     ctx = multiprocessing.get_context()
@@ -286,6 +301,24 @@ def _run_parallel(
 
     try:
         while pending or running:
+            if cancel is not None and cancel.is_set():
+                while pending:
+                    spec, attempt = pending.popleft()
+                    record(spec, JobOutcome(
+                        spec, keys[spec], CANCELLED, 0.0,
+                        attempts=attempt, error="cancelled",
+                    ))
+                for conn, slot in list(running.items()):
+                    slot.process.terminate()
+                    slot.process.join()
+                    running.pop(conn)
+                    slot.conn.close()
+                    record(slot.spec, JobOutcome(
+                        slot.spec, keys[slot.spec], CANCELLED,
+                        clock.perf() - slot.started,
+                        attempts=slot.attempt, error="cancelled",
+                    ))
+                continue
             while pending and len(running) < jobs:
                 launch(*pending.popleft())
             ready = multiprocessing.connection.wait(

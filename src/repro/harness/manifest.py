@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness import clock
-from repro.harness.executor import FAILED, HIT, RAN, JobOutcome
+from repro.harness.executor import CANCELLED, FAILED, HIT, RAN, JobOutcome
 
 
 def collect_env() -> Dict[str, str]:
@@ -90,6 +90,10 @@ class RunManifest:
         return [o for o in self.outcomes if o["status"] == FAILED]
 
     @property
+    def cancelled(self) -> int:
+        return self._count(CANCELLED)
+
+    @property
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
@@ -138,6 +142,7 @@ class RunManifest:
                 "cache_hits": self.hits,
                 "executed": self.executed,
                 "failed": len(self.failures),
+                "cancelled": self.cancelled,
                 "hit_rate": self.hit_rate,
                 "compute_seconds": self.compute_seconds,
             },

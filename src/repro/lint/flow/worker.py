@@ -15,19 +15,31 @@ break silently under that model:
 * **non-importable runners** — a lambda or nested closure registered
   as an experiment runner cannot be found by the worker's re-import;
   only module-level functions are safe to register.
+
+The service layer (PR 6) added a third boundary: **handler and manager
+threads**.  ``http.server`` handler methods (``do_GET`` and friends on a
+``BaseHTTPRequestHandler`` subclass) and any function handed to
+``threading.Thread(target=...)`` run concurrently inside one process, so
+module-global mutation reachable from them is a data race, not just a
+divergence — shared state must live on an instance behind a lock (the
+:class:`~repro.service.jobs.JobManager` pattern).  The rule finds those
+thread entry points and applies the same reachability analysis with a
+thread-flavored message.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Set
+from typing import Iterable, List, Set
 
 from repro.lint.findings import Finding
 from repro.lint.flow.callgraph import CallGraph
 from repro.lint.flow.effects import find_job_entry_points
 from repro.lint.flow.program import (
     FunctionInfo,
+    ModuleInfo,
     Program,
+    annotation_name,
     function_statements,
 )
 from repro.lint.flow.registry import FlowRule, register_flow_rule
@@ -50,6 +62,95 @@ def reachable_from(graph: CallGraph, roots: Iterable[str]) -> Set[str]:
         seen.add(current)
         stack.extend(graph.callees(current))
     return seen
+
+
+def find_thread_entry_points(program: Program) -> List[str]:
+    """Function qnames that run on their own thread inside one process.
+
+    Two shapes are recognized:
+
+    * ``do_*`` methods on (transitive) subclasses of an HTTP request
+      handler — ``ThreadingHTTPServer`` runs each request on a fresh
+      thread, so every handler method is a concurrent entry point;
+    * any program function passed as ``target=`` to a
+      ``threading.Thread(...)`` construction.
+    """
+    entries: List[str] = []
+    handler_classes: Set[str] = set()
+    # Transitive closure over in-program bases: a class is a handler if
+    # any base *name* ends in "HTTPRequestHandler" (stdlib bases are not
+    # in the program) or any resolved base is itself a handler class.
+    changed = True
+    while changed:
+        changed = False
+        for cls in program.classes.values():
+            if cls.qname in handler_classes:
+                continue
+            module = program.modules[cls.module]
+            for base in cls.base_exprs:
+                dotted = annotation_name(base) or ""
+                resolved = (
+                    program._resolve_type_name(module, dotted)
+                    if dotted
+                    else None
+                )
+                if dotted.endswith("HTTPRequestHandler") or (
+                    resolved in handler_classes
+                ):
+                    handler_classes.add(cls.qname)
+                    changed = True
+                    break
+    for cls_qname in sorted(handler_classes):
+        cls = program.classes[cls_qname]
+        for method, qname in sorted(cls.methods.items()):
+            if method.startswith("do_"):
+                entries.append(qname)
+    for module in program.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _call_name(module, node)
+            if not (dotted == "threading.Thread" or
+                    dotted.endswith(".Thread")):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                target = keyword.value
+                resolved = None
+                if isinstance(target, ast.Name):
+                    resolved = program.resolve_in_module(
+                        module, target.id
+                    )
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    # self._worker_loop inside a class body: look the
+                    # method up on the lexically enclosing class.
+                    for cls in program.classes.values():
+                        if cls.module != module.name:
+                            continue
+                        if (
+                            node.lineno >= cls.node.lineno
+                            and target.attr in cls.methods
+                        ):
+                            resolved = cls.methods[target.attr]
+                if resolved and resolved in program.functions:
+                    entries.append(resolved)
+    return sorted(set(entries))
+
+
+def _call_name(module: ModuleInfo, node: ast.Call) -> str:
+    """The dotted name of a call's callee as written, best effort."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return module.imports.get(func.id, func.id)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        head = module.imports.get(func.value.id, func.value.id)
+        return f"{head}.{func.attr}"
+    return ""
 
 
 def _local_bindings(info: FunctionInfo) -> Set[str]:
@@ -89,16 +190,29 @@ class DeepWorkerSafety(FlowRule):
         entries = find_job_entry_points(program)
         yield from self._check_runner_shape(program)
         reachable = reachable_from(graph, [qname for qname, _ in entries])
-        global_writers: Dict[str, List[Finding]] = {}
+        flagged: Set[str] = set()
         for qname in sorted(reachable):
             info = program.functions.get(qname)
             if info is None:
                 continue
-            findings = list(self._check_global_mutation(program, info))
-            if findings:
-                global_writers[qname] = findings
-        for findings in global_writers.values():
-            yield from findings
+            for found in self._check_global_mutation(program, info):
+                flagged.add(f"{found.path}:{found.line}")
+                yield found
+        # Handler/manager threads: same mutation hazard, one process —
+        # a write that races instead of silently diverging.  Locations
+        # already flagged through the job entry points stay single.
+        thread_reachable = reachable_from(
+            graph, find_thread_entry_points(program)
+        )
+        for qname in sorted(thread_reachable):
+            info = program.functions.get(qname)
+            if info is None:
+                continue
+            for found in self._check_global_mutation(
+                program, info, via_threads=True
+            ):
+                if f"{found.path}:{found.line}" not in flagged:
+                    yield found
 
     def _check_runner_shape(self, program: Program) -> Iterable[Finding]:
         """Registered runners must be module-level defs."""
@@ -139,11 +253,31 @@ class DeepWorkerSafety(FlowRule):
                         )
 
     def _check_global_mutation(
-        self, program: Program, info: FunctionInfo
+        self,
+        program: Program,
+        info: FunctionInfo,
+        via_threads: bool = False,
     ) -> Iterable[Finding]:
         module = program.module_of(info)
         path = module.path
         node = info.node
+        if via_threads:
+            prefix = f"thread-reachable '{info.name}'"
+            rebind_tail = (
+                "handler threads race on module state — keep it on "
+                "an instance behind a lock"
+            )
+            mutate_tail = rebind_tail
+        else:
+            prefix = f"job-reachable '{info.name}'"
+            rebind_tail = (
+                "worker state never reaches the parent — return the "
+                "value instead"
+            )
+            mutate_tail = (
+                "per-worker mutation diverges between --jobs 1 and "
+                "--jobs N — pass state through the JobSpec or return it"
+            )
         declared_global: Set[str] = set()
         for child in function_statements(node):
             if isinstance(child, ast.Global):
@@ -163,10 +297,8 @@ class DeepWorkerSafety(FlowRule):
                         ):
                             yield self.finding(
                                 path, child.lineno, child.col_offset,
-                                f"job-reachable '{info.name}' rebinds "
-                                f"module global '{target.id}'; worker "
-                                "state never reaches the parent — "
-                                "return the value instead",
+                                f"{prefix} rebinds module global "
+                                f"'{target.id}'; {rebind_tail}",
                             )
         locals_bound = _local_bindings(info) - declared_global
         module_globals = set(module.assigns)
@@ -200,10 +332,8 @@ class DeepWorkerSafety(FlowRule):
             ):
                 yield self.finding(
                     path, child.lineno, child.col_offset,
-                    f"job-reachable '{info.name}' mutates module-level "
-                    f"'{name}' ({what}); per-worker mutation diverges "
-                    "between --jobs 1 and --jobs N — pass state "
-                    "through the JobSpec or return it",
+                    f"{prefix} mutates module-level '{name}' ({what}); "
+                    f"{mutate_tail}",
                 )
 
 

@@ -35,7 +35,9 @@ _BANNED_CALLS = frozenset({
     "datetime.date.today",
 })
 
-_SCOPED_PACKAGES = ("sim", "routing", "faults", "topology", "harness")
+_SCOPED_PACKAGES = (
+    "sim", "routing", "faults", "topology", "harness", "service",
+)
 
 #: The one sanctioned wall-clock reader (see module docstring).
 _ALLOWLIST = ("harness/clock.py",)

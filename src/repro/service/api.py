@@ -1,0 +1,268 @@
+"""The service's HTTP face: a stdlib ThreadingHTTPServer.
+
+Routes (all request/response bodies are JSON):
+
+* ``GET  /healthz``             — liveness + per-state job counts
+* ``POST /jobs``                — submit one cell; 202 with the job,
+  400 on validation errors, 429 when the bounded queue is full
+* ``GET  /jobs``                — every job, submission order
+* ``GET  /jobs/{id}``           — one job's state and timings
+* ``GET  /jobs/{id}/events``    — long-poll the job's event stream
+  (``?after=SEQ&timeout=SECONDS``): progress callbacks with SimTrace
+  stats, state transitions, terminal outcome
+* ``POST /jobs/{id}/cancel``    — cancel (also ``DELETE /jobs/{id}``)
+* ``GET  /results``             — O(1) store listing from the index
+* ``GET  /results/{key}``       — one full stored payload
+* ``GET  /leaderboard``         — ranked cells
+  (``?metric=p99_fct_ms|median_fct_ms|throughput_gbps&limit=N``)
+
+Each request is handled on its own thread (``ThreadingHTTPServer``);
+handlers only call the manager and the store, whose locks make them
+thread-safe, and keep no module-level state — the ``deep-worker-safety``
+lint rule enforces that for everything reachable from ``do_*``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.jobs import (
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+    ValidationError,
+)
+from repro.service.leaderboard import DEFAULT_METRIC, build_leaderboard
+from repro.service.store import ServiceStore
+
+#: Long-poll waits are clamped to this many seconds per request.
+MAX_POLL_SECONDS = 30.0
+
+#: Submission bodies larger than this are rejected outright.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that owns the manager and the store."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: JobManager,
+        store: ServiceStore,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.manager = manager
+        self.store = store
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatches one request; all state lives on the server object."""
+
+    server: ReproServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValidationError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not JSON: {exc}") from None
+
+    def _route(self) -> Tuple[Tuple[str, ...], Dict[str, str]]:
+        parsed = urllib.parse.urlsplit(self.path)
+        parts = tuple(p for p in parsed.path.split("/") if p)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return parts, query
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        parts, query = self._route()
+        try:
+            if parts == ("healthz",):
+                self._send_json(200, {
+                    "status": "ok",
+                    "jobs": self.server.manager.counts(),
+                })
+            elif parts == ("jobs",):
+                self._send_json(200, {
+                    "jobs": [
+                        job.to_dict()
+                        for job in self.server.manager.jobs()
+                    ],
+                })
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self.server.manager.get(parts[1])
+                self._send_json(200, {"job": job.to_dict()})
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "events"
+            ):
+                self._get_events(parts[1], query)
+            elif parts == ("results",):
+                self._get_results()
+            elif len(parts) == 2 and parts[0] == "results":
+                payload = self.server.store.payload_for(parts[1])
+                if payload is None:
+                    self._send_error_json(
+                        404, f"no cached result {parts[1]!r}"
+                    )
+                else:
+                    self._send_json(200, {"result": payload})
+            elif parts == ("leaderboard",):
+                self._get_leaderboard(query)
+            else:
+                self._send_error_json(404, f"no route GET {self.path}")
+        except UnknownJobError as exc:
+            self._send_error_json(404, f"unknown job {exc.args[0]!r}")
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        parts, _query = self._route()
+        try:
+            if parts == ("jobs",):
+                submission = self._read_body()
+                job = self.server.manager.submit(submission)
+                self._send_json(202, {"job": job.to_dict()})
+            elif (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "cancel"
+            ):
+                job = self.server.manager.cancel(parts[1])
+                self._send_json(200, {"job": job.to_dict()})
+            else:
+                self._send_error_json(404, f"no route POST {self.path}")
+        except ValidationError as exc:
+            self._send_error_json(400, str(exc))
+        except QueueFullError as exc:
+            self._send_error_json(429, str(exc))
+        except UnknownJobError as exc:
+            self._send_error_json(404, f"unknown job {exc.args[0]!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        parts, _query = self._route()
+        if len(parts) == 2 and parts[0] == "jobs":
+            try:
+                job = self.server.manager.cancel(parts[1])
+            except UnknownJobError as exc:
+                self._send_error_json(404, f"unknown job {exc.args[0]!r}")
+                return
+            self._send_json(200, {"job": job.to_dict()})
+        else:
+            self._send_error_json(404, f"no route DELETE {self.path}")
+
+    # -- route bodies --------------------------------------------------
+
+    def _get_events(self, job_id: str, query: Dict[str, str]) -> None:
+        after = _int_param(query, "after", 0)
+        timeout = _float_param(query, "timeout", 0.0)
+        timeout = max(0.0, min(timeout, MAX_POLL_SECONDS))
+        if timeout > 0:
+            events = self.server.manager.wait_for_events(
+                job_id, after=after, timeout=timeout
+            )
+        else:
+            events = self.server.manager.events_since(job_id, after=after)
+        job = self.server.manager.get(job_id)
+        self._send_json(200, {
+            "job": job_id,
+            "state": job.state,
+            "events": events,
+        })
+
+    def _get_results(self) -> None:
+        store = self.server.store
+        entries = store.list_entries()
+        self._send_json(200, {
+            "results": entries,
+            "count": len(entries),
+            "total_bytes": sum(int(e.get("bytes", 0)) for e in entries),
+            "max_bytes": store.max_bytes,
+        })
+
+    def _get_leaderboard(self, query: Dict[str, str]) -> None:
+        metric = query.get("metric", DEFAULT_METRIC)
+        limit: Optional[int] = None
+        if "limit" in query:
+            limit = _int_param(query, "limit", 0)
+        rows = build_leaderboard(
+            self.server.store, metric=metric, limit=limit
+        )
+        self._send_json(200, {"metric": metric, "rows": rows})
+
+
+def _int_param(query: Dict[str, str], name: str, default: int) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"query param {name!r} must be an integer") from None
+
+
+def _float_param(
+    query: Dict[str, str], name: str, default: float
+) -> float:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"query param {name!r} must be a number") from None
+
+
+def create_server(
+    host: str,
+    port: int,
+    manager: JobManager,
+    store: ServiceStore,
+    quiet: bool = True,
+) -> ReproServer:
+    """Bind a :class:`ReproServer` (port 0 picks a free port)."""
+    return ReproServer((host, port), manager, store, quiet=quiet)

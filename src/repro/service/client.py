@@ -1,0 +1,150 @@
+"""A thin stdlib client for the service API.
+
+Speaks exactly the JSON routes :mod:`repro.service.api` serves, over
+``urllib`` — no new dependencies.  The CLI verbs ``repro
+submit|status|results|leaderboard`` are built on this; it is equally
+usable as a library::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8277")
+    job = client.submit({"experiment": "fig4", "scale": "small",
+                         "scheme": "DRing (su2)", "pattern": "A2A"})
+    final = client.wait(job["id"])
+    board = client.leaderboard(metric="p99_fct_ms")
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """An API error response (or transport failure)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """JSON-over-HTTP calls against one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                payload = json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, _error_message(exc)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{exc.reason}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError(0, "malformed response (not a JSON object)")
+        return payload
+
+    # -- API surface ---------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, submission: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST one cell; returns the created job dict."""
+        return self._request("POST", "/jobs", body=submission)["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/jobs")["jobs"])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def events(
+        self, job_id: str, after: int = 0, timeout: float = 0.0
+    ) -> Dict[str, Any]:
+        """The job's events past ``after``; blocks up to ``timeout``."""
+        path = f"/jobs/{job_id}/events?after={after}&timeout={timeout}"
+        return self._request(
+            "GET", path, timeout=self.timeout + timeout
+        )
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def results(self) -> Dict[str, Any]:
+        return self._request("GET", "/results")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        return self._request("GET", f"/results/{key}")["result"]
+
+    def leaderboard(
+        self, metric: Optional[str] = None, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
+        params = []
+        if metric is not None:
+            params.append(f"metric={metric}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", "/leaderboard" + query)
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        poll_seconds: float = 10.0,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Long-poll the event stream until the job is terminal.
+
+        ``on_event`` sees every event exactly once, in order.  Returns
+        the final job dict.
+        """
+        after = 0
+        while True:
+            page = self.events(job_id, after=after, timeout=poll_seconds)
+            for event in page["events"]:
+                after = max(after, int(event["seq"]))
+                if on_event is not None:
+                    on_event(event)
+            if page["state"] in TERMINAL_STATES and not page["events"]:
+                return self.job(job_id)
+
+
+def _error_message(exc: urllib.error.HTTPError) -> str:
+    try:
+        payload = json.loads(exc.read().decode())
+        message = payload.get("error")
+        if isinstance(message, str):
+            return message
+    except (OSError, ValueError):
+        pass
+    return exc.reason if isinstance(exc.reason, str) else str(exc)

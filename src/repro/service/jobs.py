@@ -1,0 +1,397 @@
+r"""The service's job manager: submissions, state machine, events.
+
+A submission is a JSON object naming a registered experiment cell —
+``{"experiment": "fig4", "scale": "small", "scheme": "DRing (su2)",
+"pattern": "A2A", "seed": 0, "params": {...}}`` — validated into the
+same content-addressed :class:`~repro.harness.jobs.JobSpec` the sweep
+CLI builds, so the service and the CLI share one cache: a cell swept
+yesterday is a cache hit when submitted over HTTP today.
+
+Job lifecycle (see DESIGN.md for the full state machine)::
+
+    queued --> running --> done
+       |          |    \-> failed
+       |          \------> cancelled   (in-flight worker terminated)
+       \-----------------> cancelled   (dequeued before start)
+
+Each job runs on the PR 1 process-pool executor (one worker process per
+job: crash isolation, wall-clock budget, SimTrace collection), driven
+from a small pool of manager threads.  Every transition and every
+executor progress callback appends a monotonically sequenced event to
+the job, and long-pollers wait on the manager's condition variable —
+``GET /jobs/{id}/events`` is a blocking read of that stream.
+
+All mutable state lives on the manager and its jobs, guarded by one
+condition variable; the module itself holds nothing mutable, which is
+exactly what the ``deep-worker-safety`` lint rule checks for code
+reachable from handler threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.harness import clock
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    CANCELLED as OUTCOME_CANCELLED,
+    FAILED as OUTCOME_FAILED,
+    HIT as OUTCOME_HIT,
+    JobOutcome,
+    run_jobs,
+)
+from repro.harness.jobs import EXPERIMENT_REGISTRY, JobSpec
+
+#: Job states, in lifecycle order.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled"
+)
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Submission fields accepted beside ``params``.
+_SUBMISSION_FIELDS = frozenset(
+    {"experiment", "scale", "scheme", "pattern", "seed", "params"}
+)
+
+
+class ValidationError(ValueError):
+    """A submission payload that cannot become a JobSpec."""
+
+
+class QueueFullError(RuntimeError):
+    """The manager's bounded queue is at capacity."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id."""
+
+
+def validate_submission(payload: Mapping[str, Any]) -> JobSpec:
+    """Validate a JSON submission into a :class:`JobSpec`.
+
+    Checks are eager so clients get a 400, not a failed job: the
+    experiment must be registered, a non-empty scale must be known,
+    the seed must be an integer, and params must be JSON scalars.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError("submission must be a JSON object")
+    unknown = sorted(set(payload) - _SUBMISSION_FIELDS)
+    if unknown:
+        raise ValidationError(
+            f"unknown submission field(s) {unknown}; "
+            f"accepted: {sorted(_SUBMISSION_FIELDS)}"
+        )
+    experiment = payload.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise ValidationError("'experiment' is required")
+    if experiment not in EXPERIMENT_REGISTRY:
+        raise ValidationError(
+            f"unknown experiment {experiment!r}; "
+            f"know {sorted(EXPERIMENT_REGISTRY)}"
+        )
+    scale = payload.get("scale", "")
+    if not isinstance(scale, str):
+        raise ValidationError("'scale' must be a string")
+    if scale:
+        from repro.experiments.runner import SCALES
+
+        if scale not in SCALES:
+            raise ValidationError(
+                f"unknown scale {scale!r}; know {sorted(SCALES)}"
+            )
+    scheme = payload.get("scheme", "")
+    pattern = payload.get("pattern", "")
+    if not isinstance(scheme, str) or not isinstance(pattern, str):
+        raise ValidationError("'scheme' and 'pattern' must be strings")
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValidationError("'seed' must be an integer")
+    params = payload.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ValidationError("'params' must be an object of scalars")
+    try:
+        return JobSpec.make(
+            experiment,
+            scale=scale,
+            scheme=scheme,
+            pattern=pattern,
+            seed=seed,
+            **dict(params),
+        )
+    except TypeError as exc:
+        raise ValidationError(str(exc)) from None
+
+
+@dataclass
+class ServiceJob:
+    """One submitted cell and everything that happened to it."""
+
+    id: str
+    spec: JobSpec
+    key: str
+    submitted_at: float
+    state: str = QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: str = ""
+    cache_hit: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def to_dict(self, include_events: bool = False) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "label": self.spec.label(),
+            "key": self.key,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "events_count": len(self.events),
+        }
+        if include_events:
+            payload["events"] = list(self.events)
+        return payload
+
+
+class JobManager:
+    """Accepts, queues, runs, and narrates service jobs.
+
+    ``workers`` manager threads each run one job at a time through
+    :func:`repro.harness.executor.run_jobs` (with ``jobs=2`` so the cell
+    executes in a worker *process*: crash isolation and terminate-based
+    cancellation).  ``queue_limit`` bounds the number of queued-but-not-
+    started jobs; past it, :meth:`submit` raises :class:`QueueFullError`
+    and the API answers 429.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultCache],
+        workers: int = 2,
+        queue_limit: int = 16,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.store = store
+        self.queue_limit = queue_limit
+        self.job_timeout = job_timeout
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._queue: Deque[str] = deque()
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+
+    def start(self) -> "JobManager":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    # -- client-facing operations (handler threads) --------------------
+
+    def submit(self, payload: Mapping[str, Any]) -> ServiceJob:
+        """Validate and enqueue one submission; returns the new job."""
+        spec = validate_submission(payload)
+        key = spec.key()
+        with self._cond:
+            if self._stopping:
+                raise QueueFullError("the service is shutting down")
+            if len(self._queue) >= self.queue_limit:
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_limit} queued)"
+                )
+            job = ServiceJob(
+                id=f"job-{next(self._ids):06d}",
+                spec=spec,
+                key=key,
+                submitted_at=clock.now(),
+            )
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+            self._append_event(job, "queued", {"key": key})
+            self._cond.notify_all()
+            return job
+
+    def get(self, job_id: str) -> ServiceJob:
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> List[ServiceJob]:
+        """Every known job, in submission order."""
+        with self._cond:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """How many jobs sit in each state (zero-filled)."""
+        with self._cond:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def cancel(self, job_id: str) -> ServiceJob:
+        """Cancel a job: dequeue it, or terminate its in-flight worker.
+
+        Terminal jobs are returned unchanged — cancellation is
+        idempotent.
+        """
+        with self._cond:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+            if job.state == QUEUED:
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass  # a worker grabbed it between checks
+                else:
+                    self._finish(job, CANCELLED, error="cancelled by client")
+                    return job
+            if job.state == RUNNING:
+                job.cancel_event.set()
+            return job
+
+    def events_since(
+        self, job_id: str, after: int = 0
+    ) -> List[Dict[str, Any]]:
+        """Events with ``seq > after`` (non-blocking)."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return [e for e in job.events if e["seq"] > after]
+
+    def wait_for_events(
+        self, job_id: str, after: int = 0, timeout: float = 30.0
+    ) -> List[Dict[str, Any]]:
+        """Long-poll: block until events past ``after`` exist.
+
+        Returns immediately once the job is terminal (there will be no
+        further events) and returns ``[]`` on timeout.
+        """
+        deadline = clock.perf() + max(0.0, timeout)
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            while True:
+                fresh = [e for e in job.events if e["seq"] > after]
+                if fresh or job.state in TERMINAL_STATES:
+                    return fresh
+                remaining = deadline - clock.perf()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def shutdown(self, cancel_running: bool = True) -> None:
+        """Stop accepting work; cancel the queue (and running jobs)."""
+        with self._cond:
+            self._stopping = True
+            while self._queue:
+                job = self._jobs[self._queue.popleft()]
+                self._finish(job, CANCELLED, error="service shutdown")
+            if cancel_running:
+                for job in self._jobs.values():
+                    if job.state == RUNNING:
+                        job.cancel_event.set()
+            self._cond.notify_all()
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=30.0)
+
+    # -- the worker loop (manager threads) -----------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and not self._queue:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                job = self._jobs[self._queue.popleft()]
+                job.state = RUNNING
+                job.started_at = clock.now()
+                self._append_event(job, "started", {})
+                self._cond.notify_all()
+            self._execute(job)
+
+    def _execute(self, job: ServiceJob) -> None:
+        def on_progress(
+            outcome: JobOutcome, done: int, total: int
+        ) -> None:
+            with self._cond:
+                self._append_event(
+                    job, "progress", {"outcome": outcome.to_dict()}
+                )
+                self._cond.notify_all()
+
+        try:
+            _results, outcomes = run_jobs(
+                [job.spec],
+                jobs=2,  # force a worker process: isolation + cancel
+                cache=self.store,
+                timeout=self.job_timeout,
+                progress=on_progress,
+                cancel=job.cancel_event,
+            )
+            outcome = outcomes[0]
+        except Exception as exc:  # executor plumbing failure
+            with self._cond:
+                self._finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._cond:
+            if outcome.status == OUTCOME_FAILED:
+                self._finish(job, FAILED, error=outcome.error)
+            elif outcome.status == OUTCOME_CANCELLED:
+                self._finish(job, CANCELLED, error="cancelled by client")
+            else:
+                job.cache_hit = outcome.status == OUTCOME_HIT
+                self._finish(job, DONE)
+
+    # -- internals; caller holds the condition -------------------------
+
+    def _append_event(
+        self, job: ServiceJob, kind: str, extra: Dict[str, Any]
+    ) -> None:
+        event = {
+            "seq": len(job.events) + 1,
+            "ts": clock.now(),
+            "job": job.id,
+            "kind": kind,
+            "state": job.state,
+        }
+        event.update(extra)
+        job.events.append(event)
+
+    def _finish(self, job: ServiceJob, state: str, error: str = "") -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = clock.now()
+        extra: Dict[str, Any] = {"cache_hit": job.cache_hit}
+        if error:
+            extra["error"] = error
+        self._append_event(job, state, extra)
+        self._cond.notify_all()

@@ -1,0 +1,179 @@
+"""Ranking completed cells: which (topology, routing, workload) wins.
+
+The leaderboard reads the result store (never the simulators): every
+cached ``fig4`` cell carries a full per-flow FCT record set, from which
+median / p99 FCT and mean per-flow throughput are recomputed on demand.
+Cells are ranked by one metric — lower-is-better for the FCT metrics,
+higher-is-better for throughput — with stable tie-breaks on the cell's
+identity (scheme, pattern, scale, seed, key), so equal scores always
+list in the same order and reruns render byte-identical boards.
+
+The (topology, routing) pair lives in the cell's scheme label (for
+fig4, e.g. ``"DRing (su2)"`` or ``"leaf-spine (ecmp)"``) and the workload
+in its traffic-pattern label — exactly the axes of the paper's Figure 4
+grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.service.store import ServiceStore
+
+#: metric name -> True when higher values should rank first.
+LEADERBOARD_METRICS: Dict[str, bool] = {
+    "p99_fct_ms": False,
+    "median_fct_ms": False,
+    "throughput_gbps": True,
+}
+
+DEFAULT_METRIC = "p99_fct_ms"
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One ranked cell and its recomputed metrics."""
+
+    key: str
+    experiment: str
+    scale: str
+    scheme: str
+    pattern: str
+    seed: int
+    num_flows: int
+    median_fct_ms: float
+    p99_fct_ms: float
+    throughput_gbps: float
+    created_at: float
+
+    def metric(self, name: str) -> float:
+        value = getattr(self, name)
+        return float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "scheme": self.scheme,
+            "pattern": self.pattern,
+            "seed": self.seed,
+            "num_flows": self.num_flows,
+            "median_fct_ms": self.median_fct_ms,
+            "p99_fct_ms": self.p99_fct_ms,
+            "throughput_gbps": self.throughput_gbps,
+            "created_at": self.created_at,
+        }
+
+
+def entry_from_payload(
+    payload: Mapping[str, Any]
+) -> Optional[LeaderboardEntry]:
+    """A leaderboard entry from one stored cache payload, if rankable.
+
+    Only cells whose result is a per-flow FCT record set (the fig4
+    experiment) are rankable; everything else returns None.
+    """
+    from repro.sim.results import FctResults
+
+    spec = payload.get("spec")
+    result = payload.get("result")
+    if not isinstance(spec, Mapping) or not isinstance(result, Mapping):
+        return None
+    if spec.get("experiment") != "fig4" or "records" not in result:
+        return None
+    try:
+        fct = FctResults.from_json_dict(dict(result))
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not fct.records:
+        return None
+    throughput = sum(r.throughput_gbps for r in fct.records)
+    return LeaderboardEntry(
+        key=str(payload.get("key", "")),
+        experiment=str(spec.get("experiment", "")),
+        scale=str(spec.get("scale", "")),
+        scheme=str(spec.get("scheme", "")),
+        pattern=str(spec.get("pattern", "")),
+        seed=int(spec.get("seed", 0)),
+        num_flows=fct.num_flows,
+        median_fct_ms=fct.median_fct_ms(),
+        p99_fct_ms=fct.p99_fct_ms(),
+        throughput_gbps=throughput / fct.num_flows,
+        created_at=float(payload.get("created_at", 0.0)),
+    )
+
+
+def rank_entries(
+    entries: List[LeaderboardEntry], metric: str = DEFAULT_METRIC
+) -> List[LeaderboardEntry]:
+    """Sort entries by ``metric`` with deterministic tie-breaks."""
+    try:
+        higher_is_better = LEADERBOARD_METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown leaderboard metric {metric!r}; "
+            f"know {sorted(LEADERBOARD_METRICS)}"
+        ) from None
+    sign = -1.0 if higher_is_better else 1.0
+    return sorted(
+        entries,
+        key=lambda e: (
+            sign * e.metric(metric),
+            e.scheme,
+            e.pattern,
+            e.scale,
+            e.seed,
+            e.key,
+        ),
+    )
+
+
+def build_leaderboard(
+    store: ServiceStore,
+    metric: str = DEFAULT_METRIC,
+    limit: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Rank every rankable cell in the store; returns row dicts.
+
+    Rows carry a 1-based ``rank`` plus the entry's metrics; ``limit``
+    truncates after ranking.
+    """
+    entries: List[LeaderboardEntry] = []
+    for meta in store.list_entries():
+        payload = store.payload_for(str(meta["key"]))
+        if payload is None:
+            continue
+        entry = entry_from_payload(payload)
+        if entry is not None:
+            entries.append(entry)
+    ranked = rank_entries(entries, metric=metric)
+    if limit is not None:
+        ranked = ranked[: max(0, limit)]
+    return [
+        dict(entry.to_dict(), rank=position)
+        for position, entry in enumerate(ranked, start=1)
+    ]
+
+
+def render_leaderboard(
+    rows: List[Dict[str, Any]], metric: str = DEFAULT_METRIC
+) -> str:
+    """A fixed-width text board, one row per ranked cell."""
+    if not rows:
+        return "leaderboard: no rankable results yet"
+    arrow = "^" if LEADERBOARD_METRICS.get(metric, False) else "v"
+    lines = [
+        f"leaderboard by {metric} ({arrow} best first)",
+        f"{'rank':>4}  {'scheme':<18} {'workload':<12} {'scale':<8}"
+        f"{'seed':>5} {'median ms':>11} {'p99 ms':>9} {'gbps':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['rank']:>4}  {row['scheme']:<18} {row['pattern']:<12} "
+            f"{row['scale']:<8}{row['seed']:>4} "
+            f"{row['median_fct_ms']:>11.4f} {row['p99_fct_ms']:>9.4f} "
+            f"{row['throughput_gbps']:>7.3f}"
+        )
+    return "\n".join(lines)

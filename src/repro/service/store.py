@@ -1,0 +1,268 @@
+"""Concurrency-safe, budgeted result store for the service layer.
+
+:class:`ServiceStore` extends the harness's content-addressed
+:class:`~repro.harness.cache.ResultCache` with the three properties a
+long-running multi-client server needs:
+
+* **multi-reader / multi-writer safety** — entry writes were already
+  atomic (private temp file + rename); the store adds a lock file
+  (``.store.lock``, ``O_CREAT|O_EXCL`` with stale-lock breaking) that
+  serializes *index* updates, the only read-modify-write the store
+  performs.  Readers never take the lock.
+* **a size budget with LRU eviction** — every insert enforces
+  ``max_bytes`` by evicting least-recently-used entries (recency is the
+  entry file's mtime, refreshed on every cache hit, so it is shared
+  across processes).  The same policy backs ``repro cache prune``.
+* **an index file for O(1) listing** — ``index.json`` maps key ->
+  metadata (label, spec fields, bytes, created_at), so ``GET /results``
+  and the leaderboard never glob the shard tree.  The index is a pure
+  accelerator: it is rebuilt from the entries on first use and after
+  any drift, so a foreign writer (a plain ``ResultCache``) can share
+  the directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.harness import clock
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec
+
+_INDEX_VERSION = 1
+
+#: Seconds between lock-acquisition attempts.
+_LOCK_PAUSE_SECONDS = 0.005
+
+
+class StoreLockTimeout(RuntimeError):
+    """The store lock could not be acquired within its deadline."""
+
+
+class StoreLock:
+    """A cross-process mutex built on ``O_CREAT | O_EXCL``.
+
+    The lock file records the holder's pid for post-mortems.  A holder
+    that died without unlinking is broken after ``stale_after`` seconds
+    (measured from the lock file's mtime), so a crashed server never
+    wedges the store.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        timeout: float = 10.0,
+        stale_after: float = 30.0,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+
+    def acquire(self) -> None:
+        deadline = clock.perf() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    str(self.path),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    0o644,
+                )
+            except FileExistsError:
+                if self._break_if_stale():
+                    continue
+                if clock.perf() >= deadline:
+                    raise StoreLockTimeout(
+                        f"store lock {self.path} held for more than "
+                        f"{self.timeout:.1f}s"
+                    )
+                time.sleep(_LOCK_PAUSE_SECONDS)
+                continue
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            finally:
+                os.close(fd)
+            return
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def _break_if_stale(self) -> bool:
+        """Remove a lock whose holder stopped refreshing it; True if so."""
+        try:
+            age = clock.now() - self.path.stat().st_mtime
+        except OSError:
+            return True  # holder released between our open and stat
+        if age <= self.stale_after:
+            return False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        return True
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+class ServiceStore(ResultCache):
+    """A :class:`ResultCache` with an index, a lock, and a byte budget."""
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        max_bytes: Optional[int] = None,
+        lock_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(root)
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._lock = StoreLock(
+            self.root / ".store.lock", timeout=lock_timeout
+        )
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / "index.json"
+
+    # -- writes --------------------------------------------------------
+
+    def put(
+        self, key: str, spec: JobSpec, result: Any, elapsed_seconds: float
+    ) -> pathlib.Path:
+        """Persist one result, index it, and enforce the byte budget."""
+        path = super().put(key, spec, result, elapsed_seconds)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        meta = {
+            "key": key,
+            "label": spec.label(),
+            "experiment": spec.experiment,
+            "scale": spec.scale,
+            "scheme": spec.scheme,
+            "pattern": spec.pattern,
+            "seed": spec.seed,
+            "elapsed_seconds": elapsed_seconds,
+            "created_at": clock.now(),
+            "bytes": size,
+        }
+        with self._lock:
+            index = self._read_index()
+            index[key] = meta
+            if self.max_bytes is not None:
+                evicted = self.prune_unlocked(self.max_bytes)
+                for gone in evicted:
+                    index.pop(gone, None)
+            self._write_index(index)
+        return path
+
+    def prune(self, max_bytes: int) -> List[str]:
+        """LRU-evict down to ``max_bytes``, keeping the index in step."""
+        with self._lock:
+            evicted = self.prune_unlocked(max_bytes)
+            if evicted:
+                index = self._read_index()
+                for gone in evicted:
+                    index.pop(gone, None)
+                self._write_index(index)
+        return evicted
+
+    def prune_unlocked(self, max_bytes: int) -> List[str]:
+        """The base eviction pass; caller must hold the store lock."""
+        evicted = ResultCache.prune(self, max_bytes)
+        self.evictions += len(evicted)
+        return evicted
+
+    def clear(self) -> int:
+        removed = super().clear()
+        with self._lock:
+            self._write_index({})
+        return removed
+
+    # -- O(1) listing --------------------------------------------------
+
+    def list_entries(self) -> List[Dict[str, Any]]:
+        """Every entry's metadata from the index (one file read).
+
+        The index is validated against the shard tree cheaply: if the
+        entry count drifted (foreign writer, manual deletion), it is
+        rebuilt before being served.  Sorted by (created_at, key) so
+        listings are stable.
+        """
+        index = self._read_index()
+        if len(index) != len(self):
+            index = self.rebuild_index()
+        entries = [dict(meta, key=key) for key, meta in index.items()]
+        entries.sort(
+            key=lambda e: (float(e.get("created_at", 0.0)), e["key"])
+        )
+        return entries
+
+    def rebuild_index(self) -> Dict[str, Dict[str, Any]]:
+        """Reconstruct ``index.json`` by scanning the shard tree."""
+        index: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries():
+            payload = self.payload_for(str(entry["key"]))
+            spec_fields = (payload or {}).get("spec", {})
+            index[str(entry["key"])] = {
+                "key": entry["key"],
+                "label": entry["label"],
+                "experiment": spec_fields.get("experiment", ""),
+                "scale": spec_fields.get("scale", ""),
+                "scheme": spec_fields.get("scheme", ""),
+                "pattern": spec_fields.get("pattern", ""),
+                "seed": spec_fields.get("seed", 0),
+                "elapsed_seconds": entry["elapsed_seconds"],
+                "created_at": entry["created_at"],
+                "bytes": entry["bytes"],
+            }
+        with self._lock:
+            self._write_index(index)
+        return index
+
+    def payload_for(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full stored payload (spec + result) for ``key``, if any."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    # -- index plumbing ------------------------------------------------
+
+    def _read_index(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            payload = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _INDEX_VERSION
+        ):
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_index(self, index: Dict[str, Dict[str, Any]]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".index.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(
+            {"version": _INDEX_VERSION, "entries": index}, sort_keys=True
+        ))
+        os.replace(str(tmp), str(self.index_path))

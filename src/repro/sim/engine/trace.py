@@ -135,7 +135,10 @@ def set_collector(trace: Optional[SimTrace]) -> Optional[SimTrace]:
     """Install ``trace`` as the active collector; returns the previous one."""
     global _collector
     previous = _collector
-    _collector = trace
+    # The service manager reaches this through run_jobs, but always with
+    # jobs >= 2, so the rebind happens inside a single-job worker
+    # process, never on a shared manager thread.
+    _collector = trace  # repro-lint: disable=deep-worker-safety
     return previous
 
 

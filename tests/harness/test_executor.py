@@ -1,12 +1,19 @@
 """Tests for the executor: caching short-circuit, crashes, timeouts."""
 
 import multiprocessing
+import threading
 import time
 
 import pytest
 
 from repro.harness.cache import ResultCache
-from repro.harness.executor import FAILED, HIT, RAN, run_jobs
+from repro.harness.executor import (
+    CANCELLED,
+    FAILED,
+    HIT,
+    RAN,
+    run_jobs,
+)
 from repro.harness.jobs import JobSpec
 
 fork_only = pytest.mark.skipif(
@@ -116,3 +123,41 @@ class TestParallel:
         assert len(seen) == 3
         assert seen[-1][1] == 3
         assert all(total == 3 for _s, _d, total in seen)
+
+
+class TestCancellation:
+    def test_preset_cancel_skips_serial_run(self, cache):
+        cancel = threading.Event()
+        cancel.set()
+        specs = ok_specs(2)
+        results, outcomes = run_jobs(specs, jobs=1, cache=cache,
+                                     cancel=cancel)
+        assert results == {}
+        assert [o.status for o in outcomes] == [CANCELLED, CANCELLED]
+        assert all(o.error == "cancelled" for o in outcomes)
+
+    @fork_only
+    def test_cancel_terminates_running_worker(self):
+        specs = [JobSpec.make("selftest", mode="sleep", seconds=60.0)]
+        cancel = threading.Event()
+        timer = threading.Timer(0.5, cancel.set)
+        timer.start()
+        try:
+            start = time.perf_counter()
+            results, outcomes = run_jobs(specs, jobs=2, cancel=cancel)
+            elapsed = time.perf_counter() - start
+        finally:
+            timer.cancel()
+        assert outcomes[0].status == CANCELLED
+        assert elapsed < 30.0
+        assert results == {}
+
+    @fork_only
+    def test_cancel_drains_pending_jobs(self):
+        cancel = threading.Event()
+        cancel.set()
+        specs = ok_specs(4)
+        results, outcomes = run_jobs(specs, jobs=2, cancel=cancel)
+        assert results == {}
+        assert all(o.status == CANCELLED for o in outcomes)
+        assert len(outcomes) == len(specs)

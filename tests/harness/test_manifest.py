@@ -61,7 +61,7 @@ class TestSerialization:
         payload = json.loads(manifest.to_json())
         assert payload["totals"] == {
             "jobs": 4, "cache_hits": 1, "executed": 2, "failed": 1,
-            "hit_rate": 0.25, "compute_seconds": 5.0,
+            "cancelled": 0, "hit_rate": 0.25, "compute_seconds": 5.0,
         }
 
     def test_save_creates_parents(self, manifest, tmp_path):

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from repro.lint.flow.worker import DeepWorkerSafety, reachable_from
+from repro.lint.flow.worker import (
+    DeepWorkerSafety,
+    find_thread_entry_points,
+    reachable_from,
+)
 
-from tests.lint.flow.util import build_fixture_graph
+from tests.lint.flow.util import build_fixture_graph, build_fixture_program
 
 REGISTRY = (
     "def register_experiment(name, run, deps):\n"
@@ -135,6 +139,143 @@ class TestRunnerShape:
                 "register_experiment('ok', run_job, ())\n"
             ),
         }) == []
+
+
+class TestThreadEntryPoints:
+    HANDLER = (
+        "from http.server import BaseHTTPRequestHandler\n"
+        "\n"
+        "HITS = []\n"
+        "\n"
+        "\n"
+        "class Handler(BaseHTTPRequestHandler):\n"
+        "    def do_GET(self):\n"
+        "        record(self.path)\n"
+        "\n"
+        "    def helper(self):\n"
+        "        return None\n"
+        "\n"
+        "\n"
+        "def record(path):\n"
+        "    HITS.append(path)\n"
+    )
+
+    def test_handler_do_methods_are_entries(self, tmp_path):
+        program = build_fixture_program(
+            tmp_path, {"api.py": self.HANDLER}, "tpkg"
+        )
+        entries = find_thread_entry_points(program)
+        assert "tpkg.api.Handler.do_GET" in entries
+        assert "tpkg.api.Handler.helper" not in entries
+
+    def test_handler_subclass_inherits_entry_status(self, tmp_path):
+        program = build_fixture_program(tmp_path, {
+            "base.py": (
+                "from http.server import BaseHTTPRequestHandler\n"
+                "\n"
+                "\n"
+                "class Base(BaseHTTPRequestHandler):\n"
+                "    pass\n"
+            ),
+            "api.py": (
+                "from tpkg.base import Base\n"
+                "\n"
+                "\n"
+                "class Handler(Base):\n"
+                "    def do_POST(self):\n"
+                "        return None\n"
+            ),
+        }, "tpkg")
+        assert "tpkg.api.Handler.do_POST" in find_thread_entry_points(
+            program
+        )
+
+    def test_thread_target_is_entry(self, tmp_path):
+        program = build_fixture_program(tmp_path, {
+            "mgr.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "def worker_loop():\n"
+                "    return None\n"
+                "\n"
+                "\n"
+                "def start():\n"
+                "    thread = threading.Thread(target=worker_loop)\n"
+                "    thread.start()\n"
+            ),
+        }, "tpkg")
+        assert "tpkg.mgr.worker_loop" in find_thread_entry_points(program)
+
+    def test_self_method_thread_target_is_entry(self, tmp_path):
+        program = build_fixture_program(tmp_path, {
+            "mgr.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Manager:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._loop).start()\n"
+                "\n"
+                "    def _loop(self):\n"
+                "        return None\n"
+            ),
+        }, "tpkg")
+        assert "tpkg.mgr.Manager._loop" in find_thread_entry_points(
+            program
+        )
+
+    def test_thread_reachable_mutation_flagged(self, tmp_path):
+        findings = _check(
+            tmp_path, {"api.py": self.HANDLER}, package="tpkg"
+        )
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "thread-reachable 'record'" in message
+        assert "mutates module-level 'HITS' (.append())" in message
+        assert "behind a lock" in message
+
+    def test_job_flavor_wins_on_shared_reachability(self, tmp_path):
+        """Code both job- and thread-reachable is flagged once, with the
+        worker-boundary message (the stricter contract)."""
+        findings = _check(tmp_path, {
+            "registry.py": REGISTRY,
+            "work.py": (
+                "RESULTS = []\n"
+                "\n"
+                "\n"
+                "def run_job(spec):\n"
+                "    RESULTS.append(spec)\n"
+                "    return spec\n"
+            ),
+            "jobs.py": (
+                "import threading\n"
+                "from wpkg.registry import register_experiment\n"
+                "from wpkg.work import run_job\n"
+                "\n"
+                "register_experiment('job', run_job, ())\n"
+                "\n"
+                "\n"
+                "def serve():\n"
+                "    threading.Thread(target=run_job).start()\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "job-reachable 'run_job'" in findings[0].message
+
+    def test_instance_state_not_flagged(self, tmp_path):
+        """Mutating self-owned state under a lock is the sanctioned
+        pattern — nothing module-level, nothing to flag."""
+        assert _check(tmp_path, {
+            "api.py": (
+                "from http.server import BaseHTTPRequestHandler\n"
+                "\n"
+                "\n"
+                "class Handler(BaseHTTPRequestHandler):\n"
+                "    def do_GET(self):\n"
+                "        self.server.hits.append(self.path)\n"
+            ),
+        }, package="tpkg") == []
 
 
 class TestReachability:

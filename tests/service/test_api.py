@@ -1,0 +1,203 @@
+"""The HTTP surface: real sockets on port 0, happy paths and errors."""
+
+import json
+import multiprocessing
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import create_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager
+from repro.service.store import ServiceStore
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="service workers run jobs in forked processes",
+)
+
+OK = {"experiment": "selftest", "params": {"mode": "ok", "value": 7}}
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = ServiceStore(tmp_path / "store")
+    manager = JobManager(store, workers=1).start()
+    server = create_server("127.0.0.1", 0, manager, store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, timeout=30.0)
+    yield client, manager, store
+    manager.shutdown()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10.0)
+
+
+class TestHealth:
+    def test_healthz_reports_counts(self, service):
+        client, _, _ = service
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert set(payload["jobs"]) == {
+            "queued", "running", "done", "failed", "cancelled"
+        }
+
+
+@fork_only
+class TestJobs:
+    def test_submit_and_fetch(self, service):
+        client, _, _ = service
+        job = client.submit(OK)
+        assert job["id"].startswith("job-")
+        assert job["state"] in {"queued", "running"}
+        fetched = client.job(job["id"])
+        assert fetched["key"] == job["key"]
+
+    def test_wait_streams_events_to_done(self, service):
+        client, _, _ = service
+        job = client.submit(OK)
+        seen = []
+        final = client.wait(job["id"], on_event=seen.append)
+        assert final["state"] == "done"
+        kinds = [e["kind"] for e in seen]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+        seqs = [e["seq"] for e in seen]
+        assert seqs == sorted(set(seqs))
+
+    def test_jobs_listing(self, service):
+        client, _, _ = service
+        client.wait(client.submit(OK)["id"])
+        listing = client.jobs()
+        assert len(listing) == 1 and listing[0]["state"] == "done"
+
+    def test_cancel_route(self, service):
+        client, manager, _ = service
+        job = client.submit({
+            "experiment": "selftest",
+            "params": {"mode": "sleep", "seconds": 120},
+        })
+        manager.wait_for_events(job["id"], after=1, timeout=60.0)
+        cancelled = client.cancel(job["id"])
+        assert cancelled["id"] == job["id"]
+        final = client.wait(job["id"])
+        assert final["state"] == "cancelled"
+
+    def test_delete_cancels_queued_job(self, service):
+        client, manager, _ = service
+        with manager._cond:  # hold the lock so the worker cannot start
+            job = manager.submit(dict(OK, seed=5))
+            request = urllib.request.Request(
+                client.base_url + f"/jobs/{job.id}", method="DELETE"
+            )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            payload = json.loads(response.read().decode())
+        assert payload["job"]["state"] in {"cancelled", "running",
+                                           "done"}
+
+
+class TestErrors:
+    def test_unknown_experiment_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.submit({"experiment": "nope"})
+        assert err.value.status == 400
+        assert "unknown experiment" in err.value.message
+
+    def test_empty_body_is_400(self, service):
+        client, _, _ = service
+        request = urllib.request.Request(
+            client.base_url + "/jobs", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+
+    def test_malformed_json_is_400(self, service):
+        client, _, _ = service
+        request = urllib.request.Request(
+            client.base_url + "/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+
+    def test_unknown_job_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.job("job-999999")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_queue_full_is_429(self, tmp_path):
+        store = ServiceStore(tmp_path / "store429")
+        manager = JobManager(store, workers=1, queue_limit=1)
+        # manager never started: the queue cannot drain
+        server = create_server("127.0.0.1", 0, manager, store)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            client = ServiceClient(server.url, timeout=30.0)
+            client.submit(OK)
+            with pytest.raises(ServiceError) as err:
+                client.submit(dict(OK, seed=1))
+            assert err.value.status == 429
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+
+    def test_bad_query_param_is_400(self, service):
+        client, manager, _ = service
+        job = manager.submit(dict(OK, seed=9))
+        with pytest.raises(ServiceError) as err:
+            client._request(
+                "GET", f"/jobs/{job.id}/events?after=three"
+            )
+        assert err.value.status == 400
+
+    def test_unknown_result_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.result("0" * 24)
+        assert err.value.status == 404
+
+    def test_unknown_metric_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.leaderboard(metric="vibes")
+        assert err.value.status == 400
+
+
+@fork_only
+class TestResults:
+    def test_results_listing_after_job(self, service):
+        client, _, store = service
+        final = client.wait(client.submit(OK)["id"])
+        listing = client.results()
+        assert listing["count"] == 1
+        assert listing["results"][0]["key"] == final["key"]
+        assert listing["total_bytes"] > 0
+        assert listing["max_bytes"] == store.max_bytes
+
+    def test_result_fetch_round_trips_payload(self, service):
+        client, _, _ = service
+        final = client.wait(client.submit(OK)["id"])
+        payload = client.result(final["key"])
+        assert payload["result"]["echo"] == 7
+
+    def test_empty_leaderboard(self, service):
+        client, _, _ = service
+        board = client.leaderboard()
+        assert board["rows"] == []
+        assert board["metric"] == "p99_fct_ms"

@@ -1,0 +1,166 @@
+"""Cross-process cache safety: N writers x M readers, no torn reads.
+
+The entry write path is private-temp-file + atomic rename, and PR 6
+suffixed temp names with (pid, per-process counter) so two processes —
+or two threads of one process — writing the same key can never collide
+on the temp file itself.  These tests hammer one key from many
+processes and assert every read is a complete, valid payload, and that
+the surviving entry is byte-for-byte one writer's full payload (the
+rename's winner), never an interleaving.
+"""
+
+import itertools
+import json
+import multiprocessing
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="stress workers are forked to share the spec cheaply",
+)
+
+SPEC = JobSpec.make("selftest", mode="ok", value=1)
+WRITERS = 4
+READERS = 2
+ROUNDS = 25
+
+#: Each writer writes a recognizably-whole payload: its id repeated.
+def _payload_for_writer(writer_id):
+    return {"writer": writer_id, "blob": f"w{writer_id}" * 2048}
+
+
+def _writer(root, writer_id, failures):
+    cache = ResultCache(root)
+    for _ in range(ROUNDS):
+        try:
+            cache.put(
+                SPEC.key(), SPEC, _payload_for_writer(writer_id), 0.1
+            )
+        except Exception as exc:  # any put error is a failure
+            failures.put(f"writer {writer_id}: {exc!r}")
+            return
+
+
+def _reader(root, reader_id, failures):
+    cache = ResultCache(root)
+    for _ in range(ROUNDS * 2):
+        try:
+            result = cache.get(SPEC.key())
+        except Exception as exc:
+            failures.put(f"reader {reader_id}: {exc!r}")
+            return
+        if result is None:
+            continue  # not yet written, or mid-replace: fine
+        writer_id = result.get("writer")
+        if result != _payload_for_writer(writer_id):
+            failures.put(
+                f"reader {reader_id}: torn payload for writer "
+                f"{writer_id}"
+            )
+            return
+
+
+@fork_only
+class TestWriterReaderStress:
+    def test_no_torn_reads_and_whole_winner(self, tmp_path):
+        root = tmp_path / "cache"
+        ResultCache(root).put(SPEC.key(), SPEC, _payload_for_writer(0),
+                              0.1)
+        failures = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_writer, args=(root, writer_id, failures)
+            )
+            for writer_id in range(1, WRITERS + 1)
+        ] + [
+            multiprocessing.Process(
+                target=_reader, args=(root, reader_id, failures)
+            )
+            for reader_id in range(READERS)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60.0)
+            assert not proc.is_alive(), "stress process hung"
+            assert proc.exitcode == 0
+        problems = []
+        while not failures.empty():
+            problems.append(failures.get())
+        assert problems == []
+        # the survivor is exactly one writer's complete payload
+        cache = ResultCache(root)
+        final = cache.get(SPEC.key())
+        assert final == _payload_for_writer(final["writer"])
+        # and no temp debris survived the stampede
+        assert [p for p in root.rglob("*.tmp")] == []
+
+    def test_winner_is_deterministic_under_serial_replay(self, tmp_path):
+        """Sequential writes (any interleaving's serialization) end on
+        the last writer — os.replace is last-writer-wins."""
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        for writer_id in (1, 2, 3):
+            cache.put(
+                SPEC.key(), SPEC, _payload_for_writer(writer_id), 0.1
+            )
+        assert cache.get(SPEC.key()) == _payload_for_writer(3)
+
+
+class TestTempNameRegression:
+    """The PR 6 fix: temp names carry (pid, counter), so same-process
+    and cross-process writers never share a temp path."""
+
+    def test_temp_names_are_unique_within_a_process(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.key()
+        assert cache._temp_path_for(key) != cache._temp_path_for(key)
+
+    def test_temp_name_encodes_pid(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        name = cache._temp_path_for(SPEC.key()).name
+        assert f".{os.getpid()}." in name
+        assert name.endswith(".tmp")
+
+    def test_stale_temp_from_recycled_pid_does_not_block_put(
+        self, tmp_path
+    ):
+        """A leftover temp file with our exact next name (a crashed
+        process with a recycled pid) must not wedge put(): the writer
+        skips to a fresh counter value."""
+        import os
+
+        from repro.harness import cache as cache_module
+
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # plant collisions for the next two counter values
+        counter = cache_module._TMP_COUNTER
+        upcoming = [next(counter) for _ in range(2)]
+        cache_module._TMP_COUNTER = itertools.chain(
+            iter(upcoming), counter
+        )
+        try:
+            for value in upcoming:
+                stale = path.parent / (
+                    f".{key[:8]}.{os.getpid()}.{value}.tmp"
+                )
+                stale.write_text("stale")
+            cache.put(key, SPEC, {"echo": 1}, 0.1)
+        finally:
+            cache_module._TMP_COUNTER = counter
+        assert cache.get(key) == {"echo": 1}
+
+    def test_payload_on_disk_is_whole_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(SPEC.key(), SPEC, _payload_for_writer(7), 0.1)
+        payload = json.loads(cache.path_for(SPEC.key()).read_text())
+        assert payload["result"] == _payload_for_writer(7)

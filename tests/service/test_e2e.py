@@ -1,0 +1,106 @@
+"""Acceptance: a fig4 cell submitted over HTTP, end to end.
+
+The ISSUE 6 acceptance loop — start the service against an empty
+store, submit one Figure-4 cell through the real HTTP API, observe at
+least one progress event carrying SimTrace stats, fetch the stored
+result, see the cell ranked on ``/leaderboard``, and confirm a warm
+resubmit completes as a 100% cache hit without re-running.
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.experiments.runner import Scale, register_scale
+from repro.service.api import create_server
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobManager
+from repro.service.store import ServiceStore
+
+TINY = register_scale(
+    Scale(
+        name="tiny-svc-fig4",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=60,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="workers must inherit the registered tiny scale",
+)
+
+CELL = {
+    "experiment": "fig4",
+    "scale": "tiny-svc-fig4",
+    "scheme": "DRing (su2)",
+    "pattern": "A2A",
+    "seed": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("e2e") / "store"
+    store = ServiceStore(root)
+    manager = JobManager(store, workers=1).start()
+    server = create_server("127.0.0.1", 0, manager, store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(server.url, timeout=120.0), store
+    manager.shutdown()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10.0)
+
+
+@fork_only
+class TestFig4OverHttp:
+    def test_full_loop(self, service):
+        client, store = service
+
+        # 1. submit the cell; stream its events to completion
+        job = client.submit(CELL)
+        events = []
+        final = client.wait(job["id"], on_event=events.append)
+        assert final["state"] == "done"
+        assert final["cache_hit"] is False
+
+        # 2. at least one progress event carries SimTrace stats
+        progress = [e for e in events if e["kind"] == "progress"]
+        assert len(progress) >= 1
+        outcome = progress[0]["outcome"]
+        assert outcome["status"] == "ran"
+        trace = outcome["sim_trace"]
+        assert trace["counters"]  # the engine counted real work
+
+        # 3. the stored result is a complete per-flow record set
+        payload = client.result(final["key"])
+        assert payload["spec"]["scheme"] == "DRing (su2)"
+        assert len(payload["result"]["records"]) > 0
+
+        # 4. the cell ranks on the leaderboard
+        board = client.leaderboard()
+        assert board["metric"] == "p99_fct_ms"
+        [row] = board["rows"]
+        assert row["rank"] == 1
+        assert row["scheme"] == "DRing (su2)"
+        assert row["pattern"] == "A2A"
+        assert row["p99_fct_ms"] > 0
+
+        # 5. warm resubmit: same key, served from cache, no re-run
+        hits_before = store.hits
+        rerun = client.wait(client.submit(CELL)["id"])
+        assert rerun["state"] == "done"
+        assert rerun["cache_hit"] is True
+        assert rerun["key"] == final["key"]
+        assert store.hits > hits_before
+        # a hit produces no fresh flow records: still exactly one entry
+        assert client.results()["count"] == 1

@@ -1,0 +1,151 @@
+"""Leaderboard ranking: metric direction, tie-breaks, rendering."""
+
+import pytest
+
+from repro.harness.jobs import JobSpec
+from repro.service.leaderboard import (
+    DEFAULT_METRIC,
+    LeaderboardEntry,
+    build_leaderboard,
+    entry_from_payload,
+    rank_entries,
+    render_leaderboard,
+)
+from repro.service.store import ServiceStore
+
+
+def fct_records(fct_seconds, size_bytes=1e6, flows=4):
+    """A records payload where every flow completes in fct_seconds."""
+    return {
+        "records": [
+            [i, i + 1, size_bytes, 0.0, fct_seconds, [i, i + 1]]
+            for i in range(flows)
+        ]
+    }
+
+
+def fig4_payload(scheme, pattern, fct_seconds, seed=0, key=None):
+    spec = JobSpec.make(
+        "fig4", scale="tiny", scheme=scheme, pattern=pattern, seed=seed
+    )
+    return {
+        "key": key or spec.key(),
+        "spec": spec.to_dict(),
+        "created_at": 100.0,
+        "result": fct_records(fct_seconds),
+    }
+
+
+def entry(scheme, pattern, fct_seconds, seed=0, key="k"):
+    made = entry_from_payload(
+        fig4_payload(scheme, pattern, fct_seconds, seed=seed, key=key)
+    )
+    assert made is not None
+    return made
+
+
+class TestEntryFromPayload:
+    def test_fig4_cell_is_rankable(self):
+        made = entry("dring su2", "A2A", 0.002)
+        assert made.num_flows == 4
+        assert made.median_fct_ms == pytest.approx(2.0)
+        assert made.p99_fct_ms == pytest.approx(2.0)
+        # 1e6 B in 2 ms = 4 Gbps per flow
+        assert made.throughput_gbps == pytest.approx(4.0)
+
+    def test_non_fig4_payload_not_rankable(self):
+        spec = JobSpec.make("selftest", mode="ok")
+        assert entry_from_payload({
+            "key": spec.key(),
+            "spec": spec.to_dict(),
+            "result": {"echo": 1},
+        }) is None
+
+    def test_empty_records_not_rankable(self):
+        payload = fig4_payload("dring su2", "A2A", 0.002)
+        payload["result"] = {"records": []}
+        assert entry_from_payload(payload) is None
+
+    def test_malformed_payload_not_rankable(self):
+        assert entry_from_payload({"spec": "nope", "result": {}}) is None
+        payload = fig4_payload("dring su2", "A2A", 0.002)
+        payload["result"] = {"records": [[1, 2]]}  # wrong arity
+        assert entry_from_payload(payload) is None
+
+
+class TestRanking:
+    def test_fct_metrics_rank_lower_first(self):
+        slow = entry("leaf-spine ecmp", "A2A", 0.004, key="s")
+        fast = entry("dring su2", "A2A", 0.002, key="f")
+        for metric in ("p99_fct_ms", "median_fct_ms"):
+            assert rank_entries([slow, fast], metric)[0] is fast
+
+    def test_throughput_ranks_higher_first(self):
+        slow = entry("leaf-spine ecmp", "A2A", 0.004, key="s")
+        fast = entry("dring su2", "A2A", 0.002, key="f")
+        ranked = rank_entries([slow, fast], "throughput_gbps")
+        assert ranked[0] is fast
+
+    def test_tie_breaks_are_stable_identity_order(self):
+        b = entry("b-scheme", "A2A", 0.002, key="kb")
+        a = entry("a-scheme", "A2A", 0.002, key="ka")
+        ranked = rank_entries([b, a], DEFAULT_METRIC)
+        assert [e.scheme for e in ranked] == ["a-scheme", "b-scheme"]
+        # same input in any order ranks identically
+        again = rank_entries([a, b], DEFAULT_METRIC)
+        assert [e.key for e in again] == [e.key for e in ranked]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown leaderboard"):
+            rank_entries([], metric="vibes")
+
+
+class TestBuildAndRender:
+    def put_cell(self, store, scheme, pattern, fct_seconds, seed=0):
+        spec = JobSpec.make(
+            "fig4", scale="tiny", scheme=scheme, pattern=pattern,
+            seed=seed,
+        )
+        store.put(
+            spec.key(), spec, fct_records(fct_seconds), 0.1
+        )
+        return spec
+
+    def test_build_ranks_store_contents(self, tmp_path):
+        store = ServiceStore(tmp_path / "store")
+        self.put_cell(store, "leaf-spine ecmp", "A2A", 0.004)
+        self.put_cell(store, "dring su2", "A2A", 0.002)
+        rows = build_leaderboard(store)
+        assert [r["rank"] for r in rows] == [1, 2]
+        assert rows[0]["scheme"] == "dring su2"
+
+    def test_unrankable_entries_are_skipped(self, tmp_path):
+        store = ServiceStore(tmp_path / "store")
+        self.put_cell(store, "dring su2", "A2A", 0.002)
+        other = JobSpec.make("selftest", mode="ok")
+        store.put(other.key(), other, {"echo": 1}, 0.1)
+        rows = build_leaderboard(store)
+        assert len(rows) == 1
+
+    def test_limit_truncates_after_ranking(self, tmp_path):
+        store = ServiceStore(tmp_path / "store")
+        self.put_cell(store, "leaf-spine ecmp", "A2A", 0.004)
+        self.put_cell(store, "dring su2", "A2A", 0.002)
+        rows = build_leaderboard(store, limit=1)
+        assert len(rows) == 1 and rows[0]["scheme"] == "dring su2"
+
+    def test_render_empty_board(self):
+        assert "no rankable results" in render_leaderboard([])
+
+    def test_render_lists_every_row(self, tmp_path):
+        store = ServiceStore(tmp_path / "store")
+        self.put_cell(store, "dring su2", "A2A", 0.002)
+        self.put_cell(store, "leaf-spine ecmp", "R2R", 0.004)
+        text = render_leaderboard(build_leaderboard(store))
+        assert "dring su2" in text and "leaf-spine ecmp" in text
+        assert text.splitlines()[0].startswith("leaderboard by")
+
+    def test_entry_metric_accessor(self):
+        made = entry("dring su2", "A2A", 0.002)
+        assert made.metric("p99_fct_ms") == made.p99_fct_ms
+        assert isinstance(made, LeaderboardEntry)

@@ -1,0 +1,245 @@
+"""JobManager: validation, queue bound, state machine, events, cancel."""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+    ValidationError,
+    validate_submission,
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="service workers run jobs in forked processes",
+)
+
+OK = {"experiment": "selftest", "params": {"mode": "ok", "value": 7}}
+
+
+@pytest.fixture
+def manager(tmp_path):
+    mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+    mgr.start()
+    yield mgr
+    mgr.shutdown()
+
+
+def wait_terminal(manager, job_id, timeout=60.0):
+    manager.wait_for_events(job_id, after=0, timeout=timeout)
+    after = 0
+    while True:
+        job = manager.get(job_id)
+        if job.state in {DONE, FAILED, CANCELLED}:
+            return job
+        events = manager.wait_for_events(
+            job_id, after=after, timeout=timeout
+        )
+        after = max([after] + [e["seq"] for e in events])
+
+
+class TestValidation:
+    def test_good_submission_becomes_spec(self):
+        spec = validate_submission(OK)
+        assert spec.experiment == "selftest"
+        assert spec.key()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            validate_submission({"experiment": "nope"})
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scale"):
+            validate_submission(
+                {"experiment": "selftest", "scale": "galactic"}
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown submission"):
+            validate_submission(
+                {"experiment": "selftest", "bogus": 1}
+            )
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValidationError, match="seed"):
+            validate_submission(
+                {"experiment": "selftest", "seed": "zero"}
+            )
+        with pytest.raises(ValidationError, match="seed"):
+            validate_submission({"experiment": "selftest", "seed": True})
+
+    def test_missing_experiment_rejected(self):
+        with pytest.raises(ValidationError, match="required"):
+            validate_submission({})
+
+
+class TestQueueBound:
+    def test_queue_full_raises(self, tmp_path):
+        mgr = JobManager(
+            ResultCache(tmp_path / "cache"), workers=1, queue_limit=2
+        )
+        # never started: submissions stay queued
+        mgr.submit(OK)
+        mgr.submit(dict(OK, seed=1))
+        with pytest.raises(QueueFullError, match="full"):
+            mgr.submit(dict(OK, seed=2))
+
+    def test_submit_after_shutdown_rejected(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        mgr.start()
+        mgr.shutdown()
+        with pytest.raises(QueueFullError, match="shutting down"):
+            mgr.submit(OK)
+
+    def test_bad_bounds_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            JobManager(cache, workers=0)
+        with pytest.raises(ValueError):
+            JobManager(cache, workers=1, queue_limit=0)
+
+
+@fork_only
+class TestLifecycle:
+    def test_ok_job_reaches_done_with_ordered_events(self, manager):
+        job = manager.submit(OK)
+        final = wait_terminal(manager, job.id)
+        assert final.state == DONE
+        assert final.error == ""
+        assert final.started_at is not None
+        assert final.finished_at is not None
+        kinds = [e["kind"] for e in final.events]
+        assert kinds[0] == "queued"
+        assert "started" in kinds
+        assert kinds[-1] == "done"
+        seqs = [e["seq"] for e in final.events]
+        assert seqs == sorted(seqs) == list(range(1, len(seqs) + 1))
+
+    def test_progress_event_carries_outcome(self, manager):
+        """Selftest never touches the engine, so its trace is empty;
+        the fig4 E2E test asserts sim_trace content."""
+        job = manager.submit(OK)
+        final = wait_terminal(manager, job.id)
+        progress = [
+            e for e in final.events if e["kind"] == "progress"
+        ]
+        assert progress
+        outcome = progress[0]["outcome"]
+        assert outcome["status"] == "ran"
+        assert outcome["key"] == final.key
+        assert outcome["seconds"] >= 0
+
+    def test_failing_job_reaches_failed(self, manager):
+        job = manager.submit({
+            "experiment": "selftest", "params": {"mode": "raise"}
+        })
+        final = wait_terminal(manager, job.id)
+        assert final.state == FAILED
+        assert "deliberate failure" in final.error
+
+    def test_warm_resubmit_is_cache_hit(self, manager):
+        first = wait_terminal(manager, manager.submit(OK).id)
+        assert first.state == DONE and not first.cache_hit
+        second = wait_terminal(manager, manager.submit(OK).id)
+        assert second.state == DONE and second.cache_hit
+        assert second.key == first.key
+
+    def test_counts_zero_filled(self, manager):
+        wait_terminal(manager, manager.submit(OK).id)
+        counts = manager.counts()
+        assert counts[DONE] == 1
+        assert counts[QUEUED] == 0 and counts[FAILED] == 0
+
+    def test_unknown_job_raises(self, manager):
+        with pytest.raises(UnknownJobError):
+            manager.get("job-999999")
+        with pytest.raises(UnknownJobError):
+            manager.events_since("job-999999")
+
+
+@fork_only
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        # not started: the job can never leave the queue
+        job = mgr.submit(OK)
+        cancelled = mgr.cancel(job.id)
+        assert cancelled.state == CANCELLED
+        assert cancelled.error == "cancelled by client"
+        assert cancelled.events[-1]["kind"] == CANCELLED
+
+    def test_cancel_running_job_terminates_worker(self, manager):
+        job = manager.submit({
+            "experiment": "selftest",
+            "params": {"mode": "sleep", "seconds": 120},
+        })
+        manager.wait_for_events(job.id, after=1, timeout=60.0)
+        assert manager.get(job.id).state == "running"
+        manager.cancel(job.id)
+        final = wait_terminal(manager, job.id)
+        assert final.state == CANCELLED
+
+    def test_cancel_terminal_job_is_idempotent(self, manager):
+        job = manager.submit(OK)
+        final = wait_terminal(manager, job.id)
+        assert final.state == DONE
+        assert manager.cancel(job.id).state == DONE
+
+    def test_shutdown_drains_queue_as_cancelled(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        jobs = [mgr.submit(dict(OK, seed=s)) for s in range(3)]
+        mgr.shutdown()
+        for job in jobs:
+            assert mgr.get(job.id).state == CANCELLED
+            assert mgr.get(job.id).error == "service shutdown"
+
+
+@fork_only
+class TestLongPoll:
+    def test_wait_returns_immediately_when_terminal(self, manager):
+        job = manager.submit(OK)
+        wait_terminal(manager, job.id)
+        last = manager.get(job.id).events[-1]["seq"]
+        assert manager.wait_for_events(
+            job.id, after=last, timeout=30.0
+        ) == []
+
+    def test_wait_times_out_empty_for_queued_job(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        job = mgr.submit(OK)  # never started
+        assert mgr.wait_for_events(job.id, after=1, timeout=0.05) == []
+
+    def test_concurrent_poller_sees_events_as_they_land(self, manager):
+        job = manager.submit(OK)
+        seen = []
+        done = threading.Event()
+
+        def poll():
+            after = 0
+            while True:
+                events = manager.wait_for_events(
+                    job.id, after=after, timeout=30.0
+                )
+                seen.extend(events)
+                if events:
+                    after = max(e["seq"] for e in events)
+                elif manager.get(job.id).state in {
+                    DONE, FAILED, CANCELLED
+                }:
+                    done.set()
+                    return
+
+        poller = threading.Thread(target=poll, daemon=True)
+        poller.start()
+        assert done.wait(timeout=60.0)
+        kinds = [e["kind"] for e in seen]
+        assert kinds[0] == "queued" and kinds[-1] == "done"

@@ -1,0 +1,198 @@
+"""ServiceStore: lock file, index file, byte budget, LRU eviction."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import clock
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec
+from repro.service.store import ServiceStore, StoreLock, StoreLockTimeout
+
+
+def spec_for(value):
+    return JobSpec.make("selftest", mode="ok", value=value)
+
+
+def put_n(store, count, start=0):
+    keys = []
+    for value in range(start, start + count):
+        spec = spec_for(value)
+        store.put(spec.key(), spec, {"echo": value}, 0.1)
+        keys.append(spec.key())
+    return keys
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ServiceStore(tmp_path / "store")
+
+
+class TestStoreLock:
+    def test_acquire_creates_release_removes(self, tmp_path):
+        lock = StoreLock(tmp_path / "l.lock")
+        with lock:
+            assert lock.path.exists()
+            assert lock.path.read_text() == str(os.getpid())
+        assert not lock.path.exists()
+
+    def test_timeout_when_held(self, tmp_path):
+        path = tmp_path / "l.lock"
+        holder = StoreLock(path, timeout=0.05, stale_after=60.0)
+        holder.acquire()
+        contender = StoreLock(path, timeout=0.05, stale_after=60.0)
+        with pytest.raises(StoreLockTimeout):
+            contender.acquire()
+        holder.release()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "l.lock"
+        path.write_text("99999")
+        old = clock.now() - 120.0
+        os.utime(path, (old, old))
+        lock = StoreLock(path, timeout=0.5, stale_after=30.0)
+        lock.acquire()  # must not raise: the stale file was evicted
+        assert path.read_text() == str(os.getpid())
+        lock.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = StoreLock(tmp_path / "l.lock")
+        lock.acquire()
+        lock.release()
+        lock.release()  # second release is a no-op, not an error
+
+
+class TestIndex:
+    def test_put_writes_index_entry(self, store):
+        [key] = put_n(store, 1)
+        payload = json.loads(store.index_path.read_text())
+        assert payload["version"] == 1
+        meta = payload["entries"][key]
+        assert meta["experiment"] == "selftest"
+        assert meta["bytes"] > 0
+
+    def test_list_entries_sorted_and_complete(self, store):
+        keys = put_n(store, 3)
+        entries = store.list_entries()
+        assert [e["key"] for e in entries] and len(entries) == 3
+        assert {e["key"] for e in entries} == set(keys)
+        created = [e["created_at"] for e in entries]
+        assert created == sorted(created)
+
+    def test_index_rebuilt_after_foreign_write(self, store):
+        """A plain ResultCache writing to the same root drifts the
+        index; list_entries detects the count mismatch and rebuilds."""
+        put_n(store, 2)
+        foreign = ResultCache(store.root)
+        spec = spec_for(99)
+        foreign.put(spec.key(), spec, {"echo": 99}, 0.1)
+        entries = store.list_entries()
+        assert len(entries) == 3
+        assert any(e["key"] == spec.key() for e in entries)
+        # and the rebuild recovered full spec metadata, not blanks
+        rebuilt = [e for e in entries if e["key"] == spec.key()][0]
+        assert rebuilt["experiment"] == "selftest"
+
+    def test_index_rebuilt_after_manual_delete(self, store):
+        keys = put_n(store, 3)
+        store.path_for(keys[0]).unlink()
+        assert {e["key"] for e in store.list_entries()} == set(keys[1:])
+
+    def test_corrupt_index_is_rebuilt(self, store):
+        put_n(store, 2)
+        store.index_path.write_text("{not json")
+        assert len(store.list_entries()) == 2
+
+    def test_clear_resets_index(self, store):
+        put_n(store, 2)
+        assert store.clear() == 2
+        assert store.list_entries() == []
+
+    def test_payload_for(self, store):
+        [key] = put_n(store, 1)
+        payload = store.payload_for(key)
+        assert payload["result"] == {"echo": 0}
+        assert store.payload_for("0" * 24) is None
+
+
+class TestBudget:
+    def entry_size(self, tmp_path):
+        probe = ServiceStore(tmp_path / "probe")
+        [key] = put_n(probe, 1)
+        return probe.path_for(key).stat().st_size
+
+    def test_put_evicts_lru_past_budget(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        store = ServiceStore(tmp_path / "store", max_bytes=2 * size + 2)
+        keys = put_n(store, 3)
+        assert store.evictions == 1
+        assert store.get(keys[0]) is None  # oldest went first
+        assert store.get(keys[1]) is not None
+        assert store.get(keys[2]) is not None
+        assert {e["key"] for e in store.list_entries()} == set(keys[1:])
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        """A get() touches the entry, so eviction order follows use, not
+        insertion: after touching the oldest, the middle entry goes."""
+        size = self.entry_size(tmp_path)
+        store = ServiceStore(tmp_path / "store")
+        keys = put_n(store, 2)
+        # make recency strictly increase even on coarse mtime clocks
+        os.utime(store.path_for(keys[0]), (1000.0, 1000.0))
+        os.utime(store.path_for(keys[1]), (2000.0, 2000.0))
+        assert store.get(keys[0]) is not None  # refreshes keys[0]
+        evicted = store.prune(size + 2)
+        assert evicted == [keys[1]]
+        assert store.get(keys[0]) is not None
+
+    def test_prune_keeps_index_in_step(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        store = ServiceStore(tmp_path / "store")
+        keys = put_n(store, 3)
+        evicted = store.prune(size + 2)
+        assert len(evicted) == 2
+        index = json.loads(store.index_path.read_text())["entries"]
+        assert set(index) == set(keys) - set(evicted)
+
+    def test_prune_to_zero_empties_store(self, store):
+        put_n(store, 2)
+        assert len(store.prune(0)) == 2
+        assert len(store) == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServiceStore(tmp_path / "store", max_bytes=-1)
+
+    def test_unbudgeted_store_never_evicts(self, store):
+        put_n(store, 4)
+        assert store.evictions == 0 and len(store) == 4
+
+
+class TestBaseCachePrune:
+    """The shared eviction policy on the plain harness cache."""
+
+    def test_total_bytes_tracks_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.total_bytes() == 0
+        spec = spec_for(1)
+        path = cache.put(spec.key(), spec, {"echo": 1}, 0.1)
+        assert cache.total_bytes() == path.stat().st_size
+
+    def test_prune_order_is_mtime_then_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [spec_for(v) for v in range(3)]
+        for value, spec in enumerate(specs):
+            cache.put(spec.key(), spec, {"echo": value}, 0.1)
+            os.utime(cache.path_for(spec.key()), (1000.0, 1000.0))
+        evicted = cache.prune(cache.total_bytes() - 1)
+        # equal mtimes: ties broken by key, deterministically
+        assert evicted == sorted(s.key() for s in specs)[:1]
+
+    def test_entries_report_age_and_last_used(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = spec_for(1)
+        cache.put(spec.key(), spec, {"echo": 1}, 0.1)
+        [entry] = cache.entries()
+        assert entry["age_seconds"] >= 0
+        assert entry["last_used"] > 0

@@ -208,3 +208,125 @@ class TestExtendedTopologyChoices:
     def test_export_fat_tree_dot(self, capsys):
         assert main(["export", "--topology", "fat-tree", "--format", "dot"]) == 0
         assert "fat-tree" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def seed_cache(self, tmp_path, count=2):
+        from repro.harness.cache import ResultCache
+        from repro.harness.jobs import JobSpec
+
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        for value in range(count):
+            spec = JobSpec.make("selftest", mode="ok", value=value)
+            cache.put(spec.key(), spec, {"echo": value}, 0.1)
+        return root
+
+    def test_ls_reports_total_and_age(self, tmp_path, capsys):
+        root = self.seed_cache(tmp_path)
+        assert main(["cache", "ls", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 results" in out and "bytes total" in out
+        assert out.count("age ") == 2
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(
+            ["cache", "ls", "--cache-dir", str(tmp_path / "none")]
+        ) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_prune_requires_budget(self, tmp_path, capsys):
+        root = self.seed_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(root)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_evicts_to_budget(self, tmp_path, capsys):
+        root = self.seed_cache(tmp_path)
+        assert main([
+            "cache", "prune", "--cache-dir", str(root),
+            "--max-bytes", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert out.count("evicted") == 2
+        assert main(["cache", "ls", "--cache-dir", str(root)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        root = self.seed_cache(tmp_path)
+        assert main(["cache", "clear", "--cache-dir", str(root)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def server(self, tmp_path):
+        import threading
+
+        from repro.service import (
+            JobManager,
+            ServiceStore,
+            create_server,
+        )
+
+        store = ServiceStore(tmp_path / "store")
+        manager = JobManager(store, workers=1).start()
+        httpd = create_server("127.0.0.1", 0, manager, store)
+        thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        thread.start()
+        yield httpd.url
+        manager.shutdown()
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10.0)
+
+    def test_submit_wait_status_results(self, server, capsys):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("service workers fork")
+        assert main([
+            "submit", "--server", server, "--experiment", "selftest",
+            "--param", "mode=ok", "--param", "value=3", "--wait",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "job-000001" in out and "done" in out
+        assert main(["status", "--server", server]) == 0
+        assert "done" in capsys.readouterr().out
+        assert main(["results", "--server", server]) == 0
+        assert "1 cached results" in capsys.readouterr().out
+        assert main(["leaderboard", "--server", server]) == 0
+        assert "no rankable results" in capsys.readouterr().out
+
+    def test_submit_rejects_bad_param(self, capsys):
+        assert main([
+            "submit", "--server", "http://127.0.0.1:1",
+            "--experiment", "selftest", "--param", "oops",
+        ]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        assert main([
+            "submit", "--server", "http://127.0.0.1:1",
+            "--experiment", "selftest",
+        ]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_local_leaderboard_from_cache_dir(self, tmp_path, capsys):
+        from repro.harness.jobs import JobSpec
+        from repro.service import ServiceStore
+
+        store = ServiceStore(tmp_path / "store")
+        spec = JobSpec.make(
+            "fig4", scale="tiny", scheme="DRing (su2)", pattern="A2A"
+        )
+        store.put(spec.key(), spec, {
+            "records": [[0, 1, 1e6, 0.0, 0.002, [0, 1]]]
+        }, 0.1)
+        assert main([
+            "leaderboard", "--cache-dir", str(tmp_path / "store"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DRing (su2)" in out and "leaderboard by p99_fct_ms" in out
