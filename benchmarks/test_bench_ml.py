@@ -1,0 +1,120 @@
+"""ML acceptance: the phase-cohort driver adds little over raw flowsim.
+
+The barrier-synchronized loop (:mod:`repro.sim.phases`) wraps one
+:class:`FlowSimulator` run per iteration with cohort assembly, per-job
+attribution, and timeline accounting.  That bookkeeping must stay in
+the noise: this benchmark times a multi-iteration driver run against a
+hand-rolled loop that hands the identical phase cohorts to plain
+simulators with the identical phase seeds, and requires the driver to
+finish within ``MAX_OVERHEAD`` of the baseline.  The rendered ML-sweep
+table at the tiny scale is saved as the artifact.
+"""
+
+import time
+
+from conftest import save_artifact
+from repro.experiments.ml_sweep import render_ml_sweep, run_ml_cell
+from repro.experiments.runner import Scale, register_scale
+from repro.routing import EcmpRouting
+from repro.sim import FlowSimulator, phase_seed, run_collectives
+from repro.traffic import (
+    TrainingJob,
+    collective_flows,
+    identity_placement,
+    place_jobs,
+)
+from repro.topology import dring
+
+MAX_OVERHEAD = 1.5
+ROUNDS = 3
+ITERATIONS = 4
+
+TINY = register_scale(
+    Scale(
+        name="tiny-bench-ml",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=150,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+JOBS = (
+    TrainingJob(
+        "ring", 12, 2e6, 1e-3, num_layers=2, num_iterations=ITERATIONS
+    ),
+    TrainingJob(
+        "moe", 8, 1e6, 5e-4,
+        num_iterations=ITERATIONS, collective="all-to-all",
+    ),
+)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_phase_loop_overhead(benchmark):
+    network = dring(6, 2, servers_per_rack=4)
+    routing = EcmpRouting(network)
+    placements = place_jobs(JOBS, network, "striped", seed=0)
+    cohort = [
+        flow
+        for placement in placements
+        for flow in collective_flows(placement, start_time=0.0)
+    ]
+    placement = identity_placement(network)
+
+    def run_driver():
+        run_collectives(network, routing, placements, seed=7)
+
+    def run_baseline():
+        # The same phase cohorts on bare simulators: what the driver
+        # would cost with zero orchestration.
+        for iteration in range(ITERATIONS):
+            FlowSimulator(
+                network, routing, placement,
+                seed=phase_seed(7, iteration),
+            ).run(cohort)
+
+    run_driver()  # warm the compiled routing cache once
+    driver_seconds = _best_of(run_driver)
+    baseline_seconds = _best_of(run_baseline)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    overhead = driver_seconds / baseline_seconds
+    cells = [
+        run_ml_cell(
+            TINY, topology, "ecmp", policy=policy,
+            placement_seed=0, jobs=JOBS,
+        )
+        for topology in ("leaf-spine", "dring")
+        for policy in ("compact", "random")
+    ]
+    save_artifact(
+        "ml_sweep.txt",
+        "\n".join(
+            [
+                f"driver:   {1e3 * driver_seconds:8.2f} ms "
+                f"({ITERATIONS} iterations, 2 jobs)",
+                f"baseline: {1e3 * baseline_seconds:8.2f} ms "
+                "(bare flowsim, same cohorts)",
+                f"overhead: {overhead:.2f}x (max {MAX_OVERHEAD}x)",
+                "",
+                render_ml_sweep(cells),
+            ]
+        ),
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"phase loop costs {overhead:.2f}x bare flowsim "
+        f"(driver {driver_seconds:.4f}s vs {baseline_seconds:.4f}s)"
+    )

@@ -8,6 +8,7 @@ Exposes the library's main workflows without writing any Python:
 * ``fig5``             — Figure 5 C-S heatmaps
 * ``fig6``             — Figure 6 scale sweep
 * ``sweep``            — cached parallel sweeps over the paper figures
+* ``ml``               — ML collective sweep: per-job iteration time
 * ``cache``            — inspect / prune / clear the sweep result cache
 * ``serve``            — run the simulation-as-a-service HTTP server
 * ``submit``           — submit one cell to a running server
@@ -299,6 +300,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         render_failure_sweep,
         render_fig6,
+        render_ml_sweep,
         render_robustness,
     )
     from repro.harness import (
@@ -306,6 +308,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         assemble_fig4,
         assemble_fig5,
         assemble_fig6,
+        assemble_ml,
         assemble_robustness,
         sweep_jobs,
     )
@@ -331,6 +334,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(_render_ablation_results(specs, results))
         elif name == "faults":
             print(render_failure_sweep(assemble_faults(specs, results)))
+        elif name == "ml":
+            print(render_ml_sweep(assemble_ml(specs, results)))
         print()
     return 0
 
@@ -357,6 +362,30 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if hot:
         print()
         print(hot)
+    return 0
+
+
+def cmd_ml(args: argparse.Namespace) -> int:
+    from repro.experiments import render_ml_sweep
+    from repro.harness import assemble_ml, ml_jobs
+
+    placement_seeds = args.placement_seeds
+    if placement_seeds is None:
+        # Derived from --seed, mirroring the rrg/xpander seed threading:
+        # reseeding the run reseeds every placement draw too.
+        placement_seeds = [args.seed, args.seed + 1]
+    specs = ml_jobs(
+        args.scale,
+        seed=args.seed,
+        topologies=args.topology,
+        schemes=args.scheme,
+        policies=args.policy,
+        placement_seeds=placement_seeds,
+    )
+    # Always route through the harness: every collective cell is cached
+    # and crash-isolated, so reruns and wider sweeps are incremental.
+    cells = assemble_ml(specs, _run_harness(args, specs, "ml"))
+    print(render_ml_sweep(cells))
     return 0
 
 
@@ -922,6 +951,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
+        "ml",
+        help="ML collective sweep: iteration time across "
+        "topology x routing x placement",
+    )
+    from repro.experiments.ml_sweep import (
+        ML_POLICIES,
+        ML_SCHEMES,
+        ML_TOPOLOGIES,
+    )
+    from repro.traffic.collectives import PLACEMENT_POLICIES
+
+    _scale_argument(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--topology",
+        nargs="+",
+        choices=ML_TOPOLOGIES,
+        default=list(ML_TOPOLOGIES),
+        help="topologies to compare (default: all)",
+    )
+    p.add_argument(
+        "--scheme",
+        nargs="+",
+        choices=ML_SCHEMES,
+        default=["ecmp", "su2"],
+        help="routing schemes to compare (default: ecmp su2)",
+    )
+    p.add_argument(
+        "--policy",
+        nargs="+",
+        choices=PLACEMENT_POLICIES,
+        default=list(ML_POLICIES),
+        help="placement policies to compare (default: compact random)",
+    )
+    p.add_argument(
+        "--placement-seeds",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="S",
+        help="placement-policy seeds (default: two draws derived "
+        "from --seed)",
+    )
+    _harness_arguments(p)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    p.add_argument(
+        "--manifest-out",
+        default=None,
+        help="write the run manifest JSON to this path",
+    )
+    p.set_defaults(func=cmd_ml)
+
+    p = sub.add_parser(
         "cache", help="inspect, prune, or clear the result cache"
     )
     p.add_argument("action", choices=("ls", "prune", "clear"))
@@ -1025,10 +1113,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rank a local result store instead of querying a server",
     )
+    from repro.service.leaderboard import DEFAULT_METRIC, metric_names
+
     p.add_argument(
         "--metric",
-        choices=("p99_fct_ms", "median_fct_ms", "throughput_gbps"),
-        default="p99_fct_ms",
+        choices=metric_names(),
+        default=DEFAULT_METRIC,
     )
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(func=cmd_leaderboard)

@@ -14,6 +14,7 @@ from repro.core.cabling import (
     render_cabling,
 )
 from repro.core.export import from_json, to_dot, to_json
+from repro.core.seeding import stable_seed
 from repro.core.metrics import (
     NsrSummary,
     capacity_nsr,
@@ -46,6 +47,7 @@ __all__ = [
     "from_json",
     "to_dot",
     "to_json",
+    "stable_seed",
     "NsrSummary",
     "capacity_nsr",
     "TopologySummary",

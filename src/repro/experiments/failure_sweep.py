@@ -25,12 +25,11 @@ directly comparable.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import random
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.core.network import Network
+from repro.core.seeding import stable_seed
 from repro.experiments.runner import Scale
 from repro.faults import (
     DEFAULT_GRAY_CAPACITY,
@@ -69,13 +68,11 @@ _PATH_SAMPLE_PAIRS = 40
 def derived_seed(*parts: Any) -> int:
     """A cross-process-stable seed from heterogeneous parts.
 
-    Built on sha256 (never the builtin ``hash``, which PYTHONHASHSEED
-    randomizes), so harness worker processes agree with the parent.
+    Alias of :func:`repro.core.seeding.stable_seed` (promoted there so
+    the traffic layer can use it); kept here because cached faults
+    results content-address through this math.
     """
-    material = json.dumps(list(parts), sort_keys=True)
-    return int.from_bytes(
-        hashlib.sha256(material.encode()).digest()[:8], "big"
-    )
+    return stable_seed(*parts)
 
 
 def build_fault_topology(kind: str, scale: Scale, seed: int = 0) -> Network:

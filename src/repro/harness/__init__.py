@@ -27,12 +27,14 @@ from repro.harness.jobs import (
     assemble_fig4,
     assemble_fig5,
     assemble_fig6,
+    assemble_ml,
     assemble_robustness,
     execute_job,
     faults_jobs,
     fig4_jobs,
     fig5_jobs,
     fig6_jobs,
+    ml_jobs,
     register_experiment,
     robustness_jobs,
     sweep_jobs,
@@ -53,6 +55,7 @@ __all__ = [
     "assemble_fig4",
     "assemble_fig5",
     "assemble_fig6",
+    "assemble_ml",
     "assemble_robustness",
     "collect_env",
     "execute_job",
@@ -60,6 +63,7 @@ __all__ = [
     "fig4_jobs",
     "fig5_jobs",
     "fig6_jobs",
+    "ml_jobs",
     "module_fingerprint",
     "register_experiment",
     "robustness_jobs",

@@ -305,6 +305,22 @@ def _run_faults_job(spec: JobSpec) -> Dict[str, Any]:
     )
 
 
+def _run_ml_job(spec: JobSpec) -> Dict[str, Any]:
+    from repro.experiments.ml_sweep import run_ml_cell
+
+    params = spec.params_dict()
+    # The placement seed rides in params; absent (hand-rolled specs) it
+    # follows the job seed, so nothing is ever hard-coded to 0.
+    return run_ml_cell(
+        _scale(spec),
+        topology=spec.pattern,
+        scheme=spec.scheme,
+        policy=str(params.get("policy", "compact")),
+        placement_seed=int(params.get("placement_seed", spec.seed)),
+        seed=spec.seed,
+    )
+
+
 def _run_selftest_job(spec: JobSpec) -> Dict[str, Any]:
     """A tiny built-in job for exercising the executor itself.
 
@@ -356,6 +372,15 @@ register_experiment(
         "repro.faults",
         "repro.igp",
         "repro.bgp",
+        "repro.experiments.failure_sweep",
+        "repro.experiments.runner",
+    ),
+)
+register_experiment(
+    "ml",
+    _run_ml_job,
+    _SIM_DEPS + (
+        "repro.experiments.ml_sweep",
         "repro.experiments.failure_sweep",
         "repro.experiments.runner",
     ),
@@ -522,9 +547,52 @@ def faults_jobs(
     ]
 
 
+def ml_jobs(
+    scale: str,
+    seed: int = 0,
+    topologies: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    placement_seeds: Optional[Sequence[int]] = None,
+) -> List[JobSpec]:
+    """The ML collective sweep as one job per cell.
+
+    Topology lands in ``pattern`` and the routing scheme in ``scheme``
+    (mirroring the faults sweep); placement policy and placement seed
+    ride along as params.  Placement seeds default to two draws derived
+    from the run seed — never a hard-coded constant — so ``--seed``
+    reseeds the whole sweep.
+    """
+    from repro.experiments.ml_sweep import ML_POLICIES, ML_TOPOLOGIES
+
+    if topologies is None:
+        topologies = ML_TOPOLOGIES
+    if schemes is None:
+        schemes = ("ecmp", "su2")
+    if policies is None:
+        policies = ML_POLICIES
+    if placement_seeds is None:
+        placement_seeds = (seed, seed + 1)
+    return [
+        JobSpec.make(
+            "ml",
+            scale=scale,
+            scheme=scheme,
+            pattern=topology,
+            seed=seed,
+            policy=str(policy),
+            placement_seed=int(placement_seed),
+        )
+        for topology in topologies
+        for scheme in schemes
+        for policy in policies
+        for placement_seed in placement_seeds
+    ]
+
+
 #: Sweep names accepted by ``repro sweep --experiment``.
 SWEEPS: Tuple[str, ...] = (
-    "fig4", "fig5", "fig6", "robustness", "ablations", "faults"
+    "fig4", "fig5", "fig6", "robustness", "ablations", "faults", "ml"
 )
 
 
@@ -546,6 +614,8 @@ def sweep_jobs(
             jobs += ablation_jobs(scale, seed=seed)
         elif name == "faults":
             jobs += faults_jobs(scale, seed=seed)
+        elif name == "ml":
+            jobs += ml_jobs(scale, seed=seed)
         else:
             raise KeyError(f"unknown sweep {name!r}; know {list(SWEEPS)}")
     return jobs
@@ -634,6 +704,17 @@ def assemble_faults(
         payload
         for spec, payload in _present(specs, results)
         if spec.experiment == "faults"
+    ]
+
+
+def assemble_ml(
+    specs: Sequence[JobSpec], results: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Collect the ML sweep's per-cell records, in spec order."""
+    return [
+        payload
+        for spec, payload in _present(specs, results)
+        if spec.experiment == "ml"
     ]
 
 

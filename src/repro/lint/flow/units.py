@@ -10,8 +10,10 @@ This analysis infers lightweight dimension tags from identifier
 vocabulary (the naming discipline ``core/network.py`` and the simulator
 signatures already follow): ``*_gbps`` / ``*capacity*`` are Gbps,
 ``*_fraction`` / ``*utilization*`` / ``*_scale`` / ``*_factor`` are
-dimensionless fractions, ``*_seconds`` are seconds, ``*_ms``
-milliseconds, ``*_bytes`` bytes, ``*count*`` / ``num_*`` flow counts.
+dimensionless fractions, ``*_seconds`` / ``*_time`` / ``comp*`` are
+seconds, ``*_ms`` milliseconds, ``*_bytes`` / ``comm*`` bytes, and
+``*count*`` / ``num_*`` / ``*_layers`` / ``*_iterations`` /
+``*_workers`` counts (the ML collective vocabulary).
 Tokens are scanned right-to-left so ``capacity_factor`` reads as a
 factor, not a capacity.  Two checks fire on confidently-tagged
 operands only:
@@ -46,10 +48,13 @@ _DIMENSIONS: Dict[str, Tuple[str, ...]] = {
         "fraction", "fractions", "utilization", "ratio", "frac",
         "scale_factor", "factor", "share",
     ),
-    "seconds": ("seconds", "secs"),
+    "seconds": ("seconds", "secs", "time", "times", "comp"),
     "milliseconds": ("ms", "millis", "milliseconds"),
-    "bytes": ("bytes",),
-    "count": ("count", "counts", "num"),
+    "bytes": ("bytes", "comm"),
+    "count": (
+        "count", "counts", "num", "layer", "layers",
+        "iteration", "iterations", "iters", "workers",
+    ),
 }
 
 #: Token -> dimension, derived once.

@@ -17,8 +17,8 @@ harness:
   ``GET /jobs/{id}``, long-poll ``GET /jobs/{id}/events`` (progress +
   SimTrace stats), ``GET /results``, ``GET /leaderboard``.
 * :mod:`repro.service.leaderboard` — completed (topology, routing,
-  workload) cells ranked by throughput / p99 FCT with stable
-  tie-breaks.
+  workload) cells ranked by a registered metric (p99 FCT, throughput,
+  ML iteration time, ...) with stable tie-breaks.
 * :mod:`repro.service.client` — the thin ``urllib`` client behind
   ``repro submit|status|results|leaderboard``.
 
@@ -46,8 +46,13 @@ from repro.service.jobs import (
 )
 from repro.service.leaderboard import (
     LEADERBOARD_METRICS,
+    METRIC_REGISTRY,
     LeaderboardEntry,
+    MetricSpec,
     build_leaderboard,
+    metric_names,
+    register_entry_builder,
+    register_metric,
     render_leaderboard,
 )
 from repro.service.store import ServiceStore, StoreLock, StoreLockTimeout
@@ -55,8 +60,10 @@ from repro.service.store import ServiceStore, StoreLock, StoreLockTimeout
 __all__ = [
     "JOB_STATES",
     "LEADERBOARD_METRICS",
+    "METRIC_REGISTRY",
     "JobManager",
     "LeaderboardEntry",
+    "MetricSpec",
     "QueueFullError",
     "ReproServer",
     "ServiceClient",
@@ -70,6 +77,9 @@ __all__ = [
     "ValidationError",
     "build_leaderboard",
     "create_server",
+    "metric_names",
+    "register_entry_builder",
+    "register_metric",
     "render_leaderboard",
     "validate_submission",
 ]

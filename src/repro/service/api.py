@@ -14,7 +14,8 @@ Routes (all request/response bodies are JSON):
 * ``GET  /results``             — O(1) store listing from the index
 * ``GET  /results/{key}``       — one full stored payload
 * ``GET  /leaderboard``         — ranked cells
-  (``?metric=p99_fct_ms|median_fct_ms|throughput_gbps&limit=N``)
+  (``?metric=<any registered metric, e.g. p99_fct_ms or
+  iteration_time>&limit=N``)
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
 handlers only call the manager and the store, whose locks make them

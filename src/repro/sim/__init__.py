@@ -17,7 +17,16 @@ from repro.sim.throughput import (
     place_cs_concrete,
     tm_throughput,
 )
-from repro.sim.results import FctResults, FlowRecord, fct_table, heatmap_text
+from repro.sim.results import (
+    CollectiveResults,
+    FctResults,
+    FlowRecord,
+    IterationRecord,
+    JobTimeline,
+    fct_table,
+    heatmap_text,
+)
+from repro.sim.phases import PhaseCohortDriver, phase_seed, run_collectives
 from repro.sim.idealflow import (
     EfficiencyReport,
     IdealFlowError,
@@ -42,10 +51,16 @@ __all__ = [
     "cs_throughput",
     "place_cs_concrete",
     "tm_throughput",
+    "CollectiveResults",
     "FctResults",
     "FlowRecord",
+    "IterationRecord",
+    "JobTimeline",
     "fct_table",
     "heatmap_text",
+    "PhaseCohortDriver",
+    "phase_seed",
+    "run_collectives",
     "EfficiencyReport",
     "IdealFlowError",
     "ideal_throughput",

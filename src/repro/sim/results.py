@@ -153,6 +153,149 @@ class FctResults:
         return results
 
 
+@dataclass(frozen=True)
+class IterationRecord:
+    """One training iteration of one job: a comm phase plus its comp.
+
+    ``comm_time_s`` is the barrier-to-last-flow completion time of the
+    job's communication phase (phases run on a local clock starting at
+    zero, so the latest finish *is* the phase duration); adding the
+    job's fixed computation time yields the iteration time.
+    """
+
+    job: str
+    iteration: int
+    comm_time_s: float
+    comp_time_s: float
+    num_flows: int
+
+    def __post_init__(self) -> None:
+        if self.comm_time_s < 0 or self.comp_time_s < 0:
+            raise ValueError("phase times must be non-negative")
+        if self.iteration < 0:
+            raise ValueError("iteration index must be non-negative")
+
+    @property
+    def iteration_time_s(self) -> float:
+        return self.comm_time_s + self.comp_time_s
+
+
+@dataclass
+class JobTimeline:
+    """Every iteration of one job, in iteration order."""
+
+    job: str
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def add(self, record: IterationRecord) -> None:
+        if record.job != self.job:
+            raise ValueError(
+                f"record for job {record.job!r} added to timeline "
+                f"of {self.job!r}"
+            )
+        self.records.append(record)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    def total_time_s(self) -> float:
+        """Wall time the job trains for: the sum of its iterations."""
+        return float(sum(r.iteration_time_s for r in self.records))
+
+    def mean_iteration_time_s(self) -> float:
+        if not self.records:
+            raise ValueError(f"job {self.job!r} recorded no iterations")
+        return self.total_time_s() / len(self.records)
+
+
+@dataclass
+class CollectiveResults:
+    """All job timelines of one phase-cohort run.
+
+    ``timelines`` keeps the jobs in placement order.  ``phase_records``
+    is optionally populated (``keep_phase_records``) with each phase's
+    full per-flow record set, which is what lets tests pin the driver's
+    flows against a plain flowsim run bit-for-bit.
+    """
+
+    timelines: List[JobTimeline] = field(default_factory=list)
+    phase_records: List[FctResults] = field(default_factory=list)
+
+    def timeline(self, job: str) -> JobTimeline:
+        for timeline in self.timelines:
+            if timeline.job == job:
+                return timeline
+        raise KeyError(f"no timeline for job {job!r}")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.timelines)
+
+    def iteration_time_s(self) -> float:
+        """The headline metric: mean iteration time across every job.
+
+        Each job contributes its own mean, so a job with many
+        iterations does not drown out a short one.
+        """
+        if not self.timelines:
+            raise ValueError("no jobs recorded")
+        per_job = [t.mean_iteration_time_s() for t in self.timelines]
+        return float(np.mean(per_job))
+
+    def max_iteration_time_s(self) -> float:
+        """The slowest job's mean iteration time (the straggler view)."""
+        if not self.timelines:
+            raise ValueError("no jobs recorded")
+        return max(t.mean_iteration_time_s() for t in self.timelines)
+
+    # -- serialization (same exactness contract as FctResults) ---------
+
+    def to_json_dict(self) -> Dict:
+        payload: Dict = {
+            "jobs": [
+                {
+                    "job": timeline.job,
+                    "records": [
+                        [
+                            r.iteration,
+                            r.comm_time_s,
+                            r.comp_time_s,
+                            r.num_flows,
+                        ]
+                        for r in timeline.records
+                    ],
+                }
+                for timeline in self.timelines
+            ]
+        }
+        if self.phase_records:
+            payload["phases"] = [
+                results.to_json_dict() for results in self.phase_records
+            ]
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "CollectiveResults":
+        results = cls()
+        for entry in payload["jobs"]:
+            timeline = JobTimeline(job=entry["job"])
+            for iteration, comm, comp, num_flows in entry["records"]:
+                timeline.add(
+                    IterationRecord(
+                        job=timeline.job,
+                        iteration=iteration,
+                        comm_time_s=comm,
+                        comp_time_s=comp,
+                        num_flows=num_flows,
+                    )
+                )
+            results.timelines.append(timeline)
+        for phase in payload.get("phases", ()):
+            results.phase_records.append(FctResults.from_json_dict(phase))
+        return results
+
+
 def fct_table(
     rows: Dict[str, Dict[str, FctResults]],
     metric: str = "median",

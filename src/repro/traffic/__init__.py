@@ -7,6 +7,17 @@ from repro.traffic.matrix import (
     TrafficMatrix,
 )
 from repro.traffic.patterns import permutation, rack_to_rack, uniform
+from repro.traffic.collectives import (
+    COLLECTIVE_KINDS,
+    PLACEMENT_POLICIES,
+    JobPlacement,
+    TrainingJob,
+    collective_flows,
+    identity_placement,
+    job_of_server,
+    place_jobs,
+    rack_demands_of_flows,
+)
 from repro.traffic.cs_model import (
     CsPlacement,
     cs_matrix,
@@ -36,6 +47,15 @@ __all__ = [
     "permutation",
     "rack_to_rack",
     "uniform",
+    "COLLECTIVE_KINDS",
+    "PLACEMENT_POLICIES",
+    "JobPlacement",
+    "TrainingJob",
+    "collective_flows",
+    "identity_placement",
+    "job_of_server",
+    "place_jobs",
+    "rack_demands_of_flows",
     "CsPlacement",
     "cs_matrix",
     "cs_skewed_fig4",

@@ -1,0 +1,150 @@
+"""Tests for the ML collective sweep experiment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.ml_sweep import (
+    ML_POLICIES,
+    ML_SCHEMES,
+    ML_TOPOLOGIES,
+    build_ml_routing,
+    build_ml_topology,
+    default_training_jobs,
+    ml_capacity,
+    ml_table_from_cells,
+    placement_sensitivity,
+    render_ml_sweep,
+    run_ml_cell,
+)
+from repro.experiments.runner import Scale, register_scale
+from repro.traffic import TrainingJob
+
+TINY = register_scale(
+    Scale(
+        name="tiny-ml",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=120,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+TINY_JOBS = (
+    TrainingJob("ring", 6, 1e6, 1e-3, num_layers=2, num_iterations=2),
+    TrainingJob(
+        "moe", 4, 5e5, 5e-4, num_iterations=2, collective="all-to-all"
+    ),
+)
+
+
+class TestBuilders:
+    def test_all_topologies_build(self):
+        for kind in ML_TOPOLOGIES:
+            net = build_ml_topology(kind, TINY, seed=0)
+            assert net.num_servers > 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_ml_topology("torus", TINY)
+
+    def test_all_schemes_build(self):
+        net = build_ml_topology("dring", TINY, seed=0)
+        for scheme in ML_SCHEMES:
+            assert build_ml_routing(scheme, net).network is net
+
+    def test_unknown_scheme_rejected(self):
+        net = build_ml_topology("dring", TINY, seed=0)
+        with pytest.raises(ValueError):
+            build_ml_routing("rip", net)
+
+    def test_default_jobs_fit_every_topology(self):
+        jobs = default_training_jobs(TINY)
+        demand = sum(job.num_workers for job in jobs)
+        assert demand <= ml_capacity(TINY)
+        names = [job.name for job in jobs]
+        assert len(set(names)) == len(names)
+
+
+class TestCell:
+    def test_cell_is_deterministic(self):
+        kwargs = dict(
+            scale=TINY, topology="dring", scheme="ecmp",
+            policy="random", placement_seed=1, seed=0, jobs=TINY_JOBS,
+        )
+        assert run_ml_cell(**kwargs) == run_ml_cell(**kwargs)
+
+    def test_cell_is_json_serializable(self):
+        cell = run_ml_cell(
+            TINY, "leaf-spine", "su2", jobs=TINY_JOBS
+        )
+        assert json.loads(json.dumps(cell)) == cell
+
+    def test_cell_shape(self):
+        cell = run_ml_cell(TINY, "rrg", "ecmp", jobs=TINY_JOBS)
+        assert cell["num_jobs"] == 2
+        assert cell["num_workers"] == 10
+        assert cell["iteration_time_s"] > 0.0
+        assert (
+            cell["max_iteration_time_s"] >= cell["iteration_time_s"]
+        )
+        assert {row["job"] for row in cell["jobs"]} == {"ring", "moe"}
+        assert "jobs" in cell["collective"]
+
+    def test_schemes_face_identical_workloads(self):
+        """Placement must not fold in the scheme (comparability)."""
+        a = run_ml_cell(
+            TINY, "dring", "ecmp", policy="random",
+            placement_seed=3, jobs=TINY_JOBS,
+        )
+        b = run_ml_cell(
+            TINY, "dring", "su2", policy="random",
+            placement_seed=3, jobs=TINY_JOBS,
+        )
+        assert [r["racks"] for r in a["jobs"]] == [
+            r["racks"] for r in b["jobs"]
+        ]
+
+    def test_adaptive_scheme_runs(self):
+        cell = run_ml_cell(
+            TINY, "xpander", "adaptive", jobs=TINY_JOBS
+        )
+        assert cell["iteration_time_s"] > 0.0
+
+
+class TestAggregation:
+    def cells(self):
+        out = []
+        for topology in ("leaf-spine", "dring"):
+            for policy in ML_POLICIES:
+                for placement_seed in (0, 1):
+                    out.append(run_ml_cell(
+                        TINY, topology, "ecmp", policy=policy,
+                        placement_seed=placement_seed, jobs=TINY_JOBS,
+                    ))
+        return out
+
+    def test_table_groups_and_averages(self):
+        cells = self.cells()
+        rows = ml_table_from_cells(cells)
+        assert len(rows) == 4  # 2 topologies x 1 scheme x 2 policies
+        assert all(row["seeds"] == 2 for row in rows)
+
+    def test_placement_sensitivity_pairs(self):
+        sensitivity = placement_sensitivity(self.cells())
+        assert [
+            (row["topology"], row["scheme"]) for row in sensitivity
+        ] == [("dring", "ecmp"), ("leaf-spine", "ecmp")]
+        assert all(row["sensitivity"] > 0.0 for row in sensitivity)
+
+    def test_render_lists_every_point(self):
+        text = render_ml_sweep(self.cells())
+        assert "leaf-spine" in text and "dring" in text
+        assert "Placement sensitivity" in text
+        assert text.splitlines()[0].startswith("ML collectives")

@@ -7,10 +7,12 @@ from repro.harness.jobs import (
     EXPERIMENT_REGISTRY,
     JobSpec,
     ablation_jobs,
+    assemble_ml,
     faults_jobs,
     fig4_jobs,
     fig5_jobs,
     fig6_jobs,
+    ml_jobs,
     robustness_jobs,
     sweep_jobs,
 )
@@ -153,6 +155,42 @@ class TestJobLists:
         )
         assert len({s.key() for s in specs}) == 3
 
+    def test_ml_default_grid(self):
+        specs = ml_jobs("small", seed=0)
+        # 4 topologies x 2 schemes x 2 policies x 2 placement seeds.
+        assert len(specs) == 4 * 2 * 2 * 2
+        assert all(s.experiment == "ml" for s in specs)
+        assert len({s.key() for s in specs}) == len(specs)
+
+    def test_ml_placement_seeds_follow_run_seed(self):
+        specs = ml_jobs(
+            "small", seed=7, topologies=["dring"],
+            schemes=["ecmp"], policies=["compact"],
+        )
+        seeds = [s.params_dict()["placement_seed"] for s in specs]
+        assert seeds == [7, 8]
+
+    def test_ml_subset_and_params(self):
+        (spec,) = ml_jobs(
+            "small", seed=2, topologies=["leaf-spine"],
+            schemes=["su2"], policies=["random"], placement_seeds=[5],
+        )
+        assert spec.pattern == "leaf-spine" and spec.scheme == "su2"
+        params = spec.params_dict()
+        assert params["policy"] == "random"
+        assert params["placement_seed"] == 5
+
+    def test_assemble_ml_preserves_spec_order(self):
+        specs = ml_jobs(
+            "small", topologies=["dring", "rrg"],
+            schemes=["ecmp"], policies=["compact"], placement_seeds=[0],
+        )
+        results = {
+            spec.key(): {"topology": spec.pattern} for spec in specs
+        }
+        cells = assemble_ml(specs, results)
+        assert [c["topology"] for c in cells] == ["dring", "rrg"]
+
     def test_sweep_jobs_concatenates(self):
         specs = sweep_jobs(["fig5", "fig6"], "small", seed=0)
         assert len(specs) == 32 + 6
@@ -163,5 +201,5 @@ class TestJobLists:
 
     def test_all_builtin_experiments_registered(self):
         for name in ("fig4", "fig5", "fig6", "robustness", "ablation-k",
-                     "ablation-shape", "faults", "selftest"):
+                     "ablation-shape", "faults", "ml", "selftest"):
             assert name in EXPERIMENT_REGISTRY

@@ -27,6 +27,22 @@ class TestDimensionVocabulary:
         assert dimension_of_name("scale") is None
         assert dimension_of_name("value") is None
 
+    def test_ml_collective_vocabulary(self):
+        assert dimension_of_name("comm_size_bytes") == "bytes"
+        assert dimension_of_name("comm") == "bytes"
+        assert dimension_of_name("comp_time_s") == "seconds"
+        assert dimension_of_name("iteration_time") == "seconds"
+        assert dimension_of_name("num_layers") == "count"
+        assert dimension_of_name("num_iterations") == "count"
+        assert dimension_of_name("num_workers") == "count"
+
+    def test_rightmost_wins_on_ml_names(self):
+        # ``iteration`` alone counts; ``iteration_time`` is seconds.
+        assert dimension_of_name("iteration") == "count"
+        assert dimension_of_name("mean_iteration_time_s") == "seconds"
+        # ``comm`` alone is bytes; its elapsed time is seconds.
+        assert dimension_of_name("comm_time_s") == "seconds"
+
 
 class TestArithmetic:
     def test_mixed_addition_flagged(self, tmp_path):
@@ -92,6 +108,36 @@ class TestCallSites:
             ),
         })
         assert len(findings) == 1
+
+    def test_ml_mismatch_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def consume(comm_size_bytes):\n"
+                "    return comm_size_bytes\n"
+                "\n"
+                "def feed(comp_time_s):\n"
+                "    return consume(comp_time_s)\n"
+            ),
+        })
+        assert len(findings) == 1
+        assert "parameter 'comm_size_bytes'" in findings[0].message
+
+    def test_layers_plus_seconds_flagged(self, tmp_path):
+        findings = _check(tmp_path, {
+            "calc.py": (
+                "def mix(num_layers, comp_time_s):\n"
+                "    return num_layers + comp_time_s\n"
+            ),
+        })
+        assert len(findings) == 1
+
+    def test_layers_times_seconds_exempt(self, tmp_path):
+        assert _check(tmp_path, {
+            "calc.py": (
+                "def scale_time(num_layers, comp_time_s):\n"
+                "    return num_layers * comp_time_s\n"
+            ),
+        }) == []
 
     def test_matching_dimensions_quiet(self, tmp_path):
         assert _check(tmp_path, {

@@ -1,10 +1,12 @@
-"""Acceptance: a fig4 cell submitted over HTTP, end to end.
+"""Acceptance: fig4 and ML cells submitted over HTTP, end to end.
 
 The ISSUE 6 acceptance loop — start the service against an empty
 store, submit one Figure-4 cell through the real HTTP API, observe at
 least one progress event carrying SimTrace stats, fetch the stored
 result, see the cell ranked on ``/leaderboard``, and confirm a warm
-resubmit completes as a 100% cache hit without re-running.
+resubmit completes as a 100% cache hit without re-running.  The ISSUE 7
+loop rides the same fixture: an ML collective cell submits through the
+service and ranks on the ``iteration_time`` leaderboard.
 """
 
 import multiprocessing
@@ -43,6 +45,15 @@ CELL = {
     "scheme": "DRing (su2)",
     "pattern": "A2A",
     "seed": 0,
+}
+
+ML_CELL = {
+    "experiment": "ml",
+    "scale": "tiny-svc-fig4",
+    "scheme": "ecmp",
+    "pattern": "dring",
+    "seed": 0,
+    "params": {"policy": "compact", "placement_seed": 0},
 }
 
 
@@ -104,3 +115,43 @@ class TestFig4OverHttp:
         assert store.hits > hits_before
         # a hit produces no fresh flow records: still exactly one entry
         assert client.results()["count"] == 1
+
+
+@fork_only
+class TestMlOverHttp:
+    def test_full_loop(self, service):
+        client, store = service
+
+        # 1. submit the ML cell; run to completion
+        final = client.wait(client.submit(ML_CELL)["id"])
+        assert final["state"] == "done"
+
+        # 2. the stored result carries the iteration-time headline
+        payload = client.result(final["key"])
+        assert payload["spec"]["experiment"] == "ml"
+        params = {k: v for k, v in payload["spec"]["params"]}
+        assert params["policy"] == "compact"
+        assert payload["result"]["iteration_time_s"] > 0.0
+        assert payload["result"]["num_jobs"] == 3
+
+        # 3. the cell ranks on the iteration_time leaderboard, and
+        #    fig4 cells in the same store never cross-compete
+        board = client.leaderboard(metric="iteration_time")
+        assert board["metric"] == "iteration_time"
+        assert len(board["rows"]) >= 1
+        assert all(
+            row["experiment"] == "ml" for row in board["rows"]
+        )
+        top = board["rows"][0]
+        assert top["rank"] == 1
+        assert top["iteration_time"] == pytest.approx(
+            payload["result"]["iteration_time_s"]
+        )
+
+        # 4. warm resubmit is a pure cache hit
+        hits_before = store.hits
+        rerun = client.wait(client.submit(ML_CELL)["id"])
+        assert rerun["state"] == "done"
+        assert rerun["cache_hit"] is True
+        assert rerun["key"] == final["key"]
+        assert store.hits > hits_before

@@ -5,9 +5,12 @@ import pytest
 from repro.harness.jobs import JobSpec
 from repro.service.leaderboard import (
     DEFAULT_METRIC,
+    LEADERBOARD_METRICS,
+    METRIC_REGISTRY,
     LeaderboardEntry,
     build_leaderboard,
     entry_from_payload,
+    metric_names,
     rank_entries,
     render_leaderboard,
 )
@@ -44,6 +47,49 @@ def entry(scheme, pattern, fct_seconds, seed=0, key="k"):
     return made
 
 
+def ml_payload(topology, iteration_time_s, scheme="ecmp", key=None,
+               seed=0):
+    spec = JobSpec.make(
+        "ml", scale="tiny", scheme=scheme, pattern=topology, seed=seed,
+        policy="compact", placement_seed=seed,
+    )
+    return {
+        "key": key or spec.key(),
+        "spec": spec.to_dict(),
+        "created_at": 100.0,
+        "result": {
+            "iteration_time_s": iteration_time_s,
+            "max_iteration_time_s": 2 * iteration_time_s,
+            "num_jobs": 3,
+            "num_workers": 24,
+        },
+    }
+
+
+def ml_entry(topology, iteration_time_s, **kwargs):
+    made = entry_from_payload(ml_payload(topology, iteration_time_s,
+                                         **kwargs))
+    assert made is not None
+    return made
+
+
+class TestMetricRegistry:
+    def test_registry_covers_both_families(self):
+        assert set(metric_names()) >= {
+            "p99_fct_ms", "median_fct_ms", "throughput_gbps",
+            "iteration_time", "max_iteration_time",
+        }
+
+    def test_back_compat_mapping_stays_in_sync(self):
+        assert set(LEADERBOARD_METRICS) == set(METRIC_REGISTRY)
+        for name, spec in METRIC_REGISTRY.items():
+            assert LEADERBOARD_METRICS[name] == spec.higher_is_better
+
+    def test_directions(self):
+        assert LEADERBOARD_METRICS["throughput_gbps"] is True
+        assert LEADERBOARD_METRICS["iteration_time"] is False
+
+
 class TestEntryFromPayload:
     def test_fig4_cell_is_rankable(self):
         made = entry("dring su2", "A2A", 0.002)
@@ -72,6 +118,29 @@ class TestEntryFromPayload:
         payload["result"] = {"records": [[1, 2]]}  # wrong arity
         assert entry_from_payload(payload) is None
 
+    def test_fig4_dict_key_order_is_frozen(self):
+        """Stored JSON must stay byte-identical across refactors."""
+        made = entry("dring su2", "A2A", 0.002)
+        assert list(made.to_dict().keys()) == [
+            "key", "experiment", "scale", "scheme", "pattern", "seed",
+            "num_flows", "median_fct_ms", "p99_fct_ms",
+            "throughput_gbps", "created_at",
+        ]
+
+    def test_ml_cell_is_rankable(self):
+        made = ml_entry("dring", 0.004)
+        assert made.experiment == "ml"
+        assert made.metric("iteration_time") == pytest.approx(0.004)
+        assert made.metric("max_iteration_time") == pytest.approx(0.008)
+        assert made.num_jobs == 3 and made.num_workers == 24
+        # no FCT metrics on an ml entry
+        assert made.metric("p99_fct_ms") is None
+
+    def test_ml_without_iteration_time_not_rankable(self):
+        payload = ml_payload("dring", 0.004)
+        del payload["result"]["iteration_time_s"]
+        assert entry_from_payload(payload) is None
+
 
 class TestRanking:
     def test_fct_metrics_rank_lower_first(self):
@@ -98,6 +167,18 @@ class TestRanking:
     def test_unknown_metric_rejected(self):
         with pytest.raises(ValueError, match="unknown leaderboard"):
             rank_entries([], metric="vibes")
+
+    def test_iteration_time_ranks_lower_first(self):
+        slow = ml_entry("leaf-spine", 0.006, key="s")
+        fast = ml_entry("dring", 0.003, key="f")
+        ranked = rank_entries([slow, fast], "iteration_time")
+        assert [e.pattern for e in ranked] == ["dring", "leaf-spine"]
+
+    def test_families_never_cross_compete(self):
+        fig4 = entry("dring su2", "A2A", 0.002, key="fig4")
+        ml = ml_entry("dring", 0.003, key="ml")
+        assert rank_entries([fig4, ml], "iteration_time") == [ml]
+        assert rank_entries([fig4, ml], "p99_fct_ms") == [fig4]
 
 
 class TestBuildAndRender:
@@ -149,3 +230,36 @@ class TestBuildAndRender:
         made = entry("dring su2", "A2A", 0.002)
         assert made.metric("p99_fct_ms") == made.p99_fct_ms
         assert isinstance(made, LeaderboardEntry)
+
+    def test_render_ml_board(self):
+        ranked = rank_entries(
+            [ml_entry("leaf-spine", 0.006, key="s"),
+             ml_entry("dring", 0.003, key="f")],
+            "iteration_time",
+        )
+        rows = [
+            dict(e.to_dict(), rank=i)
+            for i, e in enumerate(ranked, start=1)
+        ]
+        text = render_leaderboard(rows, "iteration_time")
+        assert text.splitlines()[0] == (
+            "leaderboard by iteration_time (v best first)"
+        )
+        assert "dring" in text and "leaf-spine" in text
+        assert "topology" in text.splitlines()[1]
+
+    def test_build_ranks_ml_store_contents(self, tmp_path):
+        store = ServiceStore(tmp_path / "store")
+        for topology, t in (("leaf-spine", 0.006), ("dring", 0.003)):
+            spec = JobSpec.make(
+                "ml", scale="tiny", scheme="ecmp", pattern=topology,
+                seed=0, policy="compact", placement_seed=0,
+            )
+            store.put(spec.key(), spec, {
+                "iteration_time_s": t,
+                "max_iteration_time_s": 2 * t,
+                "num_jobs": 3, "num_workers": 24,
+            }, 0.1)
+        rows = build_leaderboard(store, metric="iteration_time")
+        assert [r["pattern"] for r in rows] == ["dring", "leaf-spine"]
+        assert rows[0]["rank"] == 1

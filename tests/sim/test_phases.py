@@ -1,0 +1,176 @@
+"""Tests for the barrier-synchronized phase-cohort driver."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.routing import CoarseAdaptiveRouting, EcmpRouting
+from repro.sim import (
+    CollectiveResults,
+    FlowSimulator,
+    PhaseCohortDriver,
+    phase_seed,
+    run_collectives,
+)
+from repro.sim.engine import trace as sim_trace
+from repro.traffic import (
+    TrainingJob,
+    collective_flows,
+    identity_placement,
+    place_jobs,
+)
+
+
+def placed_jobs(network, policy="striped", seed=0, iterations=1):
+    jobs = [
+        TrainingJob(
+            "ring", 6, 1e6, 1e-3,
+            num_layers=2, num_iterations=iterations,
+        ),
+        TrainingJob(
+            "moe", 5, 5e5, 5e-4,
+            num_iterations=iterations, collective="all-to-all",
+        ),
+    ]
+    return place_jobs(jobs, network, policy, seed=seed)
+
+
+class TestSinglePhaseParity:
+    def test_bit_for_bit_vs_plain_flowsim(self, small_leafspine):
+        """One job, one iteration: driver records == plain flowsim."""
+        placements = place_jobs(
+            [TrainingJob("solo", 6, 1e6, 1e-3, num_layers=2)],
+            small_leafspine, "striped", seed=3,
+        )
+        routing = EcmpRouting(small_leafspine)
+        driver = PhaseCohortDriver(
+            small_leafspine, routing, placements,
+            seed=11, keep_phase_records=True,
+        )
+        collected = driver.run()
+        plain = FlowSimulator(
+            small_leafspine, routing, identity_placement(small_leafspine),
+            seed=phase_seed(11, 0),
+        ).run(collective_flows(placements[0], start_time=0.0))
+        assert len(collected.phase_records) == 1
+        assert collected.phase_records[0].records == plain.records
+
+    def test_phase_seeds_differ_across_iterations(self):
+        assert phase_seed(0, 0) != phase_seed(0, 1)
+        assert phase_seed(0, 1) == phase_seed(0, 1)
+
+
+class TestDriver:
+    def test_timelines_cover_every_iteration(self, small_leafspine):
+        placements = placed_jobs(small_leafspine, iterations=3)
+        routing = EcmpRouting(small_leafspine)
+        collected = run_collectives(
+            small_leafspine, routing, placements, seed=0
+        )
+        for placement in placements:
+            timeline = collected.timeline(placement.job.name)
+            assert timeline.num_iterations == 3
+            for record in timeline.records:
+                assert record.comm_time_s > 0.0
+                assert record.iteration_time_s == pytest.approx(
+                    record.comm_time_s + record.comp_time_s
+                )
+
+    def test_jobs_retire_at_their_own_iteration_count(
+        self, small_leafspine
+    ):
+        jobs = [
+            TrainingJob("long", 4, 1e6, 1e-3, num_iterations=3),
+            TrainingJob("short", 4, 1e6, 1e-3, num_iterations=1),
+        ]
+        placements = place_jobs(jobs, small_leafspine, "striped")
+        collected = run_collectives(
+            small_leafspine, EcmpRouting(small_leafspine), placements
+        )
+        assert collected.timeline("long").num_iterations == 3
+        assert collected.timeline("short").num_iterations == 1
+
+    def test_deterministic_across_runs(self, small_leafspine):
+        placements = placed_jobs(small_leafspine, iterations=2)
+        routing = EcmpRouting(small_leafspine)
+        a = run_collectives(small_leafspine, routing, placements, seed=4)
+        b = run_collectives(small_leafspine, routing, placements, seed=4)
+        assert a.to_json_dict() == b.to_json_dict()
+
+    def test_single_worker_job_has_zero_comm(self, small_leafspine):
+        placements = place_jobs(
+            [TrainingJob("solo", 1, 1e6, 2e-3)], small_leafspine
+        )
+        collected = run_collectives(
+            small_leafspine, EcmpRouting(small_leafspine), placements
+        )
+        (record,) = collected.timeline("solo").records
+        assert record.comm_time_s == 0.0
+        assert record.iteration_time_s == pytest.approx(2e-3)
+
+    def test_trace_counters(self, small_leafspine):
+        placements = placed_jobs(small_leafspine, iterations=2)
+        routing = EcmpRouting(small_leafspine)
+        driver = PhaseCohortDriver(
+            small_leafspine, routing, placements, seed=0
+        )
+        with sim_trace.collecting() as collector:
+            driver.run()
+        assert driver.trace.counters["phases"] == 2
+        assert driver.trace.counters["job_iterations"] == 4
+        assert driver.trace.counters["phase_flows"] > 0
+        # driver trace merges into the ambient collector
+        assert collector.counters["phases"] == 2
+
+    def test_adaptive_routing_observes_each_phase(self, small_leafspine):
+        placements = placed_jobs(small_leafspine, iterations=2)
+        routing = CoarseAdaptiveRouting(small_leafspine, k=2)
+        observed = []
+        original = routing.observe
+
+        def spy(demands):
+            observed.append(dict(demands))
+            return original(demands)
+
+        routing.observe = spy  # type: ignore[method-assign]
+        run_collectives(small_leafspine, routing, placements, seed=0)
+        assert len(observed) == 2
+        assert all(demands for demands in observed)
+
+    def test_validation(self, small_leafspine, small_dring):
+        routing = EcmpRouting(small_leafspine)
+        with pytest.raises(ValueError, match="at least one"):
+            PhaseCohortDriver(small_leafspine, routing, [])
+        with pytest.raises(ValueError, match="different network"):
+            PhaseCohortDriver(
+                small_dring, routing,
+                placed_jobs(small_dring),
+            )
+
+
+class TestCollectiveResults:
+    def collected(self, network):
+        return run_collectives(
+            network, EcmpRouting(network),
+            placed_jobs(network, iterations=2), seed=1,
+        )
+
+    def test_headline_metrics(self, small_leafspine):
+        collected = self.collected(small_leafspine)
+        mean = collected.iteration_time_s()
+        straggler = collected.max_iteration_time_s()
+        assert 0.0 < mean <= straggler
+
+    def test_json_round_trip_exact(self, small_leafspine):
+        collected = self.collected(small_leafspine)
+        data = json.loads(json.dumps(collected.to_json_dict()))
+        again = CollectiveResults.from_json_dict(data)
+        assert again.to_json_dict() == collected.to_json_dict()
+        assert again.iteration_time_s() == collected.iteration_time_s()
+
+    def test_unknown_timeline_rejected(self, small_leafspine):
+        collected = self.collected(small_leafspine)
+        with pytest.raises(KeyError):
+            collected.timeline("nope")

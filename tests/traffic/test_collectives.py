@@ -1,0 +1,239 @@
+"""Tests for ML training workloads: jobs, placement policies, flows."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.topology import jellyfish, leaf_spine
+from repro.traffic import (
+    PLACEMENT_POLICIES,
+    JobPlacement,
+    TrainingJob,
+    collective_flows,
+    identity_placement,
+    job_of_server,
+    place_jobs,
+    rack_demands_of_flows,
+)
+
+
+def ring_job(workers=4, **kwargs):
+    defaults = dict(
+        name="ring",
+        num_workers=workers,
+        comm_size_bytes=1e6,
+        comp_time_s=1e-3,
+    )
+    defaults.update(kwargs)
+    return TrainingJob(**defaults)
+
+
+def a2a_job(workers=4, **kwargs):
+    return ring_job(
+        workers, name=kwargs.pop("name", "a2a"),
+        collective="all-to-all", **kwargs,
+    )
+
+
+class TestTrainingJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_job(0)
+        with pytest.raises(ValueError):
+            ring_job(comm_size_bytes=0.0)
+        with pytest.raises(ValueError):
+            ring_job(num_layers=0)
+        with pytest.raises(ValueError):
+            ring_job(num_iterations=0)
+        with pytest.raises(ValueError):
+            ring_job(collective="broadcast")
+        with pytest.raises(ValueError):
+            ring_job(name="")
+
+    def test_json_round_trip(self):
+        job = ring_job(6, num_layers=3, num_iterations=2)
+        data = json.loads(json.dumps(job.to_json_dict()))
+        assert TrainingJob.from_json_dict(data) == job
+
+
+class TestPlacementPolicies:
+    def test_placements_disjoint_and_sized(self, small_leafspine):
+        jobs = [ring_job(6, name="a"), a2a_job(5, name="b")]
+        for policy in PLACEMENT_POLICIES:
+            placed = place_jobs(jobs, small_leafspine, policy, seed=1)
+            assert [p.job.name for p in placed] == ["a", "b"]
+            servers = [s for p in placed for s in p.servers]
+            assert len(servers) == len(set(servers)) == 11
+            assert all(
+                0 <= s < small_leafspine.num_servers for s in servers
+            )
+
+    def test_compact_packs_racks(self, small_leafspine):
+        # 4 servers per rack: a 4-worker job compactly fills one rack.
+        (placed,) = place_jobs(
+            [ring_job(4)], small_leafspine, "compact", seed=0
+        )
+        assert len(placed.racks(small_leafspine)) == 1
+
+    def test_striped_spreads_racks(self, small_leafspine):
+        # 6 racks: striped puts 6 consecutive workers on 6 racks.
+        (placed,) = place_jobs(
+            [ring_job(6)], small_leafspine, "striped", seed=0
+        )
+        assert len(placed.racks(small_leafspine)) == 6
+
+    def test_same_seed_identical(self, small_leafspine):
+        jobs = [ring_job(8)]
+        a = place_jobs(jobs, small_leafspine, "random", seed=5)
+        b = place_jobs(jobs, small_leafspine, "random", seed=5)
+        assert a == b
+
+    def test_distinct_seeds_distinct(self, small_leafspine):
+        jobs = [ring_job(8)]
+        seen = {
+            place_jobs(jobs, small_leafspine, "random", seed=s)[0].servers
+            for s in range(4)
+        }
+        assert len(seen) > 1
+
+    def test_odd_rack_count(self):
+        # 9 switches x 3 servers: odd rack count, striping must wrap.
+        net = jellyfish(9, 4, servers_per_switch=3, seed=7)
+        for policy in PLACEMENT_POLICIES:
+            placed = place_jobs(
+                [ring_job(7, name="odd")], net, policy, seed=2
+            )
+            servers = placed[0].servers
+            assert len(set(servers)) == 7
+
+    def test_job_larger_than_a_rack(self, small_leafspine):
+        # 4 servers per rack, 10 workers: must span >= 3 racks.
+        (placed,) = place_jobs(
+            [ring_job(10)], small_leafspine, "compact", seed=0
+        )
+        assert len(placed.racks(small_leafspine)) >= 3
+
+    def test_capacity_enforced(self, small_leafspine):
+        with pytest.raises(ValueError, match="servers"):
+            place_jobs(
+                [ring_job(small_leafspine.num_servers + 1)],
+                small_leafspine,
+            )
+
+    def test_duplicate_names_rejected(self, small_leafspine):
+        with pytest.raises(ValueError, match="distinct"):
+            place_jobs(
+                [ring_job(2, name="x"), ring_job(2, name="x")],
+                small_leafspine,
+            )
+
+    def test_unknown_policy_rejected(self, small_leafspine):
+        with pytest.raises(ValueError, match="policy"):
+            place_jobs([ring_job(2)], small_leafspine, "teleport")
+
+    def test_cross_process_determinism(self, small_leafspine):
+        """Same (policy, seed) places identically in a fresh process."""
+        script = (
+            "import json\n"
+            "from repro.topology import leaf_spine\n"
+            "from repro.traffic import TrainingJob, place_jobs\n"
+            "net = leaf_spine(4, 2)\n"
+            "jobs = [TrainingJob('a', 6, 1e6, 1e-3),"
+            " TrainingJob('b', 5, 2e6, 1e-3, collective='all-to-all')]\n"
+            "out = {}\n"
+            "for policy in ('compact', 'random', 'striped'):\n"
+            "    placed = place_jobs(jobs, net, policy, seed=9)\n"
+            "    out[policy] = [list(p.servers) for p in placed]\n"
+            "print(json.dumps(out))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="77")
+        child = json.loads(subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout)
+        jobs = [
+            TrainingJob("a", 6, 1e6, 1e-3),
+            TrainingJob("b", 5, 2e6, 1e-3, collective="all-to-all"),
+        ]
+        for policy in PLACEMENT_POLICIES:
+            placed = place_jobs(jobs, small_leafspine, policy, seed=9)
+            assert child[policy] == [list(p.servers) for p in placed]
+
+
+class TestCollectiveFlows:
+    def test_ring_flow_count_and_size(self):
+        placement = JobPlacement(
+            job=ring_job(4, num_layers=3), servers=(0, 1, 2, 3)
+        )
+        flows = collective_flows(placement)
+        assert len(flows) == 4 * 3
+        expected = 2.0 * 3 / 4 * 1e6
+        assert all(f.size_bytes == pytest.approx(expected) for f in flows)
+        # worker i talks to its ring successor only
+        pairs = {(f.src_server, f.dst_server) for f in flows}
+        assert pairs == {(0, 1), (1, 2), (2, 3), (3, 0)}
+
+    def test_all_to_all_flow_count_and_size(self):
+        placement = JobPlacement(job=a2a_job(5), servers=(4, 5, 6, 7, 8))
+        flows = collective_flows(placement)
+        assert len(flows) == 5 * 4
+        assert all(
+            f.size_bytes == pytest.approx(1e6 / 4) for f in flows
+        )
+
+    def test_total_bytes_conserved_per_worker(self):
+        # all-to-all: each worker emits exactly comm_size_bytes per layer
+        placement = JobPlacement(job=a2a_job(5), servers=(0, 1, 2, 3, 4))
+        sent = {}
+        for f in collective_flows(placement):
+            sent[f.src_server] = sent.get(f.src_server, 0.0) + f.size_bytes
+        assert all(v == pytest.approx(1e6) for v in sent.values())
+
+    def test_single_worker_has_no_phase(self):
+        placement = JobPlacement(job=ring_job(1), servers=(3,))
+        assert collective_flows(placement) == []
+
+    def test_start_time_propagates(self):
+        placement = JobPlacement(job=ring_job(2), servers=(0, 1))
+        flows = collective_flows(placement, start_time=0.25)
+        assert all(f.start_time == 0.25 for f in flows)
+
+
+class TestAdapters:
+    def test_identity_placement_is_identity(self, small_leafspine):
+        placement = identity_placement(small_leafspine)
+        for server in range(small_leafspine.num_servers):
+            assert placement.network_server(server) == server
+
+    def test_job_of_server(self, small_leafspine):
+        placed = place_jobs(
+            [ring_job(3, name="a"), ring_job(2, name="b")],
+            small_leafspine,
+        )
+        mapping = job_of_server(placed)
+        assert sorted(mapping.values()).count("a") == 3
+        assert sorted(mapping.values()).count("b") == 2
+
+    def test_rack_demands_drop_intra_rack(self, small_leafspine):
+        # compact 4-worker job fills one rack: all traffic intra-rack.
+        (placed,) = place_jobs(
+            [ring_job(4)], small_leafspine, "compact", seed=0
+        )
+        flows = collective_flows(placed)
+        assert rack_demands_of_flows(flows, small_leafspine) == {}
+
+    def test_rack_demands_aggregate(self, small_leafspine):
+        (placed,) = place_jobs(
+            [ring_job(6)], small_leafspine, "striped", seed=0
+        )
+        flows = collective_flows(placed)
+        demands = rack_demands_of_flows(flows, small_leafspine)
+        assert demands
+        assert sum(demands.values()) == pytest.approx(
+            sum(f.size_bytes for f in flows)
+        )
