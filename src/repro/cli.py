@@ -700,10 +700,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.flow import FLOW_REGISTRY, all_flow_rules
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.name:<26} {rule.summary}")
+        groups = [
+            ("ast", "per-file AST rules", list(all_rules())),
+            ("flow", "call-graph rules [deep]", []),
+            ("concurrency", "lockset/order/blocking rules [deep]", []),
+        ]
+        by_engine = {name: rules for name, _title, rules in groups}
         for flow_rule in all_flow_rules():
-            print(f"{flow_rule.name:<26} [deep] {flow_rule.summary}")
+            by_engine.setdefault(flow_rule.engine, []).append(flow_rule)
+        first = True
+        for engine, title, _rules in groups:
+            rules = by_engine.get(engine, [])
+            if not rules:
+                continue
+            if not first:
+                print()
+            first = False
+            print(f"{engine} — {title}")
+            for rule in rules:
+                print(f"  {rule.name:<28} {rule.summary}")
         return 0
     paths = args.paths or [
         p for p in ("src", "tests") if pathlib.Path(p).exists()

@@ -21,6 +21,10 @@ class FlowRule:
     name: str = ""
     summary: str = ""
     invariant: str = ""
+    #: Which analysis engine the rule runs on: "flow" for the
+    #: call-graph analyses, "concurrency" for the lockset/order/
+    #: blocking suite (``--list-rules`` groups by this).
+    engine: str = "flow"
 
     def check(self, graph: CallGraph) -> Iterable[Finding]:
         raise NotImplementedError
@@ -49,6 +53,11 @@ def register_flow_rule(cls: Type[FlowRule]) -> Type[FlowRule]:
 def all_flow_rules() -> List[FlowRule]:
     """Every registered deep rule, by name (registers on import)."""
     from repro.lint.flow import effects, taint, units, worker  # noqa: F401
+    from repro.lint.flow.concurrency import (  # noqa: F401
+        blocking,
+        order,
+        races,
+    )
 
     return [FLOW_REGISTRY[name] for name in sorted(FLOW_REGISTRY)]
 

@@ -29,6 +29,9 @@ class Rule:
     name: str = ""
     summary: str = ""
     invariant: str = ""
+    #: Per-file rules all run on the AST engine; ``--list-rules``
+    #: groups output by this label (ast / flow / concurrency).
+    engine: str = "ast"
 
     def applies(self, context: FileContext) -> bool:
         """Whether the rule runs on this file at all (path scoping)."""

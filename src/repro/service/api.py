@@ -128,14 +128,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 })
             elif parts == ("jobs",):
                 self._send_json(200, {
-                    "jobs": [
-                        job.to_dict()
-                        for job in self.server.manager.jobs()
-                    ],
+                    "jobs": self.server.manager.describe_all(),
                 })
             elif len(parts) == 2 and parts[0] == "jobs":
-                job = self.server.manager.get(parts[1])
-                self._send_json(200, {"job": job.to_dict()})
+                self._send_json(200, {
+                    "job": self.server.manager.describe(parts[1]),
+                })
             elif (
                 len(parts) == 3
                 and parts[0] == "jobs"
@@ -167,14 +165,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if parts == ("jobs",):
                 submission = self._read_body()
                 job = self.server.manager.submit(submission)
-                self._send_json(202, {"job": job.to_dict()})
+                self._send_json(
+                    202, {"job": self.server.manager.describe(job.id)}
+                )
             elif (
                 len(parts) == 3
                 and parts[0] == "jobs"
                 and parts[2] == "cancel"
             ):
                 job = self.server.manager.cancel(parts[1])
-                self._send_json(200, {"job": job.to_dict()})
+                self._send_json(
+                    200, {"job": self.server.manager.describe(job.id)}
+                )
             else:
                 self._send_error_json(404, f"no route POST {self.path}")
         except ValidationError as exc:
@@ -189,10 +191,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if len(parts) == 2 and parts[0] == "jobs":
             try:
                 job = self.server.manager.cancel(parts[1])
+                payload = self.server.manager.describe(job.id)
             except UnknownJobError as exc:
                 self._send_error_json(404, f"unknown job {exc.args[0]!r}")
                 return
-            self._send_json(200, {"job": job.to_dict()})
+            self._send_json(200, {"job": payload})
         else:
             self._send_error_json(404, f"no route DELETE {self.path}")
 
@@ -208,10 +211,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
         else:
             events = self.server.manager.events_since(job_id, after=after)
-        job = self.server.manager.get(job_id)
+        snapshot = self.server.manager.describe(job_id)
         self._send_json(200, {
             "job": job_id,
-            "state": job.state,
+            "state": snapshot["state"],
             "events": events,
         })
 

@@ -129,20 +129,36 @@ def validate_submission(payload: Mapping[str, Any]) -> JobSpec:
 
 @dataclass
 class ServiceJob:
-    """One submitted cell and everything that happened to it."""
+    """One submitted cell and everything that happened to it.
+
+    ``id``/``spec``/``key``/``submitted_at`` are immutable after
+    construction; every mutable field is guarded by the owning
+    manager's condition variable (the ``repro-guard`` declarations
+    below are enforced by ``deep-lockset-races``).  Handlers that need
+    a job's state use :meth:`JobManager.describe`, which snapshots
+    under the lock, rather than reading fields off a shared job.
+    """
 
     id: str
     spec: JobSpec
     key: str
     submitted_at: float
+    # repro-guard: state by JobManager._cond -- every transition happens in a manager method holding the condition
     state: str = QUEUED
+    # repro-guard: started_at by JobManager._cond -- set by the worker loop under the condition
     started_at: Optional[float] = None
+    # repro-guard: finished_at by JobManager._cond -- set by _finish under the condition
     finished_at: Optional[float] = None
+    # repro-guard: error by JobManager._cond -- set by _finish under the condition
     error: str = ""
+    # repro-guard: cache_hit by JobManager._cond -- set once by _execute under the condition
     cache_hit: bool = False
+    # repro-guard: events by JobManager._cond -- appended by _append_event under the condition
     events: List[Dict[str, Any]] = field(default_factory=list)
+    # repro-guard: cancel_event unguarded -- threading.Event is internally synchronized
     cancel_event: threading.Event = field(default_factory=threading.Event)
 
+    # repro-guard: requires JobManager._cond -- reads the guarded fields; describe()/describe_all() snapshot under the condition
     def to_dict(self, include_events: bool = False) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "id": self.id,
@@ -242,6 +258,28 @@ class JobManager:
         """Every known job, in submission order."""
         with self._cond:
             return list(self._jobs.values())
+
+    def describe(
+        self, job_id: str, include_events: bool = False
+    ) -> Dict[str, Any]:
+        """A consistent snapshot of one job, taken under the lock.
+
+        This is what request handlers serialize: reading fields off a
+        :class:`ServiceJob` outside the condition can observe a state
+        transition half-applied (e.g. ``state == "done"`` with
+        ``finished_at`` still ``None``).
+        """
+        with self._cond:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+            return job.to_dict(include_events=include_events)
+
+    def describe_all(self) -> List[Dict[str, Any]]:
+        """Consistent snapshots of every job, in submission order."""
+        with self._cond:
+            return [job.to_dict() for job in self._jobs.values()]
 
     def counts(self) -> Dict[str, int]:
         """How many jobs sit in each state (zero-filled)."""
@@ -373,6 +411,7 @@ class JobManager:
 
     # -- internals; caller holds the condition -------------------------
 
+    # repro-guard: requires _cond -- mutates job.events; callers already hold the condition for the enclosing transition
     def _append_event(
         self, job: ServiceJob, kind: str, extra: Dict[str, Any]
     ) -> None:
@@ -386,6 +425,7 @@ class JobManager:
         event.update(extra)
         job.events.append(event)
 
+    # repro-guard: requires _cond -- state transition + notify must be atomic with the caller's own checks
     def _finish(self, job: ServiceJob, state: str, error: str = "") -> None:
         job.state = state
         job.error = error

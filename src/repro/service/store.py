@@ -38,6 +38,11 @@ _INDEX_VERSION = 1
 #: Seconds between lock-acquisition attempts.
 _LOCK_PAUSE_SECONDS = 0.005
 
+#: `_break_if_stale` outcomes: keep waiting (holder is live), retry the
+#: open immediately (the lock vanished or another breaker holds the
+#: claim), or we broke a stale lock and may retry.
+_WAIT, _RETRY, _BROKE = 0, 1, 2
+
 
 class StoreLockTimeout(RuntimeError):
     """The store lock could not be acquired within its deadline."""
@@ -62,8 +67,10 @@ class StoreLock:
         self.timeout = timeout
         self.stale_after = stale_after
 
-    def acquire(self) -> None:
+    def acquire(self) -> bool:
+        """Take the lock; returns True when a stale lock was broken."""
         deadline = clock.perf() + self.timeout
+        broke = False
         while True:
             try:
                 fd = os.open(
@@ -71,21 +78,28 @@ class StoreLock:
                     os.O_CREAT | os.O_EXCL | os.O_WRONLY,
                     0o644,
                 )
+            except FileNotFoundError:
+                # First write into a store whose root does not exist yet.
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                continue
             except FileExistsError:
-                if self._break_if_stale():
+                status = self._break_if_stale()
+                if status == _BROKE:
+                    broke = True
                     continue
                 if clock.perf() >= deadline:
                     raise StoreLockTimeout(
                         f"store lock {self.path} held for more than "
                         f"{self.timeout:.1f}s"
                     )
-                time.sleep(_LOCK_PAUSE_SECONDS)
+                if status == _WAIT:
+                    time.sleep(_LOCK_PAUSE_SECONDS)
                 continue
             try:
                 os.write(fd, str(os.getpid()).encode())
             finally:
                 os.close(fd)
-            return
+            return broke
 
     def release(self) -> None:
         try:
@@ -93,19 +107,69 @@ class StoreLock:
         except OSError:
             pass
 
-    def _break_if_stale(self) -> bool:
-        """Remove a lock whose holder stopped refreshing it; True if so."""
+    @property
+    def _claim_path(self) -> str:
+        return str(self.path) + ".break"
+
+    def _break_if_stale(self) -> int:
+        """Break a lock whose holder stopped refreshing it — at most one
+        breaker wins.
+
+        Unlinking a stale lock is itself a read-modify-write: two
+        processes that both observed the stale mtime would both unlink,
+        and the second unlink can destroy the *fresh* lock the first
+        breaker (or anyone else) just acquired.  Breaking therefore goes
+        through a claim file (``<lock>.break``, ``O_CREAT | O_EXCL``):
+        only the claim holder re-checks staleness and unlinks, so every
+        other contender sees either the live lock or no lock at all.  A
+        claim whose owner died is itself broken by age, with the same
+        rule.
+        """
         try:
             age = clock.now() - self.path.stat().st_mtime
         except OSError:
-            return True  # holder released between our open and stat
+            return _RETRY  # holder released between our open and stat
         if age <= self.stale_after:
-            return False
+            return _WAIT
         try:
-            os.unlink(self.path)
-        except OSError:
-            pass
-        return True
+            fd = os.open(
+                self._claim_path,
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except FileExistsError:
+            try:
+                claim_age = (
+                    clock.now() - os.stat(self._claim_path).st_mtime
+                )
+            except OSError:
+                return _RETRY  # breaker finished; retry the open
+            if claim_age > self.stale_after:
+                try:
+                    os.unlink(self._claim_path)
+                except OSError:
+                    pass
+            return _RETRY
+        os.close(fd)
+        try:
+            # Re-check under the claim: the holder may have released
+            # (and someone fresh acquired) while we raced for it.
+            try:
+                age = clock.now() - self.path.stat().st_mtime
+            except OSError:
+                return _RETRY
+            if age <= self.stale_after:
+                return _WAIT
+            try:
+                os.unlink(self.path)
+            except OSError:
+                return _RETRY
+            return _BROKE
+        finally:
+            try:
+                os.unlink(self._claim_path)
+            except OSError:
+                pass
 
     def __enter__(self) -> "StoreLock":
         self.acquire()
@@ -142,25 +206,31 @@ class ServiceStore(ResultCache):
     def put(
         self, key: str, spec: JobSpec, result: Any, elapsed_seconds: float
     ) -> pathlib.Path:
-        """Persist one result, index it, and enforce the byte budget."""
-        path = super().put(key, spec, result, elapsed_seconds)
-        try:
-            size = path.stat().st_size
-        except OSError:
-            size = 0
-        meta = {
-            "key": key,
-            "label": spec.label(),
-            "experiment": spec.experiment,
-            "scale": spec.scale,
-            "scheme": spec.scheme,
-            "pattern": spec.pattern,
-            "seed": spec.seed,
-            "elapsed_seconds": elapsed_seconds,
-            "created_at": clock.now(),
-            "bytes": size,
-        }
+        """Persist one result, index it, and enforce the byte budget.
+
+        The entry write happens *inside* the lock: writing the file
+        first and indexing later would let a concurrent :meth:`clear`
+        (or eviction pass) delete the entry in between, leaving the
+        index pointing at a file that no longer exists.
+        """
         with self._lock:
+            path = super().put(key, spec, result, elapsed_seconds)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            meta = {
+                "key": key,
+                "label": spec.label(),
+                "experiment": spec.experiment,
+                "scale": spec.scale,
+                "scheme": spec.scheme,
+                "pattern": spec.pattern,
+                "seed": spec.seed,
+                "elapsed_seconds": elapsed_seconds,
+                "created_at": clock.now(),
+                "bytes": size,
+            }
             index = self._read_index()
             index[key] = meta
             if self.max_bytes is not None:
@@ -181,6 +251,7 @@ class ServiceStore(ResultCache):
                 self._write_index(index)
         return evicted
 
+    # repro-guard: requires _lock -- eviction is a cross-process read-modify-write; put()/prune() hold the store lock around it
     def prune_unlocked(self, max_bytes: int) -> List[str]:
         """The base eviction pass; caller must hold the store lock."""
         evicted = ResultCache.prune(self, max_bytes)
@@ -188,8 +259,9 @@ class ServiceStore(ResultCache):
         return evicted
 
     def clear(self) -> int:
-        removed = super().clear()
+        """Remove every entry and the index, atomically w.r.t. puts."""
         with self._lock:
+            removed = super().clear()
             self._write_index({})
         return removed
 
@@ -213,24 +285,29 @@ class ServiceStore(ResultCache):
         return entries
 
     def rebuild_index(self) -> Dict[str, Dict[str, Any]]:
-        """Reconstruct ``index.json`` by scanning the shard tree."""
-        index: Dict[str, Dict[str, Any]] = {}
-        for entry in self.entries():
-            payload = self.payload_for(str(entry["key"]))
-            spec_fields = (payload or {}).get("spec", {})
-            index[str(entry["key"])] = {
-                "key": entry["key"],
-                "label": entry["label"],
-                "experiment": spec_fields.get("experiment", ""),
-                "scale": spec_fields.get("scale", ""),
-                "scheme": spec_fields.get("scheme", ""),
-                "pattern": spec_fields.get("pattern", ""),
-                "seed": spec_fields.get("seed", 0),
-                "elapsed_seconds": entry["elapsed_seconds"],
-                "created_at": entry["created_at"],
-                "bytes": entry["bytes"],
-            }
+        """Reconstruct ``index.json`` by scanning the shard tree.
+
+        The scan happens under the lock too: scanning outside and
+        writing inside would drop any entry a concurrent :meth:`put`
+        indexed between the two steps.
+        """
         with self._lock:
+            index: Dict[str, Dict[str, Any]] = {}
+            for entry in self.entries():
+                payload = self.payload_for(str(entry["key"]))
+                spec_fields = (payload or {}).get("spec", {})
+                index[str(entry["key"])] = {
+                    "key": entry["key"],
+                    "label": entry["label"],
+                    "experiment": spec_fields.get("experiment", ""),
+                    "scale": spec_fields.get("scale", ""),
+                    "scheme": spec_fields.get("scheme", ""),
+                    "pattern": spec_fields.get("pattern", ""),
+                    "seed": spec_fields.get("seed", 0),
+                    "elapsed_seconds": entry["elapsed_seconds"],
+                    "created_at": entry["created_at"],
+                    "bytes": entry["bytes"],
+                }
             self._write_index(index)
         return index
 

@@ -8,15 +8,18 @@ into whatever trace the caller installed with :func:`set_collector`;
 when none is installed (the default), recording is a no-op and the
 simulators pay only a ``None`` check.
 
-The collector is installed per worker process by the harness executor
-around each job, mirroring :func:`repro.harness.clock.set_clock`: the
-module global is rebound only from executor code, never from job
-runners, so the ``deep-worker-safety`` lint gate stays clean.
+The collector slot is **thread-local**: the harness executor installs a
+collector per worker process (mirroring
+:func:`repro.harness.clock.set_clock`), and the service's in-process
+manager threads — or any two test threads — can each run
+:func:`collecting` without seeing one another's traces.  A thread that
+never installed a collector reads ``None`` and records nothing.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Link keys as the simulators report them: ("net", u, v) / ("up", s) /
@@ -126,25 +129,28 @@ def _link_label(key: LinkKey) -> str:
     return ":".join([kind, *(str(part) for part in rest)])
 
 
-#: The process-wide collector the engine records into; ``None`` disables
-#: tracing.  Rebound only by the harness executor (see module docstring).
-_collector: Optional[SimTrace] = None
+class _TraceState(threading.local):
+    """Per-thread collector slot; each thread starts with ``None``."""
+
+    trace: Optional[SimTrace] = None
+
+
+#: The per-thread collector slot the engine records into.  Being a
+#: ``threading.local``, rebinding ``_STATE.trace`` on one thread cannot
+#: leak into — or race with — any other thread's tracing.
+_STATE = _TraceState()
 
 
 def set_collector(trace: Optional[SimTrace]) -> Optional[SimTrace]:
-    """Install ``trace`` as the active collector; returns the previous one."""
-    global _collector
-    previous = _collector
-    # The service manager reaches this through run_jobs, but always with
-    # jobs >= 2, so the rebind happens inside a single-job worker
-    # process, never on a shared manager thread.
-    _collector = trace  # repro-lint: disable=deep-worker-safety
+    """Install ``trace`` as this thread's collector; returns the previous one."""
+    previous = _STATE.trace
+    _STATE.trace = trace
     return previous
 
 
 def current() -> Optional[SimTrace]:
-    """The active collector, or ``None`` when tracing is off."""
-    return _collector
+    """This thread's active collector, or ``None`` when tracing is off."""
+    return _STATE.trace
 
 
 @contextlib.contextmanager

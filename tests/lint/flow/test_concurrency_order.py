@@ -1,0 +1,197 @@
+"""The deep-lock-order rule: acquisition-order cycles and same-path
+re-acquisition of non-reentrant locks."""
+
+from __future__ import annotations
+
+from repro.lint.flow import deep_lint_paths
+from repro.lint.flow.concurrency import DeepLockOrder, build_lock_order
+
+from tests.lint.flow.util import build_fixture_graph
+
+#: Two locks taken in opposite orders on two paths — the textbook
+#: deadlock; `transfer` nests b under a, `audit` nests a under b.
+DEADLOCK_FIXTURE = {
+    "bank.py": (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Bank:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "        self.ledger = []\n"
+        "\n"
+        "    def transfer(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                self.ledger.append('t')\n"
+        "\n"
+        "    def audit(self):\n"
+        "        with self._b:\n"
+        "            with self._a:\n"
+        "                self.ledger.append('a')\n"
+    ),
+}
+
+
+class TestLockOrderGraph:
+    def test_edges_record_nesting_order(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, DEADLOCK_FIXTURE, "lpkg")
+        order = build_lock_order(graph)
+        a = "lpkg.bank.Bank._a"
+        b = "lpkg.bank.Bank._b"
+        assert order.nodes == {a, b}
+        assert set(order.edge_list()) == {(a, b), (b, a)}
+
+    def test_cycle_detected_and_canonicalized(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, DEADLOCK_FIXTURE, "lpkg")
+        order = build_lock_order(graph)
+        assert order.cycles() == [
+            ["lpkg.bank.Bank._a", "lpkg.bank.Bank._b"],
+        ]
+
+    def test_consistent_order_is_acyclic(self, tmp_path):
+        fixture = dict(DEADLOCK_FIXTURE)
+        fixture["bank.py"] = fixture["bank.py"].replace(
+            "    def audit(self):\n"
+            "        with self._b:\n"
+            "            with self._a:\n",
+            "    def audit(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "lpkg")
+        order = build_lock_order(graph)
+        assert order.cycles() == []
+        assert order.edge_list() == [
+            ("lpkg.bank.Bank._a", "lpkg.bank.Bank._b"),
+        ]
+
+    def test_interprocedural_nesting_builds_the_edge(self, tmp_path):
+        fixture = {
+            "nest.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Outer:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.inner = Inner()\n"
+                "\n"
+                "    def touch(self):\n"
+                "        with self._lock:\n"
+                "            self.inner.poke()\n"
+                "\n"
+                "\n"
+                "class Inner:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.count = 0\n"
+                "\n"
+                "    def poke(self):\n"
+                "        with self._lock:\n"
+                "            self.count += 1\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "npkg")
+        order = build_lock_order(graph)
+        assert order.edge_list() == [
+            ("npkg.nest.Outer._lock", "npkg.nest.Inner._lock"),
+        ]
+
+
+class TestDeepLockOrderRule:
+    def test_cycle_is_one_finding_with_witness_sites(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, DEADLOCK_FIXTURE, "lpkg")
+        findings = list(DeepLockOrder().check(graph))
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        assert "Bank._a" in message and "Bank._b" in message
+        assert "bank.py:" in message  # per-edge witness sites
+
+    def test_self_reacquire_of_plain_lock(self, tmp_path):
+        fixture = {
+            "re.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Once:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.n = 0\n"
+                "\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n"
+                "\n"
+                "    def inner(self):\n"
+                "        with self._lock:\n"
+                "            self.n += 1\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "rpkg")
+        findings = list(DeepLockOrder().check(graph))
+        assert len(findings) == 1
+        assert "re-acquires non-reentrant lock" in findings[0].message
+        assert "Once._lock" in findings[0].message
+
+    def test_rlock_reacquire_is_legal(self, tmp_path):
+        fixture = {
+            "re.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Once:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n"
+                "        self.n = 0\n"
+                "\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            self.inner()\n"
+                "\n"
+                "    def inner(self):\n"
+                "        with self._lock:\n"
+                "            self.n += 1\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "rpkg")
+        assert list(DeepLockOrder().check(graph)) == []
+
+    def test_condition_wait_reacquire_is_not_flagged(self, tmp_path):
+        fixture = {
+            "cv.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Waiter:\n"
+                "    def __init__(self):\n"
+                "        self._cond = threading.Condition()\n"
+                "        self.ready = False\n"
+                "\n"
+                "    def block(self):\n"
+                "        with self._cond:\n"
+                "            while not self.ready:\n"
+                "                self._cond.wait()\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "cvpkg")
+        assert list(DeepLockOrder().check(graph)) == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        fixture = dict(DEADLOCK_FIXTURE)
+        fixture["bank.py"] = fixture["bank.py"].replace(
+            "        with self._a:\n"
+            "            with self._b:\n",
+            "        with self._a:\n"
+            "            with self._b:  "
+            "# repro-lint: disable=deep-lock-order\n",
+        )
+        build_fixture_graph(tmp_path, fixture, "lpkg")
+        findings, _ = deep_lint_paths(
+            [str(tmp_path / "lpkg")],
+            rule_names=["deep-lock-order"],
+            package="lpkg",
+        )
+        assert findings == []

@@ -1,0 +1,318 @@
+"""The deep-lockset-races rule on fixture packages: inferred locksets,
+declared guards, requires contracts, and condition discipline."""
+
+from __future__ import annotations
+
+from repro.lint.flow import deep_lint_paths
+from repro.lint.flow.concurrency import DeepLocksetRaces, concurrency_facts
+
+from tests.lint.flow.util import build_fixture_graph
+
+#: A counter class whose `total` is guarded on two of three accesses —
+#: the classic inconsistent-lockset race, reachable from a thread.
+RACY_FIXTURE = {
+    "counter.py": (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0\n"
+        "\n"
+        "    def add(self, amount):\n"
+        "        with self._lock:\n"
+        "            self.total = self.total + amount\n"
+        "\n"
+        "    def reset(self):\n"
+        "        self.total = 0\n"
+        "\n"
+        "    def spin(self):\n"
+        "        self.add(1)\n"
+        "\n"
+        "\n"
+        "def main():\n"
+        "    counter = Counter()\n"
+        "    worker = threading.Thread(target=counter.spin)\n"
+        "    worker.start()\n"
+        "    counter.reset()\n"
+        "    worker.join()\n"
+    ),
+}
+
+
+def _check(graph):
+    return list(DeepLocksetRaces().check(graph))
+
+
+class TestInferredLocksets:
+    def test_inconsistent_lockset_flags_the_outlier(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, RACY_FIXTURE, "cpkg")
+        findings = _check(graph)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "deep-lockset-races"
+        assert "Counter.reset" in finding.message
+        assert "Counter.total" in finding.message
+        assert "Counter._lock" in finding.message
+        assert finding.path.endswith("counter.py")
+
+    def test_consistent_lockset_is_clean(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "    def reset(self):\n        self.total = 0\n",
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self.total = 0\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        assert _check(graph) == []
+
+    def test_unwritten_attribute_is_not_a_race(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "            self.total = self.total + amount\n",
+            "            read = self.total\n",
+        ).replace(
+            "    def reset(self):\n        self.total = 0\n",
+            "    def reset(self):\n        return self.total\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        assert _check(graph) == []
+
+    def test_no_thread_entry_no_finding(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "    worker = threading.Thread(target=counter.spin)\n"
+            "    worker.start()\n",
+            "    counter.spin()\n",
+        ).replace("    worker.join()\n", "")
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        assert _check(graph) == []
+
+    def test_unsynchronized_write_without_any_lock_use(self, tmp_path):
+        fixture = {
+            "counter.py": RACY_FIXTURE["counter.py"].replace(
+                "        with self._lock:\n"
+                "            self.total = self.total + amount\n",
+                "        self.total = self.total + amount\n",
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        findings = _check(graph)
+        assert findings, "lock-free writes on a lock-owning class flag"
+        assert any("no lock held" in f.message for f in findings)
+
+
+class TestDeclaredGuards:
+    def test_declared_guard_is_checked_everywhere(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "class Counter:\n",
+            "class Counter:\n"
+            "    # repro-guard: total by _lock -- every mutation is a "
+            "read-modify-write\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        findings = _check(graph)
+        assert len(findings) == 1
+        assert "declared '# repro-guard: total by ...'" in findings[0].message
+        assert "Counter.reset" in findings[0].message
+
+    def test_unguarded_declaration_silences(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "class Counter:\n",
+            "class Counter:\n"
+            "    # repro-guard: total unguarded -- benign stats counter; "
+            "torn reads acceptable\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        assert _check(graph) == []
+
+    def test_guard_without_reason_is_rejected(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "class Counter:\n",
+            "class Counter:\n    # repro-guard: total by _lock\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        findings = _check(graph)
+        assert any("needs a justification" in f.message for f in findings)
+
+    def test_guard_naming_unknown_lock_is_rejected(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "class Counter:\n",
+            "class Counter:\n"
+            "    # repro-guard: total by _mutex -- no such lock\n",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "cpkg")
+        findings = _check(graph)
+        assert any("_mutex" in f.message for f in findings)
+
+
+class TestRequiresContracts:
+    FIXTURE = {
+        "box.py": (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.items = []\n"
+            "\n"
+            "    # repro-guard: requires _lock -- append+len must be "
+            "atomic\n"
+            "    def _push(self, item):\n"
+            "        self.items.append(item)\n"
+            "        return len(self.items)\n"
+            "\n"
+            "    def good(self, item):\n"
+            "        with self._lock:\n"
+            "            return self._push(item)\n"
+            "\n"
+            "    def bad(self, item):\n"
+            "        return self._push(item)\n"
+            "\n"
+            "\n"
+            "def main():\n"
+            "    box = Box()\n"
+            "    threading.Thread(target=box.good).start()\n"
+        ),
+    }
+
+    def test_caller_without_lock_is_flagged(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, self.FIXTURE, "bpkg")
+        findings = _check(graph)
+        assert len(findings) == 1
+        assert "Box.bad calls Box._push" in findings[0].message
+        assert "repro-guard: requires" in findings[0].message
+
+    def test_requires_roots_the_function_with_the_lock(self, tmp_path):
+        fixture = dict(self.FIXTURE)
+        fixture["box.py"] = fixture["box.py"].replace(
+            "    def bad(self, item):\n"
+            "        return self._push(item)\n\n",
+            "",
+        )
+        _, graph = build_fixture_graph(tmp_path, fixture, "bpkg")
+        assert _check(graph) == []
+
+
+class TestConditionDiscipline:
+    def test_notify_without_condition_held(self, tmp_path):
+        fixture = {
+            "queuey.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Mailbox:\n"
+                "    def __init__(self):\n"
+                "        self._cond = threading.Condition()\n"
+                "        self.mail = []\n"
+                "\n"
+                "    def post(self, msg):\n"
+                "        with self._cond:\n"
+                "            self.mail.append(msg)\n"
+                "        self._cond.notify_all()\n"
+                "\n"
+                "    def drain(self):\n"
+                "        with self._cond:\n"
+                "            while not self.mail:\n"
+                "                self._cond.wait()\n"
+                "            return self.mail.pop()\n"
+                "\n"
+                "\n"
+                "def main():\n"
+                "    box = Mailbox()\n"
+                "    threading.Thread(target=box.drain).start()\n"
+                "    box.post('hi')\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "qpkg")
+        findings = _check(graph)
+        messages = [f.message for f in findings]
+        assert any(
+            "'notify_all' on condition" in m and "without holding" in m
+            for m in messages
+        ), messages
+
+
+class TestClosureTyping:
+    def test_nested_function_sees_enclosing_self(self, tmp_path):
+        fixture = {
+            "cb.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Gate:\n"
+                "    # repro-guard: hits by _lock -- closures and "
+                "methods both mutate it\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.hits = 0\n"
+                "\n"
+                "    def handler(self):\n"
+                "        def bump():\n"
+                "            with self._lock:\n"
+                "                self.hits = self.hits + 1\n"
+                "        return bump\n"
+                "\n"
+                "    def tick(self):\n"
+                "        with self._lock:\n"
+                "            self.hits = self.hits + 1\n"
+                "\n"
+                "\n"
+                "def main():\n"
+                "    gate = Gate()\n"
+                "    threading.Thread(target=gate.handler()).start()\n"
+                "    gate.tick()\n"
+            ),
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "gpkg")
+        assert _check(graph) == []
+
+
+class TestSuppressionPath:
+    def test_inline_disable_comment_suppresses(self, tmp_path):
+        fixture = dict(RACY_FIXTURE)
+        fixture["counter.py"] = fixture["counter.py"].replace(
+            "    def reset(self):\n        self.total = 0\n",
+            "    def reset(self):\n"
+            "        self.total = 0  "
+            "# repro-lint: disable=deep-lockset-races\n",
+        )
+        build_fixture_graph(tmp_path, fixture, "cpkg")
+        findings, _ = deep_lint_paths(
+            [str(tmp_path / "cpkg")],
+            rule_names=["deep-lockset-races"],
+            package="cpkg",
+        )
+        assert findings == []
+
+    def test_deep_lint_paths_reports_the_race(self, tmp_path):
+        build_fixture_graph(tmp_path, RACY_FIXTURE, "cpkg")
+        findings, _ = deep_lint_paths(
+            [str(tmp_path / "cpkg")],
+            rule_names=["deep-lockset-races"],
+            package="cpkg",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "deep-lockset-races"
+
+
+class TestModelFacts:
+    def test_thread_reachable_closure_includes_callees(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, RACY_FIXTURE, "cpkg")
+        facts = concurrency_facts(graph)
+        assert "cpkg.counter.Counter.spin" in facts.thread_reachable
+        assert "cpkg.counter.Counter.add" in facts.thread_reachable
+
+    def test_lock_discovery_names_owner(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, RACY_FIXTURE, "cpkg")
+        facts = concurrency_facts(graph)
+        assert set(facts.model.locks) == {"cpkg.counter.Counter._lock"}
+        info = facts.model.locks["cpkg.counter.Counter._lock"]
+        assert not info.reentrant and not info.is_condition

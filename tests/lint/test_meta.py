@@ -66,6 +66,80 @@ class TestDeepGate:
             assert name in out
 
 
+class TestConcurrencyGate:
+    """The concurrency suite at HEAD: rules registered, the service
+    lock-order graph pinned, every guard annotation justified."""
+
+    def _graph(self):
+        from repro.lint.flow import build_call_graph
+        from repro.lint.flow.program import Program
+
+        program = Program.from_paths([REPO_ROOT / "src"], "repro")
+        assert program is not None
+        return build_call_graph(program)
+
+    def test_concurrency_rules_listed_under_their_engine(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "concurrency — lockset/order/blocking rules" in out
+        ast_part, _, concurrency_part = out.partition("concurrency —")
+        for name in (
+            "deep-lockset-races", "deep-lock-order",
+            "deep-blocking-under-lock",
+        ):
+            assert name in concurrency_part
+            assert name not in ast_part
+
+    def test_rules_carry_the_concurrency_engine_tag(self):
+        from repro.lint.flow.registry import all_flow_rules
+
+        engines = {
+            rule.name: rule.engine for rule in all_flow_rules()
+        }
+        assert engines["deep-lockset-races"] == "concurrency"
+        assert engines["deep-lock-order"] == "concurrency"
+        assert engines["deep-blocking-under-lock"] == "concurrency"
+        assert engines["deep-cache-purity"] == "flow"
+
+    def test_service_lock_order_graph_is_golden(self):
+        """The service layer's lock-order graph is a design artifact:
+        two locks, no nesting between them.  A new node or edge here is
+        a reviewable design change, not an incidental one — update this
+        pin deliberately."""
+        from repro.lint.flow.concurrency import build_lock_order
+
+        order = build_lock_order(self._graph())
+        assert sorted(order.nodes) == [
+            "repro.service.jobs.JobManager._cond",
+            "repro.service.store.ServiceStore._lock",
+        ]
+        assert order.edge_list() == []
+        assert order.self_reacquires == []
+        assert order.cycles() == []
+
+    def test_declared_contracts_at_head(self):
+        """The repo's locking contracts, as declared: ServiceJob's
+        mutable fields are guarded by the manager condition and the
+        internal transition helpers require it."""
+        from repro.lint.flow.concurrency import concurrency_facts
+
+        facts = concurrency_facts(self._graph())
+        job = "repro.service.jobs.ServiceJob"
+        guarded = {
+            attr for cls, attr in facts.model.guards if cls == job
+        }
+        assert {"state", "started_at", "finished_at", "error",
+                "events", "cache_hit"} <= guarded
+        assert {
+            "repro.service.jobs.JobManager._append_event",
+            "repro.service.jobs.JobManager._finish",
+        } <= set(facts.model.requires)
+        for decl in facts.model.guards.values():
+            assert decl.reason, f"unjustified guard at {decl.path}:{decl.line}"
+        for decl in facts.model.requires.values():
+            assert decl.reason, f"unjustified requires at {decl.path}:{decl.line}"
+
+
 class TestCliLint:
     def test_clean_tree_exits_zero(self, capsys):
         code = main(["lint", str(REPO_ROOT / "src")])

@@ -243,3 +243,68 @@ class TestLongPoll:
         assert done.wait(timeout=60.0)
         kinds = [e["kind"] for e in seen]
         assert kinds[0] == "queued" and kinds[-1] == "done"
+
+
+class TestDescribeSnapshots:
+    """describe()/describe_all() snapshot jobs under the condition —
+    the regression tests for the unlocked to_dict reads the lockset
+    rule flagged."""
+
+    def test_describe_unknown_job_raises(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        with pytest.raises(UnknownJobError):
+            mgr.describe("job-nope")
+
+    def test_describe_is_a_snapshot_not_a_live_view(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        job = mgr.submit(OK)
+        snapshot = mgr.describe(job.id)
+        with mgr._cond:
+            job.state = DONE
+            job.finished_at = 123.0
+        assert snapshot["state"] == QUEUED
+        assert snapshot["finished_at"] is None
+        assert mgr.describe(job.id)["state"] == DONE
+
+    def test_describe_never_sees_a_torn_transition(self, tmp_path):
+        """A mutator thread flips (state, finished_at) together under
+        the condition; every snapshot must show one of the two
+        consistent pairs, never a mix."""
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        job = mgr.submit(OK)
+        stop = threading.Event()
+
+        def flip():
+            while not stop.is_set():
+                with mgr._cond:
+                    job.state = DONE
+                    job.finished_at = 1.0
+                with mgr._cond:
+                    job.state = QUEUED
+                    job.finished_at = None
+
+        mutator = threading.Thread(target=flip, daemon=True)
+        mutator.start()
+        try:
+            for _ in range(300):
+                snap = mgr.describe(job.id)
+                pair = (snap["state"], snap["finished_at"])
+                assert pair in {(QUEUED, None), (DONE, 1.0)}, pair
+        finally:
+            stop.set()
+            mutator.join(timeout=10.0)
+
+    def test_describe_all_lists_every_job_consistently(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        first = mgr.submit(OK)
+        second = mgr.submit(dict(OK, seed=2))
+        listed = mgr.describe_all()
+        assert [j["id"] for j in listed] == [first.id, second.id]
+        assert all(j["state"] == QUEUED for j in listed)
+
+    def test_describe_includes_events_on_request(self, tmp_path):
+        mgr = JobManager(ResultCache(tmp_path / "cache"), workers=1)
+        job = mgr.submit(OK)
+        assert "events" not in mgr.describe(job.id)
+        snap = mgr.describe(job.id, include_events=True)
+        assert [e["kind"] for e in snap["events"]] == ["queued"]

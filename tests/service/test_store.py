@@ -196,3 +196,90 @@ class TestBaseCachePrune:
         [entry] = cache.entries()
         assert entry["age_seconds"] >= 0
         assert entry["last_used"] > 0
+
+
+class TestConcurrentPutClear:
+    """put/clear/rebuild hold the store lock around both the entry
+    write and the index update — the regression tests for the torn
+    index the lockset rule flagged."""
+
+    def test_interleaved_puts_and_clears_never_tear_the_index(
+        self, tmp_path
+    ):
+        import threading
+
+        store = ServiceStore(tmp_path / "store", lock_timeout=30.0)
+        stop = threading.Event()
+        errors = []
+
+        def clear_loop():
+            try:
+                while not stop.is_set():
+                    store.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        wiper = threading.Thread(target=clear_loop, daemon=True)
+        wiper.start()
+        try:
+            put_n(store, 30)
+        finally:
+            stop.set()
+            wiper.join(timeout=30.0)
+        assert not errors
+        # Invariant: every indexed key has its entry file on disk.
+        index = store._read_index()
+        for key in index:
+            assert store.path_for(key).exists(), key
+
+    def test_rebuild_index_under_concurrent_puts_loses_nothing(
+        self, tmp_path
+    ):
+        import threading
+
+        store = ServiceStore(tmp_path / "store", lock_timeout=30.0)
+        keys = put_n(store, 5)
+        done = threading.Event()
+
+        def writer():
+            put_n(store, 5, start=100)
+            done.set()
+
+        producer = threading.Thread(target=writer, daemon=True)
+        producer.start()
+        store.rebuild_index()
+        assert done.wait(timeout=30.0)
+        producer.join(timeout=30.0)
+        index = store._read_index()
+        for key in keys:
+            assert key in index or not store.path_for(key).exists()
+        # A final rebuild sees exactly the files on disk.
+        assert set(store.rebuild_index()) == {
+            e["key"] for e in store.entries()
+        }
+
+    def test_acquire_reports_whether_it_broke_a_stale_lock(
+        self, tmp_path
+    ):
+        path = tmp_path / "l.lock"
+        lock = StoreLock(path, timeout=0.5, stale_after=30.0)
+        assert lock.acquire() is False
+        lock.release()
+        path.write_text("99999")
+        old = clock.now() - 120.0
+        os.utime(path, (old, old))
+        assert lock.acquire() is True
+        lock.release()
+
+    def test_stale_claim_file_does_not_wedge_breaking(self, tmp_path):
+        path = tmp_path / "l.lock"
+        path.write_text("99999")
+        old = clock.now() - 120.0
+        os.utime(path, (old, old))
+        claim = tmp_path / "l.lock.break"
+        claim.write_text("99999")
+        os.utime(claim, (old, old))
+        lock = StoreLock(path, timeout=2.0, stale_after=30.0)
+        assert lock.acquire() is True  # broke both the claim and the lock
+        lock.release()
+        assert not claim.exists()

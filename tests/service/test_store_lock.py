@@ -1,0 +1,93 @@
+"""StoreLock under real cross-process contention.
+
+Two forked processes race to break the same backdated stale lock, then
+hammer a deliberately non-atomic read-modify-write counter under it.
+The claim-file protocol must let exactly one contender win the break
+(the second unlink of a naive breaker can destroy the *fresh* lock the
+first winner just created), and the counter must come out exact — any
+lost update means two processes were inside the critical section at
+once.
+"""
+
+import multiprocessing
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import clock
+from repro.service.store import StoreLock
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="contenders are forked so they share the pytest tmp dir",
+)
+
+#: Lock/unlock cycles per contender after the initial stale break.
+ROUNDS = 25
+
+
+def _contend(lock_path, out_dir, index, barrier):
+    lock = StoreLock(
+        pathlib.Path(lock_path), timeout=60.0, stale_after=120.0
+    )
+    counter = pathlib.Path(out_dir) / "counter.txt"
+    barrier.wait()
+    broke = lock.acquire()
+    try:
+        counter.write_text(str(int(counter.read_text()) + 1))
+    finally:
+        lock.release()
+    for _ in range(ROUNDS):
+        lock.acquire()
+        try:
+            # Deliberately torn: read, then write.  Only mutual
+            # exclusion makes the final count exact.
+            value = int(counter.read_text())
+            counter.write_text(str(value + 1))
+        finally:
+            lock.release()
+    (pathlib.Path(out_dir) / f"broke-{index}.txt").write_text(
+        "1" if broke else "0"
+    )
+
+
+@fork_only
+class TestStaleBreakContention:
+    def test_exactly_one_contender_breaks_the_stale_lock(self, tmp_path):
+        lock_path = tmp_path / "store.lock"
+        lock_path.write_text("99999")  # a pid that is long gone
+        backdated = clock.now() - 600.0
+        os.utime(lock_path, (backdated, backdated))
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0")
+
+        barrier = multiprocessing.Barrier(2)
+        contenders = [
+            multiprocessing.Process(
+                target=_contend,
+                args=(str(lock_path), str(tmp_path), index, barrier),
+            )
+            for index in range(2)
+        ]
+        for proc in contenders:
+            proc.start()
+        for proc in contenders:
+            proc.join(timeout=120.0)
+        assert all(proc.exitcode == 0 for proc in contenders), [
+            proc.exitcode for proc in contenders
+        ]
+
+        broke_flags = sorted(
+            (tmp_path / f"broke-{index}.txt").read_text()
+            for index in range(2)
+        )
+        assert broke_flags == ["0", "1"], (
+            "exactly one contender must win the stale break"
+        )
+        # No lost update: every one of the 2 * (ROUNDS + 1) increments
+        # happened under mutual exclusion.
+        assert int(counter.read_text()) == 2 * (ROUNDS + 1)
+        # Clean exit: no lock or claim debris left behind.
+        assert not lock_path.exists()
+        assert not pathlib.Path(str(lock_path) + ".break").exists()

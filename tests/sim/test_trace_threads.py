@@ -1,0 +1,71 @@
+"""The trace collector slot is thread-local: concurrent collectors
+never bleed into each other or into the main thread."""
+
+import threading
+
+from repro.sim.engine import trace
+
+
+class TestThreadLocalCollector:
+    def test_two_threads_collect_in_isolation(self):
+        barrier = threading.Barrier(2)
+        traces = {}
+        errors = []
+
+        def run(name, count):
+            try:
+                with trace.collecting() as mine:
+                    barrier.wait(timeout=30.0)
+                    # Both threads are inside collecting() here; each
+                    # must see exactly its own collector.
+                    assert trace.current() is mine
+                    for _ in range(count):
+                        trace.current().count("events")
+                    barrier.wait(timeout=30.0)
+                traces[name] = mine
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=("a", 3), daemon=True),
+            threading.Thread(target=run, args=("b", 7), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        assert traces["a"].counters == {"events": 3}
+        assert traces["b"].counters == {"events": 7}
+
+    def test_worker_collection_leaves_main_thread_untouched(self):
+        with trace.collecting() as mine:
+            done = threading.Event()
+            observed = []
+
+            def worker():
+                observed.append(trace.current())
+                with trace.collecting() as theirs:
+                    trace.current().count("worker-events", 5)
+                observed.append(theirs.counters.copy())
+                done.set()
+
+            thread = threading.Thread(target=worker, daemon=True)
+            thread.start()
+            assert done.wait(timeout=30.0)
+            thread.join(timeout=30.0)
+            # A fresh thread starts with no collector, and its
+            # collecting() never reaches the main thread's trace.
+            assert observed[0] is None
+            assert observed[1] == {"worker-events": 5}
+            assert trace.current() is mine
+            assert mine.counters == {}
+        assert trace.current() is None
+
+    def test_set_collector_returns_previous_per_thread(self):
+        first = trace.SimTrace()
+        second = trace.SimTrace()
+        assert trace.set_collector(first) is None
+        assert trace.set_collector(second) is first
+        assert trace.set_collector(None) is second
+        assert trace.current() is None
