@@ -34,7 +34,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.runner import SCALES, Scale
 
@@ -698,28 +698,35 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import RULE_REGISTRY, all_rules, lint_paths
     from repro.lint import render_json, render_text
     from repro.lint.flow import FLOW_REGISTRY, all_flow_rules
+    from repro.lint.flow.registry import ENGINE_SECTIONS
 
     if args.list_rules:
-        groups = [
-            ("ast", "per-file AST rules", list(all_rules())),
-            ("flow", "call-graph rules [deep]", []),
-            ("concurrency", "lockset/order/blocking rules [deep]", []),
-        ]
-        by_engine = {name: rules for name, _title, rules in groups}
+        # One registry walk covers every engine: AST rules file under
+        # "ast", deep rules under their own engine tag, and any tag
+        # missing from ENGINE_SECTIONS gets an untitled trailing
+        # section instead of being silently dropped.
+        by_engine: Dict[str, List[Any]] = {"ast": list(all_rules())}
         for flow_rule in all_flow_rules():
             by_engine.setdefault(flow_rule.engine, []).append(flow_rule)
+        titles = dict(ENGINE_SECTIONS)
+        order = [engine for engine, _title in ENGINE_SECTIONS]
+        order += sorted(set(by_engine) - set(titles))
         first = True
-        for engine, title, _rules in groups:
+        for engine in order:
             rules = by_engine.get(engine, [])
             if not rules:
                 continue
             if not first:
                 print()
             first = False
+            title = titles.get(engine, "unregistered engine [deep]")
             print(f"{engine} — {title}")
             for rule in rules:
                 print(f"  {rule.name:<28} {rule.summary}")
         return 0
+    if args.profile and not args.deep:
+        print("lint: --profile requires --deep", file=sys.stderr)
+        return 2
     paths = args.paths or [
         p for p in ("src", "tests") if pathlib.Path(p).exists()
     ]
@@ -761,6 +768,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         findings = sorted(set(findings) | set(deep_findings))
 
+    profile_failed = False
+    if args.profile:
+        from repro.lint.flow.perf.profile import (
+            profile_hot_coverage,
+            render_coverage,
+        )
+
+        coverage = profile_hot_coverage()
+        report = render_coverage(coverage)
+        print(report, file=sys.stderr)
+        if args.profile_out:
+            pathlib.Path(args.profile_out).write_text(report + "\n")
+        profile_failed = not coverage.passed
+        if profile_failed:
+            print(
+                "lint: static hot-set coverage below floor",
+                file=sys.stderr,
+            )
+
     if args.write_baseline:
         from repro.lint.baseline import write_baseline
 
@@ -769,7 +795,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"lint: wrote baseline with {count} finding(s) "
             f"to {args.write_baseline}"
         )
-        return 0
+        return 1 if profile_failed else 0
 
     known = []
     if args.baseline:
@@ -800,7 +826,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 f"baseline: {len(known)} known finding(s) accepted, "
                 f"{len(gate)} new"
             )
-    return 1 if gate else 0
+    return 1 if gate or profile_failed else 0
 
 
 def cmd_configs(args: argparse.Namespace) -> int:
@@ -1205,7 +1231,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the interprocedural (whole-package) analyses: "
         "call-graph effect inference, seed provenance, unit "
-        "consistency and worker safety",
+        "consistency, worker safety, the concurrency suite and the "
+        "hot-path performance rules",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="with --deep: profile a small seeded fig4 cell and report "
+        "static hot-set coverage of the top frames (fails below "
+        "the floor)",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="with --profile: also write the coverage report to FILE",
     )
     p.add_argument(
         "--baseline",

@@ -205,6 +205,8 @@ def _collect_local_types(
         if isinstance(value, ast.Call):
             types.pop(target.id, None)
             callee = _resolve_name_or_attr(program, module, info, value.func)
+            if callee is None:
+                callee = _typed_method_qname(program, info, value.func, types)
             if callee in program.classes:
                 types[target.id] = (CLASS, callee)
             elif callee in program.functions:
@@ -227,11 +229,101 @@ def _collect_local_types(
                 )
                 if ext:
                     types[target.id] = (EXT, ext)
+        elif isinstance(value, ast.Attribute):
+            types.pop(target.id, None)
+            # ``x = self.attr`` (or ``x = typed.a.b``) inherits the
+            # attribute's __init__-inferred class.
+            parts = _flatten(value)
+            if parts is not None and len(parts) >= 2:
+                root_class = _root_class(info, parts[0], types)
+                if root_class is not None:
+                    attr_class = _attr_chain_class(
+                        program, root_class, parts[1:]
+                    )
+                    if attr_class is not None:
+                        types[target.id] = (CLASS, attr_class)
         elif isinstance(value, ast.Name) and value.id in types:
             types[target.id] = types[value.id]
         else:
             types.pop(target.id, None)
     return types
+
+
+def _root_class(
+    info: FunctionInfo, root: str, types: Dict[str, LocalType]
+) -> Optional[str]:
+    """Program class qname behind a receiver root name, if tracked."""
+    if root in ("self", "cls") and info.owner_class:
+        return info.owner_class
+    typed = types.get(root)
+    if typed is not None and typed[0] == CLASS:
+        return typed[1]
+    return None
+
+
+def _attr_chain_class(
+    program: Program, name: str, attrs: List[str]
+) -> Optional[str]:
+    """Walk ``attrs`` through __init__-inferred attribute types."""
+    for attr in attrs:
+        cls = program.classes.get(name)
+        if cls is None:
+            return None
+        type_name = cls.attr_types.get(attr)
+        if type_name is None:
+            return None
+        resolved = program._resolve_type_name(
+            program.modules[cls.module], type_name
+        )
+        if not resolved:
+            return None
+        name = resolved
+    return name
+
+
+def _super_method(
+    program: Program, info: FunctionInfo, method: str
+) -> Optional[str]:
+    """Resolve ``super().method()`` through the in-program bases."""
+    cls = program.classes.get(info.owner_class or "")
+    if cls is None:
+        return None
+    module = program.modules[cls.module]
+    for base in cls.base_exprs:
+        dotted = annotation_name(base)
+        if not dotted:
+            continue
+        resolved = program._resolve_type_name(module, dotted)
+        if resolved:
+            found = program.lookup_method(resolved, method)
+            if found is not None:
+                return found
+    return None
+
+
+def _typed_method_qname(
+    program: Program,
+    info: FunctionInfo,
+    func: ast.expr,
+    types: Dict[str, LocalType],
+) -> Optional[str]:
+    """Qname of ``recv.a.b.m`` when the receiver's class is tracked.
+
+    Lets ``compiled = routing.compile(table)`` pick up the method's
+    return annotation even though the callee is not a plain name.
+    """
+    if not isinstance(func, ast.Attribute):
+        return None
+    parts = _flatten(func)
+    if parts is None or len(parts) < 2:
+        return None
+    root_class = _root_class(info, parts[0], types)
+    if root_class is None:
+        return None
+    owner = _attr_chain_class(program, root_class, parts[1:-1])
+    if owner is None:
+        return None
+    return program.lookup_method(owner, parts[-1])
 
 
 def _external_call_origin(
@@ -380,9 +472,50 @@ def _resolve_call(
     if isinstance(func, ast.Attribute):
         parts = _flatten(func)
         if parts is None:
-            # Method on a call result, subscript or literal: attribute
-            # the well-known builtin-container methods, else give the
-            # unique-method fallback a chance.
+            # Method on a call result: ``super().m()`` routes through
+            # the in-program bases, and ``self._factory(...).m()`` types
+            # the receiver by the inner callee's return annotation.
+            receiver = func.value
+            if isinstance(receiver, ast.Call):
+                inner_func = receiver.func
+                if (
+                    isinstance(inner_func, ast.Name)
+                    and inner_func.id == "super"
+                    and info.owner_class
+                ):
+                    base_method = _super_method(program, info, func.attr)
+                    if base_method is not None:
+                        return internal(base_method)
+                else:
+                    inner = _resolve_name_or_attr(
+                        program, module, info, inner_func
+                    )
+                    if inner is None:
+                        inner = _typed_method_qname(
+                            program, info, inner_func, local_types
+                        )
+                    inner_info = (
+                        program.functions.get(inner) if inner else None
+                    )
+                    if inner_info is not None and isinstance(
+                        inner_info.node,
+                        (ast.FunctionDef, ast.AsyncFunctionDef),
+                    ):
+                        typed = _annotation_type(
+                            program,
+                            program.modules[inner_info.module],
+                            inner_info.node.returns,
+                        )
+                        if typed is not None:
+                            resolved_site = _resolve_typed_chain(
+                                program, site, internal, typed,
+                                [], func.attr,
+                            )
+                            if resolved_site is not None:
+                                return resolved_site
+            # Subscript or literal receiver: attribute the well-known
+            # builtin-container methods, else give the unique-method
+            # fallback a chance.
             return _fallback_method(program, site, internal, func.attr)
         root, rest = parts[0], parts[1:]
         method = parts[-1]

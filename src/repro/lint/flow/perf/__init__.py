@@ -1,0 +1,43 @@
+"""The perf engine: hot-path performance rules for ``repro lint --deep``.
+
+Hot-region inference (:mod:`model`) turns ``# repro-hot`` root
+annotations plus the PR-4 call graph into a per-frame map of "how many
+loops multiply this statement"; the rules (:mod:`alloc`, :mod:`scans`,
+:mod:`dispatch`) judge allocations, scans and dispatch against it, and
+:mod:`profile` cross-checks the static hot-set against a real
+``cProfile`` run so the roots cannot rot.
+"""
+
+from repro.lint.flow.perf.model import (
+    DEPTH_CAP,
+    FrameFacts,
+    HotRoot,
+    PerfAllowance,
+    PerfModel,
+    is_build_entry,
+    perf_facts,
+)
+from repro.lint.flow.perf.profile import (
+    COVERAGE_FLOOR,
+    TOP_K,
+    ProfileCoverage,
+    ProfiledFrame,
+    profile_hot_coverage,
+    render_coverage,
+)
+
+__all__ = [
+    "COVERAGE_FLOOR",
+    "DEPTH_CAP",
+    "TOP_K",
+    "FrameFacts",
+    "HotRoot",
+    "PerfAllowance",
+    "PerfModel",
+    "ProfileCoverage",
+    "ProfiledFrame",
+    "is_build_entry",
+    "perf_facts",
+    "profile_hot_coverage",
+    "render_coverage",
+]

@@ -1,0 +1,136 @@
+"""deep-alloc-in-hot-loop: no per-event allocation in hot frames.
+
+The array-backed engine's speedup comes from touching preallocated
+buffers; a stray ``np.zeros`` or list display inside the event loop
+quietly re-introduces O(events) allocator traffic.  This rule flags
+container and ndarray constructors whose *effective* loop depth — the
+frame's inter-procedural entry depth plus the lexical depth of the
+expression — is at least one.
+
+Deliberately excluded:
+
+* tuples and generator expressions (O(1) or lazy);
+* value-producing reductions (``np.flatnonzero``, ``np.bincount``,
+  fancy indexing) whose output *is* the computation — only hoistable
+  buffer/copy constructors are flagged;
+* any numpy call with an ``out=`` argument (that is the fix);
+* allocations whose value escapes through ``return``/``yield`` — the
+  frame's product cannot be hoisted by the frame;
+* memoized regions (built once per cache key).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.program import ModuleInfo, function_statements
+from repro.lint.flow.perf.model import (
+    _is_numpy_call,
+    escaping_names,
+    perf_facts,
+)
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+#: numpy constructors that allocate a fresh buffer/copy every call.
+_NP_ALLOCATORS = frozenset({
+    "array", "asarray", "ascontiguousarray", "zeros", "empty", "ones",
+    "full", "zeros_like", "empty_like", "ones_like", "full_like",
+    "arange", "concatenate", "stack", "vstack", "hstack", "tile",
+    "repeat", "unique", "copy",
+})
+
+_BUILTIN_CONTAINERS = frozenset({"list", "dict", "set"})
+
+
+def _alloc_label(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+    """Human label when ``node`` allocates, else None."""
+    if isinstance(node, ast.List):
+        return "list display"
+    if isinstance(node, ast.Dict):
+        return "dict display"
+    if isinstance(node, ast.Set):
+        return "set display"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _BUILTIN_CONTAINERS:
+        return f"{func.id}()"
+    if isinstance(func, ast.Attribute):
+        if any(kw.arg == "out" for kw in node.keywords):
+            return None  # writes into a caller-owned buffer: the fix
+        if _is_numpy_call(module, node) and func.attr in _NP_ALLOCATORS:
+            return f"np.{func.attr}()"
+        if func.attr == "copy" and not node.args and not node.keywords:
+            return ".copy()"
+    return None
+
+
+def _exempt_escapes(info: ast.AST, escapes: Set[str]) -> Set[int]:
+    """ids of alloc value nodes whose result leaves the frame."""
+    exempt: Set[int] = set()
+    for stmt in function_statements(info):  # type: ignore[arg-type]
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and target.id in escapes:
+                exempt.add(id(stmt.value))
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id in escapes
+            ):
+                exempt.add(id(stmt.value))
+        elif isinstance(stmt, (ast.Return, ast.Yield)):
+            if stmt.value is not None:
+                exempt.add(id(stmt.value))
+    return exempt
+
+
+@register_flow_rule
+class DeepAllocInHotLoop(FlowRule):
+    name = "deep-alloc-in-hot-loop"
+    summary = (
+        "no list/dict/set/ndarray construction inside hot engine loops"
+    )
+    invariant = (
+        "Frames reachable from a # repro-hot root allocate containers "
+        "and arrays once, outside their loops — per-event work touches "
+        "preallocated scratch buffers (or is justified with "
+        "# repro-perf: allow=deep-alloc-in-hot-loop -- reason)."
+    )
+    engine = "perf"
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        model = perf_facts(graph)
+        for info, facts, entry in model.hot_functions():
+            module = graph.program.module_of(info)
+            exempt = _exempt_escapes(info.node, escaping_names(info))
+            for node in function_statements(info.node):
+                label = _alloc_label(module, node)
+                if label is None:
+                    continue
+                if id(node) not in facts.depth:
+                    continue  # annotation/default, not executed per call
+                depth = facts.depth[id(node)]
+                if entry + depth < 1:
+                    continue
+                if id(node) in facts.memo or id(node) in exempt:
+                    continue
+                line = getattr(node, "lineno", info.line)
+                if model.allowed(info, line, self.name):
+                    continue
+                yield self.finding(
+                    module.path, line,
+                    getattr(node, "col_offset", 0),
+                    f"{label} allocates at loop depth {entry + depth} "
+                    f"on the hot path {model.hot_path(info.qname)}; "
+                    "hoist it out of the loop or reuse a scratch buffer",
+                )

@@ -1,0 +1,162 @@
+"""deep-recompile-in-loop and deep-hot-dispatch.
+
+* **Recompile** — construction of compile-time artifacts (routing
+  compilation, link tables, incidence structures) reachable from a hot
+  loop.  The rule understands the codebase's caching discipline: a
+  call into a *self-memoized* frame (one whose whole body sits behind
+  an early ``return cached`` guard, like ``RoutingScheme.compile`` and
+  ``Network.link_table``) is free after the first event and is not
+  flagged; neither is a build call inside a caller's own memo guard.
+* **Dispatch** — dynamic call overhead inside hot loops: call sites
+  the graph could not resolve at all, and long loop-invariant
+  attribute chains (``a.b.c.m()``) re-traversed every iteration where
+  a local binding before the loop would do.  Three receiver shapes
+  are exempt from the unresolved check: attributes assigned from
+  ``__init__`` parameters and bare parameter names (injected
+  callbacks exist to be called), and ndarray-typed receivers (an
+  unresolvable ``arr.min()`` is the vectorized path, not dispatch
+  overhead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import INTERNAL, UNRESOLVED, CallGraph
+from repro.lint.flow.program import function_statements
+from repro.lint.flow.perf.model import (
+    expr_text,
+    is_build_entry,
+    local_kinds,
+    perf_facts,
+)
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+#: Memoized rebuild wrappers, by method short name; calls are only
+#: flagged when the target frame is *not* self-memoized.
+_REBUILD_METHODS = frozenset({"compile", "link_table"})
+
+
+@register_flow_rule
+class DeepRecompileInLoop(FlowRule):
+    name = "deep-recompile-in-loop"
+    summary = "no routing/table/incidence (re)builds inside hot loops"
+    invariant = (
+        "Compile-time artifacts (compiled routing, link tables, "
+        "incidence structures, scratch buffers) are built once per "
+        "simulation; any build entry reached from inside a hot loop "
+        "must sit behind a memoization guard."
+    )
+    engine = "perf"
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        model = perf_facts(graph)
+        for info, facts, entry in model.hot_functions():
+            module = graph.program.module_of(info)
+            for site in model.site_index(info.qname):
+                if site.kind != INTERNAL or not site.target:
+                    continue
+                target = site.target
+                short = target.split(".")[-1]
+                if not (
+                    is_build_entry(target) or short in _REBUILD_METHODS
+                ):
+                    continue
+                depth, memoized = facts.calls.get(
+                    (site.line, site.column), (0, False)
+                )
+                if entry + depth < 1 or memoized:
+                    continue
+                if model.self_memoized(target):
+                    continue
+                if model.allowed(info, site.line, self.name):
+                    continue
+                yield self.finding(
+                    module.path, site.line, site.column,
+                    f"'{site.text}' rebuilds a compile-time artifact "
+                    f"at loop depth {entry + depth} on the hot path "
+                    f"{model.hot_path(info.qname)}; build it once and "
+                    "reuse, or memoize the builder",
+                )
+
+
+@register_flow_rule
+class DeepHotDispatch(FlowRule):
+    name = "deep-hot-dispatch"
+    summary = "no unresolved dispatch or deep attribute chains in hot loops"
+    invariant = (
+        "Hot-loop call targets are statically resolvable (so the perf "
+        "rules can see through them), and loop-invariant attribute "
+        "chains are bound to locals before the loop; injected "
+        "callbacks (attributes assigned from __init__ parameters) are "
+        "exempt."
+    )
+    engine = "perf"
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        model = perf_facts(graph)
+        for info, facts, entry in model.hot_functions():
+            module = graph.program.module_of(info)
+            callbacks = model.callback_attrs.get(info.owner_class, set())
+            params = set(info.param_names())
+            kinds = local_kinds(module, info, model.attr_kind_seed(info))
+            for site in model.site_index(info.qname):
+                if site.kind != UNRESOLVED:
+                    continue
+                depth, memoized = facts.calls.get(
+                    (site.line, site.column), (0, False)
+                )
+                if entry + depth < 1 or memoized:
+                    continue
+                parts = site.text.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] == "self"
+                    and parts[1] in callbacks
+                ):
+                    continue
+                if len(parts) == 1 and parts[0] in params:
+                    continue  # injected callable parameter
+                if len(parts) == 2 and kinds.get(parts[0]) == "ndarray":
+                    continue  # ndarray method: the vectorized path
+                if model.allowed(info, site.line, self.name):
+                    continue
+                yield self.finding(
+                    module.path, site.line, site.column,
+                    f"call '{site.text}' cannot be resolved "
+                    f"statically at loop depth {entry + depth} on the "
+                    f"hot path {model.hot_path(info.qname)}; the perf "
+                    "rules cannot see through it — type the receiver, "
+                    "or justify with an allow comment",
+                )
+            # Loop-invariant attribute chains re-traversed per iteration.
+            for node in function_statements(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                chain = expr_text(node.func)
+                if not chain:
+                    continue
+                parts = chain.split(".")
+                root, hops = parts[0], len(parts) - 2
+                if hops < 2:
+                    continue
+                if root in module.imports:
+                    continue  # module-qualified call, not a lookup chain
+                if root != "self" and root not in info.param_names():
+                    continue  # only provably loop-invariant roots
+                depth = facts.depth.get(id(node), 0)
+                if depth < 1 or id(node) in facts.memo:
+                    continue
+                if model.allowed(info, node.lineno, self.name):
+                    continue
+                yield self.finding(
+                    module.path, node.lineno, node.col_offset,
+                    f"attribute chain '{chain}' is re-traversed every "
+                    f"iteration of a hot loop in {info.qname}; bind "
+                    "the bound method to a local before the loop",
+                )

@@ -1,0 +1,855 @@
+"""Hot-region inference: which frames run per-event, and how deep.
+
+The perf rules need to know three things about every statement in the
+program: (1) is it reachable from an engine hot loop, (2) how many
+loops multiply it — once per simulation, per flow, or per event — and
+(3) is it protected by a memoization guard so its cost is paid once
+per cache key rather than once per call.  This module computes all
+three from ``# repro-hot`` root annotations and the PR-4 call graph,
+and the rules in :mod:`alloc`, :mod:`scans` and :mod:`dispatch` read
+the result.
+
+Hot roots are declared in source, on (or directly above) a ``def``::
+
+    # repro-hot: per-event -- drains the event heap
+    def run(self) -> None: ...
+
+and propagate through resolved internal call edges.  The *entry depth*
+of a callee is the caller's entry depth plus the lexical loop depth at
+the call site, capped at :data:`DEPTH_CAP` (beyond three nested loops
+every rule already treats the code as maximally hot).  Class-hierarchy
+expansion keeps dynamic dispatch honest: when a base method becomes
+hot, every override in a subclass becomes hot at the same depth, so
+``self._compiled.sample(...)`` heats all compiled routing variants.
+
+Two regions are exempt by construction:
+
+* **Memoized regions.**  Both cache idioms the codebase uses are
+  recognised — ``x = cache.get(key)`` / ``if x is None: <build>`` marks
+  the build branch, and an early ``if cached is not None: return
+  cached`` marks the remainder of the function.  Work inside them runs
+  once per cache key; frames whose whole body sits behind an early
+  return (``RoutingScheme.compile``, ``Network.link_table``) are
+  *self-memoized* and safe to call from a loop.
+* **Build entries.**  Constructors of compile-time artifacts
+  (``compile_routing``, ``LinkTable``, ``Incidence``, ``PathSet``,
+  ``FillScratch``) terminate propagation: their bodies are loops by
+  design and are judged by ``deep-recompile-in-loop`` at the call site
+  instead.
+
+Findings are absorbed by ``# repro-perf: allow=<rules> -- reason``
+annotations (same policy as ``# repro-effect``): on the finding's own
+line for one site, or on/above a ``def`` for the whole frame.  The
+reason is mandatory — a meta-test rejects unjustified allowances.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.flow.callgraph import INTERNAL, CallGraph, CallSite
+from repro.lint.flow.program import (
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    annotation_name,
+    function_statements,
+)
+
+#: Entry-depth ceiling for propagation; keeps the max-merge monotone
+#: and terminating, and three nested loops is already "maximally hot".
+DEPTH_CAP = 3
+
+_HOT_PATTERN = re.compile(
+    r"#\s*repro-hot(?::\s*(?P<mode>[a-z\-]+))?"
+    r"(?:\s+--\s*(?P<reason>.*\S))?\s*$"
+)
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro-perf:\s*allow\s*=\s*(?P<rules>[A-Za-z0-9,\- ]+?)"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: Marker modes that declare the root itself already sits inside a loop.
+_PER_CALL_MODES = frozenset({"per-event", "per-flow"})
+
+#: Build-entry terminals: compile-time artifact constructors.
+_BUILD_CLASSES = frozenset({"LinkTable", "Incidence", "FillScratch", "PathSet"})
+_BUILD_FUNCS = frozenset({"compile_routing"})
+
+
+def is_build_entry(qname: str) -> bool:
+    """True for constructors of compile-time artifacts (see module doc)."""
+    parts = qname.split(".")
+    if parts[-1] == "__init__" and len(parts) > 1:
+        parts = parts[:-1]
+    return parts[-1] in _BUILD_CLASSES or parts[-1] in _BUILD_FUNCS
+
+
+@dataclass(frozen=True)
+class HotRoot:
+    """One ``# repro-hot`` annotation resolved to a function."""
+
+    qname: str
+    path: str
+    line: int
+    #: Loop depth the root starts at: 1 for ``per-event`` / ``per-flow``
+    #: roots that are themselves invoked from a loop, else 0.
+    floor: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class PerfAllowance:
+    """One ``# repro-perf: allow=`` annotation."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class FrameFacts:
+    """Lexical loop depth and memoization per node of one function."""
+
+    #: ``id(node)`` -> loop depth within this frame.
+    depth: Dict[int, int] = field(default_factory=dict)
+    #: ``id(node)`` for nodes inside a memoized (once-per-key) region.
+    memo: Set[int] = field(default_factory=set)
+    #: ``(line, col)`` of each call expression -> (depth, memoized).
+    calls: Dict[Tuple[int, int], Tuple[int, bool]] = field(
+        default_factory=dict
+    )
+    #: Whole body behind an early ``return cached`` guard at top level.
+    self_memoized: bool = False
+
+
+class PerfModel:
+    """Hot frames, entry depths and absorption tables for one program."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.callgraph = graph
+        self.program: Program = graph.program
+        #: Hot frame qname -> inter-procedural entry depth (0..DEPTH_CAP).
+        self.entry: Dict[str, int] = {}
+        #: Frames reachable from hot code only through memoized call
+        #: sites: their work runs once per cache key, so the per-event
+        #: rules exempt them, but they belong to the analysed closure
+        #: and the profile cross-check counts them as covered.
+        self.warm: Set[str] = set()
+        #: Hot frame qname -> (root qname, caller it was reached via).
+        self.origin: Dict[str, Tuple[str, Optional[str]]] = {}
+        self.roots: List[HotRoot] = []
+        #: Marker lines that matched no ``def`` (a rotted annotation).
+        self.unclaimed_markers: List[Tuple[str, int]] = []
+        self.allowances: List[PerfAllowance] = []
+        self._allow_by_path: Dict[str, Dict[int, PerfAllowance]] = {}
+        self._frames: Dict[str, FrameFacts] = {}
+        self._sites_by_caller: Dict[str, List[CallSite]] = {}
+        for site in graph.sites:
+            self._sites_by_caller.setdefault(site.caller, []).append(site)
+        #: Class qname -> direct subclass qnames (for CHA expansion).
+        self._subclasses: Dict[str, List[str]] = {}
+        #: Class qname -> attrs assigned from ``__init__`` parameters
+        #: (injected callbacks: calling them is the attribute's purpose).
+        self.callback_attrs: Dict[str, Set[str]] = {}
+        #: Class qname -> attrs holding ndarrays (from ``__init__``).
+        self.ndarray_attrs: Dict[str, Set[str]] = {}
+        self._collect_markers()
+        self._collect_hierarchy()
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    # Source markers
+    # ------------------------------------------------------------------
+
+    def _collect_markers(self) -> None:
+        hot_by_path: Dict[str, Dict[int, Tuple[int, str]]] = {}
+        for module in self.program.modules.values():
+            hot: Dict[int, Tuple[int, str]] = {}
+            allow: Dict[int, PerfAllowance] = {}
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(module.source).readline
+                )
+                for tok in tokens:
+                    if tok.type != tokenize.COMMENT:
+                        continue
+                    line = tok.start[0]
+                    hot_match = _HOT_PATTERN.search(tok.string)
+                    if hot_match:
+                        mode = hot_match.group("mode") or ""
+                        floor = 1 if mode in _PER_CALL_MODES else 0
+                        hot[line] = (floor, hot_match.group("reason") or "")
+                    allow_match = _ALLOW_PATTERN.search(tok.string)
+                    if allow_match:
+                        rules = tuple(
+                            part.strip()
+                            for part in allow_match.group("rules").split(",")
+                            if part.strip()
+                        )
+                        allow[line] = PerfAllowance(
+                            path=module.path,
+                            line=line,
+                            rules=rules,
+                            reason=allow_match.group("reason") or "",
+                        )
+            except tokenize.TokenError:
+                continue
+            if hot:
+                hot_by_path[module.path] = hot
+            if allow:
+                self._allow_by_path[module.path] = allow
+                self.allowances.extend(
+                    allow[line] for line in sorted(allow)
+                )
+        # Map marker lines to the def on the same or the next line.
+        claimed: Set[Tuple[str, int]] = set()
+        for info in self.program.functions.values():
+            if isinstance(info.node, ast.Lambda):
+                continue
+            path = self.program.module_of(info).path
+            table = hot_by_path.get(path)
+            if not table:
+                continue
+            for line in (info.line, info.line - 1):
+                marker = table.get(line)
+                if marker is None:
+                    continue
+                floor, reason = marker
+                self.roots.append(
+                    HotRoot(
+                        qname=info.qname, path=path, line=line,
+                        floor=floor, reason=reason,
+                    )
+                )
+                claimed.add((path, line))
+        for path, table in hot_by_path.items():
+            for line in table:
+                if (path, line) not in claimed:
+                    self.unclaimed_markers.append((path, line))
+        self.roots.sort(key=lambda r: (r.path, r.line))
+
+    def allowed(self, info: FunctionInfo, line: int, rule: str) -> bool:
+        """True when ``rule`` is absorbed at ``line`` inside ``info``.
+
+        An allowance lands on the finding's own line (inline or the
+        comment line directly above the statement) or on the frame's
+        ``def`` line / the line above it (absorbing the whole frame).
+        """
+        path = self.program.module_of(info).path
+        table = self._allow_by_path.get(path)
+        if not table:
+            return False
+        for candidate in (line, line - 1, info.line, info.line - 1):
+            entry = table.get(candidate)
+            if entry is not None and rule in entry.rules:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Class hierarchy (for dynamic-dispatch expansion)
+    # ------------------------------------------------------------------
+
+    def _collect_hierarchy(self) -> None:
+        for cls in self.program.classes.values():
+            module = self.program.modules[cls.module]
+            for base in cls.base_exprs:
+                dotted = annotation_name(base)
+                if not dotted:
+                    continue
+                resolved = self.program._resolve_type_name(module, dotted)
+                if resolved:
+                    self._subclasses.setdefault(resolved, []).append(
+                        cls.qname
+                    )
+            init_qname = cls.methods.get("__init__")
+            if init_qname is None:
+                continue
+            init = self.program.functions[init_qname].node
+            params = set(self.program.functions[init_qname].param_names())
+            attrs: Set[str] = set()
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not isinstance(stmt.value, ast.Name):
+                    continue
+                if stmt.value.id not in params:
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+            if attrs:
+                self.callback_attrs[cls.qname] = attrs
+            init_info = self.program.functions[init_qname]
+            init_kinds = local_kinds(module, init_info)
+            array_attrs: Set[str] = set()
+            for stmt in function_statements(init):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _expr_kind(module, init_kinds, stmt.value)
+                        == "ndarray"
+                    ):
+                        array_attrs.add(target.attr)
+            if array_attrs:
+                self.ndarray_attrs[cls.qname] = array_attrs
+
+    def attr_kind_seed(self, info: FunctionInfo) -> Dict[str, str]:
+        """Seed kinds for ``self.<attr>`` receivers inside ``info``."""
+        if not info.owner_class:
+            return {}
+        return {
+            f"self.{attr}": "ndarray"
+            for attr in self.ndarray_attrs.get(info.owner_class, ())
+        }
+
+    def _overrides(self, qname: str) -> List[str]:
+        """Subclass overrides of a hot method, transitively."""
+        info = self.program.functions.get(qname)
+        if info is None or not info.owner_class:
+            return []
+        found: List[str] = []
+        stack = list(self._subclasses.get(info.owner_class, []))
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.program.classes.get(current)
+            if cls is None:
+                continue
+            override = cls.methods.get(info.name)
+            if override and override != qname:
+                found.append(override)
+            stack.extend(self._subclasses.get(current, []))
+        return found
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> None:
+        worklist: List[Tuple[str, int, str, Optional[str]]] = [
+            (root.qname, root.floor, root.qname, None)
+            for root in self.roots
+        ]
+        warm_seeds: List[str] = []
+        while worklist:
+            qname, entry, root, via = worklist.pop()
+            info = self.program.functions.get(qname)
+            if info is None:
+                continue
+            current = self.entry.get(qname)
+            if current is not None and current >= entry:
+                continue
+            self.entry[qname] = entry
+            self.origin[qname] = (root, via)
+            facts = self.frame(qname)
+            targets: List[Tuple[str, int]] = []
+            for site in self._sites_by_caller.get(qname, []):
+                if site.kind != INTERNAL or not site.target:
+                    continue
+                depth, memoized = facts.calls.get(
+                    (site.line, site.column), (0, False)
+                )
+                if memoized:
+                    warm_seeds.append(site.target)
+                    continue
+                if is_build_entry(site.target):
+                    continue
+                targets.append(
+                    (site.target, min(DEPTH_CAP, entry + depth))
+                )
+            for target, child_entry in targets:
+                worklist.append((target, child_entry, root, qname))
+                for override in self._overrides(target):
+                    worklist.append((override, child_entry, root, qname))
+            # Closures defined in a hot frame run, at the latest, within
+            # its dynamic extent (callbacks handed to walkers/queues);
+            # their bodies and callees are hot at the frame's own depth.
+            for nested in self.callgraph.nested.get(qname, ()):
+                worklist.append((nested, entry, root, qname))
+        self._close_warm(warm_seeds)
+
+    def _close_warm(self, seeds: List[str]) -> None:
+        """Transitively mark once-per-key frames behind memoized sites."""
+        stack = seeds
+        while stack:
+            qname = stack.pop()
+            if qname in self.entry or qname in self.warm:
+                continue
+            if qname not in self.program.functions:
+                continue
+            self.warm.add(qname)
+            for site in self._sites_by_caller.get(qname, []):
+                if site.kind != INTERNAL or not site.target:
+                    continue
+                if is_build_entry(site.target):
+                    continue
+                stack.append(site.target)
+                stack.extend(self._overrides(site.target))
+            stack.extend(self.callgraph.nested.get(qname, ()))
+
+    def frame(self, qname: str) -> FrameFacts:
+        cached = self._frames.get(qname)
+        if cached is not None:
+            return cached
+        info = self.program.functions[qname]
+        facts = _frame_facts(info.node)
+        self._frames[qname] = facts
+        return facts
+
+    def self_memoized(self, qname: str) -> bool:
+        if qname not in self.program.functions:
+            return False
+        return self.frame(qname).self_memoized
+
+    # ------------------------------------------------------------------
+    # Views for the rules
+    # ------------------------------------------------------------------
+
+    def hot_functions(self) -> Iterator[Tuple[FunctionInfo, FrameFacts, int]]:
+        """Every hot frame with its facts and entry depth, sorted."""
+        for qname in sorted(self.entry):
+            info = self.program.functions.get(qname)
+            if info is None or isinstance(info.node, ast.Lambda):
+                continue
+            yield info, self.frame(qname), self.entry[qname]
+
+    def hot_path(self, qname: str) -> str:
+        """Render the root -> ... -> frame chain for a finding message."""
+        chain: List[str] = []
+        current: Optional[str] = qname
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            chain.append(_short(current))
+            origin = self.origin.get(current)
+            if origin is None:
+                break
+            root, via = origin
+            if via is None:
+                break
+            current = via
+        else:  # cycle guard tripped; the chain is still informative
+            pass
+        return " <- ".join(chain)
+
+    def site_index(
+        self, qname: str
+    ) -> List[CallSite]:
+        return self._sites_by_caller.get(qname, [])
+
+
+def _short(qname: str) -> str:
+    """``repro.sim.flowsim.FlowSimulator.run`` -> ``FlowSimulator.run``."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname
+
+
+# ----------------------------------------------------------------------
+# Per-frame lexical facts
+# ----------------------------------------------------------------------
+
+
+def _cache_names(node: ast.AST) -> Set[str]:
+    """Names assigned from a cache read: ``self.<attr>`` or ``.get(...)``."""
+    names: Set[str] = set()
+    for stmt in function_statements(node):  # type: ignore[arg-type]
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        is_cache_read = (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+        )
+        if not is_cache_read:
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _guard_kind(
+    stmt: ast.stmt, cache_names: Set[str]
+) -> Optional[str]:
+    """Classify a memo guard: ``early-return`` or ``miss-branch``.
+
+    Three idioms, all used in this codebase:
+
+    * ``x = cache.get(k)`` / ``if x is None: <build>`` — miss branch;
+    * ``cached = self._x`` / ``if cached is not None: return cached``
+      — everything after the guard is the miss path;
+    * ``if k not in self._cache: self._cache[k] = <build>`` (and the
+      ``if k in self._cache: return self._cache[k]`` converse) —
+      recognised only when the branch writes back to / reads from the
+      *same* container, so ordinary membership logic is never exempted.
+    """
+    if not isinstance(stmt, ast.If):
+        return None
+    membership = _membership_guard(stmt)
+    if membership is not None:
+        return membership
+    if not cache_names:
+        return None
+    tested = {
+        n.id for n in ast.walk(stmt.test) if isinstance(n, ast.Name)
+    }
+    if not (tested & cache_names):
+        return None
+    for inner in stmt.body:
+        for n in ast.walk(inner):
+            if (
+                isinstance(n, ast.Return)
+                and isinstance(n.value, ast.Name)
+                and n.value.id in cache_names
+            ):
+                return "early-return"
+    return "miss-branch"
+
+
+def _membership_guard(stmt: ast.If) -> Optional[str]:
+    """Detect ``if k (not) in <container>:`` cache guards (see above)."""
+    test = stmt.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.In, ast.NotIn))
+        and len(test.comparators) == 1
+    ):
+        return None
+    container = expr_text(test.comparators[0])
+    if not container:
+        return None
+    if isinstance(test.ops[0], ast.NotIn):
+        # Miss branch must write the computed value back.
+        for inner in stmt.body:
+            for n in ast.walk(inner):
+                if (
+                    isinstance(n, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Subscript)
+                        and expr_text(t.value) == container
+                        for t in n.targets
+                    )
+                ):
+                    return "miss-branch"
+        return None
+    # Hit branch must return straight out of the container.
+    for inner in stmt.body:
+        for n in ast.walk(inner):
+            if (
+                isinstance(n, ast.Return)
+                and isinstance(n.value, ast.Subscript)
+                and expr_text(n.value.value) == container
+            ):
+                return "early-return"
+    return None
+
+
+def _frame_facts(node: ast.AST) -> FrameFacts:
+    facts = FrameFacts()
+    cache_names = _cache_names(node)
+
+    def mark(n: ast.AST, depth: int, memo: bool) -> None:
+        facts.depth[id(n)] = depth
+        if memo:
+            facts.memo.add(id(n))
+        if isinstance(n, ast.Call):
+            facts.calls.setdefault(
+                (n.lineno, n.col_offset), (depth, memo)
+            )
+
+    def visit_expr(n: ast.AST, depth: int, memo: bool) -> None:
+        mark(n, depth, memo)
+        if isinstance(
+            n, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for index, gen in enumerate(n.generators):
+                visit_expr(gen.iter, depth if index == 0 else depth + 1, memo)
+                visit_expr(gen.target, depth + 1, memo)
+                for cond in gen.ifs:
+                    visit_expr(cond, depth + 1, memo)
+            if isinstance(n, ast.DictComp):
+                visit_expr(n.key, depth + 1, memo)
+                visit_expr(n.value, depth + 1, memo)
+            else:
+                visit_expr(n.elt, depth + 1, memo)
+            return
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scope: not this frame's work
+        for child in ast.iter_child_nodes(n):
+            visit_expr(child, depth, memo)
+
+    def visit_stmt(s: ast.stmt, depth: int, memo: bool) -> None:
+        if isinstance(
+            s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            mark(s, depth, memo)
+            return
+        if isinstance(s, (ast.For, ast.AsyncFor)):
+            mark(s, depth, memo)
+            visit_expr(s.iter, depth, memo)
+            visit_expr(s.target, depth + 1, memo)
+            walk_body(s.body, depth + 1, memo)
+            walk_body(s.orelse, depth, memo)
+            return
+        if isinstance(s, ast.While):
+            mark(s, depth, memo)
+            visit_expr(s.test, depth + 1, memo)
+            walk_body(s.body, depth + 1, memo)
+            walk_body(s.orelse, depth, memo)
+            return
+        if isinstance(s, ast.If):
+            mark(s, depth, memo)
+            visit_expr(s.test, depth, memo)
+            walk_body(s.body, depth, memo)
+            walk_body(s.orelse, depth, memo)
+            return
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            mark(s, depth, memo)
+            for item in s.items:
+                visit_expr(item.context_expr, depth, memo)
+            walk_body(s.body, depth, memo)
+            return
+        if isinstance(s, ast.Try):
+            mark(s, depth, memo)
+            walk_body(s.body, depth, memo)
+            for handler in s.handlers:
+                walk_body(handler.body, depth, memo)
+            walk_body(s.orelse, depth, memo)
+            walk_body(s.finalbody, depth, memo)
+            return
+        mark(s, depth, memo)
+        for child in ast.iter_child_nodes(s):
+            visit_expr(child, depth, memo)
+
+    def walk_body(stmts: List[ast.stmt], depth: int, memo: bool) -> None:
+        current = memo
+        for s in stmts:
+            guard = _guard_kind(s, cache_names)
+            if guard == "early-return":
+                mark(s, depth, current)
+                visit_expr(s.test, depth, current)
+                walk_body(s.body, depth, current)
+                walk_body(s.orelse, depth, current)
+                current = True
+                continue
+            if guard == "miss-branch":
+                mark(s, depth, current)
+                visit_expr(s.test, depth, current)
+                walk_body(s.body, depth, True)
+                walk_body(s.orelse, depth, current)
+                continue
+            visit_stmt(s, depth, current)
+
+    body = getattr(node, "body", [])
+    if isinstance(body, list):
+        facts.self_memoized = any(
+            _guard_kind(s, cache_names) == "early-return" for s in body
+        )
+        walk_body(body, 0, False)
+    else:  # a lambda: one expression, depth 0
+        visit_expr(body, 0, False)
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for the rules
+# ----------------------------------------------------------------------
+
+
+def escaping_names(info: FunctionInfo) -> Set[str]:
+    """Names that flow out of the frame through ``return`` / ``yield``."""
+    names: Set[str] = set()
+    for n in function_statements(info.node):
+        if isinstance(n, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = n.value
+            if value is None:
+                continue
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def expr_text(node: ast.expr) -> str:
+    """Dotted text of a Name/Attribute chain, else '' (for comparisons)."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+_LIST_ANNOTATIONS = frozenset({"List", "list"})
+_NDARRAY_ANNOTATIONS = frozenset({"ndarray", "np.ndarray", "numpy.ndarray"})
+
+
+def _annotation_kind(annotation: Optional[ast.expr]) -> str:
+    if annotation is None:
+        return ""
+    if isinstance(annotation, ast.Subscript):
+        outer = annotation_name(annotation.value)
+        if outer and outer.split(".")[-1] in _LIST_ANNOTATIONS:
+            return "list"
+    dotted = annotation_name(annotation)
+    if dotted in _LIST_ANNOTATIONS:
+        return "list"
+    if dotted in _NDARRAY_ANNOTATIONS:
+        return "ndarray"
+    return ""
+
+
+def _is_numpy_call(module: ModuleInfo, call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    root = func.value
+    if not isinstance(root, ast.Name):
+        return False
+    return module.imports.get(root.id, "") == "numpy"
+
+
+#: ndarray methods that return an array when their receiver is one.
+_NDARRAY_METHODS = frozenset({"copy", "astype", "reshape", "ravel"})
+
+
+def _expr_kind(
+    module: ModuleInfo, kinds: Dict[str, str], value: ast.expr
+) -> str:
+    """Kind of an expression under the current bindings ('' = unknown).
+
+    Elementwise numpy semantics propagate the ndarray kind: indexing,
+    arithmetic, comparisons (masks), and array-returning methods of an
+    ndarray receiver all stay arrays.
+    """
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, ast.Name):
+        return kinds.get(value.id, "")
+    if isinstance(value, ast.Attribute):
+        text = expr_text(value)
+        return kinds.get(text, "") if text else ""
+    if isinstance(value, ast.Subscript):
+        if _expr_kind(module, kinds, value.value) == "ndarray":
+            return "ndarray"
+        return ""
+    if isinstance(value, ast.BinOp):
+        left = _expr_kind(module, kinds, value.left)
+        right = _expr_kind(module, kinds, value.right)
+        return "ndarray" if "ndarray" in (left, right) else ""
+    if isinstance(value, ast.UnaryOp):
+        return _expr_kind(module, kinds, value.operand)
+    if isinstance(value, ast.Compare):
+        operands = [value.left] + list(value.comparators)
+        if any(
+            _expr_kind(module, kinds, op) == "ndarray" for op in operands
+        ):
+            return "ndarray"
+        return ""
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in ("list", "sorted"):
+            return "list"
+        if _is_numpy_call(module, value):
+            return "ndarray"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _NDARRAY_METHODS
+            and _expr_kind(module, kinds, func.value) == "ndarray"
+        ):
+            return "ndarray"
+        return ""
+    return ""
+
+
+def local_kinds(
+    module: ModuleInfo,
+    info: FunctionInfo,
+    seed: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """Light per-frame typing: name -> ``"list"`` or ``"ndarray"``.
+
+    Tracks parameter annotations and assignments in lexical order,
+    propagating kinds through :func:`_expr_kind` — enough for the scan
+    and dispatch rules to know what a receiver is.  ``seed`` preloads
+    dotted receiver kinds (``self.<attr>`` from the model's
+    __init__-inferred ndarray attributes).
+    """
+    kinds: Dict[str, str] = dict(seed) if seed else {}
+    args = info.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        kind = _annotation_kind(arg.annotation)
+        if kind:
+            kinds[arg.arg] = kind
+
+    def bind(name: str, kind: str) -> None:
+        if kind:
+            kinds[name] = kind
+        else:
+            kinds.pop(name, None)
+
+    for stmt in function_statements(info.node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Tuple)
+                and isinstance(stmt.value, ast.Tuple)
+                and len(target.elts) == len(stmt.value.elts)
+            ):
+                for elt, val in zip(target.elts, stmt.value.elts):
+                    if isinstance(elt, ast.Name):
+                        bind(elt.id, _expr_kind(module, kinds, val))
+            elif isinstance(target, ast.Name):
+                bind(target.id, _expr_kind(module, kinds, stmt.value))
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                kind = _annotation_kind(stmt.annotation)
+                if not kind and stmt.value is not None:
+                    kind = _expr_kind(module, kinds, stmt.value)
+                bind(stmt.target.id, kind)
+    return kinds
+
+
+# ----------------------------------------------------------------------
+# Shared facts cache (one model per built graph, like concurrency)
+# ----------------------------------------------------------------------
+
+_MODEL_CACHE: List[Tuple[CallGraph, PerfModel]] = []
+
+
+def perf_facts(graph: CallGraph) -> PerfModel:
+    """Build (or reuse) the shared perf model for this graph."""
+    for cached_graph, cached in _MODEL_CACHE:
+        if cached_graph is graph:
+            return cached
+    model = PerfModel(graph)
+    del _MODEL_CACHE[:]
+    _MODEL_CACHE.append((graph, model))
+    return model

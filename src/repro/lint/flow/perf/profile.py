@@ -1,0 +1,182 @@
+"""Dynamic cross-check: does the static hot-set cover the real profile?
+
+Static hot-region inference is only as good as its ``# repro-hot``
+roots and call-edge resolution.  This module keeps it honest: run one
+small seeded Figure-4 cell under :mod:`cProfile`, map the top-K frames
+by cumulative time back to program qualified names, and report what
+fraction of them the static hot-set claims.  A meta-test (and ``repro
+lint --deep --profile`` in CI) pins the coverage at
+:data:`COVERAGE_FLOOR`, so a rotted root annotation or a resolution
+regression shows up as a failing gate, not as silently-unchecked hot
+code.
+
+Frames outside the package (numpy, stdlib, ``<listcomp>`` descriptors)
+are not the static analysis' job and are filtered before ranking.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pathlib
+import pstats
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.flow.callgraph import build_call_graph
+from repro.lint.flow.perf.model import PerfModel
+from repro.lint.flow.program import Program
+
+#: Dynamic frames ranked by cumulative time; the static hot-set must
+#: claim at least this fraction of the top ``TOP_K``.
+TOP_K = 15
+COVERAGE_FLOOR = 0.80
+
+
+@dataclass(frozen=True)
+class ProfiledFrame:
+    """One profiled frame mapped back to the program."""
+
+    qname: str
+    path: str
+    line: int
+    cumulative_seconds: float
+    hot: bool
+    #: In the model's warm set: reached from hot code only through a
+    #: memoized call site, so its work runs once per cache key.  Counts
+    #: as covered — the static analysis claimed (and exempted) it.
+    warm: bool = False
+
+
+@dataclass(frozen=True)
+class ProfileCoverage:
+    """Static-hot-set coverage of the dynamic top-K."""
+
+    cell: str
+    frames: Tuple[ProfiledFrame, ...]
+    covered: int
+    total: int
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.total if self.total else 1.0
+
+    @property
+    def passed(self) -> bool:
+        return self.coverage >= COVERAGE_FLOOR
+
+
+def _run_cell() -> Tuple[str, cProfile.Profile]:
+    """One small seeded fig4 cell, profiled around the event loop only."""
+    from repro.experiments import SMALL
+    from repro.experiments.fig4_fct import _pattern_flows, fig4_patterns
+    from repro.experiments.runner import build_scheme
+    from repro.sim import FlowSimulator
+
+    pattern = {p.label: p for p in fig4_patterns(SMALL, seed=0)}["A2A"]
+    tut = build_scheme("DRing (su2)", SMALL, seed=0)
+    flows = _pattern_flows(SMALL, pattern, 0, 0.30)
+    placement = tut.placement(shuffle=pattern.random_placement, seed=0)
+    sim = FlowSimulator(tut.network, tut.routing, placement, seed=0)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(flows)
+    profiler.disable()
+    return "fig4 A2A / DRing (su2) / small / seed 0", profiler
+
+
+def _qname_index(
+    program: Program,
+) -> Dict[Tuple[str, str], List[Tuple[int, str]]]:
+    """(module path, function short name) -> [(def line, qname)]."""
+    index: Dict[Tuple[str, str], List[Tuple[int, str]]] = {}
+    for info in program.functions.values():
+        path = program.module_of(info).path
+        index.setdefault((path, info.name), []).append(
+            (info.line, info.qname)
+        )
+    for entries in index.values():
+        entries.sort()
+    return index
+
+
+def _lookup(
+    index: Dict[Tuple[str, str], List[Tuple[int, str]]],
+    path: str,
+    name: str,
+    line: int,
+) -> Optional[str]:
+    """Nearest def at or above the frame's first line (decorators shift
+    ``co_firstlineno`` a little; same-name frames pick the closest)."""
+    entries = index.get((path, name))
+    if not entries:
+        return None
+    best: Optional[str] = None
+    for def_line, qname in entries:
+        if def_line <= line + 2:
+            best = qname
+    return best or entries[0][1]
+
+
+def profile_hot_coverage(
+    src_root: Optional[pathlib.Path] = None,
+    top_k: int = TOP_K,
+    model: Optional[PerfModel] = None,
+) -> ProfileCoverage:
+    """Run the profile cell and score static-hot-set coverage."""
+    import repro
+
+    package_dir = (
+        src_root if src_root is not None
+        else pathlib.Path(repro.__file__).parent
+    ).resolve()
+    if model is None:
+        program = Program.build(package_dir, "repro")
+        model = PerfModel(build_call_graph(program))
+    cell, profiler = _run_cell()
+    index = _qname_index(model.program)
+    stats = pstats.Stats(profiler)
+    ranked: List[ProfiledFrame] = []
+    for (filename, line, name), row in stats.stats.items():  # type: ignore[attr-defined]
+        if name.startswith("<"):
+            continue
+        try:
+            resolved = str(pathlib.Path(filename).resolve())
+        except OSError:
+            continue
+        if not resolved.startswith(str(package_dir)):
+            continue
+        qname = _lookup(index, resolved, name, line)
+        if qname is None:
+            continue
+        cumulative = float(row[3])
+        ranked.append(
+            ProfiledFrame(
+                qname=qname, path=resolved, line=line,
+                cumulative_seconds=cumulative,
+                hot=qname in model.entry,
+                warm=qname in model.warm,
+            )
+        )
+    ranked.sort(key=lambda f: (-f.cumulative_seconds, f.qname))
+    top = tuple(ranked[:top_k])
+    covered = sum(1 for frame in top if frame.hot or frame.warm)
+    return ProfileCoverage(
+        cell=cell, frames=top, covered=covered, total=len(top)
+    )
+
+
+def render_coverage(coverage: ProfileCoverage) -> str:
+    """Human-readable coverage report (CLI stderr and the CI artifact)."""
+    lines = [
+        f"profile cell: {coverage.cell}",
+        f"static hot-set coverage of top-{coverage.total} frames by "
+        f"cumulative time: {coverage.covered}/{coverage.total} "
+        f"({100 * coverage.coverage:.0f}%, floor "
+        f"{100 * COVERAGE_FLOOR:.0f}%)",
+    ]
+    for frame in coverage.frames:
+        marker = "hot " if frame.hot else "memo" if frame.warm else "COLD"
+        lines.append(
+            f"  [{marker}] {frame.cumulative_seconds:8.4f}s  {frame.qname}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""deep-quadratic-scan and deep-numpy-scalar-loop.
+
+Two ways hot-path work silently goes superlinear or falls off the
+vectorized path:
+
+* **Quadratic scans** — a linear operation (list membership,
+  ``list.index``, ``.pop(0)``, or a full re-iteration of the same
+  collection) nested inside a hot loop multiplies into O(n²).
+* **Scalar loops over ndarrays** — a Python ``for`` over array
+  elements, or per-element ``arr[i] = ...`` writes keyed by the loop
+  variable, pays interpreter dispatch per element where a single
+  vectorized expression exists.
+
+Both rules use the light per-frame typing from
+:func:`~repro.lint.flow.perf.model.local_kinds`; untyped receivers are
+optimistically skipped (the resolution-floor meta-test bounds how much
+that optimism can hide).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.program import function_statements
+from repro.lint.flow.perf.model import (
+    expr_text,
+    local_kinds,
+    perf_facts,
+)
+from repro.lint.flow.registry import FlowRule, register_flow_rule
+
+
+def _nested_same_iter(node: ast.AST) -> Iterator[Tuple[ast.For, str]]:
+    """For-loops whose iterable repeats an enclosing loop's iterable."""
+
+    def visit(
+        n: ast.AST, stack: List[str]
+    ) -> Iterator[Tuple[ast.For, str]]:
+        if isinstance(
+            n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        inner_stack = stack
+        if isinstance(n, ast.For):
+            text = expr_text(n.iter)
+            if text and text in stack:
+                yield n, text
+            if text:
+                inner_stack = stack + [text]
+        for child in ast.iter_child_nodes(n):
+            yield from visit(child, inner_stack)
+
+    # Start below the frame's own def node: the nested-scope guard is
+    # for closures defined inside it, not the frame itself.
+    for child in ast.iter_child_nodes(node):
+        yield from visit(child, [])
+
+
+@register_flow_rule
+class DeepQuadraticScan(FlowRule):
+    name = "deep-quadratic-scan"
+    summary = "no linear scans nested inside hot loops (O(n²))"
+    invariant = (
+        "Hot-path lookups are O(1): membership tests use sets/dicts, "
+        "queues pop from the end or use deque, and no hot loop "
+        "re-iterates the collection an enclosing loop is already "
+        "walking."
+    )
+    engine = "perf"
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        model = perf_facts(graph)
+        for info, facts, entry in model.hot_functions():
+            module = graph.program.module_of(info)
+            kinds = local_kinds(module, info, model.attr_kind_seed(info))
+
+            def hot_at(node: ast.AST, minimum: int) -> bool:
+                if id(node) not in facts.depth:
+                    return False  # annotation/default, never executed here
+                return (
+                    entry + facts.depth[id(node)] >= minimum
+                    and id(node) not in facts.memo
+                )
+
+            for node in function_statements(info.node):
+                line = getattr(node, "lineno", info.line)
+                col = getattr(node, "col_offset", 0)
+                if model.allowed(info, line, self.name):
+                    continue
+                if (
+                    isinstance(node, ast.Compare)
+                    and len(node.comparators) == 1
+                    and any(
+                        isinstance(op, (ast.In, ast.NotIn))
+                        for op in node.ops
+                    )
+                ):
+                    receiver = node.comparators[0]
+                    if (
+                        isinstance(receiver, ast.Name)
+                        and kinds.get(receiver.id) == "list"
+                        and hot_at(node, 1)
+                    ):
+                        yield self.finding(
+                            module.path, line, col,
+                            f"membership test scans list "
+                            f"'{receiver.id}' linearly on the hot path "
+                            f"{model.hot_path(info.qname)}; use a "
+                            "set/dict keyed lookup",
+                        )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    receiver = node.func.value
+                    if not (
+                        isinstance(receiver, ast.Name)
+                        and kinds.get(receiver.id) == "list"
+                    ):
+                        continue
+                    is_index = node.func.attr == "index"
+                    is_pop_front = (
+                        node.func.attr == "pop"
+                        and len(node.args) == 1
+                        and isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value == 0
+                    )
+                    if (is_index or is_pop_front) and hot_at(node, 1):
+                        op = "index()" if is_index else "pop(0)"
+                        yield self.finding(
+                            module.path, line, col,
+                            f"list.{op} on '{receiver.id}' is O(n) per "
+                            f"call on the hot path "
+                            f"{model.hot_path(info.qname)}; keep an "
+                            "index map or use collections.deque",
+                        )
+            for loop, text in _nested_same_iter(info.node):
+                if not hot_at(loop, 2):
+                    continue
+                if model.allowed(info, loop.lineno, self.name):
+                    continue
+                yield self.finding(
+                    module.path, loop.lineno, loop.col_offset,
+                    f"nested re-iteration of '{text}' inside an "
+                    f"enclosing loop over the same collection "
+                    f"(hot path {model.hot_path(info.qname)}); "
+                    "this is O(n²) — restructure to one pass",
+                )
+
+
+@register_flow_rule
+class DeepNumpyScalarLoop(FlowRule):
+    name = "deep-numpy-scalar-loop"
+    summary = "no per-element Python loops over ndarrays in hot frames"
+    invariant = (
+        "Hot frames touch ndarrays through whole-array expressions; a "
+        "Python for over elements or an arr[i] = write per iteration "
+        "pays interpreter dispatch per element where one vectorized "
+        "statement exists."
+    )
+    engine = "perf"
+
+    def check(self, graph: CallGraph) -> Iterable[Finding]:
+        model = perf_facts(graph)
+        for info, facts, entry in model.hot_functions():
+            module = graph.program.module_of(info)
+            kinds = local_kinds(module, info, model.attr_kind_seed(info))
+            loop_vars: Set[str] = set()
+            for node in function_statements(info.node):
+                if isinstance(node, ast.For) and isinstance(
+                    node.target, ast.Name
+                ):
+                    loop_vars.add(node.target.id)
+            for node in function_statements(info.node):
+                if isinstance(node, ast.For):
+                    iterable = node.iter
+                    if not (
+                        isinstance(iterable, ast.Name)
+                        and kinds.get(iterable.id) == "ndarray"
+                    ):
+                        continue
+                    if id(node) not in facts.depth:
+                        continue
+                    depth = facts.depth[id(node)]
+                    if entry + depth < 1 or id(node) in facts.memo:
+                        continue
+                    if model.allowed(info, node.lineno, self.name):
+                        continue
+                    yield self.finding(
+                        module.path, node.lineno, node.col_offset,
+                        f"Python for over ndarray '{iterable.id}' "
+                        f"iterates elements scalar-wise on the hot "
+                        f"path {model.hot_path(info.qname)}; "
+                        "vectorize or operate on index arrays",
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and kinds.get(target.value.id) == "ndarray"
+                            and isinstance(target.slice, ast.Name)
+                            and target.slice.id in loop_vars
+                        ):
+                            continue
+                        if id(node) not in facts.depth:
+                            continue
+                        depth = facts.depth[id(node)]
+                        if entry + depth < 2 or id(node) in facts.memo:
+                            continue
+                        if model.allowed(info, node.lineno, self.name):
+                            continue
+                        yield self.finding(
+                            module.path, node.lineno, node.col_offset,
+                            f"per-element write "
+                            f"'{target.value.id}[{target.slice.id}] "
+                            f"= ...' inside a loop on the hot path "
+                            f"{model.hot_path(info.qname)}; use a "
+                            "single vectorized assignment",
+                        )

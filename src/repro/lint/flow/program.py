@@ -131,6 +131,7 @@ class Program:
             except (SyntaxError, UnicodeDecodeError):
                 continue  # engine reports parse errors; the model skips
             program._index_module(module_name, str(path), tree, source)
+        program._finalize_attr_types()
         return program
 
     @classmethod
@@ -306,6 +307,77 @@ class Program:
                 if type_name:
                     cls.attr_types.setdefault(target.attr, type_name)
 
+    def _finalize_attr_types(self) -> None:
+        """Second typing pass, once every module is indexed.
+
+        ``_index_attr_types`` runs per-class during construction and can
+        only record the *syntactic* callee of ``self.x = f(...)`` (for
+        example ``routing.compile``), which rarely names a class.  With
+        the whole program available we can do better: resolve the callee
+        to a :class:`FunctionInfo` and follow its **return annotation**
+        to a class qname.  This is what types ``self._compiled =
+        routing.compile(table)`` as ``CompiledRouting`` so the perf
+        engine sees through ``self._compiled.sample(...)`` dispatch.
+        """
+        for cls in self.classes.values():
+            init_qname = cls.methods.get("__init__")
+            if init_qname is None:
+                continue
+            init = self.functions[init_qname].node
+            module = self.modules[cls.module]
+            param_classes: Dict[str, str] = {}
+            args = init.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                resolved = self.resolve_annotation(module, arg.annotation)
+                if resolved:
+                    param_classes[arg.arg] = resolved
+            for stmt in ast.walk(init):
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                ):
+                    continue
+                attrs = [
+                    t.attr for t in stmt.targets
+                    if isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ]
+                if not attrs:
+                    continue
+                returned = self._call_return_class(
+                    module, stmt.value.func, param_classes
+                )
+                if not returned:
+                    continue
+                for attr in attrs:
+                    existing = cls.attr_types.get(attr)
+                    if existing and self._resolve_type_name(module, existing):
+                        continue  # the syntactic type already resolves
+                    cls.attr_types[attr] = returned
+
+    def _call_return_class(
+        self,
+        module: ModuleInfo,
+        func: ast.expr,
+        param_classes: Dict[str, str],
+    ) -> Optional[str]:
+        """Class qname returned by a called function, via its annotation."""
+        target: Optional[str] = None
+        if isinstance(func, ast.Name):
+            target = self.resolve_in_module(module, func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            owner = param_classes.get(func.value.id)
+            if owner:
+                target = self.lookup_method(owner, func.attr)
+        info = self.functions.get(target) if target else None
+        if info is None or isinstance(info.node, ast.Lambda):
+            return None
+        callee_module = self.modules[info.module]
+        return self.resolve_annotation(callee_module, info.node.returns)
+
     # ------------------------------------------------------------------
     # Symbol resolution
     # ------------------------------------------------------------------
@@ -389,6 +461,8 @@ class Program:
         self, module: ModuleInfo, dotted: str
     ) -> Optional[str]:
         """Resolve a type name as written in ``module`` to a class qname."""
+        if dotted in self.classes:  # already a qname (finalized attr type)
+            return dotted
         head, _, rest = dotted.partition(".")
         base = module.defs.get(head) or module.imports.get(head)
         if base is None:

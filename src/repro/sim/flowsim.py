@@ -35,7 +35,12 @@ import numpy as np
 from repro.core.network import Network
 from repro.routing.base import RoutingScheme
 from repro.sim.engine import trace as sim_trace
-from repro.sim.maxmin import AllocationError, Incidence, fill_levels
+from repro.sim.maxmin import (
+    AllocationError,
+    FillScratch,
+    Incidence,
+    fill_levels,
+)
 from repro.sim.results import FctResults, FlowRecord
 from repro.traffic.flows import Flow
 from repro.traffic.matrix import Placement
@@ -63,6 +68,7 @@ class _ActiveFlow:
 class FlowSimulator:
     """Simulates a flow workload on one (topology, routing) combination."""
 
+    # repro-perf: allow=deep-alloc-in-hot-loop,deep-recompile-in-loop -- one fresh simulator per phase by design; setup runs once, outside the event loop
     def __init__(
         self,
         network: Network,
@@ -109,6 +115,7 @@ class FlowSimulator:
         )
 
         self._incidence = Incidence()
+        self._fill_scratch = FillScratch()
         #: Active incidence entries per link id; ``> 0`` is exactly the
         #: distinct-link set of the live incidence, handed to
         #: :func:`fill_levels` to skip its per-event ``np.unique`` sort.
@@ -129,6 +136,7 @@ class FlowSimulator:
 
     # ------------------------------------------------------------------
 
+    # repro-perf: allow=deep-alloc-in-hot-loop -- amortized geometric growth
     def _grow_slots(self, total: int) -> None:
         capacity = len(self._slot_alive)
         if total <= capacity:
@@ -144,6 +152,7 @@ class FlowSimulator:
         self._remaining = remaining
         self._spent = spent
 
+    # repro-perf: allow=deep-alloc-in-hot-loop -- each admission builds the flow's own link-id array; it lives as long as the flow
     def _admit(self, flow: Flow) -> None:
         """Resolve endpoints, hash a path, and register the flow's slot."""
         src = self.placement.network_server(flow.src_server)
@@ -182,6 +191,7 @@ class FlowSimulator:
 
     # ------------------------------------------------------------------
 
+    # repro-hot -- the fluid event loop: every admission/completion runs here
     def run(self, flows: Sequence[Flow]) -> FctResults:
         """Simulate the workload to completion and return all FCTs."""
         # Resolved here, not at module level: repro.harness's package
@@ -218,6 +228,7 @@ class FlowSimulator:
             levels, iterations = fill_levels(
                 inc.ent, inc.lnk, inc.val, self._caps, alive_mask,
                 links=np.flatnonzero(self._link_refs > 0),
+                scratch=self._fill_scratch,
             )
             run_trace.add_time("allocate", perf() - allocate_started)
             run_trace.count("events")
@@ -253,6 +264,7 @@ class FlowSimulator:
             # replaces the old exact ``dt == finish_dt`` float equality.
             if finish_dt - dt <= finish_dt * _COMPLETION_RTOL:
                 done = alive[self._remaining[alive] <= _RESIDUAL_BYTES]
+                # repro-perf: allow=deep-numpy-scalar-loop -- completions build one FlowRecord each; object construction cannot vectorize
                 for slot in done:
                     entry = self._meta[slot]
                     latency = self.hop_latency_s * len(entry.links)

@@ -39,6 +39,69 @@ class AllocationError(RuntimeError):
     """Raised when the allocation cannot make progress (bad inputs)."""
 
 
+# repro-perf: allow=deep-alloc-in-hot-loop -- amortized geometric growth
+def _fit(current: np.ndarray, n: int) -> np.ndarray:
+    """``current`` if it holds ``n`` elements, else a doubled buffer."""
+    if len(current) >= n:
+        return current
+    return np.empty(max(n, 2 * len(current), 16), dtype=current.dtype)
+
+
+class FillScratch:
+    """Reusable buffers for :func:`fill_levels`.
+
+    One solve needs several O(entities) / O(links) temporaries.  An
+    event-driven caller re-solves after every admission and completion;
+    keeping one instance alive across events turns those per-event
+    allocations into buffer reuses.  Buffers grow geometrically and
+    never shrink, so the steady-state solve allocates nothing but its
+    result.
+    """
+
+    def __init__(self) -> None:
+        self._active = np.empty(0, dtype=bool)
+        self._remap = np.empty(0, dtype=np.intp)
+        self._iota = np.empty(0, dtype=np.intp)
+        self._remaining = np.empty(0)
+        self._saturation = np.empty(0)
+        self._headroom = np.empty(0)
+
+    def active(self, n: int) -> np.ndarray:
+        """Length-``n`` bool buffer (contents unspecified)."""
+        self._active = _fit(self._active, n)
+        return self._active[:n]
+
+    def remap(self, n: int) -> np.ndarray:
+        """Length-``n`` intp buffer (contents unspecified)."""
+        self._remap = _fit(self._remap, n)
+        return self._remap[:n]
+
+    # repro-perf: allow=deep-alloc-in-hot-loop -- amortized geometric growth
+    def iota(self, n: int) -> np.ndarray:
+        """``[0, 1, ..., n-1]`` without a per-call ``np.arange``."""
+        if len(self._iota) < n:
+            self._iota = np.arange(
+                max(n, 2 * len(self._iota), 16), dtype=np.intp
+            )
+        return self._iota[:n]
+
+    def remaining(self, n: int) -> np.ndarray:
+        """Length-``n`` float buffer (contents unspecified)."""
+        self._remaining = _fit(self._remaining, n)
+        return self._remaining[:n]
+
+    def saturation(self, n: int) -> np.ndarray:
+        """Length-``n`` float buffer (contents unspecified)."""
+        self._saturation = _fit(self._saturation, n)
+        return self._saturation[:n]
+
+    def headroom(self, n: int) -> np.ndarray:
+        """Length-``n`` float buffer (contents unspecified)."""
+        self._headroom = _fit(self._headroom, n)
+        return self._headroom[:n]
+
+
+# repro-hot: per-event -- re-solved after every admission and completion
 def fill_levels(
     ent: np.ndarray,
     lnk: np.ndarray,
@@ -46,6 +109,7 @@ def fill_levels(
     caps: np.ndarray,
     active: np.ndarray,
     links: Optional[np.ndarray] = None,
+    scratch: Optional[FillScratch] = None,
 ) -> Tuple[np.ndarray, int]:
     """Progressive filling on a pre-flattened incidence.
 
@@ -66,6 +130,12 @@ def fill_levels(
         *active* entries, when the caller already tracks them (the flow
         simulator keeps per-link reference counts).  Skips the
         ``np.unique`` sort on the hot path; semantics are unchanged.
+    scratch:
+        Optional :class:`FillScratch` holding reusable work buffers.
+        Callers that solve repeatedly (the event loop) pass a persistent
+        instance so the steady-state solve allocates only its result;
+        one-shot callers omit it and pay fresh buffers.  Results are
+        identical either way.
 
     Returns
     -------
@@ -82,8 +152,13 @@ def fill_levels(
     preserve admission order, so ``bincount`` accumulates demand sums in
     the identical order the full-mask formulation used.
     """
+    if scratch is None:
+        # repro-perf: allow=deep-recompile-in-loop -- one-shot callers
+        scratch = FillScratch()
     level = np.zeros(len(active))
-    active = active.copy()
+    mask: np.ndarray = scratch.active(len(active))
+    np.copyto(mask, active)
+    active = mask
     sel = active[ent]
     if sel.all():
         w_ent, w_lnk, w_val = ent, lnk, val
@@ -94,17 +169,20 @@ def fill_levels(
     # Compress to the referenced links; ids stay ascending, so argmin
     # tie-breaks agree with the full link space.
     if links is None:
+        # repro-perf: allow=deep-alloc-in-hot-loop -- legacy-only sort
         links, w_lnk = np.unique(w_lnk, return_inverse=True)
     else:
         # Scatter-then-gather beats searchsorted: O(1) per entry with no
         # binary-search comparisons, and every w_lnk value is in links.
-        remap = np.empty(len(caps), dtype=np.intp)
-        remap[links] = np.arange(len(links))
+        remap = scratch.remap(len(caps))
+        remap[links] = scratch.iota(len(links))
         w_lnk = remap[w_lnk]
     num_links = len(links)
-    remaining = caps[links].copy()
-    saturation = _EPSILON * remaining
-    headroom = np.empty(num_links)
+    remaining: np.ndarray = scratch.remaining(num_links)
+    saturation: np.ndarray = scratch.saturation(num_links)
+    headroom: np.ndarray = scratch.headroom(num_links)
+    np.take(caps, links, out=remaining)
+    np.multiply(remaining, _EPSILON, out=saturation)
     current = 0.0
     iterations = 0
 
@@ -248,6 +326,7 @@ class Incidence:
         """Consumption value per entry (view; do not mutate)."""
         return self._val[: self._size]
 
+    # repro-perf: allow=deep-alloc-in-hot-loop -- amortized geometric growth
     def _reserve(self, extra: int) -> None:
         needed = self._size + extra
         capacity = len(self._ent)

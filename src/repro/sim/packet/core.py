@@ -39,12 +39,14 @@ class EventQueue:
         """Run ``action`` at absolute time ``when`` (>= now)."""
         self.schedule(when - self._now, action)
 
+    # repro-hot -- drains the event heap; every packet event dispatches here
     def run(self, max_events: int = 50_000_000) -> int:
         """Drain the queue; returns the number of events processed."""
         processed = 0
         while self._heap:
             when, _seq, action = heapq.heappop(self._heap)
             self._now = when
+            # repro-perf: allow=deep-hot-dispatch -- the queue exists to dispatch opaque scheduled callbacks
             action()
             processed += 1
             if processed >= max_events:

@@ -26,7 +26,9 @@ control loop that re-evaluates once per training iteration.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.network import Network
 from repro.core.seeding import stable_seed
@@ -93,28 +95,44 @@ class PhaseCohortDriver:
         # Collective flows are authored in network server space; the
         # identity placement hands them through the simulator untouched.
         self._placement = identity_placement(network)
+        # Flows attribute to jobs by source server, so placements must
+        # be disjoint — an overlap would double-book the server's links
+        # and make the attribution ambiguous.
+        self._job_of_server: Dict[int, int] = {}
+        for index, placement in enumerate(self.placements):
+            for server in placement.servers:
+                owner = self._job_of_server.setdefault(server, index)
+                if owner != index:
+                    raise ValueError(
+                        f"jobs {self.placements[owner].job.name!r} and "
+                        f"{placement.job.name!r} share server {server}"
+                    )
+        #: Per-job last-finish scratch, refilled once per phase.
+        self._finish = np.zeros(len(self.placements))
         #: Instrumentation from the most recent :meth:`run`.
         self.trace = sim_trace.SimTrace()
 
     # ------------------------------------------------------------------
 
-    def _job_comm_time(
-        self, results: FctResults, servers: Sequence[int]
-    ) -> float:
-        """A job's phase duration: its last flow's finish time.
+    def _job_comm_times(self, results: FctResults) -> np.ndarray:
+        """Last-flow finish time per job index, in one pass over records.
 
         Phases run on a local clock starting at zero, so the maximum
         finish time *is* the communication time.  Flows attribute to
-        jobs by source server — placements are disjoint, so every flow
-        belongs to exactly one job.
+        jobs by source server — placements are disjoint (validated at
+        construction), so every flow belongs to exactly one job, and a
+        single sweep replaces the old per-job rescan of every record.
         """
-        owned = frozenset(servers)
-        finish = 0.0
+        finish = self._finish
+        finish.fill(0.0)
+        job_of_server = self._job_of_server
         for record in results.records:
-            if record.src_server in owned:
-                finish = max(finish, record.finish_time)
+            index = job_of_server[record.src_server]
+            if record.finish_time > finish[index]:
+                finish[index] = record.finish_time
         return finish
 
+    # repro-hot -- the phase-cohort iteration loop (one sim per phase)
     def run(self) -> CollectiveResults:
         """Run every job to its final iteration; return all timelines."""
         driver_trace = sim_trace.SimTrace()
@@ -128,27 +146,41 @@ class PhaseCohortDriver:
         total_iterations = max(
             p.job.num_iterations for p in self.placements
         )
+        # Hoisted out of the phase loop: a job's collective flows are a
+        # pure function of its placement, the active set only shrinks
+        # (jobs drop out after their final iteration, order preserved),
+        # and one cohort buffer serves every phase.
+        phase_flows = [
+            collective_flows(p, start_time=0.0) for p in self.placements
+        ]
+        active = list(range(len(self.placements)))
+        cohort: List[Flow] = []
+        spans: List[int] = []
         for iteration in range(total_iterations):
-            active = [
-                p
-                for p in self.placements
-                if iteration < p.job.num_iterations
-            ]
-            cohort: List[Flow] = []
-            spans: List[int] = []
-            for placement in active:
-                flows = collective_flows(placement, start_time=0.0)
+            for position in range(len(active) - 1, -1, -1):
+                job = self.placements[active[position]].job
+                if iteration >= job.num_iterations:
+                    del active[position]
+            cohort.clear()
+            spans.clear()
+            for index in active:
+                flows = phase_flows[index]
                 spans.append(len(flows))
                 cohort.extend(flows)
             driver_trace.count("phases")
             driver_trace.count("phase_flows", len(cohort))
             driver_trace.count("job_iterations", len(active))
             results = self._run_phase(cohort, iteration)
-            for placement, span in zip(active, spans):
-                job = placement.job
+            comm_times = (
+                self._job_comm_times(results)
+                if results is not None
+                else None
+            )
+            for index, span in zip(active, spans):
+                job = self.placements[index].job
                 comm_time_s = (
-                    self._job_comm_time(results, placement.servers)
-                    if results is not None
+                    float(comm_times[index])
+                    if comm_times is not None
                     else 0.0
                 )
                 timelines[job.name].add(
@@ -177,6 +209,7 @@ class PhaseCohortDriver:
             return None
         observe = getattr(self.routing, "observe", None)
         if observe is not None:
+            # repro-perf: allow=deep-hot-dispatch -- optional control-loop probe, one call per phase
             observe(rack_demands_of_flows(cohort, self.network))
         simulator = FlowSimulator(
             self.network,

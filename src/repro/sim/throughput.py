@@ -15,6 +15,7 @@ tractable: the entity count is bounded by rack pairs.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -39,6 +40,7 @@ class ThroughputReport:
     num_flows: float
 
 
+# repro-hot -- per-commodity LP assembly loop (figure 2/3 inner kernel)
 def commodity_throughput(
     network: Network,
     routing: RoutingScheme,
@@ -107,12 +109,14 @@ def commodity_throughput(
         up = host_link("up", r1, src_host_capacity[r1])
         down = host_link("down", r2, dst_host_capacity[r2])
         net_links, net_fractions = compiled.fraction_entries(r1, r2)
-        ent.extend([index] * (2 + len(net_links)))
+        ent.extend(itertools.repeat(index, 2 + len(net_links)))
         lnk.append(up)
         val.append(weight)
         lnk.append(down)
         val.append(weight)
+        # repro-perf: allow=deep-hot-dispatch -- bulk ndarray-to-list conversion feeding the COO assembly
         lnk.extend(net_links.tolist())
+        # repro-perf: allow=deep-hot-dispatch -- bulk ndarray-to-list conversion feeding the COO assembly
         val.extend((weight * net_fractions).tolist())
         weights.append(weight)
 

@@ -1,0 +1,151 @@
+"""deep-alloc-in-hot-loop on fixture packages: fire, exemptions,
+suppression."""
+
+from __future__ import annotations
+
+from repro.lint.flow.perf.alloc import DeepAllocInHotLoop
+
+from tests.lint.flow.util import build_fixture_graph
+
+#: A hot loop calling into a helper that allocates a scratch array it
+#: never returns — the canonical per-event allocation.
+FIRING_FIXTURE = {"eng.py": (
+    "import numpy as np\n"
+    "\n"
+    "\n"
+    "# repro-hot -- fixture event loop\n"
+    "def run(events):\n"
+    "    for event in events:\n"
+    "        step(event)\n"
+    "\n"
+    "\n"
+    "def step(event):\n"
+    "    scratch = np.zeros(4)\n"
+    "    scratch[0] = event\n"
+)}
+
+
+def _check(graph):
+    return list(DeepAllocInHotLoop().check(graph))
+
+
+class TestFire:
+    def test_allocation_reached_from_a_hot_loop_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, FIRING_FIXTURE, "ppkg")
+        (finding,) = _check(graph)
+        assert finding.rule == "deep-alloc-in-hot-loop"
+        assert finding.line == 11
+        assert "np.zeros()" in finding.message
+        assert "loop depth 1" in finding.message
+        assert "eng.step <- eng.run" in finding.message
+
+    def test_list_display_inside_the_loop_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture event loop\n"
+            "def run(events):\n"
+            "    for event in events:\n"
+            "        pair = [event, event]\n"
+            "        consume(pair)\n"
+            "\n"
+            "\n"
+            "def consume(pair):\n"
+            "    return pair\n"
+        )}, "ppkg")
+        (finding,) = _check(graph)
+        assert "list display" in finding.message
+
+    def test_without_a_hot_root_nothing_fires(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "# repro-hot -- fixture event loop\n", ""
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert _check(graph) == []
+
+
+class TestExemptions:
+    def test_allocation_outside_any_loop_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot -- setup then loop\n"
+            "def run(events):\n"
+            "    scratch = np.zeros(4)\n"
+            "    for event in events:\n"
+            "        scratch[0] = event\n"
+        )}, "ppkg")
+        assert _check(graph) == []
+
+    def test_escaping_allocation_is_the_frames_product(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "    scratch[0] = event\n",
+                "    scratch[0] = event\n    return scratch\n",
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert _check(graph) == []
+
+    def test_out_argument_writes_into_caller_buffer(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "    scratch = np.zeros(4)\n    scratch[0] = event\n",
+                "    np.multiply(event, 2.0, out=event)\n",
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert _check(graph) == []
+
+    def test_memoized_region_allocates_once_per_key(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture event loop\n"
+            "def run(events, cache):\n"
+            "    for event in events:\n"
+            "        entry = cache.get(event)\n"
+            "        if entry is None:\n"
+            "            entry = np.zeros(4)\n"
+        )}, "ppkg")
+        assert _check(graph) == []
+
+
+class TestSuppression:
+    def test_inline_allow_with_reason_absorbs(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "    scratch = np.zeros(4)\n",
+                "    # repro-perf: allow=deep-alloc-in-hot-loop"
+                " -- fixture justification\n"
+                "    scratch = np.zeros(4)\n",
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert _check(graph) == []
+
+    def test_def_level_allow_absorbs_the_whole_frame(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "def step(event):\n",
+                "# repro-perf: allow=deep-alloc-in-hot-loop"
+                " -- fixture justification\n"
+                "def step(event):\n",
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert _check(graph) == []
+
+    def test_allow_for_a_different_rule_does_not_absorb(self, tmp_path):
+        fixture = {
+            "eng.py": FIRING_FIXTURE["eng.py"].replace(
+                "    scratch = np.zeros(4)\n",
+                "    # repro-perf: allow=deep-quadratic-scan"
+                " -- wrong rule\n"
+                "    scratch = np.zeros(4)\n",
+            )
+        }
+        _, graph = build_fixture_graph(tmp_path, fixture, "ppkg")
+        assert len(_check(graph)) == 1

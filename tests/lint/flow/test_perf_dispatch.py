@@ -1,0 +1,214 @@
+"""deep-recompile-in-loop and deep-hot-dispatch on fixtures."""
+
+from __future__ import annotations
+
+from repro.lint.flow.perf.dispatch import (
+    DeepHotDispatch,
+    DeepRecompileInLoop,
+)
+
+from tests.lint.flow.util import build_fixture_graph
+
+
+def _recompile(graph):
+    return list(DeepRecompileInLoop().check(graph))
+
+
+def _dispatch(graph):
+    return list(DeepHotDispatch().check(graph))
+
+
+class TestRecompileInLoop:
+    def test_build_entry_constructed_inside_a_hot_loop(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class LinkTable:\n"
+            "    def __init__(self):\n"
+            "        self.rows = []\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture loop\n"
+            "def run(events):\n"
+            "    for event in events:\n"
+            "        table = LinkTable()\n"
+            "        consume(table, event)\n"
+            "\n"
+            "\n"
+            "def consume(table, event):\n"
+            "    return event\n"
+        )}, "ppkg")
+        (finding,) = _recompile(graph)
+        assert "rebuilds a compile-time artifact" in finding.message
+        assert "'LinkTable'" in finding.message
+
+    def test_build_before_the_loop_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class LinkTable:\n"
+            "    def __init__(self):\n"
+            "        self.rows = []\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture loop\n"
+            "def run(events):\n"
+            "    table = LinkTable()\n"
+            "    for event in events:\n"
+            "        consume(table, event)\n"
+            "\n"
+            "\n"
+            "def consume(table, event):\n"
+            "    return event\n"
+        )}, "ppkg")
+        assert _recompile(graph) == []
+
+    def test_self_memoized_compile_is_free_after_first_event(
+        self, tmp_path
+    ):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class Scheme:\n"
+            "    def __init__(self):\n"
+            "        self._compiled = None\n"
+            "\n"
+            "    def compile(self):\n"
+            "        cached = self._compiled\n"
+            "        if cached is not None:\n"
+            "            return cached\n"
+            "        self._compiled = [1]\n"
+            "        return self._compiled\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture loop\n"
+            "def run(events, scheme: Scheme):\n"
+            "    for event in events:\n"
+            "        scheme.compile()\n"
+        )}, "ppkg")
+        assert _recompile(graph) == []
+
+    def test_unmemoized_compile_method_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class Scheme:\n"
+            "    def compile(self):\n"
+            "        return [1]\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture loop\n"
+            "def run(events, scheme: Scheme):\n"
+            "    for event in events:\n"
+            "        scheme.compile()\n"
+        )}, "ppkg")
+        (finding,) = _recompile(graph)
+        assert "'scheme.compile'" in finding.message
+
+    def test_allow_comment_absorbs(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class LinkTable:\n"
+            "    def __init__(self):\n"
+            "        self.rows = []\n"
+            "\n"
+            "\n"
+            "# repro-hot -- fixture loop\n"
+            "def run(events):\n"
+            "    for event in events:\n"
+            "        # repro-perf: allow=deep-recompile-in-loop"
+            " -- one-shot fixture\n"
+            "        table = LinkTable()\n"
+            "        consume(table, event)\n"
+            "\n"
+            "\n"
+            "def consume(table, event):\n"
+            "    return event\n"
+        )}, "ppkg")
+        assert _recompile(graph) == []
+
+
+class TestHotDispatch:
+    def test_unresolvable_call_in_a_hot_loop_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, handlers):\n"
+            "    for event in events:\n"
+            "        handler = handlers[event]\n"
+            "        handler()\n"
+        )}, "ppkg")
+        (finding,) = _dispatch(graph)
+        assert "'handler' cannot be resolved" in finding.message
+
+    def test_injected_callback_parameter_is_exempt(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, callback):\n"
+            "    for event in events:\n"
+            "        callback(event)\n"
+        )}, "ppkg")
+        assert _dispatch(graph) == []
+
+    def test_init_assigned_callback_attr_is_exempt(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class Driver:\n"
+            "    def __init__(self, on_event):\n"
+            "        self.on_event = on_event\n"
+            "\n"
+            "    # repro-hot -- fixture loop\n"
+            "    def run(self, events):\n"
+            "        for event in events:\n"
+            "            self.on_event(event)\n"
+        )}, "ppkg")
+        assert _dispatch(graph) == []
+
+    def test_loop_invariant_attribute_chain_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class Inner:\n"
+            "    def step(self, event):\n"
+            "        return event\n"
+            "\n"
+            "\n"
+            "class Mid:\n"
+            "    def __init__(self):\n"
+            "        self.inner = Inner()\n"
+            "\n"
+            "\n"
+            "class Driver:\n"
+            "    def __init__(self):\n"
+            "        self.mid = Mid()\n"
+            "\n"
+            "    # repro-hot -- fixture loop\n"
+            "    def run(self, events):\n"
+            "        for event in events:\n"
+            "            self.mid.inner.step(event)\n"
+        )}, "ppkg")
+        (finding,) = _dispatch(graph)
+        assert "attribute chain 'self.mid.inner.step'" in finding.message
+
+    def test_chain_bound_before_the_loop_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "class Inner:\n"
+            "    def step(self, event):\n"
+            "        return event\n"
+            "\n"
+            "\n"
+            "class Mid:\n"
+            "    def __init__(self):\n"
+            "        self.inner = Inner()\n"
+            "\n"
+            "\n"
+            "class Driver:\n"
+            "    def __init__(self):\n"
+            "        self.mid = Mid()\n"
+            "\n"
+            "    # repro-hot -- fixture loop\n"
+            "    def run(self, events):\n"
+            "        inner = self.mid.inner\n"
+            "        for event in events:\n"
+            "            inner.step(event)\n"
+        )}, "ppkg")
+        assert _dispatch(graph) == []
+
+    def test_allow_comment_absorbs(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, handlers):\n"
+            "    for event in events:\n"
+            "        handler = handlers[event]\n"
+            "        # repro-perf: allow=deep-hot-dispatch"
+            " -- opaque scheduled callbacks by design\n"
+            "        handler()\n"
+        )}, "ppkg")
+        assert _dispatch(graph) == []

@@ -1,0 +1,304 @@
+"""Hot-region inference on fixture packages: markers, loop depths,
+propagation, memoization guards and the warm set."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.flow.perf.model import (
+    DEPTH_CAP,
+    PerfModel,
+    _frame_facts,
+)
+
+from tests.lint.flow.util import build_fixture_graph
+
+
+def _model(tmp_path, files):
+    _, graph = build_fixture_graph(tmp_path, files, "ppkg")
+    return PerfModel(graph)
+
+
+class TestMarkers:
+    def test_plain_root_has_floor_zero(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events):\n"
+            "    for event in events:\n"
+            "        pass\n"
+        )})
+        (root,) = model.roots
+        assert root.qname == "ppkg.eng.run"
+        assert root.floor == 0
+        assert root.reason == "fixture loop"
+        assert model.entry["ppkg.eng.run"] == 0
+
+    def test_per_event_root_starts_inside_a_loop(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot: per-event -- one call per event\n"
+            "def on_event(event):\n"
+            "    return event\n"
+        )})
+        (root,) = model.roots
+        assert root.floor == 1
+        assert model.entry["ppkg.eng.on_event"] == 1
+
+    def test_per_flow_root_starts_inside_a_loop(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot: per-flow -- one call per admitted flow\n"
+            "def admit(flow):\n"
+            "    return flow\n"
+        )})
+        assert model.roots[0].floor == 1
+
+    def test_marker_away_from_any_def_is_unclaimed(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- rotted annotation\n"
+            "\n"
+            "\n"
+            "def run(events):\n"
+            "    return events\n"
+        )})
+        assert model.roots == []
+        assert len(model.unclaimed_markers) == 1
+        assert model.unclaimed_markers[0][1] == 1
+        assert model.entry == {}
+
+    def test_allowances_parse_rules_and_reason(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "def run(events):\n"
+            "    # repro-perf: allow=deep-alloc-in-hot-loop,"
+            "deep-quadratic-scan -- amortized\n"
+            "    return list(events)\n"
+        )})
+        (allowance,) = model.allowances
+        assert allowance.rules == (
+            "deep-alloc-in-hot-loop", "deep-quadratic-scan",
+        )
+        assert allowance.reason == "amortized"
+
+    def test_allowed_matches_own_line_line_above_and_def(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-perf: allow=deep-alloc-in-hot-loop -- whole frame\n"
+            "def build(events):\n"
+            "    return list(events)\n"
+            "\n"
+            "\n"
+            "def other(events):\n"
+            "    # repro-perf: allow=deep-quadratic-scan -- one site\n"
+            "    return list(events)\n"
+        )})
+        build = model.program.functions["ppkg.eng.build"]
+        other = model.program.functions["ppkg.eng.other"]
+        assert model.allowed(build, 3, "deep-alloc-in-hot-loop")
+        assert not model.allowed(build, 3, "deep-quadratic-scan")
+        assert model.allowed(other, 8, "deep-quadratic-scan")
+        assert not model.allowed(other, 3, "deep-quadratic-scan")
+
+
+class TestLoopDepths:
+    """Golden lexical depths for one frame, straight from the facts."""
+
+    SOURCE = (
+        "def sample(items):\n"
+        "    first = list(items)\n"           # depth 0
+        "    for item in items:\n"
+        "        second = list(item)\n"       # depth 1
+        "        while item:\n"
+        "            third = list(item)\n"    # depth 2
+        "    fourth = [list(x) for x in items]\n"  # elt at depth 1
+        "    return first\n"
+    )
+
+    def _call_depths(self):
+        node = ast.parse(self.SOURCE).body[0]
+        facts = _frame_facts(node)
+        depths = {}
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                depths[call.lineno] = facts.depth[id(call)]
+        return depths
+
+    def test_golden_depths(self):
+        assert self._call_depths() == {2: 0, 4: 1, 6: 2, 7: 1}
+
+    def test_else_branches_stay_outside_the_loop(self):
+        node = ast.parse(
+            "def sample(items):\n"
+            "    for item in items:\n"
+            "        pass\n"
+            "    else:\n"
+            "        tail = list(items)\n"
+        ).body[0]
+        facts = _frame_facts(node)
+        call = next(
+            n for n in ast.walk(node) if isinstance(n, ast.Call)
+        )
+        assert facts.depth[id(call)] == 0
+
+
+class TestPropagation:
+    CHAIN = {"eng.py": (
+        "# repro-hot -- fixture loop\n"
+        "def f0(events):\n"
+        "    for event in events:\n"
+        "        f1(event)\n"
+        "\n"
+        "\n"
+        "def f1(event):\n"
+        "    for part in event:\n"
+        "        f2(part)\n"
+        "\n"
+        "\n"
+        "def f2(part):\n"
+        "    for piece in part:\n"
+        "        f3(piece)\n"
+        "\n"
+        "\n"
+        "def f3(piece):\n"
+        "    for atom in piece:\n"
+        "        f4(atom)\n"
+        "\n"
+        "\n"
+        "def f4(atom):\n"
+        "    return atom\n"
+    )}
+
+    def test_entry_depth_accumulates_and_caps(self, tmp_path):
+        model = _model(tmp_path, self.CHAIN)
+        entries = {
+            qname.rsplit(".", 1)[-1]: depth
+            for qname, depth in model.entry.items()
+        }
+        assert entries == {
+            "f0": 0, "f1": 1, "f2": 2, "f3": DEPTH_CAP, "f4": DEPTH_CAP,
+        }
+
+    def test_origin_records_the_root_and_the_caller(self, tmp_path):
+        model = _model(tmp_path, self.CHAIN)
+        root, via = model.origin["ppkg.eng.f2"]
+        assert root == "ppkg.eng.f0"
+        assert via == "ppkg.eng.f1"
+        assert model.hot_path("ppkg.eng.f2") == (
+            "eng.f2 <- eng.f1 <- eng.f0"
+        )
+
+    def test_override_of_a_hot_method_becomes_hot(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "class Base:\n"
+            "    def step(self, event):\n"
+            "        return event\n"
+            "\n"
+            "\n"
+            "class Fast(Base):\n"
+            "    def step(self, event):\n"
+            "        return event * 2\n"
+            "\n"
+            "\n"
+            "# repro-hot -- dispatches through the base type\n"
+            "def run(events, engine: Base):\n"
+            "    for event in events:\n"
+            "        engine.step(event)\n"
+        )})
+        assert model.entry["ppkg.eng.Base.step"] == 1
+        assert model.entry["ppkg.eng.Fast.step"] == 1
+
+    def test_closures_inherit_the_frame_heat(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- hands a callback to the walker\n"
+            "def run(events):\n"
+            "    def on_event(event):\n"
+            "        return helper(event)\n"
+            "    for event in events:\n"
+            "        dispatch(on_event, event)\n"
+            "\n"
+            "\n"
+            "def dispatch(callback, event):\n"
+            "    return callback(event)\n"
+            "\n"
+            "\n"
+            "def helper(event):\n"
+            "    return event\n"
+        )})
+        assert "ppkg.eng.run.<locals>.on_event" in model.entry
+        assert "ppkg.eng.helper" in model.entry
+
+
+class TestMemoization:
+    def test_miss_branch_stops_propagation_into_warm(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, cache):\n"
+            "    for event in events:\n"
+            "        entry = cache.get(event)\n"
+            "        if entry is None:\n"
+            "            entry = build_entry(event)\n"
+            "\n"
+            "\n"
+            "def build_entry(event):\n"
+            "    return expand(event)\n"
+            "\n"
+            "\n"
+            "def expand(event):\n"
+            "    return [event]\n"
+        )})
+        assert "ppkg.eng.build_entry" not in model.entry
+        assert "ppkg.eng.build_entry" in model.warm
+        assert "ppkg.eng.expand" in model.warm
+
+    def test_early_return_marks_the_frame_self_memoized(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "class Scheme:\n"
+            "    def __init__(self):\n"
+            "        self._compiled = None\n"
+            "\n"
+            "    def compile(self):\n"
+            "        cached = self._compiled\n"
+            "        if cached is not None:\n"
+            "            return cached\n"
+            "        self._compiled = [1]\n"
+            "        return self._compiled\n"
+        )})
+        assert model.self_memoized("ppkg.eng.Scheme.compile")
+
+    def test_membership_guard_requires_the_writeback(self, tmp_path):
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, table):\n"
+            "    for event in events:\n"
+            "        if event not in table:\n"
+            "            table[event] = build_entry(event)\n"
+            "        if event not in table:\n"
+            "            plain(event)\n"
+            "\n"
+            "\n"
+            "def build_entry(event):\n"
+            "    return [event]\n"
+            "\n"
+            "\n"
+            "def plain(event):\n"
+            "    return event\n"
+        )})
+        assert "ppkg.eng.build_entry" not in model.entry
+        assert "ppkg.eng.build_entry" in model.warm
+        # The second branch never writes table[...] back: not a cache.
+        assert "ppkg.eng.plain" in model.entry
+
+    def test_hot_wins_over_warm(self, tmp_path):
+        """A frame reached both through a memo guard and directly is
+        hot, not warm — propagation keeps the stronger fact."""
+        model = _model(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, cache):\n"
+            "    for event in events:\n"
+            "        entry = cache.get(event)\n"
+            "        if entry is None:\n"
+            "            entry = build_entry(event)\n"
+            "        build_entry(event)\n"
+            "\n"
+            "\n"
+            "def build_entry(event):\n"
+            "    return [event]\n"
+        )})
+        assert "ppkg.eng.build_entry" in model.entry
+        assert "ppkg.eng.build_entry" not in model.warm

@@ -1,0 +1,183 @@
+"""deep-quadratic-scan and deep-numpy-scalar-loop on fixtures."""
+
+from __future__ import annotations
+
+from repro.lint.flow.perf.scans import (
+    DeepNumpyScalarLoop,
+    DeepQuadraticScan,
+)
+
+from tests.lint.flow.util import build_fixture_graph
+
+
+def _scan(graph):
+    return list(DeepQuadraticScan().check(graph))
+
+
+def _scalar(graph):
+    return list(DeepNumpyScalarLoop().check(graph))
+
+
+class TestQuadraticScan:
+    def test_list_membership_in_a_hot_loop_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, seen: list):\n"
+            "    for event in events:\n"
+            "        if event in seen:\n"
+            "            continue\n"
+        )}, "ppkg")
+        (finding,) = _scan(graph)
+        assert "membership test scans list 'seen'" in finding.message
+
+    def test_set_membership_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, seen: set):\n"
+            "    for event in events:\n"
+            "        if event in seen:\n"
+            "            continue\n"
+        )}, "ppkg")
+        assert _scan(graph) == []
+
+    def test_pop_front_in_a_hot_loop_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def drain(queue: list):\n"
+            "    while queue:\n"
+            "        head = queue.pop(0)\n"
+            "        consume(head)\n"
+            "\n"
+            "\n"
+            "def consume(head):\n"
+            "    return head\n"
+        )}, "ppkg")
+        (finding,) = _scan(graph)
+        assert "list.pop(0)" in finding.message
+
+    def test_pop_from_the_end_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def drain(queue: list):\n"
+            "    while queue:\n"
+            "        head = queue.pop()\n"
+        )}, "ppkg")
+        assert _scan(graph) == []
+
+    def test_nested_reiteration_of_the_same_collection(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def pairs(items):\n"
+            "    for a in items:\n"
+            "        for b in items:\n"
+            "            compare(a, b)\n"
+            "\n"
+            "\n"
+            "def compare(a, b):\n"
+            "    return a == b\n"
+        )}, "ppkg")
+        (finding,) = _scan(graph)
+        assert "O(n²)" in finding.message
+        assert "'items'" in finding.message
+
+    def test_allow_comment_absorbs(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot -- fixture loop\n"
+            "def run(events, seen: list):\n"
+            "    for event in events:\n"
+            "        # repro-perf: allow=deep-quadratic-scan"
+            " -- tiny list by construction\n"
+            "        if event in seen:\n"
+            "            continue\n"
+        )}, "ppkg")
+        assert _scan(graph) == []
+
+
+class TestNumpyScalarLoop:
+    def test_python_for_over_ndarray_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def total(values: np.ndarray):\n"
+            "    acc = 0.0\n"
+            "    for value in values:\n"
+            "        acc = acc + value\n"
+            "    return acc\n"
+        )}, "ppkg")
+        (finding,) = _scalar(graph)
+        assert "Python for over ndarray 'values'" in finding.message
+
+    def test_per_element_write_keyed_by_loop_var_fires(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def fill(out: np.ndarray, n):\n"
+            "    for i in range(n):\n"
+            "        out[i] = i * 2.0\n"
+        )}, "ppkg")
+        (finding,) = _scalar(graph)
+        assert "out[i] = ..." in finding.message
+
+    def test_vectorized_assignment_is_clean(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def fill(out: np.ndarray, n):\n"
+            "    out[:] = np.arange(n) * 2.0\n"
+        )}, "ppkg")
+        assert _scalar(graph) == []
+
+    def test_loop_over_a_list_is_not_this_rules_business(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def total(values: list):\n"
+            "    acc = 0.0\n"
+            "    for value in values:\n"
+            "        acc = acc + value\n"
+            "    return acc\n"
+        )}, "ppkg")
+        assert _scalar(graph) == []
+
+    def test_ndarray_attr_seed_types_self_receivers(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.levels = np.zeros(8)\n"
+            "\n"
+            "    # repro-hot: per-event -- fixture kernel\n"
+            "    def drain(self):\n"
+            "        levels = self.levels\n"
+            "        for level in levels:\n"
+            "            consume(level)\n"
+            "\n"
+            "\n"
+            "def consume(level):\n"
+            "    return level\n"
+        )}, "ppkg")
+        (finding,) = _scalar(graph)
+        assert "ndarray 'levels'" in finding.message
+
+    def test_allow_comment_absorbs(self, tmp_path):
+        _, graph = build_fixture_graph(tmp_path, {"eng.py": (
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "# repro-hot: per-event -- fixture kernel\n"
+            "def total(values: np.ndarray):\n"
+            "    acc = 0.0\n"
+            "    # repro-perf: allow=deep-numpy-scalar-loop"
+            " -- object construction cannot vectorize\n"
+            "    for value in values:\n"
+            "        acc = acc + value\n"
+            "    return acc\n"
+        )}, "ppkg")
+        assert _scalar(graph) == []
