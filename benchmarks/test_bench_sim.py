@@ -1,43 +1,80 @@
-"""Engine acceptance: the array-backed simulator is >= 3x the legacy one.
+"""Engine acceptance benchmarks, two tiers.
 
-Times one Figure 4 grid cell (A2A on the DRing under SU(2) at the MEDIUM
-scale, seed 0) through the compiled engine and through the verbatim seed
-implementation kept in ``tests/sim/legacy_reference.py``.  Both produce
-bit-identical results (asserted here too — a fast wrong answer is not a
-speedup); the engine must finish the cell at least 3x faster.  The
-timings are saved as the artifact.
+**Medium tier** (always on): one Figure 4 grid cell (A2A on the DRing
+under SU(2) at the MEDIUM scale, seed 0) through the compiled engine and
+through the verbatim seed implementation kept in
+``tests/sim/legacy_reference.py``.  Both produce bit-identical results
+(asserted here too — a fast wrong answer is not a speedup); the engine
+must finish the cell at least 3x faster.
+
+**Large tier** (``REPRO_LARGE_BENCH=1``): the round-2 warm-start engine
+against the round-1 engine frozen in ``tests/sim/engine_r1_reference.py``
+on a 512-rack / 100k-flow fig4 cell.  Gates: bit-identical FlowRecords,
+a >= 10x reduction in allocator link work (the warm-start layer's own
+counters: links actually re-solved vs the link space a cold solve sweeps),
+warm coverage of at least 90% of solves, no wall-clock regression, and a
+tracemalloc peak-memory budget.  Wall clock on this cell is dominated by
+the per-event loop floor both engines share, so the honest single-core
+speedup is modest; the artifact records it alongside the work ratio.
+
+Timings and counters for both tiers are saved as artifacts.
 """
 
 import importlib.util
+import os
 import pathlib
 import sys
 import time
+import tracemalloc
+
+import pytest
 
 from conftest import save_artifact
 from repro.experiments import MEDIUM
 from repro.experiments.fig4_fct import _pattern_flows, fig4_patterns
-from repro.experiments.runner import build_scheme
+from repro.experiments.runner import Scale, build_scheme
 from repro.sim import FlowSimulator
 
-_LEGACY_PATH = (
-    pathlib.Path(__file__).parent.parent
-    / "tests" / "sim" / "legacy_reference.py"
-)
+_TESTS_SIM = pathlib.Path(__file__).parent.parent / "tests" / "sim"
+_LEGACY_PATH = _TESTS_SIM / "legacy_reference.py"
+_R1_PATH = _TESTS_SIM / "engine_r1_reference.py"
 
 REQUIRED_SPEEDUP = 3.0
 ROUNDS = 3
 
+#: Large-tier gates (see module docstring).
+LARGE_REQUIRED_WORK_REDUCTION = 10.0
+LARGE_REQUIRED_WARM_COVERAGE = 0.90
+LARGE_REQUIRED_SPEEDUP = 1.0
+LARGE_MEMORY_BUDGET_MB = 640.0
 
-def _load_legacy():
-    spec = importlib.util.spec_from_file_location(
-        "legacy_reference", _LEGACY_PATH
-    )
+#: The 512-rack / 100k-flow cell: DRing(32, 16) with 3072 servers, the
+#: A2A pattern at 30% spine utilization, sized by ``window_for_budget``.
+LARGE = Scale(
+    name="large-512",
+    leaf_x=32,
+    leaf_y=1,
+    dring_m=32,
+    dring_n=16,
+    dring_servers=3072,
+    max_flows=100_000,
+    window_seconds=10.0,
+    size_cap_bytes=10e6,
+)
+
+
+def _load_reference(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
     module = importlib.util.module_from_spec(spec)
     # dataclasses resolves string annotations through sys.modules, so
     # the module must be registered before its body executes.
     sys.modules[spec.name] = module
     spec.loader.exec_module(module)
     return module
+
+
+def _load_legacy():
+    return _load_reference(_LEGACY_PATH)
 
 
 def _fig4_cell_inputs():
@@ -107,4 +144,102 @@ def test_bench_engine_3x_over_legacy(benchmark):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"engine only {speedup:.2f}x over legacy "
         f"({engine_seconds:.3f}s vs {legacy_seconds:.3f}s)"
+    )
+
+
+def _assert_identical(got, want):
+    assert got.num_flows == want.num_flows
+    for a, b in zip(got.records, want.records):
+        assert (a.src_server, a.dst_server, a.size_bytes) == (
+            b.src_server, b.dst_server, b.size_bytes
+        )
+        assert a.start_time == b.start_time
+        assert a.finish_time == b.finish_time
+        assert a.path == b.path
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_LARGE_BENCH", "") in ("", "0"),
+    reason="large tier runs only with REPRO_LARGE_BENCH=1 (several minutes)",
+)
+def test_bench_large_cell_warm_engine(benchmark):
+    r1 = _load_reference(_R1_PATH)
+    pattern = {p.label: p for p in fig4_patterns(LARGE, seed=0)}["A2A"]
+    tut = build_scheme("DRing (su2)", LARGE, seed=0)
+    flows = _pattern_flows(LARGE, pattern, 0, 0.30)
+    placement = tut.placement(shuffle=pattern.random_placement, seed=0)
+    assert len(flows) == LARGE.max_flows
+
+    # Prewarm pass: populates the lazy routing caches both engines share
+    # (path sampling pays a per-source shortest-path solve on first use),
+    # measures the engine's peak memory, and yields the warm counters.
+    tracemalloc.start()
+    sim = FlowSimulator(tut.network, tut.routing, placement, seed=0)
+    warm_results = sim.run(flows)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    counters = dict(sim.trace.counters)
+
+    start = time.perf_counter()
+    warm_timed = FlowSimulator(
+        tut.network, tut.routing, placement, seed=0
+    ).run(flows)
+    warm_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    r1_results = r1.R1FlowSimulator(
+        tut.network, tut.routing, placement, seed=0
+    ).run(flows)
+    r1_seconds = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    _assert_identical(warm_results, r1_results)
+    _assert_identical(warm_timed, r1_results)
+
+    solves = counters["alloc_solves"]
+    warm_solves = counters.get("alloc_warm_solves", 0)
+    coverage = warm_solves / solves
+    # Link work a cold solve would sweep for the warm-handled solves,
+    # vs the links the warm modes actually re-solved.
+    link_space = counters.get("alloc_link_space", 0)
+    resolved = max(counters.get("alloc_resolved_links", 0), 1)
+    work_reduction = link_space / resolved
+    speedup = r1_seconds / warm_seconds
+    peak_mb = peak_bytes / 1e6
+
+    save_artifact(
+        "sim_large_cell.txt",
+        "\n".join(
+            [
+                "fig4 cell A2A / DRing (su2) / 512 racks / seed 0 "
+                f"({warm_results.num_flows} flows):",
+                f"  r1 engine:   {r1_seconds:.1f} s",
+                f"  warm engine: {warm_seconds:.1f} s",
+                f"  wall-clock speedup: {speedup:.2f}x (required >= "
+                f"{LARGE_REQUIRED_SPEEDUP:.1f}x; single-core, "
+                "event-loop-floor bound)",
+                f"  warm coverage: {warm_solves}/{solves} solves "
+                f"({coverage:.1%}, required >= "
+                f"{LARGE_REQUIRED_WARM_COVERAGE:.0%})",
+                f"  allocator link work reduction: {work_reduction:.0f}x "
+                f"(required >= {LARGE_REQUIRED_WORK_REDUCTION:.0f}x)",
+                f"  peak memory: {peak_mb:.0f} MB (budget "
+                f"{LARGE_MEMORY_BUDGET_MB:.0f} MB)",
+                f"  records: bit-identical ({warm_results.num_flows} flows)",
+            ]
+        ),
+    )
+
+    assert coverage >= LARGE_REQUIRED_WARM_COVERAGE, (
+        f"warm starts covered only {coverage:.1%} of solves"
+    )
+    assert work_reduction >= LARGE_REQUIRED_WORK_REDUCTION, (
+        f"allocator work reduced only {work_reduction:.1f}x"
+    )
+    assert speedup >= LARGE_REQUIRED_SPEEDUP, (
+        f"warm engine regressed: {speedup:.2f}x "
+        f"({warm_seconds:.1f}s vs r1 {r1_seconds:.1f}s)"
+    )
+    assert peak_mb <= LARGE_MEMORY_BUDGET_MB, (
+        f"peak memory {peak_mb:.0f} MB over budget"
     )

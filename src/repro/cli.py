@@ -72,6 +72,20 @@ def _harness_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="opt-in within-cell sharding for large fig4/ml cells: "
+        "expand each cell into N cooperating shard jobs (deterministic "
+        "hash partition, output byte-identical for every N; shards do "
+        "not contend, so sharded numbers differ from unsharded ones). "
+        "0 (default) keeps cells unsharded",
+    )
+
+
 def _wants_harness(args: argparse.Namespace) -> bool:
     return (
         args.jobs is not None or args.cache_dir is not None or args.no_cache
@@ -125,6 +139,17 @@ def _run_harness(args: argparse.Namespace, specs, sweep: str):
         timers = trace_totals.get("timers", {})
         parts = [f"{name}={value}" for name, value in counters.items()]
         parts += [f"{name}={seconds:.2f}s" for name, seconds in timers.items()]
+        solves = counters.get("alloc_solves", 0)
+        warm = counters.get("alloc_warm_solves", 0)
+        if solves:
+            # Round-2 engine health at a glance: how often the warm
+            # allocator reused the previous solve, and how small the
+            # re-solved dirty link set was relative to full cold sweeps.
+            parts.append(f"warm_reuse={warm / solves:.1%}")
+        link_space = counters.get("alloc_link_space", 0)
+        if link_space:
+            resolved = counters.get("alloc_resolved_links", 0)
+            parts.append(f"resolved_links_frac={resolved / link_space:.2%}")
         print("  engine: " + " ".join(parts), file=sys.stderr)
     manifest_out = getattr(args, "manifest_out", None)
     if manifest_out:
@@ -313,7 +338,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sweep_jobs,
     )
 
-    specs = sweep_jobs(args.experiment, args.scale, seed=args.seed)
+    specs = sweep_jobs(
+        args.experiment, args.scale, seed=args.seed, shards=args.shards
+    )
     results = _run_harness(args, specs, "+".join(args.experiment))
     for name in args.experiment:
         if name == "fig4":
@@ -381,6 +408,7 @@ def cmd_ml(args: argparse.Namespace) -> int:
         schemes=args.scheme,
         policies=args.policy,
         placement_seeds=placement_seeds,
+        shards=args.shards,
     )
     # Always route through the harness: every collective cell is cached
     # and crash-isolated, so reruns and wider sweeps are incremental.
@@ -537,27 +565,49 @@ def cmd_submit(args: argparse.Namespace) -> int:
         submission["scheme"] = args.scheme
     if args.pattern:
         submission["pattern"] = args.pattern
+    params: dict = {}
     if args.param:
         try:
-            submission["params"] = dict(
-                _parse_param(raw) for raw in args.param
-            )
+            params = dict(_parse_param(raw) for raw in args.param)
         except ValueError as exc:
             print(f"submit: {exc}", file=sys.stderr)
             return 2
+    shards = args.shards
+    if shards < 0:
+        print(f"submit: shard count must be >= 0, got {shards}",
+              file=sys.stderr)
+        return 2
+    submissions: list = []
+    if shards:
+        # One submission per shard job; the shard geometry rides in
+        # params, so each shard gets its own cache key.
+        for index in range(shards):
+            sharded = dict(submission)
+            sharded["params"] = dict(
+                params, shard_index=index, shard_count=shards
+            )
+            submissions.append(sharded)
+    else:
+        if params:
+            submission["params"] = params
+        submissions.append(submission)
     client = _service_client(args)
     try:
-        job = client.submit(submission)
-        print(f"{job['id']} {job['state']} key={job['key']}")
+        jobs = [client.submit(body) for body in submissions]
+        for job in jobs:
+            print(f"{job['id']} {job['state']} key={job['key']}")
         if not args.wait:
             return 0
-        final = client.wait(job["id"], on_event=_print_event)
+        finals = [
+            client.wait(job["id"], on_event=_print_event) for job in jobs
+        ]
     except ServiceError as exc:
         print(f"submit: {exc}", file=sys.stderr)
         return 1
-    print(f"{final['id']} {final['state']}"
-          + (f" — {final['error']}" if final["error"] else ""))
-    return 0 if final["state"] == "done" else 1
+    for final in finals:
+        print(f"{final['id']} {final['state']}"
+              + (f" — {final['error']}" if final["error"] else ""))
+    return 0 if all(final["state"] == "done" for final in finals) else 1
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -906,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
     _scale_argument(p)
     p.add_argument("--seed", type=int, default=0)
     _harness_arguments(p)
+    _shards_argument(p)
     p.add_argument(
         "--timeout",
         type=float,
@@ -1036,6 +1087,7 @@ def build_parser() -> argparse.ArgumentParser:
         "from --seed)",
     )
     _harness_arguments(p)
+    _shards_argument(p)
     p.add_argument(
         "--timeout",
         type=float,
@@ -1120,6 +1172,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="extra job param (repeatable); values parse as "
         "bool/int/float/str",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="submit the cell as N cooperating shard jobs (fig4/ml "
+        "only; merged output is byte-identical for every N)",
     )
     p.add_argument(
         "--wait",

@@ -39,6 +39,24 @@ def perf_now() -> float:  # repro-effect: allow=reads-clock
     return perf()
 
 
+def cohort_bucket(kind: str, size: int) -> str:
+    """Histogram-bucket counter key for a size-``size`` event cohort.
+
+    Shared by the flow simulator (admission/retirement cohorts) and the
+    packet event queue (same-timestamp dispatch cohorts) so the
+    ``engine:`` summary line can aggregate one histogram shape.
+    """
+    if size <= 1:
+        tag = "1"
+    elif size <= 4:
+        tag = "2_4"
+    elif size <= 16:
+        tag = "5_16"
+    else:
+        tag = "17plus"
+    return f"cohort_{kind}_{tag}"
+
+
 class SimTrace:
     """A mutable bag of counters, timers, and utilization snapshots.
 

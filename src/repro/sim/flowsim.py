@@ -26,9 +26,10 @@ bit-for-bit identical to the per-event rebuild.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from repro.sim.maxmin import (
     fill_levels,
 )
 from repro.sim.results import FctResults, FlowRecord
+from repro.sim.warmfill import WarmFill
 from repro.traffic.flows import Flow
 from repro.traffic.matrix import Placement
 
@@ -54,6 +56,12 @@ _RESIDUAL_BYTES = 1e-6
 #: same ``min``; the tolerance guards the measure-zero case of an
 #: arrival landing within rounding distance of a completion.
 _COMPLETION_RTOL = 1e-12
+
+#: Warm-engine kill switch, read once at import (``REPRO_ENGINE_WARM=0``
+#: forces cold solves).  Warm and cold engines are bit-identical — see
+#: tests/sim/test_warmfill.py — so the switch cannot change any cached
+#: result and is cache-key neutral.
+_WARM_DEFAULT = os.environ.get("REPRO_ENGINE_WARM", "1") != "0"  # repro-lint: disable=cache-key-purity
 
 
 @dataclass
@@ -68,7 +76,7 @@ class _ActiveFlow:
 class FlowSimulator:
     """Simulates a flow workload on one (topology, routing) combination."""
 
-    # repro-perf: allow=deep-alloc-in-hot-loop,deep-recompile-in-loop -- one fresh simulator per phase by design; setup runs once, outside the event loop
+    # repro-perf: allow=deep-alloc-in-hot-loop,deep-recompile-in-loop -- constructed once per driver and rewound with reset(); setup never runs inside the event loop
     def __init__(
         self,
         network: Network,
@@ -127,10 +135,21 @@ class FlowSimulator:
         #: values, which is fine: the incidence only references alive
         #: slots, so stale entries are never gathered.
         self._spent = np.zeros(0)
+        #: Alive slot ids, ascending — maintained incrementally so the
+        #: event loop never scans the full (monotonically growing) slot
+        #: space.  Identical content to ``flatnonzero(slot_alive)``.
+        self._alive_ids = np.zeros(0, dtype=np.intp)
+        self._alive_n = 0
         self._num_active = 0
         #: Bytes carried per link id, filled during :meth:`run`.
         self._link_bytes = np.zeros(len(self._caps))
         self._elapsed = 0.0
+        #: Warm-start allocator state; solves are bitwise identical to
+        #: cold :func:`fill_levels` calls (set ``REPRO_ENGINE_WARM=0``
+        #: to force the cold path).
+        self._warm: Optional[WarmFill] = (
+            WarmFill(self._caps) if _WARM_DEFAULT else None
+        )
         #: Instrumentation from the most recent :meth:`run`.
         self.trace = sim_trace.SimTrace()
 
@@ -148,13 +167,47 @@ class FlowSimulator:
         remaining[: len(self._remaining)] = self._remaining
         spent = np.zeros(capacity)
         spent[: len(self._spent)] = self._spent
+        alive_ids = np.zeros(capacity, dtype=np.intp)
+        alive_ids[: self._alive_n] = self._alive_ids[: self._alive_n]
         self._slot_alive = alive
         self._remaining = remaining
         self._spent = spent
+        self._alive_ids = alive_ids
+
+    # repro-perf: allow=deep-recompile-in-loop,deep-alloc-in-hot-loop -- runs once per phase, not per event; the fresh Incidence is the rewind, while the expensive compile-time state (routing, link table) is kept
+    def reset(self, seed: int = 0) -> None:
+        """Rearm for a fresh run without rebuilding topology state.
+
+        Drops all per-run mutable state (rng, flow slots, incidence,
+        byte counters, warm-start cache) while keeping the link table,
+        compiled routing, and grown buffers.  A reset simulator produces
+        bit-identical results to a freshly constructed one with the same
+        seed: the rng is rebuilt from the seed and the routing caches
+        are deterministic.  This is what lets the phase driver reuse one
+        simulator across thousands of collective phases.
+        """
+        self._rng = random.Random(seed)
+        self._incidence = Incidence()
+        self._link_refs[:] = 0
+        self._meta.clear()
+        self._slot_alive[:] = False
+        self._remaining[:] = 0.0
+        self._spent[:] = 0.0
+        self._alive_n = 0
+        self._num_active = 0
+        self._link_bytes[:] = 0.0
+        self._elapsed = 0.0
+        if self._warm is not None:
+            self._warm.reset()
+        self.trace = sim_trace.SimTrace()
 
     # repro-perf: allow=deep-alloc-in-hot-loop -- each admission builds the flow's own link-id array; it lives as long as the flow
-    def _admit(self, flow: Flow) -> None:
-        """Resolve endpoints, hash a path, and register the flow's slot."""
+    def _admit(self, flow: Flow) -> np.ndarray:
+        """Resolve endpoints, hash a path, and register the flow's slot.
+
+        Returns the flow's link ids; the caller folds the whole
+        admission cohort into ``_link_refs`` with one scatter-add.
+        """
         src = self.placement.network_server(flow.src_server)
         dst = self.placement.network_server(flow.dst_server)
         if self._server_cap <= 0:
@@ -185,9 +238,13 @@ class FlowSimulator:
         self._grow_slots(slot + 1)
         self._slot_alive[slot] = True
         self._remaining[slot] = flow.size_bytes
+        self._alive_ids[self._alive_n] = slot
+        self._alive_n += 1
         self._incidence.append(slot, link_ids)
-        np.add.at(self._link_refs, link_ids, 1)
+        if self._warm is not None:
+            self._warm.admit(slot, link_ids)
         self._num_active += 1
+        return link_ids
 
     # ------------------------------------------------------------------
 
@@ -203,18 +260,32 @@ class FlowSimulator:
         now = 0.0
         next_arrival = 0
         inc = self._incidence
+        warm = self._warm
+        if warm is not None:
+            warm.counters.clear()
         run_trace = sim_trace.SimTrace()
         run_started = perf()
 
         while self._num_active or next_arrival < len(arrivals):
-            # Admit every flow starting exactly now (zero-width batch).
+            # Admit every flow starting exactly now (zero-width batch);
+            # the cohort lands on ``_link_refs`` as one scatter-add.
+            cohort_links: List[np.ndarray] = []  # repro-perf: allow=deep-alloc-in-hot-loop -- one small list per event gathers the admission cohort for a single scatter-add
             while (
                 next_arrival < len(arrivals)
                 and arrivals[next_arrival].start_time <= now + 1e-15
             ):
-                self._admit(arrivals[next_arrival])
+                cohort_links.append(self._admit(arrivals[next_arrival]))
                 run_trace.count("flows_admitted")
                 next_arrival += 1
+            if cohort_links:
+                delta = (
+                    cohort_links[0]
+                    if len(cohort_links) == 1
+                    else np.concatenate(cohort_links)  # repro-perf: allow=deep-alloc-in-hot-loop -- cohort concat replaces one scatter-add per flow with one per event
+                )
+                np.add.at(self._link_refs, delta, 1)
+                run_trace.count("admit_cohorts")
+                run_trace.count(sim_trace.cohort_bucket("admit", len(cohort_links)))
 
             if not self._num_active:
                 now = arrivals[next_arrival].start_time
@@ -222,14 +293,20 @@ class FlowSimulator:
 
             nslots = len(self._meta)
             alive_mask = self._slot_alive[:nslots]
-            alive = np.flatnonzero(alive_mask)
+            alive = self._alive_ids[: self._alive_n]
 
             allocate_started = perf()
-            levels, iterations = fill_levels(
-                inc.ent, inc.lnk, inc.val, self._caps, alive_mask,
-                links=np.flatnonzero(self._link_refs > 0),
-                scratch=self._fill_scratch,
-            )
+            if warm is not None:
+                levels, iterations = warm.solve(
+                    inc.ent, inc.lnk, inc.val, alive_mask,
+                    self._link_refs, self._fill_scratch,
+                )
+            else:
+                levels, iterations = fill_levels(
+                    inc.ent, inc.lnk, inc.val, self._caps, alive_mask,
+                    links=np.flatnonzero(self._link_refs > 0),
+                    scratch=self._fill_scratch,
+                )
             run_trace.add_time("allocate", perf() - allocate_started)
             run_trace.count("events")
             run_trace.count("allocator_iterations", iterations)
@@ -248,7 +325,9 @@ class FlowSimulator:
             if dt < 0:
                 raise RuntimeError("simulation time went backwards")
 
-            # Drain bytes at the constant rates over dt.
+            # Drain bytes at the constant rates over dt.  The unmasked
+            # scatter-add is bitwise equal to the old ``> 0``-masked
+            # one: a zero-drain entry adds +0.0, the float identity.
             drained = rates_bps / 8.0 * dt
             now += dt
             self._remaining[alive] -= drained
@@ -256,14 +335,14 @@ class FlowSimulator:
             spent = self._spent
             spent[alive] = drained
             entry_spent = spent[inc.ent]
-            touched = entry_spent > 0.0
-            np.add.at(self._link_bytes, inc.lnk[touched], entry_spent[touched])
+            np.add.at(self._link_bytes, inc.lnk, entry_spent)
 
             # Retire completions only when this event *is* the earliest
             # completion (an arrival may preempt it); the tolerance
             # replaces the old exact ``dt == finish_dt`` float equality.
             if finish_dt - dt <= finish_dt * _COMPLETION_RTOL:
-                done = alive[self._remaining[alive] <= _RESIDUAL_BYTES]
+                done_mask = self._remaining[alive] <= _RESIDUAL_BYTES
+                done = alive[done_mask]
                 # repro-perf: allow=deep-numpy-scalar-loop -- completions build one FlowRecord each; object construction cannot vectorize
                 for slot in done:
                     entry = self._meta[slot]
@@ -279,13 +358,32 @@ class FlowSimulator:
                         )
                     )
                     self._slot_alive[slot] = False
-                    np.subtract.at(self._link_refs, entry.links, 1)
                 if done.size:
+                    # The completion cohort leaves ``_link_refs`` as one
+                    # scatter-subtract and the incidence as one compact.
+                    retired = (
+                        self._meta[int(done[0])].links
+                        if done.size == 1
+                        else np.concatenate(  # repro-perf: allow=deep-alloc-in-hot-loop -- cohort concat replaces one scatter-subtract per flow with one per event
+                            [self._meta[int(s)].links for s in done]  # repro-perf: allow=deep-alloc-in-hot-loop -- list of the completion cohort's link arrays, one per retiring flow
+                        )
+                    )
+                    np.subtract.at(self._link_refs, retired, 1)
+                    kept = alive[~done_mask]
+                    self._alive_ids[: len(kept)] = kept
+                    self._alive_n = len(kept)
+                    if warm is not None:
+                        warm.retire(done.tolist())
                     self._num_active -= int(done.size)
                     run_trace.count("flows_completed", int(done.size))
+                    run_trace.count("retire_cohorts")
+                    run_trace.count(sim_trace.cohort_bucket("retire", int(done.size)))
                     inc.compact(self._slot_alive[:nslots])
 
         self._elapsed = now
+        if warm is not None:
+            for key, value in warm.counters.items():
+                run_trace.count(key, value)
         run_trace.add_time("run", sim_trace.perf_now() - run_started)
         if now > 0.0:
             run_trace.snapshot_utilization("flowsim", self.link_utilization())

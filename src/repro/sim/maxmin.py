@@ -27,16 +27,52 @@ Two entry points share one numpy core (:func:`fill_levels`):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 #: Relative tolerance for declaring a link saturated.
 _EPSILON = 1e-12
 
+#: Smallest positive subnormal double.  ``max(demand, tiny)`` leaves
+#: every positive demand bit-identical while keeping zero-demand links
+#: out of 0/0; see the guarded division in :func:`fill_levels`.
+_SUBNORMAL_TINY = 5e-324
+
 
 class AllocationError(RuntimeError):
     """Raised when the allocation cannot make progress (bad inputs)."""
+
+
+class FillRecorder(Protocol):
+    """Observer for :func:`fill_levels` filling rounds.
+
+    A recorder sees every round of a solve exactly as the solver computed
+    it — the compressed link ids, the demand and pre-subtraction remaining
+    vectors over them, the chosen increment, and the freeze decision.
+    :mod:`repro.sim.warmfill` uses one to snapshot a solve so the next
+    event can be replayed incrementally instead of re-solved from scratch.
+    Recording never changes a float operation of the solve itself.
+    """
+
+    def on_round(
+        self,
+        links: np.ndarray,
+        demand: np.ndarray,
+        rem_pre: np.ndarray,
+        increment: float,
+        current: float,
+        frozen: np.ndarray,
+        sat_mask: np.ndarray,
+        tie_mask: np.ndarray,
+        forced: bool,
+    ) -> None:
+        """One filling round, in compressed link space."""
+        ...
+
+    def on_done(self, levels: np.ndarray, iterations: int) -> None:
+        """The solve finished normally with these levels."""
+        ...
 
 
 # repro-perf: allow=deep-alloc-in-hot-loop -- amortized geometric growth
@@ -65,6 +101,8 @@ class FillScratch:
         self._remaining = np.empty(0)
         self._saturation = np.empty(0)
         self._headroom = np.empty(0)
+        self._divisor = np.empty(0)
+        self._unused = np.empty(0, dtype=bool)
 
     def active(self, n: int) -> np.ndarray:
         """Length-``n`` bool buffer (contents unspecified)."""
@@ -100,6 +138,16 @@ class FillScratch:
         self._headroom = _fit(self._headroom, n)
         return self._headroom[:n]
 
+    def divisor(self, n: int) -> np.ndarray:
+        """Length-``n`` float buffer (contents unspecified)."""
+        self._divisor = _fit(self._divisor, n)
+        return self._divisor[:n]
+
+    def unused(self, n: int) -> np.ndarray:
+        """Length-``n`` bool buffer (contents unspecified)."""
+        self._unused = _fit(self._unused, n)
+        return self._unused[:n]
+
 
 # repro-hot: per-event -- re-solved after every admission and completion
 def fill_levels(
@@ -110,6 +158,7 @@ def fill_levels(
     active: np.ndarray,
     links: Optional[np.ndarray] = None,
     scratch: Optional[FillScratch] = None,
+    recorder: Optional[FillRecorder] = None,
 ) -> Tuple[np.ndarray, int]:
     """Progressive filling on a pre-flattened incidence.
 
@@ -136,6 +185,11 @@ def fill_levels(
         instance so the steady-state solve allocates only its result;
         one-shot callers omit it and pay fresh buffers.  Results are
         identical either way.
+    recorder:
+        Optional :class:`FillRecorder` that observes each round.  The
+        warm-start layer passes one to snapshot the solve; recording
+        adds bookkeeping but changes no float operation, so levels are
+        identical with or without it.
 
     Returns
     -------
@@ -181,6 +235,8 @@ def fill_levels(
     remaining: np.ndarray = scratch.remaining(num_links)
     saturation: np.ndarray = scratch.saturation(num_links)
     headroom: np.ndarray = scratch.headroom(num_links)
+    divisor: np.ndarray = scratch.divisor(num_links)
+    unused: np.ndarray = scratch.unused(num_links)
     np.take(caps, links, out=remaining)
     np.multiply(remaining, _EPSILON, out=saturation)
     current = 0.0
@@ -192,11 +248,21 @@ def fill_levels(
         used = demand > 0
         if not used.any():
             raise AllocationError("active entities consume no capacity")
-        headroom.fill(np.inf)
-        np.divide(remaining, demand, out=headroom, where=used)
+        # Guarded full division instead of a masked one: ``max(d, tiny)``
+        # with the smallest subnormal equals ``d`` for every positive
+        # demand, so used links divide by the identical float, and the
+        # ``where=``-masked inner loop (5-10x slower than plain ufunc
+        # dispatch at these sizes) disappears from the hot path.  Unused
+        # links still end up at +inf, exactly as the mask produced.
+        np.maximum(demand, _SUBNORMAL_TINY, out=divisor)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            np.divide(remaining, divisor, out=headroom)
+        np.logical_not(used, out=unused)
+        np.copyto(headroom, np.inf, where=unused)
         increment = float(headroom.min())
         if not math.isfinite(increment) or increment < 0:
             raise AllocationError("allocation cannot make progress")
+        rem_pre = remaining.copy() if recorder is not None else None  # repro-perf: allow=deep-alloc-in-hot-loop -- snapshot taken only when a recorder is caching rounds for warm starts
         current += increment
         remaining -= increment * demand
         # Freeze entities crossing any saturated link they use.  A link
@@ -206,7 +272,8 @@ def fill_levels(
         saturated_links = used & (remaining <= saturation)
         touches = saturated_links[w_lnk]
         frozen = w_ent[touches]
-        if frozen.size == 0:
+        was_forced = frozen.size == 0
+        if was_forced:
             # Numerical corner: force the single most-loaded link.
             forced = int(np.argmin(headroom))
             frozen = w_ent[w_lnk == forced]
@@ -216,7 +283,22 @@ def fill_levels(
         w_ent = w_ent[keep]
         w_lnk = w_lnk[keep]
         w_val = w_val[keep]
+        if recorder is not None:
+            assert rem_pre is not None
+            recorder.on_round(
+                links,
+                demand,
+                rem_pre,
+                increment,
+                current,
+                frozen,
+                saturated_links,
+                used & (headroom == increment),
+                was_forced,
+            )
 
+    if recorder is not None:
+        recorder.on_done(level, iterations)
     return level, iterations
 
 

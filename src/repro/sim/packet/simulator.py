@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.network import Network
 from repro.routing.base import RoutingScheme
+from repro.sim.engine import trace as sim_trace
 from repro.sim.packet.core import EventQueue, Packet
 from repro.sim.packet.link import (
     DEFAULT_BUFFER_BYTES,
@@ -261,6 +262,10 @@ class PacketSimulator:
                 lambda fid=flow_id, f=flow: self._start_flow(fid, f),
             )
         self.events.run(max_events=max_events)
+        collector = sim_trace.current()
+        if collector is not None:
+            for bucket, tally in sorted(self.events.cohort_counts.items()):
+                collector.count(bucket, tally)
         missing = len(flows) - self.results.num_flows
         if missing:
             raise RuntimeError(

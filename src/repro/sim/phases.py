@@ -109,6 +109,8 @@ class PhaseCohortDriver:
                     )
         #: Per-job last-finish scratch, refilled once per phase.
         self._finish = np.zeros(len(self.placements))
+        #: One simulator reused across phases via ``reset(seed)``.
+        self._simulator: Optional[FlowSimulator] = None
         #: Instrumentation from the most recent :meth:`run`.
         self.trace = sim_trace.SimTrace()
 
@@ -203,7 +205,14 @@ class PhaseCohortDriver:
     def _run_phase(
         self, cohort: Sequence[Flow], iteration: int
     ) -> Optional[FctResults]:
-        """Simulate one cohort on a fresh, phase-seeded simulator."""
+        """Simulate one phase-seeded cohort on the reused simulator.
+
+        The driver keeps one :class:`FlowSimulator` and rewinds it with
+        :meth:`FlowSimulator.reset` between phases instead of paying
+        routing compilation and buffer allocation per phase;
+        ``reset(seed)`` is bit-identical to fresh construction, so phase
+        results are unchanged.
+        """
         if not cohort:
             # Every active job is single-worker: nothing on the wire.
             return None
@@ -211,14 +220,17 @@ class PhaseCohortDriver:
         if observe is not None:
             # repro-perf: allow=deep-hot-dispatch -- optional control-loop probe, one call per phase
             observe(rack_demands_of_flows(cohort, self.network))
-        simulator = FlowSimulator(
-            self.network,
-            self.routing,
-            self._placement,
-            seed=phase_seed(self.seed, iteration),
-            hop_latency_s=self.hop_latency_s,
-        )
-        return simulator.run(cohort)
+        if self._simulator is None:
+            self._simulator = FlowSimulator(
+                self.network,
+                self.routing,
+                self._placement,
+                seed=phase_seed(self.seed, iteration),
+                hop_latency_s=self.hop_latency_s,
+            )
+        else:
+            self._simulator.reset(seed=phase_seed(self.seed, iteration))
+        return self._simulator.run(cohort)
 
 
 def run_collectives(

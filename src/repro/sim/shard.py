@@ -1,0 +1,150 @@
+"""Deterministic within-cell sharding for large simulation cells.
+
+A large cell (hundreds of racks, ~10^5 flows) is one indivisible job to
+the sweep harness, so a single slow cell pins a whole sweep to one core.
+This module splits such a cell into ``--shards N`` cooperating jobs by
+partitioning its *flows* (or, for collective cells, its *training jobs*)
+with a deterministic hash, running each partition as an independent
+simulation on the full topology, and merging the per-shard records
+canonically.
+
+Two properties are load-bearing, one caveat is explicit:
+
+* **N-independence.**  Flows are hashed into a fixed number of *virtual*
+  shards (:data:`NUM_VIRTUAL_SHARDS`) regardless of ``N``; shard job
+  ``i`` of ``N`` runs the virtual shards ``v % N == i`` sequentially,
+  each as its own simulator run seeded by ``stable_seed("shard", seed,
+  v)``.  Every virtual shard therefore computes identical floats no
+  matter how many OS processes the work is spread over, and the merged
+  output of ``--shards N`` is byte-identical to ``--shards 1``.
+* **Canonical merge.**  Per-shard records are merged by sorting on the
+  full record tuple (admission order first: start time, then endpoints,
+  size, finish time, path).  The key is a total order up to complete
+  record equality, so merging is associative — partial merges inside a
+  shard job followed by the cross-shard merge at assembly give the same
+  bytes as one global merge.
+* **Approximation.**  Shards do not contend with each other: a sharded
+  cell models each partition as alone on the fabric.  Sharded results
+  are self-consistent and deterministic but are *not* the unsharded
+  cell's numbers — which is why sharding is opt-in and why the cache
+  keys record the shard geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.network import Network
+from repro.core.seeding import stable_seed
+from repro.routing.base import RoutingScheme
+from repro.sim.flowsim import FlowSimulator
+from repro.sim.results import FctResults, FlowRecord
+from repro.traffic.flows import Flow
+from repro.traffic.matrix import Placement
+
+#: Fixed virtual-shard count: the hash-partition granularity.  Must not
+#: depend on ``--shards N`` or per-shard seeds and contents would change
+#: with the process count, breaking N-independence.
+NUM_VIRTUAL_SHARDS = 8
+
+
+def virtual_shard_of(flow: Flow) -> int:
+    """The virtual shard a flow hashes into (stable across processes)."""
+    return stable_seed(
+        "flow-shard",
+        flow.src_server,
+        flow.dst_server,
+        flow.size_bytes,
+        flow.start_time,
+    ) % NUM_VIRTUAL_SHARDS
+
+
+def partition_flows(flows: Sequence[Flow]) -> List[List[Flow]]:
+    """Split flows into :data:`NUM_VIRTUAL_SHARDS` hash partitions.
+
+    Each partition preserves the input order, so a partition fed to the
+    simulator admits flows in the same relative order the unsharded cell
+    would have.
+    """
+    parts: List[List[Flow]] = [[] for _ in range(NUM_VIRTUAL_SHARDS)]
+    for flow in flows:
+        parts[virtual_shard_of(flow)].append(flow)
+    return parts
+
+
+def _record_key(record: FlowRecord):
+    return (
+        record.start_time,
+        record.src_server,
+        record.dst_server,
+        record.size_bytes,
+        record.finish_time,
+        record.path,
+    )
+
+
+def merge_records(parts: Sequence[FctResults]) -> FctResults:
+    """Merge per-shard record sets into one canonically ordered set.
+
+    Sorting on the full record tuple makes the merge associative:
+    records equal under the key are equal outright, so any grouping of
+    partial merges yields identical bytes.
+    """
+    merged = FctResults()
+    records: List[FlowRecord] = []
+    for part in parts:
+        records.extend(part.records)
+    records.sort(key=_record_key)
+    for record in records:
+        merged.add(record)
+    return merged
+
+
+def shard_seed(seed: int, virtual_shard: int) -> int:
+    """The simulator seed for one virtual shard of a cell."""
+    return stable_seed("shard", seed, virtual_shard)
+
+
+def simulate_fct_sharded(
+    network: Network,
+    routing: RoutingScheme,
+    placement: Placement,
+    flows: Sequence[Flow],
+    seed: int = 0,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    hop_latency_s: float = 0.0,
+) -> FctResults:
+    """Run shard job ``shard_index`` of ``shard_count`` for one cell.
+
+    Returns the canonical merge of this job's virtual shards; assembling
+    all ``shard_count`` outputs with :func:`merge_records` yields the
+    full sharded cell.  One simulator is reused across virtual shards
+    via :meth:`FlowSimulator.reset`, so topology compilation is paid
+    once per job.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard index {shard_index} outside [0, {shard_count})"
+        )
+    parts = partition_flows(flows)
+    simulator: Optional[FlowSimulator] = None
+    outputs: List[FctResults] = []
+    for virtual in range(shard_index, NUM_VIRTUAL_SHARDS, shard_count):
+        part = parts[virtual]
+        if not part:
+            continue
+        if simulator is None:
+            simulator = FlowSimulator(
+                network,
+                routing,
+                placement,
+                seed=shard_seed(seed, virtual),
+                hop_latency_s=hop_latency_s,
+            )
+        else:
+            simulator.reset(seed=shard_seed(seed, virtual))
+        outputs.append(simulator.run(part))
+    return merge_records(outputs)

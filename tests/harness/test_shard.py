@@ -1,0 +1,225 @@
+"""Within-cell sharding: N-independence, canonical merges, determinism.
+
+``--shards N`` splits a large cell into cooperating jobs; the contract
+(:mod:`repro.sim.shard`) is that the merged output is *byte-identical*
+for every ``N`` — flows hash into a fixed set of virtual shards whose
+seeds and contents never depend on the process count, and the canonical
+record merge is associative.  These tests pin that contract at the
+simulator level, through the harness job/assembly layer for both fig4
+and ML cells, and across OS process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import SMALL
+from repro.experiments.fig4_fct import run_fig4_cell_shard
+from repro.experiments.ml_sweep import merge_ml_cell_shards, run_ml_cell_shard
+from repro.experiments.runner import Scale, register_scale, scheme_labels
+from repro.harness.executor import FAILED, run_jobs
+from repro.harness.jobs import assemble_fig4, assemble_ml, fig4_jobs, ml_jobs
+from repro.routing import EcmpRouting
+from repro.sim.shard import (
+    NUM_VIRTUAL_SHARDS,
+    merge_records,
+    partition_flows,
+    simulate_fct_sharded,
+    virtual_shard_of,
+)
+from repro.traffic import CanonicalCluster, Placement, TrainingJob, generate_flows, uniform
+
+TINY = register_scale(
+    Scale(
+        name="tiny-shard",
+        leaf_x=6,
+        leaf_y=2,
+        dring_m=6,
+        dring_n=2,
+        dring_servers=48,
+        max_flows=150,
+        window_seconds=0.02,
+        size_cap_bytes=10e6,
+    )
+)
+
+TINY_ML_JOBS = (
+    TrainingJob("ring-a", 6, 1e6, 1e-3, num_layers=2, num_iterations=2),
+    TrainingJob("ring-b", 4, 8e5, 8e-4, num_layers=2, num_iterations=2),
+    TrainingJob(
+        "moe-a", 4, 5e5, 5e-4, num_iterations=2, collective="all-to-all"
+    ),
+    TrainingJob(
+        "moe-b", 6, 4e5, 6e-4, num_iterations=2, collective="all-to-all"
+    ),
+)
+
+
+def sharded_workload(network, num_flows=250, seed=3):
+    cluster = CanonicalCluster(
+        network.num_racks, min(network.servers_at(r) for r in network.racks)
+    )
+    placement = Placement(cluster, network)
+    flows = generate_flows(
+        uniform(cluster), num_flows, 0.01, seed=seed, size_cap=5e6
+    )
+    return placement, flows
+
+
+class TestPartitioning:
+    def test_virtual_shards_fixed_and_in_range(self, small_dring):
+        _placement, flows = sharded_workload(small_dring)
+        for flow in flows:
+            shard = virtual_shard_of(flow)
+            assert 0 <= shard < NUM_VIRTUAL_SHARDS
+            assert virtual_shard_of(flow) == shard  # pure function
+
+    def test_partition_preserves_order_and_flows(self, small_dring):
+        _placement, flows = sharded_workload(small_dring)
+        parts = partition_flows(flows)
+        assert len(parts) == NUM_VIRTUAL_SHARDS
+        assert sum(len(p) for p in parts) == len(flows)
+        order = {id(flow): i for i, flow in enumerate(flows)}
+        for part in parts:
+            positions = [order[id(flow)] for flow in part]
+            assert positions == sorted(positions)
+
+    def test_merge_is_associative(self, small_dring):
+        _placement, flows = sharded_workload(small_dring)
+        placement, _ = sharded_workload(small_dring)
+        pieces = [
+            simulate_fct_sharded(
+                small_dring, EcmpRouting(small_dring), placement, flows,
+                shard_index=i, shard_count=4,
+            )
+            for i in range(4)
+        ]
+        flat = merge_records(pieces)
+        nested = merge_records(
+            [merge_records(pieces[:2]), merge_records(pieces[2:])]
+        )
+        assert flat.to_json_dict() == nested.to_json_dict()
+
+    def test_shard_geometry_validated(self, small_dring):
+        placement, flows = sharded_workload(small_dring)
+        with pytest.raises(ValueError):
+            simulate_fct_sharded(
+                small_dring, EcmpRouting(small_dring), placement, flows,
+                shard_index=2, shard_count=2,
+            )
+        with pytest.raises(ValueError):
+            simulate_fct_sharded(
+                small_dring, EcmpRouting(small_dring), placement, flows,
+                shard_index=0, shard_count=0,
+            )
+
+
+class TestNIndependence:
+    """The merged cell is byte-identical for every shard count."""
+
+    def test_simulator_level(self, small_dring):
+        placement, flows = sharded_workload(small_dring)
+
+        def merged(shard_count):
+            return merge_records(
+                [
+                    simulate_fct_sharded(
+                        small_dring, EcmpRouting(small_dring), placement,
+                        flows, seed=0,
+                        shard_index=i, shard_count=shard_count,
+                    )
+                    for i in range(shard_count)
+                ]
+            ).to_json_dict()
+
+        baseline = merged(1)
+        assert merged(2) == baseline
+        assert merged(3) == baseline
+
+    def test_fig4_harness_level(self):
+        def tables(shards):
+            specs = fig4_jobs(
+                "tiny-shard", seed=0, patterns=["A2A"],
+                schemes=scheme_labels(include_ecmp_flats=False)[:2],
+                shards=shards,
+            )
+            results, outcomes = run_jobs(specs, jobs=1)
+            assert all(o.status != FAILED for o in outcomes)
+            figure = assemble_fig4(specs, results)
+            return figure.median_table(), figure.p99_table()
+
+        assert tables(2) == tables(1)
+
+    def test_ml_cell_level(self):
+        def merged(shard_count):
+            return merge_ml_cell_shards(
+                [
+                    run_ml_cell_shard(
+                        TINY, "dring", "ecmp", seed=0,
+                        shard_index=i, shard_count=shard_count,
+                        jobs=TINY_ML_JOBS,
+                    )
+                    for i in range(shard_count)
+                ]
+            )
+
+        baseline = merged(1)
+        assert merged(2) == baseline
+        assert merged(3) == baseline
+        assert baseline["sharded"] is True
+
+    def test_ml_harness_level(self):
+        def records(shards):
+            specs = ml_jobs(
+                "tiny-shard", seed=0, topologies=["dring"],
+                schemes=["ecmp"], policies=["compact"],
+                placement_seeds=[0], shards=shards,
+            )
+            results, outcomes = run_jobs(specs, jobs=1)
+            assert all(o.status != FAILED for o in outcomes)
+            return assemble_ml(specs, results)
+
+        sharded = records(2)
+        single = records(1)
+        assert sharded == single
+
+    def test_incomplete_shard_group_not_assembled(self):
+        specs = fig4_jobs(
+            "tiny-shard", seed=0, patterns=["A2A"],
+            schemes=scheme_labels(include_ecmp_flats=False)[:1],
+            shards=2,
+        )
+        results, _outcomes = run_jobs(specs, jobs=1)
+        partial = {specs[0].key(): results[specs[0].key()]}
+        figure = assemble_fig4(specs, partial)
+        assert figure.rows == {}
+
+
+class TestCrossProcess:
+    def test_shard_job_deterministic_across_processes(self):
+        """The same shard job computes identical bytes in a fresh OS
+        process — the property that makes ``--shards`` submissions safe
+        to scatter over workers and machines."""
+        local = run_fig4_cell_shard(
+            SMALL, "A2A", "DRing (su2)", seed=0,
+            shard_index=0, shard_count=2,
+        ).to_json_dict()
+        script = (
+            "import json\n"
+            "from repro.experiments import SMALL\n"
+            "from repro.experiments.fig4_fct import run_fig4_cell_shard\n"
+            "cell = run_fig4_cell_shard(SMALL, 'A2A', 'DRing (su2)', seed=0,"
+            " shard_index=0, shard_count=2)\n"
+            "print(json.dumps(cell.to_json_dict(), sort_keys=True))\n"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert json.loads(fresh.stdout) == json.loads(
+            json.dumps(local, sort_keys=True)
+        )

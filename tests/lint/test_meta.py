@@ -145,10 +145,12 @@ class TestPerfGate:
     allowance justified, the repo perf-clean, and the static hot set
     validated against a real profile."""
 
-    #: The engine's hot roots are a design artifact: these six frames
+    #: The engine's hot roots are a design artifact: these seven frames
     #: are the event/phase/assembly loops everything rides on.  A new
     #: root is a reviewable design change — update this pin
     #: deliberately, with the matching ``# repro-hot`` annotation.
+    #: ``WarmFill.solve`` joined in the round-2 engine PR: it fronts
+    #: ``fill_levels`` on every event and carries the replay fast path.
     GOLDEN_ROOTS = (
         "repro.sim.flowsim.FlowSimulator.run",
         "repro.sim.maxmin.fill_levels",
@@ -156,6 +158,7 @@ class TestPerfGate:
         "repro.sim.packet.simulator.PacketSimulator._on_hop_done",
         "repro.sim.phases.PhaseCohortDriver.run",
         "repro.sim.throughput.commodity_throughput",
+        "repro.sim.warmfill.WarmFill.solve",
     )
 
     def _model(self):
@@ -167,7 +170,7 @@ class TestPerfGate:
         assert program is not None
         return perf_facts(build_call_graph(program))
 
-    def test_hot_roots_are_exactly_the_golden_six(self):
+    def test_hot_roots_are_exactly_the_golden_seven(self):
         model = self._model()
         assert tuple(
             sorted(root.qname for root in model.roots)

@@ -1,0 +1,242 @@
+"""Round-2 engine regressions: cohorts, warm starts, reset, counters.
+
+The second engine round batches same-timestamp event cohorts and
+replaces most cold allocator solves with warm-start replays
+(:mod:`repro.sim.warmfill`).  Both are pure optimizations: this module
+pins the warm/batched engine bitwise against the cold engine *and* the
+verbatim legacy reference — across all six routing schemes and on
+fault-degraded networks — and checks the new observability surface
+(cohort histograms, warm-start counters) plus the
+:meth:`FlowSimulator.reset` contract the sharding layer relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSpec, apply_fault_set, sample_fault_set
+from repro.routing import EcmpRouting
+from repro.sim import FlowSimulator, simulate_fct
+from repro.sim import flowsim as flowsim_module
+from repro.sim import warmfill as warmfill_module
+from repro.sim.engine import trace as sim_trace
+from repro.sim.packet import PacketSimulator
+from repro.topology import dring
+from repro.traffic import CanonicalCluster, Flow, Placement, generate_flows, uniform
+
+from tests.sim.legacy_reference import legacy_simulate_fct
+from tests.sim.test_engine_parity import (
+    SCHEMES,
+    assert_identical_results,
+    workload,
+)
+
+
+def run_cold(monkeypatch, network, routing, placement, flows, seed=0):
+    """A run with warm starts disabled (pure cold fill_levels path)."""
+    monkeypatch.setattr(flowsim_module, "_WARM_DEFAULT", False)
+    try:
+        return simulate_fct(network, routing, placement, flows, seed=seed)
+    finally:
+        monkeypatch.undo()
+
+
+def placement_for(network):
+    cluster = CanonicalCluster(
+        network.num_racks, min(network.servers_at(r) for r in network.racks)
+    )
+    return Placement(cluster, network)
+
+
+class TestWarmVsColdVsLegacy:
+    """Warm-start engine == cold engine == legacy, bit for bit."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_all_schemes(self, small_dring, scheme, monkeypatch):
+        _cluster, flows = workload(small_dring)
+        placement = placement_for(small_dring)
+        warm = simulate_fct(
+            small_dring, SCHEMES[scheme](small_dring), placement, flows
+        )
+        cold = run_cold(
+            monkeypatch, small_dring, SCHEMES[scheme](small_dring),
+            placement, flows,
+        )
+        legacy = legacy_simulate_fct(
+            small_dring, SCHEMES[scheme](small_dring), placement, flows
+        )
+        assert_identical_results(warm, cold)
+        assert_identical_results(warm, legacy)
+
+    @pytest.mark.parametrize(
+        "kind,fraction", [("link", 0.1), ("gray", 0.2), ("correlated", 0.1)]
+    )
+    def test_degraded_networks(self, kind, fraction, monkeypatch):
+        base = dring(6, 2, servers_per_rack=4)
+        fault_set = sample_fault_set(
+            base, FaultSpec(kind=kind, fraction=fraction), seed=5
+        )
+        net = apply_fault_set(base, fault_set)
+        _cluster, flows = workload(net, num_flows=200)
+        placement = placement_for(net)
+        warm = simulate_fct(net, SCHEMES["su2"](net), placement, flows)
+        cold = run_cold(
+            monkeypatch, net, SCHEMES["su2"](net), placement, flows
+        )
+        legacy = legacy_simulate_fct(
+            net, SCHEMES["su2"](net), placement, flows
+        )
+        assert_identical_results(warm, cold)
+        assert_identical_results(warm, legacy)
+
+    @pytest.mark.parametrize("scheme", ["ecmp", "su2", "vlb", "adaptive"])
+    def test_shadow_validated_runs(self, small_dring, scheme, monkeypatch):
+        """Every warm solve shadow-checked against a cold solve in situ."""
+        monkeypatch.setattr(warmfill_module, "_VALIDATE_DEFAULT", True)
+        _cluster, flows = workload(small_dring, num_flows=200)
+        placement = placement_for(small_dring)
+        validated = simulate_fct(
+            small_dring, SCHEMES[scheme](small_dring), placement, flows
+        )
+        legacy = legacy_simulate_fct(
+            small_dring, SCHEMES[scheme](small_dring), placement, flows
+        )
+        assert_identical_results(validated, legacy)
+
+    def test_synchronized_arrivals(self, small_dring, monkeypatch):
+        """Big same-timestamp admission cohorts stay bit-identical."""
+        rng = np.random.default_rng(13)
+        flows = []
+        for wave in range(6):
+            when = wave * 1e-4
+            for _ in range(20):
+                src, dst = rng.choice(24, size=2, replace=False)
+                flows.append(Flow(int(src), int(dst), 4e5, when))
+        placement = placement_for(small_dring)
+        warm = simulate_fct(
+            small_dring, EcmpRouting(small_dring), placement, flows
+        )
+        legacy = legacy_simulate_fct(
+            small_dring, EcmpRouting(small_dring), placement, flows
+        )
+        assert_identical_results(warm, legacy)
+
+
+class TestEngineCounters:
+    """The round-2 observability surface: cohorts and warm-start rates."""
+
+    def run_traced(self, small_dring, flows):
+        placement = placement_for(small_dring)
+        sim = FlowSimulator(
+            small_dring, EcmpRouting(small_dring), placement, seed=0
+        )
+        sim.run(flows)
+        return sim.trace.counters
+
+    def test_cohort_histograms_consistent(self, small_dring):
+        _cluster, flows = workload(small_dring, num_flows=200)
+        counters = self.run_traced(small_dring, flows)
+        admit_buckets = sum(
+            count for name, count in counters.items()
+            if name.startswith("cohort_admit_")
+        )
+        retire_buckets = sum(
+            count for name, count in counters.items()
+            if name.startswith("cohort_retire_")
+        )
+        assert counters["admit_cohorts"] > 0
+        assert admit_buckets == counters["admit_cohorts"]
+        assert retire_buckets == counters["retire_cohorts"]
+
+    def test_synchronized_arrivals_fill_large_buckets(self, small_dring):
+        flows = [
+            Flow(src, 12 + (src % 12), 2e5, 0.0) for src in range(12)
+        ]
+        counters = self.run_traced(small_dring, flows)
+        assert counters.get("cohort_admit_5_16", 0) >= 1
+
+    def test_warm_start_counters(self, small_dring):
+        _cluster, flows = workload(small_dring, num_flows=200)
+        counters = self.run_traced(small_dring, flows)
+        assert counters["alloc_solves"] > 0
+        warm = counters.get("alloc_warm_solves", 0)
+        cold = counters.get("alloc_cold_solves", 0)
+        assert warm + cold == counters["alloc_solves"]
+        assert warm > 0  # warm starts must actually engage on this size
+        # Each warm solve adds the full link space to the denominator,
+        # and re-solves strictly fewer links than the space it skipped.
+        assert counters["alloc_link_space"] > 0
+        assert counters["alloc_resolved_links"] < counters["alloc_link_space"]
+
+    def test_counters_reach_ambient_collector(self, small_dring):
+        _cluster, flows = workload(small_dring, num_flows=100)
+        placement = placement_for(small_dring)
+        with sim_trace.collecting() as collector:
+            simulate_fct(
+                small_dring, EcmpRouting(small_dring), placement, flows
+            )
+        assert collector.counters["admit_cohorts"] > 0
+        assert collector.counters["alloc_solves"] > 0
+
+
+class TestReset:
+    """reset() must equal fresh construction — sharding depends on it."""
+
+    def test_reset_rerun_bit_identical(self, small_dring):
+        _cluster, flows = workload(small_dring, num_flows=150)
+        placement = placement_for(small_dring)
+        fresh = FlowSimulator(
+            small_dring, EcmpRouting(small_dring), placement, seed=3
+        ).run(flows)
+        reused = FlowSimulator(
+            small_dring, EcmpRouting(small_dring), placement, seed=0
+        )
+        reused.run(flows)
+        reused.reset(seed=3)
+        assert_identical_results(reused.run(flows), fresh)
+
+    def test_reset_clears_utilization(self, small_dring):
+        _cluster, flows = workload(small_dring, num_flows=80)
+        placement = placement_for(small_dring)
+        sim = FlowSimulator(
+            small_dring, EcmpRouting(small_dring), placement, seed=1
+        )
+        sim.run(flows)
+        first = sim.link_utilization()
+        sim.reset(seed=1)
+        sim.run(flows)
+        assert sim.link_utilization() == first
+
+
+class TestPacketCohorts:
+    def test_event_queue_cohort_histogram(self, small_leafspine):
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, small_leafspine)
+        sim = PacketSimulator(
+            small_leafspine, EcmpRouting(small_leafspine), placement, seed=0
+        )
+        flows = [Flow(src, 23, 2e5, 0.0) for src in range(6)]
+        with sim_trace.collecting() as collector:
+            sim.run(flows)
+        cohorts = {
+            name: count for name, count in sim.events.cohort_counts.items()
+        }
+        assert sum(cohorts.values()) > 0
+        for name, count in cohorts.items():
+            assert name.startswith("cohort_event_")
+            assert collector.counters[name] == count
+
+    def test_cohorts_change_no_packet_results(self, small_leafspine):
+        cluster = CanonicalCluster(6, 4)
+        placement = Placement(cluster, small_leafspine)
+        flows = generate_flows(
+            uniform(cluster), 60, 0.005, seed=2, size_cap=3e5
+        )
+        first = PacketSimulator(
+            small_leafspine, EcmpRouting(small_leafspine), placement, seed=4
+        ).run(flows)
+        second = PacketSimulator(
+            small_leafspine, EcmpRouting(small_leafspine), placement, seed=4
+        ).run(flows)
+        assert_identical_results(first, second)
